@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark suite.
+
+These benches run the same experiment drivers as ``python -m repro.bench``
+at a reduced scale so the whole suite finishes in a few minutes.  Runs for
+EXPERIMENTS.md use the CLI with larger ``--n``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchConfig
+
+
+@pytest.fixture(scope="session")
+def cfg() -> BenchConfig:
+    """Scaled-down configuration shared across benchmark modules."""
+    return BenchConfig(n=12_000, queries=40)

@@ -1,0 +1,23 @@
+"""E8 — ablation: the sqrt(B)-borders-per-update design choice of Section 5.
+
+Expected shape (paper): "The update of the ECDF-Bq-tree is expensive since
+each update affects O(B) borders.  The BA-tree is faster since only
+O(sqrt(B)) borders are affected" — with the ECDF-Bu-tree cheapest of all
+(one border per level).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ablation_border_touch
+
+
+def test_ablation_border_touch(benchmark, cfg):
+    rows = benchmark.pedantic(
+        ablation_border_touch, args=(cfg,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    accesses = {name: acc for name, acc, _cpu in rows}
+    assert set(accesses) == {"BAT", "ECDFq", "ECDFu"}
+    # BA-tree updates touch far fewer pages than ECDF-Bq updates...
+    assert accesses["BAT"] < accesses["ECDFq"] / 2
+    # ...and land in the same regime as the update-optimized ECDF-Bu.
+    assert accesses["BAT"] < 5 * accesses["ECDFu"]

@@ -1,0 +1,24 @@
+"""E1 — Figure 9a: index sizes of aR, ECDFu, ECDFq and BAT.
+
+Expected shape (paper): the aR-tree is the smallest index; the ECDF-Bq-tree
+is by far the largest; the BA-tree and ECDF-Bu-tree sit in between.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig9a_index_sizes
+
+
+def test_fig9a_index_sizes(benchmark, cfg):
+    rows = benchmark.pedantic(
+        fig9a_index_sizes, args=(cfg,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    sizes = {method: mb for method, mb, _pages in rows}
+    assert set(sizes) == {"aR", "ECDFu", "ECDFq", "BAT"}
+    # aR is the smallest ("the aR-tree has linear space").
+    assert sizes["aR"] < min(sizes["ECDFu"], sizes["ECDFq"], sizes["BAT"])
+    # ECDFq dwarfs everything ("the ECDF-Bq-tree occupies the most space").
+    assert sizes["ECDFq"] > 2 * sizes["BAT"]
+    assert sizes["ECDFq"] > 2 * sizes["ECDFu"]
+    # BAT and ECDFu are within an order of magnitude of each other.
+    assert sizes["BAT"] < 10 * sizes["ECDFu"]

@@ -1,0 +1,53 @@
+"""E2/E9 — Figure 9b: query cost vs query-box size, plus the aR/BAT crossover.
+
+Expected shape (paper): the ECDF-Bq-tree queries cheapest with the BA-tree
+very close; the ECDF-Bu-tree is much more expensive; the aR-tree degrades
+sharply as QBS grows while the dominance-sum indices stay flat ("its
+performance was independent of the query size characteristics").  At the
+paper's n = 6M the aR-tree loses at every QBS; at scaled-down n the same
+mechanism appears as a crossover in the n sweep.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.bench.figures import fig9b_crossover, fig9b_query_cost
+
+
+def test_fig9b_query_cost(benchmark, cfg):
+    rows = benchmark.pedantic(
+        fig9b_query_cost, args=(cfg,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    by_method = defaultdict(list)
+    for method, _qbs, ios in rows:
+        by_method[method].append(ios)
+    # The dominance-sum indices are insensitive to the query-box size.
+    for method in ("BAT", "ECDFq", "ECDFu"):
+        series = by_method[method]
+        assert max(series) < 2.0 * max(1, min(series)), method
+    # The aR-tree degrades sharply with QBS.
+    ar = by_method["aR"]
+    assert ar[-1] > 3 * max(1, ar[0])
+    # ECDF-Bq beats ECDF-Bu by a wide margin; BAT sits between them.
+    assert max(by_method["ECDFq"]) < min(by_method["ECDFu"])
+    assert max(by_method["BAT"]) < min(by_method["ECDFu"])
+
+
+def test_fig9b_crossover(benchmark, cfg):
+    rows = benchmark.pedantic(
+        fig9b_crossover, args=(cfg,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    ns = [n for n, _ar, _bat in rows]
+    ar = [a for _n, a, _bat in rows]
+    bat = [b for _n, _ar, b in rows]
+    assert ns == sorted(ns)
+    # aR per-query cost grows with n at a fixed large QBS...
+    assert ar[-1] > 1.5 * ar[0]
+    # ...and much faster than the BA-tree's (flat once the tree has its
+    # final depth; the first point is skipped because tiny trees are still
+    # gaining levels).
+    ar_growth = ar[-1] / max(ar[1], 1e-9)
+    bat_growth = bat[-1] / max(bat[1], 1e-9)
+    assert ar_growth > 1.5 * bat_growth
+    assert bat[-1] < 2.0 * bat[1]

@@ -1,0 +1,24 @@
+"""E3 — Figure 9c: functional box-sum execution time (CPU + 10 ms × I/O).
+
+Expected shape (paper): "as the degree increases, the query performance
+worsens since the index becomes larger" — degree-2 value functions cost
+more than degree-0 for both the BA-tree and the aR-tree.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig9c_functional
+
+
+def test_fig9c_functional(benchmark, cfg):
+    small = cfg.scaled(n=6_000, queries=25)
+    rows = benchmark.pedantic(
+        fig9c_functional, args=(small,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    times = {name: total for name, total, _ios, _cpu in rows}
+    assert set(times) == {"aR_d0", "BAT_d0", "aR_d2", "BAT_d2"}
+    # Degree-2 indices are slower than degree-0 for both methods.
+    assert times["aR_d2"] > times["aR_d0"]
+    assert times["BAT_d2"] > times["BAT_d0"]
+    # All four answer the same workload with non-trivial work.
+    assert all(t > 0 for t in times.values())

@@ -1,0 +1,24 @@
+"""E4 — Theorem 1 vs Theorem 2: reduction counts and an operational check.
+
+Expected: the [13] scheme needs ``3^d − 1`` dominance-sums (26 at d = 3),
+the paper's corner reduction exactly ``2^d`` (8 at d = 3), and the corner
+reduction also wins operationally (fewer I/Os) on a real index.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import reduction_experiment
+
+
+def test_reduction_counts(benchmark, cfg):
+    counts, measured = benchmark.pedantic(
+        reduction_experiment, args=(cfg,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    table = {d: (old, new) for d, old, new in counts}
+    assert table[3] == (26, 8)  # the paper's headline example
+    for d, (old, new) in table.items():
+        assert old == 3**d - 1
+        assert new == 2**d
+        assert new <= old
+    by_name = {name: ios for name, ios, _mb in measured}
+    assert by_name["corner (Thm 2)"] < by_name["EO82 (Thm 1)"]

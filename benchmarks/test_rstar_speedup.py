@@ -1,0 +1,22 @@
+"""E5 — Section 6's claim: the BA-tree vs the plain (non-aggregated) R*-tree.
+
+Expected shape (paper): "the BA-tree approach has a query time over 200
+times faster than the plain R*-tree approach" at n = 6M.  The factor
+shrinks with n (the R*-tree's cost is linear in the objects inside the
+query box); at bench scale we assert a clear multiple, and the CLI run in
+EXPERIMENTS.md reports the factor at larger n.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import rstar_speedup
+
+
+def test_rstar_speedup(benchmark, cfg):
+    big = cfg.scaled(n=30_000)
+    rows, ratio = benchmark.pedantic(
+        rstar_speedup, args=(big,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    ios = dict(rows)
+    assert ios["R*"] > ios["BAT"]
+    assert ratio > 1.5

@@ -1,0 +1,24 @@
+"""E10 — Section 8's claim: BA-tree queries are independent of query *shape*.
+
+Expected shape: at constant query area, skinnier query boxes have longer
+boundaries, so the aR-tree's cost grows with the aspect ratio while the
+BA-tree's stays flat (it always issues the same 2^d dominance-sums).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import shape_robustness
+
+
+def test_shape_robustness(benchmark, cfg):
+    rows = benchmark.pedantic(
+        shape_robustness, args=(cfg,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    aspects = [a for a, _ar, _bat in rows]
+    ar = [x for _a, x, _bat in rows]
+    bat = [x for _a, _ar, x in rows]
+    assert aspects == sorted(aspects)
+    # aR cost grows with aspect ratio at constant area...
+    assert ar[-1] > 1.5 * ar[0]
+    # ...the BA-tree's stays flat (within 40% across a 64x aspect change).
+    assert max(bat) < 1.4 * min(bat)

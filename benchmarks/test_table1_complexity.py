@@ -1,0 +1,37 @@
+"""E6 — Table 1: the ECDF-Bu / ECDF-Bq space-query-update trade-off.
+
+Expected shape (Theorem 4): the Bq variant buys its ``O(log^d n)`` query
+cost with far more space and update work; the Bu variant is the mirror
+image.  Growth in n preserves the ordering.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.bench.figures import table1_complexity
+
+
+def test_table1_complexity(benchmark, cfg):
+    rows = benchmark.pedantic(
+        table1_complexity, args=(cfg,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    by_variant = defaultdict(list)
+    for variant, n, space, build, query, update in rows:
+        by_variant[variant].append((n, space, build, query, update))
+    for variant in ("Bu", "Bq"):
+        assert [r[0] for r in by_variant[variant]] == sorted(
+            r[0] for r in by_variant[variant]
+        )
+    largest_bu = by_variant["Bu"][-1]
+    largest_bq = by_variant["Bq"][-1]
+    # Space: Bq >> Bu at equal n.
+    assert largest_bq[1] > 2 * largest_bu[1]
+    # Query: Bq << Bu.
+    assert largest_bq[3] < largest_bu[3]
+    # Update: Bu << Bq.
+    assert largest_bu[4] < largest_bq[4]
+    # Space grows monotonically with n for both variants.
+    for variant in ("Bu", "Bq"):
+        spaces = [r[1] for r in by_variant[variant]]
+        assert spaces == sorted(spaces)

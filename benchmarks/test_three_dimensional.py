@@ -1,0 +1,26 @@
+"""E11 — Section 5's claim: "The BA-tree extends to higher dimensions in a
+straightforward manner".
+
+Expected shape: in 3-d the BA-tree (8 corner trees, each with 2-d borders
+recursing into 1-d borders) still answers with a QBS-independent cost,
+while the aR-tree's cost keeps growing with the query volume.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import three_dimensional
+
+
+def test_three_dimensional(benchmark, cfg):
+    small = cfg.scaled(n=8_000, queries=25)
+    rows = benchmark.pedantic(
+        three_dimensional, args=(small,), kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    ar = [x for _qbs, x, _bat in rows]
+    bat = [x for _qbs, _ar, x in rows]
+    # aR cost climbs with query volume...
+    assert ar[-1] > 2 * ar[0]
+    # ...the BA-tree's is flat across two orders of magnitude of QBS.
+    assert max(bat) < 1.5 * min(bat)
+    # And the answers were produced by genuinely 3-d structures.
+    assert len(rows) == 3

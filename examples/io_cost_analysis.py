@@ -1,0 +1,62 @@
+"""Anatomy of a query: I/O breakdowns and buffer sensitivity.
+
+Uses the explain API to show where a box-sum query's page accesses go —
+the 2^d dominance-sums of Theorem 2, each walking one BA-tree path — and
+sweeps the LRU buffer size to show how the upper tree levels amortize
+across a query batch (the effect behind the paper's 10 MB-buffer setup).
+
+Run with::
+
+    python examples/io_cost_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import Box, BoxSumIndex, StorageContext
+from repro.core.explain import explain_box_sum
+from repro.workloads import query_boxes, uniform_boxes
+
+
+def main() -> None:
+    objects = uniform_boxes(20_000, seed=3)
+
+    # -- one query, dissected --------------------------------------------------
+    storage = StorageContext(page_size=2048, buffer_pages=64)
+    index = BoxSumIndex(dims=2, backend="ba", storage=storage)
+    index.bulk_load(objects)
+    storage.cold_cache()
+
+    query = Box((0.40, 0.40), (0.50, 0.50))  # a 1%-of-space box
+    report = explain_box_sum(index, query)
+    print("one box-sum query = four dominance-sums (Theorem 2):\n")
+    print(report.summary())
+    print(
+        "\n(each signed part walks one root-to-leaf path of its corner tree"
+        "\nplus a couple of borders per level — cost independent of how many"
+        "\nobjects the query box covers)"
+    )
+
+    # -- buffer sweep ------------------------------------------------------------
+    print("\nbuffer sensitivity — 100 queries at QBS 1%:")
+    print(f"{'buffer pages':>14} {'reads':>8} {'hits':>8} {'hit rate':>9}")
+    queries = query_boxes(100, 0.01, seed=4)
+    for buffer_pages in (16, 64, 256, 1024):
+        ctx = StorageContext(page_size=2048, buffer_pages=buffer_pages)
+        idx = BoxSumIndex(dims=2, backend="ba", storage=ctx)
+        idx.bulk_load(objects)
+        ctx.cold_cache()
+        ctx.reset_stats()
+        for q in queries:
+            idx.box_sum(q)
+        c = ctx.counter
+        rate = c.hits / max(1, c.accesses)
+        print(f"{buffer_pages:>14} {c.reads:>8} {c.hits:>8} {rate:>8.0%}")
+    print(
+        "\nreads fall as the buffer grows to hold the trees' upper levels;"
+        "\npast that, only cold leaf pages miss — the regime the paper's"
+        "\n10 MB buffer put every contender in."
+    )
+
+
+if __name__ == "__main__":
+    main()

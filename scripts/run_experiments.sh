@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full-scale experiment runs backing EXPERIMENTS.md.
+# Larger n than the pytest benches; takes ~30 minutes of CPU.
+set -e
+cd "$(dirname "$0")/.."
+
+python -m repro.bench fig9a     --n 100000 --queries 200
+python -m repro.bench fig9b     --n 100000 --queries 200
+python -m repro.bench crossover --n 200000 --queries 100
+python -m repro.bench fig9c     --n 50000  --queries 100
+python -m repro.bench reduction --n 50000
+python -m repro.bench rstar     --n 200000 --queries 50
+python -m repro.bench table1    --n 64000
+python -m repro.bench ablation  --n 50000
+python -m repro.bench shape     --n 100000 --queries 100
+python -m repro.bench dims3     --n 30000  --queries 100

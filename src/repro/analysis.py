@@ -1,0 +1,138 @@
+"""Analytic cost model: Theorem 4's complexities and empirical-fit helpers.
+
+Table 1 of the paper gives the ECDF-B-trees' costs in page I/Os:
+
+==============  ==========================  ==========================
+operation       ECDF-Bu-tree                ECDF-Bq-tree
+==============  ==========================  ==========================
+space           O((n/B)·log_B^{d-1} n)      O(n·B^{d-2}·log_B^{d-1} n)
+bulk-loading    O((n/B)·log_B^d n)          O(n·B^{d-2}·log_B^d n)
+query           O(B^{d-1}·log_B^d n)        O(log_B^d n)
+update (amort.) O(log_B^d n)                O(B^{d-1}·log_B^d n)
+==============  ==========================  ==========================
+
+The Section 5 discussion adds the BA-tree's average case: poly-logarithmic
+queries (like Bq) with only O(√B) borders touched per update per node.
+
+This module evaluates those formulas (for sanity lines in benchmark
+output) and fits measured series to power laws so experiments can check
+the paper's growth predictions quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .core.errors import InvalidQueryError
+
+
+def _log_b(n: float, b: float) -> float:
+    """``log_B n``, floored at 1 so constant factors dominate tiny inputs."""
+    if n <= 1 or b <= 1:
+        return 1.0
+    return max(1.0, math.log(n) / math.log(b))
+
+
+@dataclass(frozen=True)
+class Theorem4:
+    """Evaluate Table 1's cost formulas for one (B, d) configuration."""
+
+    page_capacity: int
+    dims: int
+
+    def _check(self) -> None:
+        if self.page_capacity < 2 or self.dims < 1:
+            raise InvalidQueryError(
+                f"invalid configuration B={self.page_capacity}, d={self.dims}"
+            )
+
+    def bu_space(self, n: int) -> float:
+        """ECDF-Bu space in pages: (n/B)·log_B^{d-1} n."""
+        self._check()
+        b, d = self.page_capacity, self.dims
+        return (n / b) * _log_b(n, b) ** (d - 1)
+
+    def bq_space(self, n: int) -> float:
+        """ECDF-Bq space in pages: n·B^{d-2}·log_B^{d-1} n."""
+        self._check()
+        b, d = self.page_capacity, self.dims
+        return n * b ** (d - 2) * _log_b(n, b) ** (d - 1)
+
+    def bu_query(self, n: int) -> float:
+        """ECDF-Bu query I/Os: B^{d-1}·log_B^d n."""
+        self._check()
+        b, d = self.page_capacity, self.dims
+        return b ** (d - 1) * _log_b(n, b) ** d
+
+    def bq_query(self, n: int) -> float:
+        """ECDF-Bq query I/Os: log_B^d n."""
+        self._check()
+        b, d = self.page_capacity, self.dims
+        return _log_b(n, b) ** d
+
+    def bu_update(self, n: int) -> float:
+        """ECDF-Bu amortized update I/Os: log_B^d n."""
+        return self.bq_query(n)
+
+    def bq_update(self, n: int) -> float:
+        """ECDF-Bq amortized update I/Os: B^{d-1}·log_B^d n."""
+        return self.bu_query(n)
+
+    def batree_query_avg(self, n: int) -> float:
+        """BA-tree average query I/Os: poly-logarithmic, like Bq."""
+        return self.bq_query(n)
+
+    def batree_update_avg(self, n: int) -> float:
+        """BA-tree average update I/Os: √B^{d-1}·log_B^d n (√B borders cut per node)."""
+        self._check()
+        b, d = self.page_capacity, self.dims
+        return math.sqrt(b) ** (d - 1) * _log_b(n, b) ** d
+
+
+def fit_power_law(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """Least-squares fit of ``y = c·x^e`` on log-log axes; returns ``(e, c)``.
+
+    Used to compare measured space/query/update growth against the
+    exponents Table 1 predicts (e.g. Bq space should fit e ≈ 1 in n,
+    Bu space e ≈ 1 as well but with a 1/B coefficient).
+    """
+    pts = [(x, y) for x, y in points if x > 0 and y > 0]
+    if len(pts) < 2:
+        raise InvalidQueryError("power-law fit needs at least two positive points")
+    lx = [math.log(x) for x, _y in pts]
+    ly = [math.log(y) for _x, y in pts]
+    n = len(pts)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    var_x = sum((x - mean_x) ** 2 for x in lx)
+    if var_x == 0:
+        raise InvalidQueryError("power-law fit needs at least two distinct x values")
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    exponent = cov / var_x
+    coefficient = math.exp(mean_y - exponent * mean_x)
+    return exponent, coefficient
+
+
+def growth_ratio(points: Sequence[Tuple[float, float]]) -> float:
+    """``y_last / y_first`` normalized by ``x_last / x_first`` — 1.0 means linear."""
+    if len(points) < 2:
+        raise InvalidQueryError("growth ratio needs at least two points")
+    (x0, y0), (x1, y1) = points[0], points[-1]
+    if x0 <= 0 or y0 <= 0 or x1 <= x0:
+        raise InvalidQueryError("growth ratio needs increasing positive points")
+    return (y1 / y0) / (x1 / x0)
+
+
+def predicted_rows(
+    n_values: Sequence[int], page_capacity: int, dims: int
+) -> List[Tuple[str, int, float, float, float]]:
+    """Table 1 predictions for an n sweep: (variant, n, space, query, update)."""
+    model = Theorem4(page_capacity, dims)
+    rows: List[Tuple[str, int, float, float, float]] = []
+    for n in n_values:
+        rows.append(("Bu", n, model.bu_space(n), model.bu_query(n), model.bu_update(n)))
+    for n in n_values:
+        rows.append(("Bq", n, model.bq_space(n), model.bq_query(n), model.bq_update(n)))
+    return rows

@@ -1,0 +1,5 @@
+"""The Box Aggregation Tree (BA-tree) — the paper's primary contribution."""
+
+from .batree import BATree
+
+__all__ = ["BATree"]

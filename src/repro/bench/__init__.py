@@ -1,0 +1,37 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Each experiment is a function returning structured rows (so the pytest
+benchmarks can assert the paper's qualitative shape) and printing the
+table the paper reports.  Run standalone via::
+
+    python -m repro.bench fig9a --n 50000
+    python -m repro.bench all
+"""
+
+from .config import BenchConfig
+from .figures import (
+    ablation_border_touch,
+    fig9a_index_sizes,
+    fig9b_crossover,
+    fig9b_query_cost,
+    fig9c_functional,
+    reduction_experiment,
+    rstar_speedup,
+    shape_robustness,
+    table1_complexity,
+    three_dimensional,
+)
+
+__all__ = [
+    "BenchConfig",
+    "fig9a_index_sizes",
+    "fig9b_query_cost",
+    "fig9b_crossover",
+    "fig9c_functional",
+    "reduction_experiment",
+    "rstar_speedup",
+    "table1_complexity",
+    "ablation_border_touch",
+    "shape_robustness",
+    "three_dimensional",
+]

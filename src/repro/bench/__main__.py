@@ -1,0 +1,97 @@
+"""CLI entry point: ``python -m repro.bench <experiment> [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .config import BenchConfig
+from .figures import (
+    ablation_border_touch,
+    fig9a_index_sizes,
+    fig9b_crossover,
+    fig9b_query_cost,
+    fig9c_functional,
+    reduction_experiment,
+    rstar_speedup,
+    shape_robustness,
+    table1_complexity,
+    three_dimensional,
+)
+
+EXPERIMENTS = {
+    "fig9a": fig9a_index_sizes,
+    "fig9b": fig9b_query_cost,
+    "crossover": fig9b_crossover,
+    "fig9c": fig9c_functional,
+    "reduction": reduction_experiment,
+    "rstar": rstar_speedup,
+    "shape": shape_robustness,
+    "dims3": three_dimensional,
+    "table1": table1_complexity,
+    "ablation": ablation_border_touch,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--n", type=int, default=None, help="number of objects")
+    parser.add_argument("--queries", type=int, default=None, help="queries per batch")
+    parser.add_argument("--page-size", type=int, default=None, help="page size in bytes")
+    parser.add_argument("--buffer-mb", type=float, default=None, help="LRU buffer in MB")
+    parser.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump the structured rows of each experiment as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = BenchConfig()
+    overrides = {
+        "n": args.n,
+        "queries": args.queries,
+        "page_size": args.page_size,
+        "buffer_mb": args.buffer_mb,
+        "seed": args.seed,
+    }
+    cfg = cfg.scaled(**{k: v for k, v in overrides.items() if v is not None})
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    results = {}
+    for name in names:
+        start = time.time()
+        rows = EXPERIMENTS[name](cfg)
+        results[name] = rows
+        print(f"\n[{name} done in {time.time() - start:.1f}s]")
+    if args.json:
+        payload = {
+            "config": {
+                "n": cfg.n,
+                "dims": cfg.dims,
+                "page_size": cfg.page_size,
+                "buffer_pages": cfg.buffer_pages,
+                "queries": cfg.queries,
+                "seed": cfg.seed,
+            },
+            "results": results,
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, default=list)
+        print(f"[wrote {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Index construction and measurement helpers shared by the experiments."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.aggregator import BoxSumIndex, FunctionalBoxSumIndex
+from ..core.geometry import Box
+from ..storage import StorageContext
+from .config import BenchConfig
+
+#: Display name -> facade backend, for the four Figure 9 contenders plus R*.
+METHOD_BACKENDS: Dict[str, str] = {
+    "aR": "ar",
+    "ECDFu": "ecdf-bu",
+    "ECDFq": "ecdf-bq",
+    "BAT": "ba",
+    "R*": "rstar",
+}
+
+
+def fresh_storage(cfg: BenchConfig) -> StorageContext:
+    """A storage context with the experiment's page size and buffer."""
+    return StorageContext(page_size=cfg.page_size, buffer_pages=cfg.buffer_pages)
+
+
+def build_boxsum_index(
+    method: str, objects: Sequence[Tuple[Box, float]], cfg: BenchConfig
+) -> BoxSumIndex:
+    """Build one contender over its own simulated disk (bulk-loaded)."""
+    index = BoxSumIndex(
+        cfg.dims,
+        backend=METHOD_BACKENDS[method],
+        storage=fresh_storage(cfg),
+    )
+    index.bulk_load(objects)
+    return index
+
+
+def build_functional_index(
+    method: str, objects, degree: int, cfg: BenchConfig
+) -> FunctionalBoxSumIndex:
+    """Build a functional contender (``BAT`` or ``aR``) for Figure 9c."""
+    index = FunctionalBoxSumIndex(
+        cfg.dims,
+        backend=METHOD_BACKENDS[method],
+        max_degree=degree,
+        storage=fresh_storage(cfg),
+    )
+    index.bulk_load(objects)
+    return index
+
+
+def measure_query_batch(index, queries: Sequence[Box], functional: bool = False):
+    """Run a query batch from a cold cache; returns (total I/Os, CPU seconds).
+
+    The batch shares the LRU buffer across queries, as in the paper's runs;
+    only the start state is cold.
+    """
+    storage = index.storage
+    storage.cold_cache()
+    storage.reset_stats()
+    start = time.process_time()
+    if functional:
+        for query in queries:
+            index.functional_box_sum(query)
+    else:
+        for query in queries:
+            index.box_sum(query)
+    cpu = time.process_time() - start
+    return storage.counter.total_ios, cpu
+
+
+def measure_insert_batch(index, objects: Sequence[Tuple[Box, float]]):
+    """Insert a batch from a cold cache; returns (total I/Os, page accesses)."""
+    storage = index.storage
+    storage.cold_cache()
+    storage.reset_stats()
+    for box, value in objects:
+        index.insert(box, value)
+    return storage.counter.total_ios, storage.counter.accesses

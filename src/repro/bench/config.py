@@ -1,0 +1,42 @@
+"""Experiment configuration and scaling notes.
+
+The paper ran 6,000,000 objects against 8 KB pages and a 10 MB LRU buffer.
+Pure Python cannot rebuild that testbed in minutes, so the defaults scale
+every knob down together: fewer objects, smaller pages (keeping tree depth
+comparable) and a proportionally smaller buffer.  All knobs are exposed on
+the CLI, so larger runs only cost time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by all experiments."""
+
+    #: Number of data objects (paper: 6,000,000).
+    n: int = 50_000
+    #: Dimensionality of the space (paper: 2).
+    dims: int = 2
+    #: Logical page size in bytes (paper: 8192).
+    page_size: int = 2048
+    #: LRU buffer size in MB (paper: 10 MB ~ 5% of the smallest index; the
+    #: default keeps roughly that ratio at the scaled-down n).
+    buffer_mb: float = 0.0625
+    #: Queries per batch (paper: 1000).
+    queries: int = 100
+    #: Average object side as a fraction of the space (paper: 1/10,000).
+    avg_side_fraction: float = 1e-4
+    #: Base RNG seed.
+    seed: int = 7
+
+    @property
+    def buffer_pages(self) -> int:
+        """LRU capacity in pages."""
+        return max(8, int(self.buffer_mb * 1024 * 1024 / self.page_size))
+
+    def scaled(self, **overrides: object) -> "BenchConfig":
+        """A copy with some knobs replaced."""
+        return replace(self, **overrides)

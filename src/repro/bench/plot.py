@@ -1,0 +1,124 @@
+"""ASCII charts for the benchmark output (terminal-friendly figures).
+
+The paper presents its evaluation as bar and line charts; the harness
+renders the same series as monospace plots so a benchmark run reads like
+the figure it reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Series markers, assigned in insertion order.
+_MARKERS = "ox*#@+%&"
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    log_x: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one monospace grid.
+
+    ``log_y`` / ``log_x`` switch the axes to log scale (all values must
+    then be positive).  Each series gets a marker from ``o x * # …``; the
+    legend maps markers back to names.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    fx = _scaler(min(xs), max(xs), log_x)
+    fy = _scaler(min(ys), max(ys), log_y)
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            col = round(fx(x) * (width - 1))
+            row = height - 1 - round(fy(y) * (height - 1))
+            grid[row][col] = marker
+
+    y_lo, y_hi = min(ys), max(ys)
+    labels = [_fmt(y_hi), _fmt((y_lo + y_hi) / 2), _fmt(y_lo)]
+    label_width = max(len(s) for s in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(f"  {title}")
+    for row in range(height):
+        if row == 0:
+            label = labels[0]
+        elif row == height // 2:
+            label = labels[1]
+        elif row == height - 1:
+            label = labels[2]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(grid[row])}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {_fmt(min(xs))}{' ' * max(1, width - len(_fmt(min(xs))) - len(_fmt(max(xs))) - 2)}{_fmt(max(xs))}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    suffix = f"  [log y]" if log_y else ""
+    lines.append(f"  legend: {legend}{suffix}")
+    if y_label:
+        lines.append(f"  y: {y_label}")
+    return "\n".join(lines)
+
+
+def _scaler(lo: float, hi: float, log: bool):
+    """Map [lo, hi] (possibly log-scaled) onto [0, 1]."""
+    if log:
+        if lo <= 0:
+            raise ValueError("log-scaled axes need positive values")
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+
+        def f(v: float) -> float:
+            if hi_t == lo_t:
+                return 0.5
+            return (math.log10(v) - lo_t) / (hi_t - lo_t)
+
+        return f
+
+    def f_linear(v: float) -> float:
+        if hi == lo:
+            return 0.5
+        return (v - lo) / (hi - lo)
+
+    return f_linear
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000:
+        return f"{value:.1e}"
+    if abs(value) >= 10:
+        return f"{value:,.0f}"
+    if abs(value) >= 0.01:
+        return f"{value:.2f}"
+    return f"{value:.1e}"
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]], width: int = 50, title: str = ""
+) -> str:
+    """Horizontal bars, scaled to the largest value."""
+    if not rows:
+        return "(no data)"
+    peak = max(v for _name, v in rows)
+    name_width = max(len(name) for name, _v in rows)
+    lines = [f"  {title}"] if title else []
+    for name, value in rows:
+        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        lines.append(f"  {name:>{name_width}} |{bar} {_fmt(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Aggregated B+-tree — the 1-dimensional dominance-sum index."""
+
+from .node import InternalNode, LeafNode
+from .tree import AggBPlusTree
+
+__all__ = ["AggBPlusTree", "LeafNode", "InternalNode"]

@@ -1,0 +1,58 @@
+"""Page payloads of the aggregated B+-tree."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..storage.pager import NO_PAGE
+
+
+class LeafNode:
+    """A leaf page: sorted keys with their aggregate values, plus a right-sibling link.
+
+    Duplicate keys are merged on insert (values added), which is the natural
+    representation for an aggregate index — the paper's structures never
+    need to enumerate individual duplicates.
+    """
+
+    __slots__ = ("pid", "keys", "values", "next_pid", "total")
+
+    def __init__(self, pid: int, zero: Any) -> None:
+        self.pid = pid
+        self.keys: List[float] = []
+        self.values: List[Any] = []
+        self.next_pid = NO_PAGE
+        self.total = zero
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class InternalNode:
+    """An internal page: ``m`` children with ``m - 1`` separators and per-child aggregates.
+
+    Child ``i`` covers the half-open key range ``[seps[i-1], seps[i])``
+    (unbounded at the ends).  ``aggs[i]`` is the total value stored in
+    ``children[i]``'s subtree — the field that lets a dominance-sum query
+    absorb whole subtrees without descending into them.
+    """
+
+    __slots__ = ("pid", "seps", "children", "aggs", "total")
+
+    def __init__(self, pid: int, zero: Any) -> None:
+        self.pid = pid
+        self.seps: List[float] = []
+        self.children: List[int] = []
+        self.aggs: List[Any] = []
+        self.total = zero
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.children)

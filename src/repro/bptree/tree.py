@@ -1,0 +1,411 @@
+"""The aggregated B+-tree: a disk-based 1-dimensional dominance-sum index.
+
+This is the base case of every recursive structure in the paper:
+
+* a 1-dimensional ECDF-B-tree *is* this tree ("for d = 1 ... it is basically
+  a B+-tree", Theorem 4's proof);
+* the 1-dimensional BA-tree borders ("it is then sufficient to maintain
+  these x positions in a 1-dimensional BA-tree", Section 5) are this tree;
+* the data-cube adapter uses its ``range_sum``.
+
+Each internal entry carries the aggregate of its child's subtree, so a
+dominance-sum (prefix-sum) query touches exactly one root-to-leaf path:
+``O(log_B n)`` page I/Os.  Inserts touch the same path; deletes are
+modelled, as in all aggregate indices of the paper, by inserting the
+negated value.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import TreeInvariantError
+from ..core.values import Value, accumulate
+from ..storage import StorageContext
+from ..storage.pager import NO_PAGE
+from .node import InternalNode, LeafNode
+
+
+class AggBPlusTree:
+    """Aggregated B+-tree over ``(key, value)`` entries.
+
+    Parameters
+    ----------
+    storage:
+        The shared disk/buffer context; every node is one page there.
+    zero:
+        Additive identity of the aggregated value type.
+    value_bytes:
+        Byte width of one value, used to derive page fan-out.  Defaults to
+        the context layout's width (8 for scalars); polynomial indices pass
+        their coefficient-tuple footprint.
+    leaf_capacity / internal_capacity:
+        Explicit fan-out overrides (tests use tiny capacities to force deep
+        trees).
+    """
+
+    def __init__(
+        self,
+        storage: StorageContext,
+        zero: Value = 0.0,
+        value_bytes: Optional[int] = None,
+        leaf_capacity: Optional[int] = None,
+        internal_capacity: Optional[int] = None,
+    ) -> None:
+        self.storage = storage
+        self.zero = zero
+        layout = (
+            storage.layout
+            if value_bytes is None
+            else storage.with_layout(value_bytes)
+        )
+        self.leaf_capacity = leaf_capacity or layout.bptree_leaf_capacity()
+        self.internal_capacity = internal_capacity or layout.bptree_internal_capacity()
+        if self.leaf_capacity < 2:
+            raise ValueError(f"leaf_capacity must be >= 2, got {self.leaf_capacity}")
+        if self.internal_capacity < 3:
+            raise ValueError(
+                f"internal_capacity must be >= 3, got {self.internal_capacity}"
+            )
+        root = LeafNode(storage.pager.allocate(), zero)
+        storage.pager.put(root.pid, root)
+        self.root_pid = root.pid
+        self.num_entries = 0
+        self.height = 1
+
+    # -- page helpers ---------------------------------------------------------
+
+    def _fetch(self, pid: int, write: bool = False):
+        self.storage.buffer.access(pid, write=write)
+        return self.storage.pager.get(pid)
+
+    def _new_leaf(self) -> LeafNode:
+        node = LeafNode(self.storage.pager.allocate(), self.zero)
+        self.storage.pager.put(node.pid, node)
+        return node
+
+    def _new_internal(self) -> InternalNode:
+        node = InternalNode(self.storage.pager.allocate(), self.zero)
+        self.storage.pager.put(node.pid, node)
+        return node
+
+    # -- queries ------------------------------------------------------------------
+
+    def dominance_sum(self, key: "float | Sequence[float]") -> Value:
+        """Sum of values with stored key strictly less than ``key``.
+
+        Accepts a plain number or a 1-tuple, so the tree drops in wherever
+        the d-dimensional dominance protocol expects point arguments.
+        """
+        key = _as_key(key)
+        result = self.zero
+        pid = self.root_pid
+        while True:
+            node = self._fetch(pid)
+            if node.is_leaf:
+                cut = bisect_left(node.keys, key)
+                for v in node.values[:cut]:
+                    result = result + v
+                return result
+            idx = bisect_right(node.seps, key)
+            for agg in node.aggs[:idx]:
+                result = result + agg
+            pid = node.children[idx]
+
+    def range_sum(self, low: float, high: float) -> Value:
+        """Sum of values with key in ``[low, high)``."""
+        return self.dominance_sum(high) + (-self.dominance_sum(low))
+
+    def collect_points(self) -> Iterator[Tuple[Tuple[float], Value]]:
+        """Like :meth:`collect` but yields 1-tuple points (protocol form)."""
+        for key, value in self.collect():
+            yield (key,), value
+
+    def total(self) -> Value:
+        """Sum of every stored value (one page access at the root)."""
+        root = self._fetch(self.root_pid)
+        return root.total
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+    # -- insertion -----------------------------------------------------------------
+
+    def insert(self, key: "float | Sequence[float]", value: Value) -> None:
+        """Insert a weighted key, merging into an existing equal key if present."""
+        key = _as_key(key)
+        split = self._insert_into(self.root_pid, key, value)
+        if split is not None:
+            sep, right_pid, left_total, right_total = split
+            new_root = self._new_internal()
+            new_root.seps = [sep]
+            new_root.children = [self.root_pid, right_pid]
+            new_root.aggs = [left_total, right_total]
+            new_root.total = left_total + right_total
+            self.storage.buffer.access(new_root.pid, write=True)
+            self.root_pid = new_root.pid
+            self.height += 1
+
+    def _insert_into(
+        self, pid: int, key: float, value: Value
+    ) -> Optional[Tuple[float, int, Value, Value]]:
+        """Recursive insert; returns (separator, new right pid, totals) on split."""
+        node = self._fetch(pid, write=True)
+        if node.is_leaf:
+            return self._leaf_insert(node, key, value)
+        idx = bisect_right(node.seps, key)
+        split = self._insert_into(node.children[idx], key, value)
+        node.total = node.total + value
+        if split is None:
+            node.aggs[idx] = node.aggs[idx] + value
+            return None
+        sep, right_pid, left_total, right_total = split
+        node.aggs[idx] = left_total
+        node.seps.insert(idx, sep)
+        node.children.insert(idx + 1, right_pid)
+        node.aggs.insert(idx + 1, right_total)
+        if len(node.children) <= self.internal_capacity:
+            return None
+        return self._split_internal(node)
+
+    def _leaf_insert(
+        self, leaf: LeafNode, key: float, value: Value
+    ) -> Optional[Tuple[float, int, Value, Value]]:
+        i = bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            leaf.values[i] = leaf.values[i] + value
+        else:
+            leaf.keys.insert(i, key)
+            leaf.values.insert(i, value)
+            self.num_entries += 1
+        leaf.total = leaf.total + value
+        if len(leaf.keys) <= self.leaf_capacity:
+            return None
+        return self._split_leaf(leaf)
+
+    def _split_leaf(self, leaf: LeafNode) -> Tuple[float, int, Value, Value]:
+        mid = len(leaf.keys) // 2
+        right = self._new_leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next_pid = leaf.next_pid
+        right.total = accumulate(right.values, self.zero)
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next_pid = right.pid
+        leaf.total = accumulate(leaf.values, self.zero)
+        self.storage.buffer.access(right.pid, write=True)
+        return right.keys[0], right.pid, leaf.total, right.total
+
+    def _split_internal(self, node: InternalNode) -> Tuple[float, int, Value, Value]:
+        mid = len(node.children) // 2
+        right = self._new_internal()
+        sep = node.seps[mid - 1]
+        right.seps = node.seps[mid:]
+        right.children = node.children[mid:]
+        right.aggs = node.aggs[mid:]
+        right.total = accumulate(right.aggs, self.zero)
+        node.seps = node.seps[: mid - 1]
+        node.children = node.children[:mid]
+        node.aggs = node.aggs[:mid]
+        node.total = accumulate(node.aggs, self.zero)
+        self.storage.buffer.access(right.pid, write=True)
+        return sep, right.pid, node.total, right.total
+
+    # -- bulk loading -----------------------------------------------------------------
+
+    def bulk_load(
+        self, items: Iterable[Tuple[float, Value]], fill_factor: float = 1.0
+    ) -> None:
+        """Build the tree from scratch out of ``(key, value)`` pairs.
+
+        Duplicate keys are merged.  ``fill_factor`` controls leaf packing
+        (1.0 builds the most compact tree; dynamic workloads may want ~0.7
+        to leave room for subsequent inserts).  Any existing content is
+        discarded.
+        """
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        merged: List[Tuple[float, Value]] = []
+        normalized = [(_as_key(key), value) for key, value in items]
+        for key, value in sorted(normalized, key=lambda kv: kv[0]):
+            if merged and merged[-1][0] == key:
+                merged[-1] = (key, merged[-1][1] + value)
+            else:
+                merged.append((key, value))
+        self._free_subtree(self.root_pid)
+        per_leaf = max(2, int(self.leaf_capacity * fill_factor))
+        leaves: List[LeafNode] = []
+        for start in range(0, len(merged), per_leaf):
+            chunk = merged[start : start + per_leaf]
+            leaf = self._new_leaf()
+            leaf.keys = [k for k, _v in chunk]
+            leaf.values = [v for _k, v in chunk]
+            leaf.total = accumulate(leaf.values, self.zero)
+            self.storage.buffer.access(leaf.pid, write=True)
+            leaves.append(leaf)
+        if not leaves:
+            leaves.append(self._new_leaf())
+        for left, right in zip(leaves, leaves[1:]):
+            left.next_pid = right.pid
+        self.num_entries = len(merged)
+        self.height = 1
+        # Build internal levels bottom-up.  Each level entry is
+        # (lowest key of subtree, pid, subtree total).
+        level: List[Tuple[float, int, Value]] = [
+            (leaf.keys[0] if leaf.keys else float("-inf"), leaf.pid, leaf.total)
+            for leaf in leaves
+        ]
+        per_internal = max(2, int(self.internal_capacity * fill_factor))
+        while len(level) > 1:
+            next_level: List[Tuple[float, int, Value]] = []
+            for chunk in _chunks_no_orphan(level, per_internal):
+                node = self._new_internal()
+                node.seps = [low for low, _pid, _tot in chunk[1:]]
+                node.children = [pid for _low, pid, _tot in chunk]
+                node.aggs = [tot for _low, _pid, tot in chunk]
+                node.total = accumulate(node.aggs, self.zero)
+                self.storage.buffer.access(node.pid, write=True)
+                next_level.append((chunk[0][0], node.pid, node.total))
+            level = next_level
+            self.height += 1
+        self.root_pid = level[0][1]
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def collect(self) -> Iterator[Tuple[float, Value]]:
+        """Yield every ``(key, value)`` in key order, accessing each leaf page once."""
+        pid = self._leftmost_leaf()
+        while pid != NO_PAGE:
+            leaf = self._fetch(pid)
+            yield from zip(leaf.keys, leaf.values)
+            pid = leaf.next_pid
+
+    def _leftmost_leaf(self) -> int:
+        pid = self.root_pid
+        while True:
+            node = self._fetch(pid)
+            if node.is_leaf:
+                return pid
+            pid = node.children[0]
+
+    def destroy(self) -> None:
+        """Free every page of the tree and reset it to an empty leaf root."""
+        self._free_subtree(self.root_pid)
+        root = self._new_leaf()
+        self.root_pid = root.pid
+        self.num_entries = 0
+        self.height = 1
+
+    def release(self) -> None:
+        """Free every page without recreating a root; the tree becomes unusable.
+
+        Used by owners (borders) that are discarding the structure for good.
+        """
+        self._free_subtree(self.root_pid)
+        self.root_pid = -1
+        self.num_entries = 0
+
+    def _free_subtree(self, pid: int) -> None:
+        node = self.storage.pager.get(pid)
+        if not node.is_leaf:
+            for child in node.children:
+                self._free_subtree(child)
+        self.storage.buffer.invalidate(pid)
+        self.storage.pager.free(pid)
+
+    def num_pages(self) -> int:
+        """Pages owned by this tree (walks the whole tree; diagnostics only)."""
+        return self._count_pages(self.root_pid)
+
+    def _count_pages(self, pid: int) -> int:
+        node = self.storage.pager.get(pid)
+        if node.is_leaf:
+            return 1
+        return 1 + sum(self._count_pages(c) for c in node.children)
+
+    # -- invariants -------------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify ordering, aggregate and capacity invariants; raises on violation."""
+        self._check_node(self.root_pid, float("-inf"), float("inf"), is_root=True)
+
+    def _check_node(
+        self, pid: int, low: float, high: float, is_root: bool = False
+    ) -> Tuple[Value, int]:
+        node = self.storage.pager.get(pid)
+        if node.is_leaf:
+            if node.keys != sorted(node.keys):
+                raise TreeInvariantError(f"leaf {pid} keys out of order")
+            if len(set(node.keys)) != len(node.keys):
+                raise TreeInvariantError(f"leaf {pid} has duplicate keys")
+            if len(node.keys) > self.leaf_capacity:
+                raise TreeInvariantError(f"leaf {pid} over capacity")
+            for k in node.keys:
+                if not low <= k < high:
+                    raise TreeInvariantError(
+                        f"leaf {pid} key {k} outside range [{low}, {high})"
+                    )
+            total = accumulate(node.values, self.zero)
+            if not _values_close(total, node.total):
+                raise TreeInvariantError(f"leaf {pid} total mismatch")
+            return node.total, 1
+        if len(node.children) != len(node.aggs) or len(node.seps) != len(node.children) - 1:
+            raise TreeInvariantError(f"internal {pid} arity mismatch")
+        if len(node.children) > self.internal_capacity:
+            raise TreeInvariantError(f"internal {pid} over capacity")
+        if not is_root and len(node.children) < 2:
+            raise TreeInvariantError(f"internal {pid} underfull")
+        bounds = [low, *node.seps, high]
+        if bounds != sorted(bounds):
+            raise TreeInvariantError(f"internal {pid} separators out of order")
+        total = self.zero
+        height = None
+        for i, child in enumerate(node.children):
+            child_total, child_height = self._check_node(child, bounds[i], bounds[i + 1])
+            if not _values_close(child_total, node.aggs[i]):
+                raise TreeInvariantError(f"internal {pid} agg[{i}] mismatch")
+            if height is None:
+                height = child_height
+            elif height != child_height:
+                raise TreeInvariantError(f"internal {pid} unbalanced children")
+            total = total + child_total
+        if not _values_close(total, node.total):
+            raise TreeInvariantError(f"internal {pid} total mismatch")
+        assert height is not None
+        return node.total, height + 1
+
+
+def _as_key(key: "float | Sequence[float]") -> float:
+    """Coerce a scalar or 1-tuple point into the tree's float key."""
+    if isinstance(key, (int, float)):
+        return float(key)
+    if len(key) != 1:
+        raise TreeInvariantError(
+            f"aggregated B+-tree keys are 1-dimensional, got arity {len(key)}"
+        )
+    return float(key[0])
+
+
+def _chunks_no_orphan(items: List, size: int) -> Iterator[List]:
+    """Split ``items`` into chunks of ``size``, never leaving a final chunk of 1.
+
+    B+-tree internal nodes need at least two children; when the item count
+    is ``1 (mod size)`` the final two chunks are rebalanced to sizes
+    ``size - 1`` and ``2``.
+    """
+    n = len(items)
+    start = 0
+    while start < n:
+        end = start + size
+        if 0 < n - end == 1 and size > 2:
+            end -= 1
+        yield items[start:end]
+        start = end
+
+
+def _values_close(a: Any, b: Any) -> bool:
+    from ..core.values import values_equal
+
+    return values_equal(a, b, tol=1e-6)

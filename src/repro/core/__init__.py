@@ -1,0 +1,84 @@
+"""Core layer: geometry, value algebra, reductions and the public facades.
+
+Dominance-sum index protocol
+----------------------------
+
+Every dominance-sum structure in this package (aggregated B+-tree, static
+ECDF-tree, ECDF-Bu/Bq-trees, BA-tree, naive scan) is duck-typed to:
+
+* ``insert(point, value)`` — add a weighted point;
+* ``dominance_sum(point) -> value`` — sum of values of stored points
+  *strictly* dominated by ``point`` in every dimension;
+* ``total() -> value`` — sum of everything stored;
+* ``bulk_load(items)`` — build from an iterable of ``(point, value)``.
+
+The reduction layer (:mod:`repro.core.reduction`,
+:mod:`repro.core.functional`) turns box-sum and functional box-sum queries
+into calls against that protocol; :mod:`repro.core.aggregator` exposes the
+user-facing :class:`~repro.core.aggregator.BoxSumIndex` and
+:class:`~repro.core.aggregator.FunctionalBoxSumIndex`.
+"""
+
+from .errors import (
+    DimensionMismatchError,
+    InvalidBoxError,
+    InvalidQueryError,
+    NotSupportedError,
+    PageNotFoundError,
+    PageOverflowError,
+    ReproError,
+    SlabError,
+    StorageError,
+    TreeInvariantError,
+)
+from .geometry import (
+    Box,
+    Coords,
+    as_coords,
+    dominates,
+    intervals_intersect,
+    sign_parity,
+    strictly_dominates,
+    universe_box,
+)
+from .explain import QueryReport, SubQueryCost, explain_box_sum, explain_functional
+from .naive import NaiveBoxSum, NaiveDominanceSum, NaiveFunctionalBoxSum
+from .polynomial import Polynomial, dense_coefficients, poly_sum
+from .values import SumCount, Value, is_zero_value, value_nbytes, values_equal, zero_like
+
+__all__ = [
+    "ReproError",
+    "DimensionMismatchError",
+    "InvalidBoxError",
+    "InvalidQueryError",
+    "NotSupportedError",
+    "PageNotFoundError",
+    "PageOverflowError",
+    "SlabError",
+    "StorageError",
+    "TreeInvariantError",
+    "Box",
+    "Coords",
+    "as_coords",
+    "dominates",
+    "strictly_dominates",
+    "intervals_intersect",
+    "sign_parity",
+    "universe_box",
+    "Polynomial",
+    "dense_coefficients",
+    "poly_sum",
+    "SumCount",
+    "Value",
+    "value_nbytes",
+    "values_equal",
+    "zero_like",
+    "is_zero_value",
+    "NaiveBoxSum",
+    "NaiveDominanceSum",
+    "NaiveFunctionalBoxSum",
+    "QueryReport",
+    "SubQueryCost",
+    "explain_box_sum",
+    "explain_functional",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DimensionMismatchError(ReproError):
+    """Objects of incompatible dimensionality were combined.
+
+    Raised, for example, when a 3-dimensional query box is issued against a
+    2-dimensional index, or when two polynomials over different variable
+    counts are added.
+    """
+
+
+class InvalidBoxError(ReproError):
+    """A box was constructed whose low corner does not dominate-below its high corner."""
+
+
+class InvalidQueryError(ReproError):
+    """A query was malformed (wrong arity, empty range, bad parameters)."""
+
+
+class StorageError(ReproError):
+    """Base class for failures in the simulated disk substrate."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was accessed that was never allocated (or was freed)."""
+
+
+class PageOverflowError(StorageError):
+    """A page payload exceeded the page's byte capacity.
+
+    The simulated pager enforces byte budgets so that fan-out and index sizes
+    stay faithful to the paper's 8 KB-page cost model.
+    """
+
+
+class SlabError(StorageError):
+    """A slab handle was used after being freed, or a slab invariant broke."""
+
+
+class TreeInvariantError(ReproError):
+    """An internal structural invariant of an index was violated.
+
+    These are raised by the ``check_invariants`` debugging walks, never
+    during normal operation.
+    """
+
+
+class NotSupportedError(ReproError):
+    """The requested operation is not supported by the chosen backend."""

@@ -1,0 +1,159 @@
+"""Query introspection: per-sub-query I/O breakdowns.
+
+A simple box-sum fans out into ``2^d`` dominance-sums (or ``3^d − 1`` under
+the EO82 reduction); a functional box-sum into ``2^d`` OIFBS corner
+evaluations.  :func:`explain_box_sum` / :func:`explain_functional` run one
+query while snapshotting the storage counters around every constituent
+sub-query, so users can see exactly where the page accesses go — the same
+decomposition the paper's cost analyses argue about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..storage.stats import IOCounter
+from .errors import NotSupportedError
+from .geometry import Box
+
+
+@dataclass(frozen=True)
+class SubQueryCost:
+    """One constituent dominance-sum / OIFBS evaluation."""
+
+    label: str
+    point: Tuple[float, ...]
+    parity: int
+    reads: int
+    hits: int
+
+    @property
+    def accesses(self) -> int:
+        """All page touches of this sub-query."""
+        return self.reads + self.hits
+
+
+@dataclass
+class QueryReport:
+    """The result of a query together with its I/O decomposition."""
+
+    result: float
+    reads: int = 0
+    hits: int = 0
+    parts: List[SubQueryCost] = field(default_factory=list)
+
+    @property
+    def accesses(self) -> int:
+        """All page touches across the whole query."""
+        return self.reads + self.hits
+
+    def by_label(self) -> Dict[str, SubQueryCost]:
+        """Index the parts by their sub-query label."""
+        return {part.label: part for part in self.parts}
+
+    def summary(self) -> str:
+        """A human-readable per-part cost table."""
+        lines = [
+            f"result={self.result:g}  reads={self.reads}  hits={self.hits}",
+        ]
+        for part in self.parts:
+            sign = "+" if part.parity > 0 else "-"
+            lines.append(
+                f"  {sign} {part.label:<24} reads={part.reads:<4} hits={part.hits}"
+            )
+        return "\n".join(lines)
+
+
+def _counter_of(index) -> Optional[IOCounter]:
+    storage = getattr(index, "storage", None)
+    return storage.counter if storage is not None else None
+
+
+def explain_box_sum(index, query: Box) -> QueryReport:
+    """Run ``index.box_sum(query)`` with a per-dominance-sum I/O breakdown.
+
+    ``index`` must be a :class:`~repro.core.aggregator.BoxSumIndex` over a
+    dominance backend (object backends have no sub-query structure; their
+    plain counters already tell the story).
+    """
+    reduction = getattr(index, "_reduction", None)
+    indices = getattr(index, "_indices", None)
+    if reduction is None or indices is None:
+        raise NotSupportedError(
+            "explain_box_sum needs a dominance-backed BoxSumIndex"
+        )
+    counter = _counter_of(index)
+    report = QueryReport(result=0.0)
+    total = index._zero
+    before_all = counter.snapshot() if counter else None
+    for key, point, parity in reduction.query_plan(query):
+        before = counter.snapshot() if counter else None
+        partial = indices[key].dominance_sum(point)
+        if parity > 0:
+            total = total + partial
+        else:
+            total = total + (-partial)
+        if counter and before is not None:
+            delta = counter.delta(before)
+            reads, hits = delta.reads, delta.hits
+        else:
+            reads = hits = 0
+        report.parts.append(
+            SubQueryCost(_key_label(key), tuple(point), parity, reads, hits)
+        )
+    # EO82 adds the grand total outside the plan.
+    from .reduction import EO82Reduction
+
+    if isinstance(reduction, EO82Reduction):
+        total = total + index._total
+    report.result = float(total if not hasattr(total, "total") else total.total)
+    if counter and before_all is not None:
+        delta = counter.delta(before_all)
+        report.reads, report.hits = delta.reads, delta.hits
+    return report
+
+
+def explain_functional(index, query: Box) -> QueryReport:
+    """Run a functional box-sum with a per-OIFBS-corner I/O breakdown."""
+    reduction = getattr(index, "_reduction", None)
+    sub_index = getattr(index, "_index", None)
+    if reduction is None or sub_index is None:
+        raise NotSupportedError(
+            "explain_functional needs a dominance-backed FunctionalBoxSumIndex"
+        )
+    counter = _counter_of(index)
+    report = QueryReport(result=0.0)
+    total = 0.0
+    before_all = counter.snapshot() if counter else None
+    for corner, parity in reduction.query_plan(query):
+        before = counter.snapshot() if counter else None
+        value = reduction.oifbs(sub_index, corner)
+        total += parity * value
+        if counter and before is not None:
+            delta = counter.delta(before)
+            reads, hits = delta.reads, delta.hits
+        else:
+            reads = hits = 0
+        report.parts.append(
+            SubQueryCost(f"OIFBS@{_fmt_point(corner)}", corner, parity, reads, hits)
+        )
+    report.result = total
+    if counter and before_all is not None:
+        delta = counter.delta(before_all)
+        report.reads, report.hits = delta.reads, delta.hits
+    return report
+
+
+def _key_label(key) -> str:
+    if isinstance(key, tuple) and key and isinstance(key[0], tuple):
+        dims_subset, sides = key
+        side_names = ",".join(
+            f"{d}{'lo' if s == 0 else 'hi'}" for d, s in zip(dims_subset, sides)
+        )
+        return f"EO82[{side_names}]"
+    return "corner" + "".join(str(s) for s in key)
+
+
+def _fmt_point(point) -> str:
+    return "(" + ",".join(f"{c:g}" for c in point) + ")"

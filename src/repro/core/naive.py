@@ -1,0 +1,139 @@
+"""Brute-force reference implementations (correctness oracles).
+
+Every index in this package is tested against these scan-based baselines.
+They are also the "straightforward approach" the paper's introduction
+dismisses for performance — useful to quantify exactly why specialized
+aggregate indices matter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .errors import DimensionMismatchError
+from .geometry import Box, Coords, as_coords, strictly_dominates
+from .polynomial import Polynomial
+from .values import Value, zero_like
+
+
+class NaiveDominanceSum:
+    """A flat list of weighted points answering dominance-sums by full scan."""
+
+    def __init__(self, dims: int, zero: Value = 0.0) -> None:
+        self.dims = dims
+        self.zero = zero
+        self._points: List[Tuple[Coords, Value]] = []
+
+    def insert(self, point: Sequence[float], value: Value) -> None:
+        """Add a weighted point."""
+        coords = as_coords(point)
+        if len(coords) != self.dims:
+            raise DimensionMismatchError(
+                f"point arity {len(coords)} != index dims {self.dims}"
+            )
+        self._points.append((coords, value))
+
+    def bulk_load(self, items: Iterable[Tuple[Sequence[float], Value]]) -> None:
+        """Add many weighted points at once."""
+        for point, value in items:
+            self.insert(point, value)
+
+    def dominance_sum(self, query: Sequence[float]) -> Value:
+        """Sum of values of stored points strictly dominated by ``query``."""
+        q = as_coords(query)
+        total = self.zero
+        for point, value in self._points:
+            if strictly_dominates(q, point):
+                total = total + value
+        return total
+
+    def total(self) -> Value:
+        """Sum of every stored value."""
+        result = self.zero
+        for _point, value in self._points:
+            result = result + value
+        return result
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class NaiveBoxSum:
+    """A flat list of weighted boxes answering simple box-sums by full scan."""
+
+    def __init__(self, dims: int, zero: Value = 0.0) -> None:
+        self.dims = dims
+        self.zero = zero
+        self._objects: List[Tuple[Box, Value]] = []
+
+    def insert(self, box: Box, value: Value) -> None:
+        """Add a weighted box object."""
+        if box.dims != self.dims:
+            raise DimensionMismatchError(f"box dims {box.dims} != index dims {self.dims}")
+        self._objects.append((box, value))
+
+    def box_sum(self, query: Box) -> Value:
+        """Sum of values of objects intersecting ``query`` (paper semantics)."""
+        total = self.zero
+        for box, value in self._objects:
+            if box.intersects(query):
+                total = total + value
+        return total
+
+    def box_count(self, query: Box) -> int:
+        """Number of objects intersecting ``query``."""
+        return sum(1 for box, _value in self._objects if box.intersects(query))
+
+    def total(self) -> Value:
+        """Sum of every stored value."""
+        result = self.zero
+        for _box, value in self._objects:
+            result = result + value
+        return result
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class NaiveFunctionalBoxSum:
+    """Scan-based functional box-sum: integrate each value function over the overlap."""
+
+    def __init__(self, dims: int) -> None:
+        self.dims = dims
+        self._objects: List[Tuple[Box, Polynomial]] = []
+
+    def insert(self, box: Box, function: Polynomial | float) -> None:
+        """Add an object whose value function is a polynomial (or constant)."""
+        if box.dims != self.dims:
+            raise DimensionMismatchError(f"box dims {box.dims} != index dims {self.dims}")
+        if isinstance(function, (int, float)):
+            function = Polynomial.constant(self.dims, float(function))
+        if function.dims != self.dims:
+            raise DimensionMismatchError(
+                f"function arity {function.dims} != index dims {self.dims}"
+            )
+        self._objects.append((box, function))
+
+    def functional_box_sum(self, query: Box) -> float:
+        """Total of ``∫ f over (object ∩ query)`` across all overlapping objects."""
+        total = 0.0
+        for box, function in self._objects:
+            overlap = box.intersection(query)
+            if overlap is None:
+                continue
+            total += function.integrate_over_box(overlap.low, overlap.high)
+        return total
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+def brute_force_box_sum(
+    objects: Iterable[Tuple[Box, Value]], query: Box, zero: Value = 0.0
+) -> Value:
+    """One-shot scan box-sum used directly by tests."""
+    total = zero
+    for box, value in objects:
+        if box.intersects(query):
+            total = total + value
+    return total

@@ -1,0 +1,290 @@
+"""Sparse multivariate polynomials stored as coefficient tuples.
+
+The functional box-sum machinery (paper Section 3) represents every object's
+value function — and every derived OIFBS corner function — as "a tuple
+storing its coefficients".  This module provides that representation: a
+sparse map from exponent vectors to coefficients, with exactly the three
+capabilities the paper requires of value functions:
+
+1. aggregation with ``+`` and ``-`` (tuples are added coefficient-wise),
+2. constant-space representation (``O(k^d)`` coefficients for degree ``k``),
+3. cheap evaluation at a point.
+
+On top of those we implement the symbolic integration needed to build the
+corner tuples: the antiderivative along one variable and definite integrals
+with constant or variable upper bounds (``G(t) = ∫_l^t f`` in the paper's
+notation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from .errors import DimensionMismatchError
+
+#: Exponent vector of a monomial, one non-negative integer per variable.
+Exponents = Tuple[int, ...]
+
+#: Tolerance below which coefficients are dropped as numerically zero.
+EPSILON = 1e-12
+
+
+class Polynomial:
+    """A sparse polynomial in ``dims`` variables with float coefficients.
+
+    Instances are immutable; all operators return new polynomials.  Terms
+    with coefficients of magnitude below :data:`EPSILON` are pruned so that
+    round-trips through the inclusion–exclusion identities do not accumulate
+    ghost terms.
+    """
+
+    __slots__ = ("_dims", "_terms")
+
+    def __init__(self, dims: int, terms: Mapping[Exponents, float] | None = None) -> None:
+        if dims < 0:
+            raise ValueError(f"dims must be non-negative, got {dims}")
+        self._dims = dims
+        clean: Dict[Exponents, float] = {}
+        if terms:
+            for exps, coeff in terms.items():
+                if len(exps) != dims:
+                    raise DimensionMismatchError(
+                        f"exponent vector {exps} has arity {len(exps)}, expected {dims}"
+                    )
+                if any(e < 0 for e in exps):
+                    raise ValueError(f"negative exponent in {exps}")
+                if abs(coeff) > EPSILON:
+                    clean[tuple(int(e) for e in exps)] = float(coeff)
+        self._terms = clean
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def constant(cls, dims: int, value: float) -> "Polynomial":
+        """The constant polynomial ``value`` over ``dims`` variables."""
+        if abs(value) <= EPSILON:
+            return cls(dims)
+        return cls(dims, {(0,) * dims: value})
+
+    @classmethod
+    def variable(cls, dims: int, index: int) -> "Polynomial":
+        """The polynomial ``x_index`` over ``dims`` variables."""
+        if not 0 <= index < dims:
+            raise IndexError(f"variable index {index} out of range for dims={dims}")
+        exps = [0] * dims
+        exps[index] = 1
+        return cls(dims, {tuple(exps): 1.0})
+
+    @classmethod
+    def monomial(cls, dims: int, exponents: Sequence[int], coeff: float = 1.0) -> "Polynomial":
+        """A single term ``coeff * prod(x_i ** exponents[i])``."""
+        return cls(dims, {tuple(int(e) for e in exponents): coeff})
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Number of variables."""
+        return self._dims
+
+    @property
+    def terms(self) -> Mapping[Exponents, float]:
+        """Read-only view of the exponent → coefficient map."""
+        return dict(self._terms)
+
+    @property
+    def n_terms(self) -> int:
+        """Number of stored (non-zero) coefficients."""
+        return len(self._terms)
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff no non-zero coefficients remain."""
+        return not self._terms
+
+    def degree(self) -> int:
+        """Total degree (max over terms of the exponent sum); -1 for the zero polynomial."""
+        if not self._terms:
+            return -1
+        return max(sum(exps) for exps in self._terms)
+
+    def coefficient(self, exponents: Sequence[int]) -> float:
+        """Coefficient of the given monomial (0.0 when absent)."""
+        return self._terms.get(tuple(int(e) for e in exponents), 0.0)
+
+    def nbytes(self) -> int:
+        """Byte footprint under the paper's cost model.
+
+        Each stored coefficient occupies 8 bytes; the exponent vector of a
+        term packs into one byte per variable (degrees are tiny constants).
+        A fixed 8-byte header records arity and term count.
+        """
+        return 8 + self.n_terms * (8 + self._dims)
+
+    # -- algebra ------------------------------------------------------------
+
+    def _check_compatible(self, other: "Polynomial") -> None:
+        if self._dims != other._dims:
+            raise DimensionMismatchError(
+                f"polynomial arity mismatch: {self._dims} vs {other._dims}"
+            )
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_compatible(other)
+        terms = dict(self._terms)
+        for exps, coeff in other._terms.items():
+            terms[exps] = terms.get(exps, 0.0) + coeff
+        return Polynomial(self._dims, terms)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self + (-other)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self._dims, {exps: -c for exps, c in self._terms.items()})
+
+    def scale(self, factor: float) -> "Polynomial":
+        """Multiply every coefficient by ``factor``."""
+        return Polynomial(self._dims, {exps: c * factor for exps, c in self._terms.items()})
+
+    def __mul__(self, other: "Polynomial | float | int") -> "Polynomial":
+        if isinstance(other, (int, float)):
+            return self.scale(float(other))
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_compatible(other)
+        terms: Dict[Exponents, float] = {}
+        for e1, c1 in self._terms.items():
+            for e2, c2 in other._terms.items():
+                key = tuple(a + b for a, b in zip(e1, e2))
+                terms[key] = terms.get(key, 0.0) + c1 * c2
+        return Polynomial(self._dims, terms)
+
+    __rmul__ = __mul__
+
+    # -- evaluation and substitution ------------------------------------------
+
+    def evaluate(self, point: Sequence[float]) -> float:
+        """Value of the polynomial at ``point``."""
+        if len(point) != self._dims:
+            raise DimensionMismatchError(
+                f"point arity {len(point)} != polynomial arity {self._dims}"
+            )
+        total = 0.0
+        for exps, coeff in self._terms.items():
+            term = coeff
+            for p, e in zip(point, exps):
+                if e:
+                    term *= p ** e
+            total += term
+        return total
+
+    def substitute(self, index: int, value: float) -> "Polynomial":
+        """Fix variable ``index`` to the constant ``value``.
+
+        The result is still a polynomial over the same arity (the variable
+        simply no longer appears), which keeps corner-tuple bookkeeping
+        uniform across substitution patterns.
+        """
+        if not 0 <= index < self._dims:
+            raise IndexError(f"variable index {index} out of range for dims={self._dims}")
+        terms: Dict[Exponents, float] = {}
+        for exps, coeff in self._terms.items():
+            e = exps[index]
+            new_coeff = coeff * (value ** e if e else 1.0)
+            key = exps[:index] + (0,) + exps[index + 1:]
+            terms[key] = terms.get(key, 0.0) + new_coeff
+        return Polynomial(self._dims, terms)
+
+    # -- integration -----------------------------------------------------------
+
+    def antiderivative(self, index: int) -> "Polynomial":
+        """Indefinite integral along variable ``index`` (constant of integration 0)."""
+        if not 0 <= index < self._dims:
+            raise IndexError(f"variable index {index} out of range for dims={self._dims}")
+        terms: Dict[Exponents, float] = {}
+        for exps, coeff in self._terms.items():
+            e = exps[index]
+            key = exps[:index] + (e + 1,) + exps[index + 1:]
+            terms[key] = terms.get(key, 0.0) + coeff / (e + 1)
+        return Polynomial(self._dims, terms)
+
+    def integral_from(self, index: int, lower: float) -> "Polynomial":
+        """``∫_lower^{x_index} self dx_index`` — definite integral with variable upper bound.
+
+        This is the per-dimension step of building ``G(t) = ∫_l^t f`` for the
+        OIFBS corner tuples.
+        """
+        anti = self.antiderivative(index)
+        return anti - anti.substitute(index, lower)
+
+    def integral_between(self, index: int, lower: float, upper: float) -> "Polynomial":
+        """``∫_lower^upper self dx_index`` with constant bounds; drops the variable."""
+        anti = self.antiderivative(index)
+        return anti.substitute(index, upper) - anti.substitute(index, lower)
+
+    def integrate_over_box(self, low: Sequence[float], high: Sequence[float]) -> float:
+        """Definite integral of the polynomial over the axis-parallel box [low, high]."""
+        if len(low) != self._dims or len(high) != self._dims:
+            raise DimensionMismatchError("box arity does not match polynomial arity")
+        result = self
+        for i in range(self._dims):
+            result = result.integral_between(i, low[i], high[i])
+        return result.coefficient((0,) * self._dims)
+
+    # -- comparisons ------------------------------------------------------------
+
+    def almost_equal(self, other: "Polynomial", tol: float = 1e-9) -> bool:
+        """Coefficient-wise comparison with tolerance ``tol``."""
+        self._check_compatible(other)
+        keys = set(self._terms) | set(other._terms)
+        return all(
+            abs(self._terms.get(k, 0.0) - other._terms.get(k, 0.0)) <= tol for k in keys
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._dims == other._dims and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash((self._dims, frozenset(self._terms.items())))
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return f"Polynomial({self._dims}, 0)"
+        parts = []
+        for exps in sorted(self._terms, key=lambda e: (-sum(e), e)):
+            coeff = self._terms[exps]
+            factors = [f"{coeff:g}"]
+            for i, e in enumerate(exps):
+                if e == 1:
+                    factors.append(f"x{i}")
+                elif e > 1:
+                    factors.append(f"x{i}^{e}")
+            parts.append("*".join(factors))
+        return f"Polynomial({self._dims}, {' + '.join(parts)})"
+
+
+def dense_coefficients(poly: Polynomial, max_degree: int) -> Tuple[float, ...]:
+    """Flatten a polynomial into the dense tuple layout of the paper's examples.
+
+    Coefficients are listed over all exponent vectors with per-variable degree
+    at most ``max_degree``, ordered lexicographically with the highest
+    exponents first.  The paper's example tuple ``⟨4, −40, −8, 80⟩`` for
+    ``4xy − 40x − 8y + 80`` corresponds to ``max_degree=1`` in two variables.
+    """
+    axes = [range(max_degree, -1, -1)] * poly.dims
+    return tuple(poly.coefficient(exps) for exps in itertools.product(*axes))
+
+
+def poly_sum(polys: Iterable[Polynomial], dims: int) -> Polynomial:
+    """Sum an iterable of polynomials, returning the zero polynomial when empty."""
+    total = Polynomial(dims)
+    for p in polys:
+        total = total + p
+    return total

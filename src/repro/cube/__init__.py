@@ -1,0 +1,6 @@
+"""Data-cube range-sum: the prefix-sum array baseline and the BA-tree adapter."""
+
+from .prefix_sum import PrefixSumCube
+from .dynamic import DynamicCube
+
+__all__ = ["PrefixSumCube", "DynamicCube"]

@@ -1,0 +1,7 @@
+"""ECDF-tree family: Bentley's static structure and the paper's ECDF-B-trees."""
+
+from .ecdf_tree import StaticEcdfTree
+from .dynamized import LogarithmicEcdfTree
+from .ecdf_b import EcdfBTree
+
+__all__ = ["StaticEcdfTree", "LogarithmicEcdfTree", "EcdfBTree"]

@@ -1,0 +1,170 @@
+"""Bentley's ECDF-tree: the static, main-memory dominance-sum structure.
+
+Section 4 of the paper: "The ECDF-tree is a multi-level data structure,
+where each level corresponds to a different dimension.  At the first level
+(also called main branch), the d-dimensional ECDF-tree is a full binary
+search tree whose leaves store the data points, ordered by their position
+in the first dimension.  Each internal node of this binary search tree
+stores a border for all the points in the left sub-tree.  The border is
+itself a (d-1)-dimensional ECDF-tree [over the second dimension and so on]."
+
+The query recursion is as described there: if the query coordinate falls in
+the left subtree the search continues left; otherwise one query runs on the
+*border* (which settles every left-subtree point in one lower-dimensional
+dominance-sum) and one on the right subtree.
+
+This implementation is the in-memory correctness oracle for the disk-based
+structures and the building block of the Bentley–Saxe dynamization in
+:mod:`repro.ecdf.dynamized`.  The deepest dimension is a sorted array with
+prefix sums; small subtrees collapse into scanned arrays.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import DimensionMismatchError, NotSupportedError
+from ..core.geometry import Coords, as_coords
+from ..core.values import Value
+
+#: Subtrees at or below this many points are stored as scanned arrays.
+_SCAN_THRESHOLD = 8
+
+_Point = Tuple[Coords, Value]
+
+
+class _PrefixArray:
+    """Deepest-dimension base case: sorted keys with running prefix sums."""
+
+    __slots__ = ("keys", "prefix", "zero")
+
+    def __init__(self, points: List[_Point], depth: int, zero: Value) -> None:
+        pairs = sorted((pt[depth], value) for pt, value in points)
+        self.keys = [k for k, _v in pairs]
+        self.zero = zero
+        self.prefix = []
+        running = zero
+        for _k, v in pairs:
+            running = running + v
+            self.prefix.append(running)
+
+    def query(self, point: Coords, depth: int) -> Value:
+        cut = bisect_left(self.keys, point[depth])
+        if cut == 0:
+            return self.zero
+        return self.prefix[cut - 1]
+
+
+class _ScanNode:
+    """Small-subtree base case: an unsorted bucket checked exhaustively."""
+
+    __slots__ = ("points", "zero")
+
+    def __init__(self, points: List[_Point], zero: Value) -> None:
+        self.points = points
+        self.zero = zero
+
+    def query(self, point: Coords, depth: int) -> Value:
+        total = self.zero
+        for coords, value in self.points:
+            if all(coords[i] < point[i] for i in range(depth, len(point))):
+                total = total + value
+        return total
+
+
+class _BranchNode:
+    """Internal node of the main branch at one dimension level."""
+
+    __slots__ = ("split", "left", "right", "border")
+
+    def __init__(self, split: float, left: object, right: object, border: object) -> None:
+        self.split = split
+        self.left = left
+        self.right = right
+        #: dominance structure over the left subtree's points at depth + 1,
+        #: or their plain total when this is the deepest dimension... never:
+        #: branch nodes are only built above the deepest dimension.
+        self.border = border
+
+    def query(self, point: Coords, depth: int) -> Value:
+        if point[depth] <= self.split:
+            return self.left.query(point, depth)
+        partial = self.border.query(point, depth + 1)
+        return partial + self.right.query(point, depth)
+
+
+def _build(points: List[_Point], depth: int, dims: int, zero: Value) -> object:
+    if depth == dims - 1:
+        return _PrefixArray(points, depth, zero)
+    if len(points) <= _SCAN_THRESHOLD:
+        return _ScanNode(points, zero)
+    ordered = sorted(points, key=lambda item: item[0][depth])
+    mid = len(ordered) // 2
+    split = ordered[mid][0][depth]
+    left_points = ordered[:mid]
+    right_points = ordered[mid:]
+    left = _build(left_points, depth, dims, zero)
+    right = _build(right_points, depth, dims, zero)
+    border = _build(left_points, depth + 1, dims, zero)
+    return _BranchNode(split, left, right, border)
+
+
+class StaticEcdfTree:
+    """The classic static ECDF-tree; built once with :meth:`bulk_load`.
+
+    ``insert`` raises :class:`~repro.core.errors.NotSupportedError` — the
+    whole point of the paper's Section 4 is that this structure is static;
+    use :class:`~repro.ecdf.dynamized.LogarithmicEcdfTree` or the
+    ECDF-B-trees for dynamic workloads.
+    """
+
+    def __init__(self, dims: int, zero: Value = 0.0) -> None:
+        if dims < 1:
+            raise DimensionMismatchError(f"dims must be >= 1, got {dims}")
+        self.dims = dims
+        self.zero = zero
+        self._root: Optional[object] = None
+        self._total: Value = zero
+        self.num_points = 0
+
+    def bulk_load(self, items: Iterable[Tuple[Sequence[float], Value]]) -> None:
+        """(Re)build the tree from ``(point, value)`` pairs."""
+        points: List[_Point] = []
+        total = self.zero
+        for point, value in items:
+            coords = as_coords(point)
+            if len(coords) != self.dims:
+                raise DimensionMismatchError(
+                    f"point arity {len(coords)} != tree dims {self.dims}"
+                )
+            points.append((coords, value))
+            total = total + value
+        self.num_points = len(points)
+        self._total = total
+        self._root = _build(points, 0, self.dims, self.zero) if points else None
+
+    def insert(self, point: Sequence[float], value: Value) -> None:
+        """Unsupported: the ECDF-tree is static (see class docstring)."""
+        raise NotSupportedError(
+            "the static ECDF-tree cannot be updated in place; use "
+            "LogarithmicEcdfTree or an ECDF-B-tree"
+        )
+
+    def dominance_sum(self, point: Sequence[float]) -> Value:
+        """Sum of values of stored points strictly dominated by ``point``."""
+        coords = as_coords(point)
+        if len(coords) != self.dims:
+            raise DimensionMismatchError(
+                f"point arity {len(coords)} != tree dims {self.dims}"
+            )
+        if self._root is None:
+            return self.zero
+        return self._root.query(coords, 0)
+
+    def total(self) -> Value:
+        """Sum of every stored value."""
+        return self._total
+
+    def __len__(self) -> int:
+        return self.num_points

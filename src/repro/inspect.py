@@ -1,0 +1,198 @@
+"""Structure dumps: human-readable renderings of every index's page tree.
+
+Debugging aids: each function walks a structure (without touching the I/O
+counters — inspection is free) and renders its pages, records, borders and
+aggregates as an indented outline.  :func:`dump` dispatches on the
+structure type.
+
+::
+
+    >>> print(dump(tree))
+    AggBPlusTree(entries=5, height=2)
+      internal#3 children=2 total=5
+        leaf#0 [1:1, 2:1, 3:1] total=3
+        leaf#2 [4:1, 5:1] total=2
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .batree import BATree
+from .bptree import AggBPlusTree
+from .core.errors import NotSupportedError
+from .ecdf.ecdf_b import EcdfBTree
+from .kdb.kdbtree import KdbTree
+from .rtree.rstar import RStarTree
+
+_INDENT = "  "
+
+
+def dump(structure: object, max_depth: int = 12) -> str:
+    """Render any shipped index structure as an indented outline."""
+    if isinstance(structure, AggBPlusTree):
+        return dump_bptree(structure, max_depth)
+    if isinstance(structure, BATree):
+        return dump_batree(structure, max_depth)
+    if isinstance(structure, EcdfBTree):
+        return dump_ecdf_b(structure, max_depth)
+    if isinstance(structure, KdbTree):
+        return dump_kdb(structure, max_depth)
+    if isinstance(structure, RStarTree):
+        return dump_rtree(structure, max_depth)
+    raise NotSupportedError(f"cannot dump {type(structure).__name__}")
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return type(value).__name__
+
+
+def _fmt_box(box) -> str:
+    low = ",".join(f"{c:g}" for c in box.low)
+    high = ",".join(f"{c:g}" for c in box.high)
+    return f"[{low}]..[{high}]"
+
+
+# -- aggregated B+-tree -------------------------------------------------------
+
+def dump_bptree(tree: AggBPlusTree, max_depth: int = 12) -> str:
+    lines = [f"AggBPlusTree(entries={len(tree)}, height={tree.height})"]
+    _dump_bptree_node(tree, tree.root_pid, 1, max_depth, lines)
+    return "\n".join(lines)
+
+
+def _dump_bptree_node(tree, pid, depth, max_depth, lines: List[str]) -> None:
+    node = tree.storage.pager.get(pid)
+    pad = _INDENT * depth
+    if node.is_leaf:
+        entries = ", ".join(
+            f"{k:g}:{_fmt_value(v)}" for k, v in zip(node.keys, node.values)
+        )
+        lines.append(f"{pad}leaf#{pid} [{entries}] total={_fmt_value(node.total)}")
+        return
+    lines.append(
+        f"{pad}internal#{pid} children={len(node.children)} "
+        f"seps={[round(s, 3) for s in node.seps]} total={_fmt_value(node.total)}"
+    )
+    if depth >= max_depth:
+        lines.append(f"{pad}{_INDENT}...")
+        return
+    for child in node.children:
+        _dump_bptree_node(tree, child, depth + 1, max_depth, lines)
+
+
+# -- BA-tree ---------------------------------------------------------------------
+
+def dump_batree(tree: BATree, max_depth: int = 12) -> str:
+    if tree._delegate is not None:
+        return "BATree(1-d delegate)\n" + dump_bptree(tree._delegate, max_depth)
+    lines = [f"BATree(dims={tree.dims}, entries={len(tree)})"]
+    _dump_ba_page(tree, tree._root.child, 1, max_depth, lines)
+    return "\n".join(lines)
+
+
+def _fmt_border(border) -> str:
+    mode = "tree" if border.is_spilled else "array"
+    return f"{len(border)}({mode})"
+
+
+def _dump_ba_page(tree, pid, depth, max_depth, lines: List[str]) -> None:
+    page = tree.storage.pager.get(pid)
+    pad = _INDENT * depth
+    if page.is_leaf:
+        lines.append(f"{pad}leaf#{pid} points={len(page.entries)}")
+        return
+    lines.append(f"{pad}index#{pid} records={len(page.records)}")
+    if depth >= max_depth:
+        lines.append(f"{pad}{_INDENT}...")
+        return
+    for record in page.records:
+        borders = " ".join(
+            f"b{j}={_fmt_border(b)}" for j, b in enumerate(record.borders)
+        )
+        lines.append(
+            f"{pad}{_INDENT}record {_fmt_box(record.box)} "
+            f"subtotal={_fmt_value(record.subtotal)} {borders}"
+        )
+        _dump_ba_page(tree, record.child, depth + 2, max_depth, lines)
+
+
+# -- ECDF-B-tree --------------------------------------------------------------------
+
+def dump_ecdf_b(tree: EcdfBTree, max_depth: int = 12) -> str:
+    if tree._delegate is not None:
+        return "EcdfBTree(1-d delegate)\n" + dump_bptree(tree._delegate, max_depth)
+    lines = [
+        f"EcdfB{tree.variant}Tree(dims={tree.dims}, entries={len(tree)}, "
+        f"height={tree.height})"
+    ]
+    _dump_ecdf_node(tree, tree.root_pid, 1, max_depth, lines)
+    return "\n".join(lines)
+
+
+def _dump_ecdf_node(tree, pid, depth, max_depth, lines: List[str]) -> None:
+    node = tree.storage.pager.get(pid)
+    pad = _INDENT * depth
+    if node.is_leaf:
+        lines.append(f"{pad}leaf#{pid} points={len(node.entries)}")
+        return
+    borders = " ".join(f"t{i}={_fmt_border(b)}" for i, b in enumerate(node.borders))
+    lines.append(
+        f"{pad}node#{pid} children={len(node.children)} "
+        f"seps={[round(s, 3) for s in node.seps]} {borders}"
+    )
+    if depth >= max_depth:
+        lines.append(f"{pad}{_INDENT}...")
+        return
+    for child in node.children:
+        _dump_ecdf_node(tree, child, depth + 1, max_depth, lines)
+
+
+# -- k-d-B-tree ------------------------------------------------------------------------
+
+def dump_kdb(tree: KdbTree, max_depth: int = 12) -> str:
+    lines = [f"KdbTree(dims={tree.dims}, points={len(tree)})"]
+    _dump_kdb_page(tree, tree.root_pid, 1, max_depth, lines)
+    return "\n".join(lines)
+
+
+def _dump_kdb_page(tree, pid, depth, max_depth, lines: List[str]) -> None:
+    page = tree.storage.pager.get(pid)
+    pad = _INDENT * depth
+    if page.is_leaf:
+        lines.append(f"{pad}leaf#{pid} points={len(page.entries)}")
+        return
+    lines.append(f"{pad}index#{pid} records={len(page.records)}")
+    if depth >= max_depth:
+        lines.append(f"{pad}{_INDENT}...")
+        return
+    for record in page.records:
+        lines.append(f"{pad}{_INDENT}record {_fmt_box(record.box)}")
+        _dump_kdb_page(tree, record.child, depth + 2, max_depth, lines)
+
+
+# -- R-tree family ------------------------------------------------------------------------
+
+def dump_rtree(tree: RStarTree, max_depth: int = 12) -> str:
+    name = type(tree).__name__
+    lines = [f"{name}(dims={tree.dims}, objects={len(tree)}, height={tree.height})"]
+    _dump_rtree_node(tree, tree.root_pid, 1, max_depth, lines)
+    return "\n".join(lines)
+
+
+def _dump_rtree_node(tree, pid, depth, max_depth, lines: List[str]) -> None:
+    node = tree.storage.pager.get(pid)
+    pad = _INDENT * depth
+    if node.is_leaf:
+        lines.append(f"{pad}leaf#{pid} objects={len(node.entries)}")
+        return
+    lines.append(f"{pad}node#{pid} level={node.level} entries={len(node.entries)}")
+    if depth >= max_depth:
+        lines.append(f"{pad}{_INDENT}...")
+        return
+    for entry in node.entries:
+        agg = f" agg={_fmt_value(entry.agg)}" if tree.aggregated else ""
+        lines.append(f"{pad}{_INDENT}entry {_fmt_box(entry.box)}{agg}")
+        _dump_rtree_node(tree, entry.child, depth + 2, max_depth, lines)

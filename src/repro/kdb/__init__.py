@@ -1,0 +1,6 @@
+"""k-d-B-tree (Robinson 1981): the page-partitioning skeleton of the BA-tree."""
+
+from .kdbtree import KdbTree
+from .split import choose_index_split_plane, choose_leaf_split_plane
+
+__all__ = ["KdbTree", "choose_leaf_split_plane", "choose_index_split_plane"]

@@ -1,0 +1,271 @@
+"""The k-d-B-tree (Robinson, SIGMOD 1981): a disk-based point partition.
+
+"As in the k-d-B-tree, each index record is associated with a box and a
+child pointer.  The boxes of records in a node do not intersect and their
+union creates the box of the node." (paper Section 5).  This module
+implements the plain point-storing k-d-B-tree — the substrate the BA-tree
+augments — including the structure's signature *forced splits*: when an
+index page is cut by a plane, children straddling the plane are split
+recursively all the way down.
+
+Supported queries are range reporting and range counting over half-open
+boxes; the BA-tree in :mod:`repro.batree` reuses the split-plane policies
+from :mod:`repro.kdb.split` and adds the aggregation machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import DimensionMismatchError, TreeInvariantError
+from ..core.geometry import Box, Coords, as_coords
+from ..storage import StorageContext
+from .split import choose_index_split_plane, choose_leaf_split_plane
+
+_Entry = Tuple[Coords, Any]
+
+
+class _LeafPage:
+    __slots__ = ("pid", "entries")
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.entries: List[_Entry] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+class _Record:
+    """An index record: a box and the child page covering exactly that box."""
+
+    __slots__ = ("box", "child")
+
+    def __init__(self, box: Box, child: int) -> None:
+        self.box = box
+        self.child = child
+
+
+class _IndexPage:
+    __slots__ = ("pid", "records")
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.records: List[_Record] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+class KdbTree:
+    """Point-storing k-d-B-tree over a shared storage context."""
+
+    def __init__(
+        self,
+        storage: StorageContext,
+        dims: int,
+        leaf_capacity: Optional[int] = None,
+        index_capacity: Optional[int] = None,
+    ) -> None:
+        if dims < 1:
+            raise DimensionMismatchError(f"dims must be >= 1, got {dims}")
+        self.storage = storage
+        self.dims = dims
+        self.leaf_capacity = leaf_capacity or storage.layout.point_leaf_capacity(dims)
+        self.index_capacity = index_capacity or storage.layout.kdb_index_capacity(dims)
+        if self.leaf_capacity < 2:
+            raise ValueError(f"leaf_capacity must be >= 2, got {self.leaf_capacity}")
+        if self.index_capacity < 2:
+            raise ValueError(f"index_capacity must be >= 2, got {self.index_capacity}")
+        self.universe = Box((float("-inf"),) * dims, (float("inf"),) * dims)
+        root = _LeafPage(storage.pager.allocate())
+        storage.pager.put(root.pid, root)
+        self.root_pid = root.pid
+        self.num_points = 0
+
+    # -- page helpers -------------------------------------------------------------
+
+    def _fetch(self, pid: int, write: bool = False):
+        self.storage.buffer.access(pid, write=write)
+        return self.storage.pager.get(pid)
+
+    def _new_leaf(self) -> _LeafPage:
+        page = _LeafPage(self.storage.pager.allocate())
+        self.storage.pager.put(page.pid, page)
+        return page
+
+    def _new_index(self) -> _IndexPage:
+        page = _IndexPage(self.storage.pager.allocate())
+        self.storage.pager.put(page.pid, page)
+        return page
+
+    # -- insertion ------------------------------------------------------------------
+
+    def insert(self, point: Sequence[float], payload: Any = None) -> None:
+        """Insert a point with an arbitrary payload."""
+        coords = as_coords(point)
+        if len(coords) != self.dims:
+            raise DimensionMismatchError(
+                f"point arity {len(coords)} != tree dims {self.dims}"
+            )
+        self.num_points += 1
+        split = self._insert_into(self.root_pid, self.universe, coords, payload, 0)
+        if split is not None:
+            left, right = split
+            new_root = self._new_index()
+            new_root.records = [left, right]
+            self.storage.buffer.access(new_root.pid, write=True)
+            self.root_pid = new_root.pid
+
+    def _insert_into(
+        self, pid: int, box: Box, coords: Coords, payload: Any, depth: int
+    ) -> Optional[Tuple[_Record, _Record]]:
+        """Insert into the subtree rooted at ``pid`` (which covers ``box``).
+
+        Returns two replacement records when the page had to split.
+        """
+        page = self._fetch(pid, write=True)
+        if page.is_leaf:
+            page.entries.append((coords, payload))
+            if len(page.entries) <= self.leaf_capacity:
+                return None
+            return self._split_page(pid, box, depth, forced_plane=None)
+        target = None
+        for record in page.records:
+            if record.box.contains_point(coords):
+                target = record
+                break
+        if target is None:  # pragma: no cover - boxes partition the space
+            raise TreeInvariantError(f"index page {pid} has no record for {coords}")
+        split = self._insert_into(target.child, target.box, coords, payload, depth + 1)
+        if split is None:
+            return None
+        idx = page.records.index(target)
+        page.records[idx : idx + 1] = list(split)
+        if len(page.records) <= self.index_capacity:
+            return None
+        return self._split_page(pid, box, depth, forced_plane=None)
+
+    # -- splitting ----------------------------------------------------------------------
+
+    def _split_page(
+        self,
+        pid: int,
+        box: Box,
+        depth: int,
+        forced_plane: Optional[Tuple[int, float]],
+    ) -> Optional[Tuple[_Record, _Record]]:
+        """Split page ``pid`` (covering ``box``) into two sibling records.
+
+        ``forced_plane`` is set when the split is *forced* by a parent split
+        plane cutting through this page; otherwise the plane is chosen
+        locally.  Returns None only for an unsplittable leaf (all points
+        identical), which is tolerated as an oversized page.
+        """
+        page = self._fetch(pid, write=True)
+        if page.is_leaf:
+            plane = forced_plane or choose_leaf_split_plane(
+                [coords for coords, _payload in page.entries], self.dims, depth, box
+            )
+            if plane is None:
+                return None
+            dim, value = plane
+            lower_box, upper_box = box.split_at(dim, value)
+            upper = self._new_leaf()
+            upper.entries = [e for e in page.entries if e[0][dim] >= value]
+            page.entries = [e for e in page.entries if e[0][dim] < value]
+            self.storage.buffer.access(upper.pid, write=True)
+            return _Record(lower_box, pid), _Record(upper_box, upper.pid)
+        plane = forced_plane or choose_index_split_plane(
+            [r.box for r in page.records], self.dims, depth, box
+        )
+        dim, value = plane
+        lower_box, upper_box = box.split_at(dim, value)
+        lower_records: List[_Record] = []
+        upper_records: List[_Record] = []
+        for record in page.records:
+            if record.box.high[dim] <= value:
+                lower_records.append(record)
+            elif record.box.low[dim] >= value:
+                upper_records.append(record)
+            else:
+                forced = self._split_page(
+                    record.child, record.box, depth + 1, forced_plane=(dim, value)
+                )
+                if forced is None:  # pragma: no cover - leaves of identical points
+                    raise TreeInvariantError(
+                        "forced split failed on a degenerate leaf"
+                    )
+                left, right = forced
+                lower_records.append(left)
+                upper_records.append(right)
+        upper_page = self._new_index()
+        upper_page.records = upper_records
+        page.records = lower_records
+        self.storage.buffer.access(upper_page.pid, write=True)
+        return _Record(lower_box, pid), _Record(upper_box, upper_page.pid)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def range_report(self, query: Box) -> Iterator[_Entry]:
+        """Yield every ``(point, payload)`` whose point lies in the half-open query box."""
+        if query.dims != self.dims:
+            raise DimensionMismatchError(
+                f"query dims {query.dims} != tree dims {self.dims}"
+            )
+        yield from self._report(self.root_pid, query)
+
+    def _report(self, pid: int, query: Box) -> Iterator[_Entry]:
+        page = self._fetch(pid)
+        if page.is_leaf:
+            for coords, payload in page.entries:
+                if query.contains_point(coords):
+                    yield coords, payload
+            return
+        for record in page.records:
+            if record.box.intersects(query):
+                yield from self._report(record.child, query)
+
+    def range_count(self, query: Box) -> int:
+        """Number of stored points inside the half-open query box."""
+        return sum(1 for _ in self.range_report(query))
+
+    def __len__(self) -> int:
+        return self.num_points
+
+    # -- invariants ----------------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify disjointness, coverage and point placement; raises on violation."""
+        count = self._check_page(self.root_pid, self.universe)
+        if count != self.num_points:
+            raise TreeInvariantError(
+                f"point count mismatch: {count} != {self.num_points}"
+            )
+
+    def _check_page(self, pid: int, box: Box) -> int:
+        page = self.storage.pager.get(pid)
+        if page.is_leaf:
+            for coords, _payload in page.entries:
+                if not box.contains_point(coords):
+                    raise TreeInvariantError(f"leaf {pid} point {coords} outside {box}")
+            return len(page.entries)
+        if not page.records:
+            raise TreeInvariantError(f"index page {pid} is empty")
+        for i, a in enumerate(page.records):
+            if not box.contains_box(a.box):
+                raise TreeInvariantError(f"record box {a.box} escapes page box {box}")
+            for b in page.records[i + 1 :]:
+                inter = a.box.intersection(b.box)
+                if inter is not None and inter.volume() > 0:
+                    raise TreeInvariantError(
+                        f"records overlap in page {pid}: {a.box} and {b.box}"
+                    )
+        volume = sum(r.box.volume() for r in page.records)
+        if all(
+            abs(c) != float("inf") for c in (*box.low, *box.high)
+        ) and volume < box.volume() - 1e-9:
+            raise TreeInvariantError(f"records do not cover page box {box}")
+        return sum(self._check_page(r.child, r.box) for r in page.records)

@@ -1,0 +1,76 @@
+"""Split-plane selection shared by the k-d-B-tree and the BA-tree.
+
+The BA-tree "partitions the index page by alternating directions" (paper
+Section 5) — that alternation is what makes any axis-parallel line cut only
+about sqrt(B) of a node's records, the property behind its update
+advantage over the ECDF-Bq-tree.  Leaf splits therefore prefer the
+dimension given by the node's depth, falling back to other dimensions when
+the preferred one is degenerate (all points share that coordinate).
+
+Index-page splits must pick a plane inside the page's box; planes aligned
+with existing record boundaries minimize forced downward splits, so the
+candidates are the records' low edges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.geometry import Box, Coords
+
+
+def choose_leaf_split_plane(
+    points: Sequence[Coords], dims: int, depth: int, box: Box
+) -> Optional[Tuple[int, float]]:
+    """Pick ``(dim, value)`` splitting a leaf's points into two non-empty halves.
+
+    Tries the alternating dimension ``depth % dims`` first, then the rest.
+    The value is the median coordinate, adjusted off runs of equal values so
+    both sides are non-empty and stays strictly inside ``box``.  Returns
+    None when every dimension is degenerate (all points identical in every
+    coordinate — the leaf is unsplittable).
+    """
+    order = [(depth + i) % dims for i in range(dims)]
+    for dim in order:
+        values = sorted(p[dim] for p in points)
+        value = _median_off_run(values)
+        if value is not None and box.low[dim] < value < box.high[dim]:
+            return dim, value
+    return None
+
+
+def _median_off_run(values: List[float]) -> Optional[float]:
+    """The value closest to the median that has at least one value below it."""
+    n = len(values)
+    mid = n // 2
+    candidate = values[mid]
+    if candidate > values[0]:
+        return candidate
+    # The median sits in a run touching the minimum; use the first larger value.
+    for v in values[mid:]:
+        if v > candidate:
+            return v
+    return None
+
+
+def choose_index_split_plane(
+    boxes: Sequence[Box], dims: int, depth: int, box: Box
+) -> Tuple[int, float]:
+    """Pick ``(dim, value)`` splitting an index page's records.
+
+    Candidates are the records' low edges strictly inside the page box
+    (planes through record boundaries never force-split the records whose
+    edge they follow).  The alternating dimension is preferred; the value
+    closest to the median boundary wins.  At least one dimension always has
+    a candidate for two or more disjoint records.
+    """
+    order = [(depth + i) % dims for i in range(dims)]
+    for dim in order:
+        candidates = sorted(
+            {b.low[dim] for b in boxes if box.low[dim] < b.low[dim] < box.high[dim]}
+        )
+        if candidates:
+            return dim, candidates[len(candidates) // 2]
+    raise AssertionError(
+        "no split plane exists; records cannot be disjoint"
+    )  # pragma: no cover

@@ -1,0 +1,6 @@
+"""R-tree family: R*-tree, aggregate R-tree (aR-tree) and its functional variant."""
+
+from .rstar import RStarTree
+from .artree import ARTree, FunctionalARTree
+
+__all__ = ["RStarTree", "ARTree", "FunctionalARTree"]

@@ -1,0 +1,592 @@
+"""The R*-tree (Beckmann, Kriegel, Schneider, Seeger; SIGMOD 1990).
+
+The paper's comparison baseline indexes the objects themselves: "A
+straightforward approach to solve the box-sum queries is to index the data
+objects with a multi-dimensional access method like the R*-tree and reduce
+the problem to a range search."  This module implements the full R*-tree —
+ChooseSubtree with minimum overlap enlargement at the leaf level,
+margin-driven split-axis selection, overlap-minimal split distribution,
+and forced reinsertion — plus STR (sort-tile-recursive) bulk loading.
+
+Subtree aggregates (the aR-tree augmentation of [21, 25]) are maintained
+when ``aggregated=True``; :mod:`repro.rtree.artree` builds the aggregate
+query algorithms on top.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import DimensionMismatchError, TreeInvariantError
+from ..core.geometry import Box
+from ..core.values import Value, values_equal
+from ..storage import StorageContext
+
+#: Fraction of entries removed by forced reinsertion (the paper's p = 30%).
+REINSERT_FRACTION = 0.3
+#: Minimum node fill used by the split distributions (40% of capacity).
+MIN_FILL_FRACTION = 0.4
+
+
+class Entry:
+    """One slot of an R-tree node.
+
+    Leaf entries (``child is None``) carry the object's box and payload
+    ``value``; internal entries carry the child page id and the child's
+    MBR.  ``agg`` is the subtree aggregate (the payload's aggregate for
+    leaf entries) and is maintained only by aggregated trees.
+    """
+
+    __slots__ = ("box", "child", "value", "agg")
+
+    def __init__(self, box: Box, child: Optional[int], value: Any, agg: Value) -> None:
+        self.box = box
+        self.child = child
+        self.value = value
+        self.agg = agg
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+
+class _Node:
+    __slots__ = ("pid", "level", "entries")
+
+    def __init__(self, pid: int, level: int) -> None:
+        self.pid = pid
+        self.level = level  # 0 = leaf
+        self.entries: List[Entry] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+
+class RStarTree:
+    """A complete R*-tree over weighted boxes.
+
+    ``aggregated=False`` gives the plain comparison baseline; subclasses
+    switch on aggregation (see :class:`repro.rtree.artree.ARTree`).
+    """
+
+    aggregated = False
+
+    def __init__(
+        self,
+        storage: StorageContext,
+        dims: int,
+        leaf_capacity: Optional[int] = None,
+        internal_capacity: Optional[int] = None,
+        zero: Value = 0.0,
+    ) -> None:
+        if dims < 1:
+            raise DimensionMismatchError(f"dims must be >= 1, got {dims}")
+        self.storage = storage
+        self.dims = dims
+        self.zero = zero
+        layout = storage.layout
+        self.leaf_capacity = leaf_capacity or self._default_leaf_capacity(layout)
+        self.internal_capacity = internal_capacity or layout.rtree_internal_capacity(
+            dims, self.aggregated
+        )
+        if min(self.leaf_capacity, self.internal_capacity) < 4:
+            raise ValueError("R*-tree node capacities must be >= 4")
+        root = self._new_node(level=0)
+        self.root_pid = root.pid
+        self.height = 1
+        self.num_objects = 0
+        self._total: Value = zero
+
+    def _default_leaf_capacity(self, layout) -> int:
+        return layout.rtree_leaf_capacity(self.dims)
+
+    # -- aggregation hooks (overridden by functional trees) -------------------------
+
+    def _agg_of(self, box: Box, value: Any) -> Value:
+        """The aggregate contribution of one stored object."""
+        return value
+
+    # -- page plumbing ----------------------------------------------------------------
+
+    def _new_node(self, level: int) -> _Node:
+        node = _Node(self.storage.pager.allocate(), level)
+        self.storage.pager.put(node.pid, node)
+        return node
+
+    def _fetch(self, pid: int, write: bool = False) -> _Node:
+        self._access(pid, write=write)
+        return self.storage.pager.get(pid)
+
+    def _access(self, pid: int, write: bool = False) -> None:
+        """Page-touch hook; the aR-tree reroutes reads through its path buffer."""
+        self.storage.buffer.access(pid, write=write)
+
+    def _capacity(self, node: _Node) -> int:
+        return self.leaf_capacity if node.is_leaf else self.internal_capacity
+
+    # -- insertion ---------------------------------------------------------------------
+
+    def insert(self, box: Box, value: Any) -> None:
+        """Insert one weighted box object (with R* forced reinsertion)."""
+        self._check(box)
+        agg = self._agg_of(box, value)
+        self.num_objects += 1
+        self._total = self._total + agg
+        entry = Entry(box, None, value, agg)
+        self._insert_entry(entry, target_level=0, reinserted_levels=set())
+
+    def delete(self, box: Box, value: Any) -> None:
+        """Logical deletion: insert the negated weight (aggregate semantics).
+
+        The paper's aggregate indices never materialize objects, so removal
+        is the insertion of the inverse value; queries over any region see
+        the pair cancel exactly.  Object-level physical removal (with
+        Guttman's CondenseTree) is :meth:`remove`.
+        """
+        self._check(box)
+        neg = -self._agg_of(box, value)
+        self.num_objects -= 1
+        self._total = self._total + neg
+        entry = Entry(box, None, self._negate_value(value), neg)
+        self._insert_entry(entry, target_level=0, reinserted_levels=set())
+
+    # -- physical deletion (FindLeaf / CondenseTree) -------------------------------
+
+    def remove(self, box: Box, value: Any) -> bool:
+        """Physically remove one stored object matching ``(box, value)``.
+
+        Returns False when no such object exists.  Underfull nodes on the
+        deletion path are dissolved and their surviving entries reinserted
+        at their original level (Guttman's CondenseTree, as R*-trees use);
+        MBRs and aggregates along the path are tightened.
+        """
+        self._check(box)
+        orphans: List[Tuple[Entry, int]] = []
+        removed = self._remove_from(self.root_pid, box, value, orphans)
+        if removed is None:
+            return False
+        self.num_objects -= 1
+        self._total = self._total + (-self._agg_of(box, value))
+        # Decompose orphaned subtrees into leaf entries (a correctness-first
+        # CondenseTree variant: Guttman reinserts whole subtrees at their
+        # original level; leaf-level reinsertion is always valid regardless
+        # of how far the root collapses below).
+        leaf_orphans: List[Entry] = []
+        for entry, _level in orphans:
+            if entry.is_leaf_entry:
+                leaf_orphans.append(entry)
+            else:
+                self._gather_leaf_entries(entry.child, leaf_orphans)
+        root = self.storage.pager.get(self.root_pid)
+        if not root.is_leaf and not root.entries:
+            # Everything under the root was dissolved: restart from a leaf.
+            self.storage.buffer.invalidate(self.root_pid)
+            self.storage.pager.free(self.root_pid)
+            fresh = self._new_node(level=0)
+            self.root_pid = fresh.pid
+            self.height = 1
+        # Shrink a root chain left with single internal children.
+        root = self.storage.pager.get(self.root_pid)
+        while not root.is_leaf and len(root.entries) == 1:
+            child_pid = root.entries[0].child
+            self.storage.buffer.invalidate(self.root_pid)
+            self.storage.pager.free(self.root_pid)
+            self.root_pid = child_pid
+            self.height -= 1
+            root = self.storage.pager.get(self.root_pid)
+        for entry in leaf_orphans:
+            self._insert_entry(entry, 0, reinserted_levels=set())
+        return True
+
+    def _gather_leaf_entries(self, pid: int, out: List[Entry]) -> None:
+        """Collect every leaf entry under ``pid`` and free the subtree's pages."""
+        node = self._fetch(pid)
+        if node.is_leaf:
+            out.extend(node.entries)
+        else:
+            for entry in node.entries:
+                self._gather_leaf_entries(entry.child, out)
+        self.storage.buffer.invalidate(pid)
+        self.storage.pager.free(pid)
+
+    def _remove_from(
+        self, pid: int, box: Box, value: Any, orphans: List[Tuple[Entry, int]]
+    ):
+        """FindLeaf + removal; returns the aggregate drained from this subtree.
+
+        The returned value covers both the deleted entry and any entries
+        orphaned by dissolving underfull nodes — orphans re-add their
+        aggregates along the root path when reinserted, so ancestors must
+        have subtracted them here first.  Returns None when the object was
+        not found under ``pid``.
+        """
+        node = self._fetch(pid, write=True)
+        if node.is_leaf:
+            for i, entry in enumerate(node.entries):
+                if entry.box == box and entry.value == value:
+                    removed_agg = entry.agg
+                    del node.entries[i]
+                    return removed_agg
+            return None
+        for i, slot in enumerate(node.entries):
+            if not slot.box.contains_box(box):
+                continue
+            drained = self._remove_from(slot.child, box, value, orphans)
+            if drained is None:
+                continue
+            child = self.storage.pager.get(slot.child)
+            min_fill = max(1, int(self._capacity(child) * MIN_FILL_FRACTION))
+            if len(child.entries) < min_fill:
+                # Dissolve the underfull child: its surviving entries are
+                # orphaned for reinsertion and their aggregate drains too.
+                for orphan in child.entries:
+                    orphans.append((orphan, child.level))
+                    drained = drained + orphan.agg
+                self.storage.buffer.invalidate(slot.child)
+                self.storage.pager.free(slot.child)
+                del node.entries[i]
+            else:
+                slot.box = Box.enclosing([e.box for e in child.entries])
+                slot.agg = slot.agg + (-drained)
+            return drained
+        return None
+
+    @staticmethod
+    def _negate_value(value: Any) -> Any:
+        return -value
+
+    def _insert_entry(
+        self, entry: Entry, target_level: int, reinserted_levels: Set[int]
+    ) -> None:
+        split = self._insert_at(self.root_pid, entry, target_level, reinserted_levels)
+        if split is not None:
+            left, right = split
+            root = self.storage.pager.get(self.root_pid)
+            new_root = self._new_node(level=root.level + 1)
+            new_root.entries = [left, right]
+            self._access(new_root.pid, write=True)
+            self.root_pid = new_root.pid
+            self.height += 1
+
+    def _insert_at(
+        self,
+        pid: int,
+        entry: Entry,
+        target_level: int,
+        reinserted_levels: Set[int],
+    ) -> Optional[Tuple[Entry, Entry]]:
+        node = self._fetch(pid, write=True)
+        if node.level == target_level:
+            node.entries.append(entry)
+        else:
+            slot = self._choose_subtree(node, entry.box)
+            slot.box = slot.box.union(entry.box)
+            slot.agg = slot.agg + entry.agg
+            split = self._insert_at(slot.child, entry, target_level, reinserted_levels)
+            if split is not None:
+                idx = node.entries.index(slot)
+                node.entries[idx : idx + 1] = list(split)
+        if len(node.entries) <= self._capacity(node):
+            return None
+        return self._overflow(node, reinserted_levels)
+
+    def _choose_subtree(self, node: _Node, box: Box) -> Entry:
+        """R* ChooseSubtree: overlap-minimal above leaves, else area-minimal."""
+        if node.level == 1:
+            best = None
+            best_key = None
+            for candidate in node.entries:
+                enlarged = candidate.box.union(box)
+                overlap_delta = 0.0
+                for other in node.entries:
+                    if other is candidate:
+                        continue
+                    overlap_delta += _overlap(enlarged, other.box) - _overlap(
+                        candidate.box, other.box
+                    )
+                area = candidate.box.volume()
+                key = (overlap_delta, enlarged.volume() - area, area)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = candidate
+            assert best is not None
+            return best
+        best = None
+        best_key = None
+        for candidate in node.entries:
+            area = candidate.box.volume()
+            enlargement = candidate.box.union(box).volume() - area
+            key = (enlargement, area)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        assert best is not None
+        return best
+
+    # -- overflow treatment ----------------------------------------------------------------
+
+    def _overflow(
+        self, node: _Node, reinserted_levels: Set[int]
+    ) -> Optional[Tuple[Entry, Entry]]:
+        is_root = node.pid == self.root_pid
+        if not is_root and node.level not in reinserted_levels:
+            reinserted_levels.add(node.level)
+            self._reinsert(node, reinserted_levels)
+            return None
+        return self._split(node)
+
+    def _reinsert(self, node: _Node, reinserted_levels: Set[int]) -> None:
+        """Forced reinsertion: evict the 30% of entries farthest from the center."""
+        mbr = Box.enclosing([e.box for e in node.entries])
+        center = mbr.center()
+        node.entries.sort(
+            key=lambda e: -_center_distance_sq(e.box.center(), center)
+        )
+        count = max(1, int(len(node.entries) * REINSERT_FRACTION))
+        evicted = node.entries[:count]
+        node.entries = node.entries[count:]
+        # The ancestors' boxes/aggregates already include the evicted
+        # entries; subtract them before reinserting from the top.
+        for entry in evicted:
+            self._shrink_path(self.root_pid, node.pid, entry)
+        for entry in evicted:
+            self._insert_entry(entry, node.level, reinserted_levels)
+
+    def _shrink_path(self, pid: int, target_pid: int, entry: Entry) -> bool:
+        """Walk to ``target_pid`` removing ``entry``'s aggregate; recompute MBRs."""
+        if pid == target_pid:
+            return True
+        node = self.storage.pager.get(pid)
+        if node.is_leaf:
+            return False
+        for slot in node.entries:
+            if self._shrink_path(slot.child, target_pid, entry):
+                child = self.storage.pager.get(slot.child)
+                if child.entries:
+                    slot.box = Box.enclosing([e.box for e in child.entries])
+                slot.agg = slot.agg + (-entry.agg)
+                self._access(pid, write=True)
+                return True
+        return False
+
+    def _split(self, node: _Node) -> Tuple[Entry, Entry]:
+        """R* topological split: margin-driven axis, overlap-minimal distribution."""
+        entries = node.entries
+        min_fill = max(2, int(self._capacity(node) * MIN_FILL_FRACTION))
+        best_axis, best_distribution = None, None
+        best_margin = None
+        for axis in range(self.dims):
+            for key in (
+                lambda e, a=axis: (e.box.low[a], e.box.high[a]),
+                lambda e, a=axis: (e.box.high[a], e.box.low[a]),
+            ):
+                ordered = sorted(entries, key=key)
+                margin = 0.0
+                distributions = []
+                for m in range(min_fill, len(ordered) - min_fill + 1):
+                    left, right = ordered[:m], ordered[m:]
+                    left_box = Box.enclosing([e.box for e in left])
+                    right_box = Box.enclosing([e.box for e in right])
+                    margin += left_box.margin() + right_box.margin()
+                    distributions.append((left, right, left_box, right_box))
+                if best_margin is None or margin < best_margin:
+                    best_margin = margin
+                    best_axis = axis
+                    best_distribution = distributions
+        assert best_distribution is not None and best_axis is not None
+        best = min(
+            best_distribution,
+            key=lambda d: (_overlap(d[2], d[3]), d[2].volume() + d[3].volume()),
+        )
+        left_entries, right_entries, left_box, right_box = best
+        node.entries = left_entries
+        sibling = self._new_node(node.level)
+        sibling.entries = right_entries
+        self._access(sibling.pid, write=True)
+        return (
+            Entry(left_box, node.pid, None, self._sum_aggs(left_entries)),
+            Entry(right_box, sibling.pid, None, self._sum_aggs(right_entries)),
+        )
+
+    def _sum_aggs(self, entries: Iterable[Entry]) -> Value:
+        total = self.zero
+        for e in entries:
+            total = total + e.agg
+        return total
+
+    # -- bulk loading (STR) ---------------------------------------------------------------------
+
+    def bulk_load(self, objects: Iterable[Tuple[Box, Any]], fill_factor: float = 0.9) -> None:
+        """Sort-tile-recursive packing; replaces any existing content."""
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        objects = list(objects)
+        self._free_subtree(self.root_pid)
+        self.num_objects = len(objects)
+        self._total = self.zero
+        entries: List[Entry] = []
+        for box, value in objects:
+            self._check(box)
+            agg = self._agg_of(box, value)
+            self._total = self._total + agg
+            entries.append(Entry(box, None, value, agg))
+        level = 0
+        while True:
+            capacity = self.leaf_capacity if level == 0 else self.internal_capacity
+            per_node = max(2, int(capacity * fill_factor))
+            if len(entries) <= per_node:
+                root = self._new_node(level)
+                root.entries = entries
+                self._access(root.pid, write=True)
+                self.root_pid = root.pid
+                self.height = level + 1
+                return
+            next_entries: List[Entry] = []
+            for chunk in _str_tiles(entries, per_node, self.dims):
+                node = self._new_node(level)
+                node.entries = chunk
+                self._access(node.pid, write=True)
+                next_entries.append(
+                    Entry(
+                        Box.enclosing([e.box for e in chunk]),
+                        node.pid,
+                        None,
+                        self._sum_aggs(chunk),
+                    )
+                )
+            entries = next_entries
+            level += 1
+
+    # -- queries -------------------------------------------------------------------------------------
+
+    def box_sum(self, query: Box) -> Value:
+        """Plain range-search box-sum: visit every subtree intersecting the query."""
+        self._check(query)
+        return self._scan_sum(self.root_pid, query)
+
+    def _scan_sum(self, pid: int, query: Box) -> Value:
+        node = self._fetch(pid)
+        total = self.zero
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.box.intersects(query):
+                    total = total + entry.agg
+            return total
+        for entry in node.entries:
+            if entry.box.intersects(query):
+                total = total + self._scan_sum(entry.child, query)
+        return total
+
+    def range_report(self, query: Box) -> Iterator[Tuple[Box, Any]]:
+        """Yield every stored ``(box, value)`` intersecting the query box."""
+        self._check(query)
+        yield from self._report(self.root_pid, query)
+
+    def _report(self, pid: int, query: Box) -> Iterator[Tuple[Box, Any]]:
+        node = self._fetch(pid)
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.box.intersects(query):
+                    yield entry.box, entry.value
+            return
+        for entry in node.entries:
+            if entry.box.intersects(query):
+                yield from self._report(entry.child, query)
+
+    def total(self) -> Value:
+        """Aggregate over every stored object."""
+        return self._total
+
+    def __len__(self) -> int:
+        return self.num_objects
+
+    # -- maintenance -----------------------------------------------------------------------------------
+
+    def destroy(self) -> None:
+        """Free every page and reset to an empty tree."""
+        self._free_subtree(self.root_pid)
+        root = self._new_node(level=0)
+        self.root_pid = root.pid
+        self.height = 1
+        self.num_objects = 0
+        self._total = self.zero
+
+    def _free_subtree(self, pid: int) -> None:
+        node = self.storage.pager.get(pid)
+        if not node.is_leaf:
+            for entry in node.entries:
+                self._free_subtree(entry.child)
+        self.storage.buffer.invalidate(pid)
+        self.storage.pager.free(pid)
+
+    # -- invariants ----------------------------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify MBR containment, aggregate consistency and balance."""
+        count, total, _height = self._check_node(self.root_pid, None)
+        if count != self.num_objects:
+            raise TreeInvariantError(f"object count mismatch: {count} != {self.num_objects}")
+        if not values_equal(total, self._total, tol=1e-6):
+            raise TreeInvariantError("tree total mismatch")
+
+    def _check_node(self, pid: int, bound: Optional[Box]) -> Tuple[int, Value, int]:
+        node = self.storage.pager.get(pid)
+        if bound is not None:
+            for entry in node.entries:
+                if not bound.contains_box(entry.box):
+                    raise TreeInvariantError(
+                        f"entry box {entry.box} escapes parent MBR {bound}"
+                    )
+        if node.is_leaf:
+            return len(node.entries), self._sum_aggs(node.entries), 1
+        count, total = 0, self.zero
+        height = None
+        for entry in node.entries:
+            c, t, h = self._check_node(entry.child, entry.box)
+            if not values_equal(t, entry.agg, tol=1e-6):
+                raise TreeInvariantError(f"aggregate mismatch under page {pid}")
+            count += c
+            total = total + t
+            if height is None:
+                height = h
+            elif height != h:
+                raise TreeInvariantError(f"unbalanced children under page {pid}")
+        assert height is not None
+        return count, total, height + 1
+
+    def _check(self, box: Box) -> None:
+        if box.dims != self.dims:
+            raise DimensionMismatchError(f"box dims {box.dims} != tree dims {self.dims}")
+
+
+def _overlap(a: Box, b: Box) -> float:
+    """Intersection volume of two boxes (0 when disjoint)."""
+    inter = a.intersection(b)
+    return inter.volume() if inter is not None else 0.0
+
+
+def _center_distance_sq(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def _str_tiles(entries: List[Entry], per_node: int, dims: int) -> Iterator[List[Entry]]:
+    """Sort-tile-recursive grouping of entries into node-sized chunks."""
+    yield from _str_rec(entries, per_node, dims, 0)
+
+
+def _str_rec(
+    entries: List[Entry], per_node: int, dims: int, dim: int
+) -> Iterator[List[Entry]]:
+    if dim == dims - 1 or len(entries) <= per_node:
+        ordered = sorted(entries, key=lambda e: e.box.center()[dim])
+        for start in range(0, len(ordered), per_node):
+            yield ordered[start : start + per_node]
+        return
+    n_nodes = math.ceil(len(entries) / per_node)
+    n_slabs = math.ceil(n_nodes ** (1.0 / (dims - dim)))
+    slab_size = math.ceil(len(entries) / n_slabs)
+    ordered = sorted(entries, key=lambda e: e.box.center()[dim])
+    for start in range(0, len(ordered), slab_size):
+        yield from _str_rec(ordered[start : start + slab_size], per_node, dims, dim + 1)

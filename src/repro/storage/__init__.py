@@ -1,0 +1,92 @@
+"""Disk substrate: simulated pager, LRU buffering, slab packing, I/O stats.
+
+:class:`StorageContext` bundles one simulated disk with one buffer pool and
+one slab allocator.  Index structures that should share a buffer — the
+paper runs the four dominance-sum trees of a simple box-sum index against a
+single 10 MB buffer — are simply constructed over the same context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import StorageError
+from .buffer import BufferPool, PathBuffer
+from .layout import Layout, polynomial_value_bytes
+from .pager import NO_PAGE, Pager
+from .slab import SlabAllocator, SlabHandle
+from .stats import CostModel, IOCounter, Stopwatch
+
+__all__ = [
+    "BufferPool",
+    "PathBuffer",
+    "Layout",
+    "polynomial_value_bytes",
+    "Pager",
+    "NO_PAGE",
+    "SlabAllocator",
+    "SlabHandle",
+    "CostModel",
+    "IOCounter",
+    "Stopwatch",
+    "StorageContext",
+]
+
+
+class StorageContext:
+    """One simulated disk + buffer pool + slab allocator + I/O counter.
+
+    Parameters mirror the paper's setup: ``page_size`` defaults to 8 KB and
+    ``buffer_pages`` to 1280 (10 MB / 8 KB).  Pass ``buffer_pages=None``
+    for an unbounded buffer (useful in unit tests where eviction noise is
+    unwanted).
+    """
+
+    def __init__(
+        self,
+        page_size: int = 8192,
+        buffer_pages: Optional[int] = 1280,
+        value_bytes: int = 8,
+        pager: object = None,
+    ) -> None:
+        self.counter = IOCounter()
+        self.pager = pager if pager is not None else Pager(page_size=page_size)
+        if self.pager.page_size != page_size:
+            raise StorageError(
+                f"pager page size {self.pager.page_size} != context page size {page_size}"
+            )
+        self.buffer = BufferPool(capacity_pages=buffer_pages, counter=self.counter)
+        self.slab = SlabAllocator(self.pager, self.buffer)
+        self.layout = Layout(page_size=page_size, value_bytes=value_bytes)
+
+    @property
+    def page_size(self) -> int:
+        """Byte size of one logical page."""
+        return self.pager.page_size
+
+    @property
+    def num_pages(self) -> int:
+        """Live pages on the simulated disk."""
+        return self.pager.num_pages
+
+    @property
+    def size_bytes(self) -> int:
+        """Index footprint in bytes (live pages × page size)."""
+        return self.pager.size_bytes
+
+    @property
+    def size_mb(self) -> float:
+        """Index footprint in MB — the unit of Figure 9a."""
+        return self.size_bytes / (1024.0 * 1024.0)
+
+    def reset_stats(self) -> None:
+        """Zero the I/O counters (between build and query phases)."""
+        self.counter.reset()
+
+    def cold_cache(self) -> None:
+        """Empty the buffer pool so the next accesses are all misses."""
+        self.buffer.clear()
+
+    def with_layout(self, value_bytes: int) -> Layout:
+        """A layout over this context's page size for a wider value type."""
+        return self.layout.with_value_bytes(value_bytes)

@@ -1,0 +1,119 @@
+"""LRU buffer pool and the aR-tree path buffer.
+
+The paper: "For all indices, we used LRU buffering.  For the aR-tree,
+besides using a LRU buffer, we also used a path buffer which buffers the
+most recently accessed path of nodes.  We used 8KB page size and 10MB
+memory buffer."
+
+A page *access* that misses the pool costs one read I/O; evicting a dirty
+page costs one write I/O.  Structures call :meth:`BufferPool.access` on
+every page they touch, so the counters reflect exactly the page traffic a
+real disk-resident implementation would generate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+from ..core.errors import StorageError
+from .stats import IOCounter
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of page ids with dirty tracking.
+
+    ``capacity_pages=None`` models an unbounded buffer: the first touch of a
+    page is still a read miss (it has to come from disk once), but nothing
+    is ever evicted.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: Optional[int] = 1280,
+        counter: Optional[IOCounter] = None,
+    ) -> None:
+        if capacity_pages is not None and capacity_pages <= 0:
+            raise StorageError(f"capacity_pages must be positive, got {capacity_pages}")
+        self.capacity_pages = capacity_pages
+        self.counter = counter if counter is not None else IOCounter()
+        #: pid -> dirty flag, in LRU order (oldest first).
+        self._resident: "OrderedDict[int, bool]" = OrderedDict()
+
+    # -- core protocol -------------------------------------------------------
+
+    def access(self, pid: int, write: bool = False) -> None:
+        """Touch page ``pid``; account a read I/O on miss, mark dirty on write."""
+        if pid in self._resident:
+            self.counter.hits += 1
+            self._resident.move_to_end(pid)
+            if write:
+                self._resident[pid] = True
+            return
+        self.counter.reads += 1
+        self._resident[pid] = write
+        if self.capacity_pages is not None and len(self._resident) > self.capacity_pages:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        _pid, dirty = self._resident.popitem(last=False)
+        if dirty:
+            self.counter.writes += 1
+
+    # -- management -----------------------------------------------------------
+
+    def invalidate(self, pid: int) -> None:
+        """Drop a page from the pool without a write-back (the page was freed)."""
+        self._resident.pop(pid, None)
+
+    def flush(self) -> int:
+        """Write back every dirty page; returns the number of write I/Os issued."""
+        written = 0
+        for pid, dirty in self._resident.items():
+            if dirty:
+                self._resident[pid] = False
+                written += 1
+        self.counter.writes += written
+        return written
+
+    def clear(self) -> None:
+        """Empty the pool without counting write-backs (cold-cache reset)."""
+        self._resident.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently buffered."""
+        return len(self._resident)
+
+    def is_resident(self, pid: int) -> bool:
+        """True when ``pid`` would hit (does not update LRU order)."""
+        return pid in self._resident
+
+
+class PathBuffer:
+    """The aR-tree's extra cache of the most recently accessed root-to-leaf path.
+
+    Pages on the remembered path are served for free; everything else falls
+    through to the LRU pool.  The aR-tree replaces the remembered path after
+    each descent, which is exactly how consecutive queries over nearby boxes
+    avoid re-reading the upper levels.
+    """
+
+    def __init__(self, pool: BufferPool) -> None:
+        self._pool = pool
+        self._path: tuple[int, ...] = ()
+
+    def access(self, pid: int, write: bool = False) -> None:
+        """Touch a page, serving it for free when it is on the remembered path."""
+        if not write and pid in self._path:
+            self._pool.counter.hits += 1
+            return
+        self._pool.access(pid, write=write)
+
+    def remember(self, path: Sequence[int]) -> None:
+        """Record the most recently traversed root-to-leaf path."""
+        self._path = tuple(path)
+
+    def forget(self) -> None:
+        """Drop the remembered path (e.g. after an update restructures the tree)."""
+        self._path = ()

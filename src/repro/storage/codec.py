@@ -1,0 +1,196 @@
+"""Byte-level page codecs: struct-packed node images for the durable pager.
+
+The in-memory simulated disk stores node *objects* and accounts sizes via
+:mod:`repro.storage.layout`; this module provides the real thing for the
+structures that need durability — fixed-size binary page images that
+:class:`repro.storage.filepager.FilePager` writes to actual disk slots.
+
+The layout of an aggregated-B+-tree page::
+
+    leaf:      'L' | u32 next_pid | u32 count | count * (f64 key | value) | value total
+    internal:  'I' | u32 count    | (count-1) * f64 sep | count * u32 child
+               | count * value agg | value total
+
+Values are encoded by a pluggable :class:`ValueCodec`: 8-byte scalars,
+16-byte (sum, count) pairs, or length-prefixed polynomial coefficient
+tuples — matching exactly the byte budgets the layout calculator charges.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from ..bptree.node import InternalNode, LeafNode
+from ..core.errors import PageOverflowError, StorageError
+from ..core.polynomial import Polynomial
+from ..core.values import SumCount
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_NO_PAGE_WIRE = 0xFFFFFFFF  # NO_PAGE (-1) on the wire
+
+
+class ValueCodec:
+    """Encode/decode one aggregate value; subclasses fix the value type."""
+
+    def encode(self, value: Any) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        """Return ``(value, new_offset)``."""
+        raise NotImplementedError
+
+
+class ScalarValueCodec(ValueCodec):
+    """Plain 8-byte float values (SUM / COUNT aggregation)."""
+
+    def encode(self, value: Any) -> bytes:
+        return _F64.pack(float(value))
+
+    def decode(self, data: bytes, offset: int) -> Tuple[float, int]:
+        return _F64.unpack_from(data, offset)[0], offset + 8
+
+
+class SumCountValueCodec(ValueCodec):
+    """16-byte (sum, count) pairs for AVG-capable indices."""
+
+    def encode(self, value: Any) -> bytes:
+        if not isinstance(value, SumCount):
+            raise StorageError(f"expected SumCount, got {type(value).__name__}")
+        return _F64.pack(value.total) + _F64.pack(value.count)
+
+    def decode(self, data: bytes, offset: int) -> Tuple[SumCount, int]:
+        total = _F64.unpack_from(data, offset)[0]
+        count = _F64.unpack_from(data, offset + 8)[0]
+        return SumCount(total, count), offset + 16
+
+
+class PolynomialValueCodec(ValueCodec):
+    """Length-prefixed coefficient tuples: u16 terms, then per term
+    ``dims`` exponent bytes and an 8-byte coefficient."""
+
+    def __init__(self, dims: int) -> None:
+        if dims < 1:
+            raise StorageError(f"polynomial arity must be >= 1, got {dims}")
+        self.dims = dims
+
+    def encode(self, value: Any) -> bytes:
+        if not isinstance(value, Polynomial):
+            raise StorageError(f"expected Polynomial, got {type(value).__name__}")
+        if value.dims != self.dims:
+            raise StorageError(
+                f"polynomial arity {value.dims} != codec arity {self.dims}"
+            )
+        terms = value.terms
+        out = [struct.pack("<H", len(terms))]
+        for exps, coeff in sorted(terms.items()):
+            if any(e > 255 for e in exps):
+                raise StorageError(f"exponent too large to encode: {exps}")
+            out.append(bytes(exps))
+            out.append(_F64.pack(coeff))
+        return b"".join(out)
+
+    def decode(self, data: bytes, offset: int) -> Tuple[Polynomial, int]:
+        (n_terms,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        terms = {}
+        for _ in range(n_terms):
+            exps = tuple(data[offset : offset + self.dims])
+            offset += self.dims
+            coeff = _F64.unpack_from(data, offset)[0]
+            offset += 8
+            terms[exps] = coeff
+        return Polynomial(self.dims, terms), offset
+
+
+class BPlusNodeCodec:
+    """Serializes aggregated-B+-tree pages to fixed-size binary images."""
+
+    def __init__(self, value_codec: ValueCodec, zero: Any = 0.0) -> None:
+        self.value_codec = value_codec
+        self.zero = zero
+
+    # -- encoding --------------------------------------------------------------
+
+    def encode(self, node: Any, page_size: int) -> bytes:
+        """Encode a node, zero-padded to ``page_size``; raises when it can't fit."""
+        if isinstance(node, LeafNode):
+            image = self._encode_leaf(node)
+        elif isinstance(node, InternalNode):
+            image = self._encode_internal(node)
+        else:
+            raise StorageError(f"cannot encode page payload {type(node).__name__}")
+        if len(image) > page_size:
+            raise PageOverflowError(
+                f"encoded page needs {len(image)} bytes > page size {page_size}"
+            )
+        return image + b"\x00" * (page_size - len(image))
+
+    def _encode_leaf(self, node: LeafNode) -> bytes:
+        out = [b"L", _U32.pack(_pid_to_wire(node.next_pid)), _U32.pack(len(node.keys))]
+        for key, value in zip(node.keys, node.values):
+            out.append(_F64.pack(key))
+            out.append(self.value_codec.encode(value))
+        out.append(self.value_codec.encode(node.total))
+        return b"".join(out)
+
+    def _encode_internal(self, node: InternalNode) -> bytes:
+        out = [b"I", _U32.pack(len(node.children))]
+        for sep in node.seps:
+            out.append(_F64.pack(sep))
+        for child in node.children:
+            out.append(_U32.pack(_pid_to_wire(child)))
+        for agg in node.aggs:
+            out.append(self.value_codec.encode(agg))
+        out.append(self.value_codec.encode(node.total))
+        return b"".join(out)
+
+    # -- decoding ----------------------------------------------------------------
+
+    def decode(self, data: bytes, pid: int) -> Any:
+        """Rebuild the node object from a page image."""
+        tag = data[0:1]
+        if tag == b"L":
+            return self._decode_leaf(data, pid)
+        if tag == b"I":
+            return self._decode_internal(data, pid)
+        raise StorageError(f"unknown page tag {tag!r} on page {pid}")
+
+    def _decode_leaf(self, data: bytes, pid: int) -> LeafNode:
+        node = LeafNode(pid, self.zero)
+        node.next_pid = _pid_from_wire(_U32.unpack_from(data, 1)[0])
+        count = _U32.unpack_from(data, 5)[0]
+        offset = 9
+        for _ in range(count):
+            key = _F64.unpack_from(data, offset)[0]
+            offset += 8
+            value, offset = self.value_codec.decode(data, offset)
+            node.keys.append(key)
+            node.values.append(value)
+        node.total, _offset = self.value_codec.decode(data, offset)
+        return node
+
+    def _decode_internal(self, data: bytes, pid: int) -> InternalNode:
+        node = InternalNode(pid, self.zero)
+        count = _U32.unpack_from(data, 1)[0]
+        offset = 5
+        for _ in range(count - 1):
+            node.seps.append(_F64.unpack_from(data, offset)[0])
+            offset += 8
+        for _ in range(count):
+            node.children.append(_pid_from_wire(_U32.unpack_from(data, offset)[0]))
+            offset += 4
+        for _ in range(count):
+            agg, offset = self.value_codec.decode(data, offset)
+            node.aggs.append(agg)
+        node.total, _offset = self.value_codec.decode(data, offset)
+        return node
+
+
+def _pid_to_wire(pid: int) -> int:
+    return _NO_PAGE_WIRE if pid < 0 else pid
+
+
+def _pid_from_wire(raw: int) -> int:
+    return -1 if raw == _NO_PAGE_WIRE else raw

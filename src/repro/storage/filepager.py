@@ -1,0 +1,208 @@
+"""A durable pager: fixed-size binary page slots in a real file.
+
+Where :class:`repro.storage.pager.Pager` simulates the disk with in-memory
+objects, :class:`FilePager` writes every page as a struct-encoded image at
+offset ``pid * page_size`` of an ordinary file.  Reads decode the image
+back into the node object — so a tree built over a FilePager can be
+closed, the process restarted, and the tree reopened against the same
+file.
+
+The file begins with one header page holding the magic, the page size,
+the allocation high-water mark, the free list and a small user-metadata
+blob (index roots, entry counts — whatever the owner needs to reopen).
+
+Because the tree code mutates fetched node objects in place, the FilePager
+keeps an identity-preserving object cache: :meth:`get` hands out one live
+object per page, and :meth:`sync`/:meth:`close` re-encode every cached
+object back to its slot (a checkpoint-style write-back).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Any, Dict, List
+
+from ..core.errors import PageNotFoundError, StorageError
+from .codec import BPlusNodeCodec
+
+_MAGIC = b"REPROPG1"
+_HEADER = struct.Struct("<8sII")  # magic, page_size, next_pid
+
+
+class FilePager:
+    """Durable drop-in for :class:`Pager`, backed by ``path``.
+
+    The payload codec converts node objects to/from fixed-size images;
+    :class:`~repro.storage.codec.BPlusNodeCodec` covers the aggregated
+    B+-tree (scalar, sum+count and polynomial values).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        codec: BPlusNodeCodec,
+        page_size: int = 8192,
+        create: bool = True,
+    ) -> None:
+        if page_size <= _HEADER.size:
+            raise StorageError(f"page_size {page_size} too small for the header")
+        self.path = path
+        self.codec = codec
+        exists = os.path.exists(path)
+        if not exists and not create:
+            raise StorageError(f"no page file at {path}")
+        mode = "r+b" if exists else "w+b"
+        self._file = open(path, mode)
+        self._cache: Dict[int, Any] = {}
+        if exists:
+            header = self._file.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise StorageError(f"{path} is not a page file (truncated header)")
+            magic, stored_size, next_pid = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise StorageError(f"{path} is not a page file (bad magic)")
+            if stored_size != page_size:
+                raise StorageError(
+                    f"{path} was created with page size {stored_size}, "
+                    f"opened with {page_size}"
+                )
+            self.page_size = stored_size
+            self._next_pid = next_pid
+            self._free, self.user_meta = self._read_header_lists()
+        else:
+            self.page_size = page_size
+            self._next_pid = 0
+            self._free = []
+            self.user_meta: bytes = b""
+            self._write_header()
+
+    # -- header, free list and metadata -----------------------------------------------
+
+    def _write_header(self) -> None:
+        self._file.seek(0)
+        header = _HEADER.pack(_MAGIC, self.page_size, self._next_pid)
+        free_blob = struct.pack(f"<I{len(self._free)}I", len(self._free), *self._free)
+        meta_blob = struct.pack("<I", len(self.user_meta)) + self.user_meta
+        image = header + free_blob + meta_blob
+        if len(image) > self.page_size:
+            raise StorageError("free list / metadata overflowed the header page")
+        self._file.write(image + b"\x00" * (self.page_size - len(image)))
+
+    def _read_header_lists(self):
+        self._file.seek(_HEADER.size)
+        (count,) = struct.unpack("<I", self._file.read(4))
+        free = (
+            list(struct.unpack(f"<{count}I", self._file.read(4 * count)))
+            if count
+            else []
+        )
+        (meta_len,) = struct.unpack("<I", self._file.read(4))
+        meta = self._file.read(meta_len) if meta_len else b""
+        return free, meta
+
+    def set_meta(self, blob: bytes) -> None:
+        """Persist a small user-metadata blob in the header page."""
+        self.user_meta = bytes(blob)
+        self._write_header()
+
+    def _offset(self, pid: int) -> int:
+        return (pid + 1) * self.page_size  # slot 0 is the header
+
+    # -- pager protocol ---------------------------------------------------------------
+
+    def allocate(self, payload: Any = None) -> int:
+        """Reserve a page slot; the payload (if given) is cached and written."""
+        pid = self._free.pop() if self._free else self._next_pid
+        if pid == self._next_pid:
+            self._next_pid += 1
+        self._write_header()
+        self._file.seek(self._offset(pid))
+        if payload is not None:
+            self._cache[pid] = payload
+            self._file.write(self.codec.encode(payload, self.page_size))
+        else:
+            self._file.write(b"\x00" * self.page_size)
+        return pid
+
+    def put(self, pid: int, payload: Any) -> None:
+        """Cache the payload and write its image through to the file."""
+        self._check_live(pid)
+        self._cache[pid] = payload
+        self._file.seek(self._offset(pid))
+        self._file.write(self.codec.encode(payload, self.page_size))
+
+    def get(self, pid: int) -> Any:
+        """Return the live node object for a page (decoding it on first touch)."""
+        self._check_live(pid)
+        if pid in self._cache:
+            return self._cache[pid]
+        self._file.seek(self._offset(pid))
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            raise PageNotFoundError(f"page {pid} truncated on disk")
+        payload = self.codec.decode(data, pid)
+        self._cache[pid] = payload
+        return payload
+
+    def free(self, pid: int) -> None:
+        """Return a slot to the free list."""
+        self._check_live(pid)
+        self._cache.pop(pid, None)
+        self._free.append(pid)
+        self._write_header()
+
+    def _check_live(self, pid: int) -> None:
+        if pid < 0 or pid >= self._next_pid or pid in self._free:
+            raise PageNotFoundError(f"access to unknown page {pid}")
+
+    def __contains__(self, pid: int) -> bool:
+        return 0 <= pid < self._next_pid and pid not in self._free
+
+    # -- size reporting -------------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Live pages (excluding the header slot)."""
+        return self._next_pid - len(self._free)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of live pages."""
+        return self.num_pages * self.page_size
+
+    @property
+    def allocations_ever(self) -> int:
+        return self._next_pid
+
+    def page_ids(self):
+        return (pid for pid in range(self._next_pid) if pid not in self._free)
+
+    def payload_or_none(self, pid: int):
+        try:
+            return self.get(pid)
+        except PageNotFoundError:
+            return None
+
+    # -- lifecycle -----------------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Checkpoint: re-encode every cached object, flush and fsync."""
+        for pid, payload in self._cache.items():
+            self._file.seek(self._offset(pid))
+            self._file.write(self.codec.encode(payload, self.page_size))
+        self._write_header()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Checkpoint and close the file."""
+        self.sync()
+        self._file.close()
+        self._cache.clear()
+
+    def __enter__(self) -> "FilePager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

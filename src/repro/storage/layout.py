@@ -1,0 +1,134 @@
+"""Record byte layouts and page-capacity arithmetic.
+
+Fan-out (the paper's ``B``) drives every complexity term in Table 1, so the
+capacities here are derived from explicit per-record byte sizes rather than
+picked ad hoc:
+
+==========================  =======================================================
+record                      layout
+==========================  =======================================================
+coordinate                  8 bytes (float64)
+page id                     4 bytes
+border handle               8 bytes (page id + offset of a slab allocation)
+point entry                 ``8 * dims + value`` bytes
+B+-tree internal entry      separator (8) + child pid (4) + child aggregate
+k-d-B / BA index record     box (``16 * dims``) + child pid (4) + subtotal +
+                            ``dims`` border handles
+R-tree leaf entry           box (``16 * dims``) + value (8)
+R-tree internal entry       box (``16 * dims``) + child pid (4)
+aR-tree internal entry      R-tree internal entry + aggregate
+==========================  =======================================================
+
+Polynomial-valued indices pass a larger ``value_bytes`` (the coefficient
+tuple footprint), which shrinks fan-out and grows the index — reproducing
+the degree-0 vs degree-2 gap of Figure 9c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from ..core.errors import StorageError
+
+COORD_BYTES = 8
+PAGE_ID_BYTES = 4
+BORDER_HANDLE_BYTES = 8
+SCALAR_VALUE_BYTES = 8
+
+
+def polynomial_value_bytes(dims: int, degree: int) -> int:
+    """Worst-case coefficient-tuple footprint for total degree ``degree``.
+
+    A polynomial in ``dims`` variables with total degree at most ``degree``
+    has ``C(degree + dims, dims)`` coefficients; each stored term costs
+    8 bytes plus one exponent byte per variable, plus an 8-byte header
+    (matching :meth:`repro.core.polynomial.Polynomial.nbytes`).
+    """
+    n_coeffs = comb(degree + dims, dims)
+    return 8 + n_coeffs * (8 + dims)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Capacity calculator for one page size and one aggregate-value width."""
+
+    page_size: int = 8192
+    value_bytes: int = SCALAR_VALUE_BYTES
+
+    def _capacity(self, record_bytes: int) -> int:
+        cap = self.page_size // record_bytes
+        if cap < 2:
+            raise StorageError(
+                f"page_size {self.page_size} holds fewer than 2 records of "
+                f"{record_bytes} bytes; increase the page size"
+            )
+        return cap
+
+    # -- point storage ---------------------------------------------------------
+
+    def point_entry_bytes(self, dims: int) -> int:
+        """A full point with its aggregate value."""
+        return COORD_BYTES * dims + self.value_bytes
+
+    def point_leaf_capacity(self, dims: int) -> int:
+        """Points per leaf page (ECDF-B main branch, k-d-B/BA leaves)."""
+        return self._capacity(self.point_entry_bytes(dims))
+
+    # -- aggregated B+-tree -------------------------------------------------------
+
+    def bptree_leaf_capacity(self) -> int:
+        """(key, value) entries per 1-d leaf page."""
+        return self._capacity(COORD_BYTES + self.value_bytes)
+
+    def bptree_internal_capacity(self) -> int:
+        """Children per 1-d internal page (separator + pid + per-child aggregate)."""
+        return self._capacity(COORD_BYTES + PAGE_ID_BYTES + self.value_bytes)
+
+    # -- ECDF-B-tree main branch ------------------------------------------------------
+
+    def ecdf_internal_capacity(self) -> int:
+        """Children per ECDF-B internal page.
+
+        Each child carries a separator, a child pid and a border handle (the
+        border's points live in their own pages / slabs).
+        """
+        return self._capacity(COORD_BYTES + PAGE_ID_BYTES + BORDER_HANDLE_BYTES)
+
+    # -- k-d-B-tree / BA-tree -------------------------------------------------------------
+
+    def kdb_index_record_bytes(self, dims: int) -> int:
+        """One BA-tree index record: box + child + subtotal + d border handles."""
+        return (
+            2 * COORD_BYTES * dims
+            + PAGE_ID_BYTES
+            + self.value_bytes
+            + BORDER_HANDLE_BYTES * dims
+        )
+
+    def kdb_index_capacity(self, dims: int) -> int:
+        """Index records per k-d-B/BA index page."""
+        return self._capacity(self.kdb_index_record_bytes(dims))
+
+    # -- R-tree family ------------------------------------------------------------------------
+
+    def rtree_leaf_capacity(self, dims: int) -> int:
+        """Object entries (MBR + value) per R-tree leaf page."""
+        return self._capacity(2 * COORD_BYTES * dims + SCALAR_VALUE_BYTES)
+
+    def rtree_internal_capacity(self, dims: int, aggregated: bool) -> int:
+        """Child entries per R-tree internal page; aR entries also carry an aggregate."""
+        record = 2 * COORD_BYTES * dims + PAGE_ID_BYTES
+        if aggregated:
+            record += self.value_bytes
+        return self._capacity(record)
+
+    # -- slab-resident borders ----------------------------------------------------------------
+
+    def border_entry_bytes(self, key_dims: int) -> int:
+        """One entry of an array border: projected point + value."""
+        return COORD_BYTES * key_dims + self.value_bytes
+
+    def with_value_bytes(self, value_bytes: int) -> "Layout":
+        """A copy of this layout for a different aggregate-value width."""
+        return Layout(page_size=self.page_size, value_bytes=value_bytes)

@@ -1,0 +1,159 @@
+"""Slab allocation: packing many small borders into shared pages.
+
+The ECDF-B section of the paper notes: "a border may contain only a few
+points and thus it is wasteful to keep a separate tree for this border
+(which costs one I/O to retrieve).  To avoid this, we can use a single disk
+page to keep multiple borders."  The slab allocator implements that
+optimization for every structure in the package: a small border is an
+array of entries placed inside a shared page; touching the border costs one
+access to that page.
+
+The allocator manages *space* and *I/O accounting*; the entry payloads
+themselves are owned by the border objects (the simulated disk stores
+Python objects, see :mod:`repro.storage.pager`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.errors import SlabError
+from .buffer import BufferPool
+from .pager import Pager
+
+
+@dataclass(frozen=True)
+class SlabHandle:
+    """A reservation of ``nbytes`` inside shared page ``pid``."""
+
+    pid: int
+    slot: int
+    nbytes: int
+
+
+class _SlabPage:
+    """Bookkeeping payload stored on each shared page."""
+
+    __slots__ = ("used_bytes", "live_slots", "next_slot")
+
+    def __init__(self) -> None:
+        self.used_bytes = 0
+        self.live_slots = 0
+        self.next_slot = 0
+
+
+class SlabAllocator:
+    """First-fit allocator of sub-page extents across a pool of shared pages."""
+
+    def __init__(self, pager: Pager, buffer: BufferPool) -> None:
+        self._pager = pager
+        self._buffer = buffer
+        #: page id -> free bytes, for pages with room left.
+        self._free_space: Dict[int, int] = {}
+        self._live: Dict[SlabHandle, bool] = {}
+
+    @property
+    def page_size(self) -> int:
+        """Byte capacity of one shared page."""
+        return self._pager.page_size
+
+    # -- allocation -------------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> SlabHandle:
+        """Reserve ``nbytes`` inside some shared page and return a handle.
+
+        Allocations never span pages; requests larger than a page must be
+        promoted to a page-based structure by the caller (that is exactly
+        the borders' spill threshold).
+        """
+        if nbytes <= 0:
+            raise SlabError(f"allocation size must be positive, got {nbytes}")
+        if nbytes > self.page_size:
+            raise SlabError(
+                f"allocation of {nbytes} bytes exceeds the {self.page_size}-byte page"
+            )
+        pid = self._find_page(nbytes)
+        page: _SlabPage = self._pager.get(pid)
+        handle = SlabHandle(pid, page.next_slot, nbytes)
+        page.next_slot += 1
+        page.used_bytes += nbytes
+        page.live_slots += 1
+        free = self.page_size - page.used_bytes
+        if free > 0:
+            self._free_space[pid] = free
+        else:
+            self._free_space.pop(pid, None)
+        self._live[handle] = True
+        self._buffer.access(pid, write=True)
+        return handle
+
+    def _find_page(self, nbytes: int) -> int:
+        for pid, free in self._free_space.items():
+            if free >= nbytes:
+                return pid
+        pid = self._pager.allocate(_SlabPage())
+        self._free_space[pid] = self.page_size
+        return pid
+
+    def resize(self, handle: SlabHandle, nbytes: int) -> SlabHandle:
+        """Grow or shrink an allocation, possibly moving it to another page."""
+        self._check_live(handle)
+        page: _SlabPage = self._pager.get(handle.pid)
+        delta = nbytes - handle.nbytes
+        fits_in_place = (
+            nbytes <= self.page_size
+            and page.used_bytes + delta <= self.page_size
+        )
+        if fits_in_place:
+            del self._live[handle]
+            page.used_bytes += delta
+            new_handle = SlabHandle(handle.pid, handle.slot, nbytes)
+            self._live[new_handle] = True
+            free = self.page_size - page.used_bytes
+            if free > 0:
+                self._free_space[handle.pid] = free
+            else:
+                self._free_space.pop(handle.pid, None)
+            self._buffer.access(handle.pid, write=True)
+            return new_handle
+        self.free(handle)
+        return self.allocate(nbytes)
+
+    def free(self, handle: SlabHandle) -> None:
+        """Release an allocation; empty shared pages are returned to the pager."""
+        self._check_live(handle)
+        del self._live[handle]
+        page: _SlabPage = self._pager.get(handle.pid)
+        page.used_bytes -= handle.nbytes
+        page.live_slots -= 1
+        if page.live_slots == 0:
+            self._free_space.pop(handle.pid, None)
+            self._buffer.invalidate(handle.pid)
+            self._pager.free(handle.pid)
+        else:
+            self._free_space[handle.pid] = self.page_size - page.used_bytes
+
+    # -- access -------------------------------------------------------------------
+
+    def access(self, handle: SlabHandle, write: bool = False) -> None:
+        """Touch the shared page holding this allocation (one potential I/O)."""
+        self._check_live(handle)
+        self._buffer.access(handle.pid, write=write)
+
+    def _check_live(self, handle: SlabHandle) -> None:
+        if handle not in self._live:
+            raise SlabError(f"use of dead slab handle {handle}")
+
+    # -- reporting -----------------------------------------------------------------
+
+    def live_allocations(self) -> int:
+        """Number of live handles (diagnostics and tests)."""
+        return len(self._live)
+
+    def used_bytes(self, pid: int) -> Optional[int]:
+        """Bytes in use on a shared page, or None if ``pid`` is not a slab page."""
+        payload = self._pager.payload_or_none(pid)
+        if isinstance(payload, _SlabPage):
+            return payload.used_bytes
+        return None

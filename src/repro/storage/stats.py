@@ -1,0 +1,88 @@
+"""I/O accounting and the paper's cost model.
+
+The paper's experiments report two metrics:
+
+* Figures 9a/9b — index size in pages and *number of page I/Os*;
+* Figure 9c — total execution time computed as "the sum of CPU time
+  (measured by the getrusage system call) and the I/O time (measured by the
+  number of I/Os multiplied by 10 ms)".
+
+:class:`IOCounter` tracks the page I/Os the buffer pool observes and
+:class:`CostModel` converts (CPU seconds, I/O count) into that combined
+execution time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOCounter:
+    """Mutable counter of page-level traffic.
+
+    ``reads`` counts buffer misses that fetched a page, ``writes`` counts
+    dirty-page write-backs, ``hits`` counts accesses served from the buffer.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Reads plus writes — the figure the paper plots."""
+        return self.reads + self.writes
+
+    @property
+    def accesses(self) -> int:
+        """All page touches, whether or not they cost an I/O."""
+        return self.reads + self.hits
+
+    def reset(self) -> None:
+        """Zero every counter (used between experiment phases)."""
+        self.reads = 0
+        self.writes = 0
+        self.hits = 0
+
+    def snapshot(self) -> "IOCounter":
+        """Immutable-ish copy for before/after deltas."""
+        return IOCounter(self.reads, self.writes, self.hits)
+
+    def delta(self, before: "IOCounter") -> "IOCounter":
+        """Counter difference ``self - before``."""
+        return IOCounter(
+            self.reads - before.reads,
+            self.writes - before.writes,
+            self.hits - before.hits,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Combined CPU + I/O execution-time model (10 ms per I/O by default)."""
+
+    io_time_ms: float = 10.0
+
+    def execution_time(self, cpu_seconds: float, ios: int) -> float:
+        """Total modeled time in seconds for a workload."""
+        return cpu_seconds + ios * self.io_time_ms / 1000.0
+
+
+@dataclass
+class Stopwatch:
+    """Context manager measuring CPU time via ``time.process_time``.
+
+    Stands in for the paper's ``getrusage`` measurements.
+    """
+
+    cpu_seconds: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.cpu_seconds += time.process_time() - self._start

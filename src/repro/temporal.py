@@ -1,0 +1,106 @@
+"""Temporal aggregation: intervals as 1-dimensional boxes.
+
+Related-work Section 7 of the paper: "The cumulative temporal aggregation
+query finds the aggregate value over all records whose intervals intersect
+a given interval.  Since a time interval can be regarded as a
+1-dimensional box, the cumulative temporal aggregation query for SUM is an
+1-dimensional box-sum query."
+
+This module packages that observation into a small API over the library's
+1-d machinery (two aggregated B+-trees via the Theorem 2 corner
+reduction), covering both temporal query flavors:
+
+* **cumulative** — aggregate over records whose interval *intersects* a
+  query interval (the [37] JSB-tree query);
+* **instantaneous** — aggregate over records whose interval *contains* a
+  time instant (the [20] aggregation-tree query), the degenerate-interval
+  special case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core.aggregator import BoxSumIndex
+from .core.errors import InvalidQueryError
+from .core.geometry import Box
+from .storage import StorageContext
+
+
+class TemporalAggregateIndex:
+    """SUM / COUNT / AVG over weighted time intervals.
+
+    Intervals follow the paper's box semantics: ``[start, end]`` intersects
+    ``[qs, qe]`` iff ``start < qe and not (end < qs)``.  An instantaneous
+    query at ``t`` is the degenerate interval ``[t, t]``: it covers records
+    with ``start < t <= end``.
+    """
+
+    def __init__(
+        self,
+        backend: str = "ba",
+        measure: str = "sum+count",
+        storage: Optional[StorageContext] = None,
+        **backend_kwargs: object,
+    ) -> None:
+        self._index = BoxSumIndex(
+            1, backend=backend, measure=measure, storage=storage, **backend_kwargs
+        )
+
+    # -- updates -------------------------------------------------------------------
+
+    def insert(self, start: float, end: float, value: float = 1.0) -> None:
+        """Record an interval ``[start, end]`` with a weight."""
+        self._index.insert(self._interval(start, end), value)
+
+    def delete(self, start: float, end: float, value: float = 1.0) -> None:
+        """Retract a previously recorded interval (same start/end/value)."""
+        self._index.delete(self._interval(start, end), value)
+
+    def bulk_load(self, records) -> None:
+        """Build from ``(start, end, value)`` triples."""
+        self._index.bulk_load(
+            [(self._interval(s, e), v) for s, e, v in records]
+        )
+
+    # -- queries ---------------------------------------------------------------------
+
+    def cumulative_sum(self, start: float, end: float) -> float:
+        """SUM over records intersecting ``[start, end]``."""
+        return self._index.box_sum(self._interval(start, end))
+
+    def cumulative_count(self, start: float, end: float) -> float:
+        """COUNT over records intersecting ``[start, end]``."""
+        return self._index.box_count(self._interval(start, end))
+
+    def cumulative_avg(self, start: float, end: float) -> float:
+        """AVG over records intersecting ``[start, end]``."""
+        return self._index.box_avg(self._interval(start, end))
+
+    def instantaneous_sum(self, t: float) -> float:
+        """SUM over records whose interval contains the instant ``t``."""
+        return self._index.box_sum(Box((float(t),), (float(t),)))
+
+    def instantaneous_count(self, t: float) -> float:
+        """COUNT over records whose interval contains the instant ``t``."""
+        return self._index.box_count(Box((float(t),), (float(t),)))
+
+    def total(self):
+        """Aggregate over every record ever inserted."""
+        return self._index.total()
+
+    @property
+    def num_records(self) -> int:
+        """Live record count."""
+        return self._index.num_objects
+
+    @property
+    def size_bytes(self) -> int:
+        """Disk footprint of the underlying index."""
+        return self._index.size_bytes
+
+    @staticmethod
+    def _interval(start: float, end: float) -> Box:
+        if end < start:
+            raise InvalidQueryError(f"interval end {end} precedes start {start}")
+        return Box((float(start),), (float(end),))

@@ -1,0 +1,166 @@
+"""Validation harness for dominance-sum and box-sum implementations.
+
+Downstream users adding a backend (or modifying one) can drive it through
+the same randomized oracle comparison this repository's own test suite
+uses::
+
+    from repro.testing import check_dominance_index, check_box_sum_index
+
+    report = check_dominance_index(lambda: MyIndex(dims=2), dims=2)
+    assert report.ok, report
+
+Each check builds the candidate and a brute-force oracle from the same
+random workload, interleaves inserts (and bulk loads where supported) with
+queries, and reports the first disagreement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from .core.geometry import Box
+from .core.naive import NaiveBoxSum, NaiveDominanceSum
+from .core.values import values_equal
+
+
+@dataclass
+class CheckReport:
+    """Outcome of a validation run."""
+
+    ok: bool = True
+    checks: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.failures.append(message)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.ok:
+            return f"CheckReport(ok, {self.checks} checks)"
+        head = "; ".join(self.failures[:3])
+        return f"CheckReport(FAILED {len(self.failures)}/{self.checks}: {head})"
+
+
+def check_dominance_index(
+    factory: Callable[[], object],
+    dims: int,
+    n_points: int = 300,
+    n_queries: int = 100,
+    seed: int = 0,
+    span: float = 100.0,
+    tol: float = 1e-6,
+    use_bulk_load: bool = False,
+) -> CheckReport:
+    """Compare a dominance-sum implementation against the scan oracle.
+
+    The workload includes duplicate points, negative values and query
+    points off the data distribution; strictness at exact coordinates is
+    probed explicitly.
+    """
+    rng = random.Random(seed)
+    report = CheckReport()
+    candidate = factory()
+    oracle = NaiveDominanceSum(dims)
+    points: List[Tuple[Tuple[float, ...], float]] = []
+    for i in range(n_points):
+        if points and rng.random() < 0.05:
+            point, _v = points[rng.randrange(len(points))]  # duplicate
+        else:
+            point = tuple(rng.uniform(0, span) for _ in range(dims))
+        value = rng.uniform(-3.0, 8.0)
+        points.append((point, value))
+    if use_bulk_load:
+        candidate.bulk_load(points)  # type: ignore[attr-defined]
+        oracle.bulk_load(points)
+    else:
+        for point, value in points:
+            candidate.insert(point, value)  # type: ignore[attr-defined]
+            oracle.insert(point, value)
+    queries = [
+        tuple(rng.uniform(-5, span + 5) for _ in range(dims)) for _ in range(n_queries)
+    ]
+    # Probe strictness: query exactly at stored coordinates.
+    queries += [points[rng.randrange(len(points))][0] for _ in range(10)]
+    for q in queries:
+        report.checks += 1
+        got = candidate.dominance_sum(q)  # type: ignore[attr-defined]
+        expected = oracle.dominance_sum(q)
+        if not values_equal(got, expected, tol=tol):
+            report.fail(f"dominance_sum({q}): got {got}, expected {expected}")
+    report.checks += 1
+    if not values_equal(candidate.total(), oracle.total(), tol=tol):  # type: ignore[attr-defined]
+        report.fail(f"total(): got {candidate.total()}, expected {oracle.total()}")  # type: ignore[attr-defined]
+    return report
+
+
+def check_box_sum_index(
+    factory: Callable[[], object],
+    dims: int,
+    n_objects: int = 250,
+    n_queries: int = 80,
+    seed: int = 0,
+    span: float = 100.0,
+    max_side: float = 20.0,
+    tol: float = 1e-6,
+    use_bulk_load: bool = False,
+    with_deletes: bool = True,
+) -> CheckReport:
+    """Compare a box-sum implementation against the scan oracle.
+
+    Exercises intersection boundary cases (touching boxes, degenerate
+    point-boxes) and, when ``with_deletes``, deletion as value negation.
+    """
+    rng = random.Random(seed)
+    report = CheckReport()
+    candidate = factory()
+    oracle = NaiveBoxSum(dims)
+
+    def random_object() -> Tuple[Box, float]:
+        low = [rng.uniform(0, span - max_side) for _ in range(dims)]
+        if rng.random() < 0.05:
+            return Box(low, low), rng.uniform(0.5, 5.0)  # degenerate point
+        high = [lo + rng.uniform(0, max_side) for lo in low]
+        return Box(low, high), rng.uniform(0.5, 5.0)
+
+    objects = [random_object() for _ in range(n_objects)]
+    if use_bulk_load:
+        candidate.bulk_load(objects)  # type: ignore[attr-defined]
+        for box, value in objects:
+            oracle.insert(box, value)
+    else:
+        for box, value in objects:
+            candidate.insert(box, value)  # type: ignore[attr-defined]
+            oracle.insert(box, value)
+    live = list(objects)
+    for i in range(n_queries):
+        if with_deletes and live and i % 10 == 9:
+            box, value = live.pop(rng.randrange(len(live)))
+            candidate.delete(box, value)  # type: ignore[attr-defined]
+            oracle.insert(box, -value)
+        low = [rng.uniform(0, span) for _ in range(dims)]
+        high = [lo + rng.uniform(0, span / 2) for lo in low]
+        query = Box(low, high)
+        report.checks += 1
+        got = candidate.box_sum(query)  # type: ignore[attr-defined]
+        expected = oracle.box_sum(query)
+        if not values_equal(got, expected, tol=tol):
+            report.fail(f"box_sum({query}): got {got}, expected {expected}")
+    # Touching-boundary probes (the paper's asymmetric semantics).
+    if live:
+        box, value = live[0]
+        for probe, should_hit in (
+            (Box(box.high, tuple(h + 1.0 for h in box.high)), True),
+            (Box(tuple(l - 1.0 for l in box.low), box.low), False),
+        ):
+            report.checks += 1
+            got = candidate.box_sum(probe)  # type: ignore[attr-defined]
+            expected = oracle.box_sum(probe)
+            if not values_equal(got, expected, tol=tol):
+                report.fail(
+                    f"touching probe {probe} (expect hit={should_hit}): "
+                    f"got {got}, expected {expected}"
+                )
+    return report

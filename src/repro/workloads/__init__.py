@@ -1,0 +1,18 @@
+"""Workload generators: datasets and query batches for the experiments."""
+
+from .datasets import (
+    clustered_boxes,
+    functional_objects,
+    uniform_boxes,
+    zipf_weighted_boxes,
+)
+from .queries import query_boxes, query_points
+
+__all__ = [
+    "uniform_boxes",
+    "clustered_boxes",
+    "zipf_weighted_boxes",
+    "functional_objects",
+    "query_boxes",
+    "query_points",
+]

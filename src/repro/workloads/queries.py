@@ -1,0 +1,51 @@
+"""Query workload generators.
+
+The paper's Figure 9b batches are "1000 randomly generated query boxes
+with fixed shape and size", with the query box size (QBS) "described by
+the percentage of the query area in the whole space".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..core.errors import InvalidQueryError
+from ..core.geometry import Box, Coords
+
+
+def query_boxes(
+    n: int,
+    qbs_fraction: float,
+    dims: int = 2,
+    span: float = 1.0,
+    aspect: float = 1.0,
+    seed: int = 0,
+) -> List[Box]:
+    """``n`` fixed-shape query boxes covering ``qbs_fraction`` of the space.
+
+    ``aspect`` stretches dimension 0 relative to the others while keeping
+    the volume fraction constant (all 1.0 = hypercubes, the paper's
+    setting).  Boxes are placed uniformly, fully inside the space.
+    """
+    if not 0.0 < qbs_fraction <= 1.0:
+        raise InvalidQueryError(f"qbs_fraction must be in (0, 1], got {qbs_fraction}")
+    if aspect <= 0.0:
+        raise InvalidQueryError(f"aspect must be positive, got {aspect}")
+    base = (qbs_fraction / aspect) ** (1.0 / dims) * span
+    sides = [min(base * aspect, span)] + [min(base, span)] * (dims - 1)
+    rng = random.Random(seed)
+    queries: List[Box] = []
+    for _ in range(n):
+        low = [rng.uniform(0.0, span - s) for s in sides]
+        high = [lo + s for lo, s in zip(low, sides)]
+        queries.append(Box(low, high))
+    return queries
+
+
+def query_points(
+    n: int, dims: int = 2, span: float = 1.0, seed: int = 0
+) -> List[Coords]:
+    """``n`` uniform dominance-query points in the space."""
+    rng = random.Random(seed)
+    return [tuple(rng.uniform(0.0, span) for _ in range(dims)) for _ in range(n)]

@@ -1,0 +1,90 @@
+"""Unit tests for the bench harness plumbing (config, report, builders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.builders import (
+    METHOD_BACKENDS,
+    build_boxsum_index,
+    fresh_storage,
+    measure_query_batch,
+)
+from repro.bench.config import BenchConfig
+from repro.bench.report import banner, format_table
+from repro.workloads import query_boxes, uniform_boxes
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = BenchConfig()
+        assert cfg.dims == 2
+        assert cfg.buffer_pages >= 8
+
+    def test_buffer_pages_arithmetic(self):
+        cfg = BenchConfig(page_size=4096, buffer_mb=1.0)
+        assert cfg.buffer_pages == 256
+
+    def test_buffer_pages_floor(self):
+        cfg = BenchConfig(page_size=8192, buffer_mb=0.0)
+        assert cfg.buffer_pages == 8
+
+    def test_scaled_copies(self):
+        cfg = BenchConfig()
+        bigger = cfg.scaled(n=999)
+        assert bigger.n == 999
+        assert bigger.page_size == cfg.page_size
+        assert cfg.n != 999  # frozen original untouched
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1.0), ("long-name", 12345.6)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "12,346" in text
+
+    def test_format_small_floats(self):
+        text = format_table(["x"], [(0.1234567,)])
+        assert "0.1235" in text
+
+    def test_banner(self):
+        text = banner("hello")
+        assert "hello" in text
+        assert "=" in text
+
+
+class TestBuilders:
+    @pytest.fixture(scope="class")
+    def small(self):
+        cfg = BenchConfig(n=800, queries=10)
+        objects = uniform_boxes(cfg.n, cfg.dims, cfg.avg_side_fraction, seed=1)
+        return cfg, objects
+
+    def test_method_map_covers_the_paper(self):
+        assert set(METHOD_BACKENDS) == {"aR", "ECDFu", "ECDFq", "BAT", "R*"}
+
+    def test_fresh_storage_uses_config(self, small):
+        cfg, _objects = small
+        storage = fresh_storage(cfg)
+        assert storage.page_size == cfg.page_size
+        assert storage.buffer.capacity_pages == cfg.buffer_pages
+
+    @pytest.mark.parametrize("method", ["aR", "BAT"])
+    def test_build_and_measure(self, small, method):
+        cfg, objects = small
+        index = build_boxsum_index(method, objects, cfg)
+        assert index.num_objects == cfg.n
+        queries = query_boxes(cfg.queries, 0.01, seed=2)
+        ios, cpu = measure_query_batch(index, queries)
+        assert ios > 0
+        assert cpu >= 0.0
+
+    def test_batch_starts_cold(self, small):
+        cfg, objects = small
+        index = build_boxsum_index("BAT", objects, cfg)
+        queries = query_boxes(5, 0.01, seed=3)
+        first, _ = measure_query_batch(index, queries)
+        second, _ = measure_query_batch(index, queries)
+        assert first == second  # cold start makes batches reproducible

@@ -1,0 +1,55 @@
+"""Tests for the benchmark CLI (`python -m repro.bench`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_experiment_registry_covers_design_md(self):
+        assert set(EXPERIMENTS) == {
+            "fig9a",
+            "fig9b",
+            "crossover",
+            "fig9c",
+            "reduction",
+            "rstar",
+            "shape",
+            "dims3",
+            "table1",
+            "ablation",
+        }
+
+    def test_run_reduction_experiment(self, capsys):
+        code = main(["reduction", "--n", "400", "--queries", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1 vs Theorem 2" in out
+        assert "26" in out  # the d=3 headline number
+
+    def test_json_dump(self, tmp_path, capsys):
+        path = str(tmp_path / "out.json")
+        code = main(
+            ["reduction", "--n", "300", "--queries", "5", "--json", path]
+        )
+        assert code == 0
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+        assert payload["config"]["n"] == 300
+        counts = payload["results"]["reduction"][0]
+        assert [3, 26, 8] in [list(row) for row in counts]
+
+    def test_overrides_reach_the_config(self, capsys):
+        main(["table1", "--n", "2000", "--page-size", "1024", "--buffer-mb", "0.1"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        # Four sizes per variant: n/8, n/4, n/2, n.
+        assert "250" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

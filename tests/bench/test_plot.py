@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plot import ascii_chart, bar_chart
+
+
+class TestAsciiChart:
+    def test_single_series(self):
+        chart = ascii_chart({"a": [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]})
+        assert "o" in chart
+        assert "legend: o=a" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart(
+            {"first": [(0.0, 1.0)], "second": [(1.0, 2.0)], "third": [(2.0, 3.0)]}
+        )
+        assert "o=first" in chart
+        assert "x=second" in chart
+        assert "*=third" in chart
+
+    def test_log_scale(self):
+        chart = ascii_chart(
+            {"a": [(1.0, 1.0), (10.0, 100.0), (100.0, 10000.0)]},
+            log_x=True,
+            log_y=True,
+        )
+        assert "[log y]" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0.0, 1.0)]}, log_x=True)
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_title_and_label(self):
+        chart = ascii_chart(
+            {"a": [(0.0, 1.0), (1.0, 2.0)]}, title="my title", y_label="I/Os"
+        )
+        assert "my title" in chart
+        assert "y: I/Os" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"a": [(1.0, 5.0), (2.0, 5.0)]})
+        assert "o" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart({"a": [(0.0, 0.0), (9.0, 9.0)]}, width=30, height=8)
+        body_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(body_lines) == 8
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart([("small", 1.0), ("big", 10.0)], width=20)
+        lines = chart.splitlines()
+        small_bar = lines[0].count("#")
+        big_bar = lines[1].count("#")
+        assert big_bar == 20
+        assert 1 <= small_bar <= 3
+
+    def test_title(self):
+        chart = bar_chart([("a", 1.0)], title="sizes")
+        assert "sizes" in chart
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_zero_values(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "a" in chart and "b" in chart

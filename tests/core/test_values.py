@@ -1,0 +1,87 @@
+"""Tests for the aggregate value protocol (scalars, SumCount, polynomials)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NotSupportedError
+from repro.core.polynomial import Polynomial
+from repro.core.values import (
+    SumCount,
+    accumulate,
+    is_zero_value,
+    value_nbytes,
+    values_equal,
+    zero_like,
+)
+
+
+class TestSumCount:
+    def test_addition_is_componentwise(self):
+        a = SumCount(3.0, 1.0) + SumCount(5.0, 2.0)
+        assert a == SumCount(8.0, 3.0)
+
+    def test_negation(self):
+        assert -SumCount(3.0, 1.0) == SumCount(-3.0, -1.0)
+
+    def test_average(self):
+        assert SumCount(9.0, 3.0).average() == pytest.approx(3.0)
+
+    def test_average_of_empty_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            SumCount(0.0, 0.0).average()
+
+
+class TestZeroLike:
+    def test_scalar(self):
+        assert zero_like(5.0) == 0.0
+        assert zero_like(3) == 0.0
+
+    def test_polynomial(self):
+        z = zero_like(Polynomial.constant(2, 4.0))
+        assert isinstance(z, Polynomial)
+        assert z.is_zero
+
+    def test_sumcount(self):
+        assert zero_like(SumCount(1.0, 1.0)) == SumCount(0.0, 0.0)
+
+    def test_bool_rejected(self):
+        with pytest.raises(NotSupportedError):
+            zero_like(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(NotSupportedError):
+            zero_like("nope")
+
+
+class TestByteAccounting:
+    def test_scalar_is_8(self):
+        assert value_nbytes(1.5) == 8
+
+    def test_sumcount_is_16(self):
+        assert value_nbytes(SumCount(1.0, 1.0)) == 16
+
+    def test_polynomial_delegates(self):
+        p = Polynomial.constant(2, 1.0)
+        assert value_nbytes(p) == p.nbytes()
+
+
+class TestEqualityAndZero:
+    def test_scalar_tolerance(self):
+        assert values_equal(1.0, 1.0 + 1e-12)
+        assert not values_equal(1.0, 1.1)
+
+    def test_polynomial_equality(self):
+        a = Polynomial.constant(1, 2.0)
+        b = Polynomial.constant(1, 2.0 + 1e-12)
+        assert values_equal(a, b)
+
+    def test_is_zero_value(self):
+        assert is_zero_value(0.0)
+        assert is_zero_value(Polynomial(3))
+        assert is_zero_value(SumCount(0.0, 0.0))
+        assert not is_zero_value(SumCount(0.0, 1.0))
+
+    def test_accumulate(self):
+        assert accumulate([1.0, 2.0, 3.0], 0.0) == 6.0
+        assert accumulate([], 5.0) == 5.0

@@ -1,0 +1,130 @@
+"""Tests for the data-cube range-sum structures (prefix-sum array, BA-tree cube)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, InvalidQueryError
+from repro.cube import DynamicCube, PrefixSumCube
+from repro.storage import StorageContext
+
+
+class TestPrefixSumCube:
+    def test_from_array_range_sum(self):
+        array = np.arange(12, dtype=float).reshape(3, 4)
+        cube = PrefixSumCube.from_array(array)
+        assert cube.range_sum((0, 0), (2, 3)) == pytest.approx(array.sum())
+        assert cube.range_sum((1, 1), (2, 2)) == pytest.approx(
+            array[1:3, 1:3].sum()
+        )
+
+    def test_single_cell_range(self):
+        array = np.arange(6, dtype=float).reshape(2, 3)
+        cube = PrefixSumCube.from_array(array)
+        assert cube.range_sum((1, 2), (1, 2)) == pytest.approx(array[1, 2])
+
+    def test_update(self):
+        cube = PrefixSumCube((4, 4))
+        cube.update((1, 1), 5.0)
+        cube.update((2, 3), 2.0)
+        assert cube.range_sum((0, 0), (3, 3)) == pytest.approx(7.0)
+        assert cube.range_sum((0, 0), (1, 1)) == pytest.approx(5.0)
+        assert cube.cell_value((1, 1)) == pytest.approx(5.0)
+
+    def test_update_cost_is_cells_touched(self):
+        cube = PrefixSumCube((10, 10))
+        assert cube.update((0, 0), 1.0) == 100  # dominates the whole grid
+        assert cube.update((9, 9), 1.0) == 1
+
+    def test_validation(self):
+        cube = PrefixSumCube((3, 3))
+        with pytest.raises(InvalidQueryError):
+            cube.range_sum((2, 2), (1, 1))
+        with pytest.raises(InvalidQueryError):
+            cube.update((5, 0), 1.0)
+        with pytest.raises(DimensionMismatchError):
+            cube.update((1,), 1.0)
+        with pytest.raises(InvalidQueryError):
+            PrefixSumCube(())
+
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_random_ranges_match_numpy(self, dims):
+        rng = random.Random(dims)
+        shape = (7,) * dims
+        array = np.array(
+            [rng.uniform(-2, 5) for _ in range(7**dims)], dtype=float
+        ).reshape(shape)
+        cube = PrefixSumCube.from_array(array)
+        for _ in range(40):
+            low = tuple(rng.randint(0, 6) for _ in range(dims))
+            high = tuple(rng.randint(l, 6) for l in low)
+            region = tuple(slice(l, h + 1) for l, h in zip(low, high))
+            assert cube.range_sum(low, high) == pytest.approx(array[region].sum())
+
+
+class TestDynamicCube:
+    def test_updates_and_ranges(self):
+        cube = DynamicCube((8, 8), storage=StorageContext(buffer_pages=None))
+        cube.update((1, 1), 5.0)
+        cube.update((3, 4), 2.0)
+        cube.update((1, 1), 1.0)  # accumulate in place
+        assert cube.range_sum((0, 0), (7, 7)) == pytest.approx(8.0)
+        assert cube.range_sum((0, 0), (2, 2)) == pytest.approx(6.0)
+        assert cube.cell_value((1, 1)) == pytest.approx(6.0)
+
+    def test_matches_prefix_sum_cube(self):
+        rng = random.Random(11)
+        dense = PrefixSumCube((10, 10))
+        sparse = DynamicCube(
+            (10, 10),
+            storage=StorageContext(buffer_pages=None),
+            leaf_capacity=4,
+            index_capacity=4,
+        )
+        for _ in range(200):
+            cell = (rng.randint(0, 9), rng.randint(0, 9))
+            delta = rng.uniform(-3, 5)
+            dense.update(cell, delta)
+            sparse.update(cell, delta)
+        for _ in range(50):
+            low = (rng.randint(0, 9), rng.randint(0, 9))
+            high = (rng.randint(low[0], 9), rng.randint(low[1], 9))
+            assert sparse.range_sum(low, high) == pytest.approx(
+                dense.range_sum(low, high), abs=1e-6
+            )
+
+    def test_three_dimensional(self):
+        rng = random.Random(13)
+        dense = PrefixSumCube((5, 5, 5))
+        sparse = DynamicCube((5, 5, 5), storage=StorageContext(buffer_pages=None))
+        for _ in range(100):
+            cell = tuple(rng.randint(0, 4) for _ in range(3))
+            dense.update(cell, 1.0)
+            sparse.update(cell, 1.0)
+        for _ in range(25):
+            low = tuple(rng.randint(0, 4) for _ in range(3))
+            high = tuple(rng.randint(l, 4) for l in low)
+            assert sparse.range_sum(low, high) == pytest.approx(
+                dense.range_sum(low, high)
+            )
+
+    def test_space_tracks_nonzero_cells(self):
+        ctx = StorageContext(buffer_pages=None)
+        cube = DynamicCube((10_000, 10_000), storage=ctx)
+        for i in range(20):
+            cube.update((i, i), 1.0)
+        # A dense 10k x 10k prefix array would need 800 MB; the sparse cube
+        # holds 20 points in a handful of pages.
+        assert cube.size_bytes < 1024 * 1024
+
+    def test_validation(self):
+        cube = DynamicCube((3, 3), storage=StorageContext(buffer_pages=None))
+        with pytest.raises(InvalidQueryError):
+            cube.range_sum((2, 2), (0, 0))
+        with pytest.raises(InvalidQueryError):
+            cube.update((3, 0), 1.0)
+        with pytest.raises(DimensionMismatchError):
+            cube.update((0,), 1.0)

@@ -1,0 +1,228 @@
+"""Tests for the disk-based dynamic ECDF-Bu- and ECDF-Bq-trees."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import DimensionMismatchError
+from repro.core.naive import NaiveDominanceSum
+from repro.core.polynomial import Polynomial
+from repro.ecdf import EcdfBTree
+from repro.storage import StorageContext
+
+
+def make_tree(dims, variant, **kwargs):
+    ctx = StorageContext(page_size=8192, buffer_pages=None)
+    defaults = dict(leaf_capacity=4, internal_capacity=4, spill_bytes=64)
+    defaults.update(kwargs)
+    return EcdfBTree(ctx, dims, variant=variant, **defaults), ctx
+
+
+def _random_points(rng, n, dims, span=100.0):
+    return [
+        (tuple(rng.uniform(0, span) for _ in range(dims)), rng.uniform(-2, 5))
+        for _ in range(n)
+    ]
+
+
+class TestValidation:
+    def test_bad_variant(self):
+        ctx = StorageContext(buffer_pages=None)
+        with pytest.raises(ValueError):
+            EcdfBTree(ctx, 2, variant="x")
+
+    def test_bad_dims(self):
+        ctx = StorageContext(buffer_pages=None)
+        with pytest.raises(DimensionMismatchError):
+            EcdfBTree(ctx, 0)
+
+    def test_point_arity_checked(self):
+        tree, _ctx = make_tree(2, "u")
+        with pytest.raises(DimensionMismatchError):
+            tree.insert((1.0,), 1.0)
+        with pytest.raises(DimensionMismatchError):
+            tree.dominance_sum((1.0, 2.0, 3.0))
+
+
+class TestOneDimensionalDelegation:
+    def test_1d_tree_is_bptree(self):
+        tree, _ctx = make_tree(1, "u")
+        for i in range(50):
+            tree.insert((float(i),), 1.0)
+        assert tree.dominance_sum((25.0,)) == 25.0
+        assert tree.total() == 50.0
+        assert len(tree) == 50
+
+    def test_1d_accepts_scalars_too(self):
+        tree, _ctx = make_tree(1, "q")
+        tree.insert(3.0, 2.0)
+        assert tree.dominance_sum(4.0) == 2.0
+
+    def test_1d_collect_yields_tuples(self):
+        tree, _ctx = make_tree(1, "u")
+        tree.insert((3.0,), 2.0)
+        assert list(tree.collect()) == [((3.0,), 2.0)]
+
+
+@pytest.mark.parametrize("variant", ["u", "q"])
+class TestCorrectness:
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_insert_path_matches_oracle(self, variant, dims):
+        rng = random.Random(17 + dims)
+        tree, _ctx = make_tree(dims, variant)
+        oracle = NaiveDominanceSum(dims)
+        for p, v in _random_points(rng, 350, dims):
+            tree.insert(p, v)
+            oracle.insert(p, v)
+        tree.check_invariants()
+        for _ in range(80):
+            q = tuple(rng.uniform(-5, 105) for _ in range(dims))
+            assert tree.dominance_sum(q) == pytest.approx(
+                oracle.dominance_sum(q), abs=1e-6
+            )
+
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_bulk_load_matches_oracle(self, variant, dims):
+        rng = random.Random(23 + dims)
+        points = _random_points(rng, 350, dims)
+        tree, _ctx = make_tree(dims, variant)
+        tree.bulk_load(points)
+        tree.check_invariants()
+        oracle = NaiveDominanceSum(dims)
+        oracle.bulk_load(points)
+        for _ in range(80):
+            q = tuple(rng.uniform(-5, 105) for _ in range(dims))
+            assert tree.dominance_sum(q) == pytest.approx(
+                oracle.dominance_sum(q), abs=1e-6
+            )
+
+    def test_bulk_load_then_inserts(self, variant):
+        rng = random.Random(29)
+        points = _random_points(rng, 200, 2)
+        more = _random_points(rng, 150, 2)
+        tree, _ctx = make_tree(2, variant)
+        tree.bulk_load(points)
+        oracle = NaiveDominanceSum(2)
+        oracle.bulk_load(points)
+        for p, v in more:
+            tree.insert(p, v)
+            oracle.insert(p, v)
+        tree.check_invariants()
+        for _ in range(60):
+            q = (rng.uniform(-5, 105), rng.uniform(-5, 105))
+            assert tree.dominance_sum(q) == pytest.approx(
+                oracle.dominance_sum(q), abs=1e-6
+            )
+
+    def test_duplicate_points_merge(self, variant):
+        tree, _ctx = make_tree(2, variant)
+        tree.insert((1.0, 1.0), 2.0)
+        tree.insert((1.0, 1.0), 3.0)
+        assert len(tree) == 1
+        assert tree.dominance_sum((2.0, 2.0)) == 5.0
+
+    def test_duplicate_first_coordinates(self, variant):
+        """Many points sharing x exercise the unsplittable-leaf handling."""
+        rng = random.Random(31)
+        points = [
+            ((float(rng.randint(0, 3)), rng.uniform(0, 100)), 1.0) for _ in range(120)
+        ]
+        tree, _ctx = make_tree(2, variant)
+        oracle = NaiveDominanceSum(2)
+        for p, v in points:
+            tree.insert(p, v)
+            oracle.insert(p, v)
+        for x in (-1.0, 0.0, 1.5, 2.0, 4.0):
+            for y in (0.0, 50.0, 101.0):
+                assert tree.dominance_sum((x, y)) == pytest.approx(
+                    oracle.dominance_sum((x, y))
+                )
+
+    def test_negative_values_cancel(self, variant):
+        tree, _ctx = make_tree(2, variant)
+        tree.insert((5.0, 5.0), 4.0)
+        tree.insert((5.0, 5.0), -4.0)
+        assert tree.dominance_sum((10.0, 10.0)) == pytest.approx(0.0)
+
+    def test_polynomial_values(self, variant):
+        ctx = StorageContext(buffer_pages=None)
+        tree = EcdfBTree(
+            ctx, 2, variant=variant, zero=Polynomial(2), value_bytes=64,
+            leaf_capacity=4, internal_capacity=4,
+        )
+        x = Polynomial.variable(2, 0)
+        for i in range(40):
+            tree.insert((float(i), float(i)), x)
+        agg = tree.dominance_sum((10.0, 99.0))
+        assert agg.evaluate((1.0, 0.0)) == pytest.approx(10.0)
+
+    def test_destroy_frees_all_pages(self, variant):
+        tree, ctx = make_tree(2, variant)
+        rng = random.Random(37)
+        for p, v in _random_points(rng, 200, 2):
+            tree.insert(p, v)
+        assert ctx.num_pages > 5
+        tree.destroy()
+        assert ctx.num_pages == 1
+        assert ctx.slab.live_allocations() == 0
+
+    def test_collect_returns_all_points(self, variant):
+        tree, _ctx = make_tree(2, variant)
+        rng = random.Random(41)
+        points = _random_points(rng, 100, 2)
+        tree.bulk_load(points)
+        collected = list(tree.collect())
+        assert len(collected) == len({p for p, _v in points})
+        assert sum(v for _p, v in collected) == pytest.approx(
+            sum(v for _p, v in points)
+        )
+
+
+class TestVariantAsymmetry:
+    """The u/q distinction of Figure 6, observed through I/O counters."""
+
+    @staticmethod
+    def _loaded(variant, buffer_pages=None):
+        ctx = StorageContext(page_size=8192, buffer_pages=buffer_pages)
+        tree = EcdfBTree(
+            ctx, 2, variant=variant, leaf_capacity=16, internal_capacity=16,
+            spill_bytes=128,
+        )
+        rng = random.Random(43)
+        tree.bulk_load(_random_points(rng, 3000, 2))
+        return tree, ctx
+
+    def test_bq_uses_more_space_than_bu(self):
+        _tu, ctx_u = self._loaded("u")
+        _tq, ctx_q = self._loaded("q")
+        assert ctx_q.num_pages > ctx_u.num_pages
+
+    def test_bq_queries_fewer_borders_than_bu(self):
+        tree_u, ctx_u = self._loaded("u")
+        tree_q, ctx_q = self._loaded("q")
+        rng = random.Random(47)
+        queries = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(50)]
+        for tree, ctx in ((tree_u, ctx_u), (tree_q, ctx_q)):
+            ctx.cold_cache()
+            ctx.reset_stats()
+        for q in queries:
+            tree_u.dominance_sum(q)
+            tree_q.dominance_sum(q)
+        assert ctx_q.counter.accesses < ctx_u.counter.accesses
+
+    def test_bu_updates_fewer_borders_than_bq(self):
+        tree_u, ctx_u = self._loaded("u")
+        tree_q, ctx_q = self._loaded("q")
+        rng = random.Random(53)
+        inserts = [
+            ((rng.uniform(0, 100), rng.uniform(0, 100)), 1.0) for _ in range(50)
+        ]
+        for ctx in (ctx_u, ctx_q):
+            ctx.cold_cache()
+            ctx.reset_stats()
+        for p, v in inserts:
+            tree_u.insert(p, v)
+            tree_q.insert(p, v)
+        assert ctx_u.counter.accesses < ctx_q.counter.accesses

@@ -1,0 +1,160 @@
+"""Tests for Bentley's static ECDF-tree and its logarithmic dynamization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DimensionMismatchError, NotSupportedError
+from repro.core.naive import NaiveDominanceSum
+from repro.core.polynomial import Polynomial
+from repro.ecdf import LogarithmicEcdfTree, StaticEcdfTree
+
+
+def _random_points(rng, n, dims, span=100.0):
+    return [
+        (tuple(rng.uniform(0, span) for _ in range(dims)), rng.uniform(-2, 5))
+        for _ in range(n)
+    ]
+
+
+class TestStaticEcdf:
+    def test_empty_tree(self):
+        tree = StaticEcdfTree(2)
+        assert tree.dominance_sum((50.0, 50.0)) == 0.0
+        assert tree.total() == 0.0
+
+    def test_single_point(self):
+        tree = StaticEcdfTree(2)
+        tree.bulk_load([((1.0, 1.0), 5.0)])
+        assert tree.dominance_sum((2.0, 2.0)) == 5.0
+        assert tree.dominance_sum((1.0, 2.0)) == 0.0  # strict in dim 0
+        assert tree.dominance_sum((2.0, 1.0)) == 0.0  # strict in dim 1
+
+    def test_insert_raises(self):
+        tree = StaticEcdfTree(2)
+        with pytest.raises(NotSupportedError):
+            tree.insert((1.0, 1.0), 1.0)
+
+    def test_dimension_checks(self):
+        tree = StaticEcdfTree(2)
+        with pytest.raises(DimensionMismatchError):
+            tree.bulk_load([((1.0,), 1.0)])
+        with pytest.raises(DimensionMismatchError):
+            tree.dominance_sum((1.0,))
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_matches_oracle(self, dims):
+        rng = random.Random(dims)
+        points = _random_points(rng, 600, dims)
+        tree = StaticEcdfTree(dims)
+        tree.bulk_load(points)
+        oracle = NaiveDominanceSum(dims)
+        oracle.bulk_load(points)
+        for _ in range(100):
+            q = tuple(rng.uniform(-5, 105) for _ in range(dims))
+            assert tree.dominance_sum(q) == pytest.approx(
+                oracle.dominance_sum(q), abs=1e-6
+            )
+
+    def test_duplicate_coordinates(self):
+        """Heavy duplication along dim 0 must not lose or double-count points."""
+        rng = random.Random(5)
+        points = [
+            ((float(rng.randint(0, 4)), rng.uniform(0, 10)), 1.0) for _ in range(200)
+        ]
+        tree = StaticEcdfTree(2)
+        tree.bulk_load(points)
+        oracle = NaiveDominanceSum(2)
+        oracle.bulk_load(points)
+        for x in range(-1, 7):
+            for y in (0.0, 5.0, 11.0):
+                q = (float(x), y)
+                assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q))
+
+    def test_polynomial_values(self):
+        tree = StaticEcdfTree(2, zero=Polynomial(2))
+        x = Polynomial.variable(2, 0)
+        tree.bulk_load([((1.0, 1.0), x), ((2.0, 2.0), x.scale(2.0))])
+        agg = tree.dominance_sum((5.0, 5.0))
+        assert agg.evaluate((1.0, 0.0)) == pytest.approx(3.0)
+
+    def test_rebuild_replaces_content(self):
+        tree = StaticEcdfTree(1)
+        tree.bulk_load([((1.0,), 1.0)])
+        tree.bulk_load([((2.0,), 7.0)])
+        assert tree.total() == 7.0
+        assert len(tree) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.floats(0, 50, allow_nan=False), st.floats(0, 50, allow_nan=False)),
+                st.floats(-3, 3, allow_nan=False),
+            ),
+            max_size=80,
+        ),
+        st.tuples(st.floats(-5, 55, allow_nan=False), st.floats(-5, 55, allow_nan=False)),
+    )
+    def test_property_matches_oracle(self, points, query):
+        tree = StaticEcdfTree(2)
+        tree.bulk_load(points)
+        oracle = NaiveDominanceSum(2)
+        oracle.bulk_load(points)
+        assert tree.dominance_sum(query) == pytest.approx(
+            oracle.dominance_sum(query), abs=1e-6
+        )
+
+
+class TestLogarithmicEcdf:
+    def test_insert_then_query(self):
+        tree = LogarithmicEcdfTree(2, block_size=4)
+        oracle = NaiveDominanceSum(2)
+        rng = random.Random(8)
+        for p, v in _random_points(rng, 150, 2):
+            tree.insert(p, v)
+            oracle.insert(p, v)
+        for _ in range(50):
+            q = (rng.uniform(-5, 105), rng.uniform(-5, 105))
+            assert tree.dominance_sum(q) == pytest.approx(
+                oracle.dominance_sum(q), abs=1e-6
+            )
+
+    def test_block_count_is_logarithmic(self):
+        tree = LogarithmicEcdfTree(1, block_size=1)
+        for i in range(255):
+            tree.insert((float(i),), 1.0)
+        # 255 = 0b11111111 -> 8 blocks.
+        assert tree.num_blocks == 8
+
+    def test_buffered_points_are_visible(self):
+        tree = LogarithmicEcdfTree(2, block_size=100)
+        tree.insert((1.0, 1.0), 3.0)  # stays in the buffer
+        assert tree.num_blocks == 0
+        assert tree.dominance_sum((2.0, 2.0)) == 3.0
+
+    def test_bulk_load(self):
+        tree = LogarithmicEcdfTree(2)
+        tree.bulk_load([((1.0, 1.0), 2.0), ((3.0, 3.0), 4.0)])
+        assert tree.total() == 6.0
+        assert tree.dominance_sum((2.0, 2.0)) == 2.0
+
+    def test_total_and_len(self):
+        tree = LogarithmicEcdfTree(1, block_size=2)
+        for i in range(5):
+            tree.insert((float(i),), 2.0)
+        assert tree.total() == 10.0
+        assert len(tree) == 5
+
+    def test_validation(self):
+        with pytest.raises(DimensionMismatchError):
+            LogarithmicEcdfTree(0)
+        with pytest.raises(ValueError):
+            LogarithmicEcdfTree(1, block_size=0)
+        tree = LogarithmicEcdfTree(2)
+        with pytest.raises(DimensionMismatchError):
+            tree.insert((1.0,), 1.0)

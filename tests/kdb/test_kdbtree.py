@@ -1,0 +1,123 @@
+"""Tests for the plain k-d-B-tree substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import DimensionMismatchError
+from repro.core.geometry import Box
+from repro.kdb import KdbTree, choose_index_split_plane, choose_leaf_split_plane
+from repro.storage import StorageContext
+
+
+def make_tree(dims=2, leaf_capacity=4, index_capacity=4):
+    ctx = StorageContext(page_size=8192, buffer_pages=None)
+    return KdbTree(ctx, dims, leaf_capacity=leaf_capacity, index_capacity=index_capacity), ctx
+
+
+class TestSplitPlanes:
+    def test_leaf_plane_prefers_alternating_dim(self):
+        points = [(float(i), float(i % 3)) for i in range(10)]
+        box = Box((-100.0, -100.0), (100.0, 100.0))
+        dim, _value = choose_leaf_split_plane(points, 2, depth=0, box=box)
+        assert dim == 0
+        dim, _value = choose_leaf_split_plane(points, 2, depth=1, box=box)
+        assert dim == 1
+
+    def test_leaf_plane_falls_back_on_degenerate_dim(self):
+        points = [(5.0, float(i)) for i in range(10)]
+        box = Box((-100.0, -100.0), (100.0, 100.0))
+        dim, value = choose_leaf_split_plane(points, 2, depth=0, box=box)
+        assert dim == 1
+        assert 0.0 < value < 10.0
+
+    def test_leaf_plane_none_when_all_identical(self):
+        points = [(5.0, 5.0)] * 8
+        box = Box((-100.0, -100.0), (100.0, 100.0))
+        assert choose_leaf_split_plane(points, 2, depth=0, box=box) is None
+
+    def test_leaf_plane_both_sides_nonempty(self):
+        points = [(1.0, 0.0)] * 6 + [(9.0, 0.0)]
+        box = Box((-100.0, -100.0), (100.0, 100.0))
+        dim, value = choose_leaf_split_plane(points, 2, depth=0, box=box)
+        assert dim == 0
+        assert sum(1 for p in points if p[0] < value) >= 1
+        assert sum(1 for p in points if p[0] >= value) >= 1
+
+    def test_index_plane_uses_record_boundaries(self):
+        box = Box((0.0, 0.0), (10.0, 10.0))
+        boxes = [
+            Box((0.0, 0.0), (4.0, 10.0)),
+            Box((4.0, 0.0), (7.0, 10.0)),
+            Box((7.0, 0.0), (10.0, 10.0)),
+        ]
+        dim, value = choose_index_split_plane(boxes, 2, depth=0, box=box)
+        assert dim == 0
+        assert value in (4.0, 7.0)
+
+
+class TestKdbTree:
+    def test_empty(self):
+        tree, _ctx = make_tree()
+        assert tree.range_count(Box((0.0, 0.0), (10.0, 10.0))) == 0
+
+    def test_insert_and_report(self):
+        tree, _ctx = make_tree()
+        tree.insert((1.0, 1.0), "a")
+        tree.insert((5.0, 5.0), "b")
+        found = dict(tree.range_report(Box((0.0, 0.0), (3.0, 3.0))))
+        assert found == {(1.0, 1.0): "a"}
+
+    def test_arity_validation(self):
+        tree, _ctx = make_tree()
+        with pytest.raises(DimensionMismatchError):
+            tree.insert((1.0,), None)
+        with pytest.raises(DimensionMismatchError):
+            list(tree.range_report(Box((0.0,), (1.0,))))
+
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_matches_linear_scan(self, dims):
+        rng = random.Random(dims * 7)
+        tree, _ctx = make_tree(dims=dims)
+        points = [tuple(rng.uniform(0, 100) for _ in range(dims)) for _ in range(500)]
+        for p in points:
+            tree.insert(p, None)
+        tree.check_invariants()
+        for _ in range(40):
+            low = tuple(rng.uniform(0, 80) for _ in range(dims))
+            high = tuple(lo + rng.uniform(0, 30) for lo in low)
+            query = Box(low, high)
+            expected = sum(1 for p in points if query.contains_point(p))
+            assert tree.range_count(query) == expected
+
+    def test_duplicate_points_allowed(self):
+        tree, _ctx = make_tree(leaf_capacity=2)
+        for _ in range(20):
+            tree.insert((5.0, 5.0), None)
+        # Unsplittable leaf stays oversized but queries remain exact.
+        assert tree.range_count(Box((0.0, 0.0), (10.0, 10.0))) == 20
+        tree.check_invariants()
+
+    def test_forced_splits_preserve_structure(self):
+        """Clustered inserts make index pages straddle split planes."""
+        rng = random.Random(3)
+        tree, _ctx = make_tree(leaf_capacity=3, index_capacity=3)
+        points = []
+        for cluster in range(10):
+            cx, cy = rng.uniform(0, 100), rng.uniform(0, 100)
+            for _ in range(40):
+                points.append((cx + rng.gauss(0, 1), cy + rng.gauss(0, 1)))
+        for p in points:
+            tree.insert(p, None)
+        tree.check_invariants()
+        assert len(tree) == len(points)
+        full = Box((-1000.0, -1000.0), (1000.0, 1000.0))
+        assert tree.range_count(full) == len(points)
+
+    def test_half_open_query_semantics(self):
+        tree, _ctx = make_tree()
+        tree.insert((5.0, 5.0), None)
+        assert tree.range_count(Box((5.0, 5.0), (6.0, 6.0))) == 1
+        assert tree.range_count(Box((4.0, 4.0), (5.0, 5.0))) == 0

@@ -1,0 +1,179 @@
+"""Tests for the aR-tree and the functional aR-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box
+from repro.core.naive import NaiveBoxSum, NaiveFunctionalBoxSum
+from repro.core.polynomial import Polynomial
+from repro.rtree import ARTree, FunctionalARTree, RStarTree
+from repro.storage import StorageContext
+
+from ..conftest import random_box, random_objects
+
+
+def make_ar(dims=2, use_path_buffer=True, page_size=8192, buffer_pages=None, **kw):
+    ctx = StorageContext(page_size=page_size, buffer_pages=buffer_pages)
+    defaults = dict(leaf_capacity=8, internal_capacity=8)
+    defaults.update(kw)
+    return ARTree(ctx, dims, use_path_buffer=use_path_buffer, **defaults), ctx
+
+
+class TestAggregateQueries:
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_matches_oracle(self, dims, rng):
+        tree, _ctx = make_ar(dims=dims)
+        oracle = NaiveBoxSum(dims)
+        for box, value in random_objects(rng, 400, dims):
+            tree.insert(box, value)
+            oracle.insert(box, value)
+        tree.check_invariants()
+        for _ in range(80):
+            q = random_box(rng, dims, max_side=50.0)
+            assert tree.box_sum(q) == pytest.approx(oracle.box_sum(q), abs=1e-6)
+
+    def test_agrees_with_plain_rstar(self, rng):
+        objects = random_objects(rng, 400, 2)
+        ar_tree, _c1 = make_ar()
+        ar_tree.bulk_load(objects)
+        ctx = StorageContext(buffer_pages=None)
+        plain = RStarTree(ctx, 2, leaf_capacity=8, internal_capacity=8)
+        plain.bulk_load(objects)
+        for _ in range(60):
+            q = random_box(rng, 2, max_side=60.0)
+            assert ar_tree.box_sum(q) == pytest.approx(plain.box_sum(q), abs=1e-6)
+
+    def test_containment_pruning_reduces_io(self, rng):
+        objects = [
+            (random_box(rng, 2, span=1.0, max_side=0.01), 1.0) for _ in range(8000)
+        ]
+        ar_tree, ctx_a = make_ar(
+            page_size=2048, leaf_capacity=None, internal_capacity=None
+        )
+        ar_tree.bulk_load(objects)
+        ctx_p = StorageContext(page_size=2048, buffer_pages=None)
+        plain = RStarTree(ctx_p, 2)
+        plain.bulk_load(objects)
+        big = Box((0.05, 0.05), (0.95, 0.95))
+        ctx_a.cold_cache()
+        ctx_a.reset_stats()
+        ar_tree.box_sum(big)
+        ctx_p.cold_cache()
+        ctx_p.reset_stats()
+        plain.box_sum(big)
+        assert ctx_a.counter.reads < ctx_p.counter.reads / 2
+
+    def test_aggregated_nodes_have_smaller_fanout(self):
+        ctx = StorageContext(buffer_pages=None)
+        ar_tree = ARTree(ctx, 2)
+        plain = RStarTree(ctx, 2)
+        assert ar_tree.internal_capacity < plain.internal_capacity
+
+
+class TestPathBuffer:
+    def test_repeated_query_upper_levels_are_free(self, rng):
+        tree, ctx = make_ar(page_size=2048, buffer_pages=4)
+        tree.bulk_load(
+            [(random_box(rng, 2, span=1.0, max_side=0.005), 1.0) for _ in range(5000)]
+        )
+        q = Box((0.4, 0.4), (0.400001, 0.400001))
+        tree.box_sum(q)
+        before = ctx.counter.snapshot()
+        tree.box_sum(q)  # identical point query: whole path is remembered
+        delta = ctx.counter.delta(before)
+        assert delta.reads == 0
+
+    def test_disabled_path_buffer_pays_lru(self, rng):
+        tree, ctx = make_ar(page_size=2048, buffer_pages=1, use_path_buffer=False)
+        tree.bulk_load(
+            [(random_box(rng, 2, span=1.0, max_side=0.005), 1.0) for _ in range(3000)]
+        )
+        q = Box((0.4, 0.4), (0.400001, 0.400001))
+        tree.box_sum(q)
+        before = ctx.counter.snapshot()
+        tree.box_sum(q)
+        delta = ctx.counter.delta(before)
+        assert delta.reads > 0
+
+
+class TestFunctionalARTree:
+    @staticmethod
+    def _random_poly(rng, degree=2):
+        x = Polynomial.variable(2, 0)
+        y = Polynomial.variable(2, 1)
+        f = Polynomial.constant(2, rng.uniform(0.1, 2.0))
+        if degree >= 1:
+            f = f + x.scale(rng.uniform(-0.1, 0.1))
+        if degree >= 2:
+            f = f + (x * y).scale(rng.uniform(-0.01, 0.01))
+        return f
+
+    @pytest.mark.parametrize("degree", [0, 1, 2])
+    def test_matches_naive_integration(self, degree, rng):
+        ctx = StorageContext(buffer_pages=None)
+        tree = FunctionalARTree(ctx, 2, leaf_capacity=8, internal_capacity=8)
+        oracle = NaiveFunctionalBoxSum(2)
+        for _ in range(250):
+            box = random_box(rng, 2)
+            f = self._random_poly(rng, degree)
+            tree.insert(box, f)
+            oracle.insert(box, f)
+        for _ in range(60):
+            q = random_box(rng, 2, max_side=50.0)
+            assert tree.functional_box_sum(q) == pytest.approx(
+                oracle.functional_box_sum(q), abs=1e-4
+            )
+
+    def test_bulk_load_path(self, rng):
+        objects = [
+            (random_box(rng, 2), self._random_poly(rng)) for _ in range(300)
+        ]
+        ctx = StorageContext(buffer_pages=None)
+        tree = FunctionalARTree(ctx, 2, leaf_capacity=8, internal_capacity=8)
+        tree.bulk_load(objects)
+        oracle = NaiveFunctionalBoxSum(2)
+        for box, f in objects:
+            oracle.insert(box, f)
+        for _ in range(50):
+            q = random_box(rng, 2, max_side=50.0)
+            assert tree.functional_box_sum(q) == pytest.approx(
+                oracle.functional_box_sum(q), abs=1e-4
+            )
+
+    def test_constant_functions_accepted(self):
+        ctx = StorageContext(buffer_pages=None)
+        tree = FunctionalARTree(ctx, 2, leaf_capacity=8, internal_capacity=8)
+        tree.insert(Box((0.0, 0.0), (2.0, 3.0)), 4.0)
+        # Full containment: 4 * area = 24.
+        assert tree.functional_box_sum(Box((-1.0, -1.0), (9.0, 9.0))) == (
+            pytest.approx(24.0)
+        )
+
+    def test_partial_overlap_integrates_exactly(self):
+        ctx = StorageContext(buffer_pages=None)
+        tree = FunctionalARTree(ctx, 2, leaf_capacity=8, internal_capacity=8)
+        f = Polynomial.variable(2, 0) - Polynomial.constant(2, 2.0)
+        tree.insert(Box((5.0, 3.0), (20.0, 15.0)), f)
+        # The paper's Figure 3b: (11-7) * ∫_15^20 (x-2) dx = 310.
+        assert tree.functional_box_sum(Box((15.0, 7.0), (30.0, 11.0))) == (
+            pytest.approx(310.0)
+        )
+
+    def test_degree_two_reduces_leaf_fanout(self):
+        ctx = StorageContext(buffer_pages=None)
+        small = FunctionalARTree(ctx, 2, function_bytes=18)
+        large = FunctionalARTree(ctx, 2, function_bytes=158)
+        assert large.leaf_capacity < small.leaf_capacity
+
+    def test_delete_cancels(self):
+        ctx = StorageContext(buffer_pages=None)
+        tree = FunctionalARTree(ctx, 2, leaf_capacity=8, internal_capacity=8)
+        box = Box((0.0, 0.0), (4.0, 4.0))
+        tree.insert(box, 3.0)
+        tree.delete(box, 3.0)
+        assert tree.functional_box_sum(Box((0.0, 0.0), (9.0, 9.0))) == (
+            pytest.approx(0.0)
+        )

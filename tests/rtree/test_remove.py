@@ -1,0 +1,105 @@
+"""Tests for physical deletion (FindLeaf + CondenseTree) in the R-tree family."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box
+from repro.rtree import ARTree, RStarTree
+from repro.storage import StorageContext
+
+from ..conftest import random_box, random_objects
+
+
+def make_tree(cls=RStarTree, **kw):
+    ctx = StorageContext(buffer_pages=None)
+    defaults = dict(leaf_capacity=6, internal_capacity=6)
+    defaults.update(kw)
+    return cls(ctx, 2, **defaults), ctx
+
+
+class TestRemoveBasics:
+    def test_remove_existing(self):
+        tree, _ctx = make_tree()
+        box = Box((1.0, 1.0), (3.0, 3.0))
+        tree.insert(box, 5.0)
+        assert tree.remove(box, 5.0)
+        assert len(tree) == 0
+        assert tree.box_sum(Box((0.0, 0.0), (9.0, 9.0))) == pytest.approx(0.0)
+
+    def test_remove_missing_returns_false(self):
+        tree, _ctx = make_tree()
+        tree.insert(Box((1.0, 1.0), (3.0, 3.0)), 5.0)
+        assert not tree.remove(Box((1.0, 1.0), (3.0, 3.0)), 6.0)  # wrong value
+        assert not tree.remove(Box((2.0, 2.0), (4.0, 4.0)), 5.0)  # wrong box
+        assert len(tree) == 1
+
+    def test_remove_one_of_duplicates(self):
+        tree, _ctx = make_tree()
+        box = Box((1.0, 1.0), (3.0, 3.0))
+        tree.insert(box, 5.0)
+        tree.insert(box, 5.0)
+        assert tree.remove(box, 5.0)
+        assert tree.box_sum(Box((0.0, 0.0), (9.0, 9.0))) == pytest.approx(5.0)
+
+    def test_remove_from_empty(self):
+        tree, _ctx = make_tree()
+        assert not tree.remove(Box((0.0, 0.0), (1.0, 1.0)), 1.0)
+
+
+@pytest.mark.parametrize("cls", [RStarTree, ARTree])
+class TestCondense:
+    def test_interleaved_removals_match_oracle(self, cls, rng):
+        tree, _ctx = make_tree(cls)
+        live = random_objects(rng, 350, 2)
+        for box, value in live:
+            tree.insert(box, value)
+        rng.shuffle(live)
+        while len(live) > 20:
+            box, value = live.pop()
+            assert tree.remove(box, value)
+            if len(live) % 50 == 0:
+                tree.check_invariants()
+                q = random_box(rng, 2, max_side=50.0)
+                expected = sum(v for b, v in live if b.intersects(q))
+                assert tree.box_sum(q) == pytest.approx(expected, abs=1e-6)
+        tree.check_invariants()
+        assert len(tree) == len(live)
+
+    def test_empty_and_reuse(self, cls, rng):
+        tree, ctx = make_tree(cls)
+        objects = random_objects(rng, 200, 2)
+        for box, value in objects:
+            tree.insert(box, value)
+        for box, value in objects:
+            assert tree.remove(box, value)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.total() == pytest.approx(0.0, abs=1e-9)
+        assert ctx.num_pages <= 2  # root (+ at most one stale page)
+        tree.insert(Box((1.0, 1.0), (2.0, 2.0)), 3.0)
+        assert tree.box_sum(Box((0.0, 0.0), (9.0, 9.0))) == pytest.approx(3.0)
+
+    def test_root_collapses(self, cls, rng):
+        tree, _ctx = make_tree(cls)
+        objects = random_objects(rng, 300, 2)
+        for box, value in objects:
+            tree.insert(box, value)
+        tall = tree.height
+        for box, value in objects[: len(objects) - 5]:
+            assert tree.remove(box, value)
+        tree.check_invariants()
+        assert tree.height < tall
+
+    def test_remove_after_bulk_load(self, cls, rng):
+        tree, _ctx = make_tree(cls)
+        objects = random_objects(rng, 250, 2)
+        tree.bulk_load(objects)
+        for box, value in objects[:100]:
+            assert tree.remove(box, value)
+        tree.check_invariants()
+        q = random_box(rng, 2, max_side=60.0)
+        expected = sum(v for b, v in objects[100:] if b.intersects(q))
+        assert tree.box_sum(q) == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,139 @@
+"""Tests for the R*-tree and its STR bulk loading."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import DimensionMismatchError
+from repro.core.geometry import Box
+from repro.core.naive import NaiveBoxSum
+from repro.rtree import RStarTree
+from repro.storage import StorageContext
+
+from ..conftest import random_box, random_objects
+
+
+def make_tree(dims=2, leaf_capacity=8, internal_capacity=8):
+    ctx = StorageContext(page_size=8192, buffer_pages=None)
+    return RStarTree(
+        ctx, dims, leaf_capacity=leaf_capacity, internal_capacity=internal_capacity
+    ), ctx
+
+
+class TestBasics:
+    def test_empty(self):
+        tree, _ctx = make_tree()
+        assert tree.box_sum(Box((0.0, 0.0), (10.0, 10.0))) == 0.0
+
+    def test_single_object(self):
+        tree, _ctx = make_tree()
+        tree.insert(Box((1.0, 1.0), (3.0, 3.0)), 5.0)
+        assert tree.box_sum(Box((2.0, 2.0), (9.0, 9.0))) == 5.0
+        assert tree.box_sum(Box((4.0, 4.0), (9.0, 9.0))) == 0.0
+
+    def test_paper_intersection_semantics(self):
+        tree, _ctx = make_tree()
+        tree.insert(Box((0.0, 0.0), (5.0, 5.0)), 1.0)
+        assert tree.box_sum(Box((5.0, 5.0), (9.0, 9.0))) == 1.0
+        assert tree.box_sum(Box((-4.0, -4.0), (0.0, 0.0))) == 0.0
+
+    def test_capacity_validation(self):
+        ctx = StorageContext(buffer_pages=None)
+        with pytest.raises(ValueError):
+            RStarTree(ctx, 2, leaf_capacity=2)
+
+    def test_dims_validation(self):
+        tree, _ctx = make_tree()
+        with pytest.raises(DimensionMismatchError):
+            tree.insert(Box((0.0,), (1.0,)), 1.0)
+
+    def test_delete_as_negation(self):
+        tree, _ctx = make_tree()
+        box = Box((1.0, 1.0), (3.0, 3.0))
+        tree.insert(box, 5.0)
+        tree.delete(box, 5.0)
+        assert tree.box_sum(Box((0.0, 0.0), (9.0, 9.0))) == pytest.approx(0.0)
+        assert len(tree) == 0
+
+
+@pytest.mark.parametrize("dims", [1, 2, 3])
+class TestOracleAgreement:
+    def test_insert_path(self, dims, rng):
+        tree, _ctx = make_tree(dims=dims)
+        oracle = NaiveBoxSum(dims)
+        for box, value in random_objects(rng, 500, dims):
+            tree.insert(box, value)
+            oracle.insert(box, value)
+        tree.check_invariants()
+        for _ in range(80):
+            q = random_box(rng, dims, max_side=40.0)
+            assert tree.box_sum(q) == pytest.approx(oracle.box_sum(q), abs=1e-6)
+
+    def test_bulk_path(self, dims, rng):
+        objects = random_objects(rng, 500, dims)
+        tree, _ctx = make_tree(dims=dims)
+        tree.bulk_load(objects)
+        tree.check_invariants()
+        oracle = NaiveBoxSum(dims)
+        for box, value in objects:
+            oracle.insert(box, value)
+        for _ in range(80):
+            q = random_box(rng, dims, max_side=40.0)
+            assert tree.box_sum(q) == pytest.approx(oracle.box_sum(q), abs=1e-6)
+
+    def test_bulk_then_insert(self, dims, rng):
+        initial = random_objects(rng, 300, dims)
+        extra = random_objects(rng, 200, dims)
+        tree, _ctx = make_tree(dims=dims)
+        tree.bulk_load(initial)
+        oracle = NaiveBoxSum(dims)
+        for box, value in initial:
+            oracle.insert(box, value)
+        for box, value in extra:
+            tree.insert(box, value)
+            oracle.insert(box, value)
+        tree.check_invariants()
+        for _ in range(60):
+            q = random_box(rng, dims, max_side=40.0)
+            assert tree.box_sum(q) == pytest.approx(oracle.box_sum(q), abs=1e-6)
+
+
+class TestStructure:
+    def test_forced_reinsertion_happens(self, rng):
+        """Skewed inserts trigger the once-per-level reinsertion path."""
+        tree, _ctx = make_tree(leaf_capacity=4, internal_capacity=4)
+        for i in range(200):
+            lo = (float(i), float(i % 7))
+            tree.insert(Box(lo, (lo[0] + 1.0, lo[1] + 1.0)), 1.0)
+        tree.check_invariants()
+        assert tree.height >= 3
+
+    def test_range_report(self, rng):
+        tree, _ctx = make_tree()
+        objects = random_objects(rng, 200, 2)
+        tree.bulk_load(objects)
+        query = random_box(rng, 2, max_side=50.0)
+        reported = list(tree.range_report(query))
+        expected = [(b, v) for b, v in objects if b.intersects(query)]
+        assert len(reported) == len(expected)
+        assert sum(v for _b, v in reported) == pytest.approx(
+            sum(v for _b, v in expected)
+        )
+
+    def test_str_bulk_load_is_compact(self, rng):
+        objects = random_objects(rng, 2000, 2)
+        loaded, ctx_l = make_tree()
+        loaded.bulk_load(objects)
+        inserted, ctx_i = make_tree()
+        for box, value in objects:
+            inserted.insert(box, value)
+        assert ctx_l.num_pages <= ctx_i.num_pages
+
+    def test_destroy(self, rng):
+        tree, ctx = make_tree()
+        tree.bulk_load(random_objects(rng, 500, 2))
+        tree.destroy()
+        assert ctx.num_pages == 1
+        assert tree.box_sum(Box((0.0, 0.0), (100.0, 100.0))) == 0.0

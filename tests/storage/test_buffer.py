@@ -1,0 +1,144 @@
+"""Tests for the LRU buffer pool and the aR-tree path buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.buffer import BufferPool, PathBuffer
+from repro.storage.stats import IOCounter
+
+
+class TestLruBasics:
+    def test_first_access_is_a_read_miss(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.access(1)
+        assert pool.counter.reads == 1
+        assert pool.counter.hits == 0
+
+    def test_second_access_is_a_hit(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.access(1)
+        pool.access(1)
+        assert pool.counter.reads == 1
+        assert pool.counter.hits == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(StorageError):
+            BufferPool(capacity_pages=0)
+
+    def test_unbounded_pool_never_evicts(self):
+        pool = BufferPool(capacity_pages=None)
+        for pid in range(10_000):
+            pool.access(pid)
+        for pid in range(10_000):
+            pool.access(pid)
+        assert pool.counter.reads == 10_000
+        assert pool.counter.hits == 10_000
+
+
+class TestEviction:
+    def test_lru_victim_selection(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)      # 2 is now the LRU page
+        pool.access(3)      # evicts 2
+        assert pool.is_resident(1)
+        assert not pool.is_resident(2)
+        assert pool.is_resident(3)
+
+    def test_clean_eviction_costs_no_write(self):
+        pool = BufferPool(capacity_pages=1)
+        pool.access(1)
+        pool.access(2)
+        assert pool.counter.writes == 0
+
+    def test_dirty_eviction_costs_a_write(self):
+        pool = BufferPool(capacity_pages=1)
+        pool.access(1, write=True)
+        pool.access(2)
+        assert pool.counter.writes == 1
+
+    def test_flush_writes_dirty_pages_once(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.access(1, write=True)
+        pool.access(2, write=True)
+        pool.access(3)
+        assert pool.flush() == 2
+        assert pool.flush() == 0
+
+    def test_invalidate_drops_without_write(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.access(1, write=True)
+        pool.invalidate(1)
+        assert not pool.is_resident(1)
+        assert pool.counter.writes == 0
+
+    def test_write_flag_upgrades_resident_page(self):
+        pool = BufferPool(capacity_pages=1)
+        pool.access(1)
+        pool.access(1, write=True)
+        pool.access(2)
+        assert pool.counter.writes == 1
+
+
+class TestCounterPlumbing:
+    def test_shared_counter(self):
+        counter = IOCounter()
+        pool = BufferPool(capacity_pages=4, counter=counter)
+        pool.access(1)
+        assert counter.reads == 1
+
+    def test_snapshot_delta(self):
+        counter = IOCounter()
+        pool = BufferPool(capacity_pages=4, counter=counter)
+        pool.access(1)
+        before = counter.snapshot()
+        pool.access(2)
+        pool.access(2)
+        delta = counter.delta(before)
+        assert delta.reads == 1
+        assert delta.hits == 1
+
+    def test_total_ios(self):
+        counter = IOCounter(reads=5, writes=3, hits=10)
+        assert counter.total_ios == 8
+        assert counter.accesses == 15
+
+    def test_reset(self):
+        counter = IOCounter(reads=5, writes=3, hits=10)
+        counter.reset()
+        assert counter.total_ios == 0
+
+
+class TestPathBuffer:
+    def test_path_pages_are_free(self):
+        pool = BufferPool(capacity_pages=2)
+        path = PathBuffer(pool)
+        path.remember([10, 11, 12])
+        path.access(11)
+        assert pool.counter.reads == 0
+        assert pool.counter.hits == 1
+
+    def test_non_path_pages_fall_through(self):
+        pool = BufferPool(capacity_pages=2)
+        path = PathBuffer(pool)
+        path.remember([10])
+        path.access(99)
+        assert pool.counter.reads == 1
+
+    def test_writes_bypass_the_path(self):
+        pool = BufferPool(capacity_pages=2)
+        path = PathBuffer(pool)
+        path.remember([10])
+        path.access(10, write=True)
+        assert pool.counter.reads == 1
+
+    def test_forget(self):
+        pool = BufferPool(capacity_pages=2)
+        path = PathBuffer(pool)
+        path.remember([10])
+        path.forget()
+        path.access(10)
+        assert pool.counter.reads == 1

@@ -1,0 +1,139 @@
+"""Tests for the byte-level page codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bptree.node import InternalNode, LeafNode
+from repro.core.errors import PageOverflowError, StorageError
+from repro.core.polynomial import Polynomial
+from repro.core.values import SumCount
+from repro.storage.codec import (
+    BPlusNodeCodec,
+    PolynomialValueCodec,
+    ScalarValueCodec,
+    SumCountValueCodec,
+)
+
+
+class TestValueCodecs:
+    def test_scalar_round_trip(self):
+        codec = ScalarValueCodec()
+        data = codec.encode(3.25)
+        value, offset = codec.decode(data, 0)
+        assert value == 3.25
+        assert offset == 8
+
+    def test_sumcount_round_trip(self):
+        codec = SumCountValueCodec()
+        data = codec.encode(SumCount(7.5, 3.0))
+        value, offset = codec.decode(data, 0)
+        assert value == SumCount(7.5, 3.0)
+        assert offset == 16
+
+    def test_sumcount_rejects_scalar(self):
+        with pytest.raises(StorageError):
+            SumCountValueCodec().encode(1.0)
+
+    def test_polynomial_round_trip(self):
+        codec = PolynomialValueCodec(2)
+        poly = Polynomial(2, {(1, 1): 4.0, (1, 0): -40.0, (0, 1): -8.0, (0, 0): 80.0})
+        data = codec.encode(poly)
+        value, offset = codec.decode(data, 0)
+        assert value == poly
+        assert offset == len(data)
+
+    def test_polynomial_zero(self):
+        codec = PolynomialValueCodec(3)
+        data = codec.encode(Polynomial(3))
+        value, _ = codec.decode(data, 0)
+        assert value.is_zero
+
+    def test_polynomial_arity_checked(self):
+        codec = PolynomialValueCodec(2)
+        with pytest.raises(StorageError):
+            codec.encode(Polynomial(3))
+
+    def test_polynomial_huge_exponent_rejected(self):
+        codec = PolynomialValueCodec(1)
+        with pytest.raises(StorageError):
+            codec.encode(Polynomial.monomial(1, (300,), 1.0))
+
+    def test_decode_at_offset(self):
+        codec = ScalarValueCodec()
+        blob = b"\xff" * 4 + codec.encode(9.0)
+        value, offset = codec.decode(blob, 4)
+        assert value == 9.0
+        assert offset == 12
+
+
+class TestBPlusNodeCodec:
+    def make(self):
+        return BPlusNodeCodec(ScalarValueCodec(), zero=0.0)
+
+    def test_leaf_round_trip(self):
+        codec = self.make()
+        leaf = LeafNode(7, 0.0)
+        leaf.keys = [1.0, 2.5, 4.0]
+        leaf.values = [10.0, 20.0, 30.0]
+        leaf.total = 60.0
+        leaf.next_pid = 9
+        image = codec.encode(leaf, 512)
+        assert len(image) == 512
+        decoded = codec.decode(image, 7)
+        assert decoded.keys == leaf.keys
+        assert decoded.values == leaf.values
+        assert decoded.total == 60.0
+        assert decoded.next_pid == 9
+        assert decoded.pid == 7
+
+    def test_leaf_no_next_sibling(self):
+        codec = self.make()
+        leaf = LeafNode(0, 0.0)
+        image = codec.encode(leaf, 128)
+        decoded = codec.decode(image, 0)
+        assert decoded.next_pid == -1
+        assert decoded.keys == []
+
+    def test_internal_round_trip(self):
+        codec = self.make()
+        node = InternalNode(3, 0.0)
+        node.seps = [5.0, 10.0]
+        node.children = [1, 2, 4]
+        node.aggs = [3.0, 7.0, 2.0]
+        node.total = 12.0
+        image = codec.encode(node, 256)
+        decoded = codec.decode(image, 3)
+        assert decoded.seps == node.seps
+        assert decoded.children == node.children
+        assert decoded.aggs == node.aggs
+        assert decoded.total == 12.0
+
+    def test_overflow_rejected(self):
+        codec = self.make()
+        leaf = LeafNode(0, 0.0)
+        leaf.keys = [float(i) for i in range(100)]
+        leaf.values = [1.0] * 100
+        with pytest.raises(PageOverflowError):
+            codec.encode(leaf, 64)
+
+    def test_unknown_payload_rejected(self):
+        codec = self.make()
+        with pytest.raises(StorageError):
+            codec.encode({"not": "a node"}, 128)
+
+    def test_unknown_tag_rejected(self):
+        codec = self.make()
+        with pytest.raises(StorageError):
+            codec.decode(b"X" + b"\x00" * 127, 0)
+
+    def test_polynomial_nodes(self):
+        codec = BPlusNodeCodec(PolynomialValueCodec(2), zero=Polynomial(2))
+        leaf = LeafNode(1, Polynomial(2))
+        poly = Polynomial(2, {(1, 0): 2.0})
+        leaf.keys = [3.0]
+        leaf.values = [poly]
+        leaf.total = poly
+        decoded = codec.decode(codec.encode(leaf, 512), 1)
+        assert decoded.values[0] == poly
+        assert decoded.total == poly

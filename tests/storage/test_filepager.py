@@ -1,0 +1,171 @@
+"""Tests for the durable file pager and the durable aggregate index."""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.bptree.node import LeafNode
+from repro.core.errors import PageNotFoundError, StorageError
+from repro.core.polynomial import Polynomial
+from repro.core.values import SumCount
+from repro.durable import DurableAggIndex
+from repro.storage.codec import BPlusNodeCodec, ScalarValueCodec
+from repro.storage.filepager import FilePager
+
+
+def make_codec():
+    return BPlusNodeCodec(ScalarValueCodec(), zero=0.0)
+
+
+def leaf(pid, keys=(), values=()):
+    node = LeafNode(pid, 0.0)
+    node.keys = list(keys)
+    node.values = list(values)
+    node.total = sum(values)
+    return node
+
+
+class TestFilePager:
+    def test_allocate_put_get(self, tmp_path):
+        with FilePager(str(tmp_path / "a.pages"), make_codec(), page_size=512) as pager:
+            pid = pager.allocate()
+            pager.put(pid, leaf(pid, [1.0], [5.0]))
+            node = pager.get(pid)
+            assert node.keys == [1.0]
+
+    def test_identity_preserving_cache(self, tmp_path):
+        with FilePager(str(tmp_path / "b.pages"), make_codec(), page_size=512) as pager:
+            pid = pager.allocate(leaf(0))
+            first = pager.get(pid)
+            second = pager.get(pid)
+            assert first is second  # in-place mutations stay visible
+
+    def test_mutations_survive_reopen_via_sync(self, tmp_path):
+        path = str(tmp_path / "c.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            pid = pager.allocate(leaf(0))
+            node = pager.get(pid)
+            node.keys.append(7.0)
+            node.values.append(1.0)
+            node.total = 1.0
+            # no explicit put: close() checkpoints the cache
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            assert reopened.get(pid).keys == [7.0]
+
+    def test_free_and_reuse(self, tmp_path):
+        with FilePager(str(tmp_path / "d.pages"), make_codec(), page_size=512) as pager:
+            a = pager.allocate(leaf(0))
+            pager.free(a)
+            b = pager.allocate(leaf(0))
+            assert b == a  # freed slot reused
+            with pytest.raises(PageNotFoundError):
+                pager.get(999)
+
+    def test_free_list_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "e.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            a = pager.allocate(leaf(0))
+            pager.allocate(leaf(1))
+            pager.free(a)
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            assert reopened.num_pages == 1
+            assert reopened.allocate(leaf(0)) == a
+
+    def test_user_meta_round_trip(self, tmp_path):
+        path = str(tmp_path / "f.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            pager.set_meta(b'{"root": 3}')
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            assert reopened.user_meta == b'{"root": 3}'
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "g.pages"
+        path.write_bytes(b"NOTAPAGEFILE" + b"\x00" * 600)
+        with pytest.raises(StorageError):
+            FilePager(str(path), make_codec(), page_size=512, create=False)
+
+    def test_page_size_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "h.pages")
+        FilePager(path, make_codec(), page_size=512).close()
+        with pytest.raises(StorageError):
+            FilePager(path, make_codec(), page_size=1024, create=False)
+
+    def test_missing_file_without_create(self, tmp_path):
+        with pytest.raises(StorageError):
+            FilePager(str(tmp_path / "nope.pages"), make_codec(), create=False)
+
+    def test_file_size_on_disk(self, tmp_path):
+        path = str(tmp_path / "i.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            for _ in range(4):
+                pager.allocate(leaf(0))
+        assert os.path.getsize(path) == 5 * 512  # header + 4 pages
+
+
+class TestDurableAggIndex:
+    def test_insert_query_reopen(self, tmp_path):
+        path = str(tmp_path / "idx.pages")
+        rng = random.Random(5)
+        items = [(rng.uniform(0, 100), rng.uniform(0, 5)) for _ in range(1500)]
+        with DurableAggIndex.open(path, page_size=1024) as index:
+            for k, v in items:
+                index.insert(k, v)
+            expected = index.range_sum(10.0, 60.0)
+        with DurableAggIndex.open(path, page_size=1024, create=False) as reopened:
+            assert reopened.range_sum(10.0, 60.0) == pytest.approx(expected)
+            assert len(reopened) == len({round(k, 12) for k, _ in items} | set())
+
+    def test_updates_after_reopen(self, tmp_path):
+        path = str(tmp_path / "idx2.pages")
+        with DurableAggIndex.open(path) as index:
+            index.insert(5.0, 2.0)
+        with DurableAggIndex.open(path, create=False) as index:
+            index.insert(6.0, 3.0)
+            assert index.total() == pytest.approx(5.0)
+        with DurableAggIndex.open(path, create=False) as index:
+            assert index.dominance_sum(10.0) == pytest.approx(5.0)
+
+    def test_checkpoint_midway(self, tmp_path):
+        path = str(tmp_path / "idx3.pages")
+        index = DurableAggIndex.open(path)
+        index.insert(1.0, 1.0)
+        index.checkpoint()
+        index.insert(2.0, 1.0)
+        index.close()
+        with DurableAggIndex.open(path, create=False) as reopened:
+            assert reopened.total() == pytest.approx(2.0)
+
+    def test_sumcount_values(self, tmp_path):
+        path = str(tmp_path / "idx4.pages")
+        with DurableAggIndex.open(path, value_kind="sum+count") as index:
+            index.insert(1.0, SumCount(4.0, 1.0))
+            index.insert(2.0, SumCount(6.0, 1.0))
+        with DurableAggIndex.open(path, value_kind="sum+count", create=False) as r:
+            agg = r.range_sum(0.0, 10.0)
+            assert agg.average() == pytest.approx(5.0)
+
+    def test_polynomial_values(self, tmp_path):
+        path = str(tmp_path / "idx5.pages")
+        x = Polynomial.variable(2, 0)
+        with DurableAggIndex.open(path, value_kind="polynomial", poly_dims=2) as index:
+            for i in range(100):
+                index.insert(float(i), x)
+        with DurableAggIndex.open(
+            path, value_kind="polynomial", poly_dims=2, create=False
+        ) as r:
+            agg = r.dominance_sum(50.0)
+            assert agg.evaluate((1.0, 0.0)) == pytest.approx(50.0)
+
+    def test_value_kind_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "idx6.pages")
+        with DurableAggIndex.open(path, value_kind="scalar") as index:
+            index.insert(1.0, 1.0)
+        with pytest.raises(StorageError):
+            DurableAggIndex.open(path, value_kind="sum+count", create=False)
+
+    def test_unknown_value_kind(self, tmp_path):
+        with pytest.raises(StorageError):
+            DurableAggIndex.open(str(tmp_path / "x.pages"), value_kind="median")

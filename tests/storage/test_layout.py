@@ -1,0 +1,85 @@
+"""Tests for record layouts and page-capacity arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.layout import Layout, polynomial_value_bytes
+from repro.storage.stats import CostModel, Stopwatch
+
+
+class TestCapacities:
+    def test_bptree_leaf_capacity_8k_scalar(self):
+        layout = Layout(page_size=8192, value_bytes=8)
+        # 16 bytes per (key, value) entry -> 512 entries.
+        assert layout.bptree_leaf_capacity() == 512
+
+    def test_point_leaf_capacity_scales_with_dims(self):
+        layout = Layout(page_size=8192, value_bytes=8)
+        assert layout.point_leaf_capacity(2) == 8192 // 24
+        assert layout.point_leaf_capacity(3) == 8192 // 32
+
+    def test_kdb_index_record_includes_borders(self):
+        layout = Layout(page_size=8192, value_bytes=8)
+        # box 32 + pid 4 + subtotal 8 + 2 handles 16 = 60 bytes in 2-d.
+        assert layout.kdb_index_record_bytes(2) == 60
+        assert layout.kdb_index_capacity(2) == 8192 // 60
+
+    def test_rtree_capacities(self):
+        layout = Layout(page_size=8192)
+        assert layout.rtree_leaf_capacity(2) == 8192 // 40
+        assert layout.rtree_internal_capacity(2, aggregated=False) == 8192 // 36
+        assert layout.rtree_internal_capacity(2, aggregated=True) == 8192 // 44
+
+    def test_aggregated_entries_shrink_fanout(self):
+        layout = Layout(page_size=8192)
+        assert layout.rtree_internal_capacity(2, True) < layout.rtree_internal_capacity(
+            2, False
+        )
+
+    def test_too_small_page_raises(self):
+        with pytest.raises(StorageError):
+            Layout(page_size=16, value_bytes=8).bptree_leaf_capacity()
+
+    def test_with_value_bytes(self):
+        layout = Layout(page_size=8192, value_bytes=8)
+        wide = layout.with_value_bytes(100)
+        assert wide.page_size == 8192
+        assert wide.bptree_leaf_capacity() < layout.bptree_leaf_capacity()
+
+
+class TestPolynomialValueBytes:
+    def test_degree_zero_2d(self):
+        # One coefficient: header 8 + 1 * (8 + 2) = 18.
+        assert polynomial_value_bytes(2, 0) == 18
+
+    def test_grows_with_degree(self):
+        assert polynomial_value_bytes(2, 4) > polynomial_value_bytes(2, 2) > (
+            polynomial_value_bytes(2, 0)
+        )
+
+    def test_matches_figure_9c_effect(self):
+        """Degree-2 functional indices store degree-(2+d) tuples: smaller fanout."""
+        layout0 = Layout(8192, polynomial_value_bytes(2, 0 + 2))
+        layout2 = Layout(8192, polynomial_value_bytes(2, 2 + 2))
+        assert layout2.bptree_leaf_capacity() < layout0.bptree_leaf_capacity()
+
+
+class TestCostModel:
+    def test_execution_time_combines_cpu_and_io(self):
+        model = CostModel(io_time_ms=10.0)
+        assert model.execution_time(1.5, 100) == pytest.approx(2.5)
+
+    def test_custom_io_time(self):
+        model = CostModel(io_time_ms=5.0)
+        assert model.execution_time(0.0, 200) == pytest.approx(1.0)
+
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            sum(range(10_000))
+        first = watch.cpu_seconds
+        with watch:
+            sum(range(10_000))
+        assert watch.cpu_seconds >= first >= 0.0

@@ -1,0 +1,92 @@
+"""Tests for the simulated disk (pager)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.errors import PageNotFoundError, StorageError
+from repro.storage.pager import NO_PAGE, Pager
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_ids(self):
+        pager = Pager()
+        pids = {pager.allocate() for _ in range(100)}
+        assert len(pids) == 100
+
+    def test_allocate_with_payload(self):
+        pager = Pager()
+        pid = pager.allocate({"hello": 1})
+        assert pager.get(pid) == {"hello": 1}
+
+    def test_rejects_nonpositive_page_size(self):
+        with pytest.raises(StorageError):
+            Pager(page_size=0)
+
+    def test_no_page_sentinel_is_never_allocated(self):
+        pager = Pager()
+        pid = pager.allocate()
+        assert pid != NO_PAGE
+
+
+class TestFreeAndAccess:
+    def test_free_removes_page(self):
+        pager = Pager()
+        pid = pager.allocate("x")
+        pager.free(pid)
+        assert pid not in pager
+        with pytest.raises(PageNotFoundError):
+            pager.get(pid)
+
+    def test_double_free_raises(self):
+        pager = Pager()
+        pid = pager.allocate()
+        pager.free(pid)
+        with pytest.raises(PageNotFoundError):
+            pager.free(pid)
+
+    def test_put_unknown_page_raises(self):
+        pager = Pager()
+        with pytest.raises(PageNotFoundError):
+            pager.put(999, "x")
+
+    def test_put_replaces_payload(self):
+        pager = Pager()
+        pid = pager.allocate("old")
+        pager.put(pid, "new")
+        assert pager.get(pid) == "new"
+
+
+class TestSizeReporting:
+    def test_size_bytes_tracks_live_pages(self):
+        pager = Pager(page_size=4096)
+        pids = [pager.allocate() for _ in range(10)]
+        assert pager.num_pages == 10
+        assert pager.size_bytes == 10 * 4096
+        pager.free(pids[0])
+        assert pager.size_bytes == 9 * 4096
+
+    def test_allocations_ever_counts_freed(self):
+        pager = Pager()
+        pid = pager.allocate()
+        pager.free(pid)
+        pager.allocate()
+        assert pager.allocations_ever == 2
+        assert pager.num_pages == 1
+
+
+class TestDurability:
+    def test_save_load_round_trip(self, tmp_path):
+        pager = Pager(page_size=1024)
+        a = pager.allocate(("node", [1.0, 2.0]))
+        b = pager.allocate({"keys": [3.0]})
+        path = os.path.join(tmp_path, "disk.img")
+        pager.save(path)
+        reopened = Pager.load(path)
+        assert reopened.page_size == 1024
+        assert reopened.get(a) == ("node", [1.0, 2.0])
+        assert reopened.get(b) == {"keys": [3.0]}
+        # Allocation continues from where it left off: ids never collide.
+        assert reopened.allocate() not in (a, b)

@@ -1,0 +1,115 @@
+"""Tests for the slab allocator (shared border pages)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SlabError
+from repro.storage import StorageContext
+
+
+@pytest.fixture
+def ctx():
+    return StorageContext(page_size=1024, buffer_pages=None)
+
+
+class TestAllocate:
+    def test_small_allocations_share_a_page(self, ctx):
+        a = ctx.slab.allocate(100)
+        b = ctx.slab.allocate(100)
+        assert a.pid == b.pid
+        assert ctx.pager.num_pages == 1
+
+    def test_full_page_spills_to_new_page(self, ctx):
+        a = ctx.slab.allocate(800)
+        b = ctx.slab.allocate(800)
+        assert a.pid != b.pid
+        assert ctx.pager.num_pages == 2
+
+    def test_oversized_allocation_raises(self, ctx):
+        with pytest.raises(SlabError):
+            ctx.slab.allocate(2048)
+
+    def test_zero_size_raises(self, ctx):
+        with pytest.raises(SlabError):
+            ctx.slab.allocate(0)
+
+    def test_allocation_counts_an_io(self, ctx):
+        ctx.slab.allocate(100)
+        assert ctx.counter.reads == 1
+
+
+class TestFree:
+    def test_free_makes_space_reusable(self, ctx):
+        a = ctx.slab.allocate(800)
+        ctx.slab.free(a)
+        b = ctx.slab.allocate(800)
+        assert ctx.pager.num_pages == 1
+        assert b.nbytes == 800
+
+    def test_emptied_page_is_released(self, ctx):
+        a = ctx.slab.allocate(100)
+        b = ctx.slab.allocate(100)
+        ctx.slab.free(a)
+        assert ctx.pager.num_pages == 1
+        ctx.slab.free(b)
+        assert ctx.pager.num_pages == 0
+
+    def test_double_free_raises(self, ctx):
+        a = ctx.slab.allocate(100)
+        ctx.slab.free(a)
+        with pytest.raises(SlabError):
+            ctx.slab.free(a)
+
+    def test_access_after_free_raises(self, ctx):
+        a = ctx.slab.allocate(100)
+        ctx.slab.free(a)
+        with pytest.raises(SlabError):
+            ctx.slab.access(a)
+
+
+class TestResize:
+    def test_grow_in_place(self, ctx):
+        a = ctx.slab.allocate(100)
+        b = ctx.slab.resize(a, 200)
+        assert b.pid == a.pid
+        assert b.nbytes == 200
+
+    def test_grow_moves_when_page_is_full(self, ctx):
+        a = ctx.slab.allocate(500)
+        ctx.slab.allocate(500)  # fills the rest of the page (1000/1024 used)
+        c = ctx.slab.resize(a, 600)
+        assert c.pid != a.pid
+        with pytest.raises(SlabError):
+            ctx.slab.access(a)
+
+    def test_shrink(self, ctx):
+        a = ctx.slab.allocate(500)
+        b = ctx.slab.resize(a, 100)
+        assert b.nbytes == 100
+        # Freed room is usable again.
+        c = ctx.slab.allocate(900)
+        assert c.pid == b.pid
+
+
+class TestAccounting:
+    def test_live_allocations(self, ctx):
+        a = ctx.slab.allocate(10)
+        b = ctx.slab.allocate(10)
+        assert ctx.slab.live_allocations() == 2
+        ctx.slab.free(a)
+        assert ctx.slab.live_allocations() == 1
+        ctx.slab.free(b)
+        assert ctx.slab.live_allocations() == 0
+
+    def test_used_bytes(self, ctx):
+        a = ctx.slab.allocate(300)
+        assert ctx.slab.used_bytes(a.pid) == 300
+
+    def test_access_counts_hits_when_buffered(self, ctx):
+        a = ctx.slab.allocate(100)
+        before = ctx.counter.snapshot()
+        ctx.slab.access(a)
+        delta = ctx.counter.delta(before)
+        assert delta.hits == 1
+        assert delta.reads == 0

@@ -1,0 +1,68 @@
+"""Adversarial stress: pathological coordinate patterns under tiny pages.
+
+Grid-aligned duplicates, tight clusters, diagonal runs and uniform noise,
+interleaved with negative values and a mid-stream rebuild — against trees
+configured with tiny capacities and spill thresholds so every split path
+(leaf, index, forced, border partition/migration, spill) fires constantly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.batree import BATree
+from repro.core.naive import NaiveDominanceSum
+from repro.ecdf import EcdfBTree
+from repro.storage import StorageContext
+
+
+def _point_generator(rng: random.Random, dims: int, anchor: float):
+    def gen():
+        mode = rng.random()
+        if mode < 0.3:  # grid-aligned: heavy coordinate duplication
+            return tuple(float(rng.randint(0, 6)) for _ in range(dims))
+        if mode < 0.5:  # tight Gaussian cluster
+            return tuple(anchor + rng.gauss(0, 0.2) for _ in range(dims))
+        if mode < 0.6:  # diagonal run (worst case for axis splits)
+            v = rng.uniform(0, 100)
+            return (v,) * dims
+        return tuple(rng.uniform(0, 100) for _ in range(dims))
+
+    return gen
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_pathological_patterns_under_tiny_pages(dims, seed):
+    rng = random.Random(seed * 1337 + dims)
+    gen = _point_generator(rng, dims, anchor=50.0 + seed)
+    ba_tree = BATree(
+        StorageContext(page_size=8192, buffer_pages=17),
+        dims, leaf_capacity=3, index_capacity=3, spill_bytes=48,
+    )
+    ecdf_tree = EcdfBTree(
+        StorageContext(buffer_pages=11),
+        dims, variant="q", leaf_capacity=3, internal_capacity=3, spill_bytes=48,
+    )
+    oracle = NaiveDominanceSum(dims)
+    inserted = []
+    for i in range(500):
+        point, value = gen(), rng.uniform(-4, 6)
+        ba_tree.insert(point, value)
+        ecdf_tree.insert(point, value)
+        oracle.insert(point, value)
+        inserted.append((point, value))
+        if i == 250:
+            ecdf_tree.bulk_load(inserted)  # mid-stream rebuild
+    ba_tree.check_invariants()
+    ecdf_tree.check_invariants()
+    for _ in range(120):
+        if rng.random() < 0.5:
+            q = gen()  # probe exactly on the pathological patterns
+        else:
+            q = tuple(rng.uniform(-5, 105) for _ in range(dims))
+        expected = oracle.dominance_sum(q)
+        assert ba_tree.dominance_sum(q) == pytest.approx(expected, abs=1e-6)
+        assert ecdf_tree.dominance_sum(q) == pytest.approx(expected, abs=1e-6)

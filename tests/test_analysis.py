@@ -1,0 +1,146 @@
+"""Tests for the Theorem 4 cost model and the empirical-fit helpers."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import Theorem4, fit_power_law, growth_ratio, predicted_rows
+from repro.core.errors import InvalidQueryError
+
+
+class TestTheorem4:
+    def setup_method(self):
+        self.model = Theorem4(page_capacity=100, dims=2)
+
+    def test_bq_space_exceeds_bu_space(self):
+        for n in (10_000, 100_000, 1_000_000):
+            assert self.model.bq_space(n) > self.model.bu_space(n)
+
+    def test_bq_query_below_bu_query(self):
+        for n in (10_000, 1_000_000):
+            assert self.model.bq_query(n) < self.model.bu_query(n)
+
+    def test_update_mirrors_query(self):
+        n = 100_000
+        assert self.model.bu_update(n) == self.model.bq_query(n)
+        assert self.model.bq_update(n) == self.model.bu_query(n)
+
+    def test_batree_sits_between(self):
+        n = 1_000_000
+        assert self.model.bq_query(n) == self.model.batree_query_avg(n)
+        assert (
+            self.model.bu_update(n)
+            < self.model.batree_update_avg(n)
+            < self.model.bq_update(n)
+        )
+
+    def test_one_dimensional_collapses_to_btree(self):
+        model = Theorem4(page_capacity=100, dims=1)
+        n = 1_000_000
+        # d = 1: every cost is log_B n (no border factors).
+        assert model.bu_query(n) == pytest.approx(model.bq_query(n))
+        assert model.bu_query(n) == pytest.approx(math.log(n) / math.log(100))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(InvalidQueryError):
+            Theorem4(page_capacity=1, dims=2).bu_space(100)
+        with pytest.raises(InvalidQueryError):
+            Theorem4(page_capacity=100, dims=0).bq_query(100)
+
+    def test_predicted_rows_shape(self):
+        rows = predicted_rows([1000, 2000], 64, 2)
+        assert len(rows) == 4
+        variants = {r[0] for r in rows}
+        assert variants == {"Bu", "Bq"}
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law(self):
+        points = [(x, 3.0 * x**2) for x in (1.0, 2.0, 4.0, 8.0)]
+        exponent, coefficient = fit_power_law(points)
+        assert exponent == pytest.approx(2.0)
+        assert coefficient == pytest.approx(3.0)
+
+    def test_linear(self):
+        points = [(x, 5.0 * x) for x in (10.0, 100.0, 1000.0)]
+        exponent, _c = fit_power_law(points)
+        assert exponent == pytest.approx(1.0)
+
+    def test_noisy_fit(self):
+        rng = random.Random(1)
+        points = [
+            (x, 2.0 * x**1.5 * rng.uniform(0.9, 1.1)) for x in (1, 2, 4, 8, 16, 32)
+        ]
+        exponent, _c = fit_power_law(points)
+        assert exponent == pytest.approx(1.5, abs=0.15)
+
+    def test_needs_two_points(self):
+        with pytest.raises(InvalidQueryError):
+            fit_power_law([(1.0, 1.0)])
+
+    def test_needs_distinct_x(self):
+        with pytest.raises(InvalidQueryError):
+            fit_power_law([(2.0, 1.0), (2.0, 3.0)])
+
+    def test_ignores_nonpositive_points(self):
+        points = [(0.0, 5.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)]
+        exponent, _c = fit_power_law(points)
+        assert exponent == pytest.approx(1.0)
+
+
+class TestGrowthRatio:
+    def test_linear_growth_is_one(self):
+        assert growth_ratio([(1.0, 10.0), (4.0, 40.0)]) == pytest.approx(1.0)
+
+    def test_sublinear_below_one(self):
+        assert growth_ratio([(1.0, 10.0), (100.0, 100.0)]) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidQueryError):
+            growth_ratio([(1.0, 1.0)])
+        with pytest.raises(InvalidQueryError):
+            growth_ratio([(4.0, 1.0), (1.0, 2.0)])
+
+
+class TestAgainstMeasurements:
+    """The analytic model's orderings match what the structures actually do."""
+
+    def test_measured_bu_bq_space_ordering(self):
+        from repro.core.aggregator import make_dominance_index
+        from repro.storage import StorageContext
+        from repro.workloads import uniform_boxes
+
+        points = [
+            (box.corner((0, 0)), v) for box, v in uniform_boxes(3000, seed=3)
+        ]
+        sizes = {}
+        for backend in ("ecdf-bu", "ecdf-bq"):
+            ctx = StorageContext(page_size=2048, buffer_pages=None)
+            tree = make_dominance_index(backend, 2, storage=ctx)
+            tree.bulk_load(points)
+            sizes[backend] = ctx.num_pages
+        model = Theorem4(page_capacity=85, dims=2)
+        assert (sizes["ecdf-bq"] > sizes["ecdf-bu"]) == (
+            model.bq_space(3000) > model.bu_space(3000)
+        )
+
+    def test_measured_space_growth_is_near_linear(self):
+        from repro.core.aggregator import make_dominance_index
+        from repro.storage import StorageContext
+        from repro.workloads import uniform_boxes
+
+        series = []
+        for n in (1000, 2000, 4000, 8000):
+            points = [
+                (box.corner((0, 0)), v) for box, v in uniform_boxes(n, seed=4)
+            ]
+            ctx = StorageContext(page_size=2048, buffer_pages=None)
+            tree = make_dominance_index("ecdf-bu", 2, storage=ctx)
+            tree.bulk_load(points)
+            series.append((float(n), float(ctx.num_pages)))
+        exponent, _c = fit_power_law(series)
+        # Bu space is (n/B)·log n: near-linear in n (within log wiggle).
+        assert 0.8 < exponent < 1.4

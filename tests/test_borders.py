@@ -1,0 +1,135 @@
+"""Tests for the border abstraction (slab arrays that spill into trees)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.borders import Border
+from repro.bptree import AggBPlusTree
+from repro.core.errors import DimensionMismatchError
+from repro.core.naive import NaiveDominanceSum
+from repro.storage import StorageContext
+
+
+def make_border(dims=1, spill_bytes=64, ctx=None):
+    ctx = ctx or StorageContext(page_size=1024, buffer_pages=None)
+
+    def factory():
+        if dims == 1:
+            return AggBPlusTree(ctx, leaf_capacity=4, internal_capacity=4)
+        raise AssertionError("tests only exercise 1-d spill trees")
+
+    return Border(ctx, dims, 0.0, entry_bytes=16, tree_factory=factory,
+                  spill_bytes=spill_bytes), ctx
+
+
+class TestArrayMode:
+    def test_empty_border(self):
+        border, _ctx = make_border()
+        assert border.dominance_sum((5.0,)) == 0.0
+        assert border.total() == 0.0
+        assert not border.is_spilled
+
+    def test_insert_and_query(self):
+        border, _ctx = make_border()
+        border.insert((1.0,), 2.0)
+        border.insert((3.0,), 4.0)
+        assert border.dominance_sum((2.0,)) == 2.0
+        assert border.dominance_sum((9.0,)) == 6.0
+        assert border.dominance_sum((1.0,)) == 0.0  # strict
+
+    def test_duplicates_merge_in_array_mode(self):
+        border, _ctx = make_border()
+        border.insert((1.0,), 2.0)
+        border.insert((1.0,), 3.0)
+        assert len(border) == 1
+        assert border.total() == 5.0
+
+    def test_array_lives_in_shared_slab_page(self):
+        ctx = StorageContext(page_size=1024, buffer_pages=None)
+        a, _ = make_border(ctx=ctx, spill_bytes=256)
+        b, _ = make_border(ctx=ctx, spill_bytes=256)
+        a.insert((1.0,), 1.0)
+        b.insert((2.0,), 1.0)
+        # Both small borders fit in one shared page (the packing optimization).
+        assert ctx.pager.num_pages == 1
+
+    def test_query_costs_one_page_access(self):
+        border, ctx = make_border()
+        border.insert((1.0,), 1.0)
+        ctx.reset_stats()
+        border.dominance_sum((5.0,))
+        assert ctx.counter.accesses == 1
+
+    def test_arity_validation(self):
+        border, _ctx = make_border()
+        with pytest.raises(DimensionMismatchError):
+            border.insert((1.0, 2.0), 1.0)
+
+
+class TestSpill:
+    def test_spills_after_threshold(self):
+        border, _ctx = make_border(spill_bytes=64)  # 4 entries of 16 bytes
+        for i in range(4):
+            border.insert((float(i),), 1.0)
+        assert not border.is_spilled
+        border.insert((99.0,), 1.0)
+        assert border.is_spilled
+
+    def test_queries_agree_across_spill(self):
+        border, _ctx = make_border(spill_bytes=64)
+        oracle = NaiveDominanceSum(1)
+        rng = random.Random(2)
+        for _ in range(100):
+            k = rng.uniform(0, 50)
+            border.insert((k,), 1.0)
+            oracle.insert((k,), 1.0)
+        assert border.is_spilled
+        for q in (0.0, 10.0, 25.0, 60.0):
+            assert border.dominance_sum((q,)) == pytest.approx(
+                oracle.dominance_sum((q,))
+            )
+
+    def test_bulk_load_large_goes_straight_to_tree(self):
+        border, _ctx = make_border(spill_bytes=64)
+        border.bulk_load([((float(i),), 1.0) for i in range(50)])
+        assert border.is_spilled
+        assert border.dominance_sum((25.0,)) == 25.0
+
+    def test_bulk_load_small_stays_array(self):
+        border, _ctx = make_border(spill_bytes=64)
+        border.bulk_load([((1.0,), 1.0), ((2.0,), 2.0)])
+        assert not border.is_spilled
+        assert border.total() == 3.0
+
+    def test_collect_after_spill_yields_tuples(self):
+        border, _ctx = make_border(spill_bytes=32)
+        border.bulk_load([((float(i),), 1.0) for i in range(10)])
+        entries = list(border.collect())
+        assert all(isinstance(p, tuple) and len(p) == 1 for p, _v in entries)
+        assert len(entries) == 10
+
+
+class TestLifecycle:
+    def test_destroy_releases_slab(self):
+        border, ctx = make_border()
+        border.insert((1.0,), 1.0)
+        border.destroy()
+        assert ctx.slab.live_allocations() == 0
+        assert ctx.pager.num_pages == 0
+
+    def test_destroy_releases_tree_pages(self):
+        border, ctx = make_border(spill_bytes=32)
+        border.bulk_load([((float(i),), 1.0) for i in range(100)])
+        assert ctx.pager.num_pages > 1
+        border.destroy()
+        assert ctx.pager.num_pages == 0
+
+    def test_border_usable_after_destroy(self):
+        border, _ctx = make_border()
+        border.insert((1.0,), 1.0)
+        border.destroy()
+        border.insert((2.0,), 5.0)
+        assert border.total() == 5.0

@@ -1,0 +1,93 @@
+"""Tests for the structure dump utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batree import BATree
+from repro.bptree import AggBPlusTree
+from repro.core.errors import NotSupportedError
+from repro.ecdf import EcdfBTree
+from repro.inspect import dump
+from repro.kdb import KdbTree
+from repro.rtree import ARTree, RStarTree
+from repro.storage import StorageContext
+
+from .conftest import random_objects
+
+
+def ctx():
+    return StorageContext(buffer_pages=None)
+
+
+class TestDumpDispatch:
+    def test_bptree(self):
+        tree = AggBPlusTree(ctx(), leaf_capacity=3, internal_capacity=3)
+        for i in range(10):
+            tree.insert(float(i), 1.0)
+        text = dump(tree)
+        assert text.startswith("AggBPlusTree(entries=10")
+        assert "leaf#" in text
+        assert "internal#" in text
+
+    def test_batree(self, rng):
+        tree = BATree(ctx(), 2, leaf_capacity=4, index_capacity=4)
+        for i in range(60):
+            tree.insert((float(i % 10), float(i // 10)), 1.0)
+        text = dump(tree)
+        assert text.startswith("BATree(dims=2")
+        assert "record" in text
+        assert "subtotal=" in text
+        assert "b0=" in text and "b1=" in text
+
+    def test_batree_1d_delegate(self):
+        tree = BATree(ctx(), 1)
+        tree.insert((1.0,), 1.0)
+        assert "1-d delegate" in dump(tree)
+
+    @pytest.mark.parametrize("variant", ["u", "q"])
+    def test_ecdf_b(self, variant, rng):
+        tree = EcdfBTree(ctx(), 2, variant=variant, leaf_capacity=4, internal_capacity=4)
+        for i in range(50):
+            tree.insert((float(i), float(i)), 1.0)
+        text = dump(tree)
+        assert text.startswith(f"EcdfB{variant}Tree")
+        assert "t0=" in text
+
+    def test_kdb(self, rng):
+        tree = KdbTree(ctx(), 2, leaf_capacity=4, index_capacity=4)
+        for i in range(40):
+            tree.insert((float(i % 7), float(i // 7)))
+        text = dump(tree)
+        assert text.startswith("KdbTree")
+        assert "record" in text
+
+    def test_rtree_plain_and_aggregated(self, rng):
+        objects = random_objects(rng, 60, 2)
+        plain = RStarTree(ctx(), 2, leaf_capacity=4, internal_capacity=4)
+        aggregated = ARTree(ctx(), 2, leaf_capacity=4, internal_capacity=4)
+        for box, value in objects:
+            plain.insert(box, value)
+            aggregated.insert(box, value)
+        assert "agg=" not in dump(plain)
+        assert "agg=" in dump(aggregated)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(NotSupportedError):
+            dump({"not": "a tree"})
+
+    def test_max_depth_truncates(self):
+        tree = AggBPlusTree(ctx(), leaf_capacity=2, internal_capacity=3)
+        for i in range(64):
+            tree.insert(float(i), 1.0)
+        text = dump(tree, max_depth=2)
+        assert "..." in text
+
+    def test_dump_does_not_cost_io(self, rng):
+        context = StorageContext(buffer_pages=None)
+        tree = BATree(context, 2, leaf_capacity=4, index_capacity=4)
+        for i in range(40):
+            tree.insert((float(i), float(i)), 1.0)
+        context.reset_stats()
+        dump(tree)
+        assert context.counter.accesses == 0

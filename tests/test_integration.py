@@ -1,0 +1,174 @@
+"""Cross-module integration tests: durability, shared buffers, skewed data, 4-d."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro import Box, BoxSumIndex, FunctionalBoxSumIndex, Polynomial
+from repro.batree import BATree
+from repro.core.naive import NaiveBoxSum, NaiveDominanceSum
+from repro.ecdf import EcdfBTree
+from repro.storage import StorageContext
+from repro.workloads import clustered_boxes, query_boxes, uniform_boxes
+
+from .conftest import random_box
+
+
+class TestDurability:
+    """Indexes survive a pickle round trip of the whole simulated disk."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda ctx: BATree(ctx, 2, leaf_capacity=8, index_capacity=8),
+            lambda ctx: EcdfBTree(ctx, 2, variant="u", leaf_capacity=8, internal_capacity=8),
+            lambda ctx: EcdfBTree(ctx, 2, variant="q", leaf_capacity=8, internal_capacity=8),
+        ],
+    )
+    def test_tree_round_trip(self, factory, tmp_path):
+        rng = random.Random(21)
+        points = [((rng.uniform(0, 100), rng.uniform(0, 100)), 1.0) for _ in range(300)]
+        tree = factory(StorageContext(buffer_pages=None))
+        tree.bulk_load(points)
+        path = tmp_path / "tree.pkl"
+        with open(path, "wb") as f:
+            pickle.dump(tree, f)
+        with open(path, "rb") as f:
+            reopened = pickle.load(f)
+        for _ in range(20):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            assert reopened.dominance_sum(q) == pytest.approx(tree.dominance_sum(q))
+        reopened.insert((50.0, 50.0), 3.0)
+        assert reopened.dominance_sum((60.0, 60.0)) == pytest.approx(
+            tree.dominance_sum((60.0, 60.0)) + 3.0
+        )
+
+    def test_facade_round_trip(self, tmp_path, rng):
+        index = BoxSumIndex(2, backend="ba", buffer_pages=None)
+        objects = [(random_box(rng, 2), rng.uniform(0, 5)) for _ in range(150)]
+        index.bulk_load(objects)
+        path = tmp_path / "index.pkl"
+        with open(path, "wb") as f:
+            pickle.dump(index, f)
+        with open(path, "rb") as f:
+            reopened = pickle.load(f)
+        q = random_box(rng, 2, max_side=60.0)
+        assert reopened.box_sum(q) == pytest.approx(index.box_sum(q))
+
+
+class TestSharedBuffer:
+    def test_multiple_indexes_one_disk(self, rng):
+        """Two facades on one context contend for the same LRU buffer."""
+        ctx = StorageContext(page_size=2048, buffer_pages=16)
+        a = BoxSumIndex(2, backend="ba", storage=ctx)
+        b = BoxSumIndex(2, backend="ecdf-bu", storage=ctx)
+        objects = [(random_box(rng, 2), 1.0) for _ in range(400)]
+        a.bulk_load(objects)
+        b.bulk_load(objects)
+        q = random_box(rng, 2, max_side=50.0)
+        assert a.box_sum(q) == pytest.approx(b.box_sum(q))
+        assert ctx.num_pages > 0
+        assert ctx.buffer.resident_pages <= 16
+
+
+class TestSkewedData:
+    @pytest.mark.parametrize("backend", ["ba", "ecdf-bu", "ecdf-bq", "ar"])
+    def test_clustered_dataset(self, backend):
+        objects = clustered_boxes(800, n_clusters=5, avg_side_fraction=0.002, seed=31)
+        index = BoxSumIndex(2, backend=backend, buffer_pages=None, page_size=2048)
+        index.bulk_load(objects)
+        oracle = NaiveBoxSum(2)
+        for box, value in objects:
+            oracle.insert(box, value)
+        for query in query_boxes(30, 0.01, seed=32):
+            assert index.box_sum(query) == pytest.approx(
+                oracle.box_sum(query), abs=1e-6
+            )
+
+    def test_all_objects_at_one_point(self):
+        """Fully degenerate data: every structure must survive it."""
+        box = Box((0.5, 0.5), (0.5, 0.5))
+        for backend in ("ba", "ecdf-bu", "ecdf-bq", "ar"):
+            index = BoxSumIndex(
+                2, backend=backend, buffer_pages=None,
+            )
+            for _ in range(100):
+                index.insert(box, 1.0)
+            assert index.box_sum(Box((0.0, 0.0), (1.0, 1.0))) == pytest.approx(100.0)
+            assert index.box_sum(Box((0.6, 0.6), (1.0, 1.0))) == pytest.approx(0.0)
+
+
+class TestHigherDimensions:
+    def test_4d_box_sum(self):
+        rng = random.Random(41)
+        dims = 4
+        index = BoxSumIndex(dims, backend="ba", buffer_pages=None)
+        oracle = NaiveBoxSum(dims)
+        for _ in range(150):
+            low = [rng.uniform(0, 80) for _ in range(dims)]
+            box = Box(low, [lo + rng.uniform(0, 15) for lo in low])
+            index.insert(box, 1.0)
+            oracle.insert(box, 1.0)
+        assert len(index._indices) == 16  # 2^4 corner trees
+        for _ in range(20):
+            low = [rng.uniform(0, 60) for _ in range(dims)]
+            q = Box(low, [lo + rng.uniform(5, 40) for lo in low])
+            assert index.box_sum(q) == pytest.approx(oracle.box_sum(q), abs=1e-6)
+
+    def test_3d_functional(self):
+        rng = random.Random(43)
+        index = FunctionalBoxSumIndex(3, backend="ba", max_degree=1, buffer_pages=None)
+        from repro.core.naive import NaiveFunctionalBoxSum
+
+        oracle = NaiveFunctionalBoxSum(3)
+        for _ in range(60):
+            low = [rng.uniform(0, 50) for _ in range(3)]
+            box = Box(low, [lo + rng.uniform(1, 10) for lo in low])
+            f = Polynomial.constant(3, rng.uniform(0.5, 2.0)) + (
+                Polynomial.variable(3, 0).scale(rng.uniform(-0.02, 0.02))
+            )
+            index.insert(box, f)
+            oracle.insert(box, f)
+        for _ in range(15):
+            low = [rng.uniform(0, 40) for _ in range(3)]
+            q = Box(low, [lo + rng.uniform(5, 25) for lo in low])
+            assert index.functional_box_sum(q) == pytest.approx(
+                oracle.functional_box_sum(q), abs=1e-4
+            )
+
+
+class TestMixedWorkload:
+    def test_interleaved_inserts_deletes_queries(self, rng):
+        """A long randomized session against the oracle, with deletions."""
+        index = BoxSumIndex(2, backend="ba", buffer_pages=None, page_size=2048)
+        oracle: list = []
+        for step in range(600):
+            action = rng.random()
+            if action < 0.55 or not oracle:
+                box = random_box(rng, 2)
+                value = rng.uniform(0.5, 5.0)
+                index.insert(box, value)
+                oracle.append((box, value))
+            elif action < 0.7:
+                box, value = oracle.pop(rng.randrange(len(oracle)))
+                index.delete(box, value)
+            else:
+                q = random_box(rng, 2, max_side=50.0)
+                expected = sum(v for b, v in oracle if b.intersects(q))
+                assert index.box_sum(q) == pytest.approx(expected, abs=1e-6)
+
+    def test_uniform_workload_end_to_end(self):
+        """The bench pipeline end to end at miniature scale."""
+        objects = uniform_boxes(600, seed=51)
+        queries = query_boxes(25, 0.01, seed=52)
+        results = {}
+        for backend in ("ba", "ecdf-bu", "ecdf-bq", "ar", "rstar", "naive"):
+            index = BoxSumIndex(2, backend=backend, buffer_pages=None, page_size=2048)
+            index.bulk_load(objects)
+            results[backend] = [round(index.box_sum(q), 6) for q in queries]
+        baseline = results.pop("naive")
+        for backend, series in results.items():
+            assert series == pytest.approx(baseline, abs=1e-5), backend

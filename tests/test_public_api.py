@@ -1,0 +1,85 @@
+"""Public API surface: the names downstream code is entitled to rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Box",
+            "Polynomial",
+            "SumCount",
+            "ReproError",
+            "BoxSumIndex",
+            "FunctionalBoxSumIndex",
+            "make_dominance_index",
+            "NaiveBoxSum",
+            "NaiveDominanceSum",
+            "NaiveFunctionalBoxSum",
+            "StorageContext",
+            "IOCounter",
+            "CostModel",
+        ],
+    )
+    def test_exported(self, name):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+    def test_subpackages_import(self):
+        import repro.analysis
+        import repro.batree
+        import repro.bench
+        import repro.borders
+        import repro.bptree
+        import repro.cube
+        import repro.durable
+        import repro.ecdf
+        import repro.inspect
+        import repro.kdb
+        import repro.rtree
+        import repro.storage
+        import repro.temporal
+        import repro.testing
+        import repro.workloads
+
+        assert repro.batree.BATree is not None
+        assert repro.temporal.TemporalAggregateIndex is not None
+
+    def test_quickstart_from_docstring(self):
+        """The README/module-docstring quickstart works verbatim."""
+        from repro import Box, BoxSumIndex
+
+        index = BoxSumIndex(dims=2, backend="ba")
+        index.insert(Box((2, 10), (15, 26)), value=4.0)
+        index.insert(Box((5, 3), (18, 15)), value=3.0)
+        total = index.box_sum(Box((5, 7), (20, 15)))
+        assert total == pytest.approx(7.0)
+
+    def test_error_hierarchy(self):
+        from repro.core.errors import (
+            DimensionMismatchError,
+            PageNotFoundError,
+            ReproError,
+            SlabError,
+            StorageError,
+            TreeInvariantError,
+        )
+
+        for exc in (
+            DimensionMismatchError,
+            PageNotFoundError,
+            SlabError,
+            StorageError,
+            TreeInvariantError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(PageNotFoundError, StorageError)
+        assert issubclass(SlabError, StorageError)

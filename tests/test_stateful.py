@@ -1,0 +1,216 @@
+"""Hypothesis stateful tests: random operation sequences against models.
+
+Two rule-based machines drive the core substrate through arbitrary
+interleavings and compare every observable against a trivial model:
+
+* the slab allocator (allocate / resize / free, with byte accounting);
+* the aggregated B+-tree (insert / dominance / range / bulk rebuild).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    consumes,
+    invariant,
+    rule,
+)
+
+from repro.bptree import AggBPlusTree
+from repro.storage import StorageContext
+
+
+class SlabMachine(RuleBasedStateMachine):
+    """The slab allocator never loses, leaks or double-books bytes."""
+
+    handles = Bundle("handles")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ctx = StorageContext(page_size=512, buffer_pages=None)
+        self.model: dict = {}
+
+    @rule(target=handles, nbytes=st.integers(1, 512))
+    def allocate(self, nbytes):
+        handle = self.ctx.slab.allocate(nbytes)
+        self.model[handle] = nbytes
+        return handle
+
+    @rule(handle=consumes(handles), nbytes=st.integers(1, 512))
+    def resize(self, handle, nbytes):
+        if handle not in self.model:
+            return
+        del self.model[handle]
+        new_handle = self.ctx.slab.resize(handle, nbytes)
+        self.model[new_handle] = nbytes
+
+    @rule(handle=consumes(handles))
+    def free(self, handle):
+        if handle not in self.model:
+            return
+        self.ctx.slab.free(handle)
+        del self.model[handle]
+
+    @rule(handle=handles)
+    def access(self, handle):
+        if handle in self.model:
+            self.ctx.slab.access(handle)
+
+    @invariant()
+    def live_count_matches(self):
+        assert self.ctx.slab.live_allocations() == len(self.model)
+
+    @invariant()
+    def pages_are_necessary_and_sufficient(self):
+        total = sum(self.model.values())
+        pages = self.ctx.pager.num_pages
+        # Enough pages to hold the bytes; no pages at all when empty.
+        assert pages * 512 >= total
+        if not self.model:
+            assert pages == 0
+
+    @invariant()
+    def per_page_usage_fits(self):
+        for pid in list(self.ctx.pager.page_ids()):
+            used = self.ctx.slab.used_bytes(pid)
+            if used is not None:
+                assert 0 < used <= 512
+
+
+class AggBPlusTreeMachine(RuleBasedStateMachine):
+    """The aggregated B+-tree agrees with a dict model after any op sequence."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ctx = StorageContext(page_size=8192, buffer_pages=None)
+        self.tree = AggBPlusTree(self.ctx, leaf_capacity=4, internal_capacity=4)
+        self.model: dict = {}
+
+    keys = st.floats(0, 100, allow_nan=False).map(lambda x: round(x, 3))
+    values = st.floats(-10, 10, allow_nan=False)
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = self.model.get(key, 0.0) + value
+
+    @rule(key=keys)
+    def query_dominance(self, key):
+        expected = sum(v for k, v in self.model.items() if k < key)
+        assert abs(self.tree.dominance_sum(key) - expected) < 1e-6
+
+    @rule(low=keys, high=keys)
+    def query_range(self, low, high):
+        if low > high:
+            low, high = high, low
+        expected = sum(v for k, v in self.model.items() if low <= k < high)
+        assert abs(self.tree.range_sum(low, high) - expected) < 1e-6
+
+    @rule()
+    def rebuild(self):
+        self.tree.bulk_load(list(self.model.items()))
+
+    @invariant()
+    def structure_is_sound(self):
+        self.tree.check_invariants()
+
+    @invariant()
+    def total_matches(self):
+        assert abs(self.tree.total() - sum(self.model.values())) < 1e-6
+
+
+class _DominanceMachine(RuleBasedStateMachine):
+    """Shared model-based machine for 2-d dominance-sum structures."""
+
+    def make_tree(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ctx = StorageContext(page_size=8192, buffer_pages=None)
+        self.tree = self.make_tree()
+        self.model: dict = {}
+
+    coords = st.tuples(
+        st.floats(0, 50, allow_nan=False).map(lambda x: round(x, 2)),
+        st.floats(0, 50, allow_nan=False).map(lambda x: round(x, 2)),
+    )
+    values = st.floats(-5, 5, allow_nan=False)
+
+    @rule(point=coords, value=values)
+    def insert(self, point, value):
+        self.tree.insert(point, value)
+        self.model[point] = self.model.get(point, 0.0) + value
+
+    @rule(point=coords)
+    def query(self, point):
+        expected = sum(
+            v for p, v in self.model.items() if p[0] < point[0] and p[1] < point[1]
+        )
+        assert abs(self.tree.dominance_sum(point) - expected) < 1e-6
+
+    @rule()
+    def rebuild(self):
+        self.tree.bulk_load(list(self.model.items()))
+
+    @invariant()
+    def total_matches(self):
+        assert abs(self.tree.total() - sum(self.model.values())) < 1e-6
+
+    @invariant()
+    def structure_is_sound(self):
+        self.tree.check_invariants()
+
+
+class BATreeMachine(_DominanceMachine):
+    def make_tree(self):
+        from repro.batree import BATree
+
+        return BATree(self.ctx, 2, leaf_capacity=4, index_capacity=4, spill_bytes=64)
+
+
+class EcdfBuMachine(_DominanceMachine):
+    def make_tree(self):
+        from repro.ecdf import EcdfBTree
+
+        return EcdfBTree(
+            self.ctx, 2, variant="u", leaf_capacity=4, internal_capacity=4,
+            spill_bytes=64,
+        )
+
+
+class EcdfBqMachine(_DominanceMachine):
+    def make_tree(self):
+        from repro.ecdf import EcdfBTree
+
+        return EcdfBTree(
+            self.ctx, 2, variant="q", leaf_capacity=4, internal_capacity=4,
+            spill_bytes=64,
+        )
+
+
+TestSlabMachine = SlabMachine.TestCase
+TestSlabMachine.settings = settings(max_examples=30, stateful_step_count=40, deadline=None)
+
+TestAggBPlusTreeMachine = AggBPlusTreeMachine.TestCase
+TestAggBPlusTreeMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestBATreeMachine = BATreeMachine.TestCase
+TestBATreeMachine.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+
+TestEcdfBuMachine = EcdfBuMachine.TestCase
+TestEcdfBuMachine.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+
+TestEcdfBqMachine = EcdfBqMachine.TestCase
+TestEcdfBqMachine.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)

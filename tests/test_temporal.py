@@ -1,0 +1,117 @@
+"""Tests for the temporal aggregation wrapper (1-d box-sums)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.temporal import TemporalAggregateIndex
+
+
+def brute_cumulative(records, qs, qe):
+    """Paper interval semantics: start < qe and not (end < qs)."""
+    return [v for s, e, v in records if s < qe and not e < qs]
+
+
+class TestCumulative:
+    def test_basic_intersection(self):
+        index = TemporalAggregateIndex(buffer_pages=None)
+        index.insert(1.0, 5.0, 10.0)
+        index.insert(4.0, 8.0, 20.0)
+        index.insert(9.0, 12.0, 40.0)
+        assert index.cumulative_sum(4.5, 6.0) == pytest.approx(30.0)
+        assert index.cumulative_count(0.0, 100.0) == 3
+        assert index.cumulative_avg(4.5, 6.0) == pytest.approx(15.0)
+
+    def test_matches_brute_force(self):
+        rng = random.Random(3)
+        records = []
+        index = TemporalAggregateIndex(buffer_pages=None)
+        for _ in range(400):
+            s = rng.uniform(0, 100)
+            e = s + rng.expovariate(1 / 5.0)
+            v = rng.uniform(1, 10)
+            records.append((s, e, v))
+            index.insert(s, e, v)
+        for _ in range(60):
+            qs = rng.uniform(0, 100)
+            qe = qs + rng.uniform(0, 30)
+            expected = brute_cumulative(records, qs, qe)
+            assert index.cumulative_sum(qs, qe) == pytest.approx(
+                sum(expected), abs=1e-6
+            )
+            assert index.cumulative_count(qs, qe) == len(expected)
+
+    def test_bulk_load(self):
+        index = TemporalAggregateIndex(buffer_pages=None)
+        index.bulk_load([(0.0, 2.0, 1.0), (1.0, 3.0, 2.0), (5.0, 6.0, 4.0)])
+        assert index.cumulative_sum(0.5, 1.5) == pytest.approx(3.0)
+        assert index.num_records == 3
+
+    def test_delete(self):
+        index = TemporalAggregateIndex(buffer_pages=None)
+        index.insert(1.0, 5.0, 10.0)
+        index.delete(1.0, 5.0, 10.0)
+        assert index.cumulative_sum(0.0, 10.0) == pytest.approx(0.0)
+        assert index.num_records == 0
+
+    def test_invalid_interval(self):
+        index = TemporalAggregateIndex(buffer_pages=None)
+        with pytest.raises(InvalidQueryError):
+            index.insert(5.0, 1.0, 1.0)
+
+
+class TestInstantaneous:
+    def test_contains_instant(self):
+        index = TemporalAggregateIndex(buffer_pages=None)
+        index.insert(1.0, 5.0, 10.0)
+        index.insert(3.0, 7.0, 20.0)
+        assert index.instantaneous_sum(4.0) == pytest.approx(30.0)
+        assert index.instantaneous_sum(6.0) == pytest.approx(20.0)
+        assert index.instantaneous_sum(0.5) == pytest.approx(0.0)
+        assert index.instantaneous_count(4.0) == 2
+
+    def test_boundary_semantics(self):
+        """[s, e] contains t iff s < t <= e under the paper's predicate."""
+        index = TemporalAggregateIndex(buffer_pages=None)
+        index.insert(1.0, 5.0, 1.0)
+        assert index.instantaneous_sum(1.0) == pytest.approx(0.0)  # t == start
+        assert index.instantaneous_sum(5.0) == pytest.approx(1.0)  # t == end
+
+    def test_matches_brute_force(self):
+        rng = random.Random(5)
+        records = []
+        index = TemporalAggregateIndex(buffer_pages=None)
+        for _ in range(300):
+            s = rng.uniform(0, 50)
+            e = s + rng.uniform(0, 10)
+            v = rng.uniform(1, 5)
+            records.append((s, e, v))
+            index.insert(s, e, v)
+        for _ in range(50):
+            t = rng.uniform(-5, 60)
+            expected = sum(v for s, e, v in records if s < t <= e)
+            assert index.instantaneous_sum(t) == pytest.approx(expected, abs=1e-6)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["ba", "ecdf-bu", "ecdf-bq", "naive"])
+    def test_backends_agree(self, backend):
+        rng = random.Random(7)
+        records = [
+            (s := rng.uniform(0, 100), s + rng.uniform(0, 10), rng.uniform(1, 5))
+            for _ in range(200)
+        ]
+        reference = TemporalAggregateIndex(backend="naive")
+        index = TemporalAggregateIndex(backend=backend, buffer_pages=None)
+        for s, e, v in records:
+            reference.insert(s, e, v)
+            index.insert(s, e, v)
+        for _ in range(30):
+            qs = rng.uniform(0, 100)
+            qe = qs + rng.uniform(0, 20)
+            assert index.cumulative_sum(qs, qe) == pytest.approx(
+                reference.cumulative_sum(qs, qe), abs=1e-6
+            )

@@ -1,0 +1,97 @@
+"""Tests for the public validation harness — run against every backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BoxSumIndex
+from repro.core.aggregator import make_dominance_index
+from repro.core.naive import NaiveDominanceSum
+from repro.storage import StorageContext
+from repro.testing import CheckReport, check_box_sum_index, check_dominance_index
+
+
+class TestDominanceChecks:
+    @pytest.mark.parametrize("backend", ["naive", "ba", "ecdf-bu", "ecdf-bq", "ecdf-log"])
+    @pytest.mark.parametrize("dims", [1, 2])
+    def test_shipped_backends_pass(self, backend, dims):
+        def factory():
+            return make_dominance_index(
+                backend, dims, storage=StorageContext(buffer_pages=None)
+            )
+
+        report = check_dominance_index(factory, dims=dims, n_points=200, n_queries=60)
+        assert report.ok, report.failures[:3]
+
+    def test_bulk_load_mode(self):
+        def factory():
+            return make_dominance_index(
+                "ba", 2, storage=StorageContext(buffer_pages=None)
+            )
+
+        report = check_dominance_index(factory, dims=2, use_bulk_load=True)
+        assert report.ok, report.failures[:3]
+
+    def test_detects_a_broken_implementation(self):
+        class OffByEpsilon(NaiveDominanceSum):
+            def dominance_sum(self, query):
+                return super().dominance_sum(query) + 1.0
+
+        report = check_dominance_index(lambda: OffByEpsilon(2), dims=2)
+        assert not report.ok
+        assert report.failures
+
+    def test_detects_nonstrict_dominance(self):
+        class NonStrict(NaiveDominanceSum):
+            def dominance_sum(self, query):
+                total = self.zero
+                for point, value in self._points:
+                    if all(p <= q for p, q in zip(point, query)):  # wrong: <=
+                        total = total + value
+                return total
+
+        report = check_dominance_index(lambda: NonStrict(2), dims=2)
+        assert not report.ok
+
+
+class TestBoxSumChecks:
+    @pytest.mark.parametrize("backend", ["naive", "ba", "ar", "rstar"])
+    def test_shipped_backends_pass(self, backend):
+        def factory():
+            return BoxSumIndex(2, backend=backend, buffer_pages=None)
+
+        report = check_box_sum_index(factory, dims=2, n_objects=150, n_queries=50)
+        assert report.ok, report.failures[:3]
+
+    def test_bulk_load_mode(self):
+        report = check_box_sum_index(
+            lambda: BoxSumIndex(2, backend="ba", buffer_pages=None),
+            dims=2,
+            use_bulk_load=True,
+            with_deletes=False,
+        )
+        assert report.ok, report.failures[:3]
+
+    def test_detects_wrong_boundary_semantics(self):
+        class ClosedBoxIndex(BoxSumIndex):
+            """Deliberately wrong: counts boxes touching at the low edge."""
+
+            def box_sum(self, query):
+                total = 0.0
+                for key, point, parity in self._reduction.query_plan(query):
+                    nudged = tuple(c + 1e-9 for c in point)
+                    total += parity * self._indices[key].dominance_sum(nudged)
+                return total
+
+        report = check_box_sum_index(
+            lambda: ClosedBoxIndex(2, backend="naive"), dims=2, with_deletes=False
+        )
+        assert not report.ok
+
+    def test_report_formatting(self):
+        report = CheckReport()
+        report.checks = 5
+        assert report.ok
+        report.fail("boom")
+        assert not report.ok
+        assert "boom" in report.failures[0]

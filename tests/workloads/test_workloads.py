@@ -1,0 +1,120 @@
+"""Tests for the dataset and query generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.workloads import (
+    clustered_boxes,
+    functional_objects,
+    query_boxes,
+    query_points,
+    uniform_boxes,
+    zipf_weighted_boxes,
+)
+
+
+class TestUniformBoxes:
+    def test_count_and_dims(self):
+        objects = uniform_boxes(500, dims=3)
+        assert len(objects) == 500
+        assert all(box.dims == 3 for box, _v in objects)
+
+    def test_boxes_inside_the_space(self):
+        for box, _v in uniform_boxes(300, span=10.0, seed=1):
+            assert all(0.0 <= lo for lo in box.low)
+            assert all(hi <= 10.0 for hi in box.high)
+
+    def test_average_side_matches_target(self):
+        objects = uniform_boxes(4000, avg_side_fraction=1e-3, span=1.0, seed=2)
+        sides = [box.side(0) for box, _v in objects]
+        mean = sum(sides) / len(sides)
+        assert math.isclose(mean, 1e-3, rel_tol=0.1)
+
+    def test_deterministic_by_seed(self):
+        a = uniform_boxes(50, seed=9)
+        b = uniform_boxes(50, seed=9)
+        c = uniform_boxes(50, seed=10)
+        assert a == b
+        assert a != c
+
+    def test_value_range(self):
+        for _box, value in uniform_boxes(200, value_range=(5.0, 6.0), seed=3):
+            assert 5.0 <= value <= 6.0
+
+
+class TestSkewedDatasets:
+    def test_clustered_boxes_are_clustered(self):
+        objects = clustered_boxes(2000, n_clusters=3, seed=4)
+        xs = sorted(box.low[0] for box, _v in objects)
+        # With 3 tight clusters, the middle 80% of x values span much less
+        # than a uniform spread would.
+        middle_span = xs[int(0.9 * len(xs))] - xs[int(0.1 * len(xs))]
+        assert middle_span < 0.9
+
+    def test_clustered_boxes_stay_in_space(self):
+        for box, _v in clustered_boxes(500, span=1.0, seed=5):
+            assert all(0.0 <= lo and hi <= 1.0 for lo, hi in zip(box.low, box.high))
+
+    def test_zipf_weights_are_heavy_tailed(self):
+        objects = zipf_weighted_boxes(2000, seed=6)
+        weights = sorted((v for _b, v in objects), reverse=True)
+        total = sum(weights)
+        top_share = sum(weights[: len(weights) // 100]) / total
+        assert top_share > 0.2  # the top 1% carries a disproportionate share
+
+
+class TestFunctionalObjects:
+    @pytest.mark.parametrize("degree", [0, 1, 2])
+    def test_degree_respected(self, degree):
+        objects = functional_objects(50, degree, seed=7)
+        assert all(f.degree() <= degree for _b, f in objects)
+        assert any(f.degree() == degree for _b, f in objects)
+
+    def test_degree_zero_is_constant(self):
+        for _box, f in functional_objects(20, 0, seed=8):
+            assert f.n_terms == 1
+
+
+class TestQueryBoxes:
+    @pytest.mark.parametrize("qbs", [0.0001, 0.01, 0.25])
+    def test_area_fraction(self, qbs):
+        for box in query_boxes(20, qbs, dims=2, seed=9):
+            assert box.volume() == pytest.approx(qbs, rel=1e-9)
+
+    def test_3d_volume_fraction(self):
+        for box in query_boxes(10, 0.001, dims=3, seed=10):
+            assert box.volume() == pytest.approx(0.001, rel=1e-9)
+
+    def test_fixed_shape(self):
+        boxes = query_boxes(10, 0.01, seed=11)
+        sides = {(round(b.side(0), 12), round(b.side(1), 12)) for b in boxes}
+        assert len(sides) == 1
+
+    def test_aspect_ratio(self):
+        box = query_boxes(1, 0.01, aspect=4.0, seed=12)[0]
+        assert box.side(0) / box.side(1) == pytest.approx(4.0)
+        assert box.volume() == pytest.approx(0.01)
+
+    def test_inside_space(self):
+        for box in query_boxes(50, 0.1, span=2.0, seed=13):
+            assert all(0.0 <= lo and hi <= 2.0 for lo, hi in zip(box.low, box.high))
+
+    def test_validation(self):
+        with pytest.raises(InvalidQueryError):
+            query_boxes(1, 0.0)
+        with pytest.raises(InvalidQueryError):
+            query_boxes(1, 1.5)
+        with pytest.raises(InvalidQueryError):
+            query_boxes(1, 0.1, aspect=-1.0)
+
+
+class TestQueryPoints:
+    def test_points_in_space(self):
+        points = query_points(100, dims=3, span=5.0, seed=14)
+        assert len(points) == 100
+        assert all(len(p) == 3 for p in points)
+        assert all(0.0 <= c <= 5.0 for p in points for c in p)
