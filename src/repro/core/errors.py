@@ -45,6 +45,20 @@ class PageOverflowError(StorageError):
     """
 
 
+class PageCorruptionError(StorageError):
+    """A durable page image failed its checksum (torn write, bit rot).
+
+    Raised by the durable pager when a slot's trailing CRC32 does not match
+    its contents — the index refuses to return aggregates computed from a
+    corrupt page.  Run :meth:`repro.storage.filepager.FilePager.verify` to
+    scrub a file for damage proactively.
+    """
+
+
+class WalError(StorageError):
+    """The write-ahead log file is malformed (bad magic, wrong page size)."""
+
+
 class SlabError(StorageError):
     """A slab handle was used after being freed, or a slab invariant broke."""
 

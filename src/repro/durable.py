@@ -29,6 +29,7 @@ from .core.errors import StorageError
 from .core.polynomial import Polynomial
 from .core.values import SumCount, Value
 from .storage import StorageContext
+from .storage.layout import PAGE_CHECKSUM_BYTES
 from .storage.codec import (
     BPlusNodeCodec,
     PolynomialValueCodec,
@@ -67,10 +68,16 @@ class DurableAggIndex:
         page_size: int = 8192,
         buffer_pages: Optional[int] = 256,
         create: bool = True,
+        wal: bool = True,
+        opener=None,
     ) -> None:
         codec, zero, value_bytes = _make_codec(value_kind, poly_dims)
         self.value_kind = value_kind
-        self._pager = FilePager(path, codec, page_size=page_size, create=create)
+        self._closed = False
+        pager_kwargs = {} if opener is None else {"opener": opener}
+        self._pager = FilePager(
+            path, codec, page_size=page_size, create=create, wal=wal, **pager_kwargs
+        )
         self.storage = StorageContext(
             page_size=page_size,
             buffer_pages=buffer_pages,
@@ -80,10 +87,11 @@ class DurableAggIndex:
         meta = self._load_meta()
         # Header-aware capacities: a leaf image is 9 bytes of header plus
         # the trailing total; an internal image 5 bytes plus the total, and
-        # one separator fewer than children.  The codec enforces the fit at
-        # every write.
-        leaf_capacity = (page_size - 9 - value_bytes) // (8 + value_bytes)
-        internal_capacity = (page_size - 5 - value_bytes + 8) // (12 + value_bytes)
+        # one separator fewer than children.  Every slot also reserves a
+        # trailing CRC32.  The codec enforces the fit at every write.
+        usable = page_size - PAGE_CHECKSUM_BYTES
+        leaf_capacity = (usable - 9 - value_bytes) // (8 + value_bytes)
+        internal_capacity = (usable - 5 - value_bytes + 8) // (12 + value_bytes)
         self._tree = AggBPlusTree(
             self.storage,
             zero=zero,
@@ -136,30 +144,52 @@ class DurableAggIndex:
 
     # -- durability ----------------------------------------------------------------
 
-    def checkpoint(self) -> None:
-        """Write every dirty page image and the tree metadata; fsync."""
+    def _meta_blob(self) -> bytes:
         meta = {
             "value_kind": self.value_kind,
             "root_pid": self._tree.root_pid,
             "num_entries": self._tree.num_entries,
             "height": self._tree.height,
         }
-        self._pager.set_meta(json.dumps(meta).encode("utf-8"))
-        self._pager.sync()
+        return json.dumps(meta).encode("utf-8")
+
+    def checkpoint(self) -> None:
+        """Atomically persist every dirty page and the tree metadata; fsync.
+
+        The page images and the header (root pid, counters) commit in one
+        WAL batch — a crash at any point recovers to either the previous
+        checkpoint or this one, never a mix.
+        """
+        self._pager.set_meta(self._meta_blob())
+
+    def verify(self) -> int:
+        """Checkpoint, then checksum-scrub every page; returns pages verified.
+
+        Raises :class:`~repro.core.errors.PageCorruptionError` on the first
+        damaged slot.
+        """
+        return self._pager.verify()
 
     def close(self) -> None:
-        """Checkpoint and release the file."""
-        meta = {
-            "value_kind": self.value_kind,
-            "root_pid": self._tree.root_pid,
-            "num_entries": self._tree.num_entries,
-            "height": self._tree.height,
-        }
-        self._pager.set_meta(json.dumps(meta).encode("utf-8"))
+        """Checkpoint and release the file; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pager.set_meta(self._meta_blob())
+        except BaseException:
+            self._pager.close(checkpoint=False)
+            raise
         self._pager.close()
 
     def __enter__(self) -> "DurableAggIndex":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # A failed operation must not checkpoint a half-mutated cache
+            # over good on-disk state: release the file without syncing.
+            self._closed = True
+            self._pager.close(checkpoint=False)

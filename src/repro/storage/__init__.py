@@ -12,15 +12,22 @@ from typing import Optional
 
 from ..core.errors import StorageError
 from .buffer import BufferPool, PathBuffer
-from .layout import Layout, polynomial_value_bytes
+from .faults import CrashPoint, FaultInjector, FaultyFile, SimulatedCrashError
+from .layout import PAGE_CHECKSUM_BYTES, Layout, polynomial_value_bytes
 from .pager import NO_PAGE, Pager
 from .slab import SlabAllocator, SlabHandle
 from .stats import CostModel, IOCounter, Stopwatch
+from .wal import WriteAheadLog
 
 __all__ = [
     "BufferPool",
     "PathBuffer",
+    "CrashPoint",
+    "FaultInjector",
+    "FaultyFile",
+    "SimulatedCrashError",
     "Layout",
+    "PAGE_CHECKSUM_BYTES",
     "polynomial_value_bytes",
     "Pager",
     "NO_PAGE",
@@ -30,6 +37,7 @@ __all__ = [
     "IOCounter",
     "Stopwatch",
     "StorageContext",
+    "WriteAheadLog",
 ]
 
 

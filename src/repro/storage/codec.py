@@ -14,21 +14,64 @@ The layout of an aggregated-B+-tree page::
 Values are encoded by a pluggable :class:`ValueCodec`: 8-byte scalars,
 16-byte (sum, count) pairs, or length-prefixed polynomial coefficient
 tuples — matching exactly the byte budgets the layout calculator charges.
+
+Every durable slot additionally ends in a CRC32 of its body
+(:func:`seal_page` / :func:`unseal_page`), so a torn write or a flipped
+bit surfaces as :class:`~repro.core.errors.PageCorruptionError` instead of
+a silently wrong aggregate.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Any, Tuple
 
 from ..bptree.node import InternalNode, LeafNode
-from ..core.errors import PageOverflowError, StorageError
+from ..core.errors import PageCorruptionError, PageOverflowError, StorageError
 from ..core.polynomial import Polynomial
 from ..core.values import SumCount
+from .layout import PAGE_CHECKSUM_BYTES
 
 _U32 = struct.Struct("<I")
 _F64 = struct.Struct("<d")
 _NO_PAGE_WIRE = 0xFFFFFFFF  # NO_PAGE (-1) on the wire
+
+
+def seal_page(body: bytes, page_size: int) -> bytes:
+    """Return the full slot image: ``body`` padded plus a trailing CRC32.
+
+    ``body`` must fit in ``page_size - PAGE_CHECKSUM_BYTES`` bytes; the CRC
+    covers the entire padded body so corruption anywhere in the slot is
+    detected.
+    """
+    capacity = page_size - PAGE_CHECKSUM_BYTES
+    if len(body) > capacity:
+        raise PageOverflowError(
+            f"page body needs {len(body)} bytes > slot capacity {capacity}"
+        )
+    padded = body + b"\x00" * (capacity - len(body))
+    return padded + _U32.pack(zlib.crc32(padded))
+
+
+def unseal_page(data: bytes, label: object) -> bytes:
+    """Verify a slot's trailing CRC32 and return its body (without the CRC).
+
+    Raises :class:`PageCorruptionError` when the stored checksum does not
+    match the contents — ``label`` (a pid or "header") names the slot in
+    the error message.
+    """
+    if len(data) <= PAGE_CHECKSUM_BYTES:
+        raise PageCorruptionError(f"page {label} too short to carry a checksum")
+    body, trailer = data[:-PAGE_CHECKSUM_BYTES], data[-PAGE_CHECKSUM_BYTES:]
+    (stored,) = _U32.unpack(trailer)
+    actual = zlib.crc32(body)
+    if stored != actual:
+        raise PageCorruptionError(
+            f"checksum mismatch on page {label}: "
+            f"stored 0x{stored:08x}, computed 0x{actual:08x}"
+        )
+    return body
 
 
 class ValueCodec:

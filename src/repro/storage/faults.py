@@ -1,0 +1,170 @@
+"""Fault injection for the durable storage path.
+
+A crash-safety claim is only as good as the crashes it was tested against,
+so this module simulates them deterministically: a :class:`FaultInjector`
+hands out :class:`FaultyFile` wrappers (via the ``opener`` hook that
+:class:`~repro.storage.filepager.FilePager` and
+:class:`~repro.storage.wal.WriteAheadLog` accept), counts every mutating
+file operation across *all* wrapped files — page file and WAL alike — and
+fires one fault at a chosen operation index:
+
+``crash``
+    The Nth mutation never happens; the process is "dead" — every further
+    operation raises :class:`SimulatedCrashError`.
+``torn``
+    The Nth write persists only a prefix of its buffer (a torn page/record),
+    then the process dies as for ``crash``.
+``oserror``
+    The Nth mutation raises :class:`OSError` once (a transient I/O failure);
+    the file stays usable afterwards.
+``bitflip``
+    The Nth write lands with one bit flipped — silent corruption that the
+    page/record checksums must catch later.
+
+Underlying files are opened *unbuffered*, so "what reached the OS before
+the crash" is exactly what the test reads back afterwards; nothing is
+un-torn by a destructor flush.
+
+The every-write-point torture loop built on top of this lives in
+:func:`repro.testing.check_crash_recovery`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SimulatedCrashError(Exception):
+    """The injector killed the simulated process at a crash point.
+
+    Deliberately *not* a :class:`~repro.core.errors.ReproError`: library
+    code must never catch it, exactly as it could never catch a real
+    power failure.
+    """
+
+
+@dataclass
+class CrashPoint:
+    """Which mutating operation to fault, and how.
+
+    ``at_op`` is 1-based over the injector's shared counter; ``None`` never
+    fires (useful for dry runs that just count a workload's write points).
+    """
+
+    at_op: Optional[int] = None
+    mode: str = "crash"  # crash | torn | oserror | bitflip
+
+    _MODES = ("crash", "torn", "oserror", "bitflip")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; pick one of {self._MODES}")
+
+
+class FaultInjector:
+    """Shared fault state for every file opened through :meth:`opener`."""
+
+    def __init__(self, crash_point: Optional[CrashPoint] = None) -> None:
+        self.crash_point = crash_point or CrashPoint()
+        self.ops = 0  # mutating operations observed (write/truncate/fsync)
+        self.fired = False
+        self.crashed = False
+
+    def opener(self, path: str, mode: str) -> "FaultyFile":
+        """Drop-in for ``open(path, mode)`` producing wrapped, unbuffered files."""
+        return FaultyFile(open(path, mode, buffering=0), self)
+
+    # -- fault arming ----------------------------------------------------------------
+
+    def _check_dead(self) -> None:
+        if self.crashed:
+            raise SimulatedCrashError(
+                f"operation on a crashed process (crash point {self.crash_point})"
+            )
+
+    def _arm(self, is_write: bool) -> Optional[str]:
+        """Count one mutation; return the fault mode to apply now, if any."""
+        self._check_dead()
+        self.ops += 1
+        point = self.crash_point
+        if self.fired or point.at_op is None or self.ops < point.at_op:
+            return None
+        # Tearing or bit-flipping needs a buffer; on fsync/truncate a torn
+        # fault degrades to a plain crash and a bitflip waits for a write.
+        if point.mode == "bitflip" and not is_write:
+            return None
+        self.fired = True
+        if point.mode == "crash" or (point.mode == "torn" and not is_write):
+            self.crashed = True
+            raise SimulatedCrashError(f"simulated crash at op {self.ops}")
+        if point.mode == "oserror":
+            raise OSError(f"simulated I/O failure at op {self.ops}")
+        return point.mode  # torn | bitflip, applied by the caller
+
+
+class FaultyFile:
+    """File-object proxy that routes mutations through a :class:`FaultInjector`."""
+
+    def __init__(self, raw, injector: FaultInjector) -> None:
+        self._raw = raw
+        self._injector = injector
+
+    # -- mutating operations ---------------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        mode = self._injector._arm(is_write=True)
+        if mode == "torn":
+            self._raw.write(bytes(data)[: len(data) // 2])
+            self._injector.crashed = True
+            raise SimulatedCrashError("simulated crash mid-write (torn page)")
+        if mode == "bitflip":
+            buf = bytearray(data)
+            buf[len(buf) // 2] ^= 0x01
+            return self._raw.write(bytes(buf))
+        return self._raw.write(data)
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        self._injector._arm(is_write=False)
+        return self._raw.truncate(self._raw.tell() if size is None else size)
+
+    def fsync(self) -> None:
+        """Durability point; counted so crashes can land just before it."""
+        self._injector._arm(is_write=False)
+        os.fsync(self._raw.fileno())
+
+    # -- non-mutating operations ----------------------------------------------------
+
+    def read(self, n: int = -1) -> bytes:
+        self._injector._check_dead()
+        return self._raw.read(n)
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        self._injector._check_dead()
+        return self._raw.seek(offset, whence)
+
+    def tell(self) -> int:
+        self._injector._check_dead()
+        return self._raw.tell()
+
+    def flush(self) -> None:
+        self._injector._check_dead()
+        self._raw.flush()
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    @property
+    def closed(self) -> bool:
+        return self._raw.closed
+
+    def close(self) -> None:
+        # Always allowed — even a "dead" process's descriptors get closed.
+        self._raw.close()
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -2,8 +2,8 @@
 
 Where :class:`repro.storage.pager.Pager` simulates the disk with in-memory
 objects, :class:`FilePager` writes every page as a struct-encoded image at
-offset ``pid * page_size`` of an ordinary file.  Reads decode the image
-back into the node object — so a tree built over a FilePager can be
+offset ``(pid + 1) * page_size`` of an ordinary file.  Reads decode the
+image back into the node object — so a tree built over a FilePager can be
 closed, the process restarted, and the tree reopened against the same
 file.
 
@@ -15,19 +15,40 @@ Because the tree code mutates fetched node objects in place, the FilePager
 keeps an identity-preserving object cache: :meth:`get` hands out one live
 object per page, and :meth:`sync`/:meth:`close` re-encode every cached
 object back to its slot (a checkpoint-style write-back).
+
+Crash safety (see also :mod:`repro.storage.wal`):
+
+* mutations touch only memory; the file changes *exclusively* at
+  checkpoints (:meth:`sync`), so an exception mid-operation never leaves a
+  half-written tree on disk;
+* a checkpoint first commits every changed slot image to the write-ahead
+  log (fsync), then applies them in place (fsync), then resets the log —
+  a crash at any single write leaves either the previous or the new
+  checkpoint recoverable, never a mix;
+* every slot — header included — carries a trailing CRC32
+  (:func:`~repro.storage.codec.seal_page`); a torn or bit-flipped slot
+  raises :class:`~repro.core.errors.PageCorruptionError` instead of
+  returning wrong aggregates, and :meth:`verify` scrubs the whole file.
 """
 
 from __future__ import annotations
 
 import os
 import struct
-from typing import Any, Dict, List
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..core.errors import PageNotFoundError, StorageError
-from .codec import BPlusNodeCodec
+from ..core.errors import PageCorruptionError, PageNotFoundError, StorageError
+from .codec import BPlusNodeCodec, seal_page, unseal_page
+from .layout import PAGE_CHECKSUM_BYTES
+from .wal import HEADER_SLOT, WriteAheadLog, fsync_file
 
-_MAGIC = b"REPROPG1"
+_MAGIC = b"REPROPG2"  # PG1 had neither slot checksums nor a WAL
 _HEADER = struct.Struct("<8sII")  # magic, page_size, next_pid
+
+
+def _default_opener(path: str, mode: str):
+    return open(path, mode)
 
 
 class FilePager:
@@ -36,6 +57,10 @@ class FilePager:
     The payload codec converts node objects to/from fixed-size images;
     :class:`~repro.storage.codec.BPlusNodeCodec` covers the aggregated
     B+-tree (scalar, sum+count and polynomial values).
+
+    ``wal=True`` (the default) guards checkpoints with a write-ahead log
+    at ``path + ".wal"``; ``opener`` lets tests inject faulty files
+    (:mod:`repro.storage.faults`).
     """
 
     def __init__(
@@ -44,22 +69,39 @@ class FilePager:
         codec: BPlusNodeCodec,
         page_size: int = 8192,
         create: bool = True,
+        wal: bool = True,
+        opener: Callable[[str, str], Any] = _default_opener,
     ) -> None:
-        if page_size <= _HEADER.size:
+        if page_size <= _HEADER.size + PAGE_CHECKSUM_BYTES:
             raise StorageError(f"page_size {page_size} too small for the header")
         self.path = path
         self.codec = codec
+        self._opener = opener
+        self._closed = False
+        self._cache: Dict[int, Any] = {}
+        # crc32 of the slot *body* as currently on disk; pids absent here
+        # (or whose re-encoded body differs) are written at the next sync.
+        self._slot_crc: Dict[int, int] = {}
+        self._header_crc: Optional[int] = None
+        # allocated with no payload and never put/synced: no slot on disk yet
+        self._blank: Set[int] = set()
+        self._wal: Optional[WriteAheadLog] = None
+        wal_path = path + ".wal"
         exists = os.path.exists(path)
         if not exists and not create:
             raise StorageError(f"no page file at {path}")
-        mode = "r+b" if exists else "w+b"
-        self._file = open(path, mode)
-        self._cache: Dict[int, Any] = {}
         if exists:
-            header = self._file.read(_HEADER.size)
-            if len(header) < _HEADER.size:
+            self._file = opener(path, "r+b")
+            if wal and os.path.exists(wal_path):
+                # Redo the last committed checkpoint (if any) *before*
+                # trusting the header: a crash mid-apply may have torn it.
+                self._wal = WriteAheadLog(wal_path, page_size, opener=opener)
+                self._wal.recover_into(self._file)
+            self._file.seek(0)
+            fixed = self._file.read(_HEADER.size)
+            if len(fixed) < _HEADER.size:
                 raise StorageError(f"{path} is not a page file (truncated header)")
-            magic, stored_size, next_pid = _HEADER.unpack(header)
+            magic, stored_size, next_pid = _HEADER.unpack(fixed)
             if magic != _MAGIC:
                 raise StorageError(f"{path} is not a page file (bad magic)")
             if stored_size != page_size:
@@ -68,43 +110,78 @@ class FilePager:
                     f"opened with {page_size}"
                 )
             self.page_size = stored_size
+            self._file.seek(0)
+            slot = self._file.read(self.page_size)
+            if len(slot) < self.page_size:
+                raise StorageError(f"{path} is not a page file (truncated header)")
+            body = unseal_page(slot, "header")
+            self._header_crc = zlib.crc32(body)
             self._next_pid = next_pid
-            self._free, self.user_meta = self._read_header_lists()
+            self._free, self.user_meta = self._parse_header_lists(body)
         else:
             self.page_size = page_size
             self._next_pid = 0
-            self._free = []
+            self._free: List[int] = []
             self.user_meta: bytes = b""
-            self._write_header()
+            self._file = opener(path, "w+b")
+            # Initial header: plain write + fsync.  Creation itself is not
+            # crash-atomic (there is no previous state to preserve); every
+            # later transition is WAL-protected.
+            self._apply_slot(HEADER_SLOT, self._sealed_header())
+            fsync_file(self._file)
+            if wal and os.path.exists(wal_path):
+                os.remove(wal_path)  # stale log of a deleted page file
+        if wal and self._wal is None:
+            self._wal = WriteAheadLog(wal_path, self.page_size, opener=opener)
 
     # -- header, free list and metadata -----------------------------------------------
 
-    def _write_header(self) -> None:
-        self._file.seek(0)
+    @property
+    def _body_size(self) -> int:
+        """Slot bytes available to content (the CRC32 trailer is reserved)."""
+        return self.page_size - PAGE_CHECKSUM_BYTES
+
+    def _header_body(self) -> bytes:
         header = _HEADER.pack(_MAGIC, self.page_size, self._next_pid)
         free_blob = struct.pack(f"<I{len(self._free)}I", len(self._free), *self._free)
         meta_blob = struct.pack("<I", len(self.user_meta)) + self.user_meta
         image = header + free_blob + meta_blob
-        if len(image) > self.page_size:
+        if len(image) > self._body_size:
             raise StorageError("free list / metadata overflowed the header page")
-        self._file.write(image + b"\x00" * (self.page_size - len(image)))
+        return image
 
-    def _read_header_lists(self):
-        self._file.seek(_HEADER.size)
-        (count,) = struct.unpack("<I", self._file.read(4))
-        free = (
-            list(struct.unpack(f"<{count}I", self._file.read(4 * count)))
-            if count
-            else []
-        )
-        (meta_len,) = struct.unpack("<I", self._file.read(4))
-        meta = self._file.read(meta_len) if meta_len else b""
+    def _sealed_header(self) -> bytes:
+        return seal_page(self._header_body(), self.page_size)
+
+    def _check_header_fits(self, extra_free: int = 0, meta_len: Optional[int] = None) -> None:
+        """Eagerly reject a mutation that could not be checkpointed."""
+        meta = len(self.user_meta) if meta_len is None else meta_len
+        needed = _HEADER.size + 4 + 4 * (len(self._free) + extra_free) + 4 + meta
+        if needed > self._body_size:
+            raise StorageError("free list / metadata overflowed the header page")
+
+    def _parse_header_lists(self, body: bytes):
+        offset = _HEADER.size
+        (count,) = struct.unpack_from("<I", body, offset)
+        offset += 4
+        free = list(struct.unpack_from(f"<{count}I", body, offset)) if count else []
+        offset += 4 * count
+        (meta_len,) = struct.unpack_from("<I", body, offset)
+        offset += 4
+        meta = body[offset : offset + meta_len] if meta_len else b""
         return free, meta
 
     def set_meta(self, blob: bytes) -> None:
-        """Persist a small user-metadata blob in the header page."""
+        """Persist a small user-metadata blob in the header page.
+
+        Durable on return: routed through the same WAL-commit + fsync
+        discipline as :meth:`sync` (which it implies — the metadata must
+        never describe pages newer than what is on disk).
+        """
+        self._check_open()
+        self._check_header_fits(meta_len=len(blob))
         self.user_meta = bytes(blob)
-        self._write_header()
+        self.sync()
 
     def _offset(self, pid: int) -> int:
         return (pid + 1) * self.page_size  # slot 0 is the header
@@ -112,28 +189,29 @@ class FilePager:
     # -- pager protocol ---------------------------------------------------------------
 
     def allocate(self, payload: Any = None) -> int:
-        """Reserve a page slot; the payload (if given) is cached and written."""
+        """Reserve a page slot; the payload (if given) is cached for write-back."""
+        self._check_open()
         pid = self._free.pop() if self._free else self._next_pid
         if pid == self._next_pid:
             self._next_pid += 1
-        self._write_header()
-        self._file.seek(self._offset(pid))
+        self._slot_crc.pop(pid, None)
         if payload is not None:
             self._cache[pid] = payload
-            self._file.write(self.codec.encode(payload, self.page_size))
+            self._blank.discard(pid)
         else:
-            self._file.write(b"\x00" * self.page_size)
+            self._blank.add(pid)
         return pid
 
     def put(self, pid: int, payload: Any) -> None:
-        """Cache the payload and write its image through to the file."""
+        """Cache the payload; its image reaches the file at the next sync."""
+        self._check_open()
         self._check_live(pid)
         self._cache[pid] = payload
-        self._file.seek(self._offset(pid))
-        self._file.write(self.codec.encode(payload, self.page_size))
+        self._blank.discard(pid)
 
     def get(self, pid: int) -> Any:
         """Return the live node object for a page (decoding it on first touch)."""
+        self._check_open()
         self._check_live(pid)
         if pid in self._cache:
             return self._cache[pid]
@@ -141,20 +219,29 @@ class FilePager:
         data = self._file.read(self.page_size)
         if len(data) < self.page_size:
             raise PageNotFoundError(f"page {pid} truncated on disk")
-        payload = self.codec.decode(data, pid)
+        body = unseal_page(data, pid)
+        payload = self.codec.decode(body, pid)
         self._cache[pid] = payload
+        self._slot_crc[pid] = zlib.crc32(body)
         return payload
 
     def free(self, pid: int) -> None:
         """Return a slot to the free list."""
+        self._check_open()
         self._check_live(pid)
+        self._check_header_fits(extra_free=1)
         self._cache.pop(pid, None)
+        self._slot_crc.pop(pid, None)
+        self._blank.discard(pid)
         self._free.append(pid)
-        self._write_header()
 
     def _check_live(self, pid: int) -> None:
         if pid < 0 or pid >= self._next_pid or pid in self._free:
             raise PageNotFoundError(f"access to unknown page {pid}")
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"pager for {self.path} is closed")
 
     def __contains__(self, pid: int) -> bool:
         return 0 <= pid < self._next_pid and pid not in self._free
@@ -184,25 +271,101 @@ class FilePager:
         except PageNotFoundError:
             return None
 
-    # -- lifecycle -----------------------------------------------------------------------------
+    # -- checkpointing -----------------------------------------------------------------------
+
+    def _collect_batch(self) -> List[Tuple[int, bytes]]:
+        """Sealed images of every slot whose on-disk copy is stale."""
+        batch: List[Tuple[int, bytes]] = []
+        for pid, payload in self._cache.items():
+            body = self.codec.encode(payload, self._body_size)
+            if self._slot_crc.get(pid) != zlib.crc32(body):
+                batch.append((pid, seal_page(body, self.page_size)))
+        for pid in self._blank:
+            if pid not in self._cache:
+                # Materialize the reserved slot so the file stays dense.
+                batch.append((pid, seal_page(b"", self.page_size)))
+        header_body = self._header_body()
+        if self._header_crc != zlib.crc32(header_body):
+            batch.append((HEADER_SLOT, seal_page(header_body, self.page_size)))
+        return batch
+
+    def _apply_slot(self, pid: int, image: bytes) -> None:
+        self._file.seek(0 if pid == HEADER_SLOT else self._offset(pid))
+        self._file.write(image)
 
     def sync(self) -> None:
-        """Checkpoint: re-encode every cached object, flush and fsync."""
-        for pid, payload in self._cache.items():
-            self._file.seek(self._offset(pid))
-            self._file.write(self.codec.encode(payload, self.page_size))
-        self._write_header()
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        """Checkpoint: WAL-commit every changed slot image, apply, fsync.
 
-    def close(self) -> None:
-        """Checkpoint and close the file."""
+        The durability point is the WAL commit — after it returns, a crash
+        anywhere (including mid-apply) recovers to *this* checkpoint; before
+        it, recovery yields the previous one.  No-op when nothing changed.
+        """
+        self._check_open()
+        batch = self._collect_batch()
+        if not batch:
+            return
+        if self._wal is not None:
+            self._wal.begin()
+            for pid, image in batch:
+                self._wal.append_page(pid, image)
+            self._wal.commit()
+        for pid, image in batch:
+            self._apply_slot(pid, image)
+        fsync_file(self._file)
+        if self._wal is not None:
+            self._wal.mark_applied()
+        for pid, image in batch:
+            body_crc = zlib.crc32(image[:-PAGE_CHECKSUM_BYTES])
+            if pid == HEADER_SLOT:
+                self._header_crc = body_crc
+            else:
+                self._slot_crc[pid] = body_crc
+        self._blank.clear()
+
+    def verify(self) -> int:
+        """Scrub walk: checkpoint, then re-read and checksum every live slot.
+
+        Returns the number of slots verified (header included); raises
+        :class:`PageCorruptionError` at the first torn or bit-rotted slot.
+        """
         self.sync()
-        self._file.close()
-        self._cache.clear()
+        self._file.seek(0)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            raise PageCorruptionError("header slot truncated on disk")
+        unseal_page(data, "header")
+        verified = 1
+        for pid in self.page_ids():
+            self._file.seek(self._offset(pid))
+            data = self._file.read(self.page_size)
+            if len(data) < self.page_size:
+                raise PageCorruptionError(f"page {pid} truncated on disk")
+            unseal_page(data, pid)
+            verified += 1
+        return verified
+
+    # -- lifecycle -----------------------------------------------------------------------------
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Checkpoint (unless told otherwise) and close the file; idempotent."""
+        if self._closed:
+            return
+        try:
+            if checkpoint:
+                self.sync()
+        finally:
+            self._closed = True
+            self._file.close()
+            if self._wal is not None:
+                self._wal.close()
+            self._cache.clear()
+            self._slot_crc.clear()
+            self._blank.clear()
 
     def __enter__(self) -> "FilePager":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        # On an exception, skip the checkpoint: a failed operation must not
+        # overwrite good on-disk state with a half-mutated cache.
+        self.close(checkpoint=exc_type is None)

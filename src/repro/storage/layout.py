@@ -36,6 +36,11 @@ PAGE_ID_BYTES = 4
 BORDER_HANDLE_BYTES = 8
 SCALAR_VALUE_BYTES = 8
 
+#: Trailing CRC32 each *durable* page slot carries (see storage/codec.py).
+#: The simulated pager stores objects, so simulated capacities ignore it;
+#: durable capacities must budget ``page_size - PAGE_CHECKSUM_BYTES``.
+PAGE_CHECKSUM_BYTES = 4
+
 
 def polynomial_value_bytes(dims: int, degree: int) -> int:
     """Worst-case coefficient-tuple footprint for total degree ``degree``.

@@ -1,0 +1,216 @@
+"""Write-ahead log for the durable pager's atomic checkpoints.
+
+:class:`~repro.storage.filepager.FilePager` never overwrites page slots
+directly.  A checkpoint first appends every changed slot image to this log
+and commits it (flush + fsync), and only then applies the images to the
+page file in place.  A crash at *any* write therefore leaves one of two
+recoverable states:
+
+* no commit record on disk — the page file was never touched; the torn log
+  tail is discarded and the previous checkpoint survives intact;
+* a committed batch on disk — the page file may be half-applied, but the
+  log holds every image of the batch; :meth:`WriteAheadLog.recover_into`
+  replays it (redo) and the new checkpoint survives intact.
+
+On-disk format::
+
+    file header:  8s magic "REPROWAL" | u32 page_size
+    record:       u8 kind | u32 pid | u32 length | u32 crc | payload
+    kinds:        1 = page image (pid 0xFFFFFFFF is the pager header slot)
+                  2 = commit (empty payload)
+
+The record CRC32 covers the packed (kind, pid, length) fields plus the
+payload, so a torn record, a torn length field, or a bit flip all truncate
+the scan instead of replaying garbage.  Payloads are full sealed slot
+images (they carry their own trailing page CRC as well).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Callable, List, Tuple
+
+from ..core.errors import WalError
+
+_WAL_MAGIC = b"REPROWAL"
+_FILE_HEADER = struct.Struct("<8sI")  # magic, page_size
+_REC_HEADER = struct.Struct("<BIII")  # kind, pid, length, crc
+_REC_BODY = struct.Struct("<BII")  # the crc-covered prefix of the header
+
+REC_PAGE = 1
+REC_COMMIT = 2
+
+#: wire pid of the pager's header slot (offset 0 of the page file)
+HEADER_SLOT = 0xFFFFFFFF
+
+
+def fsync_file(fileobj) -> None:
+    """Flush and fsync a file object; honors a file-level ``fsync`` hook.
+
+    Fault-injection wrappers (:mod:`repro.storage.faults`) expose their own
+    ``fsync`` method so simulated crashes can land between a write and its
+    durability point; plain files fall back to :func:`os.fsync`.
+    """
+    fileobj.flush()
+    fsync = getattr(fileobj, "fsync", None)
+    if fsync is not None:
+        fsync()
+    else:
+        os.fsync(fileobj.fileno())
+
+
+def _default_opener(path: str, mode: str):
+    return open(path, mode)
+
+
+class WriteAheadLog:
+    """Redo log over ``path`` guarding one page file's checkpoints.
+
+    The log holds at most the batches of the current (possibly retried)
+    checkpoint: :meth:`begin` truncates any *applied or uncommitted* junk,
+    :meth:`commit` makes the batch durable, and :meth:`mark_applied`
+    truncates back to the file header once the page file caught up.  If a
+    committed batch could not be applied (an I/O error mid-checkpoint), the
+    next :meth:`begin` appends *after* it — replay applies batches in
+    order, so the newest committed state always wins.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int,
+        opener: Callable[[str, str], object] = _default_opener,
+    ) -> None:
+        self.path = path
+        self.page_size = page_size
+        exists = os.path.exists(path)
+        self._file = opener(path, "r+b" if exists else "w+b")
+        # Whether a committed batch is on disk but not yet applied.
+        self._pending = False
+        if exists:
+            header = self._file.read(_FILE_HEADER.size)
+            if len(header) < _FILE_HEADER.size:
+                # A crash during log creation tore the file header.  The
+                # header is written (and fsynced) before any record can be,
+                # so a short file provably holds no commits: re-initialize.
+                self._initialize()
+            else:
+                magic, stored_size = _FILE_HEADER.unpack(header)
+                if magic != _WAL_MAGIC:
+                    raise WalError(f"{path} is not a WAL file (bad magic)")
+                if stored_size != page_size:
+                    raise WalError(
+                        f"{path} logs page size {stored_size}, expected {page_size}"
+                    )
+                self._pending = bool(self._scan())
+        else:
+            self._initialize()
+
+    def _initialize(self) -> None:
+        self._file.seek(0)
+        self._file.truncate()
+        self._file.write(_FILE_HEADER.pack(_WAL_MAGIC, self.page_size))
+        fsync_file(self._file)
+
+    # -- writing ----------------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Start a batch: drop applied/uncommitted content, seek to the end."""
+        if not self._pending:
+            self._file.seek(_FILE_HEADER.size)
+            self._file.truncate()
+        else:
+            self._file.seek(0, os.SEEK_END)
+
+    def append_page(self, pid: int, slot_image: bytes) -> None:
+        """Append one slot image (``HEADER_SLOT`` for the pager header)."""
+        if len(slot_image) != self.page_size:
+            raise WalError(
+                f"WAL payload is {len(slot_image)} bytes, "
+                f"expected a full {self.page_size}-byte slot"
+            )
+        self._append(REC_PAGE, pid, slot_image)
+
+    def commit(self) -> None:
+        """Make the batch durable: append the commit record, flush, fsync."""
+        self._append(REC_COMMIT, 0, b"")
+        fsync_file(self._file)
+        self._pending = True
+
+    def mark_applied(self) -> None:
+        """The page file caught up: truncate back to the file header."""
+        self._file.seek(_FILE_HEADER.size)
+        self._file.truncate()
+        fsync_file(self._file)
+        self._pending = False
+
+    def _append(self, kind: int, pid: int, payload: bytes) -> None:
+        crc = zlib.crc32(_REC_BODY.pack(kind, pid, len(payload)) + payload)
+        self._file.write(_REC_HEADER.pack(kind, pid, len(payload), crc) + payload)
+
+    # -- recovery ---------------------------------------------------------------------
+
+    def _scan(self) -> List[List[Tuple[int, bytes]]]:
+        """Committed batches on disk, in commit order; torn tails discarded."""
+        self._file.seek(_FILE_HEADER.size)
+        batches: List[List[Tuple[int, bytes]]] = []
+        pending: List[Tuple[int, bytes]] = []
+        while True:
+            header = self._file.read(_REC_HEADER.size)
+            if len(header) < _REC_HEADER.size:
+                break  # clean end or torn record header
+            kind, pid, length, crc = _REC_HEADER.unpack(header)
+            if kind not in (REC_PAGE, REC_COMMIT) or length > self.page_size:
+                break  # garbage — stop before replaying it
+            payload = self._file.read(length)
+            if len(payload) < length:
+                break  # torn payload
+            if zlib.crc32(_REC_BODY.pack(kind, pid, length) + payload) != crc:
+                break  # bit rot / torn write inside the record
+            if kind == REC_COMMIT:
+                batches.append(pending)
+                pending = []
+            else:
+                pending.append((pid, payload))
+        return batches
+
+    def recover_into(self, page_file) -> int:
+        """Redo every committed batch into ``page_file``; return slots written.
+
+        Applies batches in commit order, fsyncs the page file, then resets
+        the log.  Uncommitted tails are discarded untouched (the page file
+        was never written for them).
+        """
+        batches = self._scan()
+        applied = 0
+        for batch in batches:
+            for pid, image in batch:
+                offset = 0 if pid == HEADER_SLOT else (pid + 1) * self.page_size
+                page_file.seek(offset)
+                page_file.write(image)
+                applied += 1
+        if applied:
+            fsync_file(page_file)
+        if applied or os.fstat(self._file.fileno()).st_size > _FILE_HEADER.size:
+            self.mark_applied()
+        else:
+            self._pending = False
+        return applied
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """True when a committed batch awaits application."""
+        return self._pending
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

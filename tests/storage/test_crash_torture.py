@@ -1,0 +1,190 @@
+"""Crash-safety torture tests for the durable storage path.
+
+The central claim of the WAL + checksum subsystem: for an insert workload
+with a checkpoint after every insert, a crash at *any* mutating file
+operation — clean kill, torn write, or transient I/O error — leaves the
+index recoverable to a committed prefix of the workload, and silent
+corruption is detected rather than aggregated over.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.errors import PageCorruptionError
+from repro.durable import DurableAggIndex
+from repro.storage.faults import CrashPoint, FaultInjector, SimulatedCrashError
+from repro.testing import check_crash_recovery
+
+PAGE = 512
+
+
+def make_index(path, **kwargs):
+    return DurableAggIndex.open(str(path), page_size=PAGE, **kwargs)
+
+
+class TestEveryWritePoint:
+    def test_crash_and_torn_at_every_write_point(self, tmp_path):
+        report = check_crash_recovery(
+            str(tmp_path / "torture.pages"), n_inserts=10, modes=("crash", "torn")
+        )
+        assert report.checks > 100  # the workload really has many write points
+        assert report.ok, report
+
+    def test_oserror_at_every_write_point(self, tmp_path):
+        # A transient I/O failure surfaces as OSError mid-checkpoint; the
+        # caller abandons the session and the survivor files must still
+        # recover to a committed prefix (the WAL covers half-applied
+        # batches, uncommitted ones are discarded).
+        path = str(tmp_path / "oserror.pages")
+        items = [(float(i), float(i + 1)) for i in range(6)]
+
+        def run(at_op):
+            injector = FaultInjector(
+                CrashPoint(at_op=at_op, mode="oserror") if at_op else None
+            )
+            completed = 0
+            index = make_index(path, create=False, opener=injector.opener)
+            try:
+                for key, value in items:
+                    index.insert(key, value)
+                    index.checkpoint()
+                    completed += 1
+                index.close()
+            except OSError:
+                # Simulated transient failure: release without checkpointing.
+                index._pager.close(checkpoint=False)
+            return injector, completed
+
+        make_index(path).close()
+        dry, completed = run(None)
+        assert completed == len(items)
+        for at_op in range(1, dry.ops + 1):
+            for f in (path, path + ".wal"):
+                if os.path.exists(f):
+                    os.remove(f)
+            make_index(path).close()
+            injector, completed = run(at_op)
+            if not injector.fired:
+                continue
+            with make_index(path, create=False) as survivor:
+                recovered = len(survivor)
+                assert completed <= recovered <= min(completed + 1, len(items))
+                expected = sum(v for _k, v in items[:recovered])
+                assert survivor.total() == pytest.approx(expected)
+                survivor.verify()
+
+
+class TestCorruptionDetection:
+    def build(self, path, n=200):
+        with make_index(path) as index:
+            for i in range(n):
+                index.insert(float(i), 1.0)
+
+    def test_bitflipped_page_raises_not_wrong_answers(self, tmp_path):
+        path = tmp_path / "flip.pages"
+        self.build(path)
+        # Flip one bit in the middle of the first data page (pid 0).
+        with open(path, "r+b") as f:
+            f.seek(PAGE + PAGE // 2)
+            byte = f.read(1)
+            f.seek(-1, os.SEEK_CUR)
+            f.write(bytes([byte[0] ^ 0x10]))
+        with make_index(path, create=False) as index:
+            with pytest.raises(PageCorruptionError):
+                # Touching every page guarantees the damaged one is read.
+                index.range_sum(-1.0, 1e9)
+
+    def test_verify_scrub_finds_damage_queries_missed(self, tmp_path):
+        path = tmp_path / "scrub.pages"
+        self.build(path)
+        with open(path, "r+b") as f:
+            f.seek(3 * PAGE + 7)
+            byte = f.read(1)
+            f.seek(-1, os.SEEK_CUR)
+            f.write(bytes([byte[0] ^ 0x01]))
+        with make_index(path, create=False) as index:
+            with pytest.raises(PageCorruptionError):
+                index.verify()
+
+    def test_verify_passes_on_healthy_file(self, tmp_path):
+        path = tmp_path / "healthy.pages"
+        self.build(path)
+        with make_index(path, create=False) as index:
+            verified = index.verify()
+            assert verified == index.storage.num_pages + 1  # + header slot
+
+    def test_bitflip_injected_during_checkpoint_is_caught(self, tmp_path):
+        path = str(tmp_path / "inject.pages")
+        make_index(path).close()
+        # Let some mid-workload write land with one bit flipped; either the
+        # WAL record CRC rejects it at recovery, or the page CRC rejects it
+        # at read time — silent wrong aggregates are the only failure.
+        injector = FaultInjector(CrashPoint(at_op=9, mode="bitflip"))
+        index = make_index(path, create=False, opener=injector.opener)
+        for i in range(6):
+            index.insert(float(i), float(i + 1))
+            index.checkpoint()
+        index.close()
+        assert injector.fired
+        try:
+            with make_index(path, create=False) as survivor:
+                survivor.verify()
+                total = survivor.total()
+        except PageCorruptionError:
+            return  # detected — acceptable outcome
+        # The flip landed in a WAL record that was superseded before apply,
+        # or in slack space: the surviving state must then be fully correct.
+        assert total == pytest.approx(sum(range(1, 7)))
+
+
+class TestRecoveryProtocol:
+    def test_wal_file_appears_next_to_the_index(self, tmp_path):
+        path = str(tmp_path / "idx.pages")
+        make_index(path).close()
+        assert os.path.exists(path + ".wal")
+
+    def test_deleting_the_wal_of_a_closed_index_is_safe(self, tmp_path):
+        path = str(tmp_path / "idx.pages")
+        with make_index(path) as index:
+            for i in range(50):
+                index.insert(float(i), 2.0)
+        os.remove(path + ".wal")  # a clean close leaves nothing to redo
+        with make_index(path, create=False) as reopened:
+            assert reopened.total() == pytest.approx(100.0)
+
+    def test_committed_unapplied_wal_redoes_on_open(self, tmp_path):
+        # Crash *after* the WAL commit but before the page file caught up:
+        # recovery must redo the batch, yielding the post-insert state.
+        path = str(tmp_path / "redo.pages")
+        make_index(path).close()
+        dry = FaultInjector()
+        index = make_index(path, create=False, opener=dry.opener)
+        index.insert(1.0, 5.0)
+        index.checkpoint()
+        commit_ops = dry.ops  # ops up to and including the first checkpoint
+        index.close()
+
+        os.remove(path)
+        os.remove(path + ".wal")
+        make_index(path).close()
+        # The WAL commit fsync is a handful of ops before the end of the
+        # checkpoint; crash right after it (apply phase) for several points.
+        for at_op in range(commit_ops - 4, commit_ops):
+            injector = FaultInjector(CrashPoint(at_op=at_op, mode="crash"))
+            idx2 = make_index(path, create=False, opener=injector.opener)
+            try:
+                idx2.insert(1.0, 5.0)
+                idx2.checkpoint()
+                idx2.close()
+            except SimulatedCrashError:
+                pass
+            with make_index(path, create=False) as survivor:
+                assert survivor.total() in (pytest.approx(0.0), pytest.approx(5.0))
+                survivor.verify()
+            # reset for the next crash point
+            os.remove(path)
+            os.remove(path + ".wal")
+            make_index(path).close()

@@ -1,0 +1,120 @@
+"""Unit tests for the fault-injection wrappers themselves."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage.faults import (
+    CrashPoint,
+    FaultInjector,
+    FaultyFile,
+    SimulatedCrashError,
+)
+
+
+def open_file(tmp_path, injector, name="f.bin"):
+    return injector.opener(str(tmp_path / name), "w+b")
+
+
+class TestCounting:
+    def test_mutations_are_counted_across_files(self, tmp_path):
+        injector = FaultInjector()
+        a = open_file(tmp_path, injector, "a.bin")
+        b = open_file(tmp_path, injector, "b.bin")
+        a.write(b"x")
+        b.write(b"y")
+        b.fsync()
+        a.truncate(0)
+        assert injector.ops == 4
+        a.close()
+        b.close()
+
+    def test_reads_and_seeks_are_free(self, tmp_path):
+        injector = FaultInjector()
+        f = open_file(tmp_path, injector)
+        f.write(b"abc")
+        f.seek(0)
+        assert f.read(3) == b"abc"
+        f.tell()
+        assert injector.ops == 1
+
+
+class TestCrash:
+    def test_crash_blocks_the_write_and_everything_after(self, tmp_path):
+        injector = FaultInjector(CrashPoint(at_op=2, mode="crash"))
+        f = open_file(tmp_path, injector)
+        f.write(b"first")
+        with pytest.raises(SimulatedCrashError):
+            f.write(b"second")
+        assert injector.crashed
+        with pytest.raises(SimulatedCrashError):
+            f.read(1)
+        with pytest.raises(SimulatedCrashError):
+            f.fsync()
+        f.close()  # descriptors still close on a dead process
+        assert os.path.getsize(tmp_path / "f.bin") == len(b"first")
+
+    def test_torn_write_persists_a_prefix(self, tmp_path):
+        injector = FaultInjector(CrashPoint(at_op=1, mode="torn"))
+        f = open_file(tmp_path, injector)
+        with pytest.raises(SimulatedCrashError):
+            f.write(b"0123456789")
+        f.close()
+        assert (tmp_path / "f.bin").read_bytes() == b"01234"
+
+    def test_oserror_is_transient(self, tmp_path):
+        injector = FaultInjector(CrashPoint(at_op=1, mode="oserror"))
+        f = open_file(tmp_path, injector)
+        with pytest.raises(OSError):
+            f.write(b"fails")
+        f.write(b"works")
+        f.close()
+        assert (tmp_path / "f.bin").read_bytes() == b"works"
+
+    def test_bitflip_corrupts_silently(self, tmp_path):
+        injector = FaultInjector(CrashPoint(at_op=1, mode="bitflip"))
+        f = open_file(tmp_path, injector)
+        f.write(b"\x00" * 8)  # no exception: the corruption is silent
+        f.close()
+        data = (tmp_path / "f.bin").read_bytes()
+        assert data != b"\x00" * 8
+        assert sum(bin(byte).count("1") for byte in data) == 1  # one bit
+
+    def test_bitflip_waits_for_a_write(self, tmp_path):
+        injector = FaultInjector(CrashPoint(at_op=1, mode="bitflip"))
+        f = open_file(tmp_path, injector)
+        f.fsync()  # op 1 is not a write: nothing to flip yet
+        f.write(b"\x00\x00")  # the flip lands here
+        f.close()
+        assert (tmp_path / "f.bin").read_bytes() != b"\x00\x00"
+
+    def test_unfired_point_reports_itself(self, tmp_path):
+        injector = FaultInjector(CrashPoint(at_op=99, mode="crash"))
+        f = open_file(tmp_path, injector)
+        f.write(b"x")
+        f.close()
+        assert not injector.fired
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPoint(at_op=1, mode="gremlins")
+
+
+class TestFileProtocol:
+    def test_wrapper_is_unbuffered(self, tmp_path):
+        injector = FaultInjector()
+        f = open_file(tmp_path, injector)
+        f.write(b"visible")
+        # No flush/close: an unbuffered write is already in the OS, which is
+        # exactly the semantics the crash simulation depends on.
+        assert (tmp_path / "f.bin").read_bytes() == b"visible"
+        f.close()
+
+    def test_context_manager_and_closed(self, tmp_path):
+        injector = FaultInjector()
+        with open_file(tmp_path, injector) as f:
+            assert isinstance(f, FaultyFile)
+            assert not f.closed
+        assert f.closed

@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import os
 import random
+import shutil
 
 import pytest
 
 from repro.bptree.node import LeafNode
-from repro.core.errors import PageNotFoundError, StorageError
+from repro.core.errors import PageCorruptionError, PageNotFoundError, StorageError
 from repro.core.polynomial import Polynomial
 from repro.core.values import SumCount
 from repro.durable import DurableAggIndex
@@ -103,6 +104,121 @@ class TestFilePager:
             for _ in range(4):
                 pager.allocate(leaf(0))
         assert os.path.getsize(path) == 5 * 512  # header + 4 pages
+
+    def test_close_is_idempotent(self, tmp_path):
+        pager = FilePager(str(tmp_path / "j.pages"), make_codec(), page_size=512)
+        pager.allocate(leaf(0))
+        pager.close()
+        pager.close()  # second close must be a no-op, not a crash
+        with pytest.raises(StorageError):
+            pager.allocate(leaf(0))
+
+    def test_exit_on_exception_skips_checkpoint(self, tmp_path):
+        path = str(tmp_path / "k.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            pid = pager.allocate(leaf(0, [1.0], [5.0]))
+        with pytest.raises(RuntimeError):
+            with FilePager(path, make_codec(), page_size=512, create=False) as pager:
+                node = pager.get(pid)
+                node.keys.append(2.0)  # half-mutated: values/total not updated
+                raise RuntimeError("operation failed mid-mutation")
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            assert reopened.get(pid).keys == [1.0]  # good state survived
+
+    def test_set_meta_is_durable_without_close(self, tmp_path):
+        # A crash after set_meta must not lose the blob: copy the raw files
+        # mid-session (nothing flushed by close) and reopen the copies.
+        path = str(tmp_path / "l.pages")
+        pager = FilePager(path, make_codec(), page_size=512)
+        pager.allocate(leaf(0, [1.0], [2.0]))
+        pager.set_meta(b'{"root": 0}')
+        copy = str(tmp_path / "copy.pages")
+        shutil.copyfile(path, copy)
+        shutil.copyfile(path + ".wal", copy + ".wal")
+        pager.close()
+        with FilePager(copy, make_codec(), page_size=512, create=False) as snapshot:
+            assert snapshot.user_meta == b'{"root": 0}'
+            assert snapshot.get(0).keys == [1.0]  # pages synced with the meta
+
+    def test_get_detects_checksum_mismatch(self, tmp_path):
+        path = str(tmp_path / "m.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            pid = pager.allocate(leaf(0, [1.0], [2.0]))
+        with open(path, "r+b") as f:
+            f.seek(512 + 100)
+            f.write(b"\xff")
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            with pytest.raises(PageCorruptionError):
+                reopened.get(pid)
+
+    def test_verify_scrubs_all_slots(self, tmp_path):
+        path = str(tmp_path / "n.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            for i in range(6):
+                pager.allocate(leaf(i, [float(i)], [1.0]))
+            assert pager.verify() == 7  # six pages + the header slot
+        with open(path, "r+b") as f:
+            f.seek(3 * 512 + 50)
+            f.write(b"\xee")
+        with pytest.raises(PageCorruptionError):
+            with FilePager(path, make_codec(), page_size=512, create=False) as p:
+                p.verify()
+
+
+class TestFreeListPersistence:
+    def test_allocate_free_reopen_round_trip(self, tmp_path):
+        path = str(tmp_path / "fl.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            pids = [pager.allocate(leaf(i)) for i in range(8)]
+            for pid in pids[::2]:
+                pager.free(pid)
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            assert reopened.num_pages == 4
+            assert sorted(reopened.page_ids()) == pids[1::2]
+            # freed slots come back before the high-water mark grows
+            reused = [reopened.allocate(leaf(0)) for _ in range(4)]
+            assert sorted(reused) == pids[::2]
+            assert reopened.allocate(leaf(0)) == 8
+        with FilePager(path, make_codec(), page_size=512, create=False) as again:
+            assert again.num_pages == 9
+            assert not again._free
+
+    def test_freed_page_unreadable_after_reopen(self, tmp_path):
+        path = str(tmp_path / "fl2.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            a = pager.allocate(leaf(0))
+            pager.allocate(leaf(1))
+            pager.free(a)
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            with pytest.raises(PageNotFoundError):
+                reopened.get(a)
+
+    def test_free_list_header_overflow_raises_and_preserves_state(self, tmp_path):
+        path = str(tmp_path / "fl3.pages")
+        # 512-byte page: header body is 508 bytes; 16 fixed + 4 + 4 = 24
+        # bookkeeping leaves room for 121 free-list entries.
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            pids = [pager.allocate(leaf(i)) for i in range(130)]
+            with pytest.raises(StorageError, match="overflowed the header"):
+                for pid in pids:
+                    pager.free(pid)
+            freed = len(pager._free)
+            assert freed == 121  # the failing free left the list intact
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            assert reopened.num_pages == 130 - freed
+
+    def test_meta_and_free_list_share_the_header_budget(self, tmp_path):
+        path = str(tmp_path / "fl4.pages")
+        with FilePager(path, make_codec(), page_size=512) as pager:
+            pids = [pager.allocate(leaf(i)) for i in range(60)]
+            for pid in pids:
+                pager.free(pid)
+            with pytest.raises(StorageError, match="overflowed the header"):
+                pager.set_meta(b"x" * 400)
+            pager.set_meta(b"x" * 100)
+        with FilePager(path, make_codec(), page_size=512, create=False) as reopened:
+            assert reopened.user_meta == b"x" * 100
+            assert len(reopened._free) == 60
 
 
 class TestDurableAggIndex:
