@@ -1,7 +1,7 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Full-scale experiment runs backing EXPERIMENTS.md.
 # Larger n than the pytest benches; takes ~30 minutes of CPU.
-set -e
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 python -m repro.bench fig9a     --n 100000 --queries 200

@@ -41,6 +41,8 @@ from .core.aggregator import (
     FunctionalBoxSumIndex,
     make_dominance_index,
 )
+from .core.explain import QueryProfile, profile
+from .obs import MetricsRegistry, Tracer, get_registry, tracing
 from .storage import CostModel, IOCounter, StorageContext
 
 __version__ = "1.0.0"
@@ -59,5 +61,11 @@ __all__ = [
     "StorageContext",
     "IOCounter",
     "CostModel",
+    "MetricsRegistry",
+    "Tracer",
+    "get_registry",
+    "tracing",
+    "profile",
+    "QueryProfile",
     "__version__",
 ]

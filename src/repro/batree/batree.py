@@ -52,6 +52,7 @@ from ..bptree import AggBPlusTree
 from ..core.errors import DimensionMismatchError, TreeInvariantError
 from ..core.geometry import Box, Coords, as_coords
 from ..core.values import Value, values_equal
+from ..obs import trace as _trace
 from ..kdb.split import choose_index_split_plane, choose_leaf_split_plane
 from ..storage import StorageContext
 
@@ -236,10 +237,19 @@ class BATree:
         if self._delegate is not None:
             return self._delegate.dominance_sum(point)
         coords = self._check_point(point)
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return self._dominance_sum(coords, None)
+        with tracer.span("ba.dominance_sum", dims=self.dims):
+            return self._dominance_sum(coords, tracer)
+
+    def _dominance_sum(self, coords: Coords, tracer) -> Value:
         result = self.zero
         record = self._root
         while True:
             page = self._fetch(record.child)
+            if tracer is not None:
+                tracer.event("node", pid=record.child, leaf=page.is_leaf)
             if page.is_leaf:
                 for stored, value in page.entries:
                     if all(s < c for s, c in zip(stored, coords)):

@@ -1,4 +1,11 @@
-"""CLI entry point: ``python -m repro.bench <experiment> [options]``."""
+"""CLI entry point: ``python -m repro.bench <experiment> [options]``.
+
+Besides the paper's experiments, ``python -m repro.bench smoke`` runs the
+reduced-scale smoke slice (see :mod:`repro.bench.smoke`): ``--json`` dumps
+the schema-versioned payload, ``--check BASELINE`` gates it against a
+committed baseline (exit code 1 on regression), and ``--write-baseline``
+refreshes the baseline from this run.
+"""
 
 from __future__ import annotations
 
@@ -20,6 +27,14 @@ from .figures import (
     table1_complexity,
     three_dimensional,
 )
+from .runmeta import run_metadata
+from .smoke import (
+    compare_to_baseline,
+    dump_json,
+    load_json,
+    make_baseline,
+    run_smoke,
+)
 
 EXPERIMENTS = {
     "fig9a": fig9a_index_sizes,
@@ -34,6 +49,31 @@ EXPERIMENTS = {
     "ablation": ablation_border_touch,
 }
 
+RESULTS_SCHEMA_VERSION = 1
+
+
+def _run_smoke_command(args: argparse.Namespace) -> int:
+    payload = run_smoke(verbose=args.verbose)
+    meta = payload["metadata"]
+    print(
+        f"[smoke: {len(payload['metrics'])} metrics in "
+        f"{meta.get('wall_time_s', 0.0):.1f}s, seed={meta['seed']}]"
+    )
+    if args.json:
+        dump_json(payload, args.json)
+        print(f"[wrote {args.json}]")
+    if args.write_baseline:
+        dump_json(make_baseline(payload), args.write_baseline)
+        print(f"[wrote baseline {args.write_baseline}]")
+    if args.check:
+        baseline = load_json(args.check)
+        ok, lines = compare_to_baseline(payload, baseline)
+        for line in lines:
+            print(line)
+        if not ok:
+            return 1
+    return 0
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -42,8 +82,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which table/figure to regenerate",
+        choices=[*EXPERIMENTS, "all", "smoke"],
+        help="which table/figure to regenerate, or 'smoke' for the CI slice",
     )
     parser.add_argument("--n", type=int, default=None, help="number of objects")
     parser.add_argument("--queries", type=int, default=None, help="queries per batch")
@@ -56,7 +96,27 @@ def main(argv=None) -> int:
         default=None,
         help="also dump the structured rows of each experiment as JSON",
     )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="(smoke only) compare against a baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="(smoke only) write this run out as a new baseline",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="(smoke only) print each experiment's tables while running",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "smoke":
+        return _run_smoke_command(args)
 
     cfg = BenchConfig()
     overrides = {
@@ -70,6 +130,7 @@ def main(argv=None) -> int:
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     results = {}
+    start_all = time.time()
     for name in names:
         start = time.time()
         rows = EXPERIMENTS[name](cfg)
@@ -77,6 +138,9 @@ def main(argv=None) -> int:
         print(f"\n[{name} done in {time.time() - start:.1f}s]")
     if args.json:
         payload = {
+            "schema_version": RESULTS_SCHEMA_VERSION,
+            "kind": "bench-results",
+            "metadata": run_metadata(cfg, wall_time_s=time.time() - start_all),
             "config": {
                 "n": cfg.n,
                 "dims": cfg.dims,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..core.aggregator import BoxSumIndex, FunctionalBoxSumIndex
 from ..core.geometry import Box

@@ -13,7 +13,7 @@ import time
 from typing import Dict, List, Tuple
 
 from ..core.aggregator import BoxSumIndex, make_dominance_index
-from ..core.reduction import CornerReduction, EO82Reduction, reduction_comparison
+from ..core.reduction import reduction_comparison
 from ..storage import CostModel
 from ..workloads import functional_objects, query_boxes, query_points, uniform_boxes
 from .builders import (

@@ -61,14 +61,13 @@ def ascii_chart(
             label = ""
         lines.append(f"{label:>{label_width}} |{''.join(grid[row])}")
     lines.append(" " * label_width + " +" + "-" * width)
-    lines.append(
-        " " * label_width
-        + f"  {_fmt(min(xs))}{' ' * max(1, width - len(_fmt(min(xs))) - len(_fmt(max(xs))) - 2)}{_fmt(max(xs))}"
-    )
+    x_lo, x_hi = _fmt(min(xs)), _fmt(max(xs))
+    x_gap = " " * max(1, width - len(x_lo) - len(x_hi) - 2)
+    lines.append(" " * label_width + f"  {x_lo}{x_gap}{x_hi}")
     legend = "   ".join(
         f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
     )
-    suffix = f"  [log y]" if log_y else ""
+    suffix = "  [log y]" if log_y else ""
     lines.append(f"  legend: {legend}{suffix}")
     if y_label:
         lines.append(f"  y: {y_label}")

@@ -1,0 +1,62 @@
+"""Run-metadata envelope for bench JSON dumps.
+
+Every structured dump — ``python -m repro.bench ... --json`` and the smoke
+benchmark — carries the same metadata block (seed, full config, git
+revision, timestamp, interpreter), so two dumps can always be compared
+knowing exactly what produced them.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import time
+from typing import Any, Dict, Optional
+
+from .config import BenchConfig
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit hash, or None outside a repository."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def config_dict(cfg: BenchConfig) -> Dict[str, Any]:
+    """The full benchmark configuration as a JSON-ready dict."""
+    return {
+        "n": cfg.n,
+        "dims": cfg.dims,
+        "page_size": cfg.page_size,
+        "buffer_mb": cfg.buffer_mb,
+        "buffer_pages": cfg.buffer_pages,
+        "queries": cfg.queries,
+        "avg_side_fraction": cfg.avg_side_fraction,
+        "seed": cfg.seed,
+    }
+
+
+def run_metadata(cfg: BenchConfig, wall_time_s: Optional[float] = None) -> Dict[str, Any]:
+    """Everything needed to reproduce and compare a bench run."""
+    meta: Dict[str, Any] = {
+        "seed": cfg.seed,
+        "config": config_dict(cfg),
+        "git_rev": git_revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if wall_time_s is not None:
+        meta["wall_time_s"] = round(wall_time_s, 3)
+    return meta

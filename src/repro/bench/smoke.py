@@ -1,0 +1,214 @@
+"""Smoke benchmark: a reduced slice of every experiment, with a CI gate.
+
+``python -m repro.bench smoke`` runs all ten experiment drivers at a tiny,
+fixed scale and extracts only the *deterministic* metrics — page counts and
+I/O counts, never CPU or wall time — into a flat ``name -> value`` dict.
+Given the same seed and config these are bit-stable (seeded RNG, simulated
+disk), so CI can compare a fresh run against the committed baseline at
+``benchmarks/baseline_smoke.json`` and fail on regressions beyond the
+baseline's tolerance bands.
+
+The emitted payload is schema-versioned and wrapped in the shared run
+metadata envelope (seed, config, git rev, timestamp, wall time), so any
+two dumps are comparable knowing exactly what produced them.
+
+Baseline format::
+
+    {
+      "schema_version": 1,
+      "default_rel_tol": 0.1,
+      "abs_slack": 2.0,
+      "per_metric_rel_tol": {"fig9b.aR.qbs=10.00%": 0.2},
+      "metrics": {"fig9a.BAT.pages": 123.0, ...}
+    }
+
+Every smoke metric is *lower-is-better*; the gate fails when a current
+value exceeds ``baseline * (1 + tol) + abs_slack`` or when a baseline
+metric is missing from the run.  Improvements and new metrics are reported
+but do not fail the gate (refresh the baseline to lock them in).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .config import BenchConfig
+from .figures import (
+    ablation_border_touch,
+    fig9a_index_sizes,
+    fig9b_crossover,
+    fig9b_query_cost,
+    fig9c_functional,
+    reduction_experiment,
+    rstar_speedup,
+    shape_robustness,
+    table1_complexity,
+    three_dimensional,
+)
+from .runmeta import run_metadata
+
+#: Version of the BENCH_smoke.json payload format.
+SMOKE_SCHEMA_VERSION = 1
+
+#: Default relative tolerance band when the baseline specifies none.
+DEFAULT_REL_TOL = 0.10
+
+#: Flat slack added to every band (absorbs off-by-a-page noise on tiny counts).
+DEFAULT_ABS_SLACK = 2.0
+
+
+def smoke_config(base: Optional[BenchConfig] = None) -> BenchConfig:
+    """The fixed reduced-scale configuration of the smoke slice."""
+    base = base if base is not None else BenchConfig()
+    return base.scaled(n=2500, queries=15, page_size=2048, buffer_mb=0.0625)
+
+
+# -- metric extraction (deterministic values only) ----------------------------
+
+
+def _metrics_from_experiments(cfg: BenchConfig, verbose: bool) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+
+    for method, _mb, pages in fig9a_index_sizes(cfg, verbose=verbose):
+        metrics[f"fig9a.{method}.pages"] = float(pages)
+
+    for method, qbs, ios in fig9b_query_cost(cfg, verbose=verbose):
+        metrics[f"fig9b.{method}.qbs={qbs}"] = float(ios)
+
+    for n, ar, bat in fig9b_crossover(cfg, verbose=verbose):
+        metrics[f"crossover.n={n}.aR"] = float(ar)
+        metrics[f"crossover.n={n}.BAT"] = float(bat)
+
+    for label, _total, ios, _cpu in fig9c_functional(cfg, verbose=verbose):
+        metrics[f"fig9c.{label}.ios"] = float(ios)
+
+    _counts, measured = reduction_experiment(cfg, verbose=verbose)
+    for name, ios, _mb in measured:
+        key = "corner" if name.startswith("corner") else "eo82"
+        metrics[f"reduction.{key}.ios"] = float(ios)
+
+    rows, _ratio = rstar_speedup(cfg, verbose=verbose)
+    for method, ios in rows:
+        metrics[f"rstar.{method}.ios"] = float(ios)
+
+    for aspect, ar, bat in shape_robustness(cfg, verbose=verbose):
+        metrics[f"shape.aspect={aspect:g}.aR"] = float(ar)
+        metrics[f"shape.aspect={aspect:g}.BAT"] = float(bat)
+
+    for qbs, ar, bat in three_dimensional(cfg, verbose=verbose):
+        metrics[f"dims3.qbs={qbs}.aR"] = float(ar)
+        metrics[f"dims3.qbs={qbs}.BAT"] = float(bat)
+
+    for variant, n, space, build_ios, query_acc, update_acc in table1_complexity(
+        cfg, verbose=verbose
+    ):
+        prefix = f"table1.{variant}.n={n}"
+        metrics[f"{prefix}.space_pages"] = float(space)
+        metrics[f"{prefix}.build_ios"] = float(build_ios)
+        metrics[f"{prefix}.query_accesses"] = float(query_acc)
+        metrics[f"{prefix}.update_accesses"] = float(update_acc)
+
+    for name, accesses, _cpu in ablation_border_touch(cfg, verbose=verbose):
+        metrics[f"ablation.{name}.accesses_per_insert"] = float(accesses)
+
+    return metrics
+
+
+def run_smoke(
+    cfg: Optional[BenchConfig] = None, verbose: bool = False
+) -> Dict[str, Any]:
+    """Run the smoke slice and return the schema-versioned payload."""
+    cfg = smoke_config(cfg)
+    start = time.time()
+    metrics = _metrics_from_experiments(cfg, verbose=verbose)
+    wall = time.time() - start
+    return {
+        "schema_version": SMOKE_SCHEMA_VERSION,
+        "kind": "bench-smoke",
+        "metadata": run_metadata(cfg, wall_time_s=wall),
+        "metrics": metrics,
+    }
+
+
+# -- baseline comparison -----------------------------------------------------------
+
+
+def make_baseline(
+    payload: Dict[str, Any],
+    default_rel_tol: float = DEFAULT_REL_TOL,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+) -> Dict[str, Any]:
+    """Turn a smoke payload into a committable baseline document."""
+    return {
+        "schema_version": SMOKE_SCHEMA_VERSION,
+        "default_rel_tol": default_rel_tol,
+        "abs_slack": abs_slack,
+        "per_metric_rel_tol": {},
+        "metrics": dict(payload["metrics"]),
+    }
+
+
+def compare_to_baseline(
+    payload: Dict[str, Any], baseline: Dict[str, Any]
+) -> Tuple[bool, List[str]]:
+    """Gate a smoke payload against a baseline; returns ``(ok, report lines)``.
+
+    Fails on: schema mismatch, a baseline metric missing from the run, or a
+    current value beyond ``base * (1 + tol) + abs_slack`` (all smoke metrics
+    are lower-is-better).  Improvements beyond the band and metrics new in
+    this run are reported as notes only.
+    """
+    lines: List[str] = []
+    ok = True
+    if baseline.get("schema_version") != payload.get("schema_version"):
+        return False, [
+            f"FAIL schema mismatch: baseline v{baseline.get('schema_version')} "
+            f"vs run v{payload.get('schema_version')}"
+        ]
+    rel_tol = float(baseline.get("default_rel_tol", DEFAULT_REL_TOL))
+    abs_slack = float(baseline.get("abs_slack", DEFAULT_ABS_SLACK))
+    per_metric = baseline.get("per_metric_rel_tol", {}) or {}
+    base_metrics: Dict[str, float] = baseline.get("metrics", {})
+    current: Dict[str, float] = payload.get("metrics", {})
+
+    for name in sorted(base_metrics):
+        base = float(base_metrics[name])
+        if name not in current:
+            ok = False
+            lines.append(f"FAIL {name}: missing from this run (baseline {base:g})")
+            continue
+        cur = float(current[name])
+        tol = float(per_metric.get(name, rel_tol))
+        ceiling = base * (1.0 + tol) + abs_slack
+        if cur > ceiling:
+            ok = False
+            lines.append(
+                f"FAIL {name}: {cur:g} > allowed {ceiling:g} "
+                f"(baseline {base:g}, rel_tol {tol:g}, abs_slack {abs_slack:g})"
+            )
+        elif cur < base - (base * tol + abs_slack):
+            lines.append(
+                f"note {name}: improved to {cur:g} from {base:g} "
+                "(consider refreshing the baseline)"
+            )
+    for name in sorted(set(current) - set(base_metrics)):
+        lines.append(f"note {name}: new metric {current[name]:g} (not in baseline)")
+    lines.append(
+        f"{'OK' if ok else 'REGRESSION'}: {len(base_metrics)} baseline metric(s) checked"
+    )
+    return ok, lines
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Parse one JSON document from ``path``."""
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def dump_json(payload: Dict[str, Any], path: str) -> None:
+    """Write a payload as stable, human-diffable JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True, default=str)
+        f.write("\n")

@@ -22,6 +22,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import TreeInvariantError
 from ..core.values import Value, accumulate
+from ..obs import trace as _trace
 from ..storage import StorageContext
 from ..storage.pager import NO_PAGE
 from .node import InternalNode, LeafNode
@@ -99,10 +100,19 @@ class AggBPlusTree:
         the d-dimensional dominance protocol expects point arguments.
         """
         key = _as_key(key)
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return self._dominance_sum(key, None)
+        with tracer.span("bptree.dominance_sum", height=self.height):
+            return self._dominance_sum(key, tracer)
+
+    def _dominance_sum(self, key: float, tracer) -> Value:
         result = self.zero
         pid = self.root_pid
         while True:
             node = self._fetch(pid)
+            if tracer is not None:
+                tracer.event("node", pid=pid, leaf=node.is_leaf)
             if node.is_leaf:
                 cut = bisect_left(node.keys, key)
                 for v in node.values[:cut]:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import trace as _trace
 from ..storage import StorageContext, polynomial_value_bytes
 from .errors import DimensionMismatchError, InvalidQueryError, NotSupportedError
 from .geometry import Box
@@ -35,7 +36,7 @@ from .naive import NaiveDominanceSum
 from .polynomial import Polynomial
 from .reduction import CornerReduction, EO82Reduction
 from .functional import FunctionalReduction
-from .values import SumCount, Value, zero_like
+from .values import SumCount, Value
 
 #: Backends that answer the dominance-sum protocol.
 DOMINANCE_BACKENDS = ("ba", "ecdf-bu", "ecdf-bq", "ecdf", "ecdf-log", "bptree", "naive")
@@ -262,6 +263,13 @@ class BoxSumIndex:
 
     def _aggregate(self, query: Box) -> Value:
         self._check(query)
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return self._aggregate_impl(query)
+        with tracer.span("box_sum", backend=self.backend, dims=self.dims):
+            return self._aggregate_impl(query)
+
+    def _aggregate_impl(self, query: Box) -> Value:
         if self._object_index is not None:
             return self._object_index.box_sum(query)
         if isinstance(self._reduction, CornerReduction):
@@ -407,6 +415,13 @@ class FunctionalBoxSumIndex:
             raise DimensionMismatchError(
                 f"box dims {query.dims} != index dims {self.dims}"
             )
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return self._functional_impl(query)
+        with tracer.span("functional_box_sum", backend=self.backend, dims=self.dims):
+            return self._functional_impl(query)
+
+    def _functional_impl(self, query: Box) -> float:
         if self._object_index is not None:
             return self._object_index.functional_box_sum(query)
         return self._reduction.functional_box_sum(self._index, query)

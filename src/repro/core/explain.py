@@ -1,4 +1,4 @@
-"""Query introspection: per-sub-query I/O breakdowns.
+"""Query introspection: per-sub-query I/O breakdowns and full span profiles.
 
 A simple box-sum fans out into ``2^d`` dominance-sums (or ``3^d − 1`` under
 the EO82 reduction); a functional box-sum into ``2^d`` OIFBS corner
@@ -6,16 +6,24 @@ evaluations.  :func:`explain_box_sum` / :func:`explain_functional` run one
 query while snapshotting the storage counters around every constituent
 sub-query, so users can see exactly where the page accesses go — the same
 decomposition the paper's cost analyses argue about.
+
+:func:`profile` goes deeper: it runs one query under an active
+:class:`~repro.obs.Tracer`, producing the full hierarchical span tree
+(box_sum → per-corner dominance_sum → node descents → I/O events) with
+per-span I/O deltas and CPU time, plus the overall counter delta for
+cross-checking.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import trace as _trace
 from ..storage.stats import IOCounter
 from .errors import NotSupportedError
 from .geometry import Box
+from .reduction import format_key as _key_label
 
 
 @dataclass(frozen=True)
@@ -145,15 +153,97 @@ def explain_functional(index, query: Box) -> QueryReport:
     return report
 
 
-def _key_label(key) -> str:
-    if isinstance(key, tuple) and key and isinstance(key[0], tuple):
-        dims_subset, sides = key
-        side_names = ",".join(
-            f"{d}{'lo' if s == 0 else 'hi'}" for d, s in zip(dims_subset, sides)
-        )
-        return f"EO82[{side_names}]"
-    return "corner" + "".join(str(s) for s in key)
-
-
 def _fmt_point(point) -> str:
     return "(" + ",".join(f"{c:g}" for c in point) + ")"
+
+
+# -- span-tree profiling -------------------------------------------------------
+
+
+@dataclass
+class QueryProfile:
+    """One query's result, span tree, and overall I/O delta.
+
+    ``trace`` is the JSON-ready payload of :meth:`repro.obs.Tracer.to_dict`
+    (``schema_version`` + nested spans with inclusive and self I/O deltas);
+    ``reads``/``hits``/``writes`` are the storage counter's delta over the
+    whole call, so ``trace["spans"][0]`` — the root span — must agree with
+    them when every page touch happens inside the traced query.
+    """
+
+    op: str
+    result: float
+    trace: Dict[str, Any]
+    reads: int = 0
+    hits: int = 0
+    writes: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Reads plus writes — the paper's cost unit."""
+        return self.reads + self.writes
+
+    def render(self) -> str:
+        """Header line plus the indented span tree."""
+        header = (
+            f"{self.op}: result={self.result:g}  "
+            f"reads={self.reads} hits={self.hits} writes={self.writes}"
+        )
+        body = _trace.render_dict(self.trace)
+        return header + ("\n" + body if body else "")
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the whole profile (metadata + span tree) to JSON."""
+        import json
+
+        return json.dumps(
+            {
+                "op": self.op,
+                "result": self.result,
+                "reads": self.reads,
+                "hits": self.hits,
+                "writes": self.writes,
+                "trace": self.trace,
+            },
+            indent=indent,
+            default=str,
+        )
+
+
+def profile(index, query: Box, op: str = "auto", record_io: bool = False) -> QueryProfile:
+    """Run one query under tracing and return its full span profile.
+
+    ``index`` is any facade or structure whose query method takes the query
+    box — :class:`~repro.core.aggregator.BoxSumIndex` (``box_sum``),
+    :class:`~repro.core.aggregator.FunctionalBoxSumIndex`
+    (``functional_box_sum``), or a raw structure exposing one of those /
+    ``range_count``.  ``op="auto"`` picks the first of ``box_sum``,
+    ``functional_box_sum``, ``range_count`` the index provides.
+
+    ``record_io=True`` additionally logs one event per buffer-pool page
+    access (costlier; off by default).
+    """
+    if op == "auto":
+        for candidate in ("box_sum", "functional_box_sum", "range_count"):
+            if callable(getattr(index, candidate, None)):
+                op = candidate
+                break
+        else:
+            raise NotSupportedError(
+                f"{type(index).__name__} exposes no profilable query method"
+            )
+    method = getattr(index, op, None)
+    if not callable(method):
+        raise NotSupportedError(f"{type(index).__name__} has no query method {op!r}")
+    counter = _counter_of(index)
+    storage = getattr(index, "storage", None)
+    buffer = storage.buffer if (record_io and storage is not None) else None
+    before = counter.snapshot() if counter else None
+    with _trace.tracing(counter=counter, buffer=buffer) as tracer:
+        result = method(query)
+    payload = tracer.to_dict()
+    prof = QueryProfile(op=op, result=float(result), trace=payload)
+    if counter and before is not None:
+        delta = counter.delta(before)
+        prof.reads, prof.hits, prof.writes = delta.reads, delta.hits, delta.writes
+    return prof

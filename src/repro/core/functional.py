@@ -101,9 +101,17 @@ class FunctionalReduction:
 
     def functional_box_sum(self, index: object, query: Box) -> float:
         """Evaluate a functional box-sum against a polynomial-valued index."""
+        from ..obs import trace as _trace
+
+        tracer = _trace._ACTIVE
         total = 0.0
         for corner, parity in self.query_plan(query):
-            total += parity * self.oifbs(index, corner)
+            if tracer is None:
+                total += parity * self.oifbs(index, corner)
+            else:
+                label = "(" + ",".join(f"{c:g}" for c in corner) + ")"
+                with tracer.span("oifbs", corner=label, parity=parity):
+                    total += parity * self.oifbs(index, corner)
         return total
 
     # -- validation ------------------------------------------------------------------

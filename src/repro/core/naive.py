@@ -13,7 +13,7 @@ from typing import Iterable, List, Sequence, Tuple
 from .errors import DimensionMismatchError
 from .geometry import Box, Coords, as_coords, strictly_dominates
 from .polynomial import Polynomial
-from .values import Value, zero_like
+from .values import Value
 
 
 class NaiveDominanceSum:

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import itertools
 from math import comb
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
+from ..obs import trace as _trace
 from .errors import DimensionMismatchError
 from .geometry import Box, Coords
 from .values import Value
@@ -38,6 +39,22 @@ IndexFactory = Callable[[int], object]
 def all_signs(dims: int) -> Iterator[Signs]:
     """All ``2^dims`` corner selectors in lexicographic order."""
     return itertools.product((0, 1), repeat=dims)
+
+
+def format_key(key: object) -> str:
+    """Human-readable label for a constituent-index key of either reduction.
+
+    ``(0, 1)`` → ``"corner01"``; an EO82 ``(dims, sides)`` pair →
+    ``"EO82[0lo,2hi]"``.  Shared by :mod:`repro.core.explain` reports and
+    trace span attributes.
+    """
+    if isinstance(key, tuple) and key and isinstance(key[0], tuple):
+        dims_subset, sides = key
+        side_names = ",".join(
+            f"{d}{'lo' if s == 0 else 'hi'}" for d, s in zip(dims_subset, sides)
+        )
+        return f"EO82[{side_names}]"
+    return "corner" + "".join(str(s) for s in key)  # type: ignore[union-attr]
 
 
 class CornerReduction:
@@ -94,10 +111,15 @@ class CornerReduction:
 
     def box_sum(self, indices: Dict[Signs, object], query: Box, zero: Value = 0.0) -> Value:
         """Evaluate a box-sum against the ``2^d`` dominance indices."""
+        tracer = _trace._ACTIVE
         positive = zero
         negative = zero
         for signs, point, parity in self.query_plan(query):
-            partial = indices[signs].dominance_sum(point)  # type: ignore[attr-defined]
+            if tracer is None:
+                partial = indices[signs].dominance_sum(point)  # type: ignore[attr-defined]
+            else:
+                with tracer.span("dominance_sum", key=format_key(signs), parity=parity):
+                    partial = indices[signs].dominance_sum(point)  # type: ignore[attr-defined]
             if parity > 0:
                 positive = positive + partial
             else:
@@ -184,10 +206,15 @@ class EO82Reduction:
         zero: Value = 0.0,
     ) -> Value:
         """Evaluate a box-sum from the grand total and the avoidance indices."""
+        tracer = _trace._ACTIVE
         positive = total
         negative = zero
         for key, point, parity in self.query_plan(query):
-            partial = indices[key].dominance_sum(point)  # type: ignore[attr-defined]
+            if tracer is None:
+                partial = indices[key].dominance_sum(point)  # type: ignore[attr-defined]
+            else:
+                with tracer.span("dominance_sum", key=format_key(key), parity=parity):
+                    partial = indices[key].dominance_sum(point)  # type: ignore[attr-defined]
             if parity > 0:
                 positive = positive + partial
             else:

@@ -69,7 +69,7 @@ class PrefixSumCube:
         """Sum of cells in the inclusive index range ``[low, high]`` via 2^d look-ups."""
         low = self._check_cell(low)
         high = self._check_cell(high)
-        if any(l > h for l, h in zip(low, high)):
+        if any(lo > hi for lo, hi in zip(low, high)):
             raise InvalidQueryError(f"empty range {low}..{high}")
         total = 0.0
         for signs in itertools.product((0, 1), repeat=self.dims):

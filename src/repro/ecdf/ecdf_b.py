@@ -36,6 +36,7 @@ from ..bptree import AggBPlusTree
 from ..core.errors import DimensionMismatchError, TreeInvariantError
 from ..core.geometry import Coords, as_coords
 from ..core.values import Value, values_equal
+from ..obs import trace as _trace
 from ..storage import StorageContext
 
 _Entry = Tuple[Coords, Value]
@@ -191,11 +192,22 @@ class EcdfBTree:
         if self._delegate is not None:
             return self._delegate.dominance_sum(_first(point))
         coords = self._check_point(point)
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return self._dominance_sum(coords, None)
+        with tracer.span(
+            f"ecdf-b{self.variant}.dominance_sum", dims=self.dims
+        ):
+            return self._dominance_sum(coords, tracer)
+
+    def _dominance_sum(self, coords: Coords, tracer) -> Value:
         result = self.zero
         pid = self.root_pid
         suffix = coords[1:]
         while True:
             node = self._fetch(pid)
+            if tracer is not None:
+                tracer.event("node", pid=pid, leaf=node.is_leaf)
             if node.is_leaf:
                 for stored, value in node.entries:
                     if all(s < c for s, c in zip(stored, coords)):

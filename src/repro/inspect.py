@@ -21,15 +21,22 @@ from typing import List
 from .batree import BATree
 from .bptree import AggBPlusTree
 from .core.errors import NotSupportedError
+from .core.explain import QueryProfile
 from .ecdf.ecdf_b import EcdfBTree
 from .kdb.kdbtree import KdbTree
+from .obs import Tracer, render_dict
 from .rtree.rstar import RStarTree
 
 _INDENT = "  "
 
 
 def dump(structure: object, max_depth: int = 12) -> str:
-    """Render any shipped index structure as an indented outline."""
+    """Render any shipped index structure — or a trace/profile — as text.
+
+    Besides the index structures, accepts a live :class:`repro.obs.Tracer`,
+    a :class:`repro.core.explain.QueryProfile`, or a parsed trace payload
+    (a dict with ``"spans"``, e.g. ``json.loads`` of a dumped trace).
+    """
     if isinstance(structure, AggBPlusTree):
         return dump_bptree(structure, max_depth)
     if isinstance(structure, BATree):
@@ -40,6 +47,12 @@ def dump(structure: object, max_depth: int = 12) -> str:
         return dump_kdb(structure, max_depth)
     if isinstance(structure, RStarTree):
         return dump_rtree(structure, max_depth)
+    if isinstance(structure, QueryProfile):
+        return structure.render()
+    if isinstance(structure, Tracer):
+        return structure.render(max_depth=max_depth)
+    if isinstance(structure, dict) and "spans" in structure:
+        return render_dict(structure, max_depth=max_depth)
     raise NotSupportedError(f"cannot dump {type(structure).__name__}")
 
 

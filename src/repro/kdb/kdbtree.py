@@ -19,6 +19,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import DimensionMismatchError, TreeInvariantError
 from ..core.geometry import Box, Coords, as_coords
+from ..obs import trace as _trace
 from ..storage import StorageContext
 from .split import choose_index_split_plane, choose_leaf_split_plane
 
@@ -219,6 +220,9 @@ class KdbTree:
 
     def _report(self, pid: int, query: Box) -> Iterator[_Entry]:
         page = self._fetch(pid)
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event("node", pid=pid, leaf=page.is_leaf)
         if page.is_leaf:
             for coords, payload in page.entries:
                 if query.contains_point(coords):
@@ -230,7 +234,11 @@ class KdbTree:
 
     def range_count(self, query: Box) -> int:
         """Number of stored points inside the half-open query box."""
-        return sum(1 for _ in self.range_report(query))
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return sum(1 for _ in self.range_report(query))
+        with tracer.span("kdb.range_count", dims=self.dims):
+            return sum(1 for _ in self.range_report(query))
 
     def __len__(self) -> int:
         return self.num_points

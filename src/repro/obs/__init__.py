@@ -1,0 +1,65 @@
+"""Observability layer: metrics registry + hierarchical query tracing.
+
+Two halves, both zero-cost when unused:
+
+* :mod:`repro.obs.registry` — a process-wide :class:`MetricsRegistry` of
+  named counters/gauges/histograms with label support, a pull-collector
+  protocol adapting the existing :class:`~repro.storage.stats.IOCounter`
+  plumbing (:class:`IOCounterCollector`, :func:`watch_storage`), and a
+  no-op mode for silencing instrumented code;
+* :mod:`repro.obs.trace` — a :class:`Tracer` recording span trees
+  (``box_sum`` → per-corner ``dominance_sum`` → node descents → page I/O)
+  with per-span I/O deltas and CPU time, JSON-serializable and renderable
+  as a text tree.  Activate with :func:`tracing`; the high-level entry
+  point is :func:`repro.core.explain.profile`.
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    IOCounterCollector,
+    MetricsRegistry,
+    Sample,
+    get_registry,
+    null_registry,
+    set_registry,
+    watch_storage,
+)
+from .trace import (
+    MAX_EVENTS_PER_SPAN,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    active,
+    activate,
+    deactivate,
+    render_dict,
+    tracing,
+    walk_spans,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IOCounterCollector",
+    "MetricsRegistry",
+    "Sample",
+    "get_registry",
+    "null_registry",
+    "set_registry",
+    "watch_storage",
+    "MAX_EVENTS_PER_SPAN",
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "active",
+    "activate",
+    "deactivate",
+    "render_dict",
+    "tracing",
+    "walk_spans",
+]

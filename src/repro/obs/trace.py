@@ -1,0 +1,343 @@
+"""Hierarchical query tracing: spans with per-span I/O deltas and CPU time.
+
+A :class:`Tracer` records a tree of :class:`Span` objects —
+``box_sum`` → per-corner ``dominance_sum`` → node descents → buffer/WAL
+events — mirroring exactly the cost decomposition the paper argues about
+(2^d dominance-sums, one root-to-leaf path each, O(1) border queries per
+level).  Every span snapshots the storage context's
+:class:`~repro.storage.stats.IOCounter` on entry and exit, so a span's
+``reads``/``hits``/``writes`` are the *inclusive* page traffic of the work
+it encloses; ``self_reads`` etc. subtract the children, and the root span's
+inclusive delta equals the buffer-pool counter delta of the whole query.
+
+Tracing is **off by default** and activated per call-site::
+
+    with tracing(counter=storage.counter) as tracer:
+        index.box_sum(query)
+    print(tracer.render())
+    payload = tracer.to_dict()          # JSON-ready
+
+Instrumented hot paths pay a single module-global ``None`` check while no
+tracer is active; per-page buffer events additionally require the tracer to
+be attached to the pool (:meth:`Tracer.attach_buffer`), which patches the
+pool *instance* so the disabled path is completely untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Version of the serialized trace format.
+TRACE_SCHEMA_VERSION = 1
+
+#: Hard cap on recorded events per span (drops are counted, not silent).
+MAX_EVENTS_PER_SPAN = 256
+
+#: The active tracer, read by every instrumentation hook.  Module-global on
+#: purpose: hooks do ``trace._ACTIVE`` — one dict lookup — when disabled.
+_ACTIVE: Optional["Tracer"] = None
+
+
+class Span:
+    """One node of the trace tree; usable as a context manager via Tracer.span."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "events",
+        "dropped_events",
+        "cpu_s",
+        "wall_s",
+        "reads",
+        "hits",
+        "writes",
+        "error",
+        "_tracer",
+        "_c0",
+        "_t0_cpu",
+        "_t0_wall",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.events: List[Tuple[str, Dict[str, Any]]] = []
+        self.dropped_events = 0
+        self.cpu_s = 0.0
+        self.wall_s = 0.0
+        self.reads = 0
+        self.hits = 0
+        self.writes = 0
+        self.error: Optional[str] = None
+        self._tracer = tracer
+        self._c0: Optional[Tuple[int, int, int]] = None
+        self._t0_cpu = 0.0
+        self._t0_wall = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        tracer._stack.append(self)
+        counter = tracer.counter
+        if counter is not None:
+            self._c0 = (counter.reads, counter.hits, counter.writes)
+        self._t0_cpu = time.process_time()
+        self._t0_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cpu_s = time.process_time() - self._t0_cpu
+        self.wall_s = time.perf_counter() - self._t0_wall
+        counter = self._tracer.counter
+        if counter is not None and self._c0 is not None:
+            self.reads = counter.reads - self._c0[0]
+            self.hits = counter.hits - self._c0[1]
+            self.writes = counter.writes - self._c0[2]
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = self._tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent.children.append(self)
+        else:
+            self._tracer.spans.append(self)
+
+    # -- derived I/O ------------------------------------------------------------
+
+    @property
+    def total_ios(self) -> int:
+        """Reads plus writes — the unit of Figures 9a/9b."""
+        return self.reads + self.writes
+
+    @property
+    def accesses(self) -> int:
+        """All page touches (reads + hits) inside this span."""
+        return self.reads + self.hits
+
+    def self_io(self) -> Tuple[int, int, int]:
+        """(reads, hits, writes) attributable to this span alone."""
+        reads, hits, writes = self.reads, self.hits, self.writes
+        for child in self.children:
+            reads -= child.reads
+            hits -= child.hits
+            writes -= child.writes
+        return reads, hits, writes
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; ``self_*`` fields are precomputed for consumers."""
+        self_reads, self_hits, self_writes = self.self_io()
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "attrs": self.attrs,
+            "cpu_ms": self.cpu_s * 1000.0,
+            "wall_ms": self.wall_s * 1000.0,
+            "reads": self.reads,
+            "hits": self.hits,
+            "writes": self.writes,
+            "self_reads": self_reads,
+            "self_hits": self_hits,
+            "self_writes": self_writes,
+            "children": [child.to_dict() for child in self.children],
+        }
+        if self.events:
+            out["events"] = [{"type": name, **attrs} for name, attrs in self.events]
+        if self.dropped_events:
+            out["dropped_events"] = self.dropped_events
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class Tracer:
+    """Collects a forest of spans around one storage context's counter.
+
+    ``counter`` may be None (pure in-memory backends); spans then carry
+    zero I/O deltas but still nest and time correctly.
+    """
+
+    def __init__(self, counter=None) -> None:
+        self.counter = counter
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._patched_pools: List[Tuple[Any, Any]] = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; use as ``with tracer.span("ba.dominance_sum"): ...``."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach a point event to the current span (dropped when no span is open)."""
+        if not self._stack:
+            return
+        span = self._stack[-1]
+        if len(span.events) >= MAX_EVENTS_PER_SPAN:
+            span.dropped_events += 1
+            return
+        span.events.append((name, attrs))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    # -- buffer attachment ----------------------------------------------------------
+
+    def attach_buffer(self, pool) -> None:
+        """Record one event per page access of ``pool`` while tracing.
+
+        Patches the *instance*'s ``access`` method, so pools without an
+        attached tracer — and every pool once :meth:`detach_buffers` ran —
+        keep the completely uninstrumented class implementation.
+        """
+        original = pool.access
+        counter = pool.counter
+
+        def traced_access(pid: int, write: bool = False) -> None:
+            r0 = counter.reads
+            original(pid, write=write)
+            if self._stack:
+                kind = "read" if counter.reads > r0 else "hit"
+                self.event("io", pid=pid, kind=kind, write=write)
+
+        pool.access = traced_access
+        self._patched_pools.append((pool, original))
+
+    def detach_buffers(self) -> None:
+        """Undo every :meth:`attach_buffer` patch."""
+        while self._patched_pools:
+            pool, _original = self._patched_pools.pop()
+            try:
+                del pool.access
+            except AttributeError:
+                pass
+
+    # -- output -----------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole trace as a JSON-ready payload."""
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialized trace (``json.loads`` of it feeds :func:`render_dict`)."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def render(self, max_depth: int = 12) -> str:
+        """Human-readable text tree of the recorded spans."""
+        return render_dict(self.to_dict(), max_depth=max_depth)
+
+
+# -- rendering (works on parsed JSON, so dumps are self-contained) ---------------
+
+
+def _render_span(span: Dict[str, Any], depth: int, max_depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    attrs = span.get("attrs") or {}
+    attr_text = (
+        " [" + " ".join(f"{k}={v}" for k, v in attrs.items()) + "]" if attrs else ""
+    )
+    error = f" error={span['error']}" if span.get("error") else ""
+    lines.append(
+        f"{pad}{span['name']}{attr_text}"
+        f"  reads={span['reads']} hits={span['hits']} writes={span['writes']}"
+        f" cpu={span['cpu_ms']:.3f}ms{error}"
+    )
+    events = span.get("events") or []
+    if events:
+        node_visits = sum(1 for e in events if e.get("type") == "node")
+        ios = sum(1 for e in events if e.get("type") == "io")
+        extra = span.get("dropped_events", 0)
+        summary = []
+        if node_visits:
+            summary.append(f"{node_visits} node visit(s)")
+        if ios:
+            summary.append(f"{ios} page access(es)")
+        others = len(events) - node_visits - ios
+        if others:
+            summary.append(f"{others} event(s)")
+        if extra:
+            summary.append(f"{extra} dropped")
+        lines.append(f"{pad}  · {', '.join(summary)}")
+    children = span.get("children") or []
+    if children and depth + 1 >= max_depth:
+        lines.append(f"{pad}  ...")
+        return
+    for child in children:
+        _render_span(child, depth + 1, max_depth, lines)
+
+
+def render_dict(payload: Dict[str, Any], max_depth: int = 12) -> str:
+    """Render a trace payload (as produced by :meth:`Tracer.to_dict`)."""
+    lines: List[str] = []
+    for span in payload.get("spans", []):
+        _render_span(span, 0, max_depth, lines)
+    return "\n".join(lines)
+
+
+def walk_spans(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Depth-first iterator over every span dict of a trace payload."""
+    stack = list(payload.get("spans", []))
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(span.get("children", []))
+
+
+# -- activation --------------------------------------------------------------------
+
+
+def active() -> Optional[Tracer]:
+    """The currently installed tracer, or None (the common, fast case)."""
+    return _ACTIVE
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide active tracer."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a tracer is already active (tracing does not nest)")
+    _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> Optional[Tracer]:
+    """Uninstall the active tracer (returns it); detaches patched pools."""
+    global _ACTIVE
+    tracer = _ACTIVE
+    _ACTIVE = None
+    if tracer is not None:
+        tracer.detach_buffers()
+    return tracer
+
+
+class tracing:
+    """``with tracing(counter=...) as tracer:`` — scoped activation.
+
+    ``buffer`` (a :class:`~repro.storage.buffer.BufferPool`) additionally
+    records one event per page access inside the traced region.
+    """
+
+    def __init__(self, counter=None, buffer=None) -> None:
+        self._tracer = Tracer(counter=counter)
+        self._buffer = buffer
+
+    def __enter__(self) -> Tracer:
+        activate(self._tracer)
+        if self._buffer is not None:
+            self._tracer.attach_buffer(self._buffer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        deactivate()

@@ -28,6 +28,7 @@ from ..core.errors import DimensionMismatchError
 from ..core.geometry import Box
 from ..core.polynomial import Polynomial
 from ..core.values import Value
+from ..obs import trace as _trace
 from ..storage import PathBuffer, StorageContext
 from .rstar import RStarTree
 
@@ -76,10 +77,15 @@ class ARTree(RStarTree):
     def box_sum(self, query: Box) -> Value:
         """SUM over objects intersecting the query, with containment pruning."""
         self._check(query)
+        tracer = _trace._ACTIVE
         self._in_query = True
         self._query_path = []
         try:
-            result = self._agg_sum(self.root_pid, query)
+            if tracer is None:
+                result = self._agg_sum(self.root_pid, query)
+            else:
+                with tracer.span("ar.box_sum", dims=self.dims):
+                    result = self._agg_sum(self.root_pid, query)
         finally:
             if self._path_buffer is not None:
                 self._path_buffer.remember(self._query_path)
@@ -88,6 +94,9 @@ class ARTree(RStarTree):
 
     def _agg_sum(self, pid: int, query: Box) -> Value:
         node = self._fetch(pid)
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event("node", pid=pid, leaf=node.is_leaf)
         self._query_path.append(pid)
         total = self.zero
         if node.is_leaf:
@@ -157,10 +166,15 @@ class FunctionalARTree(ARTree):
         polynomial over the exact intersection box.
         """
         self._check(query)
+        tracer = _trace._ACTIVE
         self._in_query = True
         self._query_path = []
         try:
-            result = self._functional_sum(self.root_pid, query)
+            if tracer is None:
+                result = self._functional_sum(self.root_pid, query)
+            else:
+                with tracer.span("ar.functional_box_sum", dims=self.dims):
+                    result = self._functional_sum(self.root_pid, query)
         finally:
             if self._path_buffer is not None:
                 self._path_buffer.remember(self._query_path)
@@ -169,6 +183,9 @@ class FunctionalARTree(ARTree):
 
     def _functional_sum(self, pid: int, query: Box) -> float:
         node = self._fetch(pid)
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event("node", pid=pid, leaf=node.is_leaf)
         self._query_path.append(pid)
         total = 0.0
         if node.is_leaf:

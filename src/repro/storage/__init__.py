@@ -91,6 +91,16 @@ class StorageContext:
         """Zero the I/O counters (between build and query phases)."""
         self.counter.reset()
 
+    def watch(self, registry=None, **labels: str):
+        """Publish this context's I/O counter and footprint gauges.
+
+        Delegates to :func:`repro.obs.watch_storage`; returns the registered
+        collectors so callers can unregister them later.
+        """
+        from ..obs.registry import watch_storage
+
+        return watch_storage(self, registry=registry, **labels)
+
     def cold_cache(self) -> None:
         """Empty the buffer pool so the next accesses are all misses."""
         self.buffer.clear()

@@ -89,6 +89,21 @@ class BufferPool:
         """True when ``pid`` would hit (does not update LRU order)."""
         return pid in self._resident
 
+    # -- observability ---------------------------------------------------------
+
+    def watch(self, registry=None, **labels: str):
+        """Publish this pool's I/O counter into a metrics registry.
+
+        Registers a pull collector (:class:`repro.obs.IOCounterCollector`),
+        so the :meth:`access` hot path stays untouched — the registry reads
+        the counter totals at collection time.  Returns the collector for
+        later :meth:`~repro.obs.MetricsRegistry.unregister_collector`.
+        """
+        from ..obs.registry import IOCounterCollector, get_registry
+
+        registry = registry if registry is not None else get_registry()
+        return registry.register_collector(IOCounterCollector(self.counter, **labels))
+
 
 class PathBuffer:
     """The aR-tree's extra cache of the most recently accessed root-to-leaf path.

@@ -39,6 +39,8 @@ import zlib
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.errors import PageCorruptionError, PageNotFoundError, StorageError
+from ..obs import trace as _trace
+from ..obs.registry import get_registry
 from .codec import BPlusNodeCodec, seal_page, unseal_page
 from .layout import PAGE_CHECKSUM_BYTES
 from .wal import HEADER_SLOT, WriteAheadLog, fsync_file
@@ -78,6 +80,16 @@ class FilePager:
         self.codec = codec
         self._opener = opener
         self._closed = False
+        registry = get_registry()
+        self._m_disk_reads = registry.counter(
+            "repro_pager_disk_reads", "slot images decoded from the page file"
+        )
+        self._m_checkpoints = registry.counter(
+            "repro_pager_checkpoints", "sync() calls that wrote at least one slot"
+        )
+        self._m_slots_written = registry.counter(
+            "repro_pager_slots_written", "slot images applied to the page file"
+        )
         self._cache: Dict[int, Any] = {}
         # crc32 of the slot *body* as currently on disk; pids absent here
         # (or whose re-encoded body differs) are written at the next sync.
@@ -223,6 +235,7 @@ class FilePager:
         payload = self.codec.decode(body, pid)
         self._cache[pid] = payload
         self._slot_crc[pid] = zlib.crc32(body)
+        self._m_disk_reads.inc()
         return payload
 
     def free(self, pid: int) -> None:
@@ -304,6 +317,11 @@ class FilePager:
         batch = self._collect_batch()
         if not batch:
             return
+        self._m_checkpoints.inc()
+        self._m_slots_written.inc(len(batch))
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event("pager_sync", path=self.path, slots=len(batch))
         if self._wal is not None:
             self._wal.begin()
             for pid, image in batch:

@@ -33,6 +33,8 @@ import zlib
 from typing import Callable, List, Tuple
 
 from ..core.errors import WalError
+from ..obs import trace as _trace
+from ..obs.registry import get_registry
 
 _WAL_MAGIC = b"REPROWAL"
 _FILE_HEADER = struct.Struct("<8sI")  # magic, page_size
@@ -85,6 +87,16 @@ class WriteAheadLog:
     ) -> None:
         self.path = path
         self.page_size = page_size
+        registry = get_registry()
+        self._m_commits = registry.counter(
+            "repro_wal_commits", "WAL batches committed (made durable)"
+        )
+        self._m_pages = registry.counter(
+            "repro_wal_pages", "slot images appended to the WAL"
+        )
+        self._m_recovered = registry.counter(
+            "repro_wal_recovered_slots", "slot images replayed during recovery"
+        )
         exists = os.path.exists(path)
         self._file = opener(path, "r+b" if exists else "w+b")
         # Whether a committed batch is on disk but not yet applied.
@@ -132,12 +144,17 @@ class WriteAheadLog:
                 f"expected a full {self.page_size}-byte slot"
             )
         self._append(REC_PAGE, pid, slot_image)
+        self._m_pages.inc()
 
     def commit(self) -> None:
         """Make the batch durable: append the commit record, flush, fsync."""
         self._append(REC_COMMIT, 0, b"")
         fsync_file(self._file)
         self._pending = True
+        self._m_commits.inc()
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event("wal_commit", path=self.path)
 
     def mark_applied(self) -> None:
         """The page file caught up: truncate back to the file header."""
@@ -193,6 +210,7 @@ class WriteAheadLog:
                 applied += 1
         if applied:
             fsync_file(page_file)
+            self._m_recovered.inc(applied)
         if applied or os.fstat(self._file.fileno()).st_size > _FILE_HEADER.size:
             self.mark_applied()
         else:

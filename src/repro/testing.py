@@ -159,7 +159,7 @@ def check_box_sum_index(
         box, value = live[0]
         for probe, should_hit in (
             (Box(box.high, tuple(h + 1.0 for h in box.high)), True),
-            (Box(tuple(l - 1.0 for l in box.low), box.low), False),
+            (Box(tuple(lo - 1.0 for lo in box.low), box.low), False),
         ):
             report.checks += 1
             got = candidate.box_sum(probe)  # type: ignore[attr-defined]

@@ -8,7 +8,7 @@ the percentage of the query area in the whole space".
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List
 
 from ..core.errors import InvalidQueryError
 from ..core.geometry import Box, Coords

@@ -1,0 +1,142 @@
+"""Tests for the smoke-bench gate: baseline format, tolerance bands, CLI plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.smoke import (
+    DEFAULT_ABS_SLACK,
+    DEFAULT_REL_TOL,
+    SMOKE_SCHEMA_VERSION,
+    compare_to_baseline,
+    dump_json,
+    load_json,
+    make_baseline,
+    smoke_config,
+)
+
+
+def payload(metrics):
+    return {
+        "schema_version": SMOKE_SCHEMA_VERSION,
+        "kind": "bench-smoke",
+        "metadata": {"seed": 42},
+        "metrics": dict(metrics),
+    }
+
+
+class TestBaselineFormat:
+    def test_make_baseline_shape(self):
+        base = make_baseline(payload({"fig9a.BAT.pages": 100.0}))
+        assert base["schema_version"] == SMOKE_SCHEMA_VERSION
+        assert base["default_rel_tol"] == DEFAULT_REL_TOL
+        assert base["abs_slack"] == DEFAULT_ABS_SLACK
+        assert base["per_metric_rel_tol"] == {}
+        assert base["metrics"] == {"fig9a.BAT.pages": 100.0}
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        doc = make_baseline(payload({"m": 1.0}))
+        path = tmp_path / "baseline.json"
+        dump_json(doc, str(path))
+        assert load_json(str(path)) == doc
+        # stable, human-diffable output
+        assert path.read_text().endswith("\n")
+        assert json.loads(path.read_text()) == doc
+
+    def test_committed_baseline_is_well_formed(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        base = load_json(str(repo_root / "benchmarks" / "baseline_smoke.json"))
+        assert base["schema_version"] == SMOKE_SCHEMA_VERSION
+        assert base["metrics"]
+        assert all(isinstance(v, (int, float)) for v in base["metrics"].values())
+
+    def test_smoke_config_is_reduced_scale(self):
+        cfg = smoke_config()
+        assert cfg.n == 2500
+        assert cfg.queries == 15
+
+
+class TestGate:
+    def test_identical_run_passes(self):
+        run = payload({"a": 100.0, "b": 7.0})
+        ok, lines = compare_to_baseline(run, make_baseline(run))
+        assert ok
+        assert lines[-1] == "OK: 2 baseline metric(s) checked"
+
+    def test_within_band_passes(self):
+        base = make_baseline(payload({"a": 100.0}))
+        ok, _lines = compare_to_baseline(payload({"a": 100.0 * (1 + DEFAULT_REL_TOL)}), base)
+        assert ok
+
+    def test_regression_beyond_band_fails(self):
+        base = make_baseline(payload({"a": 100.0}))
+        cur = 100.0 * (1 + DEFAULT_REL_TOL) + DEFAULT_ABS_SLACK + 1.0
+        ok, lines = compare_to_baseline(payload({"a": cur}), base)
+        assert not ok
+        assert any(line.startswith("FAIL a:") for line in lines)
+        assert lines[-1].startswith("REGRESSION")
+
+    def test_abs_slack_absorbs_tiny_count_noise(self):
+        base = make_baseline(payload({"a": 3.0}))
+        ok, _lines = compare_to_baseline(payload({"a": 5.0}), base)
+        assert ok  # 3 * 1.1 + 2 = 5.3
+
+    def test_missing_metric_fails(self):
+        base = make_baseline(payload({"a": 1.0, "gone": 2.0}))
+        ok, lines = compare_to_baseline(payload({"a": 1.0}), base)
+        assert not ok
+        assert any("gone" in line and "missing" in line for line in lines)
+
+    def test_schema_mismatch_fails(self):
+        base = make_baseline(payload({"a": 1.0}))
+        base["schema_version"] = SMOKE_SCHEMA_VERSION + 1
+        ok, lines = compare_to_baseline(payload({"a": 1.0}), base)
+        assert not ok
+        assert "schema mismatch" in lines[0]
+
+    def test_per_metric_tolerance_overrides_default(self):
+        base = make_baseline(payload({"a": 100.0}))
+        base["abs_slack"] = 0.0
+        base["per_metric_rel_tol"] = {"a": 0.5}
+        ok, _lines = compare_to_baseline(payload({"a": 149.0}), base)
+        assert ok
+        ok, _lines = compare_to_baseline(payload({"a": 151.0}), base)
+        assert not ok
+
+    def test_improvement_and_new_metric_are_notes_only(self):
+        base = make_baseline(payload({"a": 100.0}))
+        ok, lines = compare_to_baseline(payload({"a": 50.0, "brand_new": 1.0}), base)
+        assert ok
+        assert any("improved" in line for line in lines)
+        assert any("new metric" in line for line in lines)
+
+    def test_tightened_baseline_rejects_the_same_run(self):
+        """The CI-gate drill: a stricter baseline must flip the verdict."""
+        run = payload({"a": 100.0, "b": 10.0})
+        loose = make_baseline(run)
+        tight = make_baseline(run, default_rel_tol=-0.5, abs_slack=0.0)
+        assert compare_to_baseline(run, loose)[0]
+        assert not compare_to_baseline(run, tight)[0]
+
+
+class TestCli:
+    def test_unknown_experiment_is_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-an-experiment"])
+        assert excinfo.value.code == 2
+
+    def test_smoke_help_mentions_gate_flags(self, capsys):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "--check" in out
+        assert "--write-baseline" in out

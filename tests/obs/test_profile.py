@@ -1,0 +1,166 @@
+"""The acceptance criterion: profiled span trees reconcile with the counters.
+
+For one query per index family, the root span's inclusive I/O delta must
+equal the storage counter's delta over the whole call — and survive a JSON
+round-trip unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import Box, BoxSumIndex, FunctionalBoxSumIndex, profile
+from repro.core.explain import QueryProfile
+from repro.inspect import dump
+from repro.kdb import KdbTree
+from repro.obs import active, render_dict, walk_spans
+from repro.storage import StorageContext
+
+FAMILIES = [
+    ("ba", 2),
+    ("ecdf-bu", 2),
+    ("ecdf-bq", 2),
+    ("ar", 2),
+    ("bptree", 1),
+]
+
+
+def build_index(backend: str, dims: int, **kwargs) -> BoxSumIndex:
+    index = BoxSumIndex(dims=dims, backend=backend, page_size=2048, **kwargs)
+    rng = random.Random(7)
+    for _ in range(80):
+        low = tuple(rng.uniform(0, 80) for _ in range(dims))
+        high = tuple(c + rng.uniform(1, 15) for c in low)
+        index.insert(Box(low, high), value=1.0)
+    return index
+
+
+def query_box(dims: int) -> Box:
+    return Box((10.0,) * dims, (60.0,) * dims)
+
+
+class TestRootSpanReconciles:
+    @pytest.mark.parametrize("backend,dims", FAMILIES)
+    def test_inclusive_root_delta_equals_counter_delta(self, backend, dims):
+        index = build_index(backend, dims)
+        prof = profile(index, query_box(dims))
+        spans = prof.trace["spans"]
+        assert len(spans) == 1
+        root = spans[0]
+        assert (root["reads"], root["hits"], root["writes"]) == (
+            prof.reads,
+            prof.hits,
+            prof.writes,
+        )
+        assert prof.reads + prof.hits > 0
+
+    @pytest.mark.parametrize("backend,dims", FAMILIES)
+    def test_json_roundtrip_is_lossless(self, backend, dims):
+        index = build_index(backend, dims)
+        prof = profile(index, query_box(dims))
+        parsed = json.loads(prof.to_json())
+        assert parsed["trace"] == json.loads(json.dumps(prof.trace, default=str))
+        assert render_dict(parsed["trace"]) == render_dict(prof.trace)
+
+    def test_eviction_writes_are_attributed_to_the_root_span(self):
+        index = build_index("ba", 2, buffer_pages=2)
+        prof = profile(index, query_box(2))
+        root = prof.trace["spans"][0]
+        assert root["writes"] == prof.writes
+
+    def test_result_matches_untraced_query(self):
+        index = build_index("ba", 2)
+        expected = index.box_sum(query_box(2))
+        prof = profile(index, query_box(2))
+        assert prof.result == pytest.approx(expected)
+
+    def test_tracer_is_deactivated_afterwards(self):
+        index = build_index("bptree", 1)
+        profile(index, query_box(1))
+        assert active() is None
+
+
+class TestSpanStructure:
+    def test_box_sum_fans_out_into_dominance_sums(self):
+        index = build_index("ba", 2)
+        prof = profile(index, query_box(2))
+        root = prof.trace["spans"][0]
+        assert root["name"] == "box_sum"
+        corners = [c for c in root["children"] if c["name"] == "dominance_sum"]
+        assert len(corners) == 4  # 2^d corner dominance-sums
+        assert all(c["name"].endswith("ba.dominance_sum") for corner in corners for c in corner["children"])
+
+    def test_node_visits_are_recorded_as_events(self):
+        index = build_index("ecdf-bu", 2)
+        prof = profile(index, query_box(2))
+        node_events = [
+            e
+            for span in walk_spans(prof.trace)
+            for e in span.get("events", [])
+            if e["type"] == "node"
+        ]
+        assert node_events
+        assert all("pid" in e for e in node_events)
+
+    def test_record_io_logs_page_accesses(self):
+        index = build_index("ba", 2)
+        prof = profile(index, query_box(2), record_io=True)
+        io_events = [
+            e
+            for span in walk_spans(prof.trace)
+            for e in span.get("events", [])
+            if e["type"] == "io"
+        ]
+        assert io_events
+        assert {e["kind"] for e in io_events} <= {"read", "hit"}
+
+    def test_functional_profile(self):
+        index = FunctionalBoxSumIndex(dims=1, backend="bptree", page_size=2048)
+        rng = random.Random(11)
+        for _ in range(40):
+            lo = rng.uniform(0, 80)
+            index.insert(Box((lo,), (lo + rng.uniform(1, 10),)), 2.0)
+        prof = profile(index, query_box(1))
+        assert prof.op == "functional_box_sum"
+        root = prof.trace["spans"][0]
+        assert root["name"] == "functional_box_sum"
+        assert (root["reads"], root["hits"], root["writes"]) == (
+            prof.reads,
+            prof.hits,
+            prof.writes,
+        )
+
+    def test_range_count_profile_on_raw_kdb_tree(self):
+        ctx = StorageContext(page_size=2048, buffer_pages=None)
+        tree = KdbTree(ctx, 2)
+        rng = random.Random(3)
+        for _ in range(60):
+            tree.insert((rng.uniform(0, 80), rng.uniform(0, 80)))
+        prof = profile(tree, query_box(2))
+        assert prof.op == "range_count"
+        root = prof.trace["spans"][0]
+        assert root["name"] == "kdb.range_count"
+        assert (root["reads"], root["hits"], root["writes"]) == (
+            prof.reads,
+            prof.hits,
+            prof.writes,
+        )
+
+
+class TestRendering:
+    def test_profile_render_and_dump_dispatch(self):
+        index = build_index("ba", 2)
+        prof = profile(index, query_box(2))
+        text = prof.render()
+        assert text.startswith("box_sum: result=")
+        assert dump(prof) == text
+        assert dump(prof.trace) == render_dict(prof.trace)
+
+    def test_render_survives_json_roundtrip(self):
+        index = build_index("ecdf-bq", 2)
+        prof = profile(index, query_box(2))
+        parsed = json.loads(json.dumps(prof.trace, default=str))
+        assert render_dict(parsed) == render_dict(prof.trace)

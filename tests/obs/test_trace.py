@@ -1,0 +1,222 @@
+"""Tests for the tracer: span nesting, I/O deltas, events, (de)activation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MAX_EVENTS_PER_SPAN,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    active,
+    activate,
+    deactivate,
+    render_dict,
+    tracing,
+    walk_spans,
+)
+from repro.storage.buffer import BufferPool
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                pass
+            with tracer.span("child_b"):
+                with tracer.span("grandchild"):
+                    pass
+        assert len(tracer.spans) == 1
+        root = tracer.spans[0]
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert root.children[1].children[0].name == "grandchild"
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        assert [s.name for s in tracer.spans] == ["one", "two"]
+
+    def test_attrs_are_kept(self):
+        tracer = Tracer()
+        with tracer.span("q", backend="ba", dims=2):
+            pass
+        assert tracer.spans[0].attrs == {"backend": "ba", "dims": 2}
+
+    def test_error_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("q"):
+                raise ValueError("boom")
+        assert tracer.spans[0].error == "ValueError"
+
+
+class TestIoDeltas:
+    def test_inclusive_deltas_from_counter(self):
+        pool = BufferPool(capacity_pages=4)
+        tracer = Tracer(counter=pool.counter)
+        with tracer.span("root"):
+            pool.access(1)
+            with tracer.span("child"):
+                pool.access(2)
+                pool.access(2)
+        root = tracer.spans[0]
+        child = root.children[0]
+        assert (root.reads, root.hits, root.writes) == (2, 1, 0)
+        assert (child.reads, child.hits, child.writes) == (1, 1, 0)
+
+    def test_self_io_subtracts_children(self):
+        pool = BufferPool(capacity_pages=4)
+        tracer = Tracer(counter=pool.counter)
+        with tracer.span("root"):
+            pool.access(1)
+            with tracer.span("child"):
+                pool.access(2)
+        root = tracer.spans[0]
+        assert root.self_io() == (1, 0, 0)
+
+    def test_counterless_tracer_reports_zero_io(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        assert tracer.spans[0].reads == 0
+        assert tracer.spans[0].total_ios == 0
+
+
+class TestEvents:
+    def test_events_attach_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                tracer.event("node", pid=7)
+        child = tracer.spans[0].children[0]
+        assert child.events == [("node", {"pid": 7})]
+
+    def test_event_without_open_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("node", pid=7)
+        assert tracer.spans == []
+
+    def test_event_cap_counts_drops(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for i in range(MAX_EVENTS_PER_SPAN + 5):
+                tracer.event("node", pid=i)
+        root = tracer.spans[0]
+        assert len(root.events) == MAX_EVENTS_PER_SPAN
+        assert root.dropped_events == 5
+
+
+class TestBufferAttachment:
+    def test_io_events_classify_read_vs_hit(self):
+        pool = BufferPool(capacity_pages=4)
+        tracer = Tracer(counter=pool.counter)
+        tracer.attach_buffer(pool)
+        try:
+            with tracer.span("q"):
+                pool.access(1)
+                pool.access(1)
+        finally:
+            tracer.detach_buffers()
+        events = tracer.spans[0].events
+        assert [(name, attrs["kind"]) for name, attrs in events] == [
+            ("io", "read"),
+            ("io", "hit"),
+        ]
+
+    def test_detach_restores_class_method(self):
+        pool = BufferPool(capacity_pages=4)
+        tracer = Tracer(counter=pool.counter)
+        tracer.attach_buffer(pool)
+        assert "access" in vars(pool)
+        tracer.detach_buffers()
+        assert "access" not in vars(pool)
+        assert pool.access.__func__ is BufferPool.access
+
+    def test_no_events_outside_spans(self):
+        pool = BufferPool(capacity_pages=4)
+        tracer = Tracer(counter=pool.counter)
+        tracer.attach_buffer(pool)
+        try:
+            pool.access(1)
+        finally:
+            tracer.detach_buffers()
+        assert pool.counter.reads == 1
+        assert tracer.spans == []
+
+
+class TestActivation:
+    def test_off_by_default(self):
+        assert active() is None
+
+    def test_activate_deactivate_roundtrip(self):
+        tracer = Tracer()
+        activate(tracer)
+        try:
+            assert active() is tracer
+        finally:
+            assert deactivate() is tracer
+        assert active() is None
+
+    def test_activation_does_not_nest(self):
+        with tracing() as _tracer:
+            with pytest.raises(RuntimeError):
+                activate(Tracer())
+        assert active() is None
+
+    def test_tracing_context_manager_detaches_buffers(self):
+        pool = BufferPool(capacity_pages=4)
+        with tracing(counter=pool.counter, buffer=pool) as tracer:
+            assert active() is tracer
+            assert "access" in vars(pool)
+        assert active() is None
+        assert "access" not in vars(pool)
+
+
+class TestSerialization:
+    def _sample_tracer(self):
+        pool = BufferPool(capacity_pages=4)
+        tracer = Tracer(counter=pool.counter)
+        with tracer.span("root", backend="ba"):
+            pool.access(1)
+            with tracer.span("child"):
+                pool.access(2)
+                tracer.event("node", pid=2)
+        return tracer
+
+    def test_to_dict_shape(self):
+        payload = self._sample_tracer().to_dict()
+        assert payload["schema_version"] == TRACE_SCHEMA_VERSION
+        root = payload["spans"][0]
+        assert root["name"] == "root"
+        assert root["reads"] == 2
+        assert root["self_reads"] == 1
+        assert root["children"][0]["events"] == [{"type": "node", "pid": 2}]
+
+    def test_json_roundtrip_renders_identically(self):
+        tracer = self._sample_tracer()
+        parsed = json.loads(tracer.to_json())
+        assert render_dict(parsed) == tracer.render()
+        assert "root" in tracer.render()
+        assert "1 node visit(s)" in tracer.render()
+
+    def test_walk_spans_visits_everything(self):
+        payload = self._sample_tracer().to_dict()
+        names = sorted(span["name"] for span in walk_spans(payload))
+        assert names == ["child", "root"]
+
+    def test_render_respects_max_depth(self):
+        tracer = Tracer()
+        with tracer.span("alpha"):
+            with tracer.span("bravo"):
+                with tracer.span("charlie"):
+                    pass
+        text = tracer.render(max_depth=2)
+        assert "bravo" in text
+        assert "charlie" not in text
+        assert "..." in text

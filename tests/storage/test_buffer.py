@@ -112,6 +112,75 @@ class TestCounterPlumbing:
         assert counter.total_ios == 0
 
 
+class TestCapacityOneChurn:
+    """A capacity-1 pool degenerates to miss-on-alternation; counters must track it."""
+
+    def test_alternating_clean_pages_always_miss(self):
+        pool = BufferPool(capacity_pages=1)
+        for _ in range(50):
+            pool.access(1)
+            pool.access(2)
+        assert pool.counter.reads == 100
+        assert pool.counter.hits == 0
+        assert pool.counter.writes == 0
+        assert pool.resident_pages == 1
+
+    def test_alternating_dirty_pages_write_on_every_eviction(self):
+        pool = BufferPool(capacity_pages=1)
+        for _ in range(50):
+            pool.access(1, write=True)
+            pool.access(2, write=True)
+        # Every access evicts the other page dirty, except the last one,
+        # which is still resident (and still dirty) at the end.
+        assert pool.counter.reads == 100
+        assert pool.counter.writes == 99
+        assert pool.flush() == 1
+
+    def test_repeated_same_page_never_evicts(self):
+        pool = BufferPool(capacity_pages=1)
+        for _ in range(50):
+            pool.access(7, write=True)
+        assert pool.counter.reads == 1
+        assert pool.counter.hits == 49
+        assert pool.counter.writes == 0
+
+
+class TestFlushAndClearSemantics:
+    def test_flush_clears_dirty_flags_but_keeps_pages_resident(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.access(1, write=True)
+        pool.access(2)
+        assert pool.flush() == 1
+        assert pool.counter.writes == 1
+        assert pool.is_resident(1) and pool.is_resident(2)
+        pool.access(1)
+        assert pool.counter.hits == 1
+
+    def test_redirtied_page_flushes_again(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.access(1, write=True)
+        pool.flush()
+        pool.access(1, write=True)
+        assert pool.flush() == 1
+        assert pool.counter.writes == 2
+
+    def test_clear_drops_dirty_pages_without_writes(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.access(1, write=True)
+        pool.access(2, write=True)
+        pool.clear()
+        assert pool.counter.writes == 0
+        assert pool.resident_pages == 0
+
+    def test_access_after_clear_is_a_cold_read(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.access(1)
+        pool.clear()
+        pool.access(1)
+        assert pool.counter.reads == 2
+        assert pool.counter.hits == 0
+
+
 class TestPathBuffer:
     def test_path_pages_are_free(self):
         pool = BufferPool(capacity_pages=2)
@@ -142,3 +211,33 @@ class TestPathBuffer:
         path.forget()
         path.access(10)
         assert pool.counter.reads == 1
+
+    def test_write_access_to_path_page_is_not_double_counted(self):
+        """A write to a remembered page must cost exactly one pool access —
+        no free path hit on top of the pool's read/hit accounting."""
+        pool = BufferPool(capacity_pages=2)
+        path = PathBuffer(pool)
+        path.remember([10])
+        path.access(10, write=True)
+        assert pool.counter.reads == 1
+        assert pool.counter.hits == 0
+        assert pool.counter.accesses == 1
+
+    def test_read_after_write_access_is_a_single_path_hit(self):
+        pool = BufferPool(capacity_pages=2)
+        path = PathBuffer(pool)
+        path.remember([10])
+        path.access(10, write=True)   # pool read, page now resident + dirty
+        path.access(10)               # served by the path: one hit, no pool touch
+        assert pool.counter.reads == 1
+        assert pool.counter.hits == 1
+
+    def test_remember_replaces_previous_path(self):
+        pool = BufferPool(capacity_pages=4)
+        path = PathBuffer(pool)
+        path.remember([10, 11])
+        path.remember([20])
+        path.access(10)
+        path.access(20)
+        assert pool.counter.reads == 1   # 10 fell off the path
+        assert pool.counter.hits == 1    # 20 is free
