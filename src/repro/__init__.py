@@ -43,6 +43,12 @@ from .core.aggregator import (
 )
 from .core.explain import QueryProfile, profile
 from .obs import MetricsRegistry, Tracer, get_registry, tracing
+from .service import (
+    BatchResult,
+    QueryService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 from .storage import CostModel, IOCounter, StorageContext
 
 __version__ = "1.0.0"
@@ -67,5 +73,9 @@ __all__ = [
     "tracing",
     "profile",
     "QueryProfile",
+    "QueryService",
+    "BatchResult",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     "__version__",
 ]

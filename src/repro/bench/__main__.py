@@ -28,6 +28,7 @@ from .figures import (
     three_dimensional,
 )
 from .runmeta import run_metadata
+from .service import service_batch_experiment
 from .smoke import (
     compare_to_baseline,
     dump_json,
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "dims3": three_dimensional,
     "table1": table1_complexity,
     "ablation": ablation_border_touch,
+    "service": service_batch_experiment,
 }
 
 RESULTS_SCHEMA_VERSION = 1
@@ -59,6 +61,9 @@ def _run_smoke_command(args: argparse.Namespace) -> int:
         f"[smoke: {len(payload['metrics'])} metrics in "
         f"{meta.get('wall_time_s', 0.0):.1f}s, seed={meta['seed']}]"
     )
+    dedup = meta.get("service_dedup_ratio")
+    if dedup:
+        print(f"[service batch dedup ratio: {dedup:.2f}x probes shared]")
     if args.json:
         dump_json(payload, args.json)
         print(f"[wrote {args.json}]")

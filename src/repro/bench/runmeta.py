@@ -47,8 +47,17 @@ def config_dict(cfg: BenchConfig) -> Dict[str, Any]:
     }
 
 
-def run_metadata(cfg: BenchConfig, wall_time_s: Optional[float] = None) -> Dict[str, Any]:
-    """Everything needed to reproduce and compare a bench run."""
+def run_metadata(
+    cfg: BenchConfig,
+    wall_time_s: Optional[float] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Everything needed to reproduce and compare a bench run.
+
+    ``extra`` merges additional run-level facts into the envelope (e.g. the
+    smoke slice's measured service dedup ratio); it cannot override the
+    reserved keys above.
+    """
     meta: Dict[str, Any] = {
         "seed": cfg.seed,
         "config": config_dict(cfg),
@@ -59,4 +68,7 @@ def run_metadata(cfg: BenchConfig, wall_time_s: Optional[float] = None) -> Dict[
     }
     if wall_time_s is not None:
         meta["wall_time_s"] = round(wall_time_s, 3)
+    if extra:
+        for key, value in extra.items():
+            meta.setdefault(key, value)
     return meta

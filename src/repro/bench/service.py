@@ -1,0 +1,121 @@
+"""Serving experiment: corner-sharing batches through the query service.
+
+A dashboard-style workload (:func:`repro.workloads.hot_query_boxes` — a
+small pool of distinct boxes drawn with Zipf popularity) is served twice
+through a :class:`repro.service.QueryService` over a BA-tree:
+
+* the **cold** batch measures the batch planner's corner sharing — how many
+  of the ``2^d`` signed probes per query (Theorem 2) collapse onto shared
+  ``(tree, point)`` identities across the batch;
+* the **warm** repeat of the same batch measures the epoch-tagged result
+  cache — every query should come straight out of the cache with zero
+  probes executed.
+
+Every served answer is cross-checked against :class:`NaiveBoxSum`, so the
+experiment doubles as an end-to-end correctness gate.  All reported numbers
+are deterministic (seeded RNG, counted probes — never wall time).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..core.aggregator import BoxSumIndex
+from ..core.errors import ReproError
+from ..core.naive import NaiveBoxSum
+from ..obs import MetricsRegistry
+from ..service import QueryService
+from ..workloads import clustered_boxes, hot_query_boxes
+from .config import BenchConfig
+from .report import banner, format_table
+
+#: (phase, queries, planned, unique, executed, result_hits)
+Row = Tuple[str, int, int, int, int, int]
+
+
+def _check_answers(phase: str, queries, answers, oracle: NaiveBoxSum) -> None:
+    for query, got in zip(queries, answers):
+        want = oracle.box_sum(query)
+        if not math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9):
+            raise ReproError(
+                f"service answer mismatch ({phase}): {got!r} != naive {want!r} "
+                f"for {query}"
+            )
+
+
+def service_batch_experiment(cfg: BenchConfig, verbose: bool = True) -> List[Row]:
+    """Cold + warm service batches over a BA-tree, cross-checked vs. naive."""
+    objects = clustered_boxes(
+        cfg.n,
+        dims=cfg.dims,
+        avg_side_fraction=cfg.avg_side_fraction,
+        seed=cfg.seed,
+    )
+    index = BoxSumIndex(
+        cfg.dims,
+        backend="ba",
+        page_size=cfg.page_size,
+        buffer_pages=cfg.buffer_pages,
+    )
+    index.bulk_load(objects)
+    oracle = NaiveBoxSum(cfg.dims)
+    for box, value in objects:
+        oracle.insert(box, value)
+
+    queries = hot_query_boxes(
+        cfg.queries,
+        qbs_fraction=0.01,
+        dims=cfg.dims,
+        pool_size=max(2, cfg.queries // 3),
+        seed=cfg.seed,
+    )
+
+    rows: List[Row] = []
+    with QueryService(index, registry=MetricsRegistry(), label="bench") as service:
+        for phase in ("cold", "warm"):
+            result = service.batch(queries)
+            _check_answers(phase, queries, result.results, oracle)
+            rows.append(
+                (
+                    phase,
+                    len(queries),
+                    result.probes_planned,
+                    result.probes_unique,
+                    result.probes_executed,
+                    result.result_cache_hits,
+                )
+            )
+
+    if verbose:
+        print(banner(f"service: corner-sharing batch (n={cfg.n}, d={cfg.dims})"))
+        print(
+            format_table(
+                ["phase", "queries", "planned", "unique", "executed", "result hits"],
+                rows,
+            )
+        )
+        cold = rows[0]
+        ratio = cold[2] / cold[3] if cold[3] else 1.0
+        print(f"cold dedup ratio (planned/unique): {ratio:.2f}x")
+    return rows
+
+
+def service_smoke_metrics(cfg: BenchConfig, verbose: bool = False) -> Dict[str, float]:
+    """Lower-is-better gate metrics for the smoke slice.
+
+    Dedup is exported as ``probe_overhead_pct`` — unique probes as a
+    percentage of planned — so a *lost* dedup (ratio collapsing toward 1.0)
+    pushes the metric up toward 100 and trips the lower-is-better gate.
+    """
+    rows = service_batch_experiment(cfg, verbose=verbose)
+    by_phase = {row[0]: row for row in rows}
+    cold, warm = by_phase["cold"], by_phase["warm"]
+    overhead_pct = 100.0 * cold[3] / cold[2] if cold[2] else 100.0
+    return {
+        "service.cold.probes_planned": float(cold[2]),
+        "service.cold.probes_executed": float(cold[4]),
+        "service.cold.probe_overhead_pct": round(overhead_pct, 2),
+        "service.warm.probes_executed": float(warm[4]),
+        "service.warm.result_misses": float(warm[1] - warm[5]),
+    }

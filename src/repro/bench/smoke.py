@@ -1,8 +1,10 @@
 """Smoke benchmark: a reduced slice of every experiment, with a CI gate.
 
-``python -m repro.bench smoke`` runs all ten experiment drivers at a tiny,
-fixed scale and extracts only the *deterministic* metrics — page counts and
-I/O counts, never CPU or wall time — into a flat ``name -> value`` dict.
+``python -m repro.bench smoke`` runs every experiment driver (the paper's
+ten figures/tables plus the query-service batch slice) at a tiny, fixed
+scale and extracts only the *deterministic* metrics — page counts, I/O
+counts and probe counts, never CPU or wall time — into a flat
+``name -> value`` dict.
 Given the same seed and config these are bit-stable (seeded RNG, simulated
 disk), so CI can compare a fresh run against the committed baseline at
 ``benchmarks/baseline_smoke.json`` and fail on regressions beyond the
@@ -48,6 +50,7 @@ from .figures import (
     three_dimensional,
 )
 from .runmeta import run_metadata
+from .service import service_smoke_metrics
 
 #: Version of the BENCH_smoke.json payload format.
 SMOKE_SCHEMA_VERSION = 1
@@ -113,6 +116,8 @@ def _metrics_from_experiments(cfg: BenchConfig, verbose: bool) -> Dict[str, floa
     for name, accesses, _cpu in ablation_border_touch(cfg, verbose=verbose):
         metrics[f"ablation.{name}.accesses_per_insert"] = float(accesses)
 
+    metrics.update(service_smoke_metrics(cfg, verbose=verbose))
+
     return metrics
 
 
@@ -124,10 +129,14 @@ def run_smoke(
     start = time.time()
     metrics = _metrics_from_experiments(cfg, verbose=verbose)
     wall = time.time() - start
+    overhead = metrics.get("service.cold.probe_overhead_pct", 0.0)
+    extra = {
+        "service_dedup_ratio": round(100.0 / overhead, 3) if overhead else None,
+    }
     return {
         "schema_version": SMOKE_SCHEMA_VERSION,
         "kind": "bench-smoke",
-        "metadata": run_metadata(cfg, wall_time_s=wall),
+        "metadata": run_metadata(cfg, wall_time_s=wall, extra=extra),
         "metrics": metrics,
     }
 

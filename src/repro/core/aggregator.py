@@ -34,7 +34,7 @@ from .errors import DimensionMismatchError, InvalidQueryError, NotSupportedError
 from .geometry import Box
 from .naive import NaiveDominanceSum
 from .polynomial import Polynomial
-from .reduction import CornerReduction, EO82Reduction
+from .reduction import CornerReduction, EO82Reduction, Probe, ProbeValues, format_key
 from .functional import FunctionalReduction
 from .values import SumCount, Value
 
@@ -281,6 +281,58 @@ class BoxSumIndex:
         if self._object_index is not None:
             return self._object_index.total()
         return self._total
+
+    # -- probe planning (the repro.service seam) ---------------------------------------
+
+    @property
+    def supports_probes(self) -> bool:
+        """True when box-sums decompose into shareable dominance-sum probes.
+
+        Object backends (``ar``/``rstar``) answer queries monolithically and
+        return False; the :mod:`repro.service` batch planner then falls back
+        to per-query execution (result caching still applies).
+        """
+        return self._object_index is None
+
+    def probe_plan(self, query: Box) -> List[Probe]:
+        """The query's constituent dominance-sum probes, in evaluation order.
+
+        Every box-sum is exactly this plan combined by inclusion–exclusion
+        (Lemma 1); probes with equal :attr:`~repro.core.reduction.Probe.identity`
+        may be shared across a batch of queries.
+        """
+        if self._object_index is not None:
+            raise NotSupportedError("object backends do not expose a probe plan")
+        self._check(query)
+        return self._reduction.probes(query)
+
+    def probe_value(self, key: object, point: Tuple[float, ...]) -> Value:
+        """Execute one dominance-sum probe against a constituent index."""
+        if self._object_index is not None:
+            raise NotSupportedError("object backends do not expose probes")
+        index = self._indices[key]
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return index.dominance_sum(point)
+        with tracer.span("dominance_sum", key=format_key(key)):
+            return index.dominance_sum(point)
+
+    def box_sum_from_probes(self, plan: List[Probe], values: ProbeValues) -> float:
+        """Reassemble :meth:`box_sum` from externally resolved probe values.
+
+        Bit-identical to :meth:`box_sum` on the same index state: probes are
+        pure functions of the state and the accumulation order matches the
+        direct path.
+        """
+        if self._object_index is not None:
+            raise NotSupportedError("object backends do not expose probes")
+        if isinstance(self._reduction, CornerReduction):
+            result = self._reduction.combine(plan, values, zero=self._zero)
+        else:
+            result = self._reduction.combine(plan, values, self._total, zero=self._zero)
+        if isinstance(result, SumCount):
+            return result.total
+        return float(result)
 
     # -- introspection ----------------------------------------------------------------------
 

@@ -73,3 +73,20 @@ class TreeInvariantError(ReproError):
 
 class NotSupportedError(ReproError):
     """The requested operation is not supported by the chosen backend."""
+
+
+class ServiceError(ReproError):
+    """Base class for failures in the concurrent query service layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's admission queue is full (backpressure).
+
+    Raised instead of queueing when ``max_inflight`` requests are executing
+    and ``max_queue`` more are already waiting; callers should retry with
+    backoff or shed the request.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """A request was issued against a service that has been closed."""

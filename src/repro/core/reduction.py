@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from math import comb
-from typing import Callable, Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, NamedTuple, Sequence, Tuple
 
 from ..obs import trace as _trace
 from .errors import DimensionMismatchError
@@ -34,6 +34,52 @@ Signs = Tuple[int, ...]
 
 #: Factory building a fresh dominance-sum index of the requested arity.
 IndexFactory = Callable[[int], object]
+
+
+class Probe(NamedTuple):
+    """One constituent dominance-sum probe of a box-sum query plan.
+
+    ``key`` selects the constituent index (a sign vector for the corner
+    reduction, a ``(dims, sides)`` pair for EO82), ``point`` is the
+    dominance query point, ``parity`` its inclusion–exclusion sign.  Two
+    probes with equal :attr:`identity` hit the same index at the same point
+    and therefore return the same value — the unit of sharing exploited by
+    the :mod:`repro.service` batch planner.
+    """
+
+    key: object
+    point: Coords
+    parity: int
+
+    @property
+    def identity(self) -> Tuple[object, Coords]:
+        """The dedup key: ``(index key, point)`` — parity excluded."""
+        return (self.key, self.point)
+
+
+#: Resolved probe values, keyed by :attr:`Probe.identity`.
+ProbeValues = Mapping[Tuple[object, Coords], Value]
+
+
+def combine_probe_values(
+    plan: Sequence[Probe], values: ProbeValues, base: Value, zero: Value
+) -> Value:
+    """Inclusion–exclusion reassembly of a plan from resolved probe values.
+
+    Accumulates positive and negative terms separately in plan order —
+    exactly as the reductions' own ``box_sum`` methods do — so the result is
+    bit-identical to a direct evaluation.  ``base`` seeds the positive side
+    (``zero`` for the corner reduction, the grand total for EO82).
+    """
+    positive = base
+    negative = zero
+    for probe in plan:
+        partial = values[probe.identity]
+        if probe.parity > 0:
+            positive = positive + partial
+        else:
+            negative = negative + partial
+    return positive + (-negative)
 
 
 def all_signs(dims: int) -> Iterator[Signs]:
@@ -108,6 +154,19 @@ class CornerReduction:
             )
             parity = -1 if sum(signs) % 2 else 1
             yield signs, point, parity
+
+    def probes(self, query: Box) -> List[Probe]:
+        """The query plan as :class:`Probe` records (planner-facing form)."""
+        return [Probe(key, point, parity) for key, point, parity in self.query_plan(query)]
+
+    def combine(self, plan: Sequence[Probe], values: ProbeValues, zero: Value = 0.0) -> Value:
+        """Reassemble a box-sum from externally resolved probe values.
+
+        Bit-identical to :meth:`box_sum` over the same index contents: the
+        accumulation order matches, and a dominance-sum probe is a pure
+        function of the index state.
+        """
+        return combine_probe_values(plan, values, zero, zero)
 
     def box_sum(self, indices: Dict[Signs, object], query: Box, zero: Value = 0.0) -> Value:
         """Evaluate a box-sum against the ``2^d`` dominance indices."""
@@ -197,6 +256,16 @@ class EO82Reduction:
             # even |T| added back (inclusion–exclusion).
             parity = -1 if len(dims_subset) % 2 == 1 else 1
             yield (dims_subset, sides), point, parity
+
+    def probes(self, query: Box) -> List[Probe]:
+        """The query plan as :class:`Probe` records (planner-facing form)."""
+        return [Probe(key, point, parity) for key, point, parity in self.query_plan(query)]
+
+    def combine(
+        self, plan: Sequence[Probe], values: ProbeValues, total: Value, zero: Value = 0.0
+    ) -> Value:
+        """Reassemble a box-sum from resolved probe values and the grand total."""
+        return combine_probe_values(plan, values, total, zero)
 
     def box_sum(
         self,

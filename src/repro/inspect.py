@@ -26,6 +26,7 @@ from .ecdf.ecdf_b import EcdfBTree
 from .kdb.kdbtree import KdbTree
 from .obs import Tracer, render_dict
 from .rtree.rstar import RStarTree
+from .service import QueryService
 
 _INDENT = "  "
 
@@ -34,7 +35,8 @@ def dump(structure: object, max_depth: int = 12) -> str:
     """Render any shipped index structure — or a trace/profile — as text.
 
     Besides the index structures, accepts a live :class:`repro.obs.Tracer`,
-    a :class:`repro.core.explain.QueryProfile`, or a parsed trace payload
+    a :class:`repro.core.explain.QueryProfile`, a running
+    :class:`repro.service.QueryService`, or a parsed trace payload
     (a dict with ``"spans"``, e.g. ``json.loads`` of a dumped trace).
     """
     if isinstance(structure, AggBPlusTree):
@@ -49,6 +51,8 @@ def dump(structure: object, max_depth: int = 12) -> str:
         return dump_rtree(structure, max_depth)
     if isinstance(structure, QueryProfile):
         return structure.render()
+    if isinstance(structure, QueryService):
+        return dump_service(structure)
     if isinstance(structure, Tracer):
         return structure.render(max_depth=max_depth)
     if isinstance(structure, dict) and "spans" in structure:
@@ -184,6 +188,34 @@ def _dump_kdb_page(tree, pid, depth, max_depth, lines: List[str]) -> None:
     for record in page.records:
         lines.append(f"{pad}{_INDENT}record {_fmt_box(record.box)}")
         _dump_kdb_page(tree, record.child, depth + 2, max_depth, lines)
+
+
+# -- query service -----------------------------------------------------------------------
+
+def dump_service(service: QueryService) -> str:
+    """Serving-state outline: admission, epoch, traffic, planner and caches."""
+    stats = service.stats()
+    state = "closed" if service.closed else "open"
+    lines = [
+        f"QueryService(label={service.label}, {state}, epoch={int(stats['epoch'])})",
+        f"{_INDENT}admission max_inflight={service.max_inflight} "
+        f"max_queue={service.max_queue} inflight={int(stats['inflight'])} "
+        f"rejected={int(stats['rejected'])}",
+        f"{_INDENT}traffic queries={int(stats['queries'])} "
+        f"(batches={int(stats['batches'])} singles={int(stats['singles'])}) "
+        f"mutations={int(stats['mutations'])}",
+        f"{_INDENT}planner probes planned={int(stats['probes_planned'])} "
+        f"unique={int(stats['probes_unique'])} executed={int(stats['probes_executed'])} "
+        f"dedup_ratio={stats['dedup_ratio']:.2f}",
+    ]
+    for cache in ("result_cache", "probe_cache"):
+        lines.append(
+            f"{_INDENT}{cache} entries={int(stats[f'{cache}.entries'])} "
+            f"hits={int(stats[f'{cache}.hits'])} misses={int(stats[f'{cache}.misses'])} "
+            f"stale={int(stats[f'{cache}.stale'])} "
+            f"hit_rate={stats[f'{cache}.hit_rate']:.2f}"
+        )
+    return "\n".join(lines)
 
 
 # -- R-tree family ------------------------------------------------------------------------

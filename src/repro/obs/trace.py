@@ -21,11 +21,22 @@ Instrumented hot paths pay a single module-global ``None`` check while no
 tracer is active; per-page buffer events additionally require the tracer to
 be attached to the pool (:meth:`Tracer.attach_buffer`), which patches the
 pool *instance* so the disabled path is completely untouched.
+
+**Concurrency.** Activation stays process-wide (one tracer at a time), but
+span *attachment* is thread-local: each thread entering spans on the active
+tracer nests them on its own private stack, and a thread's outermost span
+becomes a root in :attr:`Tracer.spans` (appended under a lock).  Worker
+threads of :class:`repro.service.QueryService` therefore produce their own
+well-formed span trees instead of corrupting the activating thread's stack.
+Attribution caveats under concurrency: per-span I/O deltas snapshot a
+*shared* counter, so spans overlapping in time double-count each other's
+page traffic — wall time and span structure stay exact.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -107,7 +118,10 @@ class Span:
         if parent is not None:
             parent.children.append(self)
         else:
-            self._tracer.spans.append(self)
+            # Roots from any thread land in the shared list; the stack
+            # itself is thread-local so sibling threads never interleave.
+            with self._tracer._spans_lock:
+                self._tracer.spans.append(self)
 
     # -- derived I/O ------------------------------------------------------------
 
@@ -167,8 +181,18 @@ class Tracer:
     def __init__(self, counter=None) -> None:
         self.counter = counter
         self.spans: List[Span] = []
-        self._stack: List[Span] = []
+        self._locals = threading.local()
+        self._spans_lock = threading.Lock()
         self._patched_pools: List[Tuple[Any, Any]] = []
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's private span stack (created on first touch)."""
+        stack = getattr(self._locals, "stack", None)
+        if stack is None:
+            stack = []
+            self._locals.stack = stack
+        return stack
 
     # -- recording ---------------------------------------------------------------
 

@@ -1,0 +1,118 @@
+"""Epoch-invalidated LRU cache for box-sum results and corner probes.
+
+The service keys entries by *canonicalized* identities — a query box by its
+``(low, high)`` coordinate tuples (already normalized to plain floats by
+:func:`repro.core.geometry.as_coords`), a probe by its
+``(index key, point)`` :attr:`~repro.core.reduction.Probe.identity` — so two
+requests for the same logical value share one entry regardless of how the
+caller spelled the coordinates.
+
+Invalidation is *epoch-based*: every entry remembers the index epoch it was
+computed at, and the owning :class:`~repro.service.service.QueryService`
+bumps its epoch on every mutation.  A lookup whose stored epoch differs from
+the current one is a miss (counted as ``stale``) and the entry is dropped,
+so a bump logically invalidates the whole cache in O(1) — no sweep — while
+entries untouched since the bump age out through normal LRU pressure.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Tuple
+
+_MISS = object()
+
+
+class EpochLRUCache:
+    """A thread-safe LRU map whose entries are valid for one epoch only.
+
+    ``capacity=0`` disables the cache (every get misses, puts are dropped),
+    which keeps call sites branch-free.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: key -> (epoch, value), in LRU order (oldest first).
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, epoch: int) -> Tuple[bool, Any]:
+        """``(True, value)`` on a same-epoch hit, else ``(False, None)``.
+
+        An entry from an older epoch is dropped and counted under
+        :attr:`stale` (as well as :attr:`misses`) — a stale value is never
+        returned.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISS)
+            if entry is _MISS:
+                self.misses += 1
+                return False, None
+            stored_epoch, value = entry
+            if stored_epoch != epoch:
+                del self._entries[key]
+                self.misses += 1
+                self.stale += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def put(self, key: Hashable, epoch: int, value: Any) -> None:
+        """Insert or refresh an entry stamped with ``epoch``."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (epoch, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept — they describe lifetime traffic)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        """Lifetime counters plus current residency, as a flat dict."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "stale": float(self.stale),
+                "evictions": float(self.evictions),
+                "entries": float(len(self._entries)),
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+def box_key(box) -> Tuple[str, Tuple[float, ...], Tuple[float, ...]]:
+    """Canonical result-cache key for a query box."""
+    return ("box", box.low, box.high)
+
+
+def probe_key(identity: Tuple[object, Tuple[float, ...]]) -> Tuple[str, object, object]:
+    """Canonical probe-cache key for a :attr:`Probe.identity`."""
+    return ("probe", identity[0], identity[1])
+
+
+def make_caches(
+    result_entries: int, probe_entries: int
+) -> Tuple["EpochLRUCache", "EpochLRUCache"]:
+    """The service's two caches: whole-query results and corner probes."""
+    return EpochLRUCache(result_entries), EpochLRUCache(probe_entries)
+
+
+__all__ = ["EpochLRUCache", "box_key", "probe_key", "make_caches"]

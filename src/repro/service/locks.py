@@ -1,0 +1,81 @@
+"""A readers–writer lock for the query service.
+
+Queries only read index state (the dominance trees are traversed without
+structural mutation), so any number of them may run concurrently; updates
+restructure pages and must be exclusive.  :class:`RWLock` provides exactly
+that discipline with modest writer preference: once a writer is waiting, new
+readers queue behind it, so a steady read stream cannot starve updates.
+
+The GIL alone is *not* enough here — a ``box_sum`` is thousands of bytecode
+instructions and the interpreter preempts between any two of them, so
+without exclusion a reader could observe a half-applied page split.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Multiple concurrent readers XOR one writer, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- reader side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Block until no writer holds or awaits the lock, then enter."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side -----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Block until exclusive, barring new readers while waiting."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers ---------------------------------------------------------
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """``with lock.read(): ...`` — shared acquisition."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """``with lock.write(): ...`` — exclusive acquisition."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,431 @@
+"""The concurrent query service: admission, locking, caching, planning.
+
+:class:`QueryService` fronts a :class:`~repro.core.aggregator.BoxSumIndex`
+(any backend) for serving-style traffic:
+
+* **admission control** — at most ``max_inflight`` requests execute
+  concurrently; up to ``max_queue`` more wait (FIFO by condition wakeup);
+  beyond that :class:`~repro.core.errors.ServiceOverloadedError` sheds load
+  immediately instead of building an unbounded queue;
+* **a readers–writer lock** — queries share the index, mutations are
+  exclusive, so a reader can never observe a half-applied page split;
+* **an epoch-invalidated result/probe cache** — every mutation bumps the
+  service epoch, logically invalidating all cached values in O(1); a stale
+  entry is never served (see :mod:`repro.service.cache`);
+* **corner-sharing batch planning** — a batch's ``2^d``-probe plans are
+  deduped across queries and each unique probe runs once, sequentially or
+  on a thread pool (see :mod:`repro.service.planner`);
+* **observability** — request/probe/cache counters and batch-size plus
+  queue-wait histograms in the :mod:`repro.obs` registry, and a
+  ``service.batch`` span nesting the underlying ``dominance_sum`` spans
+  when a tracer is active.
+
+Object backends (``ar``/``rstar``) expose no probe plan; their queries run
+monolithically, serialized on an internal mutex (the aR-tree keeps
+per-query instance state), with result caching still applied.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from ..core.errors import ServiceClosedError, ServiceOverloadedError
+from ..core.geometry import Box
+from ..obs import trace as _trace
+from ..obs.registry import MetricsRegistry, get_registry
+from .cache import EpochLRUCache, box_key, probe_key
+from .locks import RWLock
+from .planner import BatchPlanner
+
+#: Batch-size histogram buckets (queries per request).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Queue-wait histogram buckets (seconds).
+QUEUE_WAIT_BUCKETS = (0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+class BatchResult(NamedTuple):
+    """Answers of one batch plus its execution accounting.
+
+    ``epoch`` is the service epoch the whole batch was evaluated at — the
+    readers–writer lock guarantees every answer reflects exactly the
+    mutations applied before that epoch was observed.
+    """
+
+    results: List[float]
+    epoch: int
+    result_cache_hits: int
+    probes_planned: int
+    probes_unique: int
+    probes_executed: int
+    probe_cache_hits: int
+    queue_wait_s: float
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Batch-level probe sharing: ``planned / unique`` (1.0 when empty)."""
+        if not self.probes_unique:
+            return 1.0
+        return self.probes_planned / self.probes_unique
+
+
+class QueryService:
+    """A thread-safe box-sum serving layer over one index.
+
+    Parameters
+    ----------
+    index:
+        The :class:`~repro.core.aggregator.BoxSumIndex` (or compatible
+        object) to serve.  When it owns a storage context, the context's
+        buffer pool is switched to thread-safe mode so concurrent readers
+        cannot interleave LRU bookkeeping.
+    result_cache / probe_cache:
+        Entry capacities of the two epoch-invalidated LRU caches (0
+        disables either).
+    max_inflight / max_queue / queue_timeout:
+        Admission control: concurrent executions, waiting slots, and an
+        optional cap (seconds) on queue wait before shedding.
+    workers:
+        Size of the probe worker pool; 0 (default) resolves probes on the
+        calling thread.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        result_cache: int = 1024,
+        probe_cache: int = 4096,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        queue_timeout: Optional[float] = None,
+        workers: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.index = index
+        self.label = label if label is not None else getattr(index, "backend", "index")
+        self._supports_probes = bool(getattr(index, "supports_probes", False))
+        self._planner = BatchPlanner(index) if self._supports_probes else None
+        self._results = EpochLRUCache(result_cache)
+        self._probes = EpochLRUCache(probe_cache)
+        self._rwlock = RWLock()
+        #: Serializes monolithic queries of object backends (aR-tree keeps
+        #: per-query instance state) — unused on the probe path.
+        self._object_mutex = threading.Lock()
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._admission = threading.Condition(threading.Lock())
+        self._inflight = 0
+        self._waiting = 0
+        self._closed = False
+        self._epoch = 0
+        self._stats_lock = threading.Lock()
+        self._counts: Dict[str, float] = {
+            "batches": 0.0,
+            "singles": 0.0,
+            "queries": 0.0,
+            "rejected": 0.0,
+            "mutations": 0.0,
+            "probes_planned": 0.0,
+            "probes_unique": 0.0,
+            "probes_executed": 0.0,
+            "probes_saved": 0.0,
+            "probe_cache_hits": 0.0,
+            "result_cache_hits": 0.0,
+            "result_cache_misses": 0.0,
+            "backend_queries": 0.0,
+        }
+        storage = getattr(index, "storage", None)
+        if storage is not None:
+            storage.make_thread_safe()
+        self._executor = None
+        if workers > 0:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-service"
+            )
+        registry = registry if registry is not None else get_registry()
+        self._m_requests = registry.counter(
+            "repro_service_requests", "requests admitted, by kind (single/batch)"
+        )
+        self._m_rejected = registry.counter(
+            "repro_service_rejected", "requests shed by admission control"
+        )
+        self._m_queries = registry.counter(
+            "repro_service_queries", "box-sum queries answered"
+        )
+        self._m_probes = registry.counter(
+            "repro_service_probes", "dominance probes, by stage (planned/executed)"
+        )
+        self._m_saved = registry.counter(
+            "repro_service_probes_saved", "probe executions avoided by batch dedup"
+        )
+        self._m_cache = registry.counter(
+            "repro_service_cache_lookups", "cache lookups, by cache and outcome"
+        )
+        self._m_mutations = registry.counter(
+            "repro_service_mutations", "epoch-bumping mutations applied"
+        )
+        self._m_epoch = registry.gauge("repro_service_epoch", "current service epoch")
+        self._m_batch_size = registry.histogram(
+            "repro_service_batch_size", "queries per request", buckets=BATCH_SIZE_BUCKETS
+        )
+        self._m_queue_wait = registry.histogram(
+            "repro_service_queue_wait_seconds",
+            "seconds spent waiting for an execution slot",
+            buckets=QUEUE_WAIT_BUCKETS,
+        )
+
+    # -- admission --------------------------------------------------------------
+
+    def _admit(self) -> float:
+        """Take an execution slot (waiting if allowed); returns the wait time."""
+        start = time.perf_counter()
+        deadline = None if self.queue_timeout is None else start + self.queue_timeout
+        with self._admission:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if self._inflight >= self.max_inflight:
+                if self._waiting >= self.max_queue:
+                    with self._stats_lock:
+                        self._counts["rejected"] += 1
+                        self._m_rejected.inc(label=self.label)
+                    raise ServiceOverloadedError(
+                        f"{self._inflight} inflight and {self._waiting} queued "
+                        f"(max_inflight={self.max_inflight}, max_queue={self.max_queue})"
+                    )
+                self._waiting += 1
+                try:
+                    while self._inflight >= self.max_inflight and not self._closed:
+                        timeout = None
+                        if deadline is not None:
+                            timeout = deadline - time.perf_counter()
+                            if timeout <= 0:
+                                raise ServiceOverloadedError(
+                                    f"no execution slot within {self.queue_timeout}s"
+                                )
+                        self._admission.wait(timeout=timeout)
+                finally:
+                    self._waiting -= 1
+                if self._closed:
+                    raise ServiceClosedError("service is closed")
+            self._inflight += 1
+        return time.perf_counter() - start
+
+    def _release(self) -> None:
+        with self._admission:
+            self._inflight -= 1
+            self._admission.notify()
+
+    # -- queries ---------------------------------------------------------------
+
+    def box_sum(self, query: Box) -> float:
+        """One cached, admission-controlled box-sum."""
+        return self._serve([query], kind="single").results[0]
+
+    def box_sum_batch(self, queries: Sequence[Box]) -> List[float]:
+        """Answers for a batch, in request order (see :meth:`batch`)."""
+        return self._serve(queries, kind="batch").results
+
+    def batch(self, queries: Sequence[Box]) -> BatchResult:
+        """A batch with its full accounting (epoch, dedup, cache hits)."""
+        return self._serve(queries, kind="batch")
+
+    def _serve(self, queries: Sequence[Box], kind: str) -> BatchResult:
+        queries = list(queries)
+        wait_s = self._admit()
+        try:
+            with self._rwlock.read():
+                tracer = _trace._ACTIVE
+                if tracer is None:
+                    result = self._execute(queries, wait_s)
+                else:
+                    with tracer.span(
+                        "service.batch", label=self.label, queries=len(queries)
+                    ):
+                        result = self._execute(queries, wait_s)
+                        tracer.event(
+                            "service_plan",
+                            cached=result.result_cache_hits,
+                            unique=result.probes_unique,
+                            executed=result.probes_executed,
+                        )
+        finally:
+            self._release()
+        with self._stats_lock:
+            c = self._counts
+            c["batches" if kind == "batch" else "singles"] += 1
+            c["queries"] += len(queries)
+            c["probes_planned"] += result.probes_planned
+            c["probes_unique"] += result.probes_unique
+            c["probes_executed"] += result.probes_executed
+            c["probes_saved"] += result.probes_planned - result.probes_unique
+            c["probe_cache_hits"] += result.probe_cache_hits
+            c["result_cache_hits"] += result.result_cache_hits
+            c["result_cache_misses"] += len(queries) - result.result_cache_hits
+            self._m_requests.inc(kind=kind, label=self.label)
+            self._m_queries.inc(len(queries), label=self.label)
+            self._m_batch_size.observe(len(queries), label=self.label)
+            self._m_queue_wait.observe(wait_s, label=self.label)
+            if result.probes_planned:
+                self._m_probes.inc(result.probes_planned, stage="planned", label=self.label)
+            if result.probes_executed:
+                self._m_probes.inc(
+                    result.probes_executed, stage="executed", label=self.label
+                )
+            saved = result.probes_planned - result.probes_unique
+            if saved:
+                self._m_saved.inc(saved, label=self.label)
+            if result.result_cache_hits:
+                self._m_cache.inc(
+                    result.result_cache_hits, cache="result", outcome="hit", label=self.label
+                )
+            misses = len(queries) - result.result_cache_hits
+            if misses:
+                self._m_cache.inc(misses, cache="result", outcome="miss", label=self.label)
+            if result.probe_cache_hits:
+                self._m_cache.inc(
+                    result.probe_cache_hits, cache="probe", outcome="hit", label=self.label
+                )
+        return result
+
+    def _execute(self, queries: List[Box], wait_s: float) -> BatchResult:
+        """Resolve a batch under the read lock: caches → planner → backend."""
+        epoch = self._epoch
+        answers: List[Optional[float]] = [None] * len(queries)
+        missing: List[int] = []
+        result_hits = 0
+        for i, query in enumerate(queries):
+            found, value = self._results.get(box_key(query), epoch)
+            if found:
+                answers[i] = value
+                result_hits += 1
+            else:
+                missing.append(i)
+
+        probes_planned = probes_unique = probes_executed = probe_hits = 0
+        if missing:
+            to_run = [queries[i] for i in missing]
+            if self._planner is not None:
+                plan = self._planner.plan(to_run)
+                execution = self._planner.execute(
+                    plan,
+                    lookup=lambda identity: self._probes.get(probe_key(identity), epoch),
+                    store=lambda identity, value: self._probes.put(
+                        probe_key(identity), epoch, value
+                    ),
+                    executor=self._executor,
+                )
+                fresh = execution.results
+                probes_planned = execution.probes_total
+                probes_unique = execution.probes_unique
+                probes_executed = execution.probes_executed
+                probe_hits = execution.probe_cache_hits
+            else:
+                with self._object_mutex:
+                    fresh = [self.index.box_sum(query) for query in to_run]
+                with self._stats_lock:
+                    self._counts["backend_queries"] += len(to_run)
+            for i, value in zip(missing, fresh):
+                answers[i] = value
+                self._results.put(box_key(queries[i]), epoch, value)
+
+        return BatchResult(
+            results=answers,
+            epoch=epoch,
+            result_cache_hits=result_hits,
+            probes_planned=probes_planned,
+            probes_unique=probes_unique,
+            probes_executed=probes_executed,
+            probe_cache_hits=probe_hits,
+            queue_wait_s=wait_s,
+        )
+
+    # -- mutations -------------------------------------------------------------
+
+    def insert(self, box: Box, value: float = 1.0) -> int:
+        """Insert one object exclusively; returns the new epoch."""
+        return self.mutate(lambda: self.index.insert(box, value), op="insert")
+
+    def delete(self, box: Box, value: float = 1.0) -> int:
+        """Delete one object exclusively; returns the new epoch."""
+        return self.mutate(lambda: self.index.delete(box, value), op="delete")
+
+    def bulk_load(self, objects) -> int:
+        """Rebuild the index exclusively; returns the new epoch."""
+        return self.mutate(lambda: self.index.bulk_load(objects), op="bulk_load")
+
+    def mutate(self, fn, op: str = "mutate") -> int:
+        """Run an arbitrary index mutation under the write lock and bump the epoch.
+
+        Use this for mutations the service has no verb for — e.g. a durable
+        backend's ``set_meta`` — so cached results can never outlive them.
+        """
+        with self._rwlock.write():
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            fn()
+            self._epoch += 1
+            epoch = self._epoch
+        with self._stats_lock:
+            self._counts["mutations"] += 1
+            self._m_mutations.inc(op=op, label=self.label)
+            self._m_epoch.set(epoch, label=self.label)
+        return epoch
+
+    @property
+    def epoch(self) -> int:
+        """Mutations applied so far; cached values are tagged with this."""
+        return self._epoch
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """A flat snapshot: service counters plus both caches' stats."""
+        with self._stats_lock:
+            out = dict(self._counts)
+        out["epoch"] = float(self._epoch)
+        out["inflight"] = float(self._inflight)
+        out["dedup_ratio"] = (
+            out["probes_planned"] / out["probes_unique"] if out["probes_unique"] else 1.0
+        )
+        for name, cache in (("result_cache", self._results), ("probe_cache", self._probes)):
+            for key, value in cache.stats().items():
+                out[f"{name}.{key}"] = value
+        return out
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Reject new work, wake queued waiters, release the worker pool."""
+        with self._admission:
+            if self._closed:
+                return
+            self._closed = True
+            self._admission.notify_all()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._results.clear()
+        self._probes.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+
+__all__ = ["QueryService", "BatchResult", "ServiceOverloadedError", "ServiceClosedError"]

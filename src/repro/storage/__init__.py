@@ -101,6 +101,16 @@ class StorageContext:
 
         return watch_storage(self, registry=registry, **labels)
 
+    def make_thread_safe(self) -> None:
+        """Prepare this context for concurrent readers (idempotent).
+
+        Switches the buffer pool to locked mode (see
+        :meth:`BufferPool.make_thread_safe`); a durable
+        :class:`~repro.storage.filepager.FilePager` is internally locked
+        already.  Called automatically by :class:`repro.service.QueryService`.
+        """
+        self.buffer.make_thread_safe()
+
     def cold_cache(self) -> None:
         """Empty the buffer pool so the next accesses are all misses."""
         self.buffer.clear()

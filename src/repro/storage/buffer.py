@@ -13,6 +13,7 @@ real disk-resident implementation would generate.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -26,6 +27,12 @@ class BufferPool:
     ``capacity_pages=None`` models an unbounded buffer: the first touch of a
     page is still a read miss (it has to come from disk once), but nothing
     is ever evicted.
+
+    The pool is single-threaded by default (zero locking cost on the
+    hot path).  Multi-reader users — the :mod:`repro.service` query layer
+    runs concurrent box-sums over one shared pool — must call
+    :meth:`make_thread_safe` first, so a page fetch can never interleave
+    with another thread's LRU bookkeeping or write-back flush.
     """
 
     def __init__(
@@ -39,11 +46,30 @@ class BufferPool:
         self.counter = counter if counter is not None else IOCounter()
         #: pid -> dirty flag, in LRU order (oldest first).
         self._resident: "OrderedDict[int, bool]" = OrderedDict()
+        #: Installed by :meth:`make_thread_safe`; None keeps the fast path.
+        self._lock: Optional[threading.Lock] = None
+
+    def make_thread_safe(self) -> None:
+        """Serialize accesses/flushes behind a lock (idempotent).
+
+        Until this is called the pool assumes one thread; afterwards every
+        state-touching method takes the lock.  The disabled path pays one
+        attribute check, matching the tracing hooks' zero-cost discipline.
+        """
+        if self._lock is None:
+            self._lock = threading.Lock()
 
     # -- core protocol -------------------------------------------------------
 
     def access(self, pid: int, write: bool = False) -> None:
         """Touch page ``pid``; account a read I/O on miss, mark dirty on write."""
+        lock = self._lock
+        if lock is None:
+            return self._access(pid, write)
+        with lock:
+            return self._access(pid, write)
+
+    def _access(self, pid: int, write: bool) -> None:
         if pid in self._resident:
             self.counter.hits += 1
             self._resident.move_to_end(pid)
@@ -64,10 +90,22 @@ class BufferPool:
 
     def invalidate(self, pid: int) -> None:
         """Drop a page from the pool without a write-back (the page was freed)."""
-        self._resident.pop(pid, None)
+        lock = self._lock
+        if lock is None:
+            self._resident.pop(pid, None)
+            return
+        with lock:
+            self._resident.pop(pid, None)
 
     def flush(self) -> int:
         """Write back every dirty page; returns the number of write I/Os issued."""
+        lock = self._lock
+        if lock is None:
+            return self._flush()
+        with lock:
+            return self._flush()
+
+    def _flush(self) -> int:
         written = 0
         for pid, dirty in self._resident.items():
             if dirty:
@@ -78,7 +116,12 @@ class BufferPool:
 
     def clear(self) -> None:
         """Empty the pool without counting write-backs (cold-cache reset)."""
-        self._resident.clear()
+        lock = self._lock
+        if lock is None:
+            self._resident.clear()
+            return
+        with lock:
+            self._resident.clear()
 
     @property
     def resident_pages(self) -> int:
@@ -112,6 +155,11 @@ class PathBuffer:
     through to the LRU pool.  The aR-tree replaces the remembered path after
     each descent, which is exactly how consecutive queries over nearby boxes
     avoid re-reading the upper levels.
+
+    Unlike :class:`BufferPool`, the path buffer is inherently per-query
+    state and has no thread-safe mode: concurrent aR-tree queries must be
+    serialized by the caller (:class:`repro.service.QueryService` holds a
+    mutex around object-backend queries for exactly this reason).
     """
 
     def __init__(self, pool: BufferPool) -> None:

@@ -29,12 +29,18 @@ Crash safety (see also :mod:`repro.storage.wal`):
   (:func:`~repro.storage.codec.seal_page`); a torn or bit-flipped slot
   raises :class:`~repro.core.errors.PageCorruptionError` instead of
   returning wrong aggregates, and :meth:`verify` scrubs the whole file.
+
+Concurrency: every public operation holds one internal re-entrant lock, so
+a multi-reader caller (the :mod:`repro.service` query layer) can never
+interleave a slot decode with another thread's checkpoint write-back.  The
+lock serializes, it does not parallelize — one file, one writer at a time.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -80,6 +86,11 @@ class FilePager:
         self.codec = codec
         self._opener = opener
         self._closed = False
+        # Serializes every file/cache touch: a reader decoding a slot must
+        # never interleave with another thread's checkpoint write-back.
+        # Reentrant because set_meta/verify/close nest into sync().  The
+        # cost is negligible next to struct codec work and real file I/O.
+        self._lock = threading.RLock()
         registry = get_registry()
         self._m_disk_reads = registry.counter(
             "repro_pager_disk_reads", "slot images decoded from the page file"
@@ -190,10 +201,11 @@ class FilePager:
         discipline as :meth:`sync` (which it implies — the metadata must
         never describe pages newer than what is on disk).
         """
-        self._check_open()
-        self._check_header_fits(meta_len=len(blob))
-        self.user_meta = bytes(blob)
-        self.sync()
+        with self._lock:
+            self._check_open()
+            self._check_header_fits(meta_len=len(blob))
+            self.user_meta = bytes(blob)
+            self.sync()
 
     def _offset(self, pid: int) -> int:
         return (pid + 1) * self.page_size  # slot 0 is the header
@@ -202,51 +214,55 @@ class FilePager:
 
     def allocate(self, payload: Any = None) -> int:
         """Reserve a page slot; the payload (if given) is cached for write-back."""
-        self._check_open()
-        pid = self._free.pop() if self._free else self._next_pid
-        if pid == self._next_pid:
-            self._next_pid += 1
-        self._slot_crc.pop(pid, None)
-        if payload is not None:
-            self._cache[pid] = payload
-            self._blank.discard(pid)
-        else:
-            self._blank.add(pid)
-        return pid
+        with self._lock:
+            self._check_open()
+            pid = self._free.pop() if self._free else self._next_pid
+            if pid == self._next_pid:
+                self._next_pid += 1
+            self._slot_crc.pop(pid, None)
+            if payload is not None:
+                self._cache[pid] = payload
+                self._blank.discard(pid)
+            else:
+                self._blank.add(pid)
+            return pid
 
     def put(self, pid: int, payload: Any) -> None:
         """Cache the payload; its image reaches the file at the next sync."""
-        self._check_open()
-        self._check_live(pid)
-        self._cache[pid] = payload
-        self._blank.discard(pid)
+        with self._lock:
+            self._check_open()
+            self._check_live(pid)
+            self._cache[pid] = payload
+            self._blank.discard(pid)
 
     def get(self, pid: int) -> Any:
         """Return the live node object for a page (decoding it on first touch)."""
-        self._check_open()
-        self._check_live(pid)
-        if pid in self._cache:
-            return self._cache[pid]
-        self._file.seek(self._offset(pid))
-        data = self._file.read(self.page_size)
-        if len(data) < self.page_size:
-            raise PageNotFoundError(f"page {pid} truncated on disk")
-        body = unseal_page(data, pid)
-        payload = self.codec.decode(body, pid)
-        self._cache[pid] = payload
-        self._slot_crc[pid] = zlib.crc32(body)
-        self._m_disk_reads.inc()
-        return payload
+        with self._lock:
+            self._check_open()
+            self._check_live(pid)
+            if pid in self._cache:
+                return self._cache[pid]
+            self._file.seek(self._offset(pid))
+            data = self._file.read(self.page_size)
+            if len(data) < self.page_size:
+                raise PageNotFoundError(f"page {pid} truncated on disk")
+            body = unseal_page(data, pid)
+            payload = self.codec.decode(body, pid)
+            self._cache[pid] = payload
+            self._slot_crc[pid] = zlib.crc32(body)
+            self._m_disk_reads.inc()
+            return payload
 
     def free(self, pid: int) -> None:
         """Return a slot to the free list."""
-        self._check_open()
-        self._check_live(pid)
-        self._check_header_fits(extra_free=1)
-        self._cache.pop(pid, None)
-        self._slot_crc.pop(pid, None)
-        self._blank.discard(pid)
-        self._free.append(pid)
+        with self._lock:
+            self._check_open()
+            self._check_live(pid)
+            self._check_header_fits(extra_free=1)
+            self._cache.pop(pid, None)
+            self._slot_crc.pop(pid, None)
+            self._blank.discard(pid)
+            self._free.append(pid)
 
     def _check_live(self, pid: int) -> None:
         if pid < 0 or pid >= self._next_pid or pid in self._free:
@@ -313,32 +329,33 @@ class FilePager:
         anywhere (including mid-apply) recovers to *this* checkpoint; before
         it, recovery yields the previous one.  No-op when nothing changed.
         """
-        self._check_open()
-        batch = self._collect_batch()
-        if not batch:
-            return
-        self._m_checkpoints.inc()
-        self._m_slots_written.inc(len(batch))
-        tracer = _trace._ACTIVE
-        if tracer is not None:
-            tracer.event("pager_sync", path=self.path, slots=len(batch))
-        if self._wal is not None:
-            self._wal.begin()
+        with self._lock:
+            self._check_open()
+            batch = self._collect_batch()
+            if not batch:
+                return
+            self._m_checkpoints.inc()
+            self._m_slots_written.inc(len(batch))
+            tracer = _trace._ACTIVE
+            if tracer is not None:
+                tracer.event("pager_sync", path=self.path, slots=len(batch))
+            if self._wal is not None:
+                self._wal.begin()
+                for pid, image in batch:
+                    self._wal.append_page(pid, image)
+                self._wal.commit()
             for pid, image in batch:
-                self._wal.append_page(pid, image)
-            self._wal.commit()
-        for pid, image in batch:
-            self._apply_slot(pid, image)
-        fsync_file(self._file)
-        if self._wal is not None:
-            self._wal.mark_applied()
-        for pid, image in batch:
-            body_crc = zlib.crc32(image[:-PAGE_CHECKSUM_BYTES])
-            if pid == HEADER_SLOT:
-                self._header_crc = body_crc
-            else:
-                self._slot_crc[pid] = body_crc
-        self._blank.clear()
+                self._apply_slot(pid, image)
+            fsync_file(self._file)
+            if self._wal is not None:
+                self._wal.mark_applied()
+            for pid, image in batch:
+                body_crc = zlib.crc32(image[:-PAGE_CHECKSUM_BYTES])
+                if pid == HEADER_SLOT:
+                    self._header_crc = body_crc
+                else:
+                    self._slot_crc[pid] = body_crc
+            self._blank.clear()
 
     def verify(self) -> int:
         """Scrub walk: checkpoint, then re-read and checksum every live slot.
@@ -346,39 +363,41 @@ class FilePager:
         Returns the number of slots verified (header included); raises
         :class:`PageCorruptionError` at the first torn or bit-rotted slot.
         """
-        self.sync()
-        self._file.seek(0)
-        data = self._file.read(self.page_size)
-        if len(data) < self.page_size:
-            raise PageCorruptionError("header slot truncated on disk")
-        unseal_page(data, "header")
-        verified = 1
-        for pid in self.page_ids():
-            self._file.seek(self._offset(pid))
+        with self._lock:
+            self.sync()
+            self._file.seek(0)
             data = self._file.read(self.page_size)
             if len(data) < self.page_size:
-                raise PageCorruptionError(f"page {pid} truncated on disk")
-            unseal_page(data, pid)
-            verified += 1
-        return verified
+                raise PageCorruptionError("header slot truncated on disk")
+            unseal_page(data, "header")
+            verified = 1
+            for pid in self.page_ids():
+                self._file.seek(self._offset(pid))
+                data = self._file.read(self.page_size)
+                if len(data) < self.page_size:
+                    raise PageCorruptionError(f"page {pid} truncated on disk")
+                unseal_page(data, pid)
+                verified += 1
+            return verified
 
     # -- lifecycle -----------------------------------------------------------------------------
 
     def close(self, checkpoint: bool = True) -> None:
         """Checkpoint (unless told otherwise) and close the file; idempotent."""
-        if self._closed:
-            return
-        try:
-            if checkpoint:
-                self.sync()
-        finally:
-            self._closed = True
-            self._file.close()
-            if self._wal is not None:
-                self._wal.close()
-            self._cache.clear()
-            self._slot_crc.clear()
-            self._blank.clear()
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                if checkpoint:
+                    self.sync()
+            finally:
+                self._closed = True
+                self._file.close()
+                if self._wal is not None:
+                    self._wal.close()
+                self._cache.clear()
+                self._slot_crc.clear()
+                self._blank.clear()
 
     def __enter__(self) -> "FilePager":
         return self

@@ -6,13 +6,14 @@ from .datasets import (
     uniform_boxes,
     zipf_weighted_boxes,
 )
-from .queries import query_boxes, query_points
+from .queries import hot_query_boxes, query_boxes, query_points
 
 __all__ = [
     "uniform_boxes",
     "clustered_boxes",
     "zipf_weighted_boxes",
     "functional_objects",
+    "hot_query_boxes",
     "query_boxes",
     "query_points",
 ]

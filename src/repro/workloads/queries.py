@@ -43,6 +43,31 @@ def query_boxes(
     return queries
 
 
+def hot_query_boxes(
+    n: int,
+    qbs_fraction: float,
+    dims: int = 2,
+    span: float = 1.0,
+    pool_size: int = 16,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+) -> List[Box]:
+    """A serving-style stream: ``n`` draws from ``pool_size`` distinct boxes.
+
+    Popularity is Zipf-ranked (rank 1 hottest), modeling the dashboards /
+    canned-report traffic a query service actually sees: a small set of
+    distinct queries asked over and over.  Such repetition is what the
+    :mod:`repro.service` batch planner and result cache exploit — repeated
+    boxes share all ``2^d`` corner probes.
+    """
+    if pool_size < 1:
+        raise InvalidQueryError(f"pool_size must be >= 1, got {pool_size}")
+    pool = query_boxes(pool_size, qbs_fraction, dims=dims, span=span, seed=seed)
+    weights = [1.0 / rank**zipf_s for rank in range(1, pool_size + 1)]
+    rng = random.Random(seed + 0x5E41)
+    return rng.choices(pool, weights=weights, k=n)
+
+
 def query_points(
     n: int, dims: int = 2, span: float = 1.0, seed: int = 0
 ) -> List[Coords]:

@@ -22,6 +22,7 @@ class TestCli:
             "dims3",
             "table1",
             "ablation",
+            "service",
         }
 
     def test_run_reduction_experiment(self, capsys):

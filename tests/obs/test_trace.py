@@ -220,3 +220,60 @@ class TestSerialization:
         assert "bravo" in text
         assert "charlie" not in text
         assert "..." in text
+
+
+class TestThreadSafety:
+    def test_span_stacks_are_thread_local(self):
+        """Overlapping spans in different threads never nest into each other."""
+        import threading
+
+        tracer = Tracer()
+        first_open = threading.Event()
+        second_done = threading.Event()
+        errors = []
+
+        def holder():
+            try:
+                with tracer.span("holder"):
+                    first_open.set()
+                    assert second_done.wait(timeout=10.0)
+            except Exception as exc:
+                errors.append(exc)
+
+        def interloper():
+            try:
+                assert first_open.wait(timeout=10.0)
+                # opened while "holder" is still open in the other thread
+                with tracer.span("interloper"):
+                    pass
+            finally:
+                second_done.set()
+
+        threads = [threading.Thread(target=holder), threading.Thread(target=interloper)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors[0]
+        # both are roots: the interloper did not become a child of "holder"
+        assert sorted(s.name for s in tracer.spans) == ["holder", "interloper"]
+        assert all(not s.children for s in tracer.spans)
+
+    def test_concurrent_root_spans_all_recorded(self):
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait(timeout=10.0)
+            for _ in range(25):
+                with tracer.span("w"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert len(tracer.spans) == 8 * 25

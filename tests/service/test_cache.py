@@ -1,0 +1,108 @@
+"""Tests for the epoch-invalidated LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Box
+from repro.service.cache import EpochLRUCache, box_key, make_caches, probe_key
+
+
+class TestLRU:
+    def test_hit_returns_stored_value(self):
+        cache = EpochLRUCache(4)
+        cache.put("k", 0, 42.0)
+        assert cache.get("k", 0) == (True, 42.0)
+        assert cache.hits == 1
+
+    def test_absent_key_misses(self):
+        cache = EpochLRUCache(4)
+        assert cache.get("nope", 0) == (False, None)
+        assert cache.misses == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = EpochLRUCache(2)
+        cache.put("a", 0, 1.0)
+        cache.put("b", 0, 2.0)
+        cache.get("a", 0)          # refresh a; b is now LRU
+        cache.put("c", 0, 3.0)     # evicts b
+        assert cache.get("b", 0) == (False, None)
+        assert cache.get("a", 0) == (True, 1.0)
+        assert cache.get("c", 0) == (True, 3.0)
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key_without_eviction(self):
+        cache = EpochLRUCache(2)
+        cache.put("a", 0, 1.0)
+        cache.put("b", 0, 2.0)
+        cache.put("a", 0, 10.0)
+        assert len(cache) == 2
+        assert cache.get("a", 0) == (True, 10.0)
+        assert cache.evictions == 0
+
+    def test_capacity_zero_disables_cache(self):
+        cache = EpochLRUCache(0)
+        cache.put("a", 0, 1.0)
+        assert len(cache) == 0
+        assert cache.get("a", 0) == (False, None)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EpochLRUCache(-1)
+
+
+class TestEpochInvalidation:
+    def test_stale_entry_is_never_served(self):
+        cache = EpochLRUCache(4)
+        cache.put("k", 0, 1.0)
+        found, value = cache.get("k", 1)
+        assert (found, value) == (False, None)
+        assert cache.stale == 1
+        # the stale entry was dropped outright
+        assert len(cache) == 0
+
+    def test_fresh_epoch_value_replaces_stale(self):
+        cache = EpochLRUCache(4)
+        cache.put("k", 0, 1.0)
+        cache.get("k", 3)
+        cache.put("k", 3, 2.0)
+        assert cache.get("k", 3) == (True, 2.0)
+
+    def test_clear_drops_entries_but_keeps_counters(self):
+        cache = EpochLRUCache(4)
+        cache.put("k", 0, 1.0)
+        cache.get("k", 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestStats:
+    def test_stats_shape_and_hit_rate(self):
+        cache = EpochLRUCache(4)
+        cache.put("k", 0, 1.0)
+        cache.get("k", 0)
+        cache.get("absent", 0)
+        stats = cache.stats()
+        assert stats["hits"] == 1.0
+        assert stats["misses"] == 1.0
+        assert stats["entries"] == 1.0
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert EpochLRUCache(4).stats()["hit_rate"] == 0.0
+
+
+class TestKeys:
+    def test_box_key_canonical_across_spellings(self):
+        a = Box((0, 0), (1, 1))
+        b = Box([0.0, 0.0], [1.0, 1.0])
+        assert box_key(a) == box_key(b)
+
+    def test_probe_key_distinguishes_index_keys(self):
+        assert probe_key(((0, 1), (2.0, 3.0))) != probe_key(((1, 0), (2.0, 3.0)))
+
+    def test_make_caches_respects_capacities(self):
+        results, probes = make_caches(2, 0)
+        assert results.capacity == 2
+        assert probes.capacity == 0

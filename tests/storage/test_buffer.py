@@ -241,3 +241,45 @@ class TestPathBuffer:
         path.access(20)
         assert pool.counter.reads == 1   # 10 fell off the path
         assert pool.counter.hits == 1    # 20 is free
+
+
+class TestThreadSafeMode:
+    def test_make_thread_safe_is_idempotent(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.make_thread_safe()
+        lock = pool._lock
+        pool.make_thread_safe()
+        assert pool._lock is lock
+
+    def test_locked_pool_behaves_identically(self):
+        plain = BufferPool(capacity_pages=2)
+        locked = BufferPool(capacity_pages=2)
+        locked.make_thread_safe()
+        for pool in (plain, locked):
+            pool.access(1)
+            pool.access(2, write=True)
+            pool.access(3)  # evicts 1
+            pool.access(1)
+            pool.flush()
+        assert locked.counter.reads == plain.counter.reads
+        assert locked.counter.writes == plain.counter.writes
+        assert locked.counter.hits == plain.counter.hits
+
+    def test_concurrent_access_keeps_counters_consistent(self):
+        """Hits + misses must equal total accesses even under contention."""
+        import threading
+
+        pool = BufferPool(capacity_pages=8)
+        pool.make_thread_safe()
+        per_thread, threads_n = 400, 4
+
+        def work(tid):
+            for i in range(per_thread):
+                pool.access((tid * 7 + i) % 16)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert pool.counter.reads + pool.counter.hits == per_thread * threads_n

@@ -285,3 +285,47 @@ class TestDurableAggIndex:
     def test_unknown_value_kind(self, tmp_path):
         with pytest.raises(StorageError):
             DurableAggIndex.open(str(tmp_path / "x.pages"), value_kind="median")
+
+
+class TestConcurrentAccess:
+    def test_parallel_gets_and_syncs_are_serialized(self, tmp_path):
+        """The pager's internal lock keeps file offsets consistent under threads."""
+        import threading
+
+        path = str(tmp_path / "concurrent.pages")
+        pager = FilePager(path, page_size=512, codec=make_codec())
+        pids = []
+        for i in range(32):
+            pid = pager.allocate()
+            pager.put(pid, leaf(pid, keys=[float(i)], values=[float(i)]))
+            pids.append(pid)
+        pager.sync()
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(20):
+                    for pid in pids:
+                        node = pager.get(pid)
+                        assert node.values[0] == float(node.keys[0])
+            except Exception as exc:
+                errors.append(exc)
+
+        def syncer():
+            try:
+                for i in range(10):
+                    pid = pids[i % len(pids)]
+                    pager.put(pid, leaf(pid, keys=[float(i)], values=[float(i)]))
+                    pager.sync()
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=syncer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors, errors[0]
+        pager.verify()
+        pager.close()
