@@ -49,6 +49,7 @@ from .service import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from .shard import ShardedService, ShardMap, ShardRouter
 from .storage import CostModel, IOCounter, StorageContext
 
 __version__ = "1.0.0"
@@ -77,5 +78,8 @@ __all__ = [
     "BatchResult",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "ShardedService",
+    "ShardMap",
+    "ShardRouter",
     "__version__",
 ]

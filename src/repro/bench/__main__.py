@@ -29,6 +29,7 @@ from .figures import (
 )
 from .runmeta import run_metadata
 from .service import service_batch_experiment
+from .shard import shard_scaling_experiment
 from .smoke import (
     compare_to_baseline,
     dump_json,
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "table1": table1_complexity,
     "ablation": ablation_border_touch,
     "service": service_batch_experiment,
+    "shard": shard_scaling_experiment,
 }
 
 RESULTS_SCHEMA_VERSION = 1
@@ -64,6 +66,9 @@ def _run_smoke_command(args: argparse.Namespace) -> int:
     dedup = meta.get("service_dedup_ratio")
     if dedup:
         print(f"[service batch dedup ratio: {dedup:.2f}x probes shared]")
+    speedup = meta.get("shard_speedup_4x")
+    if speedup:
+        print(f"[shard speedup at 4 shards: {speedup:.2f}x critical-path reads]")
     if args.json:
         dump_json(payload, args.json)
         print(f"[wrote {args.json}]")

@@ -51,6 +51,7 @@ from .figures import (
 )
 from .runmeta import run_metadata
 from .service import service_smoke_metrics
+from .shard import shard_smoke_metrics
 
 #: Version of the BENCH_smoke.json payload format.
 SMOKE_SCHEMA_VERSION = 1
@@ -117,6 +118,7 @@ def _metrics_from_experiments(cfg: BenchConfig, verbose: bool) -> Dict[str, floa
         metrics[f"ablation.{name}.accesses_per_insert"] = float(accesses)
 
     metrics.update(service_smoke_metrics(cfg, verbose=verbose))
+    metrics.update(shard_smoke_metrics(cfg, verbose=verbose))
 
     return metrics
 
@@ -130,8 +132,10 @@ def run_smoke(
     metrics = _metrics_from_experiments(cfg, verbose=verbose)
     wall = time.time() - start
     overhead = metrics.get("service.cold.probe_overhead_pct", 0.0)
+    critical_pct = metrics.get("shard.s4.read_critical_pct", 0.0)
     extra = {
         "service_dedup_ratio": round(100.0 / overhead, 3) if overhead else None,
+        "shard_speedup_4x": round(100.0 / critical_pct, 2) if critical_pct else None,
     }
     return {
         "schema_version": SMOKE_SCHEMA_VERSION,

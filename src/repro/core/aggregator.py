@@ -34,7 +34,14 @@ from .errors import DimensionMismatchError, InvalidQueryError, NotSupportedError
 from .geometry import Box
 from .naive import NaiveDominanceSum
 from .polynomial import Polynomial
-from .reduction import CornerReduction, EO82Reduction, Probe, ProbeValues, format_key
+from .reduction import (
+    CornerReduction,
+    EO82Reduction,
+    Probe,
+    ProbeValues,
+    combine_probe_values,
+    format_key,
+)
 from .functional import FunctionalReduction
 from .values import SumCount, Value
 
@@ -294,6 +301,32 @@ class BoxSumIndex:
         """
         return self._object_index is None
 
+    @property
+    def zero(self) -> Value:
+        """The additive identity of this index's value domain.
+
+        ``0.0`` for scalar measures, a zero :class:`~repro.core.values.SumCount`
+        for ``measure="sum+count"`` — the seed a router uses when merging
+        probe values across disjoint shards.
+        """
+        return self._zero
+
+    @property
+    def probe_base(self) -> Value:
+        """The base value seeding probe reassembly (Lemma 1 vs Theorem 1).
+
+        The corner reduction starts inclusion–exclusion from ``zero``; EO82
+        starts from the grand total and subtracts avoidance terms.  Because
+        dominance sums — and the grand total — are additive over disjoint
+        object partitions, a sharded deployment reassembles the exact answer
+        from ``sum(shard.probe_base)`` plus the per-probe sums.
+        """
+        if self._object_index is not None:
+            raise NotSupportedError("object backends do not expose a probe base")
+        if isinstance(self._reduction, CornerReduction):
+            return self._zero
+        return self._total
+
     def probe_plan(self, query: Box) -> List[Probe]:
         """The query's constituent dominance-sum probes, in evaluation order.
 
@@ -326,10 +359,7 @@ class BoxSumIndex:
         """
         if self._object_index is not None:
             raise NotSupportedError("object backends do not expose probes")
-        if isinstance(self._reduction, CornerReduction):
-            result = self._reduction.combine(plan, values, zero=self._zero)
-        else:
-            result = self._reduction.combine(plan, values, self._total, zero=self._zero)
+        result = combine_probe_values(plan, values, self.probe_base, self._zero)
         if isinstance(result, SumCount):
             return result.total
         return float(result)

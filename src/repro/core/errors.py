@@ -84,9 +84,43 @@ class ServiceOverloadedError(ServiceError):
 
     Raised instead of queueing when ``max_inflight`` requests are executing
     and ``max_queue`` more are already waiting; callers should retry with
-    backoff or shed the request.
+    backoff or shed the request.  The saturation snapshot travels on the
+    exception — :attr:`inflight` and :attr:`queue_depth` at rejection time,
+    plus the optional :attr:`shard` id when a sharded cluster is reporting
+    which of its members shed the load — so cluster-level backpressure can
+    be attributed without parsing the message.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        inflight: "int | None" = None,
+        queue_depth: "int | None" = None,
+        shard: "int | None" = None,
+    ) -> None:
+        details = []
+        if inflight is not None:
+            details.append(f"inflight={inflight}")
+        if queue_depth is not None:
+            details.append(f"queue_depth={queue_depth}")
+        if shard is not None:
+            details.append(f"shard={shard}")
+        if details:
+            message = f"{message} [{', '.join(details)}]"
+        super().__init__(message)
+        self.inflight = inflight
+        self.queue_depth = queue_depth
+        self.shard = shard
 
 
 class ServiceClosedError(ServiceError):
     """A request was issued against a service that has been closed."""
+
+
+class ShardError(ReproError):
+    """Base class for failures in the horizontal sharding layer."""
+
+
+class ShardMapError(ShardError):
+    """A shard map was malformed, unfit, or routed to an unknown shard."""

@@ -70,7 +70,15 @@ def combine_probe_values(
     exactly as the reductions' own ``box_sum`` methods do — so the result is
     bit-identical to a direct evaluation.  ``base`` seeds the positive side
     (``zero`` for the corner reduction, the grand total for EO82).
+
+    An empty plan (zero probes — e.g. a sharded router scattering a batch
+    where every probe was pruned away, or a degenerate caller) is the
+    additive identity of the reduction: ``base`` is returned unchanged,
+    never an exception.  For the corner reduction that is ``zero`` itself;
+    for EO82 it is the grand total (no avoidance terms to subtract).
     """
+    if not plan:
+        return base
     positive = base
     negative = zero
     for probe in plan:

@@ -27,6 +27,7 @@ from .kdb.kdbtree import KdbTree
 from .obs import Tracer, render_dict
 from .rtree.rstar import RStarTree
 from .service import QueryService
+from .shard import ShardedService
 
 _INDENT = "  "
 
@@ -53,6 +54,8 @@ def dump(structure: object, max_depth: int = 12) -> str:
         return structure.render()
     if isinstance(structure, QueryService):
         return dump_service(structure)
+    if isinstance(structure, ShardedService):
+        return dump_cluster(structure)
     if isinstance(structure, Tracer):
         return structure.render(max_depth=max_depth)
     if isinstance(structure, dict) and "spans" in structure:
@@ -215,6 +218,32 @@ def dump_service(service: QueryService) -> str:
             f"stale={int(stats[f'{cache}.stale'])} "
             f"hit_rate={stats[f'{cache}.hit_rate']:.2f}"
         )
+    return "\n".join(lines)
+
+
+# -- sharded cluster -----------------------------------------------------------------------
+
+def dump_cluster(cluster: ShardedService) -> str:
+    """Cluster outline: balance, map, traffic, then each shard's service."""
+    stats = cluster.stats()
+    state = "closed" if cluster.closed else "open"
+    objects = stats["objects"]
+    lines = [
+        f"ShardedService(label={cluster.label}, {state}, shards={stats['shards']}, "
+        f"partitioner={stats['partitioner']})",
+        f"{_INDENT}balance objects={stats['objects_total']} per_shard={objects} "
+        f"imbalance={stats['imbalance']:.2f}",
+        f"{_INDENT}traffic queries={int(stats['queries'])} "
+        f"batches={int(stats['batches'])} mutations={int(stats['mutations'])} "
+        f"rejected={int(stats['rejected'])}",
+        f"{_INDENT}rebalancing rounds={int(stats['rebalances'])} "
+        f"migrated={int(stats['migrated'])}",
+    ]
+    for sid, (service, extent) in enumerate(zip(cluster.services, cluster.extents())):
+        extent_s = _fmt_box(extent) if extent is not None else "empty"
+        lines.append(f"{_INDENT}shard {sid} extent={extent_s}")
+        for line in dump_service(service).splitlines():
+            lines.append(f"{_INDENT}{_INDENT}{line}")
     return "\n".join(lines)
 
 

@@ -30,16 +30,18 @@ Quickstart::
 
 from ..core.errors import ServiceClosedError, ServiceError, ServiceOverloadedError
 from .cache import EpochLRUCache
-from .locks import RWLock
+from .locks import AdmissionGate, RWLock
 from .planner import BatchExecution, BatchPlan, BatchPlanner
-from .service import BatchResult, QueryService
+from .service import BatchResult, ProbeSnapshot, QueryService
 
 __all__ = [
+    "AdmissionGate",
     "BatchExecution",
     "BatchPlan",
     "BatchPlanner",
     "BatchResult",
     "EpochLRUCache",
+    "ProbeSnapshot",
     "QueryService",
     "RWLock",
     "ServiceClosedError",

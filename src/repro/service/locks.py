@@ -1,4 +1,4 @@
-"""A readers–writer lock for the query service.
+"""Concurrency primitives for the serving layers: RW lock and admission gate.
 
 Queries only read index state (the dominance trees are traversed without
 structural mutation), so any number of them may run concurrently; updates
@@ -9,13 +9,24 @@ readers queue behind it, so a steady read stream cannot starve updates.
 The GIL alone is *not* enough here — a ``box_sum`` is thousands of bytecode
 instructions and the interpreter preempts between any two of them, so
 without exclusion a reader could observe a half-applied page split.
+
+:class:`AdmissionGate` factors the bounded-concurrency admission discipline
+out of :class:`~repro.service.service.QueryService` so the sharded cluster
+(:mod:`repro.shard.cluster`) applies the identical policy one level up: at
+most ``max_inflight`` requests execute, up to ``max_queue`` wait FIFO-by-
+wakeup, anything beyond is shed immediately with a
+:class:`~repro.core.errors.ServiceOverloadedError` that carries the
+saturation snapshot (``inflight``/``queue_depth``).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
+
+from ..core.errors import ServiceClosedError, ServiceOverloadedError
 
 
 class RWLock:
@@ -79,3 +90,103 @@ class RWLock:
             yield
         finally:
             self.release_write()
+
+
+class AdmissionGate:
+    """Bounded-concurrency admission: execute, queue, or shed.
+
+    ``admit()`` returns the seconds spent waiting for a slot; every
+    successful ``admit()`` must be paired with a ``release()``.  When
+    ``max_inflight`` slots are taken and ``max_queue`` callers already wait,
+    rejection is immediate — the raised
+    :class:`~repro.core.errors.ServiceOverloadedError` carries the
+    ``inflight``/``queue_depth`` snapshot observed at rejection.  ``scope``
+    names the gate in messages (``"service"``, ``"cluster"``) so stacked
+    gates stay distinguishable.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        queue_timeout: Optional[float] = None,
+        scope: str = "service",
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self.scope = scope
+        self._cond = threading.Condition(threading.Lock())
+        self._inflight = 0
+        self._waiting = 0
+        self._closed = False
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a slot."""
+        return self._waiting
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def admit(self) -> float:
+        """Take an execution slot (waiting if allowed); returns the wait time."""
+        start = time.perf_counter()
+        deadline = None if self.queue_timeout is None else start + self.queue_timeout
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError(f"{self.scope} is closed")
+            if self._inflight >= self.max_inflight:
+                if self._waiting >= self.max_queue:
+                    raise ServiceOverloadedError(
+                        f"{self.scope} overloaded "
+                        f"(max_inflight={self.max_inflight}, max_queue={self.max_queue})",
+                        inflight=self._inflight,
+                        queue_depth=self._waiting,
+                    )
+                self._waiting += 1
+                try:
+                    while self._inflight >= self.max_inflight and not self._closed:
+                        timeout = None
+                        if deadline is not None:
+                            timeout = deadline - time.perf_counter()
+                            if timeout <= 0:
+                                raise ServiceOverloadedError(
+                                    f"{self.scope}: no execution slot within "
+                                    f"{self.queue_timeout}s",
+                                    inflight=self._inflight,
+                                    queue_depth=self._waiting - 1,
+                                )
+                        self._cond.wait(timeout=timeout)
+                finally:
+                    self._waiting -= 1
+                if self._closed:
+                    raise ServiceClosedError(f"{self.scope} is closed")
+            self._inflight += 1
+        return time.perf_counter() - start
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify()
+
+    def close(self) -> bool:
+        """Reject new admissions and wake every queued waiter.
+
+        Idempotent; returns True on the first close, False afterwards.
+        """
+        with self._cond:
+            already = self._closed
+            self._closed = True
+            self._cond.notify_all()
+        return not already

@@ -28,16 +28,15 @@ per-query instance state), with result caching still applied.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
-from ..core.errors import ServiceClosedError, ServiceOverloadedError
+from ..core.errors import NotSupportedError, ServiceClosedError, ServiceOverloadedError
 from ..core.geometry import Box
 from ..obs import trace as _trace
 from ..obs.registry import MetricsRegistry, get_registry
 from .cache import EpochLRUCache, box_key, probe_key
-from .locks import RWLock
-from .planner import BatchPlanner
+from .locks import AdmissionGate, RWLock
+from .planner import BatchPlanner, ProbeIdentity
 
 #: Batch-size histogram buckets (queries per request).
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
@@ -69,6 +68,25 @@ class BatchResult(NamedTuple):
         if not self.probes_unique:
             return 1.0
         return self.probes_planned / self.probes_unique
+
+
+class ProbeSnapshot(NamedTuple):
+    """One shard's probe values plus everything a router needs, atomically.
+
+    All fields are read under a single read-lock acquisition, so ``values``,
+    ``base`` (the reduction's seed: zero for corner, grand total for EO82),
+    ``total`` (the index grand total — the value of any probe that strictly
+    dominates the shard's whole extent) and ``epoch`` describe one
+    consistent index state: a scatter-gather merge built from them can never
+    mix a shard's pre- and post-mutation views.
+    """
+
+    values: List[object]
+    base: object
+    total: object
+    epoch: int
+    probes_executed: int
+    probe_cache_hits: int
 
 
 class QueryService:
@@ -122,10 +140,9 @@ class QueryService:
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.queue_timeout = queue_timeout
-        self._admission = threading.Condition(threading.Lock())
-        self._inflight = 0
-        self._waiting = 0
-        self._closed = False
+        self._gate = AdmissionGate(
+            max_inflight, max_queue, queue_timeout, scope=f"service[{self.label}]"
+        )
         self._epoch = 0
         self._stats_lock = threading.Lock()
         self._counts: Dict[str, float] = {
@@ -189,42 +206,16 @@ class QueryService:
 
     def _admit(self) -> float:
         """Take an execution slot (waiting if allowed); returns the wait time."""
-        start = time.perf_counter()
-        deadline = None if self.queue_timeout is None else start + self.queue_timeout
-        with self._admission:
-            if self._closed:
-                raise ServiceClosedError("service is closed")
-            if self._inflight >= self.max_inflight:
-                if self._waiting >= self.max_queue:
-                    with self._stats_lock:
-                        self._counts["rejected"] += 1
-                        self._m_rejected.inc(label=self.label)
-                    raise ServiceOverloadedError(
-                        f"{self._inflight} inflight and {self._waiting} queued "
-                        f"(max_inflight={self.max_inflight}, max_queue={self.max_queue})"
-                    )
-                self._waiting += 1
-                try:
-                    while self._inflight >= self.max_inflight and not self._closed:
-                        timeout = None
-                        if deadline is not None:
-                            timeout = deadline - time.perf_counter()
-                            if timeout <= 0:
-                                raise ServiceOverloadedError(
-                                    f"no execution slot within {self.queue_timeout}s"
-                                )
-                        self._admission.wait(timeout=timeout)
-                finally:
-                    self._waiting -= 1
-                if self._closed:
-                    raise ServiceClosedError("service is closed")
-            self._inflight += 1
-        return time.perf_counter() - start
+        try:
+            return self._gate.admit()
+        except ServiceOverloadedError:
+            with self._stats_lock:
+                self._counts["rejected"] += 1
+                self._m_rejected.inc(label=self.label)
+            raise
 
     def _release(self) -> None:
-        with self._admission:
-            self._inflight -= 1
-            self._admission.notify()
+        self._gate.release()
 
     # -- queries ---------------------------------------------------------------
 
@@ -350,6 +341,61 @@ class QueryService:
             queue_wait_s=wait_s,
         )
 
+    # -- shard router seam -------------------------------------------------------
+
+    def resolve_probe_values(self, identities: Sequence[ProbeIdentity]) -> ProbeSnapshot:
+        """Resolve raw probe values for a router, atomically with base/total/epoch.
+
+        This is the scatter half of sharded scatter-gather
+        (:mod:`repro.shard.router`): the router deduplicates probe identities
+        across queries and shards, each shard resolves its values here, and
+        the gather side merges them by addition.  Everything in the returned
+        :class:`ProbeSnapshot` is read under one read-lock acquisition, so the
+        merge never mixes pre- and post-mutation views of this shard.  Probe
+        values are cached in (and served from) the epoch-invalidated probe
+        cache exactly like locally planned batches.
+        """
+        if not self._supports_probes:
+            raise NotSupportedError(
+                f"backend {self.label!r} exposes no probe seam; "
+                "use box_sum_batch for monolithic evaluation"
+            )
+        executed = 0
+        hits = 0
+        values: List[object] = []
+        self._admit()
+        try:
+            with self._rwlock.read():
+                epoch = self._epoch
+                for identity in identities:
+                    found, value = self._probes.get(probe_key(identity), epoch)
+                    if not found:
+                        value = self.index.probe_value(identity[0], identity[1])
+                        self._probes.put(probe_key(identity), epoch, value)
+                        executed += 1
+                    else:
+                        hits += 1
+                    values.append(value)
+                base = self.index.probe_base
+                total = self.index.total()
+        finally:
+            self._release()
+        with self._stats_lock:
+            self._counts["probes_executed"] += executed
+            self._counts["probe_cache_hits"] += hits
+            if executed:
+                self._m_probes.inc(executed, stage="executed", label=self.label)
+            if hits:
+                self._m_cache.inc(hits, cache="probe", outcome="hit", label=self.label)
+        return ProbeSnapshot(
+            values=values,
+            base=base,
+            total=total,
+            epoch=epoch,
+            probes_executed=executed,
+            probe_cache_hits=hits,
+        )
+
     # -- mutations -------------------------------------------------------------
 
     def insert(self, box: Box, value: float = 1.0) -> int:
@@ -371,7 +417,7 @@ class QueryService:
         backend's ``set_meta`` — so cached results can never outlive them.
         """
         with self._rwlock.write():
-            if self._closed:
+            if self._gate.closed:
                 raise ServiceClosedError("service is closed")
             fn()
             self._epoch += 1
@@ -394,7 +440,7 @@ class QueryService:
         with self._stats_lock:
             out = dict(self._counts)
         out["epoch"] = float(self._epoch)
-        out["inflight"] = float(self._inflight)
+        out["inflight"] = float(self._gate.inflight)
         out["dedup_ratio"] = (
             out["probes_planned"] / out["probes_unique"] if out["probes_unique"] else 1.0
         )
@@ -407,11 +453,8 @@ class QueryService:
 
     def close(self) -> None:
         """Reject new work, wake queued waiters, release the worker pool."""
-        with self._admission:
-            if self._closed:
-                return
-            self._closed = True
-            self._admission.notify_all()
+        if not self._gate.close():
+            return
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         self._results.clear()
@@ -419,7 +462,7 @@ class QueryService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        return self._gate.closed
 
     def __enter__(self) -> "QueryService":
         return self
@@ -428,4 +471,10 @@ class QueryService:
         self.close()
 
 
-__all__ = ["QueryService", "BatchResult", "ServiceOverloadedError", "ServiceClosedError"]
+__all__ = [
+    "QueryService",
+    "BatchResult",
+    "ProbeSnapshot",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+]

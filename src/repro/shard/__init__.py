@@ -1,0 +1,57 @@
+"""Horizontal sharding: exact box-sum serving over partitioned objects.
+
+Dominance sums are additive over any disjoint partition of the object set,
+so a box-sum evaluated shard-by-shard and merged by addition is *exactly*
+the unsharded answer — no approximation, no double counting (Lemma 1's
+probes are pure sums over the stored corners).  This package exploits that:
+
+* :mod:`repro.shard.partition` — pluggable partitioners (round-robin,
+  hash, recursive kd-median space partitioning) behind a serializable
+  :class:`ShardMap`;
+* :mod:`repro.shard.router` — :class:`ShardRouter`, the scatter-gather
+  evaluator: batch-wide probe dedup, per-shard extent shortcuts (prune /
+  cover without I/O), torn-view-free per-shard snapshots, additive merge;
+* :mod:`repro.shard.cluster` — :class:`ShardedService`, the operational
+  wrapper: per-shard :class:`~repro.service.QueryService` instances,
+  cluster-wide admission control, ledger-routed deletes, online
+  rebalancing under an exclusive cluster lock.
+
+Quickstart::
+
+    from repro import Box
+    from repro.shard import ShardedService
+
+    cluster = ShardedService(dims=2, num_shards=4, partitioner="kd")
+    cluster.bulk_load([(Box((0, 0), (1, 1)), 2.0), ...])
+    cluster.box_sum(Box((0, 0), (10, 10)))   # == the unsharded answer
+    cluster.rebalance()                      # split the hottest shard
+"""
+
+from ..core.errors import ShardError, ShardMapError
+from .cluster import RebalanceReport, ShardedService
+from .partition import (
+    PARTITIONERS,
+    HashPartitioner,
+    KdMedianPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    ShardMap,
+    make_shard_map,
+)
+from .router import ClusterBatchResult, ShardRouter
+
+__all__ = [
+    "ClusterBatchResult",
+    "HashPartitioner",
+    "KdMedianPartitioner",
+    "PARTITIONERS",
+    "Partitioner",
+    "RebalanceReport",
+    "RoundRobinPartitioner",
+    "ShardError",
+    "ShardMap",
+    "ShardMapError",
+    "ShardRouter",
+    "ShardedService",
+    "make_shard_map",
+]

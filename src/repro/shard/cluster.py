@@ -1,0 +1,537 @@
+"""``ShardedService``: N shard-local query services behind one exact facade.
+
+Each shard owns a full :class:`~repro.core.aggregator.BoxSumIndex` (its own
+epoch caches, readers–writer lock and, optionally, storage context) wrapped
+in a :class:`~repro.service.service.QueryService`; the cluster adds:
+
+* **routing** — inserts go where the :class:`~repro.shard.partition.ShardMap`
+  assigns them; deletes follow the *ledger* (the cluster's authoritative
+  per-object ownership record), falling back to the map for objects it has
+  never seen (still exact: a dominance negation cancels additively no
+  matter which shard absorbs it);
+* **cluster-wide admission** — an :class:`~repro.service.locks.AdmissionGate`
+  in front of the scatter path, stacked above the per-shard gates, so
+  overload is shed before it fans out;
+* **exact scatter-gather queries** — via :class:`~repro.shard.router.ShardRouter`
+  with per-shard grow-only extent MBRs enabling probe pruning/covering;
+* **online rebalancing** — under the cluster write lock (queries drain
+  first, none can start), the hottest shard either has its kd region split
+  (map-aware) or sheds objects to the coldest shard through the ledger
+  (map-agnostic); either way no query ever observes a torn half-migrated
+  view.
+
+Locking order is strictly ``cluster lock → metadata mutex → shard locks``;
+queries and single-object mutations take the cluster lock *shared* (each
+shard serializes its own mutations), only rebalancing takes it exclusive.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core.aggregator import BoxSumIndex
+from ..core.errors import ServiceClosedError, ServiceOverloadedError
+from ..core.geometry import Box
+from ..obs import trace as _trace
+from ..obs.registry import MetricsRegistry, get_registry
+from ..service.locks import AdmissionGate, RWLock
+from ..service.service import QUEUE_WAIT_BUCKETS, QueryService
+from .partition import ShardMap, make_shard_map
+from .router import ClusterBatchResult, ShardRouter
+
+#: One ledger entry: an exact object key → per-shard instance counts.
+_LedgerKey = Tuple[Tuple[float, ...], Tuple[float, ...], float]
+
+
+class RebalanceReport(NamedTuple):
+    """Outcome of one :meth:`ShardedService.rebalance` invocation."""
+
+    source: int
+    target: int
+    moved: int
+    #: ``"split"`` (the shard map refined its regions), ``"ledger"`` (generic
+    #: migration without touching the map), or ``"noop"``.
+    strategy: str
+    objects: Tuple[int, ...]
+
+    @property
+    def imbalance(self) -> float:
+        """Post-rebalance max/mean object-count ratio (1.0 = perfect)."""
+        return _imbalance(self.objects)
+
+
+def _imbalance(counts: Sequence[int]) -> float:
+    clamped = [max(0, c) for c in counts]
+    total = sum(clamped)
+    if not clamped or total == 0:
+        return 1.0
+    return max(clamped) / (total / len(clamped))
+
+
+class ShardedService:
+    """Exact box-sum serving over horizontally partitioned objects.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality of every shard index.
+    num_shards:
+        Number of shard-local indices (>= 1).
+    backend / reduction / measure / index_kwargs:
+        Forwarded to each shard's :class:`~repro.core.aggregator.BoxSumIndex`
+        (ignored when ``index_factory`` is given).
+    index_factory:
+        ``shard_id -> index`` override for heterogeneous or durable shards
+        (e.g. each shard on its own :class:`~repro.storage.StorageContext`).
+    partitioner:
+        A registry name (``"kd"``, ``"hash"``, ``"roundrobin"``), a
+        :class:`~repro.shard.partition.Partitioner`, or a restored
+        :class:`~repro.shard.partition.ShardMap`.
+    max_inflight / max_queue / queue_timeout:
+        The *cluster* admission gate.  Per-shard services default to the
+        same budget (the cluster gate is then the binding constraint); tune
+        individual shards via ``shard_kwargs``.
+    workers:
+        Scatter fan-out pool size; None sizes it to ``min(num_shards, 8)``,
+        0 keeps the fan-out sequential (deterministic, still exact).
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        num_shards: int,
+        *,
+        backend: str = "ba",
+        reduction: str = "corner",
+        measure: str = "sum",
+        partitioner="kd",
+        index_factory=None,
+        index_kwargs: Optional[Dict[str, object]] = None,
+        shard_kwargs: Optional[Dict[str, object]] = None,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        queue_timeout: Optional[float] = None,
+        workers: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        label: str = "cluster",
+    ) -> None:
+        self.dims = dims
+        self.label = label
+        self._map = make_shard_map(partitioner, num_shards)
+        registry = registry if registry is not None else get_registry()
+        index_kwargs = dict(index_kwargs or {})
+        shard_kwargs = dict(shard_kwargs or {})
+        shard_kwargs.setdefault("max_inflight", max_inflight)
+        shard_kwargs.setdefault("max_queue", max_queue)
+        self._shards: List[QueryService] = []
+        for sid in range(num_shards):
+            if index_factory is not None:
+                index = index_factory(sid)
+            else:
+                index = BoxSumIndex(
+                    dims,
+                    backend=backend,
+                    reduction=reduction,
+                    measure=measure,
+                    **index_kwargs,
+                )
+            self._shards.append(
+                QueryService(
+                    index,
+                    registry=registry,
+                    label=f"{label}/s{sid}",
+                    **shard_kwargs,
+                )
+            )
+        self._executor = None
+        if workers is None:
+            workers = min(num_shards, 8) if num_shards > 1 else 0
+        if workers > 0:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+        self._router = ShardRouter(
+            self._shards, executor=self._executor, registry=registry, label=label
+        )
+        self._gate = AdmissionGate(
+            max_inflight, max_queue, queue_timeout, scope=f"cluster[{label}]"
+        )
+        self._cluster_lock = RWLock()
+        self._meta = threading.Lock()
+        self._ledger: Dict[_LedgerKey, Dict[int, int]] = {}
+        self._extents: List[Optional[Box]] = [None] * num_shards
+        self._object_counts: List[int] = [0] * num_shards
+        self._stats_lock = threading.Lock()
+        self._counts: Dict[str, float] = {
+            "queries": 0.0,
+            "batches": 0.0,
+            "rejected": 0.0,
+            "mutations": 0.0,
+            "rebalances": 0.0,
+            "migrated": 0.0,
+        }
+        self._m_objects = registry.gauge(
+            "repro_shard_objects", "objects currently owned, per shard"
+        )
+        self._m_imbalance = registry.gauge(
+            "repro_shard_imbalance", "max/mean per-shard object-count ratio"
+        )
+        self._m_queries = registry.counter(
+            "repro_shard_queries", "box-sum queries answered by the cluster"
+        )
+        self._m_rejected = registry.counter(
+            "repro_shard_rejected", "batches shed by the cluster admission gate"
+        )
+        self._m_mutations = registry.counter(
+            "repro_shard_mutations", "mutations routed to shards, by op"
+        )
+        self._m_rebalances = registry.counter(
+            "repro_shard_rebalances", "rebalance rounds, by strategy"
+        )
+        self._m_migrated = registry.counter(
+            "repro_shard_migrated", "objects moved between shards by rebalancing"
+        )
+        self._m_queue_wait = registry.histogram(
+            "repro_shard_queue_wait_seconds",
+            "seconds batches waited at the cluster gate",
+            buckets=QUEUE_WAIT_BUCKETS,
+        )
+        self._publish_balance()
+
+    # -- introspection accessors ---------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def num_objects(self) -> int:
+        """Objects currently owned across every shard (ledger count)."""
+        with self._meta:
+            return sum(self._object_counts)
+
+    @property
+    def shard_map(self) -> ShardMap:
+        return self._map
+
+    @property
+    def services(self) -> Tuple[QueryService, ...]:
+        """The shard-local services, in shard-id order (read-only use)."""
+        return tuple(self._shards)
+
+    @property
+    def imbalance(self) -> float:
+        """Current max/mean object-count ratio (1.0 = perfectly balanced)."""
+        with self._meta:
+            return _imbalance(self._object_counts)
+
+    def object_counts(self) -> List[int]:
+        """Per-shard object counts, in shard-id order."""
+        with self._meta:
+            return list(self._object_counts)
+
+    def extents(self) -> List[Optional[Box]]:
+        """Per-shard grow-only extent MBRs (None = shard never touched)."""
+        with self._meta:
+            return list(self._extents)
+
+    def epochs(self) -> List[int]:
+        """Per-shard service epochs, in shard-id order."""
+        return [service.epoch for service in self._shards]
+
+    # -- queries -------------------------------------------------------------------
+
+    def box_sum(self, query: Box) -> float:
+        """One exact cluster-wide box-sum."""
+        return self.batch([query]).results[0]
+
+    def box_sum_batch(self, queries: Sequence[Box]) -> List[float]:
+        """Exact answers for a batch, in request order."""
+        return self.batch(queries).results
+
+    def batch(self, queries: Sequence[Box]) -> ClusterBatchResult:
+        """Scatter a batch across the shards and gather the exact merge."""
+        queries = list(queries)
+        wait_s = self._admit()
+        try:
+            with self._cluster_lock.read():
+                extents = self.extents()
+                result = self._router.scatter(queries, extents)
+        finally:
+            self._gate.release()
+        with self._stats_lock:
+            self._counts["batches"] += 1
+            self._counts["queries"] += len(queries)
+            self._m_queries.inc(len(queries), label=self.label)
+            self._m_queue_wait.observe(wait_s, label=self.label)
+        return result
+
+    def _admit(self) -> float:
+        try:
+            return self._gate.admit()
+        except ServiceOverloadedError:
+            with self._stats_lock:
+                self._counts["rejected"] += 1
+                self._m_rejected.inc(label=self.label)
+            raise
+
+    # -- mutations -----------------------------------------------------------------
+
+    def insert(self, box: Box, value: float = 1.0) -> int:
+        """Insert one object on its assigned shard; returns the shard id."""
+        with self._cluster_lock.read():
+            self._check_open()
+            key = self._ledger_key(box, value)
+            with self._meta:
+                sid = self._map.assign(box)
+                # Extent grows *before* the shard mutation lands so a
+                # concurrent scatter can only overcover (safe), never
+                # undercover (which would wrongly prune a live object).
+                self._grow_extent(sid, box)
+                owners = self._ledger.setdefault(key, {})
+                owners[sid] = owners.get(sid, 0) + 1
+                self._object_counts[sid] += 1
+            self._shards[sid].insert(box, value)
+        self._note_mutation("insert", sid)
+        return sid
+
+    def delete(self, box: Box, value: float = 1.0) -> int:
+        """Delete one object from its owning shard; returns the shard id.
+
+        Ownership comes from the ledger; an object the cluster never saw is
+        routed by the map and still cancels exactly (the negation is
+        additive wherever it lands), at the cost of a transiently negative
+        count on that shard.
+        """
+        with self._cluster_lock.read():
+            self._check_open()
+            key = self._ledger_key(box, value)
+            with self._meta:
+                owners = self._ledger.get(key)
+                if owners:
+                    sid = min(owners)
+                    owners[sid] -= 1
+                    if owners[sid] == 0:
+                        del owners[sid]
+                    if not owners:
+                        del self._ledger[key]
+                else:
+                    sid = self._map.assign(box)
+                # The negation corners land on this shard, so its extent
+                # must cover them too.
+                self._grow_extent(sid, box)
+                self._object_counts[sid] -= 1
+            self._shards[sid].delete(box, value)
+        self._note_mutation("delete", sid)
+        return sid
+
+    def bulk_load(
+        self, objects: Iterable[Tuple[Box, float]], *, fit: bool = True
+    ) -> List[int]:
+        """Partition and load a fresh object set; returns per-shard counts.
+
+        ``fit=True`` first adapts the partitioner to the data (the kd
+        partitioner builds its median tree here; hash/round-robin ignore
+        it).  Runs under the cluster write lock: no query can observe a
+        partially loaded cluster.
+        """
+        pairs = [(box, float(value)) for box, value in objects]
+        with self._cluster_lock.write():
+            self._check_open()
+            with self._meta:
+                if fit:
+                    self._map.fit([box for box, _ in pairs])
+                per_shard: List[List[Tuple[Box, float]]] = [
+                    [] for _ in self._shards
+                ]
+                self._ledger.clear()
+                self._extents = [None] * self.num_shards
+                for box, value in pairs:
+                    sid = self._map.assign(box)
+                    per_shard[sid].append((box, value))
+                    self._grow_extent(sid, box)
+                    owners = self._ledger.setdefault(
+                        self._ledger_key(box, value), {}
+                    )
+                    owners[sid] = owners.get(sid, 0) + 1
+                self._object_counts = [len(chunk) for chunk in per_shard]
+            for sid, service in enumerate(self._shards):
+                service.bulk_load(per_shard[sid])
+        self._note_mutation("bulk_load", None)
+        return [len(chunk) for chunk in per_shard]
+
+    # -- rebalancing ---------------------------------------------------------------
+
+    def rebalance(self) -> RebalanceReport:
+        """Move load from the hottest shard to the coldest, atomically.
+
+        Under the cluster write lock (queries drain, none can start): pick
+        the shards with the most and fewest owned objects; ask the map to
+        split the hot region (kd succeeds, hash/round-robin decline); then
+        migrate — map-directed objects after a split, or the first half of
+        the count difference in deterministic ledger order otherwise.  Each
+        migration is a delete on the source plus an insert on the target,
+        so every shard's index stays internally exact throughout.
+        """
+        with self._cluster_lock.write():
+            self._check_open()
+            counts = [max(0, c) for c in self._object_counts]
+            hot = max(range(len(counts)), key=counts.__getitem__)
+            cold = min(range(len(counts)), key=counts.__getitem__)
+            if hot == cold or counts[hot] - counts[cold] <= 1:
+                report = RebalanceReport(
+                    hot, cold, 0, "noop", tuple(self._object_counts)
+                )
+            else:
+                hot_entries = [
+                    (key, owners[hot])
+                    for key, owners in self._ledger.items()
+                    if owners.get(hot, 0) > 0
+                ]
+                centers = [
+                    Box(key[0], key[1]).center()
+                    for key, count in hot_entries
+                    for _ in range(count)
+                ]
+                if self._map.rebalance(hot, cold, centers):
+                    to_move = [
+                        (key, count)
+                        for key, count in hot_entries
+                        if self._map.assign(Box(key[0], key[1])) == cold
+                    ]
+                    strategy = "split"
+                else:
+                    deficit = (counts[hot] - counts[cold]) // 2
+                    to_move = []
+                    taken = 0
+                    for key, count in hot_entries:
+                        if taken >= deficit:
+                            break
+                        take = min(count, deficit - taken)
+                        to_move.append((key, take))
+                        taken += take
+                    strategy = "ledger"
+                moved = self._migrate(hot, cold, to_move)
+                report = RebalanceReport(
+                    hot, cold, moved, strategy, tuple(self._object_counts)
+                )
+        with self._stats_lock:
+            self._counts["rebalances"] += 1
+            self._counts["migrated"] += report.moved
+            self._m_rebalances.inc(strategy=report.strategy, label=self.label)
+            if report.moved:
+                self._m_migrated.inc(report.moved, label=self.label)
+        self._publish_balance()
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "shard_rebalance",
+                source=report.source,
+                target=report.target,
+                moved=report.moved,
+                strategy=report.strategy,
+            )
+        return report
+
+    def _migrate(
+        self, source: int, target: int, entries: List[Tuple[_LedgerKey, int]]
+    ) -> int:
+        """Move ``count`` instances of each keyed object between shards.
+
+        Caller holds the cluster write lock, so the ledger, extents and both
+        shard indices change with no reader in flight.
+        """
+        moved = 0
+        for key, count in entries:
+            box = Box(key[0], key[1])
+            value = key[2]
+            for _ in range(count):
+                self._grow_extent(source, box)
+                self._grow_extent(target, box)
+                self._shards[source].delete(box, value)
+                self._shards[target].insert(box, value)
+            owners = self._ledger[key]
+            owners[source] -= count
+            if owners[source] == 0:
+                del owners[source]
+            owners[target] = owners.get(target, 0) + count
+            self._object_counts[source] -= count
+            self._object_counts[target] += count
+            moved += count
+        return moved
+
+    # -- internals -----------------------------------------------------------------
+
+    @staticmethod
+    def _ledger_key(box: Box, value: float) -> _LedgerKey:
+        return (box.low, box.high, float(value))
+
+    def _grow_extent(self, sid: int, box: Box) -> None:
+        current = self._extents[sid]
+        self._extents[sid] = box if current is None else current.union(box)
+
+    def _check_open(self) -> None:
+        if self._gate.closed:
+            raise ServiceClosedError("cluster is closed")
+
+    def _note_mutation(self, op: str, sid: Optional[int]) -> None:
+        with self._stats_lock:
+            self._counts["mutations"] += 1
+            if sid is None:
+                self._m_mutations.inc(op=op, label=self.label)
+            else:
+                self._m_mutations.inc(op=op, shard=str(sid), label=self.label)
+        self._publish_balance()
+
+    def _publish_balance(self) -> None:
+        with self._meta:
+            counts = list(self._object_counts)
+        for sid, count in enumerate(counts):
+            self._m_objects.set(float(count), shard=str(sid), label=self.label)
+        self._m_imbalance.set(_imbalance(counts), label=self.label)
+
+    # -- stats / lifecycle ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Cluster counters plus per-shard object counts and epochs."""
+        with self._stats_lock:
+            out: Dict[str, object] = dict(self._counts)
+        with self._meta:
+            counts = list(self._object_counts)
+        out["shards"] = self.num_shards
+        out["objects"] = counts
+        out["objects_total"] = sum(counts)
+        out["imbalance"] = _imbalance(counts)
+        out["partitioner"] = self._map.name
+        out["epochs"] = self.epochs()
+        out["inflight"] = self._gate.inflight
+        return out
+
+    def shard_stats(self) -> List[Dict[str, float]]:
+        """Each shard service's own :meth:`~QueryService.stats` snapshot."""
+        return [service.stats() for service in self._shards]
+
+    def close(self) -> None:
+        """Reject new work, drain the pool, close every shard service."""
+        if not self._gate.close():
+            return
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        for service in self._shards:
+            service.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._gate.closed
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+
+__all__ = ["ShardedService", "RebalanceReport"]

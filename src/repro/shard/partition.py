@@ -1,0 +1,447 @@
+"""Object partitioners and the serializable shard map.
+
+A sharded deployment (:mod:`repro.shard.cluster`) splits the object set
+across N shard-local indices.  Correctness never depends on *where* an
+object lands — dominance sums are additive over any disjoint partition of
+the objects — so the partitioner is purely a performance policy:
+
+* :class:`RoundRobinPartitioner` — perfectly balanced counts, no locality;
+* :class:`HashPartitioner` — stateless and deterministic (CRC32 over the
+  canonical byte encoding of the box corners, never Python's salted
+  ``hash``), balanced in expectation;
+* :class:`KdMedianPartitioner` — recursive median splits of the objects'
+  representative points (box centers), giving each shard a spatially
+  compact region; the router's extent-based probe pruning then skips whole
+  shards for queries outside their region.
+
+:class:`ShardMap` wraps a partitioner with a versioned, JSON-serializable
+envelope so a cluster layout survives process restarts and can travel with
+a durable snapshot.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..core.errors import ShardMapError
+from ..core.geometry import Box, Coords
+
+#: Serialization format version of :meth:`ShardMap.to_dict` payloads.
+SHARD_MAP_VERSION = 1
+
+
+class Partitioner:
+    """Base class: maps each object box to a shard id in ``[0, num_shards)``.
+
+    ``fit`` and ``rebalance`` are optional refinements — the base
+    implementations make every partitioner usable unfitted (assignment
+    just cannot be data-aware) and let the cluster fall back to generic
+    ledger-driven migration when ``rebalance`` returns False.
+    """
+
+    name = "base"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ShardMapError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    def assign(self, box: Box) -> int:
+        """Shard id for a new object (must be in ``[0, num_shards)``)."""
+        raise NotImplementedError
+
+    def fit(self, boxes: Sequence[Box]) -> None:
+        """Adapt the partitioner to a sample of objects (default: no-op)."""
+
+    def rebalance(self, hot: int, cold: int, centers: Sequence[Coords]) -> bool:
+        """Carve part of shard ``hot``'s assignment region over to ``cold``.
+
+        ``centers`` are the representative points of the objects currently
+        on the hot shard.  Returns True when the assignment rule changed
+        (the cluster then migrates objects whose assignment moved), False
+        when this partitioner cannot express the refinement — the cluster
+        falls back to ledger-driven migration that leaves ``assign``
+        untouched.
+        """
+        return False
+
+    def state(self) -> Dict[str, object]:
+        """JSON-serializable internal state (inverse of :meth:`load_state`)."""
+        return {}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state` output (default: nothing to restore)."""
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Cycle through the shards: perfect count balance, zero locality."""
+
+    name = "roundrobin"
+
+    def __init__(self, num_shards: int) -> None:
+        super().__init__(num_shards)
+        self._cursor = 0
+
+    def assign(self, box: Box) -> int:
+        shard = self._cursor
+        self._cursor = (self._cursor + 1) % self.num_shards
+        return shard
+
+    def state(self) -> Dict[str, object]:
+        return {"cursor": self._cursor}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        cursor = state.get("cursor", 0)
+        if not isinstance(cursor, int) or not 0 <= cursor < self.num_shards:
+            raise ShardMapError(f"roundrobin cursor {cursor!r} out of range")
+        self._cursor = cursor
+
+
+class HashPartitioner(Partitioner):
+    """Stateless deterministic assignment by box-corner checksum.
+
+    CRC32 over the IEEE-754 encoding of ``(low, high)`` is stable across
+    processes and Python versions, unlike the interpreter's salted
+    ``hash`` — two replicas of the same shard map must agree on every
+    assignment.
+    """
+
+    name = "hash"
+
+    def assign(self, box: Box) -> int:
+        payload = struct.pack(f"<{2 * box.dims}d", *box.low, *box.high)
+        return zlib.crc32(payload) % self.num_shards
+
+
+class _KdNode:
+    """One node of the kd assignment tree: a split plane or a shard leaf."""
+
+    __slots__ = ("dim", "value", "low", "high", "shard")
+
+    def __init__(
+        self,
+        shard: Optional[int] = None,
+        dim: Optional[int] = None,
+        value: Optional[float] = None,
+        low: "Optional[_KdNode]" = None,
+        high: "Optional[_KdNode]" = None,
+    ) -> None:
+        self.shard = shard
+        self.dim = dim
+        self.value = value
+        self.low = low
+        self.high = high
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.shard is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        if self.is_leaf:
+            return {"shard": self.shard}
+        assert self.low is not None and self.high is not None
+        return {
+            "dim": self.dim,
+            "value": self.value,
+            "low": self.low.to_dict(),
+            "high": self.high.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "_KdNode":
+        if "shard" in payload:
+            shard = payload["shard"]
+            if not isinstance(shard, int) or shard < 0:
+                raise ShardMapError(f"kd leaf shard {shard!r} is not a shard id")
+            return cls(shard=shard)
+        try:
+            dim = payload["dim"]
+            value = payload["value"]
+            low = payload["low"]
+            high = payload["high"]
+        except KeyError as exc:
+            raise ShardMapError(f"kd node missing field {exc}") from None
+        if not isinstance(dim, int) or dim < 0:
+            raise ShardMapError(f"kd split dim {dim!r} is not a dimension")
+        if not isinstance(value, (int, float)):
+            raise ShardMapError(f"kd split value {value!r} is not a number")
+        if not isinstance(low, dict) or not isinstance(high, dict):
+            raise ShardMapError("kd node children must be objects")
+        return cls(
+            dim=dim,
+            value=float(value),
+            low=cls.from_dict(low),
+            high=cls.from_dict(high),
+        )
+
+
+def _median_split(
+    centers: Sequence[Coords],
+) -> Optional[Tuple[int, float, List[Coords], List[Coords]]]:
+    """Pick the widest-spread dimension and split at its median.
+
+    Returns ``(dim, value, low_side, high_side)`` with both sides non-empty,
+    or None when the points are degenerate (fewer than two distinct values
+    in every dimension).
+    """
+    if len(centers) < 2:
+        return None
+    dims = len(centers[0])
+    best: Optional[Tuple[float, int]] = None
+    for d in range(dims):
+        values = [c[d] for c in centers]
+        spread = max(values) - min(values)
+        if spread > 0 and (best is None or spread > best[0]):
+            best = (spread, d)
+    if best is None:
+        return None
+    dim = best[1]
+    ordered = sorted(c[dim] for c in centers)
+    value = ordered[len(ordered) // 2]
+    if value == ordered[0]:
+        # The median coincides with the minimum (heavy duplicates); take the
+        # smallest strictly larger coordinate so the low side is non-empty.
+        larger = [v for v in ordered if v > value]
+        if not larger:
+            return None
+        value = larger[0]
+    low_side = [c for c in centers if c[dim] < value]
+    high_side = [c for c in centers if c[dim] >= value]
+    if not low_side or not high_side:
+        return None
+    return dim, value, low_side, high_side
+
+
+class KdMedianPartitioner(Partitioner):
+    """Recursive kd-median space partitioner over representative points.
+
+    ``fit`` greedily splits the most populous region at the median of its
+    widest-spread dimension until there is one region per shard; ``assign``
+    routes an object by its box center.  Spatially compact shard regions
+    are what make the router's extent shortcuts bite: a query far from a
+    shard's region prunes (or covers) all of that shard's probes.
+
+    Unfitted (or when the sample is too degenerate to split), the tree is a
+    single leaf and everything lands on shard 0 — exact, just unbalanced,
+    and :meth:`ShardMap.fit` or online rebalancing can fix it later.
+    """
+
+    name = "kd"
+
+    def __init__(self, num_shards: int) -> None:
+        super().__init__(num_shards)
+        self._root = _KdNode(shard=0)
+
+    def assign(self, box: Box) -> int:
+        node = self._root
+        center = box.center()
+        while not node.is_leaf:
+            assert node.dim is not None and node.value is not None
+            node = node.low if center[node.dim] < node.value else node.high
+            assert node is not None
+        assert node.shard is not None
+        return node.shard
+
+    def fit(self, boxes: Sequence[Box]) -> None:
+        """Rebuild the tree from a sample of object boxes."""
+        centers = [box.center() for box in boxes]
+        self._root = _KdNode(shard=0)
+        if not centers:
+            return
+        # (leaf, points routed to it); split the most populous until one
+        # region per shard or every candidate is degenerate.
+        leaves: List[Tuple[_KdNode, List[Coords]]] = [(self._root, list(centers))]
+        next_shard = 1
+        while next_shard < self.num_shards:
+            leaves.sort(key=lambda item: len(item[1]), reverse=True)
+            split = None
+            for i, (leaf, points) in enumerate(leaves):
+                split = _median_split(points)
+                if split is not None:
+                    leaves.pop(i)
+                    break
+            if split is None:
+                return
+            dim, value, low_side, high_side = split
+            low = _KdNode(shard=leaf.shard)
+            high = _KdNode(shard=next_shard)
+            leaf.shard = None
+            leaf.dim = dim
+            leaf.value = value
+            leaf.low = low
+            leaf.high = high
+            leaves.append((low, low_side))
+            leaves.append((high, high_side))
+            next_shard += 1
+
+    def rebalance(self, hot: int, cold: int, centers: Sequence[Coords]) -> bool:
+        """Split the hot shard's fullest leaf, handing one half to ``cold``."""
+        leaf = self._route_fullest_leaf(hot, centers)
+        if leaf is None:
+            return False
+        node, points = leaf
+        split = _median_split(points)
+        if split is None:
+            return False
+        dim, value, _low_side, _high_side = split
+        node.shard = None
+        node.dim = dim
+        node.value = value
+        node.low = _KdNode(shard=hot)
+        node.high = _KdNode(shard=cold)
+        return True
+
+    def _route_fullest_leaf(
+        self, shard: int, centers: Sequence[Coords]
+    ) -> Optional[Tuple[_KdNode, List[Coords]]]:
+        """The leaf assigned to ``shard`` holding the most of ``centers``."""
+        per_leaf: Dict[int, Tuple[_KdNode, List[Coords]]] = {}
+        for center in centers:
+            node = self._root
+            while not node.is_leaf:
+                assert node.dim is not None and node.value is not None
+                nxt = node.low if center[node.dim] < node.value else node.high
+                assert nxt is not None
+                node = nxt
+            if node.shard != shard:
+                continue
+            entry = per_leaf.setdefault(id(node), (node, []))
+            entry[1].append(center)
+        if not per_leaf:
+            return None
+        return max(per_leaf.values(), key=lambda item: len(item[1]))
+
+    def state(self) -> Dict[str, object]:
+        return {"tree": self._root.to_dict()}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        tree = state.get("tree")
+        if not isinstance(tree, dict):
+            raise ShardMapError("kd state is missing its 'tree' payload")
+        root = _KdNode.from_dict(tree)
+        self._check_shards(root)
+        self._root = root
+
+    def _check_shards(self, node: _KdNode) -> None:
+        if node.is_leaf:
+            assert node.shard is not None
+            if node.shard >= self.num_shards:
+                raise ShardMapError(
+                    f"kd leaf routes to shard {node.shard} "
+                    f"but the map has {self.num_shards} shards"
+                )
+            return
+        assert node.low is not None and node.high is not None
+        self._check_shards(node.low)
+        self._check_shards(node.high)
+
+
+#: Registry of constructable partitioners, keyed by their ``name``.
+PARTITIONERS: Dict[str, Type[Partitioner]] = {
+    RoundRobinPartitioner.name: RoundRobinPartitioner,
+    HashPartitioner.name: HashPartitioner,
+    KdMedianPartitioner.name: KdMedianPartitioner,
+}
+
+
+class ShardMap:
+    """A partitioner plus the versioned serialization envelope.
+
+    The map is the *assignment policy* of a cluster, not its ownership
+    record — the cluster's ledger is authoritative for where an object
+    actually lives (relevant after generic rebalancing, which moves objects
+    without changing ``assign``).  Round-tripping through
+    :meth:`to_dict`/:meth:`from_dict` reproduces assignment exactly.
+    """
+
+    def __init__(self, partitioner: Partitioner) -> None:
+        self.partitioner = partitioner
+
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    @property
+    def name(self) -> str:
+        return self.partitioner.name
+
+    def assign(self, box: Box) -> int:
+        shard = self.partitioner.assign(box)
+        if not 0 <= shard < self.num_shards:
+            raise ShardMapError(
+                f"partitioner {self.name!r} routed to shard {shard} "
+                f"of {self.num_shards}"
+            )
+        return shard
+
+    def fit(self, boxes: Sequence[Box]) -> None:
+        self.partitioner.fit(boxes)
+
+    def rebalance(self, hot: int, cold: int, centers: Sequence[Coords]) -> bool:
+        return self.partitioner.rebalance(hot, cold, centers)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": SHARD_MAP_VERSION,
+            "partitioner": self.name,
+            "num_shards": self.num_shards,
+            "state": self.partitioner.state(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ShardMap":
+        version = payload.get("version")
+        if version != SHARD_MAP_VERSION:
+            raise ShardMapError(f"unsupported shard map version {version!r}")
+        name = payload.get("partitioner")
+        if name not in PARTITIONERS:
+            raise ShardMapError(f"unknown partitioner {name!r}")
+        num_shards = payload.get("num_shards")
+        if not isinstance(num_shards, int):
+            raise ShardMapError(f"num_shards {num_shards!r} is not an int")
+        partitioner = PARTITIONERS[name](num_shards)
+        state = payload.get("state", {})
+        if not isinstance(state, dict):
+            raise ShardMapError("shard map state must be an object")
+        partitioner.load_state(state)
+        return cls(partitioner)
+
+
+def make_shard_map(spec, num_shards: int) -> ShardMap:
+    """Coerce a partitioner spec to a :class:`ShardMap`.
+
+    ``spec`` may be a registry name (``"kd"``, ``"hash"``,
+    ``"roundrobin"``), a :class:`Partitioner` instance, or an existing
+    :class:`ShardMap`; instances must agree with ``num_shards``.
+    """
+    if isinstance(spec, ShardMap):
+        if spec.num_shards != num_shards:
+            raise ShardMapError(
+                f"shard map has {spec.num_shards} shards, cluster wants {num_shards}"
+            )
+        return spec
+    if isinstance(spec, Partitioner):
+        if spec.num_shards != num_shards:
+            raise ShardMapError(
+                f"partitioner has {spec.num_shards} shards, cluster wants {num_shards}"
+            )
+        return ShardMap(spec)
+    if isinstance(spec, str):
+        if spec not in PARTITIONERS:
+            raise ShardMapError(f"unknown partitioner {spec!r}")
+        return ShardMap(PARTITIONERS[spec](num_shards))
+    raise ShardMapError(f"cannot build a shard map from {type(spec).__name__}")
+
+
+__all__ = [
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "KdMedianPartitioner",
+    "ShardMap",
+    "PARTITIONERS",
+    "SHARD_MAP_VERSION",
+    "make_shard_map",
+]

@@ -6,7 +6,7 @@ from .datasets import (
     uniform_boxes,
     zipf_weighted_boxes,
 )
-from .queries import hot_query_boxes, query_boxes, query_points
+from .queries import hot_query_boxes, hotspot_boxes, query_boxes, query_points
 
 __all__ = [
     "uniform_boxes",
@@ -14,6 +14,7 @@ __all__ = [
     "zipf_weighted_boxes",
     "functional_objects",
     "hot_query_boxes",
+    "hotspot_boxes",
     "query_boxes",
     "query_points",
 ]

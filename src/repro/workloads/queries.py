@@ -68,6 +68,38 @@ def hot_query_boxes(
     return rng.choices(pool, weights=weights, k=n)
 
 
+def hotspot_boxes(
+    n: int,
+    qbs_fraction: float,
+    dims: int = 2,
+    span: float = 1.0,
+    hotspot: float = 0.25,
+    seed: int = 0,
+) -> List[Box]:
+    """``n`` query boxes confined to one random hotspot sub-region.
+
+    The hotspot covers ``hotspot`` of the span in every dimension; query
+    sides follow ``qbs_fraction`` of the whole space (clamped to fit the
+    hotspot).  This is the spatially skewed traffic where a kd-partitioned
+    cluster shines: shards whose regions lie outside the hotspot prune (or
+    cover) every probe and drop off the scatter's critical path.
+    """
+    if not 0.0 < qbs_fraction <= 1.0:
+        raise InvalidQueryError(f"qbs_fraction must be in (0, 1], got {qbs_fraction}")
+    if not 0.0 < hotspot <= 1.0:
+        raise InvalidQueryError(f"hotspot must be in (0, 1], got {hotspot}")
+    side = min(qbs_fraction ** (1.0 / dims) * span, hotspot * span)
+    rng = random.Random(seed)
+    region_low = [rng.uniform(0.0, span - hotspot * span) for _ in range(dims)]
+    queries: List[Box] = []
+    for _ in range(n):
+        low = [
+            origin + rng.uniform(0.0, hotspot * span - side) for origin in region_low
+        ]
+        queries.append(Box(low, [lo + side for lo in low]))
+    return queries
+
+
 def query_points(
     n: int, dims: int = 2, span: float = 1.0, seed: int = 0
 ) -> List[Coords]:

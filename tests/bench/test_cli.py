@@ -23,6 +23,7 @@ class TestCli:
             "table1",
             "ablation",
             "service",
+            "shard",
         }
 
     def test_run_reduction_experiment(self, capsys):

@@ -18,6 +18,8 @@ from repro.core.naive import NaiveBoxSum, NaiveDominanceSum
 from repro.core.reduction import (
     CornerReduction,
     EO82Reduction,
+    Probe,
+    combine_probe_values,
     corner_query_count,
     eo82_query_count,
     reduction_comparison,
@@ -131,6 +133,39 @@ class TestCornerReductionCorrectness:
         assert reduction.box_sum(indices, query) == pytest.approx(
             oracle.box_sum(query), abs=1e-6
         )
+
+
+class TestCombineProbeValues:
+    def test_empty_plan_returns_base_unchanged(self):
+        # Regression: a sharded router can prune every probe of a plan away;
+        # the reassembly must then yield the reduction's additive identity
+        # (zero for corner, the grand total for EO82), i.e. `base` verbatim.
+        assert combine_probe_values([], {}, 0.0, 0.0) == 0.0
+        assert combine_probe_values([], {}, 42.5, 0.0) == 42.5
+        base = object()
+        assert combine_probe_values([], {}, base, None) is base
+
+    def test_empty_plan_ignores_stray_values(self):
+        # Values for identities outside the plan must not leak in.
+        assert combine_probe_values([], {("k", (1.0,)): 7.0}, 3.0, 0.0) == 3.0
+
+    def test_matches_direct_evaluation(self):
+        rng = random.Random(21)
+        objects = random_objects(rng, 50, 2)
+        reduction, indices = _corner_setup(2, objects)
+        for _ in range(20):
+            query = random_box(rng, 2, max_side=40.0)
+            plan = [
+                Probe(key, point, parity)
+                for key, point, parity in reduction.query_plan(query)
+            ]
+            values = {
+                probe.identity: indices[probe.key].dominance_sum(probe.point)
+                for probe in plan
+            }
+            assert combine_probe_values(plan, values, 0.0, 0.0) == reduction.box_sum(
+                indices, query
+            )
 
 
 class TestEO82ReductionCorrectness:

@@ -187,6 +187,42 @@ class TestAdmission:
             worker.join(timeout=10.0)
             service.close()
 
+    def test_overload_error_carries_load_snapshot(self, rng):
+        """Satellite: ServiceOverloadedError reports inflight/queue_depth
+        both as attributes and in the message, so operators can see how
+        overloaded the service actually was."""
+        index, _oracle, dims = _family_setup(rng, "ba", n=30)
+        release = threading.Event()
+        entered = threading.Event()
+
+        class SlowIndex:
+            supports_probes = False
+            backend = "slow"
+            storage = None
+
+            def box_sum(self, query):
+                entered.set()
+                release.wait(timeout=10.0)
+                return 0.0
+
+        service = _service(SlowIndex(), max_inflight=1, max_queue=0)
+        query = random_box(rng, dims)
+        worker = threading.Thread(target=service.box_sum, args=(query,))
+        worker.start()
+        try:
+            assert entered.wait(timeout=10.0)
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                service.box_sum(query)
+            err = excinfo.value
+            assert err.inflight == 1
+            assert err.queue_depth == 0
+            assert "inflight=1" in str(err)
+            assert "queue_depth=0" in str(err)
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+            service.close()
+
     def test_queue_admits_when_slot_frees(self, rng):
         index, _oracle, dims = _family_setup(rng, "ba", n=30)
         with _service(index, max_inflight=1, max_queue=4) as service:
@@ -212,6 +248,44 @@ class TestAdmission:
             _service(index, max_inflight=0)
         with pytest.raises(ValueError):
             _service(index, max_queue=-1)
+
+
+class TestProbeSnapshot:
+    """The resolve_probe_values seam used by the shard router."""
+
+    @pytest.mark.parametrize("backend", ["ba", "ecdf-bu", "ecdf-bq", "bptree"])
+    def test_snapshot_matches_direct_probes(self, rng, backend):
+        index, _oracle, dims = _family_setup(rng, backend, n=40)
+        query = random_box(rng, dims)
+        plan = index.probe_plan(query)
+        identities = [probe.identity for probe in plan]
+        with _service(index) as service:
+            snap = service.resolve_probe_values(identities)
+            values = dict(zip(identities, snap.values))
+            assert index.box_sum_from_probes(plan, values) == index.box_sum(query)
+            assert snap.total == index.total()
+            assert snap.epoch == 0
+            assert snap.probes_executed + snap.probe_cache_hits == len(identities)
+
+    def test_snapshot_hits_probe_cache_on_repeat(self, rng):
+        index, _oracle, dims = _family_setup(rng, "ba", n=30)
+        identities = [
+            probe.identity for probe in index.probe_plan(random_box(rng, dims))
+        ]
+        with _service(index) as service:
+            first = service.resolve_probe_values(identities)
+            second = service.resolve_probe_values(identities)
+            assert first.values == second.values
+            assert second.probe_cache_hits == len(identities)
+            assert second.probes_executed == 0
+
+    def test_object_backend_not_supported(self, rng):
+        from repro.core.errors import NotSupportedError
+
+        index, _oracle, _dims = _family_setup(rng, "ar", n=10)
+        with _service(index) as service:
+            with pytest.raises(NotSupportedError):
+                service.resolve_probe_values([])
 
 
 class TestLifecycle:

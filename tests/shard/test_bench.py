@@ -1,0 +1,44 @@
+"""Smoke tests for the shard scaling experiment and its gate metrics."""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchConfig
+from repro.bench.shard import SHARD_COUNTS, shard_scaling_experiment, shard_smoke_metrics
+
+TINY = BenchConfig().scaled(n=600, queries=12, page_size=512, buffer_mb=0.01, seed=3)
+
+
+def test_experiment_shape_and_monotonic_baseline():
+    rows = shard_scaling_experiment(TINY, verbose=False)
+    assert [row[0] for row in rows] == list(SHARD_COUNTS)
+    for _shards, reads, critical, speedup, imbalance, fanout_pct in rows:
+        assert critical <= reads
+        assert speedup > 0.0
+        assert imbalance >= 1.0
+        assert 0.0 <= fanout_pct <= 100.0
+    # 1-shard row is its own baseline by construction.
+    assert rows[0][3] == 1.0
+
+
+def test_experiment_is_deterministic():
+    assert shard_scaling_experiment(TINY, verbose=False) == shard_scaling_experiment(
+        TINY, verbose=False
+    )
+
+
+def test_smoke_metrics_keys_and_ranges():
+    metrics = shard_smoke_metrics(TINY)
+    assert set(metrics) == {
+        "shard.s2.read_critical_pct",
+        "shard.s4.read_critical_pct",
+        "shard.s8.read_critical_pct",
+        "shard.s4.imbalance_x100",
+        "shard.s4.fanout_pct",
+    }
+    for value in metrics.values():
+        assert value >= 0.0
+    # At this tiny scale the split trees barely differ from the baseline,
+    # so only sanity is asserted here; the committed smoke baseline gate
+    # (benchmarks/baseline_smoke.json) enforces the real 2x floor.
+    assert metrics["shard.s4.read_critical_pct"] <= 150.0
+    assert metrics["shard.s4.imbalance_x100"] < 150.0
