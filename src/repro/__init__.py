@@ -41,8 +41,19 @@ from .core.aggregator import (
     FunctionalBoxSumIndex,
     make_dominance_index,
 )
+from .core.errors import ShardUnavailableError
 from .core.explain import QueryProfile, profile
 from .obs import MetricsRegistry, Tracer, get_registry, tracing
+from .resilience import (
+    BreakerConfig,
+    ChaosPlan,
+    CircuitBreaker,
+    FailoverRouter,
+    FaultyQueryService,
+    PartialResult,
+    ReplicaGroup,
+    ResilienceConfig,
+)
 from .service import (
     BatchResult,
     QueryService,
@@ -81,5 +92,14 @@ __all__ = [
     "ShardedService",
     "ShardMap",
     "ShardRouter",
+    "BreakerConfig",
+    "ChaosPlan",
+    "CircuitBreaker",
+    "FailoverRouter",
+    "FaultyQueryService",
+    "PartialResult",
+    "ReplicaGroup",
+    "ResilienceConfig",
+    "ShardUnavailableError",
     "__version__",
 ]

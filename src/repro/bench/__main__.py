@@ -27,6 +27,7 @@ from .figures import (
     table1_complexity,
     three_dimensional,
 )
+from .resilience import resilience_experiment
 from .runmeta import run_metadata
 from .service import service_batch_experiment
 from .shard import shard_scaling_experiment
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "ablation": ablation_border_touch,
     "service": service_batch_experiment,
     "shard": shard_scaling_experiment,
+    "resilience": resilience_experiment,
 }
 
 RESULTS_SCHEMA_VERSION = 1

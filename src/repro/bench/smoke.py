@@ -49,6 +49,7 @@ from .figures import (
     table1_complexity,
     three_dimensional,
 )
+from .resilience import resilience_smoke_metrics
 from .runmeta import run_metadata
 from .service import service_smoke_metrics
 from .shard import shard_smoke_metrics
@@ -119,6 +120,7 @@ def _metrics_from_experiments(cfg: BenchConfig, verbose: bool) -> Dict[str, floa
 
     metrics.update(service_smoke_metrics(cfg, verbose=verbose))
     metrics.update(shard_smoke_metrics(cfg, verbose=verbose))
+    metrics.update(resilience_smoke_metrics(cfg, verbose=verbose))
 
     return metrics
 

@@ -124,3 +124,40 @@ class ShardError(ReproError):
 
 class ShardMapError(ShardError):
     """A shard map was malformed, unfit, or routed to an unknown shard."""
+
+
+class ShardUnavailableError(ShardError):
+    """Every member of a shard's replica group failed to answer.
+
+    Raised by the failover path (:mod:`repro.resilience`) after the retry
+    budget is exhausted: each live member was tried (subject to its circuit
+    breaker), every attempt raised or timed out, and there is no replica
+    left to fail over to.  The exception carries the :attr:`shard` id, the
+    number of :attr:`attempts` made and the :attr:`members_tried`, so a
+    caller — or the cluster's partial-result path — can attribute the
+    outage without parsing the message.  When the cluster was built with
+    ``partial_results=True`` this error is converted into a
+    :class:`repro.resilience.PartialResult` instead of propagating.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: "int | None" = None,
+        attempts: "int | None" = None,
+        members_tried: "tuple[int, ...] | None" = None,
+    ) -> None:
+        details = []
+        if shard is not None:
+            details.append(f"shard={shard}")
+        if attempts is not None:
+            details.append(f"attempts={attempts}")
+        if members_tried is not None:
+            details.append(f"members_tried={list(members_tried)}")
+        if details:
+            message = f"{message} [{', '.join(details)}]"
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+        self.members_tried = members_tried

@@ -25,6 +25,7 @@ from .core.explain import QueryProfile
 from .ecdf.ecdf_b import EcdfBTree
 from .kdb.kdbtree import KdbTree
 from .obs import Tracer, render_dict
+from .resilience.group import ReplicaGroup
 from .rtree.rstar import RStarTree
 from .service import QueryService
 from .shard import ShardedService
@@ -56,6 +57,8 @@ def dump(structure: object, max_depth: int = 12) -> str:
         return dump_service(structure)
     if isinstance(structure, ShardedService):
         return dump_cluster(structure)
+    if isinstance(structure, ReplicaGroup):
+        return dump_resilience(structure)
     if isinstance(structure, Tracer):
         return structure.render(max_depth=max_depth)
     if isinstance(structure, dict) and "spans" in structure:
@@ -230,7 +233,7 @@ def dump_cluster(cluster: ShardedService) -> str:
     objects = stats["objects"]
     lines = [
         f"ShardedService(label={cluster.label}, {state}, shards={stats['shards']}, "
-        f"partitioner={stats['partitioner']})",
+        f"replicas={stats['replicas']}, partitioner={stats['partitioner']})",
         f"{_INDENT}balance objects={stats['objects_total']} per_shard={objects} "
         f"imbalance={stats['imbalance']:.2f}",
         f"{_INDENT}traffic queries={int(stats['queries'])} "
@@ -239,11 +242,49 @@ def dump_cluster(cluster: ShardedService) -> str:
         f"{_INDENT}rebalancing rounds={int(stats['rebalances'])} "
         f"migrated={int(stats['migrated'])}",
     ]
+    if cluster.groups:
+        for group in cluster.groups:
+            for line in dump_resilience(group).splitlines():
+                lines.append(f"{_INDENT}{line}")
     for sid, (service, extent) in enumerate(zip(cluster.services, cluster.extents())):
         extent_s = _fmt_box(extent) if extent is not None else "empty"
         lines.append(f"{_INDENT}shard {sid} extent={extent_s}")
         for line in dump_service(service).splitlines():
             lines.append(f"{_INDENT}{_INDENT}{line}")
+    return "\n".join(lines)
+
+
+# -- resilience (replica groups) -------------------------------------------------------------
+
+def dump_resilience(target) -> str:
+    """Failover outline: per-member breaker states and failover traffic.
+
+    Accepts a single :class:`~repro.resilience.group.ReplicaGroup` or a
+    replicated :class:`~repro.shard.ShardedService` (one line-group per
+    shard; an unreplicated cluster renders a single note).
+    """
+    if isinstance(target, ShardedService):
+        if not target.groups:
+            return "resilience: cluster is unreplicated (no replica groups)"
+        return "\n".join(dump_resilience(group) for group in target.groups)
+    group = target
+    stats = group.stats()
+    lines = [
+        f"ReplicaGroup(shard={group.shard_id}, members={stats['members']}, "
+        f"epoch={group.epoch})",
+        f"{_INDENT}serving attempts={int(stats['attempts'])} "
+        f"failures={int(stats['failures'])} timeouts={int(stats['timeouts'])} "
+        f"failovers={int(stats['failovers'])} unavailable={int(stats['unavailable'])}",
+        f"{_INDENT}hedging dispatched={int(stats['hedges'])} "
+        f"wins={int(stats['hedge_wins'])}",
+    ]
+    member_states = stats["member_states"]
+    trips = stats["breaker_trips"]
+    for mid, (state, trip_count) in enumerate(zip(member_states, trips)):
+        role = "primary" if mid == 0 else f"replica{mid}"
+        lines.append(
+            f"{_INDENT}member {mid} ({role}) breaker={state} trips={int(trip_count)}"
+        )
     return "\n".join(lines)
 
 

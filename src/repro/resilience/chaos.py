@@ -1,0 +1,234 @@
+"""Deterministic chaos injection for the serving path.
+
+A fault-tolerance claim is only as good as the faults it survived, so this
+module misbehaves *reproducibly*: :class:`FaultyQueryService` wraps any
+:class:`~repro.service.service.QueryService`-shaped object and, per call,
+draws once from a seeded ``random.Random`` to decide whether the call
+
+* **raises** (:class:`InjectedFaultError` — a generic member crash),
+* is **delayed** (sleeps ``delay_s``, then answers correctly — mild
+  latency the failover deadline should tolerate),
+* **hangs** (sleeps ``hang_s``, then answers correctly — a stuck member
+  the deadline must abandon; the late answer is still exact, so a racer
+  that accidentally takes it loses nothing but time), or
+* reports **corrupted storage** (raises
+  :class:`~repro.core.errors.PageCorruptionError`, exactly the error the
+  durable pager's checksums raise on a real torn page or bit rot — see
+  :mod:`repro.storage.faults`; for file-backed shards,
+  :func:`bitflip_injector` arms *actual* on-disk corruption instead).
+
+Rates are cumulative per call (they should sum to <= 1); at most one fault
+fires per call, so a plan is a distribution over the five outcomes
+(including "behave").  The same seed always yields the same fault
+sequence, which is what lets :func:`repro.testing.check_failover` assert
+bit-identical answers *under* injection and lets CI repeat the torture
+loop without flakes.
+
+The wrapper is transparent for everything it does not fault: unknown
+attributes delegate to the wrapped service, so a
+:class:`~repro.resilience.group.ReplicaGroup` (or any other caller)
+cannot tell a chaotic member from a healthy one until it misbehaves.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.errors import PageCorruptionError
+from ..core.geometry import Box
+from ..storage.faults import CrashPoint, FaultInjector
+
+
+class InjectedFaultError(Exception):
+    """A chaos-injected member failure.
+
+    Deliberately *not* a :class:`~repro.core.errors.ReproError`: the
+    failover loop must survive arbitrary exceptions, exactly as it would a
+    member dying of a bug it has no class for.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One member's misbehavior distribution (rates are cumulative).
+
+    ``mutations=False`` (the default) confines faults to the read path:
+    replica groups poison a member whose *mutation* fails (its state may
+    have diverged), so read-only chaos is the mode that exercises failover
+    without steadily shrinking the group.  Set ``mutations=True`` to
+    torture the poisoning path itself.
+    """
+
+    seed: int = 0
+    raise_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.002
+    hang_rate: float = 0.0
+    hang_s: float = 0.25
+    corrupt_rate: float = 0.0
+    mutations: bool = False
+
+    def __post_init__(self) -> None:
+        total = self.raise_rate + self.delay_rate + self.hang_rate + self.corrupt_rate
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(f"fault rates must sum to within [0, 1], got {total}")
+        for name in ("raise_rate", "delay_rate", "hang_rate", "corrupt_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def with_seed(self, seed: int) -> "ChaosPlan":
+        return replace(self, seed=seed)
+
+
+class FaultyQueryService:
+    """A query service that misbehaves on a seeded schedule.
+
+    Set :attr:`enabled` to False to pause injection (the wrapper becomes a
+    pure pass-through — used by healing tests to let a tripped breaker's
+    half-open probes succeed); :attr:`calls` and :attr:`faults` count what
+    actually happened, which is how tests prove a breaker stopped routing
+    traffic here.
+    """
+
+    def __init__(self, service, plan: Optional[ChaosPlan] = None) -> None:
+        self.inner = service
+        self.plan = plan if plan is not None else ChaosPlan()
+        self.enabled = True
+        self.calls = 0
+        self.faults: Dict[str, int] = {"raise": 0, "delay": 0, "hang": 0, "corrupt": 0}
+        self._rng = random.Random(self.plan.seed)
+        self._lock = threading.Lock()
+
+    # -- injection core ------------------------------------------------------------
+
+    def _draw(self) -> Optional[str]:
+        """One seeded draw per call → the fault kind to apply, if any."""
+        with self._lock:
+            self.calls += 1
+            if not self.enabled:
+                return None
+            r = self._rng.random()
+            plan = self.plan
+            edge = plan.raise_rate
+            if r < edge:
+                kind = "raise"
+            elif r < (edge := edge + plan.delay_rate):
+                kind = "delay"
+            elif r < (edge := edge + plan.hang_rate):
+                kind = "hang"
+            elif r < edge + plan.corrupt_rate:
+                kind = "corrupt"
+            else:
+                return None
+            self.faults[kind] += 1
+            return kind
+
+    def _misbehave(self) -> None:
+        kind = self._draw()
+        if kind is None:
+            return
+        if kind == "raise":
+            raise InjectedFaultError(
+                f"chaos: injected failure on {getattr(self.inner, 'label', 'member')!r}"
+            )
+        if kind == "delay":
+            time.sleep(self.plan.delay_s)
+        elif kind == "hang":
+            time.sleep(self.plan.hang_s)
+        elif kind == "corrupt":
+            raise PageCorruptionError(
+                "chaos: simulated checksum failure (corrupted storage)"
+            )
+
+    # -- faulted read path ---------------------------------------------------------
+
+    def box_sum(self, query: Box) -> float:
+        self._misbehave()
+        return self.inner.box_sum(query)
+
+    def box_sum_batch(self, queries: Sequence[Box]):
+        self._misbehave()
+        return self.inner.box_sum_batch(queries)
+
+    def batch(self, queries: Sequence[Box]):
+        self._misbehave()
+        return self.inner.batch(queries)
+
+    def resolve_probe_values(self, identities):
+        self._misbehave()
+        return self.inner.resolve_probe_values(identities)
+
+    # -- optionally faulted mutation path ------------------------------------------
+
+    def insert(self, box: Box, value: float = 1.0) -> int:
+        if self.plan.mutations:
+            self._misbehave()
+        return self.inner.insert(box, value)
+
+    def delete(self, box: Box, value: float = 1.0) -> int:
+        if self.plan.mutations:
+            self._misbehave()
+        return self.inner.delete(box, value)
+
+    def bulk_load(self, objects) -> int:
+        if self.plan.mutations:
+            self._misbehave()
+        return self.inner.bulk_load(objects)
+
+    # -- transparent delegation ----------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def __enter__(self) -> "FaultyQueryService":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.inner.close()
+
+
+def chaos_member_wrapper(
+    plan: ChaosPlan, member: int = 0
+) -> Callable[[object, int, int], object]:
+    """A ``service_wrapper`` for :class:`~repro.shard.ShardedService`.
+
+    Wraps member ``member`` of *every* replica group in a
+    :class:`FaultyQueryService`, decorrelating the groups by offsetting the
+    plan's seed with the shard id (same cluster seed → same global fault
+    schedule).  Other members are returned untouched.
+    """
+
+    def wrapper(service, shard_id: int, member_id: int):
+        if member_id != member:
+            return service
+        return FaultyQueryService(service, plan.with_seed(plan.seed + 7919 * shard_id))
+
+    return wrapper
+
+
+def bitflip_injector(at_op: int = 1, seed: Optional[int] = None) -> FaultInjector:
+    """A :class:`~repro.storage.faults.FaultInjector` armed for real corruption.
+
+    For durable, file-backed shards: pass ``injector.opener`` as the
+    storage ``opener`` and the ``at_op``-th mutating file operation lands
+    with one bit flipped at a position drawn from ``random.Random(seed)``
+    (see the seeded-determinism contract in :mod:`repro.storage.faults`).
+    The shard's page checksums then surface the damage as
+    :class:`~repro.core.errors.PageCorruptionError` on read — the same
+    error :class:`FaultyQueryService` fakes for memory-backed shards — and
+    the failover path treats both identically.
+    """
+    return FaultInjector(CrashPoint(at_op=at_op, mode="bitflip"), seed=seed)
+
+
+__all__ = [
+    "ChaosPlan",
+    "FaultyQueryService",
+    "InjectedFaultError",
+    "bitflip_injector",
+    "chaos_member_wrapper",
+]

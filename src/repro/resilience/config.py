@@ -1,0 +1,136 @@
+"""Tuning knobs for the fault-tolerant serving path.
+
+Two frozen dataclasses so a whole cluster's failure policy is one hashable,
+printable value:
+
+* :class:`BreakerConfig` — the per-member circuit breaker: a rolling window
+  of recent outcomes trips the breaker open once the error rate crosses a
+  threshold, a cooldown later lets a half-open trickle of probes decide
+  whether the member has healed;
+* :class:`ResilienceConfig` — the per-shard failover loop: attempt
+  deadline, retry budget, jittered exponential backoff between attempts,
+  optional hedged reads for tail latency, and whether a whole-group outage
+  degrades to a :class:`~repro.resilience.partial.PartialResult` instead of
+  raising :class:`~repro.core.errors.ShardUnavailableError`.
+
+Everything time-like is injectable (``clock``/``sleep`` land on the group,
+not here) and every random draw is seeded, so failure handling is as
+reproducible as the failures the chaos harness injects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit breaker policy for one replica-group member.
+
+    Parameters
+    ----------
+    window:
+        How many recent request outcomes the rolling error-rate window
+        remembers (per member).
+    min_requests:
+        Outcomes required in the window before the breaker may trip — a
+        single failure on a cold member must not blacklist it.
+    failure_threshold:
+        Error rate in ``[0, 1]`` at (or above) which a closed breaker trips
+        open.
+    cooldown_s:
+        Seconds an open breaker rejects traffic before transitioning to
+        half-open on the next ``allow()``.
+    half_open_probes:
+        Consecutive successful half-open probes required to close again; a
+        single half-open failure re-opens (and restarts the cooldown).
+    """
+
+    window: int = 16
+    min_requests: int = 4
+    failure_threshold: float = 0.5
+    cooldown_s: float = 5.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.min_requests < 1:
+            raise ValueError(f"min_requests must be >= 1, got {self.min_requests}")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Failover policy for one cluster (applied per replica group).
+
+    Parameters
+    ----------
+    max_attempts:
+        Total serve attempts per request per shard, across members; the
+        first attempt plus up to ``max_attempts - 1`` failovers.
+    deadline_s:
+        Per-attempt deadline in seconds.  ``None`` disables deadlines and
+        keeps every call on the caller's thread (fully deterministic); a
+        deadline routes attempts through the group's executor so a hung
+        member can be abandoned.
+    backoff_base_s / backoff_multiplier / backoff_jitter:
+        Sleep between attempt ``i`` and ``i+1`` is
+        ``base * multiplier**i * (1 + jitter * U(-1, 1))`` with ``U`` drawn
+        from a seeded RNG — exponential growth, deterministic jitter.
+    hedge_delay_s:
+        When set, a read still pending after this many seconds triggers a
+        second, concurrent attempt on the next healthy member; first answer
+        wins (both are exact, so the race is pure latency).  ``None``
+        disables hedging.
+    partial_results:
+        When True, a shard whose whole replica group is down degrades the
+        batch to a :class:`~repro.resilience.partial.PartialResult` (exact
+        over the answered shards, the outage explicit) instead of raising
+        :class:`~repro.core.errors.ShardUnavailableError`.
+    breaker:
+        Per-member :class:`BreakerConfig`.
+    seed:
+        Seed for the jitter RNG (per group, offset by shard id).
+    """
+
+    max_attempts: int = 3
+    deadline_s: Optional[float] = None
+    backoff_base_s: float = 0.005
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.5
+    hedge_delay_s: Optional[float] = None
+    partial_results: bool = False
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.backoff_base_s < 0:
+            raise ValueError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        if self.hedge_delay_s is not None and self.hedge_delay_s < 0:
+            raise ValueError(f"hedge_delay_s must be >= 0, got {self.hedge_delay_s}")
+
+
+__all__ = ["BreakerConfig", "ResilienceConfig"]

@@ -1,0 +1,508 @@
+"""Replica groups: a primary plus K synchronous replicas of one shard.
+
+**Why failover can be exact.**  The dominance-sum decomposition is purely
+additive (paper Lemma 1 / Theorem 2): a shard's contribution to any query
+is a function of exactly the multiset of objects it owns.  A replica that
+has applied the same mutation sequence owns the same multiset, so *any*
+member of a group returns the bit-identical
+:class:`~repro.service.service.ProbeSnapshot` (or monolithic batch) —
+failover, retries and hedged reads can switch members mid-stream without
+perturbing a single bit of the merged answer.
+
+The group keeps that invariant two ways:
+
+* **synchronous mutation fan-out** — one group-level mutation mutex
+  serializes mutations, and each is applied to every live member in member
+  order before the call returns, so all members always agree on the
+  mutation sequence (each member's own writer lock orders it against that
+  member's readers);
+* **poisoning** — a member whose mutation *raises* may have half-applied
+  it; there is no way to know, so the member is permanently excluded
+  (its breaker is forced open) rather than ever risking a wrong answer.
+  The group only fails a mutation when no live member accepted it.
+
+Serving goes through the failover loop: pick the first member whose
+circuit breaker admits traffic (primary first — replicas are cache-warm
+spares, not load balancing), run the call under the configured per-attempt
+deadline, and on failure record the outcome, back off with seeded jitter
+and try the next healthy member, up to ``max_attempts``.  With
+``hedge_delay_s`` set, a read still pending after that delay triggers a
+concurrent second attempt on the next healthy member and the first answer
+wins — both are exact, so hedging is pure tail-latency insurance.  When
+every avenue is exhausted the group raises
+:class:`~repro.core.errors.ShardUnavailableError`; what happens then
+(propagate, or degrade to a partial result) is the router's decision, not
+the group's.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ShardUnavailableError
+from ..core.geometry import Box
+from ..obs import trace as _trace
+from ..obs.registry import MetricsRegistry, get_registry
+from .breaker import FORCED_OPEN, CircuitBreaker
+from .config import ResilienceConfig
+
+
+class ReplicaGroup:
+    """One shard served by interchangeable members behind circuit breakers.
+
+    Quacks like a :class:`~repro.service.service.QueryService` for every
+    verb the cluster and router use (``insert``/``delete``/``bulk_load``,
+    ``batch``/``box_sum_batch``/``resolve_probe_values``, ``epoch``,
+    ``stats``, ``close``), so the sharded layers work over groups and bare
+    services uniformly.
+
+    Parameters
+    ----------
+    shard_id:
+        The shard this group serves (for errors, metrics and traces).
+    members:
+        The member services; ``members[0]`` is the primary.  All must front
+        *equivalent* indices (same dims/backend/reduction) holding the same
+        objects — the group preserves that equivalence, it cannot create it.
+    config:
+        The :class:`~repro.resilience.config.ResilienceConfig` failover
+        policy.
+    clock / sleep:
+        Injectable time sources (breaker cooldowns, backoff) so tests and
+        the chaos torture loop stay deterministic and fast.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        members: Sequence[object],
+        *,
+        config: Optional[ResilienceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        label: str = "cluster",
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not members:
+            raise ValueError("a replica group needs at least one member")
+        self.shard_id = shard_id
+        self.members: List[object] = list(members)
+        self.config = config if config is not None else ResilienceConfig()
+        self.label = label
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = random.Random(self.config.seed * 1_000_003 + shard_id)
+        self._rng_lock = threading.Lock()
+        self._mutation_lock = threading.Lock()
+        self._poisoned: List[bool] = [False] * len(self.members)
+        self._stats_lock = threading.Lock()
+        self._counts: Dict[str, float] = {
+            "attempts": 0.0,
+            "failures": 0.0,
+            "timeouts": 0.0,
+            "failovers": 0.0,
+            "hedges": 0.0,
+            "hedge_wins": 0.0,
+            "unavailable": 0.0,
+            "poisoned": 0.0,
+        }
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self._m_attempts = registry.counter(
+            "repro_resilience_attempts",
+            "failover serve attempts, by outcome (ok/error/timeout)",
+        )
+        self._m_failovers = registry.counter(
+            "repro_resilience_failovers", "serves that needed more than one attempt"
+        )
+        self._m_hedges = registry.counter(
+            "repro_resilience_hedges", "hedged reads dispatched, by outcome (won/lost)"
+        )
+        self._m_transitions = registry.counter(
+            "repro_resilience_breaker_transitions",
+            "circuit breaker state transitions, by target state",
+        )
+        self._m_open = registry.gauge(
+            "repro_resilience_breaker_open", "1 when a member's breaker is not closed"
+        )
+        self._m_unavailable = registry.counter(
+            "repro_resilience_unavailable", "serves that exhausted every member"
+        )
+        self.breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                self.config.breaker,
+                clock=clock,
+                on_transition=self._make_transition_hook(mid),
+            )
+            for mid in range(len(self.members))
+        ]
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+
+    # -- identity / pass-throughs ---------------------------------------------------
+
+    @property
+    def primary(self) -> object:
+        """The primary member (reference for planning; may be poisoned)."""
+        return self.members[0]
+
+    @property
+    def index(self) -> object:
+        """The primary's index — the router's *planning* reference only.
+
+        Probe plans and reassembly are data-independent computations, so
+        the reference stays valid even when the primary itself is down.
+        """
+        return self.members[0].index
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def epoch(self) -> int:
+        """The first live member's epoch (all live members agree)."""
+        for mid, member in enumerate(self.members):
+            if not self._poisoned[mid]:
+                return member.epoch
+        return self.members[0].epoch
+
+    @property
+    def live_members(self) -> Tuple[int, ...]:
+        """Member ids not poisoned (breakers may still gate them)."""
+        return tuple(
+            mid for mid in range(len(self.members)) if not self._poisoned[mid]
+        )
+
+    # -- mutations (synchronous fan-out) ---------------------------------------------
+
+    def insert(self, box: Box, value: float = 1.0) -> int:
+        return self._mutate(lambda m: m.insert(box, value), op="insert")
+
+    def delete(self, box: Box, value: float = 1.0) -> int:
+        return self._mutate(lambda m: m.delete(box, value), op="delete")
+
+    def bulk_load(self, objects) -> int:
+        # Bulk loads rebuild every member from the same object list, which
+        # is also how an operator un-poisons a member wholesale: after a
+        # successful group-wide bulk_load the states are equal again, but
+        # poisoning is sticky by design — explicit revival only.
+        return self._mutate(lambda m: m.bulk_load(objects), op="bulk_load")
+
+    def _mutate(self, fn: Callable[[object], int], op: str) -> int:
+        with self._mutation_lock:
+            epoch: Optional[int] = None
+            last_error: Optional[BaseException] = None
+            for mid, member in enumerate(self.members):
+                if self._poisoned[mid]:
+                    continue
+                try:
+                    epoch = fn(member)
+                except Exception as exc:  # noqa: BLE001 — any failure may be partial
+                    last_error = exc
+                    self._poison(mid, op, exc)
+            if epoch is None:
+                raise ShardUnavailableError(
+                    f"no live member of shard {self.shard_id} accepted {op}",
+                    shard=self.shard_id,
+                    members_tried=tuple(range(len(self.members))),
+                ) from last_error
+            return epoch
+
+    def _poison(self, mid: int, op: str, exc: BaseException) -> None:
+        """Permanently exclude a member whose mutation may be half-applied."""
+        self._poisoned[mid] = True
+        self.breakers[mid].force_open()
+        with self._stats_lock:
+            self._counts["poisoned"] += 1
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "resilience_poisoned",
+                shard=self.shard_id,
+                member=mid,
+                op=op,
+                error=type(exc).__name__,
+            )
+
+    # -- serving (failover loop) -----------------------------------------------------
+
+    def resolve_probe_values(self, identities):
+        return self._serve(
+            lambda m: m.resolve_probe_values(identities), op="probes"
+        )
+
+    def batch(self, queries: Sequence[Box]):
+        return self._serve(lambda m: m.batch(queries), op="batch")
+
+    def box_sum_batch(self, queries: Sequence[Box]) -> List[float]:
+        return self.batch(queries).results
+
+    def box_sum(self, query: Box) -> float:
+        return self.batch([query]).results[0]
+
+    def _serve(self, call: Callable[[object], object], op: str):
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return self._serve_inner(call, op, None)
+        with tracer.span(
+            "resilience.failover", shard=self.shard_id, label=self.label, op=op
+        ):
+            return self._serve_inner(call, op, tracer)
+
+    def _serve_inner(self, call: Callable[[object], object], op: str, tracer):
+        cfg = self.config
+        tried: List[int] = []
+        last_error: Optional[BaseException] = None
+        for attempt in range(cfg.max_attempts):
+            mid = self._pick_member(tried)
+            if mid is None:
+                break
+            tried.append(mid)
+            if attempt > 0:
+                self._note("failovers")
+                self._m_failovers.inc(label=self.label)
+                if tracer is not None:
+                    tracer.event(
+                        "resilience_failover",
+                        shard=self.shard_id,
+                        member=mid,
+                        attempt=attempt + 1,
+                    )
+                self._backoff(attempt)
+            try:
+                result = self._attempt(call, mid, tried)
+            except FutureTimeoutError as exc:
+                last_error = exc
+                self.breakers[mid].record_failure()
+                self._note("attempts", "timeouts")
+                self._m_attempts.inc(outcome="timeout", label=self.label)
+                if tracer is not None:
+                    tracer.event(
+                        "resilience_timeout", shard=self.shard_id, member=mid
+                    )
+                continue
+            except Exception as exc:  # noqa: BLE001 — any member failure fails over
+                last_error = exc
+                self.breakers[mid].record_failure()
+                self._note("attempts", "failures")
+                self._m_attempts.inc(outcome="error", label=self.label)
+                if tracer is not None:
+                    tracer.event(
+                        "resilience_attempt_failed",
+                        shard=self.shard_id,
+                        member=mid,
+                        error=type(exc).__name__,
+                    )
+                continue
+            self.breakers[mid].record_success()
+            self._note("attempts")
+            self._m_attempts.inc(outcome="ok", label=self.label)
+            return result
+        self._note("unavailable")
+        self._m_unavailable.inc(label=self.label)
+        raise ShardUnavailableError(
+            f"shard {self.shard_id} has no member able to serve {op}",
+            shard=self.shard_id,
+            attempts=len(tried),
+            members_tried=tuple(tried),
+        ) from last_error
+
+    def _pick_member(self, tried: Sequence[int]) -> Optional[int]:
+        """First breaker-admitted member, preferring ones not yet tried."""
+        admitted = [
+            mid
+            for mid in range(len(self.members))
+            if not self._poisoned[mid] and self.breakers[mid].allow()
+        ]
+        if not admitted:
+            return None
+        fresh = [mid for mid in admitted if mid not in tried]
+        return fresh[0] if fresh else admitted[0]
+
+    def _backoff(self, attempt: int) -> None:
+        cfg = self.config
+        if cfg.backoff_base_s <= 0:
+            return
+        base = cfg.backoff_base_s * (cfg.backoff_multiplier ** (attempt - 1))
+        with self._rng_lock:
+            jitter = 1.0 + cfg.backoff_jitter * self._rng.uniform(-1.0, 1.0)
+        self._sleep(base * jitter)
+
+    # -- one attempt: direct, deadlined, or hedged -------------------------------------
+
+    def _attempt(self, call, mid: int, tried: Sequence[int]):
+        cfg = self.config
+        if cfg.deadline_s is None and cfg.hedge_delay_s is None:
+            # Fully synchronous: deterministic, zero thread overhead.  A
+            # hung member blocks here — deadlines are what buy preemption.
+            return call(self.members[mid])
+        if cfg.hedge_delay_s is not None:
+            return self._attempt_hedged(call, mid, tried)
+        future = self._pool().submit(call, self.members[mid])
+        return future.result(timeout=cfg.deadline_s)
+
+    def _attempt_hedged(self, call, mid: int, tried: Sequence[int]):
+        """Race the member against a delayed hedge on the next healthy one.
+
+        The winner's breaker records the success; a losing future that
+        later completes records its own outcome through a done-callback,
+        so abandoned attempts still feed the health view.
+        """
+        cfg = self.config
+        pool = self._pool()
+        start = self._clock()
+        end = None if cfg.deadline_s is None else start + cfg.deadline_s
+        pending: Dict[Future, int] = {pool.submit(call, self.members[mid]): mid}
+        hedged = False
+        last_error: Optional[BaseException] = None
+        while pending:
+            if not hedged:
+                timeout = cfg.hedge_delay_s
+                if end is not None:
+                    timeout = min(timeout, max(0.0, end - self._clock()))
+            elif end is None:
+                timeout = None
+            else:
+                timeout = max(0.0, end - self._clock())
+            done, _ = futures_wait(
+                list(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                done_mid = pending.pop(future)
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001
+                    last_error = exc
+                    self.breakers[done_mid].record_failure()
+                    continue
+                self.breakers[done_mid].record_success()
+                if hedged:
+                    won_by_hedge = done_mid != mid
+                    self._note("hedge_wins" if won_by_hedge else "hedges", None)
+                    self._m_hedges.inc(
+                        outcome="won" if won_by_hedge else "lost", label=self.label
+                    )
+                self._abandon(pending)
+                return result
+            if done:
+                continue  # completed futures all failed; keep waiting on the rest
+            # Nothing completed within the window: hedge once, then the
+            # remaining window is bounded by the attempt deadline.
+            if not hedged:
+                hedged = True
+                alt = self._hedge_target(mid, tried)
+                if alt is not None:
+                    self._note("hedges")
+                    pending[pool.submit(call, self.members[alt])] = alt
+                    continue
+                if end is None:
+                    continue  # no hedge target, no deadline: wait it out
+            if end is not None and self._clock() >= end:
+                self._abandon(pending)
+                raise FutureTimeoutError(
+                    f"shard {self.shard_id}: no member answered within "
+                    f"{cfg.deadline_s}s"
+                )
+        if last_error is not None:
+            raise last_error
+        raise FutureTimeoutError(f"shard {self.shard_id}: hedged attempt drained")
+
+    def _hedge_target(self, mid: int, tried: Sequence[int]) -> Optional[int]:
+        for alt in range(len(self.members)):
+            if alt == mid or self._poisoned[alt] or alt in tried:
+                continue
+            if self.breakers[alt].allow():
+                return alt
+        return None
+
+    def _abandon(self, pending: Dict[Future, int]) -> None:
+        """Record abandoned futures' eventual outcomes without waiting."""
+        for future, mid in pending.items():
+            breaker = self.breakers[mid]
+
+            def _done(f: Future, breaker=breaker) -> None:
+                if f.cancelled():
+                    return
+                if f.exception() is not None:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+
+            if not future.cancel():
+                future.add_done_callback(_done)
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(2, len(self.members)),
+                    thread_name_prefix=f"repro-rg{self.shard_id}",
+                )
+            return self._executor
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    def _make_transition_hook(self, mid: int) -> Callable[[str, str], None]:
+        def hook(old: str, new: str) -> None:
+            self._m_transitions.inc(to=new, label=self.label)
+            self._m_open.set(
+                0.0 if new == "closed" else 1.0,
+                shard=str(self.shard_id),
+                member=str(mid),
+                label=self.label,
+            )
+
+        return hook
+
+    def _note(self, *keys: Optional[str]) -> None:
+        with self._stats_lock:
+            for key in keys:
+                if key is not None:
+                    self._counts[key] += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Failover counters plus per-member breaker/health snapshots."""
+        with self._stats_lock:
+            out: Dict[str, object] = dict(self._counts)
+        out["members"] = len(self.members)
+        out["member_states"] = [
+            "poisoned" if self._poisoned[mid] else self.breakers[mid].state
+            for mid in range(len(self.members))
+        ]
+        out["breaker_trips"] = [breaker.trips for breaker in self.breakers]
+        return out
+
+    def member_stats(self) -> List[Dict[str, float]]:
+        """Each member service's own ``stats()`` snapshot, in member order."""
+        return [member.stats() for member in self.members]
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every member (each drains its accepted requests)."""
+        for member in self.members:
+            member.close()
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    @property
+    def closed(self) -> bool:
+        return all(getattr(member, "closed", True) for member in self.members)
+
+    def __enter__(self) -> "ReplicaGroup":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+
+__all__ = ["ReplicaGroup", "FORCED_OPEN"]

@@ -1,0 +1,114 @@
+"""Partial results: exact over the shards that answered, explicit about the rest.
+
+When a whole replica group is down there are only two honest answers:
+raise (the default — :class:`~repro.core.errors.ShardUnavailableError`), or
+degrade *explicitly*.  :class:`PartialResult` is the explicit form: the
+per-query sums over every shard that answered — each bit-exact, because
+dominance sums are additive over disjoint shard partitions — plus the
+identities and extent MBRs of the shards that did not.
+
+The extents are the error bound.  A missing shard contributes exactly 0 to
+any query that does not intersect its extent (every object the shard owns
+lies inside it), so :meth:`PartialResult.is_exact` can prove, per query,
+that the outage did not touch the answer at all.  Queries that *do*
+intersect a missing extent carry an unknown non-negative deficit (for
+non-negative weights): the true sum is ``>= results[i]``.  Nothing here is
+ever a silent approximation — callers opted in (``partial_results=True``)
+and get the uncertainty as data, not as a wrong float.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.geometry import Box
+
+
+class PartialResult:
+    """A degraded batch answer: exact partial sums plus the outage's shape.
+
+    Attributes
+    ----------
+    results:
+        Per-query sums over the **answered** shards only (bit-identical to
+        what a cluster holding just those shards' objects would return).
+    answered / missing:
+        Sorted shard ids that did / did not contribute.
+    missing_extents:
+        ``shard id -> extent MBR`` for the missing shards (None when a
+        shard never stored anything or its extent is unknown — such a
+        shard can prove nothing, so it taints every query).
+    """
+
+    __slots__ = ("results", "answered", "missing", "missing_extents", "_queries")
+
+    def __init__(
+        self,
+        results: Sequence[float],
+        *,
+        answered: Sequence[int],
+        missing: Sequence[int],
+        missing_extents: Dict[int, Optional[Box]],
+        queries: Optional[Sequence[Box]] = None,
+    ) -> None:
+        if not missing:
+            raise ValueError("PartialResult requires at least one missing shard")
+        self.results: List[float] = list(results)
+        self.answered: Tuple[int, ...] = tuple(sorted(answered))
+        self.missing: Tuple[int, ...] = tuple(sorted(missing))
+        self.missing_extents: Dict[int, Optional[Box]] = {
+            sid: missing_extents.get(sid) for sid in self.missing
+        }
+        self._queries: Optional[List[Box]] = list(queries) if queries is not None else None
+
+    # -- the error bound -------------------------------------------------------------
+
+    def is_exact(self, i: int) -> bool:
+        """True when query ``i`` provably lost nothing to the outage.
+
+        A missing shard with extent ``E`` holds only objects inside ``E``;
+        a query that does not intersect ``E`` (paper's closed-box
+        semantics) intersects none of them, so that shard's contribution is
+        exactly 0 and ``results[i]`` is the true answer.  A missing shard
+        with an *unknown* extent can never be ruled out.
+        """
+        if self._queries is None:
+            return False
+        query = self._queries[i]
+        for extent in self.missing_extents.values():
+            if extent is None or extent.intersects(query):
+                return False
+        return True
+
+    def exact_indices(self) -> List[int]:
+        """Indices of queries whose answers are provably exact."""
+        if self._queries is None:
+            return []
+        return [i for i in range(len(self.results)) if self.is_exact(i)]
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of shards that answered."""
+        total = len(self.answered) + len(self.missing)
+        return len(self.answered) / total if total else 0.0
+
+    # -- conveniences ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> float:
+        return self.results[i]
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialResult(queries={len(self.results)}, "
+            f"answered={list(self.answered)}, missing={list(self.missing)}, "
+            f"exact={len(self.exact_indices())}/{len(self.results)})"
+        )
+
+
+__all__ = ["PartialResult"]

@@ -1,0 +1,60 @@
+"""Failover-aware scatter-gather: the shard router over replica groups.
+
+:class:`FailoverRouter` is deliberately thin.  All of the exactness
+machinery — batch-wide corner sharing, extent pruning/covering, the
+additive merge — lives in :class:`~repro.shard.router.ShardRouter` and
+needs no change, because a :class:`~repro.resilience.group.ReplicaGroup`
+duck-types the shard service surface the router speaks
+(``resolve_probe_values``, ``batch``, ``index``): each *shard slot* simply
+became a little cluster of interchangeable members, and the failover loop
+inside the group decides which member actually answers.  What this class
+adds is the policy wiring: a shared
+:class:`~repro.resilience.config.ResilienceConfig` and the translation of
+its ``partial_results`` flag into the router's ``allow_partial`` merge
+mode (a dead group becomes an omitted contribution in
+``shards_failed`` rather than a propagated
+:class:`~repro.core.errors.ShardUnavailableError`).
+
+:class:`~repro.shard.cluster.ShardedService` builds all of this itself
+when given ``replicas``/``resilience``; instantiate a ``FailoverRouter``
+directly when composing hand-built replica groups (as the chaos harness
+and the resilience benchmark do).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..obs.registry import MetricsRegistry
+from ..shard.router import ShardRouter
+from .config import ResilienceConfig
+from .group import ReplicaGroup
+
+
+class FailoverRouter(ShardRouter):
+    """A :class:`~repro.shard.router.ShardRouter` over replica groups."""
+
+    def __init__(
+        self,
+        groups: Sequence[ReplicaGroup],
+        *,
+        config: Optional[ResilienceConfig] = None,
+        executor=None,
+        registry: Optional[MetricsRegistry] = None,
+        label: str = "cluster",
+    ) -> None:
+        self.config = config if config is not None else ResilienceConfig()
+        super().__init__(
+            groups,
+            executor=executor,
+            registry=registry,
+            label=label,
+            allow_partial=self.config.partial_results,
+        )
+
+    @property
+    def groups(self) -> Sequence[ReplicaGroup]:
+        return self.shards
+
+
+__all__ = ["FailoverRouter"]

@@ -103,6 +103,16 @@ class AdmissionGate:
     ``inflight``/``queue_depth`` snapshot observed at rejection.  ``scope``
     names the gate in messages (``"service"``, ``"cluster"``) so stacked
     gates stay distinguishable.
+
+    **Close is reject-then-drain, never abort.**  A request the gate has
+    accepted — executing *or* queued for a slot — is allowed to finish;
+    ``close()`` only rejects admissions that arrive afterwards.  Queued
+    waiters therefore never see a spurious
+    :class:`~repro.core.errors.ServiceClosedError`: they proceed as the
+    in-flight requests release their slots.  ``drain()`` blocks until the
+    gate is empty (no slot held, no waiter queued) and is what the owning
+    service calls between closing the gate and tearing down the resources
+    those requests still use.
     """
 
     def __init__(
@@ -156,7 +166,11 @@ class AdmissionGate:
                     )
                 self._waiting += 1
                 try:
-                    while self._inflight >= self.max_inflight and not self._closed:
+                    # Deliberately *not* conditioned on ``closed``: a waiter
+                    # was accepted into the queue before any close, so it
+                    # keeps waiting for a slot (freed as in-flight requests
+                    # complete) instead of aborting with ServiceClosedError.
+                    while self._inflight >= self.max_inflight:
                         timeout = None
                         if deadline is not None:
                             timeout = deadline - time.perf_counter()
@@ -170,18 +184,18 @@ class AdmissionGate:
                         self._cond.wait(timeout=timeout)
                 finally:
                     self._waiting -= 1
-                if self._closed:
-                    raise ServiceClosedError(f"{self.scope} is closed")
             self._inflight += 1
         return time.perf_counter() - start
 
     def release(self) -> None:
         with self._cond:
             self._inflight -= 1
-            self._cond.notify()
+            # notify_all, not notify: besides the next queued waiter, a
+            # drain() caller may be blocked on the gate going empty.
+            self._cond.notify_all()
 
     def close(self) -> bool:
-        """Reject new admissions and wake every queued waiter.
+        """Reject new admissions; accepted requests keep their slots/queue.
 
         Idempotent; returns True on the first close, False afterwards.
         """
@@ -190,3 +204,16 @@ class AdmissionGate:
             self._closed = True
             self._cond.notify_all()
         return not already
+
+    def drain(self) -> None:
+        """Block until no request holds a slot and none waits for one.
+
+        Usually called right after :meth:`close` (new admissions are already
+        rejected, so the population can only shrink); calling it on an open
+        gate merely waits for a momentarily idle instant.  Must not be
+        called from a thread that itself holds a slot — that request can
+        never finish while its own close waits on it.
+        """
+        with self._cond:
+            while self._inflight or self._waiting:
+                self._cond.wait()

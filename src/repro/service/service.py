@@ -416,6 +416,11 @@ class QueryService:
         Use this for mutations the service has no verb for — e.g. a durable
         backend's ``set_meta`` — so cached results can never outlive them.
         """
+        # Fail fast before queueing on the write lock: a post-close mutation
+        # must not block behind a draining reader.  The re-check inside the
+        # lock closes the race with a concurrent close().
+        if self._gate.closed:
+            raise ServiceClosedError("service is closed")
         with self._rwlock.write():
             if self._gate.closed:
                 raise ServiceClosedError("service is closed")
@@ -452,9 +457,18 @@ class QueryService:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Reject new work, wake queued waiters, release the worker pool."""
+        """Reject new work, drain accepted requests, release the worker pool.
+
+        Close is *graceful*: requests the admission gate already accepted —
+        executing or queued — run to completion and return real answers;
+        only admissions arriving after the close are rejected with
+        :class:`~repro.core.errors.ServiceClosedError`.  The caches are
+        cleared only once the gate has drained, so no in-flight batch ever
+        races a teardown.
+        """
         if not self._gate.close():
             return
+        self._gate.drain()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         self._results.clear()

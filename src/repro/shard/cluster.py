@@ -28,13 +28,17 @@ shard serializes its own mutations), only rebalancing takes it exclusive.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from inspect import signature
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..core.aggregator import BoxSumIndex
 from ..core.errors import ServiceClosedError, ServiceOverloadedError
 from ..core.geometry import Box
 from ..obs import trace as _trace
 from ..obs.registry import MetricsRegistry, get_registry
+from ..resilience.config import ResilienceConfig
+from ..resilience.group import ReplicaGroup
+from ..resilience.partial import PartialResult
 from ..service.locks import AdmissionGate, RWLock
 from ..service.service import QUEUE_WAIT_BUCKETS, QueryService
 from .partition import ShardMap, make_shard_map
@@ -95,6 +99,24 @@ class ShardedService:
     workers:
         Scatter fan-out pool size; None sizes it to ``min(num_shards, 8)``,
         0 keeps the fan-out sequential (deterministic, still exact).
+    replicas:
+        Synchronous replicas per shard beyond the primary.  Any non-zero
+        value (or a ``resilience`` config, or a ``service_wrapper``) turns
+        each shard into a :class:`~repro.resilience.group.ReplicaGroup`:
+        mutations fan out to every member, queries fail over between them
+        behind per-member circuit breakers — and stay bit-identical, since
+        every member answers exactly.
+    resilience:
+        The failover policy (:class:`~repro.resilience.config.ResilienceConfig`):
+        retry budget, per-attempt deadline, backoff, hedged reads, and
+        whether a whole-group outage degrades to a
+        :class:`~repro.resilience.partial.PartialResult` instead of raising
+        :class:`~repro.core.errors.ShardUnavailableError`.
+    service_wrapper:
+        ``(service, shard_id, member_id) -> service`` hook applied to every
+        member service as the groups are built — the chaos harness's seam
+        (:func:`~repro.resilience.chaos.chaos_member_wrapper`), also usable
+        for bespoke instrumentation.
     """
 
     def __init__(
@@ -115,35 +137,80 @@ class ShardedService:
         workers: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         label: str = "cluster",
+        replicas: int = 0,
+        resilience: Optional[ResilienceConfig] = None,
+        service_wrapper=None,
     ) -> None:
         self.dims = dims
         self.label = label
-        self._map = make_shard_map(partitioner, num_shards)
+        self._map = make_shard_map(partitioner, num_shards, replicas=replicas)
+        replicas = self._map.replicas
         registry = registry if registry is not None else get_registry()
         index_kwargs = dict(index_kwargs or {})
         shard_kwargs = dict(shard_kwargs or {})
         shard_kwargs.setdefault("max_inflight", max_inflight)
         shard_kwargs.setdefault("max_queue", max_queue)
-        self._shards: List[QueryService] = []
-        for sid in range(num_shards):
-            if index_factory is not None:
-                index = index_factory(sid)
-            else:
-                index = BoxSumIndex(
+        # Replication, an explicit failover policy or a member wrapper all
+        # switch the shards to replica groups; otherwise the plain
+        # single-service path is untouched (no extra layers, no threads).
+        self._resilient = bool(
+            replicas or resilience is not None or service_wrapper is not None
+        )
+        self.resilience = (
+            (resilience if resilience is not None else ResilienceConfig())
+            if self._resilient
+            else None
+        )
+        factory_arity = 1
+        if index_factory is not None:
+            try:
+                factory_arity = len(signature(index_factory).parameters)
+            except (TypeError, ValueError):
+                factory_arity = 1
+
+        def build_index(sid: int, member: int):
+            if index_factory is None:
+                return BoxSumIndex(
                     dims,
                     backend=backend,
                     reduction=reduction,
                     measure=measure,
                     **index_kwargs,
                 )
-            self._shards.append(
-                QueryService(
-                    index,
+            # A 2-arg factory places each member separately (e.g. its own
+            # storage directory); a 1-arg factory is called once per member
+            # and must yield equivalent empty indices.
+            if factory_arity >= 2:
+                return index_factory(sid, member)
+            return index_factory(sid)
+
+        self._groups: List[ReplicaGroup] = []
+        self._shards: List[Union[QueryService, ReplicaGroup]] = []
+        for sid in range(num_shards):
+            members: List[QueryService] = []
+            for member in range(1 + replicas):
+                suffix = f"s{sid}" if member == 0 else f"s{sid}r{member}"
+                service = QueryService(
+                    build_index(sid, member),
                     registry=registry,
-                    label=f"{label}/s{sid}",
+                    label=f"{label}/{suffix}",
                     **shard_kwargs,
                 )
-            )
+                if service_wrapper is not None:
+                    service = service_wrapper(service, sid, member)
+                members.append(service)
+            if self._resilient:
+                group = ReplicaGroup(
+                    sid,
+                    members,
+                    config=self.resilience,
+                    registry=registry,
+                    label=label,
+                )
+                self._groups.append(group)
+                self._shards.append(group)
+            else:
+                self._shards.append(members[0])
         self._executor = None
         if workers is None:
             workers = min(num_shards, 8) if num_shards > 1 else 0
@@ -154,7 +221,11 @@ class ShardedService:
                 max_workers=workers, thread_name_prefix="repro-shard"
             )
         self._router = ShardRouter(
-            self._shards, executor=self._executor, registry=registry, label=label
+            self._shards,
+            executor=self._executor,
+            registry=registry,
+            label=label,
+            allow_partial=bool(self.resilience and self.resilience.partial_results),
         )
         self._gate = AdmissionGate(
             max_inflight, max_queue, queue_timeout, scope=f"cluster[{label}]"
@@ -172,6 +243,7 @@ class ShardedService:
             "mutations": 0.0,
             "rebalances": 0.0,
             "migrated": 0.0,
+            "partial_batches": 0.0,
         }
         self._m_objects = registry.gauge(
             "repro_shard_objects", "objects currently owned, per shard"
@@ -199,6 +271,10 @@ class ShardedService:
             "seconds batches waited at the cluster gate",
             buckets=QUEUE_WAIT_BUCKETS,
         )
+        self._m_partial = registry.counter(
+            "repro_resilience_partial_batches",
+            "batches degraded to PartialResult by whole-group outages",
+        )
         self._publish_balance()
 
     # -- introspection accessors ---------------------------------------------------
@@ -219,8 +295,24 @@ class ShardedService:
 
     @property
     def services(self) -> Tuple[QueryService, ...]:
-        """The shard-local services, in shard-id order (read-only use)."""
+        """The shard-local services, in shard-id order (read-only use).
+
+        In a replicated cluster these are the *primaries*; use
+        :attr:`groups` for the full replica topology.
+        """
+        if self._groups:
+            return tuple(group.primary for group in self._groups)
         return tuple(self._shards)
+
+    @property
+    def groups(self) -> Tuple[ReplicaGroup, ...]:
+        """The replica groups (empty tuple when the cluster is unreplicated)."""
+        return tuple(self._groups)
+
+    @property
+    def replicas(self) -> int:
+        """Synchronous replicas per shard beyond the primary."""
+        return self._map.replicas
 
     @property
     def imbalance(self) -> float:
@@ -244,16 +336,37 @@ class ShardedService:
 
     # -- queries -------------------------------------------------------------------
 
-    def box_sum(self, query: Box) -> float:
-        """One exact cluster-wide box-sum."""
-        return self.batch([query]).results[0]
+    def box_sum(self, query: Box) -> Union[float, PartialResult]:
+        """One exact cluster-wide box-sum.
 
-    def box_sum_batch(self, queries: Sequence[Box]) -> List[float]:
-        """Exact answers for a batch, in request order."""
-        return self.batch(queries).results
+        With ``partial_results`` opted in and a whole replica group down,
+        returns a single-query :class:`PartialResult` instead of a bare
+        float — a degraded answer is never a silently wrong number.
+        """
+        outcome = self.batch([query])
+        if isinstance(outcome, PartialResult):
+            return outcome
+        return outcome.results[0]
 
-    def batch(self, queries: Sequence[Box]) -> ClusterBatchResult:
-        """Scatter a batch across the shards and gather the exact merge."""
+    def box_sum_batch(self, queries: Sequence[Box]) -> Union[List[float], PartialResult]:
+        """Exact answers for a batch, in request order (or a PartialResult)."""
+        outcome = self.batch(queries)
+        if isinstance(outcome, PartialResult):
+            return outcome
+        return outcome.results
+
+    def batch(
+        self, queries: Sequence[Box]
+    ) -> Union[ClusterBatchResult, PartialResult]:
+        """Scatter a batch across the shards and gather the exact merge.
+
+        Returns a :class:`ClusterBatchResult` when every shard answered.
+        A dead replica group raises
+        :class:`~repro.core.errors.ShardUnavailableError` by default;
+        with :class:`~repro.resilience.config.ResilienceConfig`
+        ``partial_results=True`` it degrades to a :class:`PartialResult`
+        carrying the answered-shard sums and the missing shards' extents.
+        """
         queries = list(queries)
         wait_s = self._admit()
         try:
@@ -267,6 +380,21 @@ class ShardedService:
             self._counts["queries"] += len(queries)
             self._m_queries.inc(len(queries), label=self.label)
             self._m_queue_wait.observe(wait_s, label=self.label)
+        if result.shards_failed:
+            with self._stats_lock:
+                self._counts["partial_batches"] += 1
+                self._m_partial.inc(label=self.label)
+            return PartialResult(
+                result.results,
+                answered=[
+                    sid
+                    for sid in range(self.num_shards)
+                    if sid not in result.shards_failed
+                ],
+                missing=result.shards_failed,
+                missing_extents={sid: extents[sid] for sid in result.shards_failed},
+                queries=queries,
+            )
         return result
 
     def _admit(self) -> float:
@@ -502,6 +630,7 @@ class ShardedService:
         with self._meta:
             counts = list(self._object_counts)
         out["shards"] = self.num_shards
+        out["replicas"] = self.replicas
         out["objects"] = counts
         out["objects_total"] = sum(counts)
         out["imbalance"] = _imbalance(counts)
@@ -514,10 +643,21 @@ class ShardedService:
         """Each shard service's own :meth:`~QueryService.stats` snapshot."""
         return [service.stats() for service in self._shards]
 
+    def resilience_stats(self) -> List[Dict[str, object]]:
+        """Per-group failover/breaker snapshots (empty when unreplicated)."""
+        return [group.stats() for group in self._groups]
+
     def close(self) -> None:
-        """Reject new work, drain the pool, close every shard service."""
+        """Graceful close: reject new batches, drain accepted ones, close shards.
+
+        The cluster gate closes first (new admissions fail with
+        :class:`~repro.core.errors.ServiceClosedError`), then already
+        admitted batches drain, then the fan-out pool and every shard
+        service (each draining its own accepted work) shut down.
+        """
         if not self._gate.close():
             return
+        self._gate.drain()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         for service in self._shards:

@@ -29,7 +29,9 @@ from ..core.errors import ShardMapError
 from ..core.geometry import Box, Coords
 
 #: Serialization format version of :meth:`ShardMap.to_dict` payloads.
-SHARD_MAP_VERSION = 1
+#: Version 2 added the replica topology (``replicas``); version 1 payloads
+#: are still accepted and read as replica-free (``replicas = 0``).
+SHARD_MAP_VERSION = 2
 
 
 class Partitioner:
@@ -354,10 +356,20 @@ class ShardMap:
     actually lives (relevant after generic rebalancing, which moves objects
     without changing ``assign``).  Round-tripping through
     :meth:`to_dict`/:meth:`from_dict` reproduces assignment exactly.
+
+    ``replicas`` records the cluster's replica topology — how many
+    synchronous replicas each shard's replica group carries beyond its
+    primary (0 = unreplicated).  Placement is not a per-object decision
+    (every member of a group holds the *same* objects), so one integer is
+    the whole topology; it travels with the map so a restored cluster
+    rebuilds the same groups.
     """
 
-    def __init__(self, partitioner: Partitioner) -> None:
+    def __init__(self, partitioner: Partitioner, *, replicas: int = 0) -> None:
+        if replicas < 0:
+            raise ShardMapError(f"replicas must be >= 0, got {replicas}")
         self.partitioner = partitioner
+        self.replicas = replicas
 
     @property
     def num_shards(self) -> int:
@@ -387,13 +399,14 @@ class ShardMap:
             "version": SHARD_MAP_VERSION,
             "partitioner": self.name,
             "num_shards": self.num_shards,
+            "replicas": self.replicas,
             "state": self.partitioner.state(),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ShardMap":
         version = payload.get("version")
-        if version != SHARD_MAP_VERSION:
+        if version not in (1, SHARD_MAP_VERSION):
             raise ShardMapError(f"unsupported shard map version {version!r}")
         name = payload.get("partitioner")
         if name not in PARTITIONERS:
@@ -401,37 +414,48 @@ class ShardMap:
         num_shards = payload.get("num_shards")
         if not isinstance(num_shards, int):
             raise ShardMapError(f"num_shards {num_shards!r} is not an int")
+        replicas = payload.get("replicas", 0) if version >= 2 else 0
+        if not isinstance(replicas, int) or replicas < 0:
+            raise ShardMapError(f"replicas {replicas!r} is not a count")
         partitioner = PARTITIONERS[name](num_shards)
         state = payload.get("state", {})
         if not isinstance(state, dict):
             raise ShardMapError("shard map state must be an object")
         partitioner.load_state(state)
-        return cls(partitioner)
+        return cls(partitioner, replicas=replicas)
 
 
-def make_shard_map(spec, num_shards: int) -> ShardMap:
+def make_shard_map(spec, num_shards: int, *, replicas: int = 0) -> ShardMap:
     """Coerce a partitioner spec to a :class:`ShardMap`.
 
     ``spec`` may be a registry name (``"kd"``, ``"hash"``,
     ``"roundrobin"``), a :class:`Partitioner` instance, or an existing
-    :class:`ShardMap`; instances must agree with ``num_shards``.
+    :class:`ShardMap`; instances must agree with ``num_shards``.  A
+    non-zero ``replicas`` must agree with an existing map's recorded
+    topology (a restored map with ``replicas`` set wins over the default).
     """
     if isinstance(spec, ShardMap):
         if spec.num_shards != num_shards:
             raise ShardMapError(
                 f"shard map has {spec.num_shards} shards, cluster wants {num_shards}"
             )
+        if replicas and spec.replicas and spec.replicas != replicas:
+            raise ShardMapError(
+                f"shard map records {spec.replicas} replicas, caller wants {replicas}"
+            )
+        if replicas and not spec.replicas:
+            spec.replicas = replicas
         return spec
     if isinstance(spec, Partitioner):
         if spec.num_shards != num_shards:
             raise ShardMapError(
                 f"partitioner has {spec.num_shards} shards, cluster wants {num_shards}"
             )
-        return ShardMap(spec)
+        return ShardMap(spec, replicas=replicas)
     if isinstance(spec, str):
         if spec not in PARTITIONERS:
             raise ShardMapError(f"unknown partitioner {spec!r}")
-        return ShardMap(PARTITIONERS[spec](num_shards))
+        return ShardMap(PARTITIONERS[spec](num_shards), replicas=replicas)
     raise ShardMapError(f"cannot build a shard map from {type(spec).__name__}")
 
 

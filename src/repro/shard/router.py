@@ -37,7 +37,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from ..core.errors import ServiceOverloadedError
+from ..core.errors import ServiceOverloadedError, ShardUnavailableError
 from ..core.geometry import Box
 from ..core.reduction import combine_probe_values
 from ..core.values import SumCount, Value
@@ -69,6 +69,9 @@ class ClusterBatchResult(NamedTuple):
     probes_covered: int
     probes_executed: int
     probe_cache_hits: int
+    #: Shards that failed to answer (non-empty only under ``allow_partial``,
+    #: in which case ``results`` cover the answered shards only).
+    shards_failed: Tuple[int, ...] = ()
 
     @property
     def fanout(self) -> float:
@@ -76,6 +79,11 @@ class ClusterBatchResult(NamedTuple):
         if not self.shards_total:
             return 0.0
         return self.shards_contacted / self.shards_total
+
+    @property
+    def complete(self) -> bool:
+        """True when every contacted shard answered."""
+        return not self.shards_failed
 
 
 def _probe_bounds(key: object, extent: Box) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
@@ -128,6 +136,14 @@ class ShardRouter:
     can also be used standalone over hand-built services.  ``executor`` may
     be any object with ``map`` (e.g. a ``ThreadPoolExecutor``); without one
     the fan-out is sequential, which is still exact.
+
+    ``allow_partial=True`` turns a shard-level
+    :class:`~repro.core.errors.ShardUnavailableError` (a whole replica
+    group down) into an *omitted contribution*: the merge proceeds over
+    the shards that answered and the failure lands in
+    ``ClusterBatchResult.shards_failed`` for the caller to surface as a
+    :class:`~repro.resilience.partial.PartialResult`.  The default (False)
+    propagates the error — no silent partial answers.
     """
 
     def __init__(
@@ -137,11 +153,13 @@ class ShardRouter:
         executor=None,
         registry: Optional[MetricsRegistry] = None,
         label: str = "cluster",
+        allow_partial: bool = False,
     ) -> None:
         if not shards:
             raise ValueError("a router needs at least one shard")
         self.shards = list(shards)
         self.label = label
+        self.allow_partial = allow_partial
         self._executor = executor
         reference = self.shards[0].index
         self._supports_probes = bool(getattr(reference, "supports_probes", False))
@@ -232,7 +250,7 @@ class ShardRouter:
             if shard_needed or shard_covered or not corner:
                 contacted.append(sid)
 
-        snapshots = self._resolve(contacted, needed)
+        snapshots, failed = self._resolve(contacted, needed)
 
         merge_start = time.perf_counter()
         zero = reference.zero
@@ -242,6 +260,8 @@ class ShardRouter:
         probes_executed = 0
         cache_hits = 0
         for sid in contacted:
+            if sid in failed:
+                continue
             snapshot = snapshots[sid]
             shard_epochs[sid] = snapshot.epoch
             probes_executed += snapshot.probes_executed
@@ -297,6 +317,7 @@ class ShardRouter:
             probes_covered=covered_count,
             probes_executed=probes_executed,
             probe_cache_hits=cache_hits,
+            shards_failed=tuple(sorted(failed)),
         )
 
     @staticmethod
@@ -310,12 +331,23 @@ class ShardRouter:
 
     def _resolve(
         self, contacted: List[int], needed: List[List[ProbeIdentity]]
-    ) -> Dict[int, ProbeSnapshot]:
-        """Fan the needed identities out to the contacted shards."""
+    ) -> Tuple[Dict[int, ProbeSnapshot], set]:
+        """Fan the needed identities out to the contacted shards.
 
-        def run(sid: int) -> Tuple[int, ProbeSnapshot]:
+        Returns the per-shard snapshots plus the set of shards that were
+        unavailable (always empty unless ``allow_partial``; any other shard
+        exception propagates out of the gather, with ``executor.map``
+        re-raising it on iteration — the caller holds no shard locks here,
+        so propagation leaks nothing).
+        """
+
+        def run(sid: int) -> Tuple[int, Optional[ProbeSnapshot]]:
             try:
                 return sid, self.shards[sid].resolve_probe_values(needed[sid])
+            except ShardUnavailableError:
+                if self.allow_partial:
+                    return sid, None
+                raise
             except ServiceOverloadedError as exc:
                 if exc.shard is None:
                     raise ServiceOverloadedError(
@@ -330,7 +362,8 @@ class ShardRouter:
             pairs = list(self._executor.map(run, contacted))
         else:
             pairs = [run(sid) for sid in contacted]
-        return dict(pairs)
+        failed = {sid for sid, snapshot in pairs if snapshot is None}
+        return {sid: s for sid, s in pairs if s is not None}, failed
 
     # -- monolithic fallback (object backends) ------------------------------------
 
@@ -357,10 +390,14 @@ class ShardRouter:
             if keep:
                 contacted.append(sid)
 
-        def run(sid: int) -> Tuple[int, List[float], int]:
+        def run(sid: int) -> Tuple[int, Optional[List[float]], int]:
             service = self.shards[sid]
             try:
                 batch = service.batch([queries[i] for i in relevant[sid]])
+            except ShardUnavailableError:
+                if self.allow_partial:
+                    return sid, None, -1
+                raise
             except ServiceOverloadedError as exc:
                 if exc.shard is None:
                     raise ServiceOverloadedError(
@@ -380,7 +417,11 @@ class ShardRouter:
         merge_start = time.perf_counter()
         results = [0.0] * len(queries)
         shard_epochs: Dict[int, int] = {}
+        failed: List[int] = []
         for sid, values, epoch in sorted(answers):
+            if values is None:
+                failed.append(sid)
+                continue
             shard_epochs[sid] = epoch
             for i, value in zip(relevant[sid], values):
                 results[i] += value
@@ -400,6 +441,7 @@ class ShardRouter:
             probes_covered=0,
             probes_executed=0,
             probe_cache_hits=0,
+            shards_failed=tuple(failed),
         )
 
 

@@ -25,13 +25,26 @@ Underlying files are opened *unbuffered*, so "what reached the OS before
 the crash" is exactly what the test reads back afterwards; nothing is
 un-torn by a destructor flush.
 
+**Determinism.**  Every fault is reproducible.  Unseeded
+(``seed=None``, the default), the damage shape is fixed: a torn write
+persists exactly the first half of the buffer and a bitflip flips bit 0
+of the middle byte — the legacy behavior, byte-for-byte.  Seeded, the
+torn prefix length and the flipped bit's (byte, bit) position are drawn
+from a private ``random.Random(seed)`` — same seed, same workload ⇒ the
+same bytes on disk, while different seeds explore different damage (a
+torn boundary the recovery scan mishandles, a flipped bit a weak checksum
+misses).  The draw happens when the fault *fires*, so the sequence of
+mutating operations is the only other input.
+
 The every-write-point torture loop built on top of this lives in
-:func:`repro.testing.check_crash_recovery`.
+:func:`repro.testing.check_crash_recovery`; the serving-path analogue
+(chaos on live replica groups) is :mod:`repro.resilience.chaos`.
 """
 
 from __future__ import annotations
 
 import os
+import random
 from dataclasses import dataclass
 from typing import Optional
 
@@ -64,13 +77,37 @@ class CrashPoint:
 
 
 class FaultInjector:
-    """Shared fault state for every file opened through :meth:`opener`."""
+    """Shared fault state for every file opened through :meth:`opener`.
 
-    def __init__(self, crash_point: Optional[CrashPoint] = None) -> None:
+    ``seed`` selects the damage shape for ``torn``/``bitflip`` faults:
+    None keeps the legacy fixed damage (half-prefix tear, middle-byte
+    bit 0 flip); an int draws tear length and flip position from
+    ``random.Random(seed)`` — deterministic per seed, varied across seeds.
+    """
+
+    def __init__(
+        self, crash_point: Optional[CrashPoint] = None, *, seed: Optional[int] = None
+    ) -> None:
         self.crash_point = crash_point or CrashPoint()
+        self.seed = seed
+        self._rng = random.Random(seed) if seed is not None else None
         self.ops = 0  # mutating operations observed (write/truncate/fsync)
         self.fired = False
         self.crashed = False
+
+    # -- damage shapes (deterministic; see the module docstring) ---------------------
+
+    def torn_length(self, size: int) -> int:
+        """How many bytes of a ``size``-byte torn write actually persist."""
+        if self._rng is None:
+            return size // 2
+        return self._rng.randrange(size) if size else 0
+
+    def flip_position(self, size: int) -> "tuple[int, int]":
+        """(byte index, bit index) a bitflip fault damages in a write."""
+        if self._rng is None:
+            return size // 2, 0
+        return self._rng.randrange(size), self._rng.randrange(8)
 
     def opener(self, path: str, mode: str) -> "FaultyFile":
         """Drop-in for ``open(path, mode)`` producing wrapped, unbuffered files."""
@@ -116,12 +153,14 @@ class FaultyFile:
     def write(self, data: bytes) -> int:
         mode = self._injector._arm(is_write=True)
         if mode == "torn":
-            self._raw.write(bytes(data)[: len(data) // 2])
+            self._raw.write(bytes(data)[: self._injector.torn_length(len(data))])
             self._injector.crashed = True
             raise SimulatedCrashError("simulated crash mid-write (torn page)")
         if mode == "bitflip":
             buf = bytearray(data)
-            buf[len(buf) // 2] ^= 0x01
+            if buf:
+                byte, bit = self._injector.flip_position(len(buf))
+                buf[byte] ^= 1 << bit
             return self._raw.write(bytes(buf))
         return self._raw.write(data)
 

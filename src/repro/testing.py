@@ -17,6 +17,14 @@ queries, and reports the first disagreement.
 torture loop that replays an insert-and-checkpoint workload, killing the
 simulated process at *every* write point in turn, and asserts the reopened
 index always equals a committed oracle prefix.
+
+:func:`check_failover` is the serving path's counterpart: a chaos torture
+loop that runs a replicated cluster with one deterministically misbehaving
+member per replica group and asserts every answer stays bit-identical to
+an unsharded reference index, that a whole-group outage is loud (raise, or
+an explicit :class:`~repro.resilience.partial.PartialResult` when opted
+in), and that circuit breakers actually stop routing to a dead member and
+re-admit it after it heals.
 """
 
 from __future__ import annotations
@@ -295,4 +303,274 @@ def check_crash_recovery(
             except Exception as exc:  # noqa: BLE001 - any failure is a finding
                 report.fail(f"{label}: reopen/recovery raised {exc!r}")
     _remove_index_files(path)
+    return report
+
+
+def _failover_workload(
+    dims: int, n_objects: int, seed: int, span: float = 100.0, max_side: float = 25.0
+) -> List[Tuple[Box, float]]:
+    """Deterministic boxes with small-integer weights.
+
+    Integer weights keep every partial sum exactly representable, so the
+    sharded merge is bit-identical to the unsharded sum regardless of
+    addition order — which is what lets the chaos checks use ``==``.
+    """
+    rng = random.Random(seed)
+    objects: List[Tuple[Box, float]] = []
+    for _ in range(n_objects):
+        low = [rng.uniform(0, span - max_side) for _ in range(dims)]
+        high = [lo + rng.uniform(0, max_side) for lo in low]
+        objects.append((Box(low, high), float(rng.randint(1, 9))))
+    return objects
+
+
+def check_failover(
+    dims: int = 2,
+    num_shards: int = 3,
+    replicas: int = 1,
+    n_objects: int = 90,
+    n_batches: int = 25,
+    batch_size: int = 4,
+    modes: Sequence[str] = ("raise", "delay", "corrupt"),
+    backend: str = "ba",
+    seed: int = 0,
+) -> CheckReport:
+    """Torture-test the resilient serving path under deterministic chaos.
+
+    Three phases, all seeded (same arguments ⇒ same run, bit for bit):
+
+    1. **Exactness under failover** — for each fault ``mode``, a replicated
+       cluster whose *primaries* all misbehave on a seeded schedule serves
+       interleaved mutations and query batches; every answer must equal the
+       unsharded reference index exactly (``==``, no tolerance — additive
+       dominance-sum decomposition plus identical replicas make failover
+       invisible in the bits).
+    2. **Whole-group outage** — with every member of shard 0 dead, the
+       default config must raise
+       :class:`~repro.core.errors.ShardUnavailableError`; with
+       ``partial_results=True`` it must return a
+       :class:`~repro.resilience.partial.PartialResult` whose provably
+       exact queries (no intersection with the dead shard's extent) match
+       the reference — never a silently wrong bare float.
+    3. **Breaker trip and heal** — a replica group with an always-failing
+       primary must stop routing to it (trip open within the breaker
+       window), serve exactly from the replica meanwhile, and re-admit the
+       primary after its chaos is lifted and the cooldown elapses.
+    """
+    from .core.aggregator import BoxSumIndex
+    from .core.errors import ShardUnavailableError
+    from .obs.registry import MetricsRegistry
+    from .resilience import (
+        BreakerConfig,
+        ChaosPlan,
+        FaultyQueryService,
+        PartialResult,
+        ReplicaGroup,
+        ResilienceConfig,
+        chaos_member_wrapper,
+    )
+    from .service import QueryService
+    from .shard import ShardedService
+
+    report = CheckReport()
+    rng = random.Random(seed)
+    objects = _failover_workload(dims, n_objects, seed)
+
+    def random_query() -> Box:
+        low = [rng.uniform(0, 100.0) for _ in range(dims)]
+        high = [lo + rng.uniform(0, 60.0) for lo in low]
+        return Box(low, high)
+
+    plans = {
+        "raise": ChaosPlan(raise_rate=0.4),
+        "delay": ChaosPlan(delay_rate=0.5, delay_s=0.0005),
+        "hang": ChaosPlan(hang_rate=0.3, hang_s=0.05),
+        "corrupt": ChaosPlan(corrupt_rate=0.4),
+    }
+    policy = ResilienceConfig(
+        max_attempts=4,
+        backoff_base_s=0.0,
+        # A hang only resolves through a deadline; harmless for the rest.
+        deadline_s=0.02 if "hang" in modes else None,
+        breaker=BreakerConfig(window=8, min_requests=4, cooldown_s=0.05),
+        seed=seed,
+    )
+
+    # -- phase 1: bit-exactness under per-member chaos -----------------------------
+    for mode in modes:
+        if mode not in plans:
+            report.fail(f"unknown chaos mode {mode!r}")
+            continue
+        plan = plans[mode].with_seed(seed)
+        reference = BoxSumIndex(dims, backend=backend)
+        reference.bulk_load(objects)
+        cluster = ShardedService(
+            dims,
+            num_shards,
+            backend=backend,
+            replicas=replicas,
+            workers=0,
+            partitioner="kd",
+            registry=MetricsRegistry(),
+            service_wrapper=chaos_member_wrapper(plan),
+            resilience=policy,
+        )
+        try:
+            cluster.bulk_load(objects)
+            extra = _failover_workload(dims, n_batches, seed + 1)
+            for i in range(n_batches):
+                if i % 5 == 2:  # interleave mutations (fan out to every member)
+                    box, value = extra[i]
+                    cluster.insert(box, value)
+                    reference.insert(box, value)
+                elif i % 5 == 4:
+                    box, value = objects[i % len(objects)]
+                    cluster.delete(box, value)
+                    reference.delete(box, value)
+                queries = [random_query() for _ in range(batch_size)]
+                got = cluster.box_sum_batch(queries)
+                expected = [reference.box_sum(q) for q in queries]
+                report.checks += 1
+                if isinstance(got, PartialResult):
+                    report.fail(f"{mode}@batch{i}: unexpected PartialResult {got}")
+                elif list(got) != expected:
+                    report.fail(
+                        f"{mode}@batch{i}: chaos answers {list(got)} != "
+                        f"reference {expected}"
+                    )
+            groups = cluster.resilience_stats()
+            report.checks += 1
+            if mode != "delay" and not any(g["failovers"] for g in groups):
+                report.fail(f"{mode}: chaos never forced a failover (inert test?)")
+        finally:
+            cluster.close()
+
+    # -- phase 2: whole-group outage is loud ---------------------------------------
+    def dead_wrapper(service: QueryService, sid: int, member: int):
+        if sid != 0:
+            return service
+        plan = ChaosPlan(raise_rate=1.0).with_seed(seed + member)
+        return FaultyQueryService(service, plan)
+
+    reference = BoxSumIndex(dims, backend=backend)
+    reference.bulk_load(objects)
+    for partial in (False, True):
+        cluster = ShardedService(
+            dims,
+            num_shards,
+            backend=backend,
+            replicas=replicas,
+            workers=0,
+            partitioner="kd",
+            registry=MetricsRegistry(),
+            service_wrapper=dead_wrapper,
+            resilience=ResilienceConfig(
+                max_attempts=2, backoff_base_s=0.0, partial_results=partial, seed=seed
+            ),
+        )
+        try:
+            cluster.bulk_load(objects)
+            # One full-span query guarantees the dead shard is contacted even
+            # on object backends, whose router prunes shards whose extent
+            # misses every query in the batch.
+            queries = [Box([0.0] * dims, [100.0] * dims)] + [
+                random_query() for _ in range(batch_size - 1)
+            ]
+            report.checks += 1
+            if not partial:
+                try:
+                    cluster.box_sum_batch(queries)
+                    report.fail("dead group without opt-in did not raise")
+                except ShardUnavailableError:
+                    pass
+            else:
+                got = cluster.box_sum_batch(queries)
+                if not isinstance(got, PartialResult):
+                    report.fail(f"dead group with opt-in returned {type(got).__name__}")
+                elif got.missing != (0,):
+                    report.fail(f"partial result blames shards {got.missing}, not 0")
+                else:
+                    for i in got.exact_indices():
+                        report.checks += 1
+                        if got.results[i] != reference.box_sum(queries[i]):
+                            report.fail(
+                                f"provably exact partial answer {got.results[i]} != "
+                                f"reference {reference.box_sum(queries[i])}"
+                            )
+                    for i in range(len(queries)):
+                        report.checks += 1
+                        if got.results[i] > reference.box_sum(queries[i]):
+                            report.fail(
+                                f"partial sum {got.results[i]} exceeds full sum "
+                                f"{reference.box_sum(queries[i])} (non-negative weights)"
+                            )
+        finally:
+            cluster.close()
+
+    # -- phase 3: breaker trips, contains, and heals --------------------------------
+    now = [0.0]
+    breaker_cfg = BreakerConfig(
+        window=8, min_requests=3, failure_threshold=0.5, cooldown_s=1.0, half_open_probes=2
+    )
+    primary_index = BoxSumIndex(dims, backend=backend)
+    replica_index = BoxSumIndex(dims, backend=backend)
+    primary_index.bulk_load(objects)
+    replica_index.bulk_load(objects)
+    faulty = FaultyQueryService(
+        QueryService(primary_index, registry=MetricsRegistry()),
+        ChaosPlan(raise_rate=1.0).with_seed(seed),
+    )
+    healthy = QueryService(replica_index, registry=MetricsRegistry())
+    group = ReplicaGroup(
+        0,
+        [faulty, healthy],
+        config=ResilienceConfig(
+            max_attempts=3, backoff_base_s=0.0, breaker=breaker_cfg, seed=seed
+        ),
+        registry=MetricsRegistry(),
+        clock=lambda: now[0],
+        sleep=lambda s: None,
+    )
+    try:
+        reference = BoxSumIndex(dims, backend=backend)
+        reference.bulk_load(objects)
+        queries = [random_query() for _ in range(10)]
+        for q in queries:
+            report.checks += 1
+            if group.box_sum(q) != reference.box_sum(q):
+                report.fail(f"group answer under dead primary differs on {q}")
+        report.checks += 1
+        if group.breakers[0].state != "open":
+            report.fail(
+                f"always-failing primary's breaker is {group.breakers[0].state!r}, "
+                "expected open"
+            )
+        calls_at_trip = faulty.calls
+        for q in queries:
+            group.box_sum(q)
+        report.checks += 1
+        if faulty.calls != calls_at_trip:
+            report.fail(
+                f"breaker did not stop routing: primary saw "
+                f"{faulty.calls - calls_at_trip} calls while open"
+            )
+        # Heal: lift the chaos, let the cooldown elapse; half-open probes
+        # must re-admit the primary and close the breaker.
+        faulty.enabled = False
+        now[0] += breaker_cfg.cooldown_s + 0.001
+        for q in queries[: breaker_cfg.half_open_probes + 1]:
+            report.checks += 1
+            if group.box_sum(q) != reference.box_sum(q):
+                report.fail(f"group answer during half-open probing differs on {q}")
+        report.checks += 1
+        if group.breakers[0].state != "closed":
+            report.fail(
+                f"healed primary's breaker is {group.breakers[0].state!r}, "
+                "expected closed"
+            )
+        report.checks += 1
+        if faulty.calls <= calls_at_trip:
+            report.fail("healed primary never received traffic again")
+    finally:
+        group.close()
     return report

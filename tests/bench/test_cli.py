@@ -24,6 +24,7 @@ class TestCli:
             "ablation",
             "service",
             "shard",
+            "resilience",
         }
 
     def test_run_reduction_experiment(self, capsys):

@@ -1,0 +1,195 @@
+"""Circuit breaker state machine, driven by a fake clock (no sleeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    FORCED_OPEN,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+def make(clock, **overrides) -> CircuitBreaker:
+    defaults = dict(
+        window=8, min_requests=4, failure_threshold=0.5, cooldown_s=10.0, half_open_probes=2
+    )
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults), clock=clock)
+
+
+class TestTripping:
+    def test_starts_closed_and_admits(self):
+        breaker = make(Clock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_no_trip_below_min_requests(self):
+        breaker = make(Clock(), min_requests=4)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_at_error_threshold(self):
+        breaker = make(Clock())
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 1/3 errors, below 0.5
+        breaker.record_failure()  # 2/4 == the 0.5 threshold: trips
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_open_blocks_traffic(self):
+        clock = Clock()
+        breaker = make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_successes_keep_it_closed(self):
+        breaker = make(Clock())
+        for _ in range(20):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_rolling_window_forgets_old_failures(self):
+        """Failures older than the window cannot trip the breaker."""
+        breaker = make(Clock(), window=4, min_requests=4)
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(4):  # push the failures out of the 4-slot window
+            breaker.record_success()
+        breaker.record_failure()  # 1/4 in window, below threshold
+        assert breaker.state == CLOSED
+
+
+class TestHealing:
+    def _trip(self, clock) -> CircuitBreaker:
+        breaker = make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        return breaker
+
+    def test_cooldown_moves_to_half_open(self):
+        clock = Clock()
+        breaker = self._trip(clock)
+        clock.advance(9.999)
+        assert not breaker.allow()
+        clock.advance(0.002)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_probe_successes_close_with_a_clean_window(self):
+        clock = Clock()
+        breaker = self._trip(clock)
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one probe is not enough
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # The window was cleared: one new failure cannot re-trip.
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 3 < min_requests after the reset
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = Clock()
+        breaker = self._trip(clock)
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance(5.0)  # cooldown restarted at the re-open
+        assert not breaker.allow()
+        clock.advance(5.1)
+        assert breaker.allow()
+
+
+class TestForcedOpen:
+    def test_forced_open_is_terminal(self):
+        clock = Clock()
+        breaker = make(clock)
+        breaker.force_open()
+        assert breaker.state == FORCED_OPEN
+        assert not breaker.allow()
+        clock.advance(1e9)  # no cooldown can revive it
+        assert not breaker.allow()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == FORCED_OPEN
+
+    def test_force_open_is_idempotent(self):
+        breaker = make(Clock())
+        breaker.force_open()
+        trips = breaker.trips
+        breaker.force_open()
+        assert breaker.trips == trips
+
+
+class TestObservability:
+    def test_transition_hook_sees_every_change(self):
+        clock = Clock()
+        seen = []
+        breaker = CircuitBreaker(
+            BreakerConfig(window=8, min_requests=2, cooldown_s=1.0, half_open_probes=1),
+            clock=clock,
+            on_transition=lambda old, new: seen.append((old, new)),
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+    def test_stats_snapshot(self):
+        breaker = make(Clock())
+        breaker.record_success()
+        breaker.record_failure()
+        stats = breaker.stats()
+        assert stats["state"] == CLOSED
+        assert stats["window"] == 2.0
+        assert stats["error_rate"] == pytest.approx(0.5)
+        assert stats["trips"] == 0.0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"min_requests": 0},
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"cooldown_s": -1.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)

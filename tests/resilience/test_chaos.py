@@ -1,0 +1,146 @@
+"""The chaos harness itself: deterministic, seeded, transparent when quiet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BoxSumIndex, MetricsRegistry, QueryService
+from repro.core.errors import PageCorruptionError
+from repro.core.geometry import Box
+from repro.resilience import (
+    ChaosPlan,
+    FaultyQueryService,
+    InjectedFaultError,
+    bitflip_injector,
+    chaos_member_wrapper,
+)
+
+from ..conftest import random_objects
+
+
+def make_service(rng, n=40) -> QueryService:
+    index = BoxSumIndex(2, backend="ba")
+    index.bulk_load(random_objects(rng, n, 2))
+    return QueryService(index, registry=MetricsRegistry())
+
+
+QUERY = Box((10.0, 10.0), (60.0, 60.0))
+
+
+def fault_sequence(plan: ChaosPlan, service, calls: int = 40):
+    """The observable outcome kinds of ``calls`` identical queries."""
+    faulty = FaultyQueryService(service, plan)
+    kinds = []
+    for _ in range(calls):
+        try:
+            faulty.box_sum(QUERY)
+            kinds.append("ok")
+        except InjectedFaultError:
+            kinds.append("raise")
+        except PageCorruptionError:
+            kinds.append("corrupt")
+    return kinds, faulty
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self, rng):
+        service = make_service(rng)
+        plan = ChaosPlan(seed=17, raise_rate=0.3, corrupt_rate=0.2)
+        first, faulty_a = fault_sequence(plan, service)
+        second, faulty_b = fault_sequence(plan, service)
+        assert first == second
+        assert faulty_a.faults == faulty_b.faults
+        assert "raise" in first and "corrupt" in first and "ok" in first
+
+    def test_different_seeds_diverge(self, rng):
+        service = make_service(rng)
+        first, _ = fault_sequence(ChaosPlan(seed=1, raise_rate=0.4), service)
+        second, _ = fault_sequence(ChaosPlan(seed=2, raise_rate=0.4), service)
+        assert first != second
+
+    def test_with_seed_reseeds(self):
+        plan = ChaosPlan(seed=1, raise_rate=0.5)
+        assert plan.with_seed(9).seed == 9
+        assert plan.seed == 1  # frozen original untouched
+
+
+class TestInjection:
+    def test_faulted_answers_are_still_exact(self, rng):
+        """A delayed/quiet call answers exactly; only raises are lossy."""
+        service = make_service(rng)
+        expected = service.box_sum(QUERY)
+        faulty = FaultyQueryService(
+            service, ChaosPlan(seed=3, raise_rate=0.3, delay_rate=0.3, delay_s=0.0001)
+        )
+        for _ in range(30):
+            try:
+                assert faulty.box_sum(QUERY) == expected
+            except InjectedFaultError:
+                pass
+
+    def test_raise_is_not_a_repro_error(self, rng):
+        from repro import ReproError
+
+        assert not issubclass(InjectedFaultError, ReproError)
+
+    def test_corrupt_mode_fakes_checksum_failure(self, rng):
+        service = make_service(rng)
+        faulty = FaultyQueryService(service, ChaosPlan(seed=0, corrupt_rate=1.0))
+        with pytest.raises(PageCorruptionError):
+            faulty.box_sum(QUERY)
+
+    def test_mutations_quiet_by_default(self, rng):
+        service = make_service(rng)
+        faulty = FaultyQueryService(service, ChaosPlan(seed=0, raise_rate=1.0))
+        faulty.insert(Box((1.0, 1.0), (2.0, 2.0)), 1.0)  # must not raise
+        assert faulty.faults["raise"] == 0
+
+    def test_mutations_opt_in(self, rng):
+        service = make_service(rng)
+        faulty = FaultyQueryService(
+            service, ChaosPlan(seed=0, raise_rate=1.0, mutations=True)
+        )
+        with pytest.raises(InjectedFaultError):
+            faulty.insert(Box((1.0, 1.0), (2.0, 2.0)), 1.0)
+
+    def test_disabled_wrapper_is_a_pure_passthrough(self, rng):
+        service = make_service(rng)
+        expected = service.box_sum(QUERY)
+        faulty = FaultyQueryService(service, ChaosPlan(seed=0, raise_rate=1.0))
+        faulty.enabled = False
+        for _ in range(5):
+            assert faulty.box_sum(QUERY) == expected
+        assert faulty.faults["raise"] == 0
+        assert faulty.calls == 5
+
+    def test_unknown_attributes_delegate(self, rng):
+        service = make_service(rng)
+        faulty = FaultyQueryService(service, ChaosPlan())
+        assert faulty.epoch == service.epoch
+        assert faulty.index is service.index
+        assert faulty.stats() == service.stats()
+
+    def test_rates_must_stay_a_distribution(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(raise_rate=0.7, delay_rate=0.6)
+        with pytest.raises(ValueError):
+            ChaosPlan(raise_rate=-0.1)
+
+
+class TestClusterSeam:
+    def test_wrapper_targets_one_member_with_decorrelated_seeds(self, rng):
+        wrapper = chaos_member_wrapper(ChaosPlan(seed=5, raise_rate=0.5), member=1)
+        primary = make_service(rng)
+        replica = make_service(rng)
+        assert wrapper(primary, 0, 0) is primary  # untouched
+        wrapped2 = wrapper(replica, 2, 1)
+        assert isinstance(wrapped2, FaultyQueryService)
+        wrapped7 = wrapper(make_service(rng), 7, 1)
+        assert wrapped2.plan.seed != wrapped7.plan.seed  # per-shard offset
+        assert wrapped2.plan.seed == 5 + 7919 * 2
+
+    def test_bitflip_injector_is_armed_for_corruption(self):
+        injector = bitflip_injector(at_op=3, seed=11)
+        assert injector.crash_point.at_op == 3
+        assert injector.crash_point.mode == "bitflip"
+        assert injector.seed == 11

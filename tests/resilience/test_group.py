@@ -1,0 +1,287 @@
+"""Replica groups: exact failover, poisoning, deadlines, hedging, containment."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import BoxSumIndex, MetricsRegistry, QueryService
+from repro.core.errors import ShardUnavailableError
+from repro.core.geometry import Box
+from repro.resilience import (
+    BreakerConfig,
+    ChaosPlan,
+    FaultyQueryService,
+    ReplicaGroup,
+    ResilienceConfig,
+)
+
+from ..conftest import random_box
+
+QUERY = Box((10.0, 10.0), (70.0, 70.0))
+
+
+def exact_objects(rng, n=50):
+    return [(random_box(rng, 2), float(rng.randint(1, 9))) for _ in range(n)]
+
+
+def make_member(objects) -> QueryService:
+    index = BoxSumIndex(2, backend="ba")
+    index.bulk_load(objects)
+    return QueryService(index, registry=MetricsRegistry())
+
+
+def fast_config(**overrides) -> ResilienceConfig:
+    defaults = dict(max_attempts=3, backoff_base_s=0.0, seed=0)
+    defaults.update(overrides)
+    return ResilienceConfig(**defaults)
+
+
+class TestFailoverExactness:
+    def test_any_member_answers_bit_identically(self, rng):
+        objects = exact_objects(rng)
+        reference = BoxSumIndex(2, backend="ba")
+        reference.bulk_load(objects)
+        with ReplicaGroup(
+            0,
+            [make_member(objects) for _ in range(3)],
+            config=fast_config(),
+            registry=MetricsRegistry(),
+        ) as group:
+            queries = [random_box(rng, 2, max_side=60.0) for _ in range(10)]
+            assert group.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]
+
+    def test_dead_primary_fails_over_exactly(self, rng):
+        objects = exact_objects(rng)
+        primary = FaultyQueryService(
+            make_member(objects), ChaosPlan(seed=0, raise_rate=1.0)
+        )
+        replica = make_member(objects)
+        with ReplicaGroup(
+            0, [primary, replica], config=fast_config(), registry=MetricsRegistry()
+        ) as group:
+            expected = replica.box_sum(QUERY)
+            assert group.box_sum(QUERY) == expected
+            stats = group.stats()
+            assert stats["failovers"] >= 1
+            assert stats["failures"] >= 1
+
+    def test_mutations_fan_out_to_every_member(self, rng):
+        objects = exact_objects(rng)
+        members = [make_member(objects) for _ in range(2)]
+        with ReplicaGroup(
+            0, members, config=fast_config(), registry=MetricsRegistry()
+        ) as group:
+            group.insert(Box((20.0, 20.0), (30.0, 30.0)), 5.0)
+            group.delete(*objects[0])
+            assert members[0].box_sum(QUERY) == members[1].box_sum(QUERY)
+            assert members[0].epoch == members[1].epoch == group.epoch
+
+
+class TestPoisoning:
+    class ExplodingOnInsert:
+        """A member whose Nth insert raises mid-mutation."""
+
+        def __init__(self, inner, explode_at=1):
+            self.inner = inner
+            self._countdown = explode_at
+
+        def insert(self, box, value=1.0):
+            self._countdown -= 1
+            if self._countdown < 0:
+                raise RuntimeError("disk full halfway through the insert")
+            return self.inner.insert(box, value)
+
+        def __getattr__(self, name):
+            return getattr(self.inner, name)
+
+    def test_failed_mutation_poisons_the_member_permanently(self, rng):
+        objects = exact_objects(rng)
+        flaky = self.ExplodingOnInsert(make_member(objects), explode_at=0)
+        healthy = make_member(objects)
+        with ReplicaGroup(
+            0, [flaky, healthy], config=fast_config(), registry=MetricsRegistry()
+        ) as group:
+            group.insert(Box((20.0, 20.0), (30.0, 30.0)), 5.0)  # succeeds via healthy
+            assert group.live_members == (1,)
+            assert group.stats()["member_states"][0] == "poisoned"
+            assert group.stats()["poisoned"] == 1
+            # The poisoned member never serves again, even though its own
+            # service still works — it may hold a half-applied mutation.
+            expected = healthy.box_sum(QUERY)
+            for _ in range(5):
+                assert group.box_sum(QUERY) == expected
+            assert group.epoch == healthy.epoch
+
+    def test_all_members_failing_a_mutation_raises(self, rng):
+        objects = exact_objects(rng)
+        members = [
+            self.ExplodingOnInsert(make_member(objects), explode_at=0) for _ in range(2)
+        ]
+        with ReplicaGroup(
+            0, members, config=fast_config(), registry=MetricsRegistry()
+        ) as group:
+            with pytest.raises(ShardUnavailableError):
+                group.insert(Box((1.0, 1.0), (2.0, 2.0)), 1.0)
+            with pytest.raises(ShardUnavailableError):
+                group.box_sum(QUERY)
+
+
+class TestBreakerContainment:
+    def test_breaker_stops_routing_then_readmits_after_probes(self, rng):
+        """The acceptance-criteria breaker proof: trip → contain → heal."""
+        objects = exact_objects(rng)
+        faulty = FaultyQueryService(make_member(objects), ChaosPlan(seed=0, raise_rate=1.0))
+        healthy = make_member(objects)
+        now = [0.0]
+        group = ReplicaGroup(
+            0,
+            [faulty, healthy],
+            config=fast_config(
+                breaker=BreakerConfig(
+                    window=8, min_requests=3, failure_threshold=0.5, cooldown_s=1.0,
+                    half_open_probes=2,
+                )
+            ),
+            registry=MetricsRegistry(),
+            clock=lambda: now[0],
+            sleep=lambda s: None,
+        )
+        try:
+            expected = healthy.box_sum(QUERY)
+            for _ in range(6):
+                assert group.box_sum(QUERY) == expected
+            assert group.stats()["member_states"][0] == "open"
+            # Containment: an open breaker means zero traffic to the member.
+            frozen = faulty.calls
+            for _ in range(10):
+                assert group.box_sum(QUERY) == expected
+            assert faulty.calls == frozen
+            # Heal the member, elapse the cooldown: half-open probes re-admit.
+            faulty.enabled = False
+            now[0] += 1.001
+            for _ in range(4):
+                assert group.box_sum(QUERY) == expected
+            assert group.stats()["member_states"][0] == "closed"
+            assert faulty.calls > frozen
+        finally:
+            group.close()
+
+
+class TestDeadlines:
+    def test_hung_member_is_abandoned_at_the_deadline(self, rng):
+        objects = exact_objects(rng)
+        hung = FaultyQueryService(
+            make_member(objects), ChaosPlan(seed=0, hang_rate=1.0, hang_s=0.5)
+        )
+        healthy = make_member(objects)
+        with ReplicaGroup(
+            0,
+            [hung, healthy],
+            config=fast_config(deadline_s=0.03),
+            registry=MetricsRegistry(),
+        ) as group:
+            start = time.perf_counter()
+            assert group.box_sum(QUERY) == healthy.box_sum(QUERY)
+            assert time.perf_counter() - start < 0.45  # did not wait out the hang
+            stats = group.stats()
+            assert stats["timeouts"] >= 1
+            assert stats["failovers"] >= 1
+
+    def test_every_member_hung_raises_unavailable(self, rng):
+        objects = exact_objects(rng)
+        members = [
+            FaultyQueryService(
+                make_member(objects), ChaosPlan(seed=s, hang_rate=1.0, hang_s=0.3)
+            )
+            for s in range(2)
+        ]
+        with ReplicaGroup(
+            0,
+            members,
+            config=fast_config(max_attempts=2, deadline_s=0.02),
+            registry=MetricsRegistry(),
+        ) as group:
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                group.box_sum(QUERY)
+            assert excinfo.value.shard == 0
+            assert excinfo.value.attempts == 2
+            assert group.stats()["unavailable"] == 1
+
+
+class TestHedging:
+    def test_hedge_wins_against_a_slow_primary(self, rng):
+        objects = exact_objects(rng)
+        slow = FaultyQueryService(
+            make_member(objects), ChaosPlan(seed=0, delay_rate=1.0, delay_s=0.2)
+        )
+        fast = make_member(objects)
+        with ReplicaGroup(
+            0,
+            [slow, fast],
+            config=fast_config(hedge_delay_s=0.005),
+            registry=MetricsRegistry(),
+        ) as group:
+            expected = fast.box_sum(QUERY)
+            start = time.perf_counter()
+            assert group.box_sum(QUERY) == expected
+            assert time.perf_counter() - start < 0.18  # beat the 0.2s delay
+            stats = group.stats()
+            assert stats["hedges"] >= 1
+            assert stats["hedge_wins"] >= 1
+
+    def test_fast_primary_never_hedges(self, rng):
+        objects = exact_objects(rng)
+        members = [make_member(objects) for _ in range(2)]
+        with ReplicaGroup(
+            0,
+            members,
+            config=fast_config(hedge_delay_s=0.5),
+            registry=MetricsRegistry(),
+        ) as group:
+            for _ in range(5):
+                group.box_sum(QUERY)
+            assert group.stats()["hedges"] == 0
+            assert group.stats()["hedge_wins"] == 0
+
+
+class TestLifecycle:
+    def test_group_requires_members(self):
+        with pytest.raises(ValueError):
+            ReplicaGroup(0, [], registry=MetricsRegistry())
+
+    def test_close_closes_every_member(self, rng):
+        objects = exact_objects(rng)
+        members = [make_member(objects) for _ in range(2)]
+        group = ReplicaGroup(0, members, config=fast_config(), registry=MetricsRegistry())
+        group.box_sum(QUERY)
+        group.close()
+        assert group.closed
+        assert all(member.closed for member in members)
+
+    def test_concurrent_serving_stays_exact(self, rng):
+        objects = exact_objects(rng)
+        flaky = FaultyQueryService(make_member(objects), ChaosPlan(seed=0, raise_rate=0.3))
+        healthy = make_member(objects)
+        with ReplicaGroup(
+            0, [flaky, healthy], config=fast_config(max_attempts=4),
+            registry=MetricsRegistry(),
+        ) as group:
+            expected = healthy.box_sum(QUERY)
+            errors = []
+
+            def hammer():
+                try:
+                    for _ in range(20):
+                        assert group.box_sum(QUERY) == expected
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert not errors, errors[0]

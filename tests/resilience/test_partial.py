@@ -1,0 +1,94 @@
+"""PartialResult semantics: exact partial sums, provable-exactness bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Box
+from repro.resilience import PartialResult
+
+
+def box(lo, hi):
+    return Box((float(lo), float(lo)), (float(hi), float(hi)))
+
+
+class TestConstruction:
+    def test_requires_a_missing_shard(self):
+        with pytest.raises(ValueError):
+            PartialResult([1.0], answered=[0], missing=[], missing_extents={})
+
+    def test_shard_sets_are_sorted_tuples(self):
+        partial = PartialResult(
+            [1.0],
+            answered=[2, 0],
+            missing=[3, 1],
+            missing_extents={1: box(0, 1), 3: None},
+        )
+        assert partial.answered == (0, 2)
+        assert partial.missing == (1, 3)
+        assert partial.completeness == pytest.approx(0.5)
+
+    def test_sequence_protocol(self):
+        partial = PartialResult(
+            [1.0, 2.0, 3.0],
+            answered=[0],
+            missing=[1],
+            missing_extents={1: box(0, 1)},
+        )
+        assert len(partial) == 3
+        assert list(partial) == [1.0, 2.0, 3.0]
+        assert partial[1] == 2.0
+        assert "missing=[1]" in repr(partial)
+
+
+class TestExactnessBound:
+    def test_disjoint_query_is_provably_exact(self):
+        partial = PartialResult(
+            [5.0, 7.0],
+            answered=[0],
+            missing=[1],
+            missing_extents={1: box(0, 10)},
+            queries=[box(20, 30), box(5, 15)],
+        )
+        assert partial.is_exact(0)  # far from the dead shard's extent
+        assert not partial.is_exact(1)  # overlaps it: unknown deficit
+        assert partial.exact_indices() == [0]
+
+    def test_unknown_extent_taints_everything(self):
+        partial = PartialResult(
+            [5.0],
+            answered=[0],
+            missing=[1],
+            missing_extents={1: None},
+            queries=[box(1000, 2000)],
+        )
+        assert not partial.is_exact(0)
+        assert partial.exact_indices() == []
+
+    def test_unknown_queries_prove_nothing(self):
+        partial = PartialResult(
+            [5.0], answered=[0], missing=[1], missing_extents={1: box(0, 1)}
+        )
+        assert not partial.is_exact(0)
+        assert partial.exact_indices() == []
+
+    def test_touching_extents_taint(self):
+        """Closed-box semantics: sharing a boundary point is intersecting."""
+        partial = PartialResult(
+            [5.0],
+            answered=[0],
+            missing=[1],
+            missing_extents={1: box(0, 10)},
+            queries=[box(10, 20)],
+        )
+        assert not partial.is_exact(0)
+
+    def test_every_missing_extent_must_clear_the_query(self):
+        partial = PartialResult(
+            [5.0],
+            answered=[0],
+            missing=[1, 2],
+            missing_extents={1: box(0, 5), 2: box(50, 60)},
+            queries=[box(52, 58)],
+        )
+        assert not partial.is_exact(0)  # clears shard 1 but sits inside shard 2

@@ -1,0 +1,35 @@
+"""Chaos torture loop (``chaos`` marker — CI repeats these 20x).
+
+Thin pytest shims over :func:`repro.testing.check_failover`, the
+serving-path analogue of the storage layer's ``check_crash_recovery``
+torture loop.  Everything inside is seeded, so the repeats guard against
+interleaving bugs (thread pools, breaker races), not randomness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import check_failover
+
+pytestmark = pytest.mark.chaos
+
+
+def test_check_failover_default_modes():
+    report = check_failover(seed=0)
+    assert report.ok, report.failures
+
+
+def test_check_failover_with_hang_mode_and_deadlines():
+    report = check_failover(
+        modes=("raise", "hang"), n_objects=60, n_batches=12, seed=1
+    )
+    assert report.ok, report.failures
+
+
+@pytest.mark.parametrize("backend", ["ba", "ar"])
+def test_check_failover_probe_and_monolithic_paths(backend):
+    report = check_failover(
+        backend=backend, modes=("raise", "corrupt"), n_objects=60, n_batches=12, seed=2
+    )
+    assert report.ok, report.failures

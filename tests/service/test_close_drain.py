@@ -1,0 +1,118 @@
+"""Close-is-drain regression tests: admitted work finishes, new work is shed.
+
+The scenario that used to be ambiguous: a reader blocked *inside* the index
+while ``close()`` arrives.  Graceful semantics demand the reader (and any
+caller already queued for a slot) complete with a real answer; only
+admissions arriving after the close may see ``ServiceClosedError``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import MetricsRegistry, QueryService, ServiceClosedError
+from repro.core.geometry import Box
+
+QUERY = Box((0.0, 0.0), (10.0, 10.0))
+
+
+class BlockingIndex:
+    """An index whose queries block until released (no probe seam)."""
+
+    supports_probes = False
+    backend = "blocking"
+
+    def __init__(self) -> None:
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def box_sum(self, query: Box) -> float:
+        self.entered.set()
+        assert self.release.wait(timeout=30.0), "test deadlock: release never set"
+        return 42.0
+
+    def insert(self, box: Box, value: float = 1.0) -> None:
+        pass
+
+    def bulk_load(self, objects) -> None:
+        pass
+
+
+def test_close_waits_for_the_blocked_inflight_reader():
+    index = BlockingIndex()
+    service = QueryService(index, result_cache=0, registry=MetricsRegistry())
+    answers = []
+
+    reader = threading.Thread(target=lambda: answers.append(service.box_sum(QUERY)))
+    reader.start()
+    assert index.entered.wait(timeout=10.0)  # the reader is inside the index
+
+    closer = threading.Thread(target=service.close)
+    closer.start()
+    closer.join(timeout=0.2)
+    assert closer.is_alive(), "close() must block draining the in-flight reader"
+    assert service.closed  # new admissions are already rejected...
+    with pytest.raises(ServiceClosedError):
+        service.box_sum(QUERY)
+    with pytest.raises(ServiceClosedError):
+        service.insert(Box((0.0, 0.0), (1.0, 1.0)))
+
+    index.release.set()  # ...but the admitted reader completes with a real answer
+    reader.join(timeout=10.0)
+    closer.join(timeout=10.0)
+    assert not closer.is_alive()
+    assert answers == [42.0]
+
+
+def test_queued_waiter_admitted_before_close_also_completes():
+    """A caller queued for a slot at close time drains too — no spurious error."""
+    index = BlockingIndex()
+    service = QueryService(
+        index, result_cache=0, max_inflight=1, max_queue=4, registry=MetricsRegistry()
+    )
+    answers = []
+    errors = []
+
+    def read():
+        try:
+            answers.append(service.box_sum(QUERY))
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    first = threading.Thread(target=read)
+    first.start()
+    assert index.entered.wait(timeout=10.0)
+
+    queued = threading.Thread(target=read)
+    queued.start()
+    for _ in range(500):  # ~5s budget for the second reader to reach the queue
+        if service._gate.queue_depth == 1:
+            break
+        threading.Event().wait(0.01)
+    assert service._gate.queue_depth == 1, "second reader should be queued"
+
+    closer = threading.Thread(target=service.close)
+    closer.start()
+    closer.join(timeout=0.2)
+    assert closer.is_alive()
+
+    index.release.set()
+    first.join(timeout=10.0)
+    queued.join(timeout=10.0)
+    closer.join(timeout=10.0)
+    assert not errors, errors[0]
+    assert answers == [42.0, 42.0]
+    assert service.stats()["inflight"] == 0.0
+
+
+def test_close_is_idempotent_and_post_close_queries_fail_fast():
+    index = BlockingIndex()
+    index.release.set()  # nothing should block in this test
+    service = QueryService(index, result_cache=0, registry=MetricsRegistry())
+    assert service.box_sum(QUERY) == 42.0
+    service.close()
+    service.close()  # second close: no-op, no error
+    with pytest.raises(ServiceClosedError):
+        service.box_sum(QUERY)

@@ -126,6 +126,58 @@ class TestShardMap:
         with pytest.raises(ShardMapError):
             make_shard_map(HashPartitioner(2), 4)
 
+
+class TestReplicatedShardMap:
+    """Schema v2: the map carries the replication factor (one integer is the
+    whole topology — every member of a group holds the same objects)."""
+
+    def test_replicas_round_trip(self):
+        payload = json.loads(json.dumps(ShardMap(HashPartitioner(3), replicas=2).to_dict()))
+        assert payload["version"] == 2
+        assert payload["replicas"] == 2
+        restored = ShardMap.from_dict(payload)
+        assert restored.replicas == 2
+        assert restored.num_shards == 3
+
+    def test_v1_payloads_still_load_as_unreplicated(self):
+        payload = ShardMap(HashPartitioner(3)).to_dict()
+        payload["version"] = 1
+        payload.pop("replicas")
+        restored = ShardMap.from_dict(payload)
+        assert restored.replicas == 0
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ShardMapError):
+            ShardMap(HashPartitioner(2), replicas=-1)
+        payload = ShardMap(HashPartitioner(2)).to_dict()
+        payload["replicas"] = -3
+        with pytest.raises(ShardMapError):
+            ShardMap.from_dict(payload)
+
+    def test_make_shard_map_conflicting_replicas_rejected(self):
+        existing = ShardMap(HashPartitioner(2), replicas=1)
+        with pytest.raises(ShardMapError):
+            make_shard_map(existing, 2, replicas=2)
+        # A zero-replica map accepts the caller's factor; matching is a no-op.
+        assert make_shard_map(ShardMap(HashPartitioner(2)), 2, replicas=2).replicas == 2
+        assert make_shard_map(existing, 2, replicas=1).replicas == 1
+
+    def test_restored_map_drives_a_replicated_cluster(self):
+        from repro.obs import MetricsRegistry
+        from repro.shard import ShardedService
+
+        payload = ShardMap(HashPartitioner(2), replicas=1).to_dict()
+        with ShardedService(
+            2,
+            2,
+            partitioner=ShardMap.from_dict(payload),
+            workers=0,
+            registry=MetricsRegistry(),
+        ) as cluster:
+            assert cluster.replicas == 1
+            assert len(cluster.groups) == 2
+            assert all(g.num_members == 2 for g in cluster.groups)
+
     def test_make_shard_map_accepts_name_instance_and_map(self):
         assert make_shard_map("hash", 3).num_shards == 3
         assert make_shard_map(HashPartitioner(3), 3).name == "hash"

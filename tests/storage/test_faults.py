@@ -102,6 +102,67 @@ class TestCrash:
             CrashPoint(at_op=1, mode="gremlins")
 
 
+class TestSeededDamage:
+    """The documented determinism contract: seed=None keeps the legacy fixed
+    damage byte-for-byte; a seed draws positions from ``random.Random(seed)``
+    — same seed, same workload, same bytes on disk."""
+
+    def test_unseeded_keeps_legacy_torn_prefix(self, tmp_path):
+        injector = FaultInjector(CrashPoint(at_op=1, mode="torn"))
+        f = open_file(tmp_path, injector)
+        with pytest.raises(SimulatedCrashError):
+            f.write(b"0123456789")
+        f.close()
+        assert (tmp_path / "f.bin").read_bytes() == b"01234"  # exactly half
+
+    def test_unseeded_keeps_legacy_flip_position(self, tmp_path):
+        injector = FaultInjector(CrashPoint(at_op=1, mode="bitflip"))
+        f = open_file(tmp_path, injector)
+        f.write(b"\x00" * 8)
+        f.close()
+        data = (tmp_path / "f.bin").read_bytes()
+        assert data == b"\x00" * 4 + b"\x01" + b"\x00" * 3  # middle byte, bit 0
+
+    def test_same_seed_same_damage(self, tmp_path):
+        def run(name, seed):
+            injector = FaultInjector(CrashPoint(at_op=1, mode="bitflip"), seed=seed)
+            f = open_file(tmp_path, injector, name)
+            f.write(b"\x00" * 64)
+            f.close()
+            return (tmp_path / name).read_bytes()
+
+        assert run("a.bin", seed=5) == run("b.bin", seed=5)
+        assert sum(bin(b).count("1") for b in run("c.bin", seed=5)) == 1
+
+    def test_different_seeds_explore_different_damage(self, tmp_path):
+        outcomes = set()
+        for seed in range(8):
+            injector = FaultInjector(CrashPoint(at_op=1, mode="torn"), seed=seed)
+            f = open_file(tmp_path, injector, f"s{seed}.bin")
+            with pytest.raises(SimulatedCrashError):
+                f.write(b"x" * 100)
+            f.close()
+            outcomes.add(len((tmp_path / f"s{seed}.bin").read_bytes()))
+        assert len(outcomes) > 1  # torn lengths actually vary across seeds
+
+    def test_seeded_draws_happen_at_fire_time(self, tmp_path):
+        """Pre-fire operations do not consume the RNG: two injectors with
+        the same seed but different crash points tear identically."""
+        results = []
+        for at_op in (1, 3):
+            injector = FaultInjector(CrashPoint(at_op=at_op, mode="torn"), seed=9)
+            f = open_file(tmp_path, injector, f"op{at_op}.bin")
+            try:
+                for _ in range(at_op):
+                    f.write(b"y" * 50)
+            except SimulatedCrashError:
+                pass
+            f.close()
+            size = len((tmp_path / f"op{at_op}.bin").read_bytes())
+            results.append(size - (at_op - 1) * 50)  # torn tail length only
+        assert results[0] == results[1]
+
+
 class TestFileProtocol:
     def test_wrapper_is_unbuffered(self, tmp_path):
         injector = FaultInjector()
