@@ -41,9 +41,20 @@ from .core.aggregator import (
     FunctionalBoxSumIndex,
     make_dominance_index,
 )
-from .core.errors import ShardUnavailableError
+from .core.errors import (
+    ReplicaDivergedError,
+    ReplicationLogError,
+    ShardUnavailableError,
+)
 from .core.explain import QueryProfile, profile
 from .obs import MetricsRegistry, Tracer, get_registry, tracing
+from .replog import (
+    CatchUpDaemon,
+    Checkpoint,
+    LogicalState,
+    ReplicationLog,
+    RestoreReport,
+)
 from .resilience import (
     BreakerConfig,
     ChaosPlan,
@@ -101,5 +112,12 @@ __all__ = [
     "ReplicaGroup",
     "ResilienceConfig",
     "ShardUnavailableError",
+    "ReplicationLog",
+    "RestoreReport",
+    "Checkpoint",
+    "LogicalState",
+    "CatchUpDaemon",
+    "ReplicationLogError",
+    "ReplicaDivergedError",
     "__version__",
 ]

@@ -27,6 +27,7 @@ from .figures import (
     table1_complexity,
     three_dimensional,
 )
+from .replog import replog_experiment
 from .resilience import resilience_experiment
 from .runmeta import run_metadata
 from .service import service_batch_experiment
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "service": service_batch_experiment,
     "shard": shard_scaling_experiment,
     "resilience": resilience_experiment,
+    "replog": replog_experiment,
 }
 
 RESULTS_SCHEMA_VERSION = 1

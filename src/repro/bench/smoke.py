@@ -49,6 +49,7 @@ from .figures import (
     table1_complexity,
     three_dimensional,
 )
+from .replog import replog_smoke_metrics
 from .resilience import resilience_smoke_metrics
 from .runmeta import run_metadata
 from .service import service_smoke_metrics
@@ -121,6 +122,7 @@ def _metrics_from_experiments(cfg: BenchConfig, verbose: bool) -> Dict[str, floa
     metrics.update(service_smoke_metrics(cfg, verbose=verbose))
     metrics.update(shard_smoke_metrics(cfg, verbose=verbose))
     metrics.update(resilience_smoke_metrics(cfg, verbose=verbose))
+    metrics.update(replog_smoke_metrics(cfg, verbose=verbose))
 
     return metrics
 

@@ -63,6 +63,27 @@ class SlabError(StorageError):
     """A slab handle was used after being freed, or a slab invariant broke."""
 
 
+class ReplicationLogError(StorageError):
+    """The replication log or a checkpoint is malformed.
+
+    Raised by :mod:`repro.replog` on bad magic, an impossible LSN sequence
+    (a gap inside a non-final segment), a checksum failure on a checkpoint,
+    or an undecodable record payload.  A *torn final record* — the expected
+    debris of a crash mid-append — is **not** an error: the scan discards
+    it cleanly and the next append overwrites it.
+    """
+
+
+class ReplicaDivergedError(ReproError):
+    """A revived replica failed its bit-exactness audit against the group.
+
+    Raised by :meth:`repro.resilience.group.ReplicaGroup.catch_up` when a
+    member freshly restored from checkpoint + log tail answers a seeded
+    probe differently from a live member.  The member stays poisoned: a
+    diverged replica must never re-enter the serve rotation.
+    """
+
+
 class TreeInvariantError(ReproError):
     """An internal structural invariant of an index was violated.
 

@@ -25,6 +25,7 @@ from .core.explain import QueryProfile
 from .ecdf.ecdf_b import EcdfBTree
 from .kdb.kdbtree import KdbTree
 from .obs import Tracer, render_dict
+from .replog import ReplicationLog
 from .resilience.group import ReplicaGroup
 from .rtree.rstar import RStarTree
 from .service import QueryService
@@ -59,6 +60,8 @@ def dump(structure: object, max_depth: int = 12) -> str:
         return dump_cluster(structure)
     if isinstance(structure, ReplicaGroup):
         return dump_resilience(structure)
+    if isinstance(structure, ReplicationLog):
+        return dump_replog(structure)
     if isinstance(structure, Tracer):
         return structure.render(max_depth=max_depth)
     if isinstance(structure, dict) and "spans" in structure:
@@ -284,6 +287,32 @@ def dump_resilience(target) -> str:
         role = "primary" if mid == 0 else f"replica{mid}"
         lines.append(
             f"{_INDENT}member {mid} ({role}) breaker={state} trips={int(trip_count)}"
+        )
+    return "\n".join(lines)
+
+
+# -- replication log ----------------------------------------------------------------------
+
+def dump_replog(replog: ReplicationLog) -> str:
+    """Log-shipping outline: LSN range, segments, checkpoints, folded state."""
+    stats = replog.stats()
+    head = int(stats["head_lsn"])
+    lines = [
+        f"ReplicationLog(label={replog.label}, head_lsn={head}, "
+        f"epoch={replog.epoch_at(head)}, base_epoch={replog.base_epoch})",
+        f"{_INDENT}log oldest_lsn={int(stats['oldest_lsn'])} "
+        f"segments={int(stats['segments'])} bytes={int(stats['log_bytes'])}",
+        f"{_INDENT}state identities={int(stats['state_identities'])} "
+        f"instances={int(stats['state_instances'])} "
+        f"extent={_fmt_box(replog.extent()) if replog.extent() is not None else 'empty'}",
+        f"{_INDENT}checkpoints retained={int(stats['checkpoints'])} "
+        f"(retain={replog.checkpoint_retain}) bytes={int(stats['checkpoint_bytes'])}",
+    ]
+    sizes = replog.checkpoints.sizes()
+    for lsn in sorted(sizes):
+        lines.append(
+            f"{_INDENT}{_INDENT}checkpoint lsn={lsn} epoch={replog.epoch_at(lsn)} "
+            f"bytes={sizes[lsn]} tail={head - lsn}"
         )
     return "\n".join(lines)
 

@@ -1,0 +1,207 @@
+"""Checkpoints: consistent logical snapshots tagged with their last LSN.
+
+A checkpoint is the *logical* state of one served index — the multiset of
+live ``(box, value)`` objects (per-key signed counts; a count can be
+negative when a deletion was routed to a shard that never held the object,
+exactly as the cluster ledger allows) plus the metadata blobs — serialized
+with the LSN of the last mutation it reflects and the service epoch at
+that point.  Restoring a member is then ``bulk_load(checkpoint)`` followed
+by replaying the log tail ``(checkpoint.lsn, head]``: bounded work however
+long the group has lived, which is what turns "rebuild the replica by
+hand" into :meth:`~repro.resilience.group.ReplicaGroup.catch_up`.
+
+On-disk format (one file per checkpoint, ``ckpt-<lsn 20 digits>.ckpt``)::
+
+    header:   8s magic "REPROCKP" | u64 lsn | u64 epoch | u16 dims
+              | u32 n_objects | u32 n_meta
+    object:   (2*dims+1) f64 (low…, high…, value) | i64 count
+    meta:     u16 key_len | u32 blob_len | key utf-8 | blob
+    trailer:  u32 crc32 over everything above
+
+Writes are atomic: payload to a ``.tmp`` sibling, flush + fsync, then
+``os.replace`` — a crash leaves either the old set of checkpoints or the
+old set plus one complete new file, never a torn one.  A checkpoint whose
+CRC fails on load is *skipped* (older ones remain usable); it is only an
+error when no intact checkpoint at or below the requested LSN exists and
+the log cannot cover the gap.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ReplicationLogError
+from ..core.geometry import Box
+from ..storage.wal import fsync_file
+
+_CKPT_MAGIC = b"REPROCKP"
+_HEADER = struct.Struct("<8sQQHII")  # magic, lsn, epoch, dims, n_objects, n_meta
+_COUNT = struct.Struct("<q")
+_META_LENS = struct.Struct("<HI")
+_CRC = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One consistent snapshot: objects + meta at ``lsn`` / ``epoch``."""
+
+    lsn: int
+    epoch: int
+    dims: int
+    #: per-identity signed instance counts
+    objects: Tuple[Tuple[Box, float, int], ...]
+    meta: Tuple[Tuple[str, bytes], ...]
+
+    def encode(self) -> bytes:
+        parts = [
+            _HEADER.pack(
+                _CKPT_MAGIC,
+                self.lsn,
+                self.epoch,
+                self.dims,
+                len(self.objects),
+                len(self.meta),
+            )
+        ]
+        width = f"<{2 * self.dims + 1}d"
+        for box, value, count in self.objects:
+            parts.append(struct.pack(width, *box.low, *box.high, float(value)))
+            parts.append(_COUNT.pack(count))
+        for key, blob in self.meta:
+            encoded = key.encode("utf-8")
+            parts.append(_META_LENS.pack(len(encoded), len(blob)))
+            parts.append(encoded)
+            parts.append(bytes(blob))
+        body = b"".join(parts)
+        return body + _CRC.pack(zlib.crc32(body))
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "Checkpoint":
+        if len(blob) < _HEADER.size + _CRC.size:
+            raise ReplicationLogError("checkpoint file truncated")
+        body, (crc,) = blob[: -_CRC.size], _CRC.unpack(blob[-_CRC.size :])
+        if zlib.crc32(body) != crc:
+            raise ReplicationLogError("checkpoint checksum mismatch")
+        magic, lsn, epoch, dims, n_objects, n_meta = _HEADER.unpack_from(body, 0)
+        if magic != _CKPT_MAGIC:
+            raise ReplicationLogError("not a checkpoint file (bad magic)")
+        offset = _HEADER.size
+        width = struct.Struct(f"<{2 * dims + 1}d")
+        objects: List[Tuple[Box, float, int]] = []
+        try:
+            for _ in range(n_objects):
+                fields = width.unpack_from(body, offset)
+                offset += width.size
+                (count,) = _COUNT.unpack_from(body, offset)
+                offset += _COUNT.size
+                objects.append(
+                    (Box(fields[:dims], fields[dims : 2 * dims]), fields[2 * dims], count)
+                )
+            meta: List[Tuple[str, bytes]] = []
+            for _ in range(n_meta):
+                key_len, blob_len = _META_LENS.unpack_from(body, offset)
+                offset += _META_LENS.size
+                key = body[offset : offset + key_len].decode("utf-8")
+                offset += key_len
+                meta.append((key, body[offset : offset + blob_len]))
+                offset += blob_len
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise ReplicationLogError(f"malformed checkpoint body: {exc}") from exc
+        if offset != len(body):
+            raise ReplicationLogError("trailing bytes in checkpoint body")
+        return cls(lsn, epoch, dims, tuple(objects), tuple(meta))
+
+    @property
+    def num_instances(self) -> int:
+        """Net object instances (signed counts summed)."""
+        return sum(count for _b, _v, count in self.objects)
+
+
+def _checkpoint_name(lsn: int) -> str:
+    return f"ckpt-{lsn:020d}.ckpt"
+
+
+class CheckpointStore:
+    """A directory of atomic, CRC-sealed checkpoint files keyed by LSN."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def lsns(self) -> List[int]:
+        """Checkpoint LSNs on disk, ascending (torn ``.tmp`` debris ignored)."""
+        out = []
+        for name in os.listdir(self.directory):
+            if name.startswith("ckpt-") and name.endswith(".ckpt"):
+                stem = name[len("ckpt-") : -len(".ckpt")]
+                if stem.isdigit():
+                    out.append(int(stem))
+        out.sort()
+        return out
+
+    def save(self, checkpoint: Checkpoint) -> str:
+        """Write atomically (tmp + fsync + rename); returns the final path."""
+        path = os.path.join(self.directory, _checkpoint_name(checkpoint.lsn))
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(checkpoint.encode())
+            fsync_file(f)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, lsn: int) -> Checkpoint:
+        path = os.path.join(self.directory, _checkpoint_name(lsn))
+        with open(path, "rb") as f:
+            checkpoint = Checkpoint.decode(f.read())
+        if checkpoint.lsn != lsn:
+            raise ReplicationLogError(
+                f"{path}: names LSN {lsn} but body says {checkpoint.lsn}"
+            )
+        return checkpoint
+
+    def best_for(self, lsn: Optional[int] = None) -> Optional[Checkpoint]:
+        """The newest intact checkpoint at or below ``lsn`` (None = newest).
+
+        A corrupt file is skipped — an older intact checkpoint plus a
+        longer log tail still restores exactly.
+        """
+        for candidate in reversed(self.lsns()):
+            if lsn is not None and candidate > lsn:
+                continue
+            try:
+                return self.load(candidate)
+            except (OSError, ReplicationLogError):
+                continue
+        return None
+
+    def latest(self) -> Optional[Checkpoint]:
+        return self.best_for(None)
+
+    def retain(self, keep: int) -> int:
+        """Keep the newest ``keep`` checkpoints; returns the oldest kept LSN.
+
+        Returns 0 when nothing remains.  The caller prunes the log only up
+        to the oldest *retained* checkpoint, so every surviving checkpoint
+        stays replayable to the head.
+        """
+        if keep < 1:
+            raise ValueError(f"must retain at least 1 checkpoint, got {keep}")
+        lsns = self.lsns()
+        for lsn in lsns[:-keep] if len(lsns) > keep else []:
+            os.remove(os.path.join(self.directory, _checkpoint_name(lsn)))
+        remaining = self.lsns()
+        return remaining[0] if remaining else 0
+
+    def sizes(self) -> Dict[int, int]:
+        """``lsn -> file bytes`` for every checkpoint on disk."""
+        return {
+            lsn: os.path.getsize(os.path.join(self.directory, _checkpoint_name(lsn)))
+            for lsn in self.lsns()
+        }
+
+
+__all__ = ["Checkpoint", "CheckpointStore"]

@@ -1,0 +1,356 @@
+"""``OperationLog``: an LSN-stamped, segmented logical mutation log.
+
+Every admitted mutation appends one CRC-framed record stamped with the
+next log sequence number (LSN, 1-based, strictly contiguous).  Records
+live in *segment* files named by the first LSN they hold::
+
+    <dir>/00000000000000000001.seg
+    <dir>/00000000000000000421.seg
+    ...
+
+    segment header:  8s magic "REPROLG1" | u64 base_lsn
+    record:          u8 kind | u64 lsn | u32 length | u32 crc | payload
+
+The record CRC32 covers the packed ``(kind, lsn, length)`` prefix plus the
+payload — the same discipline as :mod:`repro.storage.wal` — so a torn
+record, a torn length field or a bit flip truncate the scan instead of
+replaying garbage.  A torn *final* record (the debris of a crash
+mid-append) is discarded on open and overwritten by the next append; a
+tear anywhere else breaks LSN contiguity and raises
+:class:`~repro.core.errors.ReplicationLogError`, because silently skipping
+a shipped mutation would desynchronize every replica built from the log.
+
+Segments **rotate** once the active one exceeds ``segment_bytes`` and are
+**retained** until :meth:`OperationLog.prune` drops those wholly below the
+oldest checkpoint still needed for bootstrap (the
+:class:`~repro.replog.shipper.ReplicationLog` facade drives retention).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..core.errors import ReplicationLogError
+from ..obs.registry import MetricsRegistry, get_registry
+from ..storage.wal import fsync_file
+
+_SEG_MAGIC = b"REPROLG1"
+_SEG_HEADER = struct.Struct("<8sQ")  # magic, base_lsn
+_REC_HEADER = struct.Struct("<BQII")  # kind, lsn, length, crc
+_REC_BODY = struct.Struct("<BQI")  # the crc-covered prefix
+
+#: Hard ceiling on one record's payload (a bulk-load of ~300k 2-d boxes).
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+def _default_opener(path: str, mode: str):
+    return open(path, mode)
+
+
+def _segment_name(base_lsn: int) -> str:
+    return f"{base_lsn:020d}.seg"
+
+
+class OperationLog:
+    """Append-only logical log over a directory of rotating segments.
+
+    Parameters
+    ----------
+    directory:
+        Created if missing.  Existing segments are scanned on open: the
+        final segment's torn tail (if any) is truncated away and the head
+        LSN resumes exactly after the last intact record.
+    segment_bytes:
+        Rotation threshold; an append that would start past this size in
+        the active segment opens a new one (records are never split).
+    fsync:
+        When True (default) every append is flushed and fsynced before the
+        LSN is handed out — a shipped record is durable.  Benchmarks can
+        disable it to measure the pure framing cost.
+    opener:
+        Injectable ``open`` (the fault-injection seam, exactly as for the
+        page WAL).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        segment_bytes: int = 1 << 20,
+        fsync: bool = True,
+        opener: Callable[[str, str], object] = _default_opener,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if segment_bytes < _SEG_HEADER.size + _REC_HEADER.size:
+            raise ValueError(f"segment_bytes too small: {segment_bytes}")
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        self.fsync = fsync
+        self._opener = opener
+        registry = registry if registry is not None else get_registry()
+        self._m_records = registry.counter(
+            "repro_replog_records", "logical mutation records appended, by kind"
+        )
+        self._m_segments = registry.counter(
+            "repro_replog_segments", "log segment files opened (rotations + initial)"
+        )
+        self._m_head = registry.gauge(
+            "repro_replog_head_lsn", "newest LSN in the replication log"
+        )
+        self._m_torn = registry.counter(
+            "repro_replog_torn_discarded", "torn tail records discarded on open"
+        )
+        os.makedirs(directory, exist_ok=True)
+        #: sorted (base_lsn, path) for sealed + active segments
+        self._segments: List[Tuple[int, str]] = self._discover()
+        self._head = 0
+        self._active = None
+        self._active_base = 0
+        self._active_size = 0
+        if self._segments:
+            self._open_tail()
+        # else: lazily created on the first append (base_lsn = 1)
+
+    # -- open / recovery ---------------------------------------------------------------
+
+    def _discover(self) -> List[Tuple[int, str]]:
+        found: List[Tuple[int, str]] = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(".seg"):
+                continue
+            stem = name[: -len(".seg")]
+            if not stem.isdigit():
+                raise ReplicationLogError(f"alien file in log directory: {name}")
+            found.append((int(stem), os.path.join(self.directory, name)))
+        found.sort()
+        return found
+
+    def _open_tail(self) -> None:
+        """Scan the final segment, truncate its torn tail, resume the head."""
+        # Sealed segments are only length-checked lazily (on replay); the
+        # active one must be scanned now so the next append lands after the
+        # last intact record, not after crash debris.
+        base, path = self._segments[-1]
+        f = self._opener(path, "r+b")
+        header = f.read(_SEG_HEADER.size)
+        if len(header) < _SEG_HEADER.size:
+            # A crash tore the rotation's own header write.  The header is
+            # fsynced before any record can follow it, so a short final
+            # segment provably holds nothing: re-seal it and resume here.
+            f.seek(0)
+            f.truncate()
+            f.write(_SEG_HEADER.pack(_SEG_MAGIC, base))
+            fsync_file(f)
+            self._m_torn.inc()
+        else:
+            magic, stored_base = _SEG_HEADER.unpack(header)
+            if magic != _SEG_MAGIC:
+                raise ReplicationLogError(f"{path} is not a replication log segment")
+            if stored_base != base:
+                raise ReplicationLogError(
+                    f"{path}: header says base LSN {stored_base}, name says {base}"
+                )
+        end = _SEG_HEADER.size
+        lsn = base - 1
+        while True:
+            rec = self._read_record(f, expect_lsn=lsn + 1)
+            if rec is None:
+                break
+            lsn += 1
+            end = f.tell()
+        size = os.fstat(f.fileno()).st_size
+        if size > end:
+            f.seek(end)
+            f.truncate()
+            fsync_file(f)
+            self._m_torn.inc()
+        if lsn < base - 1:
+            # The segment holds no intact record at all: a crash between
+            # rotation and the first append.  Keep it; appends resume here.
+            lsn = base - 1
+            if len(self._segments) > 1 and self._segments[-2][0] > lsn:
+                raise ReplicationLogError(f"{path}: empty segment breaks LSN order")
+        self._active = f
+        self._active_base = base
+        self._active_size = end
+        self._head = lsn
+        self._m_head.set(float(lsn))
+
+    @staticmethod
+    def _read_record(f, expect_lsn: Optional[int] = None):
+        """One framed record, or None on a clean/torn end (file pos unmoved past it)."""
+        start = f.tell()
+        header = f.read(_REC_HEADER.size)
+        if len(header) < _REC_HEADER.size:
+            f.seek(start)
+            return None
+        kind, lsn, length, crc = _REC_HEADER.unpack(header)
+        if length > MAX_PAYLOAD or (expect_lsn is not None and lsn != expect_lsn):
+            f.seek(start)
+            return None
+        payload = f.read(length)
+        if len(payload) < length:
+            f.seek(start)
+            return None
+        if zlib.crc32(_REC_BODY.pack(kind, lsn, length) + payload) != crc:
+            f.seek(start)
+            return None
+        return lsn, kind, payload
+
+    # -- appending ---------------------------------------------------------------------
+
+    @property
+    def head_lsn(self) -> int:
+        """The newest LSN on disk (0 when the log is empty)."""
+        return self._head
+
+    def append(self, kind: int, payload: bytes) -> int:
+        """Frame and append one record; returns its freshly assigned LSN.
+
+        Not thread-safe by itself: callers serialize appends (the service's
+        write lock or the group's mutation mutex) because the mutation
+        *order* is the contract being logged.
+        """
+        if len(payload) > MAX_PAYLOAD:
+            raise ReplicationLogError(
+                f"record payload {len(payload)} exceeds {MAX_PAYLOAD} bytes"
+            )
+        lsn = self._head + 1
+        if self._active is None or self._active_size >= self.segment_bytes:
+            self._rotate(lsn)
+        crc = zlib.crc32(_REC_BODY.pack(kind, lsn, len(payload)) + payload)
+        frame = _REC_HEADER.pack(kind, lsn, len(payload), crc) + payload
+        self._active.seek(self._active_size)
+        self._active.write(frame)
+        if self.fsync:
+            fsync_file(self._active)
+        else:
+            self._active.flush()
+        self._active_size += len(frame)
+        self._head = lsn
+        self._m_records.inc(kind=str(kind))
+        self._m_head.set(float(lsn))
+        return lsn
+
+    def _rotate(self, base_lsn: int) -> None:
+        if self._active is not None:
+            fsync_file(self._active)
+            self._active.close()
+        path = os.path.join(self.directory, _segment_name(base_lsn))
+        f = self._opener(path, "w+b")
+        f.write(_SEG_HEADER.pack(_SEG_MAGIC, base_lsn))
+        fsync_file(f)
+        self._active = f
+        self._active_base = base_lsn
+        self._active_size = _SEG_HEADER.size
+        self._segments.append((base_lsn, path))
+        self._m_segments.inc()
+
+    # -- reading -----------------------------------------------------------------------
+
+    def records(
+        self, start_lsn: int = 1, end_lsn: Optional[int] = None
+    ) -> Iterator[Tuple[int, int, bytes]]:
+        """Yield ``(lsn, kind, payload)`` for LSNs in ``[start_lsn, end_lsn]``.
+
+        Raises :class:`~repro.core.errors.ReplicationLogError` when the
+        requested range starts below the oldest retained segment (pruned
+        history cannot be replayed) or when a sealed segment ends before
+        its successor's base LSN (mid-log corruption).
+        """
+        if self._active is not None:
+            self._active.flush()
+        end = self._head if end_lsn is None else min(end_lsn, self._head)
+        if start_lsn > end:
+            return
+        if not self._segments or start_lsn < self._segments[0][0]:
+            raise ReplicationLogError(
+                f"LSN {start_lsn} predates the oldest retained segment "
+                f"(history was pruned)"
+            )
+        expect = start_lsn
+        for i, (base, path) in enumerate(self._segments):
+            next_base = (
+                self._segments[i + 1][0] if i + 1 < len(self._segments) else end + 1
+            )
+            if next_base <= start_lsn or base > end:
+                continue
+            last_seen = base - 1
+            with self._opener(path, "rb") as f:
+                header = f.read(_SEG_HEADER.size)
+                if len(header) < _SEG_HEADER.size:
+                    raise ReplicationLogError(f"{path}: truncated segment header")
+                magic, stored_base = _SEG_HEADER.unpack(header)
+                if magic != _SEG_MAGIC or stored_base != base:
+                    raise ReplicationLogError(f"{path}: bad segment header")
+                lsn = base - 1
+                while lsn < end:
+                    rec = self._read_record(f, expect_lsn=lsn + 1)
+                    if rec is None:
+                        break
+                    lsn, kind, payload = rec
+                    last_seen = lsn
+                    if lsn >= expect and lsn <= end:
+                        yield lsn, kind, payload
+                        expect = lsn + 1
+            if last_seen + 1 < min(next_base, end + 1):
+                raise ReplicationLogError(
+                    f"{path}: segment ends at LSN {last_seen}, expected "
+                    f"{min(next_base, end + 1) - 1} (mid-log corruption)"
+                )
+
+    # -- retention ---------------------------------------------------------------------
+
+    @property
+    def oldest_lsn(self) -> int:
+        """The first LSN still replayable (0 when the log is empty)."""
+        if not self._segments:
+            return 0
+        return self._segments[0][0]
+
+    def prune(self, keep_from_lsn: int) -> int:
+        """Delete segments wholly below ``keep_from_lsn``; returns files removed.
+
+        A segment is removable only when its *successor's* base LSN is at
+        or below ``keep_from_lsn`` — i.e. every record it holds is older
+        than anything a retained checkpoint still needs.  The active
+        segment is never removed.
+        """
+        removed = 0
+        while len(self._segments) > 1 and self._segments[1][0] <= keep_from_lsn:
+            _base, path = self._segments.pop(0)
+            os.remove(path)
+            removed += 1
+        return removed
+
+    def segment_files(self) -> List[Tuple[int, str, int]]:
+        """``(base_lsn, path, bytes)`` per retained segment, oldest first."""
+        if self._active is not None:
+            self._active.flush()
+        return [
+            (base, path, os.path.getsize(path)) for base, path in self._segments
+        ]
+
+    def size_bytes(self) -> int:
+        """Total bytes across every retained segment."""
+        return sum(size for _b, _p, size in self.segment_files())
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._active is not None:
+            fsync_file(self._active)
+            self._active.close()
+            self._active = None
+
+    def __enter__(self) -> "OperationLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["OperationLog", "MAX_PAYLOAD"]

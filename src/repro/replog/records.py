@@ -1,0 +1,176 @@
+"""Logical operation records for the replication log.
+
+Unlike the page-image WAL (:mod:`repro.storage.wal`), which guards one
+file's *physical* checkpoints, the replication log ships *logical*
+mutations — the box, the weight, the metadata blob — so any member of a
+replica group (or a brand-new one) can replay the exact mutation sequence
+against its own index, whatever backend or storage it fronts.  Four
+operation kinds cover everything a
+:class:`~repro.service.service.QueryService` admits:
+
+==============  =====================================================
+``OP_INSERT``   one weighted box object added
+``OP_DELETE``   one weighted box object removed (negation insert)
+``OP_SET_META`` an opaque ``(key, blob)`` metadata write
+``OP_BULK``     a full rebuild from an explicit object list
+==============  =====================================================
+
+Payloads are fixed-layout ``struct`` packs of IEEE-754 doubles, so the
+same operation always encodes to the same bytes — which is what makes
+checkpoint sizes and log sizes deterministic enough to gate in the smoke
+benchmark, and replay bit-exact across members.
+
+Framing (record header, CRC, segment files) lives in
+:mod:`repro.replog.log`; this module is purely the payload codec.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..core.errors import ReplicationLogError
+from ..core.geometry import Box
+
+#: Operation kinds (wire values; never renumber).
+OP_INSERT = 1
+OP_DELETE = 2
+OP_SET_META = 3
+OP_BULK = 4
+
+_DIMS = struct.Struct("<H")
+_COUNT = struct.Struct("<I")
+_VALUE = struct.Struct("<d")
+_META_LENS = struct.Struct("<HI")  # key length (utf-8 bytes), blob length
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """One weighted box added to the index."""
+
+    box: Box
+    value: float = 1.0
+
+    kind = OP_INSERT
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """One weighted box removed (the same identity insert used)."""
+
+    box: Box
+    value: float = 1.0
+
+    kind = OP_DELETE
+
+
+@dataclass(frozen=True)
+class SetMetaOp:
+    """An opaque metadata write (e.g. a durable backend's header blob)."""
+
+    key: str
+    blob: bytes
+
+    kind = OP_SET_META
+
+
+@dataclass(frozen=True)
+class BulkLoadOp:
+    """A full rebuild from an explicit ``(box, value)`` list."""
+
+    objects: Tuple[Tuple[Box, float], ...]
+
+    kind = OP_BULK
+
+
+Operation = Union[InsertOp, DeleteOp, SetMetaOp, BulkLoadOp]
+
+
+def _pack_object(box: Box, value: float) -> bytes:
+    dims = box.dims
+    return struct.pack(f"<{2 * dims + 1}d", *box.low, *box.high, float(value))
+
+
+def _unpack_object(dims: int, payload: bytes, offset: int) -> Tuple[Box, float, int]:
+    width = 8 * (2 * dims + 1)
+    fields = struct.unpack_from(f"<{2 * dims + 1}d", payload, offset)
+    box = Box(fields[:dims], fields[dims : 2 * dims])
+    return box, fields[2 * dims], offset + width
+
+
+def encode_op(op: Operation) -> Tuple[int, bytes]:
+    """Serialize an operation to its ``(kind, payload)`` wire form."""
+    if isinstance(op, (InsertOp, DeleteOp)):
+        return op.kind, _DIMS.pack(op.box.dims) + _pack_object(op.box, op.value)
+    if isinstance(op, SetMetaOp):
+        key = op.key.encode("utf-8")
+        if len(key) > 0xFFFF:
+            raise ReplicationLogError(f"meta key too long ({len(key)} bytes)")
+        return op.kind, _META_LENS.pack(len(key), len(op.blob)) + key + bytes(op.blob)
+    if isinstance(op, BulkLoadOp):
+        if not op.objects:
+            return op.kind, _DIMS.pack(0) + _COUNT.pack(0)
+        dims = op.objects[0][0].dims
+        parts = [_DIMS.pack(dims), _COUNT.pack(len(op.objects))]
+        for box, value in op.objects:
+            if box.dims != dims:
+                raise ReplicationLogError(
+                    f"bulk-load mixes {dims}-d and {box.dims}-d objects"
+                )
+            parts.append(_pack_object(box, value))
+        return op.kind, b"".join(parts)
+    raise ReplicationLogError(f"cannot encode {type(op).__name__} as a log record")
+
+
+def decode_op(kind: int, payload: bytes) -> Operation:
+    """Parse a ``(kind, payload)`` wire record back into an operation."""
+    try:
+        if kind in (OP_INSERT, OP_DELETE):
+            (dims,) = _DIMS.unpack_from(payload, 0)
+            box, value, end = _unpack_object(dims, payload, _DIMS.size)
+            if end != len(payload):
+                raise ReplicationLogError(
+                    f"trailing bytes in {'insert' if kind == OP_INSERT else 'delete'} record"
+                )
+            cls = InsertOp if kind == OP_INSERT else DeleteOp
+            return cls(box, value)
+        if kind == OP_SET_META:
+            key_len, blob_len = _META_LENS.unpack_from(payload, 0)
+            start = _META_LENS.size
+            if len(payload) != start + key_len + blob_len:
+                raise ReplicationLogError("set_meta record length mismatch")
+            key = payload[start : start + key_len].decode("utf-8")
+            blob = payload[start + key_len :]
+            return SetMetaOp(key, blob)
+        if kind == OP_BULK:
+            (dims,) = _DIMS.unpack_from(payload, 0)
+            (count,) = _COUNT.unpack_from(payload, _DIMS.size)
+            offset = _DIMS.size + _COUNT.size
+            objects = []
+            for _ in range(count):
+                box, value, offset = _unpack_object(dims, payload, offset)
+                objects.append((box, value))
+            if offset != len(payload):
+                raise ReplicationLogError("trailing bytes in bulk-load record")
+            return BulkLoadOp(tuple(objects))
+    except ReplicationLogError:
+        raise
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise ReplicationLogError(f"malformed record payload (kind {kind}): {exc}") from exc
+    raise ReplicationLogError(f"unknown log record kind {kind}")
+
+
+__all__ = [
+    "OP_INSERT",
+    "OP_DELETE",
+    "OP_SET_META",
+    "OP_BULK",
+    "InsertOp",
+    "DeleteOp",
+    "SetMetaOp",
+    "BulkLoadOp",
+    "Operation",
+    "encode_op",
+    "decode_op",
+]

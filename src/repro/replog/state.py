@@ -1,0 +1,182 @@
+"""``LogicalState``: the replayable multiset an index's mutations reduce to.
+
+Replaying a prefix of the operation log through plain dict arithmetic
+gives the *logical* content of the index at that LSN — a signed multiset
+of ``(box, value)`` identities plus the metadata blobs — without building
+any index at all.  That is what makes checkpoints cheap (fold the log, or
+fold live state, into a flat table) and what makes point-in-time recovery
+possible (fold to an arbitrary LSN, then materialize).
+
+Counts are *signed*: the sharded cluster deliberately routes deletions by
+the current shard map, so a shard can absorb a delete for an object it
+never held (the ledger nets out across the cluster).  A faithful replica
+must reproduce that, so ``apply(DeleteOp(...))`` below zero is legal and
+:meth:`LogicalState.materialize` replays the negative counts as real
+deletions after the bulk load.
+
+Materialization is bit-exact by construction: every index family computes
+aggregates as sums over the stored instances, and IEEE-754 addition over
+the *same multiset applied in a deterministic order* yields the same
+bits on every member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import DimensionMismatchError
+from ..core.geometry import Box
+from .checkpoint import Checkpoint
+from .records import (
+    BulkLoadOp,
+    DeleteOp,
+    InsertOp,
+    Operation,
+    SetMetaOp,
+)
+
+#: One object identity: the box corners plus its weight.
+Identity = Tuple[Box, float]
+
+
+class LogicalState:
+    """A signed multiset of object identities plus metadata blobs."""
+
+    def __init__(self, dims: Optional[int] = None) -> None:
+        self.dims = dims
+        self._counts: Dict[Identity, int] = {}
+        self.meta: Dict[str, bytes] = {}
+
+    # -- building ----------------------------------------------------------------
+
+    def _check_dims(self, box: Box) -> None:
+        if self.dims is None:
+            self.dims = box.dims
+        elif box.dims != self.dims:
+            raise DimensionMismatchError(
+                f"log mixes {self.dims}-d and {box.dims}-d objects"
+            )
+
+    def _bump(self, box: Box, value: float, delta: int) -> None:
+        self._check_dims(box)
+        key = (box, float(value))
+        count = self._counts.get(key, 0) + delta
+        if count:
+            self._counts[key] = count
+        else:
+            self._counts.pop(key, None)
+
+    def apply(self, op: Operation) -> None:
+        """Fold one logical operation into the state."""
+        if isinstance(op, InsertOp):
+            self._bump(op.box, op.value, 1)
+        elif isinstance(op, DeleteOp):
+            self._bump(op.box, op.value, -1)
+        elif isinstance(op, SetMetaOp):
+            self.meta[op.key] = bytes(op.blob)
+        elif isinstance(op, BulkLoadOp):
+            # A bulk load *replaces* the object population (the index verb
+            # rebuilds from scratch); metadata survives it.
+            self._counts.clear()
+            for box, value in op.objects:
+                self._bump(box, value, 1)
+        else:
+            raise TypeError(f"cannot apply {type(op).__name__}")
+
+    # -- views -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Distinct identities with a non-zero count."""
+        return len(self._counts)
+
+    @property
+    def net_instances(self) -> int:
+        """Signed instance total (negative counts subtract)."""
+        return sum(self._counts.values())
+
+    def items(self) -> Iterable[Tuple[Box, float, int]]:
+        """``(box, value, count)`` per identity, in deterministic order."""
+        for (box, value), count in sorted(
+            self._counts.items(), key=lambda kv: (kv[0][0].low, kv[0][0].high, kv[0][1])
+        ):
+            yield box, value, count
+
+    def expanded(self) -> List[Tuple[Box, float]]:
+        """Positive counts expanded to a flat bulk-loadable object list."""
+        out: List[Tuple[Box, float]] = []
+        for box, value, count in self.items():
+            for _ in range(max(count, 0)):
+                out.append((box, value))
+        return out
+
+    def negatives(self) -> List[Tuple[Box, float, int]]:
+        """Identities whose count went below zero (cluster-routed deletes)."""
+        return [(box, value, count) for box, value, count in self.items() if count < 0]
+
+    def extent(self) -> Optional[Box]:
+        """Bounding box of every stored identity (None when empty).
+
+        Used to seed the catch-up audit's probe boxes so they actually
+        overlap the data; negative-count identities are included — they
+        affect answers just as positives do.
+        """
+        boxes = [box for box, _value, _count in self.items()]
+        if not boxes:
+            return None
+        return Box.enclosing(boxes)
+
+    # -- checkpoints -------------------------------------------------------------
+
+    def to_checkpoint(self, lsn: int, epoch: int) -> Checkpoint:
+        return Checkpoint(
+            lsn=lsn,
+            epoch=epoch,
+            dims=self.dims if self.dims is not None else 0,
+            objects=tuple(self.items()),
+            meta=tuple(sorted(self.meta.items())),
+        )
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint: Checkpoint) -> "LogicalState":
+        state = cls(checkpoint.dims if checkpoint.dims else None)
+        for box, value, count in checkpoint.objects:
+            state._bump(box, value, count)
+        state.meta = {key: bytes(blob) for key, blob in checkpoint.meta}
+        return state
+
+    # -- materialization ---------------------------------------------------------
+
+    def materialize(self, service) -> int:
+        """Rebuild ``service``'s index to equal this state; returns its epoch.
+
+        Applied as un-logged mutations (``record=None``) so restoring a
+        member from the log never writes the log: one ``bulk_load`` of the
+        expanded positives, one ``delete`` per negative instance, and a
+        ``set_meta`` per blob when the index exposes the hook.  Epoch
+        alignment is the caller's job (:meth:`QueryService.sync_epoch`).
+        """
+        index = service.index
+        epoch = service.mutate(
+            lambda: index.bulk_load(self.expanded()), op="restore", record=None
+        )
+        for box, value, count in self.negatives():
+            for _ in range(-count):
+                epoch = service.mutate(
+                    lambda b=box, v=value: index.delete(b, v), op="restore", record=None
+                )
+        set_meta = getattr(index, "set_meta", None)
+        if set_meta is not None:
+            for _key, blob in sorted(self.meta.items()):
+                epoch = service.mutate(
+                    lambda b=blob: set_meta(b), op="restore", record=None
+                )
+        return epoch
+
+    def copy(self) -> "LogicalState":
+        clone = LogicalState(self.dims)
+        clone._counts = dict(self._counts)
+        clone.meta = dict(self.meta)
+        return clone
+
+
+__all__ = ["LogicalState"]

@@ -142,6 +142,19 @@ class CircuitBreaker:
             if self._state != FORCED_OPEN:
                 self._transition(FORCED_OPEN)
 
+    def reset(self) -> None:
+        """Return to closed with a clean window — the revival path.
+
+        The only way out of ``forced_open``: the caller (the replica
+        group's ``revive``/``catch_up``) asserts the member's state has
+        been re-synchronized, so its failure history is no longer
+        evidence about its future.
+        """
+        with self._lock:
+            self._outcomes.clear()
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
     # -- introspection -------------------------------------------------------------
 
     def stats(self) -> Dict[str, float]:

@@ -93,6 +93,12 @@ class ResilienceConfig:
         second, concurrent attempt on the next healthy member; first answer
         wins (both are exact, so the race is pure latency).  ``None``
         disables hedging.
+    mutation_retries:
+        Extra attempts a *mutation* gets on one member after a
+        :class:`~repro.core.errors.ServiceOverloadedError` before the
+        member is poisoned.  Admission rejection is fail-fast — nothing
+        was applied — so retrying it (with the same jittered backoff as
+        failover) is safe, unlike retrying an exception thrown mid-apply.
     partial_results:
         When True, a shard whose whole replica group is down degrades the
         batch to a :class:`~repro.resilience.partial.PartialResult` (exact
@@ -110,6 +116,7 @@ class ResilienceConfig:
     backoff_multiplier: float = 2.0
     backoff_jitter: float = 0.5
     hedge_delay_s: Optional[float] = None
+    mutation_retries: int = 2
     partial_results: bool = False
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     seed: int = 0
@@ -131,6 +138,10 @@ class ResilienceConfig:
             )
         if self.hedge_delay_s is not None and self.hedge_delay_s < 0:
             raise ValueError(f"hedge_delay_s must be >= 0, got {self.hedge_delay_s}")
+        if self.mutation_retries < 0:
+            raise ValueError(
+                f"mutation_retries must be >= 0, got {self.mutation_retries}"
+            )
 
 
 __all__ = ["BreakerConfig", "ResilienceConfig"]

@@ -17,9 +17,26 @@ The group keeps that invariant two ways:
   mutation sequence (each member's own writer lock orders it against that
   member's readers);
 * **poisoning** — a member whose mutation *raises* may have half-applied
-  it; there is no way to know, so the member is permanently excluded
-  (its breaker is forced open) rather than ever risking a wrong answer.
-  The group only fails a mutation when no live member accepted it.
+  it; there is no way to know, so the member is excluded (its breaker is
+  forced open) rather than ever risking a wrong answer.  The group only
+  fails a mutation when no live member accepted it.  One exception:
+  :class:`~repro.core.errors.ServiceOverloadedError` is admission
+  rejection — nothing was applied — so the mutation is *retried* on that
+  member (``config.mutation_retries`` times, with the jittered backoff)
+  before poisoning is considered.
+
+Poisoning stopped being terminal when the group grew a replication log
+(:mod:`repro.replog`).  With ``replication_log`` attached, every admitted
+group mutation appends one logical record under the mutation mutex, and
+three recovery verbs ride on it:
+
+* :meth:`ReplicaGroup.catch_up` — restore a poisoned member from the
+  newest checkpoint plus the log tail, audit it bit-for-bit against a
+  live member with seeded probes, and return it to the serve rotation;
+* :meth:`ReplicaGroup.add_member` — bootstrap a brand-new member to the
+  group's head LSN *before* it ever serves;
+* :meth:`ReplicaGroup.revive` — the operator override: un-poison without
+  a restore (after e.g. a group-wide ``bulk_load`` equalized states).
 
 Serving goes through the failover loop: pick the first member whose
 circuit breaker admits traffic (primary first — replicas are cache-warm
@@ -45,7 +62,12 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures import wait as futures_wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.errors import ShardUnavailableError
+from ..core.errors import (
+    NotSupportedError,
+    ReplicaDivergedError,
+    ServiceOverloadedError,
+    ShardUnavailableError,
+)
 from ..core.geometry import Box
 from ..obs import trace as _trace
 from ..obs.registry import MetricsRegistry, get_registry
@@ -73,6 +95,16 @@ class ReplicaGroup:
     config:
         The :class:`~repro.resilience.config.ResilienceConfig` failover
         policy.
+    replication_log:
+        An optional :class:`~repro.replog.ReplicationLog`.  The group
+        appends one record per admitted mutation (members' own services
+        must *not* carry an oplog, or mutations would double-log) and the
+        recovery verbs — ``catch_up``/``add_member``/``recover_to`` —
+        become available.
+    member_factory:
+        Zero-argument callable building a fresh, empty member service;
+        lets ``add_member()`` and the cluster's replica seeding mint
+        members without the caller plumbing index construction through.
     clock / sleep:
         Injectable time sources (breaker cooldowns, backoff) so tests and
         the chaos torture loop stay deterministic and fast.
@@ -86,6 +118,8 @@ class ReplicaGroup:
         config: Optional[ResilienceConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         label: str = "cluster",
+        replication_log=None,
+        member_factory: Optional[Callable[[], object]] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -95,12 +129,18 @@ class ReplicaGroup:
         self.members: List[object] = list(members)
         self.config = config if config is not None else ResilienceConfig()
         self.label = label
+        self.replication_log = replication_log
+        self._member_factory = member_factory
         self._clock = clock
         self._sleep = sleep
         self._rng = random.Random(self.config.seed * 1_000_003 + shard_id)
         self._rng_lock = threading.Lock()
         self._mutation_lock = threading.Lock()
         self._poisoned: List[bool] = [False] * len(self.members)
+        #: highest LSN each member has applied (tracks the log head while
+        #: live, freezes at the poisoning point — that gap is the lag)
+        head = replication_log.head_lsn if replication_log is not None else 0
+        self._applied_lsn: List[int] = [head] * len(self.members)
         self._stats_lock = threading.Lock()
         self._counts: Dict[str, float] = {
             "attempts": 0.0,
@@ -111,6 +151,9 @@ class ReplicaGroup:
             "hedge_wins": 0.0,
             "unavailable": 0.0,
             "poisoned": 0.0,
+            "retries": 0.0,
+            "revivals": 0.0,
+            "catchups": 0.0,
         }
         registry = registry if registry is not None else get_registry()
         self._registry = registry
@@ -133,6 +176,20 @@ class ReplicaGroup:
         )
         self._m_unavailable = registry.counter(
             "repro_resilience_unavailable", "serves that exhausted every member"
+        )
+        self._m_retries = registry.counter(
+            "repro_resilience_mutation_retries",
+            "mutation attempts retried after admission rejection",
+        )
+        self._m_revivals = registry.counter(
+            "repro_resilience_revivals", "poisoned members returned to rotation"
+        )
+        self._m_catchups = registry.counter(
+            "repro_resilience_catchups", "log-driven member restores, by outcome"
+        )
+        self._m_lag = registry.gauge(
+            "repro_resilience_replica_lag",
+            "log records the member has not applied (head LSN - applied LSN)",
         )
         self.breakers: List[CircuitBreaker] = [
             CircuitBreaker(
@@ -183,40 +240,96 @@ class ReplicaGroup:
     # -- mutations (synchronous fan-out) ---------------------------------------------
 
     def insert(self, box: Box, value: float = 1.0) -> int:
-        return self._mutate(lambda m: m.insert(box, value), op="insert")
+        from ..replog.records import InsertOp
+
+        return self._mutate(
+            lambda m: m.insert(box, value),
+            op="insert",
+            record=InsertOp(box, float(value)),
+        )
 
     def delete(self, box: Box, value: float = 1.0) -> int:
-        return self._mutate(lambda m: m.delete(box, value), op="delete")
+        from ..replog.records import DeleteOp
+
+        return self._mutate(
+            lambda m: m.delete(box, value),
+            op="delete",
+            record=DeleteOp(box, float(value)),
+        )
 
     def bulk_load(self, objects) -> int:
-        # Bulk loads rebuild every member from the same object list, which
-        # is also how an operator un-poisons a member wholesale: after a
-        # successful group-wide bulk_load the states are equal again, but
-        # poisoning is sticky by design — explicit revival only.
-        return self._mutate(lambda m: m.bulk_load(objects), op="bulk_load")
+        # Materialized once: fanning a generator out would hand the first
+        # member everything and the rest nothing.  A group-wide bulk_load
+        # equalizes member states, but poisoning stays sticky by design —
+        # return via revive()/catch_up() only.
+        from ..replog.records import BulkLoadOp
 
-    def _mutate(self, fn: Callable[[object], int], op: str) -> int:
+        objects = [(box, float(value)) for box, value in objects]
+        return self._mutate(
+            lambda m: m.bulk_load(objects),
+            op="bulk_load",
+            record=BulkLoadOp(tuple(objects)),
+        )
+
+    def set_meta(self, key: str, blob: bytes) -> int:
+        from ..replog.records import SetMetaOp
+
+        return self._mutate(
+            lambda m: m.set_meta(key, blob),
+            op="set_meta",
+            record=SetMetaOp(key, bytes(blob)),
+        )
+
+    def _mutate(self, fn: Callable[[object], int], op: str, record=None) -> int:
         with self._mutation_lock:
             epoch: Optional[int] = None
             last_error: Optional[BaseException] = None
+            accepted: List[int] = []
             for mid, member in enumerate(self.members):
                 if self._poisoned[mid]:
                     continue
-                try:
-                    epoch = fn(member)
-                except Exception as exc:  # noqa: BLE001 — any failure may be partial
-                    last_error = exc
-                    self._poison(mid, op, exc)
+                overload_attempts = 0
+                while True:
+                    try:
+                        epoch = fn(member)
+                        accepted.append(mid)
+                        break
+                    except ServiceOverloadedError as exc:
+                        # Admission rejection is fail-fast: nothing was
+                        # applied, so retrying cannot fork the member's
+                        # state.  Only exhausted retries poison.
+                        last_error = exc
+                        if overload_attempts >= self.config.mutation_retries:
+                            self._poison(mid, op, exc)
+                            break
+                        overload_attempts += 1
+                        self._note("retries")
+                        self._m_retries.inc(label=self.label)
+                        self._backoff(overload_attempts)
+                    except Exception as exc:  # noqa: BLE001 — may be half-applied
+                        last_error = exc
+                        self._poison(mid, op, exc)
+                        break
             if epoch is None:
                 raise ShardUnavailableError(
                     f"no live member of shard {self.shard_id} accepted {op}",
                     shard=self.shard_id,
                     members_tried=tuple(range(len(self.members))),
                 ) from last_error
+            # The record is appended only after at least one member
+            # accepted, still under the mutation mutex: the log is exactly
+            # the admitted mutation sequence, in order, nothing else.
+            if self.replication_log is not None and record is not None:
+                lsn = self.replication_log.record(record)
+                for mid in accepted:
+                    self._applied_lsn[mid] = lsn
+                self._update_lag()
             return epoch
 
     def _poison(self, mid: int, op: str, exc: BaseException) -> None:
-        """Permanently exclude a member whose mutation may be half-applied."""
+        """Exclude a member whose mutation may be half-applied (idempotent)."""
+        if self._poisoned[mid]:
+            return
         self._poisoned[mid] = True
         self.breakers[mid].force_open()
         with self._stats_lock:
@@ -229,6 +342,232 @@ class ReplicaGroup:
                 member=mid,
                 op=op,
                 error=type(exc).__name__,
+            )
+
+    # -- recovery: revive / catch up / bootstrap ---------------------------------------
+
+    def revive(self, mid: int) -> bool:
+        """Operator override: return a poisoned member to the rotation as-is.
+
+        The caller asserts the member's state equals the group's (e.g. a
+        group-wide ``bulk_load`` just equalized everyone).  No restore, no
+        audit — prefer :meth:`catch_up` when a replication log is
+        attached.  Returns False when the member was not poisoned.
+        """
+        with self._mutation_lock:
+            return self._revive_locked(mid)
+
+    def _revive_locked(self, mid: int) -> bool:
+        if not self._poisoned[mid]:
+            return False
+        self._poisoned[mid] = False
+        self.breakers[mid].reset()
+        if self.replication_log is not None:
+            self._applied_lsn[mid] = self.replication_log.head_lsn
+            self._update_lag()
+        with self._stats_lock:
+            self._counts["revivals"] += 1
+        self._m_revivals.inc(label=self.label)
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event("resilience_revived", shard=self.shard_id, member=mid)
+        return True
+
+    def catch_up(self, mid: int, *, audit_probes: int = 16):
+        """Restore a poisoned member from checkpoint + log tail and revive it.
+
+        Runs under the mutation mutex, so the restore target (the head
+        LSN) cannot move mid-restore.  Before the member re-enters the
+        rotation it must answer ``audit_probes`` seeded box-sums — and
+        report the same epoch — bit-identically to a live member; a
+        mismatch raises
+        :class:`~repro.core.errors.ReplicaDivergedError` and the member
+        stays poisoned.  When no live reference exists the audit is
+        vacuous (the log *is* the only authority left).
+
+        Returns the :class:`~repro.replog.RestoreReport`, or None when
+        the member was not poisoned (nothing to do).
+        """
+        if self.replication_log is None:
+            raise NotSupportedError(
+                f"shard {self.shard_id} has no replication log; "
+                "catch_up needs one to restore from"
+            )
+        tracer = _trace._ACTIVE
+        if tracer is None:
+            return self._catch_up_inner(mid, audit_probes, None)
+        with tracer.span(
+            "replog.catchup", shard=self.shard_id, member=mid, label=self.label
+        ):
+            return self._catch_up_inner(mid, audit_probes, tracer)
+
+    def _catch_up_inner(self, mid: int, audit_probes: int, tracer):
+        with self._mutation_lock:
+            if not self._poisoned[mid]:
+                return None
+            lag_before = self.replication_log.head_lsn - self._applied_lsn[mid]
+            try:
+                report = self.replication_log.restore_into(self.members[mid])
+                self._applied_lsn[mid] = report.upto_lsn
+                reference = next(
+                    (
+                        rid
+                        for rid in range(len(self.members))
+                        if rid != mid and not self._poisoned[rid]
+                    ),
+                    None,
+                )
+                if reference is not None:
+                    self._audit(mid, reference, audit_probes)
+            except Exception:
+                self._m_catchups.inc(outcome="failed", label=self.label)
+                raise
+            self._revive_locked(mid)
+        with self._stats_lock:
+            self._counts["catchups"] += 1
+        self._m_catchups.inc(outcome="ok", label=self.label)
+        if tracer is not None:
+            tracer.event(
+                "replog_caught_up",
+                shard=self.shard_id,
+                member=mid,
+                lag=lag_before,
+                tail=report.tail_records,
+            )
+        return report
+
+    def _audit(self, mid: int, reference: int, probes: int) -> None:
+        """Seeded bit-exactness probe: restored member vs a live member.
+
+        Queries are drawn from an RNG seeded by (config seed, shard, head
+        LSN) over the logical state's extent, compared with ``==`` — the
+        additive decomposition admits no tolerance.  Called under the
+        mutation mutex so no mutation can interleave the two reads.
+        """
+        member, live = self.members[mid], self.members[reference]
+        if member.epoch != live.epoch:
+            raise ReplicaDivergedError(
+                f"shard {self.shard_id} member {mid}: epoch {member.epoch} != "
+                f"live member {reference}'s {live.epoch} after restore"
+            )
+        if probes <= 0:
+            return
+        extent = self.replication_log.extent()
+        if extent is None:
+            return
+        rng = random.Random(
+            (self.config.seed * 7_368_787 + self.shard_id) * 31
+            + self.replication_log.head_lsn
+        )
+        pad = [max(1.0, extent.side(d)) * 0.25 for d in range(extent.dims)]
+        queries = []
+        for _ in range(probes):
+            corners = [
+                sorted(
+                    rng.uniform(extent.low[d] - pad[d], extent.high[d] + pad[d])
+                    for _c in range(2)
+                )
+                for d in range(extent.dims)
+            ]
+            queries.append(
+                Box([c[0] for c in corners], [c[1] for c in corners])
+            )
+        restored = member.box_sum_batch(queries)
+        expected = live.box_sum_batch(queries)
+        for query, got, want in zip(queries, restored, expected):
+            if got != want:
+                raise ReplicaDivergedError(
+                    f"shard {self.shard_id} member {mid} diverged after "
+                    f"catch-up: box_sum({query}) = {got!r}, live member "
+                    f"{reference} says {want!r}"
+                )
+
+    def catch_up_all(self, *, audit_probes: int = 16) -> List[int]:
+        """Catch up every poisoned member; returns the ids revived."""
+        revived = []
+        for mid in range(len(self.members)):
+            if self._poisoned[mid]:
+                if self.catch_up(mid, audit_probes=audit_probes) is not None:
+                    revived.append(mid)
+        return revived
+
+    def add_member(self, member: Optional[object] = None) -> int:
+        """Bootstrap a new member to the head LSN and add it to the rotation.
+
+        The member (built by ``member_factory`` when not given) is
+        restored from checkpoint + log tail *before* it becomes visible
+        to the serve loop, so it can never answer from a half-bootstrapped
+        state.  Returns the new member id.
+        """
+        if self.replication_log is None:
+            raise NotSupportedError(
+                f"shard {self.shard_id} has no replication log; "
+                "a new member cannot be seeded without one"
+            )
+        if member is None:
+            if self._member_factory is None:
+                raise NotSupportedError(
+                    f"shard {self.shard_id} has no member_factory configured"
+                )
+            member = self._member_factory()
+        with self._mutation_lock:
+            mid = len(self.members)
+            report = self.replication_log.restore_into(member)
+            # Bookkeeping lists grow before members: the serve loop sizes
+            # its scan off len(self.members), so a concurrent reader must
+            # never see a member whose breaker does not exist yet.
+            self.breakers.append(
+                CircuitBreaker(
+                    self.config.breaker,
+                    clock=self._clock,
+                    on_transition=self._make_transition_hook(mid),
+                )
+            )
+            self._poisoned.append(False)
+            self._applied_lsn.append(report.upto_lsn)
+            self.members.append(member)
+            self._update_lag()
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "resilience_member_added",
+                shard=self.shard_id,
+                member=mid,
+                lsn=report.upto_lsn,
+            )
+        return mid
+
+    def checkpoint(self):
+        """Snapshot the replication log at a mutation boundary.
+
+        Taken under the mutation mutex, so the checkpoint's LSN/epoch pair
+        reflects a fully fanned-out mutation — exactly the state a member
+        restored from it will share with every live member.
+        """
+        if self.replication_log is None:
+            raise NotSupportedError(
+                f"shard {self.shard_id} has no replication log to checkpoint"
+            )
+        with self._mutation_lock:
+            return self.replication_log.checkpoint(self.epoch)
+
+    def recover_to(self, lsn: int, index_factory: Optional[Callable[[], object]] = None):
+        """Point-in-time recovery of this shard's history (see
+        :meth:`~repro.replog.ReplicationLog.recover_to`)."""
+        if self.replication_log is None:
+            raise NotSupportedError(
+                f"shard {self.shard_id} has no replication log to recover from"
+            )
+        return self.replication_log.recover_to(lsn, index_factory)
+
+    def _update_lag(self) -> None:
+        head = self.replication_log.head_lsn
+        for mid in range(len(self.members)):
+            self._m_lag.set(
+                float(head - self._applied_lsn[mid]),
+                shard=str(self.shard_id),
+                member=str(mid),
+                label=self.label,
             )
 
     # -- serving (failover loop) -----------------------------------------------------
@@ -477,6 +816,11 @@ class ReplicaGroup:
             for mid in range(len(self.members))
         ]
         out["breaker_trips"] = [breaker.trips for breaker in self.breakers]
+        if self.replication_log is not None:
+            head = self.replication_log.head_lsn
+            out["head_lsn"] = head
+            out["applied_lsn"] = list(self._applied_lsn)
+            out["replica_lag"] = [head - lsn for lsn in self._applied_lsn]
         return out
 
     def member_stats(self) -> List[Dict[str, float]]:

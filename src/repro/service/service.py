@@ -34,6 +34,7 @@ from ..core.errors import NotSupportedError, ServiceClosedError, ServiceOverload
 from ..core.geometry import Box
 from ..obs import trace as _trace
 from ..obs.registry import MetricsRegistry, get_registry
+from ..replog.records import BulkLoadOp, DeleteOp, InsertOp, SetMetaOp
 from .cache import EpochLRUCache, box_key, probe_key
 from .locks import AdmissionGate, RWLock
 from .planner import BatchPlanner, ProbeIdentity
@@ -108,6 +109,12 @@ class QueryService:
     workers:
         Size of the probe worker pool; 0 (default) resolves probes on the
         calling thread.
+    oplog:
+        An optional :class:`~repro.replog.ReplicationLog`.  When attached,
+        every admitted mutation appends one logical record *inside* the
+        write lock — immediately after the epoch bump — so the log's LSN
+        sequence is exactly the epoch sequence, which is the invariant
+        checkpoint/restore relies on (epoch = ``base_epoch + lsn``).
     """
 
     def __init__(
@@ -122,12 +129,14 @@ class QueryService:
         workers: int = 0,
         registry: Optional[MetricsRegistry] = None,
         label: Optional[str] = None,
+        oplog=None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if max_queue < 0:
             raise ValueError(f"max_queue must be >= 0, got {max_queue}")
         self.index = index
+        self.oplog = oplog
         self.label = label if label is not None else getattr(index, "backend", "index")
         self._supports_probes = bool(getattr(index, "supports_probes", False))
         self._planner = BatchPlanner(index) if self._supports_probes else None
@@ -400,21 +409,48 @@ class QueryService:
 
     def insert(self, box: Box, value: float = 1.0) -> int:
         """Insert one object exclusively; returns the new epoch."""
-        return self.mutate(lambda: self.index.insert(box, value), op="insert")
+        return self.mutate(
+            lambda: self.index.insert(box, value),
+            op="insert",
+            record=InsertOp(box, float(value)),
+        )
 
     def delete(self, box: Box, value: float = 1.0) -> int:
         """Delete one object exclusively; returns the new epoch."""
-        return self.mutate(lambda: self.index.delete(box, value), op="delete")
+        return self.mutate(
+            lambda: self.index.delete(box, value),
+            op="delete",
+            record=DeleteOp(box, float(value)),
+        )
 
     def bulk_load(self, objects) -> int:
         """Rebuild the index exclusively; returns the new epoch."""
-        return self.mutate(lambda: self.index.bulk_load(objects), op="bulk_load")
+        objects = list(objects)
+        return self.mutate(
+            lambda: self.index.bulk_load(objects),
+            op="bulk_load",
+            record=BulkLoadOp(tuple((box, float(value)) for box, value in objects)),
+        )
 
-    def mutate(self, fn, op: str = "mutate") -> int:
+    def set_meta(self, key: str, blob: bytes) -> int:
+        """Write an opaque metadata blob exclusively; returns the new epoch.
+
+        Applied to the index when it exposes a ``set_meta`` hook (the
+        durable pager does); always shipped to the replication log so a
+        replica fronting a durable backend replays it.
+        """
+        apply_meta = getattr(self.index, "set_meta", None)
+        fn = (lambda: apply_meta(blob)) if apply_meta is not None else (lambda: None)
+        return self.mutate(fn, op="set_meta", record=SetMetaOp(key, bytes(blob)))
+
+    def mutate(self, fn, op: str = "mutate", record=None) -> int:
         """Run an arbitrary index mutation under the write lock and bump the epoch.
 
         Use this for mutations the service has no verb for — e.g. a durable
         backend's ``set_meta`` — so cached results can never outlive them.
+        ``record`` is the logical operation shipped to the attached
+        replication log (if any); restores pass ``record=None`` so
+        replaying the log never re-logs it.
         """
         # Fail fast before queueing on the write lock: a post-close mutation
         # must not block behind a draining reader.  The re-check inside the
@@ -427,11 +463,42 @@ class QueryService:
             fn()
             self._epoch += 1
             epoch = self._epoch
+            if self.oplog is not None and record is not None:
+                self.oplog.record(record)
         with self._stats_lock:
             self._counts["mutations"] += 1
             self._m_mutations.inc(op=op, label=self.label)
             self._m_epoch.set(epoch, label=self.label)
         return epoch
+
+    def checkpoint(self):
+        """Snapshot the attached replication log's state under the write lock.
+
+        Taking the write lock guarantees the checkpoint reflects a
+        mutation boundary — no half-applied batch, no record racing the
+        snapshot — and passing the live epoch pins the ``epoch =
+        base_epoch + lsn`` invariant into the checkpoint file.
+        """
+        if self.oplog is None:
+            raise NotSupportedError(
+                f"service {self.label!r} has no replication log attached"
+            )
+        with self._rwlock.write():
+            return self.oplog.checkpoint(self._epoch)
+
+    def sync_epoch(self, epoch: int) -> None:
+        """Align this service's epoch after a log-driven restore.
+
+        Both caches are cleared: entries were tagged with the pre-restore
+        epoch sequence, and re-aligning the counter could otherwise let a
+        stale value collide with a future epoch and be served as fresh.
+        """
+        with self._rwlock.write():
+            self._epoch = epoch
+            self._results.clear()
+            self._probes.clear()
+        with self._stats_lock:
+            self._m_epoch.set(epoch, label=self.label)
 
     @property
     def epoch(self) -> int:

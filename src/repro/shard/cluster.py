@@ -27,15 +27,22 @@ shard serializes its own mutations), only rebalancing takes it exclusive.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 from inspect import signature
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..core.aggregator import BoxSumIndex
-from ..core.errors import ServiceClosedError, ServiceOverloadedError
+from ..core.errors import (
+    NotSupportedError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 from ..core.geometry import Box
 from ..obs import trace as _trace
 from ..obs.registry import MetricsRegistry, get_registry
+from ..replog import ReplicationLog
 from ..resilience.config import ResilienceConfig
 from ..resilience.group import ReplicaGroup
 from ..resilience.partial import PartialResult
@@ -117,6 +124,20 @@ class ShardedService:
         member service as the groups are built — the chaos harness's seam
         (:func:`~repro.resilience.chaos.chaos_member_wrapper`), also usable
         for bespoke instrumentation.
+    replog_dir:
+        When set, every shard ships its admitted mutations to a
+        :class:`~repro.replog.ReplicationLog` under
+        ``<replog_dir>/shard-<sid>``.  Replicated shards log at the group
+        level (one record per admitted group mutation); unreplicated
+        shards attach the log to the shard service itself.  Enables
+        :meth:`checkpoint`, :meth:`add_replica`, :meth:`catch_up` /
+        :meth:`catch_up_all` and per-shard point-in-time recovery.
+        Members built here are *not* run through ``service_wrapper`` when
+        seeded later — a freshly restored member starts clean.
+    replog_options:
+        Extra keyword arguments for each shard's
+        :class:`~repro.replog.ReplicationLog` (``segment_bytes``,
+        ``fsync``, ``checkpoint_retain``, ...).
     """
 
     def __init__(
@@ -140,6 +161,8 @@ class ShardedService:
         replicas: int = 0,
         resilience: Optional[ResilienceConfig] = None,
         service_wrapper=None,
+        replog_dir: Optional[str] = None,
+        replog_options: Optional[Dict[str, object]] = None,
     ) -> None:
         self.dims = dims
         self.label = label
@@ -184,9 +207,28 @@ class ShardedService:
                 return index_factory(sid, member)
             return index_factory(sid)
 
+        self._replogs: List[Optional[ReplicationLog]] = []
+        replog_options = dict(replog_options or {})
+
+        def build_replog(sid: int) -> Optional[ReplicationLog]:
+            if replog_dir is None:
+                return None
+            return ReplicationLog(
+                os.path.join(replog_dir, f"shard-{sid:04d}"),
+                registry=registry,
+                label=f"{label}/s{sid}",
+                **replog_options,
+            )
+
         self._groups: List[ReplicaGroup] = []
         self._shards: List[Union[QueryService, ReplicaGroup]] = []
+        self._build_index = build_index
+        #: member ids for log-seeded members (2-arg index factories place
+        #: each member separately, so late members need fresh ids)
+        self._member_ids = itertools.count(1000)
         for sid in range(num_shards):
+            replog = build_replog(sid)
+            self._replogs.append(replog)
             members: List[QueryService] = []
             for member in range(1 + replicas):
                 suffix = f"s{sid}" if member == 0 else f"s{sid}r{member}"
@@ -194,18 +236,33 @@ class ShardedService:
                     build_index(sid, member),
                     registry=registry,
                     label=f"{label}/{suffix}",
+                    # Replicated shards log at the group level; attaching
+                    # the log to members too would double-ship every record.
+                    oplog=replog if not self._resilient else None,
                     **shard_kwargs,
                 )
                 if service_wrapper is not None:
                     service = service_wrapper(service, sid, member)
                 members.append(service)
             if self._resilient:
+
+                def make_member(sid=sid) -> QueryService:
+                    member = next(self._member_ids)
+                    return QueryService(
+                        build_index(sid, member),
+                        registry=registry,
+                        label=f"{label}/s{sid}m{member}",
+                        **shard_kwargs,
+                    )
+
                 group = ReplicaGroup(
                     sid,
                     members,
                     config=self.resilience,
                     registry=registry,
                     label=label,
+                    replication_log=replog,
+                    member_factory=make_member,
                 )
                 self._groups.append(group)
                 self._shards.append(group)
@@ -591,6 +648,92 @@ class ShardedService:
             moved += count
         return moved
 
+    # -- log-shipping / recovery -----------------------------------------------------
+
+    @property
+    def replication_logs(self) -> Tuple[Optional[ReplicationLog], ...]:
+        """Per-shard replication logs (all None without ``replog_dir``)."""
+        return tuple(self._replogs)
+
+    def _require_replog(self, sid: int) -> ReplicationLog:
+        if not 0 <= sid < self.num_shards:
+            raise ValueError(f"unknown shard {sid}")
+        replog = self._replogs[sid]
+        if replog is None:
+            raise NotSupportedError(
+                f"cluster {self.label!r} was built without replog_dir; "
+                "log-shipping verbs are unavailable"
+            )
+        return replog
+
+    def checkpoint(self) -> List[object]:
+        """Checkpoint every shard's replication log at a mutation boundary.
+
+        Runs under the cluster read lock (rebalances excluded); each
+        shard's own mutation serialization makes its snapshot consistent.
+        Returns the per-shard :class:`~repro.replog.Checkpoint` list.
+        """
+        self._require_replog(0)
+        checkpoints = []
+        with self._cluster_lock.read():
+            for shard in self._shards:
+                checkpoints.append(shard.checkpoint())
+        return checkpoints
+
+    def add_replica(self, sid: int) -> int:
+        """Seed one new member for shard ``sid`` from checkpoint + log tail.
+
+        The member is built by the shard's member factory, restored to the
+        group's head LSN and only then enters the serve rotation.  Returns
+        the new member id within the group.
+        """
+        self._require_replog(sid)
+        if not self._groups:
+            raise NotSupportedError(
+                f"cluster {self.label!r} is unreplicated; "
+                "build it with replicas/resilience to host replica groups"
+            )
+        with self._cluster_lock.read():
+            return self._groups[sid].add_member()
+
+    def catch_up(self, sid: int, mid: int, *, audit_probes: int = 16):
+        """Restore shard ``sid``'s poisoned member ``mid`` from its log."""
+        self._require_replog(sid)
+        if not self._groups:
+            raise NotSupportedError(f"cluster {self.label!r} is unreplicated")
+        with self._cluster_lock.read():
+            return self._groups[sid].catch_up(mid, audit_probes=audit_probes)
+
+    def catch_up_all(self, *, audit_probes: int = 16) -> Dict[int, List[int]]:
+        """Catch up every poisoned member, cluster-wide.
+
+        Returns ``{shard_id: [revived member ids]}`` for shards where
+        anything changed.  This is the callable to hand a
+        :class:`~repro.replog.CatchUpDaemon`.
+        """
+        if not self._groups:
+            return {}
+        revived: Dict[int, List[int]] = {}
+        with self._cluster_lock.read():
+            for sid, group in enumerate(self._groups):
+                if self._replogs[sid] is None:
+                    continue
+                members = group.catch_up_all(audit_probes=audit_probes)
+                if members:
+                    revived[sid] = members
+        return revived
+
+    def recover_shard_to(self, sid: int, lsn: int) -> QueryService:
+        """Point-in-time recovery: shard ``sid`` as of record ``lsn``.
+
+        Builds a fresh index through the shard's own factory settings and
+        replays checkpoint + tail into it — an offline forensic replica;
+        the live shard is untouched.
+        """
+        replog = self._require_replog(sid)
+        member = next(self._member_ids)
+        return replog.recover_to(lsn, lambda: self._build_index(sid, member))
+
     # -- internals -----------------------------------------------------------------
 
     @staticmethod
@@ -637,6 +780,11 @@ class ShardedService:
         out["partitioner"] = self._map.name
         out["epochs"] = self.epochs()
         out["inflight"] = self._gate.inflight
+        if any(replog is not None for replog in self._replogs):
+            out["head_lsns"] = [
+                replog.head_lsn if replog is not None else None
+                for replog in self._replogs
+            ]
         return out
 
     def shard_stats(self) -> List[Dict[str, float]]:
@@ -662,6 +810,9 @@ class ShardedService:
             self._executor.shutdown(wait=True)
         for service in self._shards:
             service.close()
+        for replog in self._replogs:
+            if replog is not None:
+                replog.close()
 
     @property
     def closed(self) -> bool:

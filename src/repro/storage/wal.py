@@ -101,6 +101,11 @@ class WriteAheadLog:
         self._file = opener(path, "r+b" if exists else "w+b")
         # Whether a committed batch is on disk but not yet applied.
         self._pending = False
+        # File offset just past the last commit record — the only position
+        # new records may be appended at.  Appending past a torn tail
+        # instead would leave the new batch unreachable: _scan stops at
+        # the tear, so a later recovery would silently drop the commit.
+        self._committed_end = _FILE_HEADER.size
         if exists:
             header = self._file.read(_FILE_HEADER.size)
             if len(header) < _FILE_HEADER.size:
@@ -125,16 +130,23 @@ class WriteAheadLog:
         self._file.truncate()
         self._file.write(_FILE_HEADER.pack(_WAL_MAGIC, self.page_size))
         fsync_file(self._file)
+        self._committed_end = _FILE_HEADER.size
 
     # -- writing ----------------------------------------------------------------------
 
     def begin(self) -> None:
-        """Start a batch: drop applied/uncommitted content, seek to the end."""
-        if not self._pending:
-            self._file.seek(_FILE_HEADER.size)
-            self._file.truncate()
-        else:
-            self._file.seek(0, os.SEEK_END)
+        """Start a batch after the last commit, truncating everything else.
+
+        Without a pending batch that means right after the file header;
+        with one, right after its commit record — either way any torn or
+        uncommitted tail (the debris of a crash mid-batch) is cut off, so
+        the records about to be written are exactly where :meth:`_scan`
+        will look for them.
+        """
+        self._file.seek(
+            self._committed_end if self._pending else _FILE_HEADER.size
+        )
+        self._file.truncate()
 
     def append_page(self, pid: int, slot_image: bytes) -> None:
         """Append one slot image (``HEADER_SLOT`` for the pager header)."""
@@ -150,6 +162,7 @@ class WriteAheadLog:
         """Make the batch durable: append the commit record, flush, fsync."""
         self._append(REC_COMMIT, 0, b"")
         fsync_file(self._file)
+        self._committed_end = self._file.tell()
         self._pending = True
         self._m_commits.inc()
         tracer = _trace._ACTIVE
@@ -162,6 +175,7 @@ class WriteAheadLog:
         self._file.truncate()
         fsync_file(self._file)
         self._pending = False
+        self._committed_end = _FILE_HEADER.size
 
     def _append(self, kind: int, pid: int, payload: bytes) -> None:
         crc = zlib.crc32(_REC_BODY.pack(kind, pid, len(payload)) + payload)
@@ -189,6 +203,7 @@ class WriteAheadLog:
             if kind == REC_COMMIT:
                 batches.append(pending)
                 pending = []
+                self._committed_end = self._file.tell()
             else:
                 pending.append((pid, payload))
         return batches

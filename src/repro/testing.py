@@ -25,6 +25,13 @@ an unsharded reference index, that a whole-group outage is loud (raise, or
 an explicit :class:`~repro.resilience.partial.PartialResult` when opted
 in), and that circuit breakers actually stop routing to a dead member and
 re-admit it after it heals.
+
+:func:`check_log_shipping` closes the loop for the replication log: a
+seeded workload ships through a replica group, one member is poisoned
+mid-stream, and the check asserts the log-driven recovery verbs restore
+exact state — catch-up produces a bit-identical member, a bootstrapped
+member answers like everyone else, and point-in-time recovery reproduces
+the exact pre-fault answers.
 """
 
 from __future__ import annotations
@@ -573,4 +580,157 @@ def check_failover(
             report.fail("healed primary never received traffic again")
     finally:
         group.close()
+    return report
+
+
+def check_log_shipping(
+    directory: str,
+    dims: int = 2,
+    backend: str = "ba",
+    n_objects: int = 60,
+    n_mutations: int = 30,
+    n_probes: int = 20,
+    audit_probes: int = 16,
+    seed: int = 0,
+) -> CheckReport:
+    """Torture-test log-shipping recovery end to end, bit for bit.
+
+    A replica group of three members ships a seeded workload through a
+    :class:`~repro.replog.ReplicationLog` rooted at ``directory``.  Four
+    phases, all deterministic (integer weights keep every comparison
+    exact, ``==`` with no tolerance):
+
+    1. **Ship and checkpoint** — interleaved inserts and deletes fan out
+       to every member and append to the log; a mid-stream checkpoint
+       pins the pre-fault LSN and the answers the group gave there.
+    2. **Poison and catch up** — one member's mutation is made to fail
+       (poisoned: excluded from rotation); more mutations widen its lag;
+       :meth:`~repro.resilience.group.ReplicaGroup.catch_up` must restore
+       it from checkpoint + tail, pass the seeded audit and return it to
+       rotation answering bit-identically to the reference.
+    3. **Bootstrap** — :meth:`add_member` must seed a brand-new member to
+       the head LSN that answers bit-identically from its first query.
+    4. **Point-in-time recovery** — :meth:`recover_to` at the pre-fault
+       LSN must reproduce the recorded pre-fault answers and the
+       historical epoch exactly.
+    """
+    from .core.aggregator import BoxSumIndex
+    from .obs.registry import MetricsRegistry
+    from .replog import ReplicationLog
+    from .resilience import ChaosPlan, FaultyQueryService, ReplicaGroup, ResilienceConfig
+    from .service import QueryService
+
+    report = CheckReport()
+    rng = random.Random(seed)
+    objects = _failover_workload(dims, n_objects, seed)
+    mutations = _failover_workload(dims, n_mutations, seed + 1)
+    probes = []
+    for _ in range(n_probes):
+        low = [rng.uniform(0, 100.0) for _ in range(dims)]
+        high = [lo + rng.uniform(0, 60.0) for lo in low]
+        probes.append(Box(low, high))
+
+    registry = MetricsRegistry()
+
+    def make_member() -> QueryService:
+        return QueryService(
+            BoxSumIndex(dims, backend=backend), registry=MetricsRegistry()
+        )
+
+    reference = NaiveBoxSum(dims)
+    replog = ReplicationLog(directory, registry=registry)
+    victim = FaultyQueryService(
+        make_member(), ChaosPlan(raise_rate=1.0, mutations=True).with_seed(seed)
+    )
+    victim.enabled = False  # armed only for the poisoning mutation
+    group = ReplicaGroup(
+        0,
+        [make_member(), make_member(), victim],
+        config=ResilienceConfig(max_attempts=3, backoff_base_s=0.0, seed=seed),
+        registry=registry,
+        replication_log=replog,
+        member_factory=make_member,
+    )
+    historical = None
+    try:
+        # -- phase 1: ship and checkpoint ---------------------------------------
+        group.bulk_load(objects)
+        for box, value in objects:
+            reference.insert(box, value)
+        half = n_mutations // 2
+        for i, (box, value) in enumerate(mutations[:half]):
+            if i % 3 == 2:
+                box, value = objects[i % len(objects)]
+                group.delete(box, value)
+                reference.insert(box, -value)
+            else:
+                group.insert(box, value)
+                reference.insert(box, value)
+        group.checkpoint()
+        pre_fault_lsn = replog.head_lsn
+        pre_fault_answers = list(group.box_sum_batch(probes))
+        report.checks += 1
+        if pre_fault_answers != [reference.box_sum(q) for q in probes]:
+            report.fail("pre-fault group answers differ from the reference")
+
+        # -- phase 2: poison one member, then catch it up -----------------------
+        victim.enabled = True
+        box, value = mutations[half]
+        group.insert(box, value)
+        reference.insert(box, value)
+        victim.enabled = False
+        report.checks += 1
+        if group.stats()["member_states"][2] != "poisoned":
+            report.fail("failed mutation did not poison the member")
+        for box, value in mutations[half + 1 :]:
+            group.insert(box, value)
+            reference.insert(box, value)
+        report.checks += 1
+        lag = group.stats()["replica_lag"]
+        if lag[2] == 0 or any(lag[:2]):
+            report.fail(f"replica lag {lag} does not isolate the poisoned member")
+        group.checkpoint()  # exercises retention with the member down
+        restore = group.catch_up(2, audit_probes=audit_probes)
+        report.checks += 1
+        if restore is None:
+            report.fail("catch_up returned None for a poisoned member")
+        report.checks += 1
+        if group.stats()["member_states"][2] == "poisoned":
+            report.fail("caught-up member is still poisoned")
+        expected = [reference.box_sum(q) for q in probes]
+        for mid in range(group.num_members):
+            report.checks += 1
+            got = list(group.members[mid].box_sum_batch(probes))
+            if got != expected:
+                report.fail(f"member {mid} diverges from the reference after catch-up")
+
+        # -- phase 3: bootstrap a brand-new member ------------------------------
+        new_mid = group.add_member()
+        report.checks += 1
+        got = list(group.members[new_mid].box_sum_batch(probes))
+        if got != expected:
+            report.fail("bootstrapped member diverges from the reference")
+        report.checks += 1
+        epochs = {group.members[mid].epoch for mid in range(group.num_members)}
+        if len(epochs) != 1:
+            report.fail(f"members disagree on the epoch after recovery: {epochs}")
+
+        # -- phase 4: point-in-time recovery ------------------------------------
+        historical = group.recover_to(
+            pre_fault_lsn, index_factory=lambda: BoxSumIndex(dims, backend=backend)
+        )
+        report.checks += 1
+        if list(historical.box_sum_batch(probes)) != pre_fault_answers:
+            report.fail("recover_to did not reproduce the pre-fault answers")
+        report.checks += 1
+        if historical.epoch != replog.epoch_at(pre_fault_lsn):
+            report.fail(
+                f"recovered epoch {historical.epoch} != invariant "
+                f"{replog.epoch_at(pre_fault_lsn)}"
+            )
+    finally:
+        if historical is not None:
+            historical.close()
+        group.close()
+        replog.close()
     return report

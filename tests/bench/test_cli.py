@@ -25,6 +25,7 @@ class TestCli:
             "service",
             "shard",
             "resilience",
+            "replog",
         }
 
     def test_run_reduction_experiment(self, capsys):

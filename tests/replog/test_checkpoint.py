@@ -1,0 +1,119 @@
+"""Unit tests for checkpoint serialization and the atomic checkpoint store."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.errors import ReplicationLogError
+from repro.core.geometry import Box
+from repro.replog import Checkpoint, CheckpointStore
+
+
+def sample_checkpoint(lsn=42, epoch=142):
+    return Checkpoint(
+        lsn=lsn,
+        epoch=epoch,
+        dims=2,
+        objects=(
+            (Box([0.0, 0.0], [5.0, 5.0]), 2.5, 3),
+            (Box([1.0, 2.0], [3.0, 4.0]), 1.0, -1),  # cluster-routed delete
+        ),
+        meta=(("durable-header", b"\x01\x02"), ("empty", b"")),
+    )
+
+
+class TestCodec:
+    def test_round_trip(self):
+        ckpt = sample_checkpoint()
+        assert Checkpoint.decode(ckpt.encode()) == ckpt
+
+    def test_empty_checkpoint_round_trips(self):
+        ckpt = Checkpoint(lsn=0, epoch=0, dims=0, objects=(), meta=())
+        assert Checkpoint.decode(ckpt.encode()) == ckpt
+
+    def test_num_instances_sums_signed_counts(self):
+        assert sample_checkpoint().num_instances == 2
+
+    def test_bit_flip_rejected(self):
+        blob = bytearray(sample_checkpoint().encode())
+        blob[len(blob) // 2] ^= 0x10
+        with pytest.raises(ReplicationLogError):
+            Checkpoint.decode(bytes(blob))
+
+    def test_truncation_rejected(self):
+        blob = sample_checkpoint().encode()
+        with pytest.raises(ReplicationLogError):
+            Checkpoint.decode(blob[:-3])
+
+    def test_bad_magic_rejected(self):
+        blob = sample_checkpoint().encode()
+        with pytest.raises(ReplicationLogError):
+            Checkpoint.decode(b"NOTACKPT" + blob[8:])
+
+
+class TestStore:
+    def test_save_load_and_ordering(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for lsn in (30, 10, 20):
+            store.save(sample_checkpoint(lsn=lsn, epoch=100 + lsn))
+        assert store.lsns() == [10, 20, 30]
+        assert store.load(20).epoch == 120
+        assert store.latest().lsn == 30
+
+    def test_best_for_picks_newest_at_or_below(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for lsn in (10, 20, 30):
+            store.save(sample_checkpoint(lsn=lsn))
+        assert store.best_for(25).lsn == 20
+        assert store.best_for(30).lsn == 30
+        assert store.best_for(9) is None
+
+    def test_best_for_skips_corrupt_files(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(sample_checkpoint(lsn=10))
+        path = store.save(sample_checkpoint(lsn=20))
+        # Corrupt the newest file: an older intact checkpoint (plus a
+        # longer log tail) must still win over a loud failure.
+        with open(path, "r+b") as f:
+            f.seek(12)
+            f.write(b"\xff\xff")
+        best = store.best_for(25)
+        assert best is not None and best.lsn == 10
+
+    def test_name_body_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.save(sample_checkpoint(lsn=10))
+        os.rename(path, os.path.join(str(tmp_path), f"ckpt-{99:020d}.ckpt"))
+        with pytest.raises(ReplicationLogError):
+            store.load(99)
+
+    def test_retain_keeps_newest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for lsn in (10, 20, 30, 40):
+            store.save(sample_checkpoint(lsn=lsn))
+        assert store.retain(2) == 30
+        assert store.lsns() == [30, 40]
+        # Retaining more than exist is a no-op reporting the oldest kept.
+        assert store.retain(5) == 30
+
+    def test_retain_rejects_zero(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(str(tmp_path)).retain(0)
+
+    def test_tmp_debris_is_ignored(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(sample_checkpoint(lsn=10))
+        # A crash between the tmp write and os.replace leaves a .tmp file.
+        debris = os.path.join(str(tmp_path), f"ckpt-{20:020d}.ckpt.tmp")
+        with open(debris, "wb") as f:
+            f.write(b"half a checkpoint")
+        assert store.lsns() == [10]
+        assert store.latest().lsn == 10
+
+    def test_sizes_reports_every_file(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(sample_checkpoint(lsn=10))
+        sizes = store.sizes()
+        assert set(sizes) == {10} and sizes[10] > 0

@@ -1,0 +1,290 @@
+"""Poisoning/revival interplay: breakers, primaries, idempotence.
+
+Poisoning forces a member's breaker open and removes it from rotation;
+``revive()`` (operator override) and ``catch_up()`` (log-driven restore)
+are the only ways back.  These tests pin the edges: breaker state across
+the round trip, losing and reviving the *primary*, and double-poison /
+double-revive idempotence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregator import BoxSumIndex
+from repro.core.errors import NotSupportedError
+from repro.obs import MetricsRegistry
+from repro.replog import ReplicationLog
+from repro.resilience import (
+    BreakerConfig,
+    ChaosPlan,
+    FaultyQueryService,
+    ReplicaGroup,
+    ResilienceConfig,
+)
+from repro.resilience.breaker import FORCED_OPEN, CircuitBreaker
+from repro.service import QueryService
+
+from ..conftest import random_box
+
+
+def make_member():
+    return QueryService(BoxSumIndex(2), registry=MetricsRegistry())
+
+
+def faulty_member(seed=0):
+    """A member whose mutations always fail while ``enabled``."""
+    wrapper = FaultyQueryService(
+        make_member(), ChaosPlan(raise_rate=1.0, mutations=True).with_seed(seed)
+    )
+    wrapper.enabled = False
+    return wrapper
+
+
+def make_group(members, tmp_path=None, **kwargs):
+    replog = None
+    if tmp_path is not None:
+        replog = ReplicationLog(str(tmp_path / "replog"), registry=MetricsRegistry())
+    kwargs.setdefault(
+        "config", ResilienceConfig(max_attempts=3, backoff_base_s=0.0, seed=0)
+    )
+    group = ReplicaGroup(
+        0,
+        members,
+        registry=MetricsRegistry(),
+        replication_log=replog,
+        member_factory=make_member,
+        **kwargs,
+    )
+    return group, replog
+
+
+def poison_via_mutation(group, victim, rng):
+    """One armed mutation poisons ``victim``; the group survives it."""
+    victim.enabled = True
+    group.insert(random_box(rng, 2), 2.0)
+    victim.enabled = False
+
+
+class TestBreakerAcrossRevival:
+    def test_poison_forces_open_revive_closes(self, rng, tmp_path):
+        victim = faulty_member()
+        group, replog = make_group([make_member(), victim], tmp_path)
+        try:
+            group.bulk_load([(random_box(rng, 2), 3.0) for _ in range(20)])
+            poison_via_mutation(group, victim, rng)
+            assert group.stats()["member_states"][1] == "poisoned"
+            assert group.breakers[1].state == FORCED_OPEN
+            assert not group.breakers[1].allow()
+            assert group.revive(1)
+            assert group.breakers[1].state == "closed"
+            assert group.breakers[1].allow()
+            assert group.stats()["member_states"][1] == "closed"
+            # The revived member is live bookkeeping-wise: lag snapped to 0.
+            assert group.stats()["replica_lag"][1] == 0
+        finally:
+            group.close()
+            if replog is not None:
+                replog.close()
+
+    def test_catch_up_resets_breaker_too(self, rng, tmp_path):
+        victim = faulty_member()
+        group, replog = make_group([make_member(), victim], tmp_path)
+        try:
+            group.bulk_load([(random_box(rng, 2), 3.0) for _ in range(20)])
+            group.checkpoint()
+            poison_via_mutation(group, victim, rng)
+            for _ in range(5):
+                group.insert(random_box(rng, 2), 1.0)
+            assert group.catch_up(1) is not None
+            assert group.breakers[1].state == "closed"
+            assert group.breakers[1].allow()
+        finally:
+            group.close()
+            replog.close()
+
+    def test_forced_open_survives_cooldown_until_revival(self, rng, tmp_path):
+        # FORCED_OPEN must not decay into half-open like an ordinary trip:
+        # only revive()/catch_up() reopen the member.
+        now = [0.0]
+        victim = faulty_member()
+        group, replog = make_group(
+            [make_member(), victim],
+            tmp_path,
+            config=ResilienceConfig(
+                max_attempts=3,
+                backoff_base_s=0.0,
+                breaker=BreakerConfig(cooldown_s=0.01),
+                seed=0,
+            ),
+            clock=lambda: now[0],
+            sleep=lambda s: None,
+        )
+        try:
+            group.bulk_load([(random_box(rng, 2), 3.0) for _ in range(10)])
+            poison_via_mutation(group, victim, rng)
+            now[0] += 10.0  # far past any cooldown
+            assert not group.breakers[1].allow()
+            assert group.stats()["member_states"][1] == "poisoned"
+        finally:
+            group.close()
+            replog.close()
+
+
+class TestPrimaryRevival:
+    def test_group_serves_from_replica_then_readmits_primary(self, rng, tmp_path):
+        primary = faulty_member()
+        replica = make_member()
+        group, replog = make_group([primary, replica], tmp_path)
+        try:
+            objects = [(random_box(rng, 2), float(rng.randint(1, 9))) for _ in range(25)]
+            group.bulk_load(objects)
+            group.checkpoint()
+            poison_via_mutation(group, primary, rng)
+            assert group.stats()["member_states"][0] == "poisoned"
+            assert group.live_members == (1,)
+            # The group still answers — exactly — from the replica, and the
+            # epoch property follows the first *live* member.
+            queries = [random_box(rng, 2, max_side=60.0) for _ in range(8)]
+            assert group.box_sum_batch(queries) == replica.box_sum_batch(queries)
+            assert group.epoch == replica.epoch
+            # Catch the primary up; it serves first again.
+            assert group.catch_up(0) is not None
+            assert group.live_members == (0, 1)
+            inner_calls = primary.calls
+            assert group.box_sum_batch(queries) == replica.box_sum_batch(queries)
+            assert primary.calls > inner_calls  # traffic reached the primary
+        finally:
+            group.close()
+            replog.close()
+
+    def test_all_members_poisoned_is_loud_until_catch_up(self, rng, tmp_path):
+        from repro.core.errors import ShardUnavailableError
+
+        m0, m1 = faulty_member(seed=1), faulty_member(seed=2)
+        group, replog = make_group([m0, m1], tmp_path)
+        try:
+            group.bulk_load([(random_box(rng, 2), 2.0) for _ in range(10)])
+            group.checkpoint()
+            for victim in (m0, m1):
+                victim.enabled = True
+            with pytest.raises(ShardUnavailableError):
+                group.insert(random_box(rng, 2), 1.0)
+            for victim in (m0, m1):
+                victim.enabled = False
+            assert group.live_members == ()
+            with pytest.raises(ShardUnavailableError):
+                group.box_sum(random_box(rng, 2))
+            # With no live reference the audit is vacuous: the log is the
+            # only authority left, and it still restores both members.
+            assert group.catch_up_all() == [0, 1]
+            assert group.live_members == (0, 1)
+            queries = [random_box(rng, 2, max_side=60.0) for _ in range(6)]
+            group_answers = group.box_sum_batch(queries)
+            assert group_answers == m0.box_sum_batch(queries)
+            assert group_answers == m1.box_sum_batch(queries)
+        finally:
+            group.close()
+            replog.close()
+
+
+class TestIdempotence:
+    def test_double_poison_counts_once(self, rng):
+        victim = faulty_member()
+        group, _ = make_group([make_member(), victim])
+        try:
+            group.bulk_load([(random_box(rng, 2), 2.0) for _ in range(10)])
+            poison_via_mutation(group, victim, rng)
+            trips_before = group.breakers[1].trips
+            # A second poisoning of the same member must be a no-op.
+            group._poison(1, "test", RuntimeError("again"))
+            assert group.stats()["poisoned"] == 1
+            assert group.breakers[1].trips == trips_before
+            assert group.stats()["member_states"][1] == "poisoned"
+        finally:
+            group.close()
+
+    def test_revive_of_live_member_is_a_noop(self, rng):
+        group, _ = make_group([make_member(), make_member()])
+        try:
+            group.bulk_load([(random_box(rng, 2), 2.0) for _ in range(10)])
+            assert not group.revive(1)
+            assert group.stats()["revivals"] == 0
+        finally:
+            group.close()
+
+    def test_catch_up_of_live_member_returns_none(self, rng, tmp_path):
+        group, replog = make_group([make_member(), make_member()], tmp_path)
+        try:
+            group.bulk_load([(random_box(rng, 2), 2.0) for _ in range(10)])
+            assert group.catch_up(1) is None
+            assert group.stats()["catchups"] == 0
+        finally:
+            group.close()
+            replog.close()
+
+    def test_double_revive_counts_once(self, rng):
+        victim = faulty_member()
+        group, _ = make_group([make_member(), victim])
+        try:
+            group.bulk_load([(random_box(rng, 2), 2.0) for _ in range(10)])
+            poison_via_mutation(group, victim, rng)
+            assert group.revive(1)
+            assert not group.revive(1)
+            assert group.stats()["revivals"] == 1
+        finally:
+            group.close()
+
+
+class TestWithoutReplicationLog:
+    def test_revive_works_without_a_log(self, rng):
+        victim = faulty_member()
+        group, _ = make_group([make_member(), victim])
+        try:
+            group.bulk_load([(random_box(rng, 2), 2.0) for _ in range(10)])
+            poison_via_mutation(group, victim, rng)
+            # Revive first (fan-out skips poisoned members), then a
+            # group-wide bulk_load equalizes every member's state — the
+            # order that makes the operator override sound without a log.
+            assert group.revive(1)
+            group.bulk_load([(random_box(rng, 2), 2.0) for _ in range(10)])
+            queries = [random_box(rng, 2) for _ in range(5)]
+            assert group.members[1].box_sum_batch(queries) == group.members[
+                0
+            ].box_sum_batch(queries)
+        finally:
+            group.close()
+
+    def test_recovery_verbs_require_a_log(self, rng):
+        group, _ = make_group([make_member()])
+        try:
+            with pytest.raises(NotSupportedError):
+                group.catch_up(0)
+            with pytest.raises(NotSupportedError):
+                group.add_member()
+            with pytest.raises(NotSupportedError):
+                group.checkpoint()
+            with pytest.raises(NotSupportedError):
+                group.recover_to(1)
+        finally:
+            group.close()
+
+
+class TestBreakerResetUnit:
+    def test_reset_is_the_only_exit_from_forced_open(self):
+        breaker = CircuitBreaker(BreakerConfig(cooldown_s=0.0), clock=lambda: 1e9)
+        breaker.force_open()
+        assert breaker.state == FORCED_OPEN
+        assert not breaker.allow()  # cooldown elapsed, still closed to traffic
+        breaker.record_success()
+        assert breaker.state == FORCED_OPEN
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_reset_on_closed_breaker_clears_outcomes(self):
+        breaker = CircuitBreaker(BreakerConfig(window=4, min_requests=2))
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()

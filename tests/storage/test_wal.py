@@ -8,6 +8,7 @@ import struct
 import pytest
 
 from repro.core.errors import WalError
+from repro.storage.faults import CrashPoint, FaultInjector, SimulatedCrashError
 from repro.storage.wal import HEADER_SLOT, WriteAheadLog
 
 PAGE = 64
@@ -116,6 +117,95 @@ class TestFraming:
         with open(page_path, "r+b") as pages:
             assert wal.recover_into(pages) == 2
         assert page_path.read_bytes()[PAGE:] == slot(0xBB)  # newest wins
+
+
+class TestCommittedEndDiscipline:
+    """Appends land exactly after the last commit record, never after debris.
+
+    Regression tests: ``begin()`` with a pending batch used to seek to the
+    end of the file, so crash debris (a torn record, or a complete record
+    from an aborted batch) sat between the commit record and the next
+    batch — the scan then either lost the new commits entirely or leaked
+    the aborted records into them.
+    """
+
+    def test_aborted_batch_records_never_leak_into_the_next(self, tmp_path):
+        page_path = tmp_path / "pages.bin"
+        page_path.write_bytes(b"\x00" * (3 * PAGE))
+        wal = make_wal(tmp_path)
+        wal.begin()
+        wal.append_page(0, slot(0xAA))
+        wal.commit()
+        # Second batch: a record is appended, then the caller aborts
+        # (an error before commit) — its record must never replay.
+        wal.begin()
+        wal.append_page(0, slot(0xBB))
+        wal.begin()
+        wal.append_page(1, slot(0xCC))
+        wal.commit()
+        with open(page_path, "r+b") as pages:
+            assert wal.recover_into(pages) == 2
+        data = page_path.read_bytes()
+        assert data[PAGE : 2 * PAGE] == slot(0xAA)  # not the aborted 0xBB
+        assert data[2 * PAGE : 3 * PAGE] == slot(0xCC)
+
+    def test_commit_after_reopen_over_torn_debris_is_reachable(self, tmp_path):
+        wal_path = str(tmp_path / "log.wal")
+        page_path = tmp_path / "pages.bin"
+        page_path.write_bytes(b"\x00" * (3 * PAGE))
+        wal = make_wal(tmp_path)
+        wal.begin()
+        wal.append_page(0, slot(0xAA))
+        wal.commit()
+        wal.close()
+        # Crash debris: a half-written record after the commit.
+        with open(wal_path, "ab") as f:
+            f.write(struct.pack("<BIII", 1, 1, PAGE, 0) + b"\x11" * (PAGE // 2))
+        # The survivor process writes another checkpoint batch.  It must
+        # land at the committed end (cutting the debris off), or the scan
+        # would stop at the tear and silently drop this commit.
+        survivor = make_wal(tmp_path)
+        assert survivor.pending
+        survivor.begin()
+        survivor.append_page(1, slot(0xDD))
+        survivor.commit()
+        survivor.close()
+        reopened = make_wal(tmp_path)
+        with open(page_path, "r+b") as pages:
+            assert reopened.recover_into(pages) == 2
+        data = page_path.read_bytes()
+        assert data[PAGE : 2 * PAGE] == slot(0xAA)
+        assert data[2 * PAGE : 3 * PAGE] == slot(0xDD)
+
+    def test_injected_torn_write_then_next_batch_recovers(self, tmp_path):
+        wal_path = str(tmp_path / "log.wal")
+        page_path = tmp_path / "pages.bin"
+        page_path.write_bytes(b"\x00" * (3 * PAGE))
+        wal = make_wal(tmp_path)
+        wal.begin()
+        wal.append_page(0, slot(0xAA))
+        wal.commit()
+        wal.close()
+        # A second process starts batch 2 and dies mid-record-write.
+        injector = FaultInjector(CrashPoint(at_op=2, mode="torn"))
+        crashed = WriteAheadLog(wal_path, PAGE, opener=injector.opener)
+        crashed.begin()  # op 1: the truncate to the committed end
+        with pytest.raises(SimulatedCrashError):
+            crashed.append_page(1, slot(0xBB))  # op 2: torn halfway
+        assert injector.fired
+        crashed.close()
+        # A third process recovers batch 1, then commits its own batch.
+        survivor = make_wal(tmp_path)
+        assert survivor.pending
+        survivor.begin()
+        survivor.append_page(1, slot(0xEE))
+        survivor.commit()
+        with open(page_path, "r+b") as pages:
+            assert survivor.recover_into(pages) == 2
+        data = page_path.read_bytes()
+        assert data[PAGE : 2 * PAGE] == slot(0xAA)
+        # The torn 0xBB never replays; the survivor's 0xEE does.
+        assert data[2 * PAGE : 3 * PAGE] == slot(0xEE)
 
 
 class TestLifecycle:
