@@ -44,9 +44,7 @@ class Theorem4:
 
     def _check(self) -> None:
         if self.page_capacity < 2 or self.dims < 1:
-            raise InvalidQueryError(
-                f"invalid configuration B={self.page_capacity}, d={self.dims}"
-            )
+            raise InvalidQueryError(f"invalid configuration B={self.page_capacity}, d={self.dims}")
 
     def bu_space(self, n: int) -> float:
         """ECDF-Bu space in pages: (n/B)·log_B^{d-1} n."""

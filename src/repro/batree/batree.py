@@ -116,9 +116,7 @@ class BATree:
         self.storage = storage
         self.dims = dims
         self.zero = zero
-        self.value_bytes = (
-            value_bytes if value_bytes is not None else storage.layout.value_bytes
-        )
+        self.value_bytes = (value_bytes if value_bytes is not None else storage.layout.value_bytes)
         self.spill_bytes = spill_bytes
         self._delegate: Optional[AggBPlusTree] = None
         if dims == 1:
@@ -141,9 +139,7 @@ class BATree:
         self._sub_index_capacity = index_capacity
         self.universe = Box((float("-inf"),) * dims, (float("inf"),) * dims)
         root_page = self._new_leaf()
-        self._root = _BARecord(
-            self.universe, root_page.pid, zero, self._fresh_borders()
-        )
+        self._root = _BARecord(self.universe, root_page.pid, zero, self._fresh_borders())
         self._total: Value = zero
         self.num_entries = 0
 
@@ -292,9 +288,7 @@ class BATree:
             new_root = self._new_index()
             new_root.records = list(split)
             self.storage.buffer.access(new_root.pid, write=True)
-            self._root = _BARecord(
-                self.universe, new_root.pid, self.zero, self._fresh_borders()
-            )
+            self._root = _BARecord(self.universe, new_root.pid, self.zero, self._fresh_borders())
 
     def _insert_record(
         self, record: _BARecord, coords: Coords, value: Value, depth: int
@@ -518,9 +512,7 @@ class BATree:
                         if kind == _SUBTOTAL:
                             subtotal = subtotal + value
                         elif isinstance(kind, tuple):
-                            border_items[kind[1]].append(
-                                (_drop(coords, kind[1]), value)
-                            )
+                            border_items[kind[1]].append((_drop(coords, kind[1]), value))
                 record.subtotal = subtotal
                 for j in range(self.dims):
                     if border_items[j]:
@@ -588,9 +580,7 @@ class BATree:
             return
         self._free_record(self._root)
         root_page = self._new_leaf()
-        self._root = _BARecord(
-            self.universe, root_page.pid, self.zero, self._fresh_borders()
-        )
+        self._root = _BARecord(self.universe, root_page.pid, self.zero, self._fresh_borders())
         self._total = self.zero
         self.num_entries = 0
 
@@ -626,9 +616,7 @@ class BATree:
             return
         count, total = self._check_page(self._root.child, self._root.box)
         if count != self.num_entries:
-            raise TreeInvariantError(
-                f"entry count mismatch: {count} != {self.num_entries}"
-            )
+            raise TreeInvariantError(f"entry count mismatch: {count} != {self.num_entries}")
         if not values_equal(total, self._total, tol=1e-6):
             raise TreeInvariantError("tree total mismatch")
 
@@ -638,9 +626,7 @@ class BATree:
             total = self.zero
             for coords, value in page.entries:
                 if not box.contains_point(coords):
-                    raise TreeInvariantError(
-                        f"leaf {pid} point {coords} outside {box}"
-                    )
+                    raise TreeInvariantError(f"leaf {pid} point {coords} outside {box}")
                 total = total + value
             return len(page.entries), total
         if not page.records:
@@ -653,9 +639,7 @@ class BATree:
             for b in page.records[i + 1 :]:
                 inter = a.box.intersection(b.box)
                 if inter is not None and inter.volume() > 0:
-                    raise TreeInvariantError(
-                        f"records overlap in page {pid}: {a.box} / {b.box}"
-                    )
+                    raise TreeInvariantError(f"records overlap in page {pid}: {a.box} / {b.box}")
         count = 0
         total = self.zero
         for record in page.records:
@@ -667,9 +651,7 @@ class BATree:
     def _check_point(self, point: Sequence[float]) -> Coords:
         coords = point if isinstance(point, tuple) else as_coords(point)
         if len(coords) != self.dims:
-            raise DimensionMismatchError(
-                f"point arity {len(coords)} != tree dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"point arity {len(coords)} != tree dims {self.dims}")
         return coords
 
 
@@ -693,9 +675,7 @@ def _classify_page_vectorized(tree: "BATree", parts, records) -> Optional[bool]:
     points = np.array([coords for coords, _v in all_entries], dtype=np.float64)
     values = np.array([v for _coords, v in all_entries], dtype=np.float64)
     # Which part (sibling) each point belongs to, to exclude the own record.
-    owner = np.repeat(
-        np.arange(len(parts)), [len(p) for _b, p in parts]
-    )
+    owner = np.repeat(np.arange(len(parts)), [len(p) for _b, p in parts])
     for i, record in enumerate(records):
         low = np.array(record.box.low)
         high = np.array(record.box.high)
@@ -722,10 +702,7 @@ def _classify_page_vectorized(tree: "BATree", parts, records) -> Optional[bool]:
                 continue
             keep = [k for k in range(dims) if k != j]
             projected = points[np.ix_(select.nonzero()[0], keep)]
-            items = [
-                (tuple(row), float(v))
-                for row, v in zip(projected.tolist(), values[select])
-            ]
+            items = [(tuple(row), float(v)) for row, v in zip(projected.tolist(), values[select])]
             record.borders[j].bulk_load(items)
     return True
 

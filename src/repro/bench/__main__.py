@@ -39,6 +39,7 @@ from .smoke import (
     make_baseline,
     run_smoke,
 )
+from .traffic import run_traffic, traffic_experiment
 
 EXPERIMENTS = {
     "fig9a": fig9a_index_sizes,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "shard": shard_scaling_experiment,
     "resilience": resilience_experiment,
     "replog": replog_experiment,
+    "traffic": traffic_experiment,
 }
 
 RESULTS_SCHEMA_VERSION = 1
@@ -87,6 +89,22 @@ def _run_smoke_command(args: argparse.Namespace) -> int:
         if not ok:
             return 1
     return 0
+
+
+def _run_traffic_command(args: argparse.Namespace, cfg: BenchConfig) -> int:
+    payload = run_traffic(cfg, mode=args.mode, chaos=args.chaos, verbose=True)
+    report = payload["report"]
+    if args.json:
+        dump_json(payload, args.json)
+        print(f"[wrote {args.json}]")
+    if args.report:
+        from ..loadgen import SLOReport
+
+        with open(args.report, "w", encoding="utf-8") as f:
+            f.write(SLOReport.from_dict(report).render())
+            f.write("\n")
+        print(f"[wrote {args.report}]")
+    return 1 if report["checks"]["failed"] else 0
 
 
 def main(argv=None) -> int:
@@ -127,6 +145,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="(smoke only) print each experiment's tables while running",
     )
+    parser.add_argument(
+        "--mode",
+        choices=["virtual", "wall"],
+        default="virtual",
+        help="(traffic only) virtual clock (deterministic) or wall clock",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="(traffic only) replicate the cluster and inject seeded read chaos",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="(traffic only) also write the SLO report's text render",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "smoke":
@@ -141,6 +176,9 @@ def main(argv=None) -> int:
         "seed": args.seed,
     }
     cfg = cfg.scaled(**{k: v for k, v in overrides.items() if v is not None})
+
+    if args.experiment == "traffic":
+        return _run_traffic_command(args, cfg)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     results = {}

@@ -39,9 +39,7 @@ QBS_SERIES = (0.0001, 0.001, 0.01, 0.1)
 
 def fig9a_index_sizes(cfg: BenchConfig = BenchConfig(), verbose: bool = True):
     """Index size (MB) per method, over the paper's uniform dataset."""
-    objects = uniform_boxes(
-        cfg.n, cfg.dims, cfg.avg_side_fraction, seed=cfg.seed
-    )
+    objects = uniform_boxes(cfg.n, cfg.dims, cfg.avg_side_fraction, seed=cfg.seed)
     rows: List[Tuple[str, float, int]] = []
     for method in FIG9_METHODS:
         index = build_boxsum_index(method, objects, cfg)
@@ -60,9 +58,7 @@ def fig9a_index_sizes(cfg: BenchConfig = BenchConfig(), verbose: bool = True):
 
 def fig9b_query_cost(cfg: BenchConfig = BenchConfig(), verbose: bool = True):
     """Total I/Os per query batch, per method and QBS."""
-    objects = uniform_boxes(
-        cfg.n, cfg.dims, cfg.avg_side_fraction, seed=cfg.seed
-    )
+    objects = uniform_boxes(cfg.n, cfg.dims, cfg.avg_side_fraction, seed=cfg.seed)
     indices = {m: build_boxsum_index(m, objects, cfg) for m in FIG9_METHODS}
     rows: List[Tuple[str, str, int]] = []
     table: Dict[str, List[object]] = {m: [m] for m in FIG9_METHODS}
@@ -81,9 +77,7 @@ def fig9b_query_cost(cfg: BenchConfig = BenchConfig(), verbose: bool = True):
         )
         headers = ["method", *(f"QBS {q:.2%}" for q in QBS_SERIES)]
         print(format_table(headers, [table[m] for m in FIG9_METHODS]))
-        series = {
-            m: list(zip(QBS_SERIES, table[m][1:])) for m in FIG9_METHODS
-        }
+        series = {m: list(zip(QBS_SERIES, table[m][1:])) for m in FIG9_METHODS}
         print()
         print(
             ascii_chart(
@@ -101,9 +95,7 @@ def fig9b_query_cost(cfg: BenchConfig = BenchConfig(), verbose: bool = True):
 # E9 — Figure 9b's asymptotic story: the aR/BAT crossover as n grows
 # ---------------------------------------------------------------------------
 
-def fig9b_crossover(
-    cfg: BenchConfig = BenchConfig(), qbs: float = 0.1, verbose: bool = True
-):
+def fig9b_crossover(cfg: BenchConfig = BenchConfig(), qbs: float = 0.1, verbose: bool = True):
     """Per-query I/O of aR vs BAT over an n sweep at a fixed large QBS.
 
     The paper's aR curve sits above the BA-tree at every query size because
@@ -140,17 +132,13 @@ def fig9b_crossover(
 # E3 — Figure 9c: functional box-sum execution time
 # ---------------------------------------------------------------------------
 
-def fig9c_functional(
-    cfg: BenchConfig = BenchConfig(), qbs: float = 0.01, verbose: bool = True
-):
+def fig9c_functional(cfg: BenchConfig = BenchConfig(), qbs: float = 0.01, verbose: bool = True):
     """CPU + 10 ms/I/O execution time for BAT vs aR at degree 0 and 2."""
     model = CostModel(io_time_ms=10.0)
     queries = query_boxes(cfg.queries, qbs, cfg.dims, seed=cfg.seed + 2)
     rows: List[Tuple[str, float, int, float]] = []
     for degree in (0, 2):
-        objects = functional_objects(
-            cfg.n, degree, cfg.dims, cfg.avg_side_fraction, seed=cfg.seed
-        )
+        objects = functional_objects(cfg.n, degree, cfg.dims, cfg.avg_side_fraction, seed=cfg.seed)
         for method in ("aR", "BAT"):
             index = build_functional_index(method, objects, degree, cfg)
             ios, cpu = measure_query_batch(index, queries, functional=True)
@@ -163,11 +151,7 @@ def fig9c_functional(
                 f"{cfg.queries} queries (CPU + 10ms x I/O)"
             )
         )
-        print(
-            format_table(
-                ["method", "exec time (s)", "I/Os", "CPU (s)"], rows
-            )
-        )
+        print(format_table(["method", "exec time (s)", "I/Os", "CPU (s)"], rows))
     return rows
 
 
@@ -175,15 +159,11 @@ def fig9c_functional(
 # E4 — Theorem 1 vs Theorem 2: reduction counts (and an operational check)
 # ---------------------------------------------------------------------------
 
-def reduction_experiment(
-    cfg: BenchConfig = BenchConfig(), max_dims: int = 8, verbose: bool = True
-):
+def reduction_experiment(cfg: BenchConfig = BenchConfig(), max_dims: int = 8, verbose: bool = True):
     """The reduction-count table plus measured query I/Os for both reductions."""
     counts = reduction_comparison(max_dims)
     small = cfg.scaled(n=min(cfg.n, 5000))
-    objects = uniform_boxes(
-        small.n, small.dims, small.avg_side_fraction, seed=small.seed
-    )
+    objects = uniform_boxes(small.n, small.dims, small.avg_side_fraction, seed=small.seed)
     measured: List[Tuple[str, int, float]] = []
     for name, reduction in (("corner (Thm 2)", "corner"), ("EO82 (Thm 1)", "eo82")):
         index = BoxSumIndex(
@@ -198,18 +178,9 @@ def reduction_experiment(
         measured.append((name, ios, index.storage.size_mb))
     if verbose:
         print(banner("Theorem 1 vs Theorem 2 — dominance-sum queries per box-sum"))
-        print(
-            format_table(
-                ["d", "EO82 (3^d - 1)", "corner (2^d)"],
-                counts,
-            )
-        )
+        print(format_table(["d", "EO82 (3^d - 1)", "corner (2^d)"], counts))
         print()
-        print(
-            format_table(
-                ["reduction (d=2, BA backend)", "batch I/Os", "index MB"], measured
-            )
-        )
+        print(format_table(["reduction (d=2, BA backend)", "batch I/Os", "index MB"], measured))
     return counts, measured
 
 
@@ -217,13 +188,9 @@ def reduction_experiment(
 # E5 — Section 6 claim: BA-tree vs plain R*-tree
 # ---------------------------------------------------------------------------
 
-def rstar_speedup(
-    cfg: BenchConfig = BenchConfig(), qbs: float = 0.1, verbose: bool = True
-):
+def rstar_speedup(cfg: BenchConfig = BenchConfig(), qbs: float = 0.1, verbose: bool = True):
     """Query I/Os of the plain R*-tree vs the BA-tree approach at a large QBS."""
-    objects = uniform_boxes(
-        cfg.n, cfg.dims, cfg.avg_side_fraction, seed=cfg.seed
-    )
+    objects = uniform_boxes(cfg.n, cfg.dims, cfg.avg_side_fraction, seed=cfg.seed)
     queries = query_boxes(cfg.queries, qbs, cfg.dims, seed=cfg.seed + 4)
     rows: List[Tuple[str, int]] = []
     for method in ("R*", "BAT"):
@@ -242,9 +209,7 @@ def rstar_speedup(
 # E10 — query-shape robustness ("independent of the query shape or size")
 # ---------------------------------------------------------------------------
 
-def shape_robustness(
-    cfg: BenchConfig = BenchConfig(), qbs: float = 0.01, verbose: bool = True
-):
+def shape_robustness(cfg: BenchConfig = BenchConfig(), qbs: float = 0.01, verbose: bool = True):
     """Per-query I/O of aR vs BAT over an aspect-ratio sweep at fixed area.
 
     The paper's conclusion: "the BA-tree query performance is independent
@@ -257,9 +222,7 @@ def shape_robustness(
     indices = {m: build_boxsum_index(m, objects, cfg) for m in ("aR", "BAT")}
     rows: List[Tuple[float, float, float]] = []
     for aspect in aspects:
-        queries = query_boxes(
-            cfg.queries, qbs, cfg.dims, aspect=aspect, seed=cfg.seed + 9
-        )
+        queries = query_boxes(cfg.queries, qbs, cfg.dims, aspect=aspect, seed=cfg.seed + 9)
         per_query = {}
         for method, index in indices.items():
             ios, _cpu = measure_query_batch(index, queries)
@@ -280,14 +243,10 @@ def shape_robustness(
 # E11 — three-dimensional box-sums (the §5 higher-dimension claim)
 # ---------------------------------------------------------------------------
 
-def three_dimensional(
-    cfg: BenchConfig = BenchConfig(), verbose: bool = True
-):
+def three_dimensional(cfg: BenchConfig = BenchConfig(), verbose: bool = True):
     """BAT (8 corner trees) vs aR in 3-d: flat vs QBS-driven query cost."""
     cfg3 = cfg.scaled(dims=3, n=min(cfg.n, 30_000))
-    objects = uniform_boxes(
-        cfg3.n, 3, cfg3.avg_side_fraction, seed=cfg3.seed
-    )
+    objects = uniform_boxes(cfg3.n, 3, cfg3.avg_side_fraction, seed=cfg3.seed)
     indices = {m: build_boxsum_index(m, objects, cfg3) for m in ("aR", "BAT")}
     rows: List[Tuple[str, float, float]] = []
     for qbs in (0.001, 0.01, 0.1):

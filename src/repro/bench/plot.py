@@ -64,9 +64,7 @@ def ascii_chart(
     x_lo, x_hi = _fmt(min(xs)), _fmt(max(xs))
     x_gap = " " * max(1, width - len(x_lo) - len(x_hi) - 2)
     lines.append(" " * label_width + f"  {x_lo}{x_gap}{x_hi}")
-    legend = "   ".join(
-        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
-    )
+    legend = "   ".join(f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys()))
     suffix = "  [log y]" if log_y else ""
     lines.append(f"  legend: {legend}{suffix}")
     if y_label:
@@ -108,9 +106,7 @@ def _fmt(value: float) -> str:
     return f"{value:.1e}"
 
 
-def bar_chart(
-    rows: Sequence[Tuple[str, float]], width: int = 50, title: str = ""
-) -> str:
+def bar_chart(rows: Sequence[Tuple[str, float]], width: int = 50, title: str = "") -> str:
     """Horizontal bars, scaled to the largest value."""
     if not rows:
         return "(no data)"

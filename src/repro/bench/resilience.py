@@ -122,9 +122,7 @@ def _breaker_containment(cfg: BenchConfig, objects, queries) -> float:
     def wrapper(service, sid: int, member: int):
         if member != 0:
             return service
-        faulty = FaultyQueryService(
-            service, ChaosPlan(raise_rate=1.0).with_seed(cfg.seed + sid)
-        )
+        faulty = FaultyQueryService(service, ChaosPlan(raise_rate=1.0).with_seed(cfg.seed + sid))
         primaries.append(faulty)
         return faulty
 
@@ -158,9 +156,7 @@ def _degraded_coverage(cfg: BenchConfig, objects, queries) -> float:
     def dead_wrapper(service, sid: int, member: int):
         if sid != 0:
             return service
-        return FaultyQueryService(
-            service, ChaosPlan(raise_rate=1.0).with_seed(cfg.seed + member)
-        )
+        return FaultyQueryService(service, ChaosPlan(raise_rate=1.0).with_seed(cfg.seed + member))
 
     with ShardedService(
         cfg.dims,

@@ -91,9 +91,7 @@ def shard_scaling_experiment(cfg: BenchConfig, verbose: bool = True) -> List[Row
                 service.index.storage.reset_stats()
             result = cluster.batch(queries)
             _check_answers(shards, queries, result.results, oracle)
-            reads = [
-                service.index.storage.counter.reads for service in cluster.services
-            ]
+            reads = [service.index.storage.counter.reads for service in cluster.services]
             critical = max(reads)
             if baseline_critical is None:
                 baseline_critical = critical
@@ -135,9 +133,7 @@ def shard_smoke_metrics(cfg: BenchConfig, verbose: bool = False) -> Dict[str, fl
     metrics: Dict[str, float] = {}
     for shards in (2, 4, 8):
         critical = by_shards[shards][2]
-        metrics[f"shard.s{shards}.read_critical_pct"] = round(
-            100.0 * critical / baseline, 2
-        )
+        metrics[f"shard.s{shards}.read_critical_pct"] = round(100.0 * critical / baseline, 2)
     metrics["shard.s4.imbalance_x100"] = round(100.0 * by_shards[4][4], 1)
     metrics["shard.s4.fanout_pct"] = by_shards[4][5]
     return metrics

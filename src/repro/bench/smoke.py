@@ -54,6 +54,7 @@ from .resilience import resilience_smoke_metrics
 from .runmeta import run_metadata
 from .service import service_smoke_metrics
 from .shard import shard_smoke_metrics
+from .traffic import traffic_smoke_metrics
 
 #: Version of the BENCH_smoke.json payload format.
 SMOKE_SCHEMA_VERSION = 1
@@ -123,13 +124,12 @@ def _metrics_from_experiments(cfg: BenchConfig, verbose: bool) -> Dict[str, floa
     metrics.update(shard_smoke_metrics(cfg, verbose=verbose))
     metrics.update(resilience_smoke_metrics(cfg, verbose=verbose))
     metrics.update(replog_smoke_metrics(cfg, verbose=verbose))
+    metrics.update(traffic_smoke_metrics(cfg, verbose=verbose))
 
     return metrics
 
 
-def run_smoke(
-    cfg: Optional[BenchConfig] = None, verbose: bool = False
-) -> Dict[str, Any]:
+def run_smoke(cfg: Optional[BenchConfig] = None, verbose: bool = False) -> Dict[str, Any]:
     """Run the smoke slice and return the schema-versioned payload."""
     cfg = smoke_config(cfg)
     start = time.time()
@@ -212,9 +212,7 @@ def compare_to_baseline(
             )
     for name in sorted(set(current) - set(base_metrics)):
         lines.append(f"note {name}: new metric {current[name]:g} (not in baseline)")
-    lines.append(
-        f"{'OK' if ok else 'REGRESSION'}: {len(base_metrics)} baseline metric(s) checked"
-    )
+    lines.append(f"{'OK' if ok else 'REGRESSION'}: {len(base_metrics)} baseline metric(s) checked")
     return ok, lines
 
 

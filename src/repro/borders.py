@@ -56,9 +56,7 @@ class Border:
         self.zero = zero
         self.entry_bytes = entry_bytes
         self._tree_factory = tree_factory
-        self.spill_bytes = (
-            spill_bytes if spill_bytes is not None else storage.page_size // 4
-        )
+        self.spill_bytes = (spill_bytes if spill_bytes is not None else storage.page_size // 4)
         self._entries: List[_Entry] = []
         self._handle: Optional[SlabHandle] = None
         self._tree: Optional[object] = None
@@ -196,7 +194,5 @@ class Border:
     def _check(self, point: Sequence[float]) -> Coords:
         coords = point if isinstance(point, tuple) else as_coords(point)
         if len(coords) != self.dims:
-            raise DimensionMismatchError(
-                f"point arity {len(coords)} != border dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"point arity {len(coords)} != border dims {self.dims}")
         return coords

@@ -56,19 +56,13 @@ class AggBPlusTree:
     ) -> None:
         self.storage = storage
         self.zero = zero
-        layout = (
-            storage.layout
-            if value_bytes is None
-            else storage.with_layout(value_bytes)
-        )
+        layout = (storage.layout if value_bytes is None else storage.with_layout(value_bytes))
         self.leaf_capacity = leaf_capacity or layout.bptree_leaf_capacity()
         self.internal_capacity = internal_capacity or layout.bptree_internal_capacity()
         if self.leaf_capacity < 2:
             raise ValueError(f"leaf_capacity must be >= 2, got {self.leaf_capacity}")
         if self.internal_capacity < 3:
-            raise ValueError(
-                f"internal_capacity must be >= 3, got {self.internal_capacity}"
-            )
+            raise ValueError(f"internal_capacity must be >= 3, got {self.internal_capacity}")
         root = LeafNode(storage.pager.allocate(), zero)
         storage.pager.put(root.pid, root)
         self.root_pid = root.pid
@@ -225,9 +219,7 @@ class AggBPlusTree:
 
     # -- bulk loading -----------------------------------------------------------------
 
-    def bulk_load(
-        self, items: Iterable[Tuple[float, Value]], fill_factor: float = 1.0
-    ) -> None:
+    def bulk_load(self, items: Iterable[Tuple[float, Value]], fill_factor: float = 1.0) -> None:
         """Build the tree from scratch out of ``(key, value)`` pairs.
 
         Duplicate keys are merged.  ``fill_factor`` controls leaf packing
@@ -354,9 +346,7 @@ class AggBPlusTree:
                 raise TreeInvariantError(f"leaf {pid} over capacity")
             for k in node.keys:
                 if not low <= k < high:
-                    raise TreeInvariantError(
-                        f"leaf {pid} key {k} outside range [{low}, {high})"
-                    )
+                    raise TreeInvariantError(f"leaf {pid} key {k} outside range [{low}, {high})")
             total = accumulate(node.values, self.zero)
             if not _values_close(total, node.total):
                 raise TreeInvariantError(f"leaf {pid} total mismatch")
@@ -392,9 +382,7 @@ def _as_key(key: "float | Sequence[float]") -> float:
     if isinstance(key, (int, float)):
         return float(key)
     if len(key) != 1:
-        raise TreeInvariantError(
-            f"aggregated B+-tree keys are 1-dimensional, got arity {len(key)}"
-        )
+        raise TreeInvariantError(f"aggregated B+-tree keys are 1-dimensional, got arity {len(key)}")
     return float(key[0])
 
 

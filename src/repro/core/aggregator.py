@@ -135,9 +135,7 @@ class BoxSumIndex:
         if backend in OBJECT_BACKENDS:
             if reduction != "corner":
                 raise NotSupportedError("object backends do not use a reduction")
-            self.storage = storage or StorageContext(
-                page_size=page_size, buffer_pages=buffer_pages
-            )
+            self.storage = storage or StorageContext(page_size=page_size, buffer_pages=buffer_pages)
             self._reduction = None
             from ..rtree import ARTree, RStarTree
 
@@ -148,9 +146,7 @@ class BoxSumIndex:
             raise NotSupportedError(f"unknown backend {backend!r}")
         needs_storage = backend not in ("naive", "ecdf", "ecdf-log")
         if needs_storage:
-            self.storage = storage or StorageContext(
-                page_size=page_size, buffer_pages=buffer_pages
-            )
+            self.storage = storage or StorageContext(page_size=page_size, buffer_pages=buffer_pages)
         else:
             self.storage = storage
         value_bytes = 16 if measure == "sum+count" else 8
@@ -167,9 +163,7 @@ class BoxSumIndex:
             arity = dims if reduction == "corner" else len(key[0])
             sub_backend = backend
             if backend == "bptree" and arity != 1:
-                raise NotSupportedError(
-                    "the bptree backend only supports 1-dimensional box-sums"
-                )
+                raise NotSupportedError("the bptree backend only supports 1-dimensional box-sums")
             self._indices[key] = make_dominance_index(
                 sub_backend,
                 arity,
@@ -224,9 +218,7 @@ class BoxSumIndex:
             self._check(box)
         self.num_objects = len(objects)
         if self._object_index is not None:
-            self._object_index.bulk_load(
-                [(box, self._measure_value(v)) for box, v in objects]
-            )
+            self._object_index.bulk_load([(box, self._measure_value(v)) for box, v in objects])
             return
         self._total = self._zero
         per_index: Dict[object, List[Tuple[Sequence[float], Value]]] = {
@@ -252,9 +244,7 @@ class BoxSumIndex:
     def box_count(self, query: Box) -> float:
         """COUNT of objects intersecting ``query`` (needs measure count/sum+count)."""
         if self.measure == "sum":
-            raise InvalidQueryError(
-                'box_count requires measure="count" or "sum+count"'
-            )
+            raise InvalidQueryError('box_count requires measure="count" or "sum+count"')
         result = self._aggregate(query)
         if isinstance(result, SumCount):
             return result.count
@@ -412,9 +402,7 @@ class FunctionalBoxSumIndex:
         self._reduction = FunctionalReduction(dims)
         tuple_bytes = polynomial_value_bytes(dims, max_degree + dims)
         if backend == "ar":
-            self.storage = storage or StorageContext(
-                page_size=page_size, buffer_pages=buffer_pages
-            )
+            self.storage = storage or StorageContext(page_size=page_size, buffer_pages=buffer_pages)
             from ..rtree import FunctionalARTree
 
             self._object_index = FunctionalARTree(
@@ -427,9 +415,7 @@ class FunctionalBoxSumIndex:
         self._object_index = None
         needs_storage = backend not in ("naive", "ecdf", "ecdf-log")
         if needs_storage:
-            self.storage = storage or StorageContext(
-                page_size=page_size, buffer_pages=buffer_pages
-            )
+            self.storage = storage or StorageContext(page_size=page_size, buffer_pages=buffer_pages)
         else:
             self.storage = storage
         self._index = make_dominance_index(
@@ -478,25 +464,19 @@ class FunctionalBoxSumIndex:
         objects = list(objects)
         self.num_objects = len(objects)
         if self._object_index is not None:
-            self._object_index.bulk_load(
-                [(box, self._coerce(f)) for box, f in objects]
-            )
+            self._object_index.bulk_load([(box, self._coerce(f)) for box, f in objects])
             return
         items: List[Tuple[Sequence[float], Polynomial]] = []
         for box, function in objects:
             if box.dims != self.dims:
-                raise DimensionMismatchError(
-                    f"box dims {box.dims} != index dims {self.dims}"
-                )
+                raise DimensionMismatchError(f"box dims {box.dims} != index dims {self.dims}")
             items.extend(self._reduction.corner_tuples(box, self._coerce(function)))
         self._index.bulk_load(items)
 
     def functional_box_sum(self, query: Box) -> float:
         """``Σ_objects ∫ f over (object ∩ query)``."""
         if query.dims != self.dims:
-            raise DimensionMismatchError(
-                f"box dims {query.dims} != index dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"box dims {query.dims} != index dims {self.dims}")
         tracer = _trace._ACTIVE
         if tracer is None:
             return self._functional_impl(query)

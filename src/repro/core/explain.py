@@ -67,9 +67,7 @@ class QueryReport:
         ]
         for part in self.parts:
             sign = "+" if part.parity > 0 else "-"
-            lines.append(
-                f"  {sign} {part.label:<24} reads={part.reads:<4} hits={part.hits}"
-            )
+            lines.append(f"  {sign} {part.label:<24} reads={part.reads:<4} hits={part.hits}")
         return "\n".join(lines)
 
 
@@ -88,9 +86,7 @@ def explain_box_sum(index, query: Box) -> QueryReport:
     reduction = getattr(index, "_reduction", None)
     indices = getattr(index, "_indices", None)
     if reduction is None or indices is None:
-        raise NotSupportedError(
-            "explain_box_sum needs a dominance-backed BoxSumIndex"
-        )
+        raise NotSupportedError("explain_box_sum needs a dominance-backed BoxSumIndex")
     counter = _counter_of(index)
     report = QueryReport(result=0.0)
     total = index._zero
@@ -107,9 +103,7 @@ def explain_box_sum(index, query: Box) -> QueryReport:
             reads, hits = delta.reads, delta.hits
         else:
             reads = hits = 0
-        report.parts.append(
-            SubQueryCost(_key_label(key), tuple(point), parity, reads, hits)
-        )
+        report.parts.append(SubQueryCost(_key_label(key), tuple(point), parity, reads, hits))
     # EO82 adds the grand total outside the plan.
     from .reduction import EO82Reduction
 
@@ -127,9 +121,7 @@ def explain_functional(index, query: Box) -> QueryReport:
     reduction = getattr(index, "_reduction", None)
     sub_index = getattr(index, "_index", None)
     if reduction is None or sub_index is None:
-        raise NotSupportedError(
-            "explain_functional needs a dominance-backed FunctionalBoxSumIndex"
-        )
+        raise NotSupportedError("explain_functional needs a dominance-backed FunctionalBoxSumIndex")
     counter = _counter_of(index)
     report = QueryReport(result=0.0)
     total = 0.0
@@ -229,9 +221,7 @@ def profile(index, query: Box, op: str = "auto", record_io: bool = False) -> Que
                 op = candidate
                 break
         else:
-            raise NotSupportedError(
-                f"{type(index).__name__} exposes no profilable query method"
-            )
+            raise NotSupportedError(f"{type(index).__name__} exposes no profilable query method")
     method = getattr(index, op, None)
     if not callable(method):
         raise NotSupportedError(f"{type(index).__name__} has no query method {op!r}")

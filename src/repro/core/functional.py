@@ -118,9 +118,7 @@ class FunctionalReduction:
 
     def _check_box(self, box: Box) -> None:
         if box.dims != self.dims:
-            raise DimensionMismatchError(
-                f"box dims {box.dims} != reduction dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"box dims {box.dims} != reduction dims {self.dims}")
 
     def _check_function(self, function: Polynomial) -> None:
         if function.dims != self.dims:

@@ -35,9 +35,7 @@ def as_coords(point: Sequence[float]) -> Coords:
 def check_same_dims(a: Sequence[float], b: Sequence[float]) -> None:
     """Raise :class:`DimensionMismatchError` unless ``a`` and ``b`` have equal arity."""
     if len(a) != len(b):
-        raise DimensionMismatchError(
-            f"dimension mismatch: {len(a)} vs {len(b)}"
-        )
+        raise DimensionMismatchError(f"dimension mismatch: {len(a)} vs {len(b)}")
 
 
 def dominates(x: Sequence[float], y: Sequence[float]) -> bool:
@@ -195,9 +193,7 @@ class Box:
         point. This is the corner indexing used by the Theorem 2 reduction.
         """
         check_same_dims(self.low, signs)
-        return tuple(
-            self.high[i] if signs[i] else self.low[i] for i in range(self.dims)
-        )
+        return tuple(self.high[i] if signs[i] else self.low[i] for i in range(self.dims))
 
     def corners(self) -> Iterator[Tuple[Tuple[int, ...], Coords]]:
         """Iterate ``(signs, corner)`` over all 2^d corners in sign order."""

@@ -28,9 +28,7 @@ class NaiveDominanceSum:
         """Add a weighted point."""
         coords = as_coords(point)
         if len(coords) != self.dims:
-            raise DimensionMismatchError(
-                f"point arity {len(coords)} != index dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"point arity {len(coords)} != index dims {self.dims}")
         self._points.append((coords, value))
 
     def bulk_load(self, items: Iterable[Tuple[Sequence[float], Value]]) -> None:

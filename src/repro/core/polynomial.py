@@ -242,9 +242,7 @@ class Polynomial:
         """Coefficient-wise comparison with tolerance ``tol``."""
         self._check_compatible(other)
         keys = set(self._terms) | set(other._terms)
-        return all(
-            abs(self._terms.get(k, 0.0) - other._terms.get(k, 0.0)) <= tol for k in keys
-        )
+        return all(abs(self._terms.get(k, 0.0) - other._terms.get(k, 0.0)) <= tol for k in keys)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Polynomial):

@@ -104,9 +104,7 @@ def format_key(key: object) -> str:
     """
     if isinstance(key, tuple) and key and isinstance(key[0], tuple):
         dims_subset, sides = key
-        side_names = ",".join(
-            f"{d}{'lo' if s == 0 else 'hi'}" for d, s in zip(dims_subset, sides)
-        )
+        side_names = ",".join(f"{d}{'lo' if s == 0 else 'hi'}" for d, s in zip(dims_subset, sides))
         return f"EO82[{side_names}]"
     return "corner" + "".join(str(s) for s in key)  # type: ignore[union-attr]
 
@@ -157,9 +155,7 @@ class CornerReduction:
         """
         self._check(query)
         for signs in all_signs(self.dims):
-            point = tuple(
-                query.low[i] if signs[i] else query.high[i] for i in range(self.dims)
-            )
+            point = tuple(query.low[i] if signs[i] else query.high[i] for i in range(self.dims))
             parity = -1 if sum(signs) % 2 else 1
             yield signs, point, parity
 
@@ -195,9 +191,7 @@ class CornerReduction:
 
     def _check(self, box: Box) -> None:
         if box.dims != self.dims:
-            raise DimensionMismatchError(
-                f"box dims {box.dims} != reduction dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"box dims {box.dims} != reduction dims {self.dims}")
 
 
 class EO82Reduction:
@@ -300,9 +294,7 @@ class EO82Reduction:
 
     def _check(self, box: Box) -> None:
         if box.dims != self.dims:
-            raise DimensionMismatchError(
-                f"box dims {box.dims} != reduction dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"box dims {box.dims} != reduction dims {self.dims}")
 
 
 def eo82_query_count(dims: int) -> int:
@@ -321,6 +313,4 @@ def reduction_comparison(max_dims: int = 8) -> List[Tuple[int, int, int]]:
     The paper's example: at d = 3 the old method needs 26 queries, the new
     one 8.
     """
-    return [
-        (d, eo82_query_count(d), corner_query_count(d)) for d in range(1, max_dims + 1)
-    ]
+    return [(d, eo82_query_count(d), corner_query_count(d)) for d in range(1, max_dims + 1)]

@@ -77,9 +77,7 @@ class DynamicCube:
 
     def _check_cell(self, cell: Sequence[int]) -> Tuple[int, ...]:
         if len(cell) != self.dims:
-            raise DimensionMismatchError(
-                f"cell arity {len(cell)} != cube dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"cell arity {len(cell)} != cube dims {self.dims}")
         out = tuple(int(c) for c in cell)
         for c, s in zip(out, self.shape):
             if not 0 <= c < s:

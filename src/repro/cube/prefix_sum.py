@@ -73,9 +73,7 @@ class PrefixSumCube:
             raise InvalidQueryError(f"empty range {low}..{high}")
         total = 0.0
         for signs in itertools.product((0, 1), repeat=self.dims):
-            corner = tuple(
-                (low[i] - 1) if signs[i] else high[i] for i in range(self.dims)
-            )
+            corner = tuple((low[i] - 1) if signs[i] else high[i] for i in range(self.dims))
             if any(c < 0 for c in corner):
                 continue  # prefix over an empty slab is zero
             parity = -1 if sum(signs) % 2 else 1
@@ -88,9 +86,7 @@ class PrefixSumCube:
 
     def _check_cell(self, cell: Sequence[int]) -> Tuple[int, ...]:
         if len(cell) != self.dims:
-            raise DimensionMismatchError(
-                f"cell arity {len(cell)} != cube dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"cell arity {len(cell)} != cube dims {self.dims}")
         out = tuple(int(c) for c in cell)
         for c, s in zip(out, self.shape):
             if not 0 <= c < s:

@@ -52,9 +52,7 @@ class LogarithmicEcdfTree:
         """Buffered insert with binary-counter carries into static blocks."""
         coords = as_coords(point)
         if len(coords) != self.dims:
-            raise DimensionMismatchError(
-                f"point arity {len(coords)} != tree dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"point arity {len(coords)} != tree dims {self.dims}")
         self._buffer.append((coords, value))
         self._total = self._total + value
         self.num_points += 1
@@ -92,9 +90,7 @@ class LogarithmicEcdfTree:
         """Strict dominance-sum: one query per live block plus a buffer scan."""
         coords = as_coords(point)
         if len(coords) != self.dims:
-            raise DimensionMismatchError(
-                f"point arity {len(coords)} != tree dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"point arity {len(coords)} != tree dims {self.dims}")
         result = self.zero
         for tree, _points in self._blocks.values():
             result = result + tree.dominance_sum(coords)

@@ -100,9 +100,7 @@ class EcdfBTree:
         self.dims = dims
         self.variant = variant
         self.zero = zero
-        self.value_bytes = (
-            value_bytes if value_bytes is not None else storage.layout.value_bytes
-        )
+        self.value_bytes = (value_bytes if value_bytes is not None else storage.layout.value_bytes)
         self.spill_bytes = spill_bytes
         layout = storage.with_layout(self.value_bytes)
         self._delegate: Optional[AggBPlusTree] = None
@@ -120,9 +118,7 @@ class EcdfBTree:
         if self.leaf_capacity < 2:
             raise ValueError(f"leaf_capacity must be >= 2, got {self.leaf_capacity}")
         if self.internal_capacity < 3:
-            raise ValueError(
-                f"internal_capacity must be >= 3, got {self.internal_capacity}"
-            )
+            raise ValueError(f"internal_capacity must be >= 3, got {self.internal_capacity}")
         self._sub_leaf_capacity = leaf_capacity
         self._sub_internal_capacity = internal_capacity
         root = _Leaf(storage.pager.allocate())
@@ -195,9 +191,7 @@ class EcdfBTree:
         tracer = _trace._ACTIVE
         if tracer is None:
             return self._dominance_sum(coords, None)
-        with tracer.span(
-            f"ecdf-b{self.variant}.dominance_sum", dims=self.dims
-        ):
+        with tracer.span(f"ecdf-b{self.variant}.dominance_sum", dims=self.dims):
             return self._dominance_sum(coords, tracer)
 
     def _dominance_sum(self, coords: Coords, tracer) -> Value:
@@ -318,9 +312,7 @@ class EcdfBTree:
                 node.borders[idx].destroy()
                 node.borders[idx] = left_border
                 if idx + 1 <= last - 1:
-                    right_border = self._build_border(
-                        self._collect(node.children[idx + 1])
-                    )
+                    right_border = self._build_border(self._collect(node.children[idx + 1]))
                     node.borders.insert(idx + 1, right_border)
                 else:  # pragma: no cover - right child can't be last here
                     raise TreeInvariantError("split child vanished")
@@ -367,9 +359,7 @@ class EcdfBTree:
         lower-rank tree.
         """
         if self._delegate is not None:
-            self._delegate.bulk_load(
-                ( _first(point), value) for point, value in items
-            )
+            self._delegate.bulk_load(( _first(point), value) for point, value in items)
             return
         merged: dict = {}
         total = self.zero
@@ -380,15 +370,11 @@ class EcdfBTree:
                 merged[coords] = merged[coords] + value
             else:
                 merged[coords] = value
-        entries: List[_Entry] = sorted(
-            merged.items(), key=lambda e: (e[0][0], e[0])
-        )
+        entries: List[_Entry] = sorted(merged.items(), key=lambda e: (e[0][0], e[0]))
         self._free_subtree(self.root_pid)
         self._total = total
         self.num_entries = len(entries)
-        leaf_ranges = _partition_keeping_first_coords(
-            entries, self.leaf_capacity
-        )
+        leaf_ranges = _partition_keeping_first_coords(entries, self.leaf_capacity)
         leaves: List[Tuple[int, int, int]] = []  # (pid, start, end)
         for start, end in leaf_ranges:
             leaf = self._new_leaf()
@@ -480,9 +466,7 @@ class EcdfBTree:
         if self._delegate is not None:
             self._delegate.check_invariants()
             return
-        total, _height = self._check_node(
-            self.root_pid, float("-inf"), float("inf"), is_root=True
-        )
+        total, _height = self._check_node(self.root_pid, float("-inf"), float("inf"), is_root=True)
         if not values_equal(total, self._total, tol=1e-6):
             raise TreeInvariantError("tree total mismatch")
 
@@ -495,9 +479,7 @@ class EcdfBTree:
             prev = None
             for coords, value in node.entries:
                 if not low <= coords[0] < high:
-                    raise TreeInvariantError(
-                        f"leaf {pid} point {coords} outside [{low}, {high})"
-                    )
+                    raise TreeInvariantError(f"leaf {pid} point {coords} outside [{low}, {high})")
                 key = (coords[0], coords)
                 if prev is not None and key < prev:
                     raise TreeInvariantError(f"leaf {pid} entries out of order")
@@ -542,9 +524,7 @@ class EcdfBTree:
     def _check_point(self, point: Sequence[float]) -> Coords:
         coords = point if isinstance(point, tuple) else as_coords(point)
         if len(coords) != self.dims:
-            raise DimensionMismatchError(
-                f"point arity {len(coords)} != tree dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"point arity {len(coords)} != tree dims {self.dims}")
         return coords
 
 
@@ -565,9 +545,7 @@ def _first(point: Sequence[float]) -> float:
     if isinstance(point, (int, float)):
         return float(point)
     if len(point) != 1:
-        raise DimensionMismatchError(
-            f"point arity {len(point)} != tree dims 1"
-        )
+        raise DimensionMismatchError(f"point arity {len(point)} != tree dims 1")
     return float(point[0])
 
 
@@ -592,9 +570,7 @@ def _first_coord_split(entries: List[_Entry]) -> Optional[int]:
     return min(candidates, key=lambda c: abs(c - mid))
 
 
-def _partition_keeping_first_coords(
-    entries: List[_Entry], capacity: int
-) -> List[Tuple[int, int]]:
+def _partition_keeping_first_coords(entries: List[_Entry], capacity: int) -> List[Tuple[int, int]]:
     """Chunk sorted entries into leaf ranges without cutting equal-first-coord runs."""
     ranges: List[Tuple[int, int]] = []
     n = len(entries)

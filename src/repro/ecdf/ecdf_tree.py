@@ -135,9 +135,7 @@ class StaticEcdfTree:
         for point, value in items:
             coords = as_coords(point)
             if len(coords) != self.dims:
-                raise DimensionMismatchError(
-                    f"point arity {len(coords)} != tree dims {self.dims}"
-                )
+                raise DimensionMismatchError(f"point arity {len(coords)} != tree dims {self.dims}")
             points.append((coords, value))
             total = total + value
         self.num_points = len(points)
@@ -155,9 +153,7 @@ class StaticEcdfTree:
         """Sum of values of stored points strictly dominated by ``point``."""
         coords = as_coords(point)
         if len(coords) != self.dims:
-            raise DimensionMismatchError(
-                f"point arity {len(coords)} != tree dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"point arity {len(coords)} != tree dims {self.dims}")
         if self._root is None:
             return self.zero
         return self._root.query(coords, 0)

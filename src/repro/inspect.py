@@ -93,9 +93,7 @@ def _dump_bptree_node(tree, pid, depth, max_depth, lines: List[str]) -> None:
     node = tree.storage.pager.get(pid)
     pad = _INDENT * depth
     if node.is_leaf:
-        entries = ", ".join(
-            f"{k:g}:{_fmt_value(v)}" for k, v in zip(node.keys, node.values)
-        )
+        entries = ", ".join(f"{k:g}:{_fmt_value(v)}" for k, v in zip(node.keys, node.values))
         lines.append(f"{pad}leaf#{pid} [{entries}] total={_fmt_value(node.total)}")
         return
     lines.append(
@@ -135,9 +133,7 @@ def _dump_ba_page(tree, pid, depth, max_depth, lines: List[str]) -> None:
         lines.append(f"{pad}{_INDENT}...")
         return
     for record in page.records:
-        borders = " ".join(
-            f"b{j}={_fmt_border(b)}" for j, b in enumerate(record.borders)
-        )
+        borders = " ".join(f"b{j}={_fmt_border(b)}" for j, b in enumerate(record.borders))
         lines.append(
             f"{pad}{_INDENT}record {_fmt_box(record.box)} "
             f"subtotal={_fmt_value(record.subtotal)} {borders}"
@@ -285,9 +281,7 @@ def dump_resilience(target) -> str:
     trips = stats["breaker_trips"]
     for mid, (state, trip_count) in enumerate(zip(member_states, trips)):
         role = "primary" if mid == 0 else f"replica{mid}"
-        lines.append(
-            f"{_INDENT}member {mid} ({role}) breaker={state} trips={int(trip_count)}"
-        )
+        lines.append(f"{_INDENT}member {mid} ({role}) breaker={state} trips={int(trip_count)}")
     return "\n".join(lines)
 
 

@@ -108,9 +108,7 @@ class KdbTree:
         """Insert a point with an arbitrary payload."""
         coords = as_coords(point)
         if len(coords) != self.dims:
-            raise DimensionMismatchError(
-                f"point arity {len(coords)} != tree dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"point arity {len(coords)} != tree dims {self.dims}")
         self.num_points += 1
         split = self._insert_into(self.root_pid, self.universe, coords, payload, 0)
         if split is not None:
@@ -196,9 +194,7 @@ class KdbTree:
                     record.child, record.box, depth + 1, forced_plane=(dim, value)
                 )
                 if forced is None:  # pragma: no cover - leaves of identical points
-                    raise TreeInvariantError(
-                        "forced split failed on a degenerate leaf"
-                    )
+                    raise TreeInvariantError("forced split failed on a degenerate leaf")
                 left, right = forced
                 lower_records.append(left)
                 upper_records.append(right)
@@ -213,9 +209,7 @@ class KdbTree:
     def range_report(self, query: Box) -> Iterator[_Entry]:
         """Yield every ``(point, payload)`` whose point lies in the half-open query box."""
         if query.dims != self.dims:
-            raise DimensionMismatchError(
-                f"query dims {query.dims} != tree dims {self.dims}"
-            )
+            raise DimensionMismatchError(f"query dims {query.dims} != tree dims {self.dims}")
         yield from self._report(self.root_pid, query)
 
     def _report(self, pid: int, query: Box) -> Iterator[_Entry]:
@@ -249,9 +243,7 @@ class KdbTree:
         """Verify disjointness, coverage and point placement; raises on violation."""
         count = self._check_page(self.root_pid, self.universe)
         if count != self.num_points:
-            raise TreeInvariantError(
-                f"point count mismatch: {count} != {self.num_points}"
-            )
+            raise TreeInvariantError(f"point count mismatch: {count} != {self.num_points}")
 
     def _check_page(self, pid: int, box: Box) -> int:
         page = self.storage.pager.get(pid)
@@ -268,9 +260,7 @@ class KdbTree:
             for b in page.records[i + 1 :]:
                 inter = a.box.intersection(b.box)
                 if inter is not None and inter.volume() > 0:
-                    raise TreeInvariantError(
-                        f"records overlap in page {pid}: {a.box} and {b.box}"
-                    )
+                    raise TreeInvariantError(f"records overlap in page {pid}: {a.box} and {b.box}")
         volume = sum(r.box.volume() for r in page.records)
         if all(
             abs(c) != float("inf") for c in (*box.low, *box.high)

@@ -71,6 +71,4 @@ def choose_index_split_plane(
         )
         if candidates:
             return dim, candidates[len(candidates) // 2]
-    raise AssertionError(
-        "no split plane exists; records cannot be disjoint"
-    )  # pragma: no cover
+    raise AssertionError("no split plane exists; records cannot be disjoint")  # pragma: no cover

@@ -1,0 +1,59 @@
+"""SLO-grade load generation against the sharded service (ROADMAP item 5).
+
+Three layers, declarative to imperative:
+
+* :mod:`repro.loadgen.profile` — :class:`TrafficProfile`: serializable
+  description of a workload (phases with Poisson rates and ramps, op mix,
+  Zipf tenant/query skew, hotspot tenants, check sampling);
+* :mod:`repro.loadgen.schedule` — :func:`build_schedule`: the profile
+  expanded into a deterministic, pre-timed open-loop operation stream;
+* :mod:`repro.loadgen.driver` / :mod:`repro.loadgen.collector` —
+  :class:`LoadGenerator` fires the stream at a cluster (wall clock for
+  honest latencies, virtual time for the bit-stable CI gate) while
+  :class:`TrafficCollector` rolls outcomes into an :class:`SLOReport`.
+
+Quickstart::
+
+    from repro.loadgen import LoadGenerator, smoke_profile
+
+    gen = LoadGenerator(cluster, smoke_profile(), initial_objects=objs)
+    report = gen.run(mode="virtual")   # deterministic; mode="wall" for real time
+    print(report.render())
+"""
+
+from .collector import (
+    LATENCY_BUCKETS_MS,
+    PERCENTILES,
+    SLO_REPORT_SCHEMA_VERSION,
+    SLOReport,
+    TrafficCollector,
+)
+from .driver import LoadGenerator
+from .profile import (
+    OP_CLASSES,
+    PROFILE_SCHEMA_VERSION,
+    OpMix,
+    Phase,
+    TrafficProfile,
+    smoke_profile,
+)
+from .schedule import ScheduledOp, ZipfSampler, build_schedule, op_counts
+
+__all__ = [
+    "LATENCY_BUCKETS_MS",
+    "OP_CLASSES",
+    "PERCENTILES",
+    "PROFILE_SCHEMA_VERSION",
+    "SLO_REPORT_SCHEMA_VERSION",
+    "LoadGenerator",
+    "OpMix",
+    "Phase",
+    "SLOReport",
+    "ScheduledOp",
+    "TrafficCollector",
+    "TrafficProfile",
+    "ZipfSampler",
+    "build_schedule",
+    "op_counts",
+    "smoke_profile",
+]

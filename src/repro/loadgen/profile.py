@@ -1,0 +1,282 @@
+"""Serializable traffic profiles: who asks what, how fast, in which phases.
+
+A :class:`TrafficProfile` is the declarative half of the load generator —
+a seed, a tenant population, an operation mix and a list of
+:class:`Phase` entries (warmup → steady → burst → diurnal ramp is the
+canonical shape).  Everything the driver does is a pure function of the
+profile plus the initial dataset, which is what makes two runs with the
+same profile produce the *same operation stream* (the determinism the CI
+gate and the replay tests rely on).
+
+Profiles round-trip through :meth:`TrafficProfile.to_dict` /
+:meth:`TrafficProfile.from_dict`, so a production incident's traffic shape
+can be committed next to the benchmark that reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Tuple
+
+from ..core.errors import InvalidQueryError
+
+#: Operation classes the driver knows how to fire.
+OP_CLASSES: Tuple[str, ...] = ("point", "batch", "insert", "delete")
+
+#: Version of the serialized profile format.
+PROFILE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Relative weights of the four operation classes (need not sum to 1).
+
+    ``point`` is a single box-sum, ``batch`` a multi-query scatter (the
+    corner-sharing planner's food), ``insert``/``delete`` are single-object
+    mutations routed through the cluster ledger.
+    """
+
+    point: float = 0.70
+    batch: float = 0.10
+    insert: float = 0.15
+    delete: float = 0.05
+
+    def __post_init__(self) -> None:
+        weights = self.as_tuple()
+        if any(w < 0 for w in weights):
+            raise InvalidQueryError(f"op-mix weights must be >= 0, got {weights}")
+        if sum(weights) <= 0:
+            raise InvalidQueryError("op-mix weights must not all be zero")
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.point, self.batch, self.insert, self.delete)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in OP_CLASSES}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, float]) -> "OpMix":
+        return cls(**{name: float(doc.get(name, 0.0)) for name in OP_CLASSES})
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of the schedule: a name, a duration and an arrival rate.
+
+    Arrivals within the phase are an **open-loop Poisson process** at
+    ``rate`` ops/s; when ``rate_end`` differs from ``rate`` the intensity
+    glides linearly across the phase (the diurnal-ramp shape), realized by
+    thinning a homogeneous process at the peak rate — still one seeded RNG,
+    still deterministic.  ``mix=None`` inherits the profile-level mix, so a
+    burst phase can, e.g., go read-only without redeclaring everything.
+    """
+
+    name: str
+    duration_s: float
+    rate: float
+    rate_end: float | None = None
+    mix: OpMix | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise InvalidQueryError(f"phase {self.name!r}: duration must be > 0")
+        if self.rate <= 0 or (self.rate_end is not None and self.rate_end <= 0):
+            raise InvalidQueryError(f"phase {self.name!r}: rates must be > 0")
+
+    @property
+    def peak_rate(self) -> float:
+        return max(self.rate, self.rate_end if self.rate_end is not None else self.rate)
+
+    def rate_at(self, offset_s: float) -> float:
+        """Instantaneous arrival rate ``offset_s`` seconds into the phase."""
+        if self.rate_end is None or self.duration_s <= 0:
+            return self.rate
+        frac = min(max(offset_s / self.duration_s, 0.0), 1.0)
+        return self.rate + (self.rate_end - self.rate) * frac
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "rate": self.rate,
+        }
+        if self.rate_end is not None:
+            doc["rate_end"] = self.rate_end
+        if self.mix is not None:
+            doc["mix"] = self.mix.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Phase":
+        return cls(
+            name=str(doc["name"]),
+            duration_s=float(doc["duration_s"]),
+            rate=float(doc["rate"]),
+            rate_end=float(doc["rate_end"]) if doc.get("rate_end") is not None else None,
+            mix=OpMix.from_dict(doc["mix"]) if doc.get("mix") is not None else None,
+        )
+
+
+def _default_phases() -> Tuple[Phase, ...]:
+    return (
+        Phase("warmup", duration_s=1.0, rate=80.0),
+        Phase("steady", duration_s=3.0, rate=120.0),
+        Phase("burst", duration_s=0.5, rate=600.0),
+        Phase("ramp", duration_s=2.0, rate=120.0, rate_end=320.0),
+    )
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Everything that shapes the generated operation stream.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality of the served space.
+    seed:
+        Base RNG seed; the whole stream (arrival times, op classes, tenant
+        draws, box contents, check sampling) derives from it.
+    phases:
+        The schedule segments, played back to back.
+    mix:
+        Profile-level operation mix (phases may override).
+    tenants:
+        Number of distinct tenants.  Tenant popularity is Zipf-ranked with
+        exponent ``tenant_zipf_s`` — a few tenants dominate, the tail is
+        long, exactly the skew a multi-tenant service sees.
+    pool_size / query_zipf_s / qbs_fraction:
+        Each tenant owns a pool of ``pool_size`` distinct hot query boxes
+        (reusing :func:`repro.workloads.hot_query_boxes`); draws within the
+        pool are Zipf-ranked with ``query_zipf_s``.  ``qbs_fraction`` is the
+        query-box volume fraction (the paper's QBS knob).
+    hotspot / hotspot_fraction:
+        A fraction of tenants is *spatially* confined to a hotspot
+        sub-region (:func:`repro.workloads.hotspot_boxes`), concentrating
+        load on few shards — the skew that makes extent pruning and
+        rebalancing earn their keep.
+    batch_size:
+        Queries per ``batch`` operation.
+    check_fraction:
+        Deterministic subsample of query operations marked for naive
+        cross-checking (the "zero wrong answers" guarantee is spot-checked
+        on these, and re-verified in bulk after the run drains).
+    """
+
+    dims: int = 2
+    seed: int = 7
+    phases: Tuple[Phase, ...] = field(default_factory=_default_phases)
+    mix: OpMix = field(default_factory=OpMix)
+    tenants: int = 8
+    tenant_zipf_s: float = 1.1
+    pool_size: int = 12
+    query_zipf_s: float = 1.1
+    qbs_fraction: float = 0.01
+    hotspot: float = 0.25
+    hotspot_fraction: float = 0.25
+    batch_size: int = 8
+    check_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise InvalidQueryError("profile needs at least one phase")
+        names = [phase.name for phase in self.phases]
+        if len(set(names)) != len(names):
+            raise InvalidQueryError(f"phase names must be unique, got {names}")
+        if self.tenants < 1:
+            raise InvalidQueryError(f"tenants must be >= 1, got {self.tenants}")
+        if self.pool_size < 1:
+            raise InvalidQueryError(f"pool_size must be >= 1, got {self.pool_size}")
+        if self.batch_size < 1:
+            raise InvalidQueryError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not 0.0 <= self.check_fraction <= 1.0:
+            raise InvalidQueryError(f"check_fraction must be in [0, 1], got {self.check_fraction}")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise InvalidQueryError(
+                f"hotspot_fraction must be in [0, 1], got {self.hotspot_fraction}"
+            )
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(phase.duration_s for phase in self.phases)
+
+    def mix_for(self, phase: Phase) -> OpMix:
+        return phase.mix if phase.mix is not None else self.mix
+
+    def scaled(self, **overrides: object) -> "TrafficProfile":
+        """A copy with some knobs replaced (mirrors ``BenchConfig.scaled``)."""
+        return replace(self, **overrides)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "dims": self.dims,
+            "seed": self.seed,
+            "phases": [phase.to_dict() for phase in self.phases],
+            "mix": self.mix.to_dict(),
+            "tenants": self.tenants,
+            "tenant_zipf_s": self.tenant_zipf_s,
+            "pool_size": self.pool_size,
+            "query_zipf_s": self.query_zipf_s,
+            "qbs_fraction": self.qbs_fraction,
+            "hotspot": self.hotspot,
+            "hotspot_fraction": self.hotspot_fraction,
+            "batch_size": self.batch_size,
+            "check_fraction": self.check_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TrafficProfile":
+        version = doc.get("schema_version", PROFILE_SCHEMA_VERSION)
+        if version != PROFILE_SCHEMA_VERSION:
+            raise InvalidQueryError(f"unsupported profile schema v{version}")
+        return cls(
+            dims=int(doc.get("dims", 2)),
+            seed=int(doc.get("seed", 7)),
+            phases=tuple(Phase.from_dict(p) for p in doc["phases"]),
+            mix=OpMix.from_dict(doc.get("mix", OpMix().to_dict())),
+            tenants=int(doc.get("tenants", 8)),
+            tenant_zipf_s=float(doc.get("tenant_zipf_s", 1.1)),
+            pool_size=int(doc.get("pool_size", 12)),
+            query_zipf_s=float(doc.get("query_zipf_s", 1.1)),
+            qbs_fraction=float(doc.get("qbs_fraction", 0.01)),
+            hotspot=float(doc.get("hotspot", 0.25)),
+            hotspot_fraction=float(doc.get("hotspot_fraction", 0.25)),
+            batch_size=int(doc.get("batch_size", 8)),
+            check_fraction=float(doc.get("check_fraction", 0.10)),
+        )
+
+
+def smoke_profile(seed: int = 7) -> TrafficProfile:
+    """The reduced-scale profile behind the smoke gate's traffic metrics.
+
+    Small enough to run in a couple of seconds, but it still exercises all
+    four phase shapes and all four op classes; the burst phase offers far
+    more load than the smoke cluster's admission capacity, so the
+    deterministic shed count it produces is structurally nonzero.
+    """
+    return TrafficProfile(
+        seed=seed,
+        phases=(
+            Phase("warmup", duration_s=0.5, rate=60.0),
+            Phase("steady", duration_s=1.5, rate=150.0),
+            Phase("burst", duration_s=0.3, rate=1500.0),
+            Phase("ramp", duration_s=0.7, rate=100.0, rate_end=400.0),
+        ),
+        tenants=6,
+        pool_size=8,
+        batch_size=6,
+        check_fraction=0.15,
+    )
+
+
+__all__ = [
+    "OP_CLASSES",
+    "PROFILE_SCHEMA_VERSION",
+    "OpMix",
+    "Phase",
+    "TrafficProfile",
+    "smoke_profile",
+]

@@ -1,0 +1,237 @@
+"""Deterministic open-loop operation schedules.
+
+:func:`build_schedule` turns a :class:`~repro.loadgen.profile.TrafficProfile`
+plus the initial dataset into a flat, time-ordered list of
+:class:`ScheduledOp` — every arrival instant, operation class, tenant and
+payload box fixed *before* execution starts.  Two properties matter:
+
+* **Open loop.**  Arrival times are drawn from a (piecewise, optionally
+  ramped) Poisson process and never depend on how fast the service answers.
+  A load generator that waits for a response before sending the next
+  request silently excludes queueing delay from its measurements — the
+  *coordinated omission* trap; scheduling arrivals up front is what lets
+  the driver charge a late answer for the whole time since its scheduled
+  arrival.
+
+* **Determinism.**  The stream is a pure function of the profile and the
+  initial objects: seeded ``random.Random`` instances per concern (arrival
+  process, op classes, tenant draws, payload synthesis, check sampling),
+  per-tenant query streams materialized through the existing workload
+  generators (:func:`repro.workloads.hot_query_boxes` for dashboard-style
+  tenants, :func:`repro.workloads.hotspot_boxes` for spatially confined
+  ones).  Same profile, same dataset → bit-identical schedule, which is
+  what the replay tests and the smoke gate's op-count metrics pin.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core.geometry import Box
+from ..workloads import hot_query_boxes, hotspot_boxes
+from .profile import OP_CLASSES, Phase, TrafficProfile
+
+#: Average object-side fraction for objects synthesized by insert ops.
+INSERT_SIDE_FRACTION = 1e-3
+
+#: Value range for objects synthesized by insert ops.
+INSERT_VALUE_RANGE = (0.0, 100.0)
+
+
+class ZipfSampler:
+    """Zipf-ranked categorical draws: rank 1 is hottest, O(log n) per draw."""
+
+    def __init__(self, n: int, s: float) -> None:
+        if n < 1:
+            raise ValueError(f"population must be >= 1, got {n}")
+        self.n = n
+        self.s = s
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, n + 1):
+            total += 1.0 / rank**s
+            cumulative.append(total)
+        self._cumulative = cumulative
+
+    def sample(self, rng: random.Random) -> int:
+        """One draw → a rank index in ``[0, n)`` (0 = hottest)."""
+        r = rng.random() * self._cumulative[-1]
+        return bisect.bisect_left(self._cumulative, r)
+
+
+class ScheduledOp(NamedTuple):
+    """One pre-planned operation: when, what, for whom, with which payload."""
+
+    #: Scheduled arrival offset from run start, in seconds.
+    t: float
+    phase: str
+    #: One of :data:`~repro.loadgen.profile.OP_CLASSES`.
+    op: str
+    tenant: int
+    #: Query boxes (one for ``point``, ``batch_size`` for ``batch``).
+    queries: Tuple[Box, ...] = ()
+    #: The object payload of ``insert``/``delete`` ops.
+    obj: Optional[Tuple[Box, float]] = None
+    #: Sampled for naive cross-checking (query ops only).
+    check: bool = False
+
+
+def _arrival_times(phase: Phase, start: float, rng: random.Random) -> List[float]:
+    """Poisson arrivals across one phase, thinned when the rate ramps.
+
+    Candidates are generated at the phase's peak rate; each survives with
+    probability ``rate(t) / peak`` — the standard thinning construction for
+    a non-homogeneous Poisson process, here with one shared seeded RNG so
+    the whole phase is reproducible.
+    """
+    peak = phase.peak_rate
+    end = start + phase.duration_s
+    times: List[float] = []
+    t = start
+    while True:
+        t += rng.expovariate(peak)
+        if t >= end:
+            return times
+        if phase.rate_end is None or rng.random() * peak <= phase.rate_at(t - start):
+            times.append(t)
+
+
+def _pick_op(mix_weights: Tuple[float, ...], rng: random.Random) -> str:
+    r = rng.random() * sum(mix_weights)
+    edge = 0.0
+    for name, weight in zip(OP_CLASSES, mix_weights):
+        edge += weight
+        if r < edge:
+            return name
+    return OP_CLASSES[-1]
+
+
+def _hotspot_tenants(profile: TrafficProfile) -> frozenset:
+    """Which tenant ids are spatially confined to a hotspot sub-region.
+
+    Spread across the popularity ranking (starting at rank 2) so hotspot
+    traffic is actually hot — confining only tail tenants would make the
+    spatial skew invisible at any realistic Zipf exponent.
+    """
+    if profile.hotspot_fraction <= 0.0:
+        return frozenset()
+    if profile.hotspot_fraction >= 1.0:
+        return frozenset(range(profile.tenants))
+    step = max(1, round(1.0 / profile.hotspot_fraction))
+    return frozenset(t for t in range(profile.tenants) if t % step == 1)
+
+
+def build_schedule(
+    profile: TrafficProfile,
+    initial_objects: Sequence[Tuple[Box, float]] = (),
+) -> List[ScheduledOp]:
+    """The full deterministic operation stream for one run of ``profile``.
+
+    ``initial_objects`` seeds the delete pool (the objects assumed
+    bulk-loaded before traffic starts); scheduled inserts join the pool,
+    scheduled deletes draw from it uniformly.  A delete scheduled while the
+    pool is empty is re-planned as an insert, so the stream never references
+    an object it cannot name.
+    """
+    seed = profile.seed
+    arrival_rng = random.Random((seed << 4) ^ 0x0A271)
+    op_rng = random.Random((seed << 4) ^ 0x1B3F2)
+    tenant_rng = random.Random((seed << 4) ^ 0x2C5E3)
+    payload_rng = random.Random((seed << 4) ^ 0x3D7C4)
+    check_rng = random.Random((seed << 4) ^ 0x4E9A5)
+
+    tenant_sampler = ZipfSampler(profile.tenants, profile.tenant_zipf_s)
+    hotspot_ids = _hotspot_tenants(profile)
+
+    # Pass 1: arrival skeleton — time, phase, op class, tenant, check flag.
+    skeleton: List[Tuple[float, str, str, int, bool]] = []
+    start = 0.0
+    for phase in profile.phases:
+        mix_weights = profile.mix_for(phase).as_tuple()
+        for t in _arrival_times(phase, start, arrival_rng):
+            op = _pick_op(mix_weights, op_rng)
+            tenant = tenant_sampler.sample(tenant_rng)
+            check = (op in ("point", "batch") and check_rng.random() < profile.check_fraction)
+            skeleton.append((t, phase.name, op, tenant, check))
+        start += phase.duration_s
+
+    # Pass 2: per-tenant query-box demand, then one workload-generator call
+    # per tenant materializes its whole stream (first-come order).
+    demand: Dict[int, int] = {}
+    for _t, _phase, op, tenant, _check in skeleton:
+        if op == "point":
+            demand[tenant] = demand.get(tenant, 0) + 1
+        elif op == "batch":
+            demand[tenant] = demand.get(tenant, 0) + profile.batch_size
+    streams: Dict[int, List[Box]] = {}
+    for tenant, needed in demand.items():
+        tenant_seed = seed * 7919 + tenant
+        if tenant in hotspot_ids:
+            streams[tenant] = hotspot_boxes(
+                needed,
+                qbs_fraction=profile.qbs_fraction,
+                dims=profile.dims,
+                hotspot=profile.hotspot,
+                seed=tenant_seed,
+            )
+        else:
+            streams[tenant] = hot_query_boxes(
+                needed,
+                qbs_fraction=profile.qbs_fraction,
+                dims=profile.dims,
+                pool_size=profile.pool_size,
+                zipf_s=profile.query_zipf_s,
+                seed=tenant_seed,
+            )
+    cursors: Dict[int, int] = {tenant: 0 for tenant in streams}
+
+    # Pass 3: payload assembly, tracking the live-object pool for deletes.
+    live: List[Tuple[Box, float]] = list(initial_objects)
+    ops: List[ScheduledOp] = []
+    for t, phase_name, op, tenant, check in skeleton:
+        if op == "delete" and not live:
+            op = "insert"
+        if op in ("point", "batch"):
+            count = 1 if op == "point" else profile.batch_size
+            cursor = cursors[tenant]
+            boxes = tuple(streams[tenant][cursor : cursor + count])
+            cursors[tenant] = cursor + count
+            ops.append(ScheduledOp(t, phase_name, op, tenant, queries=boxes, check=check))
+        elif op == "insert":
+            obj = _synthesize_object(profile.dims, payload_rng)
+            live.append(obj)
+            ops.append(ScheduledOp(t, phase_name, "insert", tenant, obj=obj))
+        else:
+            index = payload_rng.randrange(len(live))
+            # O(1) removal: swap the tail in; pool order is rng-opaque anyway.
+            live[index], live[-1] = live[-1], live[index]
+            obj = live.pop()
+            ops.append(ScheduledOp(t, phase_name, "delete", tenant, obj=obj))
+    return ops
+
+
+def _synthesize_object(dims: int, rng: random.Random) -> Tuple[Box, float]:
+    max_side = 2.0 * INSERT_SIDE_FRACTION
+    sides = [rng.uniform(0.0, max_side) for _ in range(dims)]
+    low = [rng.uniform(0.0, 1.0 - s) for s in sides]
+    high = [lo + s for lo, s in zip(low, sides)]
+    return Box(low, high), rng.uniform(*INSERT_VALUE_RANGE)
+
+
+def op_counts(ops: Sequence[ScheduledOp]) -> Dict[str, int]:
+    """Scheduled operations per class (deterministic given the profile)."""
+    counts = {name: 0 for name in OP_CLASSES}
+    for op in ops:
+        counts[op.op] += 1
+    return counts
+
+
+__all__ = [
+    "INSERT_SIDE_FRACTION",
+    "ScheduledOp",
+    "ZipfSampler",
+    "build_schedule",
+    "op_counts",
+]

@@ -19,6 +19,7 @@ from .registry import (
     Counter,
     Gauge,
     Histogram,
+    estimate_percentile,
     IOCounterCollector,
     MetricsRegistry,
     Sample,
@@ -45,6 +46,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "estimate_percentile",
     "IOCounterCollector",
     "MetricsRegistry",
     "Sample",

@@ -79,9 +79,7 @@ class Instrument:
 
     def samples(self) -> List[Sample]:
         """All (name, labels, value) cells of this instrument."""
-        return [
-            (self.name, dict(key), value) for key, value in sorted(self._values.items())
-        ]
+        return [(self.name, dict(key), value) for key, value in sorted(self._values.items())]
 
 
 class Counter(Instrument):
@@ -118,6 +116,52 @@ class Gauge(Instrument):
             return
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
+
+
+def estimate_percentile(bounds: Sequence[float], counts: Sequence[int], q: float) -> float:
+    """Estimate the ``q``-th percentile from fixed-bucket histogram state.
+
+    ``bounds`` are the sorted bucket upper bounds and ``counts`` the
+    per-bucket observation counts with the ``+inf`` overflow as the final
+    slot (``len(counts) == len(bounds) + 1``) — exactly the shape
+    :meth:`Histogram.bucket_counts` returns.  The estimate interpolates
+    linearly inside the bucket containing the target rank (the classic
+    ``histogram_quantile`` scheme): the first bucket interpolates from 0,
+    and ranks landing in the overflow bucket clamp to the largest finite
+    bound (the histogram records nothing finer out there).
+
+    The estimate is exact whenever the true value sits on a bucket
+    boundary and is otherwise off by at most the containing bucket's
+    width — which is why latency buckets should be chosen to taper with
+    the SLO of interest.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q}")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"counts must have one overflow slot beyond bounds "
+            f"({len(bounds) + 1} expected, got {len(counts)})"
+        )
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        if count <= 0:
+            continue
+        previous = cumulative
+        cumulative += count
+        if cumulative < rank:
+            continue
+        if i >= len(bounds):
+            return float(bounds[-1]) if bounds else 0.0
+        upper = float(bounds[i])
+        lower = float(bounds[i - 1]) if i > 0 else 0.0
+        if rank <= previous:
+            return lower
+        return lower + (upper - lower) * (rank - previous) / count
+    return float(bounds[-1]) if bounds else 0.0
 
 
 class Histogram(Instrument):
@@ -170,6 +214,14 @@ class Histogram(Instrument):
         """Cumulative-free per-bucket counts (last slot is the +inf overflow)."""
         return list(self._series.get(_label_key(labels), [0] * (len(self.buckets) + 1)))
 
+    def percentile(self, q: float, **labels: str) -> float:
+        """Bucket-boundary estimate of the ``q``-th percentile (0 when empty).
+
+        See :func:`estimate_percentile` for the interpolation contract; the
+        error is bounded by the width of the bucket containing the rank.
+        """
+        return estimate_percentile(self.buckets, self.bucket_counts(**labels), q)
+
     def clear(self) -> None:
         super().clear()
         self._series.clear()
@@ -205,9 +257,7 @@ class MetricsRegistry:
             existing = self._instruments.get(name)
             if existing is not None:
                 if type(existing) is not cls:
-                    raise ValueError(
-                        f"metric {name!r} already registered as {existing.kind}"
-                    )
+                    raise ValueError(f"metric {name!r} already registered as {existing.kind}")
                 return existing
             instrument = cls(name, help, self, **kwargs)
             self._instruments[name] = instrument
@@ -333,9 +383,7 @@ def watch_storage(storage, registry: Optional["MetricsRegistry"] = None, **label
     can :meth:`~MetricsRegistry.unregister_collector` them later.
     """
     registry = registry if registry is not None else get_registry()
-    io_collector = registry.register_collector(
-        IOCounterCollector(storage.counter, **labels)
-    )
+    io_collector = registry.register_collector(IOCounterCollector(storage.counter, **labels))
 
     def pages() -> List[Sample]:
         return [

@@ -269,9 +269,7 @@ class Tracer:
 def _render_span(span: Dict[str, Any], depth: int, max_depth: int, lines: List[str]) -> None:
     pad = "  " * depth
     attrs = span.get("attrs") or {}
-    attr_text = (
-        " [" + " ".join(f"{k}={v}" for k, v in attrs.items()) + "]" if attrs else ""
-    )
+    attr_text = (" [" + " ".join(f"{k}={v}" for k, v in attrs.items()) + "]" if attrs else "")
     error = f" error={span['error']}" if span.get("error") else ""
     lines.append(
         f"{pad}{span['name']}{attr_text}"

@@ -158,9 +158,7 @@ class CheckpointStore:
         with open(path, "rb") as f:
             checkpoint = Checkpoint.decode(f.read())
         if checkpoint.lsn != lsn:
-            raise ReplicationLogError(
-                f"{path}: names LSN {lsn} but body says {checkpoint.lsn}"
-            )
+            raise ReplicationLogError(f"{path}: names LSN {lsn} but body says {checkpoint.lsn}")
         return checkpoint
 
     def best_for(self, lsn: Optional[int] = None) -> Optional[Checkpoint]:

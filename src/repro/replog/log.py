@@ -97,9 +97,7 @@ class OperationLog:
         self._m_segments = registry.counter(
             "repro_replog_segments", "log segment files opened (rotations + initial)"
         )
-        self._m_head = registry.gauge(
-            "repro_replog_head_lsn", "newest LSN in the replication log"
-        )
+        self._m_head = registry.gauge("repro_replog_head_lsn", "newest LSN in the replication log")
         self._m_torn = registry.counter(
             "repro_replog_torn_discarded", "torn tail records discarded on open"
         )
@@ -215,9 +213,7 @@ class OperationLog:
         *order* is the contract being logged.
         """
         if len(payload) > MAX_PAYLOAD:
-            raise ReplicationLogError(
-                f"record payload {len(payload)} exceeds {MAX_PAYLOAD} bytes"
-            )
+            raise ReplicationLogError(f"record payload {len(payload)} exceeds {MAX_PAYLOAD} bytes")
         lsn = self._head + 1
         if self._active is None or self._active_size >= self.segment_bytes:
             self._rotate(lsn)
@@ -273,9 +269,7 @@ class OperationLog:
             )
         expect = start_lsn
         for i, (base, path) in enumerate(self._segments):
-            next_base = (
-                self._segments[i + 1][0] if i + 1 < len(self._segments) else end + 1
-            )
+            next_base = (self._segments[i + 1][0] if i + 1 < len(self._segments) else end + 1)
             if next_base <= start_lsn or base > end:
                 continue
             last_seen = base - 1
@@ -330,9 +324,7 @@ class OperationLog:
         """``(base_lsn, path, bytes)`` per retained segment, oldest first."""
         if self._active is not None:
             self._active.flush()
-        return [
-            (base, path, os.path.getsize(path)) for base, path in self._segments
-        ]
+        return [(base, path, os.path.getsize(path)) for base, path in self._segments]
 
     def size_bytes(self) -> int:
         """Total bytes across every retained segment."""

@@ -115,9 +115,7 @@ def encode_op(op: Operation) -> Tuple[int, bytes]:
         parts = [_DIMS.pack(dims), _COUNT.pack(len(op.objects))]
         for box, value in op.objects:
             if box.dims != dims:
-                raise ReplicationLogError(
-                    f"bulk-load mixes {dims}-d and {box.dims}-d objects"
-                )
+                raise ReplicationLogError(f"bulk-load mixes {dims}-d and {box.dims}-d objects")
             parts.append(_pack_object(box, value))
         return op.kind, b"".join(parts)
     raise ReplicationLogError(f"cannot encode {type(op).__name__} as a log record")

@@ -97,9 +97,7 @@ class ReplicationLog:
         self.checkpoint_retain = checkpoint_retain
         self.log = OperationLog(directory, **kwargs)
         self.checkpoints = CheckpointStore(os.path.join(directory, "checkpoints"))
-        self._m_checkpoints = registry.counter(
-            "repro_replog_checkpoints", "checkpoints taken"
-        )
+        self._m_checkpoints = registry.counter("repro_replog_checkpoints", "checkpoints taken")
         self._m_restores = registry.counter(
             "repro_replog_restores", "members restored from checkpoint + tail"
         )
@@ -239,9 +237,7 @@ class ReplicationLog:
         if tracer is None:
             state.materialize(service)
         else:
-            with tracer.span(
-                "replog.restore", label=self.label, lsn=target, tail=tail
-            ):
+            with tracer.span("replog.restore", label=self.label, lsn=target, tail=tail):
                 state.materialize(service)
         service.sync_epoch(epoch)
         self._m_restores.inc(label=self.label)

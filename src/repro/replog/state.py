@@ -53,9 +53,7 @@ class LogicalState:
         if self.dims is None:
             self.dims = box.dims
         elif box.dims != self.dims:
-            raise DimensionMismatchError(
-                f"log mixes {self.dims}-d and {box.dims}-d objects"
-            )
+            raise DimensionMismatchError(f"log mixes {self.dims}-d and {box.dims}-d objects")
 
     def _bump(self, box: Box, value: float, delta: int) -> None:
         self._check_dims(box)
@@ -156,9 +154,7 @@ class LogicalState:
         alignment is the caller's job (:meth:`QueryService.sync_epoch`).
         """
         index = service.index
-        epoch = service.mutate(
-            lambda: index.bulk_load(self.expanded()), op="restore", record=None
-        )
+        epoch = service.mutate(lambda: index.bulk_load(self.expanded()), op="restore", record=None)
         for box, value, count in self.negatives():
             for _ in range(-count):
                 epoch = service.mutate(
@@ -167,9 +163,7 @@ class LogicalState:
         set_meta = getattr(index, "set_meta", None)
         if set_meta is not None:
             for _key, blob in sorted(self.meta.items()):
-                epoch = service.mutate(
-                    lambda b=blob: set_meta(b), op="restore", record=None
-                )
+                epoch = service.mutate(lambda b=blob: set_meta(b), op="restore", record=None)
         return epoch
 
     def copy(self) -> "LogicalState":

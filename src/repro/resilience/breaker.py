@@ -72,10 +72,7 @@ class CircuitBreaker:
     def state(self) -> str:
         """Current state; an elapsed cooldown reads as ``half_open``."""
         with self._lock:
-            if (
-                self._state == OPEN
-                and self._clock() - self._opened_at >= self.config.cooldown_s
-            ):
+            if (self._state == OPEN and self._clock() - self._opened_at >= self.config.cooldown_s):
                 return HALF_OPEN
             return self._state
 

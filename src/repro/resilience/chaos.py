@@ -140,9 +140,7 @@ class FaultyQueryService:
         elif kind == "hang":
             time.sleep(self.plan.hang_s)
         elif kind == "corrupt":
-            raise PageCorruptionError(
-                "chaos: simulated checksum failure (corrupted storage)"
-            )
+            raise PageCorruptionError("chaos: simulated checksum failure (corrupted storage)")
 
     # -- faulted read path ---------------------------------------------------------
 
@@ -191,9 +189,7 @@ class FaultyQueryService:
         self.inner.close()
 
 
-def chaos_member_wrapper(
-    plan: ChaosPlan, member: int = 0
-) -> Callable[[object, int, int], object]:
+def chaos_member_wrapper(plan: ChaosPlan, member: int = 0) -> Callable[[object, int, int], object]:
     """A ``service_wrapper`` for :class:`~repro.shard.ShardedService`.
 
     Wraps member ``member`` of *every* replica group in a

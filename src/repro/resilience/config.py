@@ -59,15 +59,11 @@ class BreakerConfig:
         if self.min_requests < 1:
             raise ValueError(f"min_requests must be >= 1, got {self.min_requests}")
         if not 0.0 < self.failure_threshold <= 1.0:
-            raise ValueError(
-                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
-            )
+            raise ValueError(f"failure_threshold must be in (0, 1], got {self.failure_threshold}")
         if self.cooldown_s < 0:
             raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
         if self.half_open_probes < 1:
-            raise ValueError(
-                f"half_open_probes must be >= 1, got {self.half_open_probes}"
-            )
+            raise ValueError(f"half_open_probes must be >= 1, got {self.half_open_probes}")
 
 
 @dataclass(frozen=True)
@@ -129,19 +125,13 @@ class ResilienceConfig:
         if self.backoff_base_s < 0:
             raise ValueError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
         if self.backoff_multiplier < 1.0:
-            raise ValueError(
-                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
-            )
+            raise ValueError(f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}")
         if not 0.0 <= self.backoff_jitter <= 1.0:
-            raise ValueError(
-                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
-            )
+            raise ValueError(f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}")
         if self.hedge_delay_s is not None and self.hedge_delay_s < 0:
             raise ValueError(f"hedge_delay_s must be >= 0, got {self.hedge_delay_s}")
         if self.mutation_retries < 0:
-            raise ValueError(
-                f"mutation_retries must be >= 0, got {self.mutation_retries}"
-            )
+            raise ValueError(f"mutation_retries must be >= 0, got {self.mutation_retries}")
 
 
 __all__ = ["BreakerConfig", "ResilienceConfig"]

@@ -233,9 +233,7 @@ class ReplicaGroup:
     @property
     def live_members(self) -> Tuple[int, ...]:
         """Member ids not poisoned (breakers may still gate them)."""
-        return tuple(
-            mid for mid in range(len(self.members)) if not self._poisoned[mid]
-        )
+        return tuple(mid for mid in range(len(self.members)) if not self._poisoned[mid])
 
     # -- mutations (synchronous fan-out) ---------------------------------------------
 
@@ -396,9 +394,7 @@ class ReplicaGroup:
         tracer = _trace._ACTIVE
         if tracer is None:
             return self._catch_up_inner(mid, audit_probes, None)
-        with tracer.span(
-            "replog.catchup", shard=self.shard_id, member=mid, label=self.label
-        ):
+        with tracer.span("replog.catchup", shard=self.shard_id, member=mid, label=self.label):
             return self._catch_up_inner(mid, audit_probes, tracer)
 
     def _catch_up_inner(self, mid: int, audit_probes: int, tracer):
@@ -469,9 +465,7 @@ class ReplicaGroup:
                 )
                 for d in range(extent.dims)
             ]
-            queries.append(
-                Box([c[0] for c in corners], [c[1] for c in corners])
-            )
+            queries.append(Box([c[0] for c in corners], [c[1] for c in corners]))
         restored = member.box_sum_batch(queries)
         expected = live.box_sum_batch(queries)
         for query, got, want in zip(queries, restored, expected):
@@ -506,9 +500,7 @@ class ReplicaGroup:
             )
         if member is None:
             if self._member_factory is None:
-                raise NotSupportedError(
-                    f"shard {self.shard_id} has no member_factory configured"
-                )
+                raise NotSupportedError(f"shard {self.shard_id} has no member_factory configured")
             member = self._member_factory()
         with self._mutation_lock:
             mid = len(self.members)
@@ -545,9 +537,7 @@ class ReplicaGroup:
         restored from it will share with every live member.
         """
         if self.replication_log is None:
-            raise NotSupportedError(
-                f"shard {self.shard_id} has no replication log to checkpoint"
-            )
+            raise NotSupportedError(f"shard {self.shard_id} has no replication log to checkpoint")
         with self._mutation_lock:
             return self.replication_log.checkpoint(self.epoch)
 
@@ -555,9 +545,7 @@ class ReplicaGroup:
         """Point-in-time recovery of this shard's history (see
         :meth:`~repro.replog.ReplicationLog.recover_to`)."""
         if self.replication_log is None:
-            raise NotSupportedError(
-                f"shard {self.shard_id} has no replication log to recover from"
-            )
+            raise NotSupportedError(f"shard {self.shard_id} has no replication log to recover from")
         return self.replication_log.recover_to(lsn, index_factory)
 
     def _update_lag(self) -> None:
@@ -573,9 +561,7 @@ class ReplicaGroup:
     # -- serving (failover loop) -----------------------------------------------------
 
     def resolve_probe_values(self, identities):
-        return self._serve(
-            lambda m: m.resolve_probe_values(identities), op="probes"
-        )
+        return self._serve(lambda m: m.resolve_probe_values(identities), op="probes")
 
     def batch(self, queries: Sequence[Box]):
         return self._serve(lambda m: m.batch(queries), op="batch")
@@ -590,9 +576,7 @@ class ReplicaGroup:
         tracer = _trace._ACTIVE
         if tracer is None:
             return self._serve_inner(call, op, None)
-        with tracer.span(
-            "resilience.failover", shard=self.shard_id, label=self.label, op=op
-        ):
+        with tracer.span("resilience.failover", shard=self.shard_id, label=self.label, op=op):
             return self._serve_inner(call, op, tracer)
 
     def _serve_inner(self, call: Callable[[object], object], op: str, tracer):
@@ -623,9 +607,7 @@ class ReplicaGroup:
                 self._note("attempts", "timeouts")
                 self._m_attempts.inc(outcome="timeout", label=self.label)
                 if tracer is not None:
-                    tracer.event(
-                        "resilience_timeout", shard=self.shard_id, member=mid
-                    )
+                    tracer.event("resilience_timeout", shard=self.shard_id, member=mid)
                 continue
             except Exception as exc:  # noqa: BLE001 — any member failure fails over
                 last_error = exc
@@ -710,9 +692,7 @@ class ReplicaGroup:
                 timeout = None
             else:
                 timeout = max(0.0, end - self._clock())
-            done, _ = futures_wait(
-                list(pending), timeout=timeout, return_when=FIRST_COMPLETED
-            )
+            done, _ = futures_wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
             for future in done:
                 done_mid = pending.pop(future)
                 try:
@@ -725,9 +705,7 @@ class ReplicaGroup:
                 if hedged:
                     won_by_hedge = done_mid != mid
                     self._note("hedge_wins" if won_by_hedge else "hedges", None)
-                    self._m_hedges.inc(
-                        outcome="won" if won_by_hedge else "lost", label=self.label
-                    )
+                    self._m_hedges.inc(outcome="won" if won_by_hedge else "lost", label=self.label)
                 self._abandon(pending)
                 return result
             if done:

@@ -211,9 +211,7 @@ class RStarTree:
         self.storage.buffer.invalidate(pid)
         self.storage.pager.free(pid)
 
-    def _remove_from(
-        self, pid: int, box: Box, value: Any, orphans: List[Tuple[Entry, int]]
-    ):
+    def _remove_from(self, pid: int, box: Box, value: Any, orphans: List[Tuple[Entry, int]]):
         """FindLeaf + removal; returns the aggregate drained from this subtree.
 
         The returned value covers both the deleted entry and any entries
@@ -257,9 +255,7 @@ class RStarTree:
     def _negate_value(value: Any) -> Any:
         return -value
 
-    def _insert_entry(
-        self, entry: Entry, target_level: int, reinserted_levels: Set[int]
-    ) -> None:
+    def _insert_entry(self, entry: Entry, target_level: int, reinserted_levels: Set[int]) -> None:
         split = self._insert_at(self.root_pid, entry, target_level, reinserted_levels)
         if split is not None:
             left, right = split
@@ -327,9 +323,7 @@ class RStarTree:
 
     # -- overflow treatment ----------------------------------------------------------------
 
-    def _overflow(
-        self, node: _Node, reinserted_levels: Set[int]
-    ) -> Optional[Tuple[Entry, Entry]]:
+    def _overflow(self, node: _Node, reinserted_levels: Set[int]) -> Optional[Tuple[Entry, Entry]]:
         is_root = node.pid == self.root_pid
         if not is_root and node.level not in reinserted_levels:
             reinserted_levels.add(node.level)
@@ -341,9 +335,7 @@ class RStarTree:
         """Forced reinsertion: evict the 30% of entries farthest from the center."""
         mbr = Box.enclosing([e.box for e in node.entries])
         center = mbr.center()
-        node.entries.sort(
-            key=lambda e: -_center_distance_sq(e.box.center(), center)
-        )
+        node.entries.sort(key=lambda e: -_center_distance_sq(e.box.center(), center))
         count = max(1, int(len(node.entries) * REINSERT_FRACTION))
         evicted = node.entries[:count]
         node.entries = node.entries[count:]
@@ -536,9 +528,7 @@ class RStarTree:
         if bound is not None:
             for entry in node.entries:
                 if not bound.contains_box(entry.box):
-                    raise TreeInvariantError(
-                        f"entry box {entry.box} escapes parent MBR {bound}"
-                    )
+                    raise TreeInvariantError(f"entry box {entry.box} escapes parent MBR {bound}")
         if node.is_leaf:
             return len(node.entries), self._sum_aggs(node.entries), 1
         count, total = 0, self.zero
@@ -576,9 +566,7 @@ def _str_tiles(entries: List[Entry], per_node: int, dims: int) -> Iterator[List[
     yield from _str_rec(entries, per_node, dims, 0)
 
 
-def _str_rec(
-    entries: List[Entry], per_node: int, dims: int, dim: int
-) -> Iterator[List[Entry]]:
+def _str_rec(entries: List[Entry], per_node: int, dims: int, dim: int) -> Iterator[List[Entry]]:
     if dim == dims - 1 or len(entries) <= per_node:
         ordered = sorted(entries, key=lambda e: e.box.center()[dim])
         for start in range(0, len(ordered), per_node):

@@ -108,9 +108,7 @@ def probe_key(identity: Tuple[object, Tuple[float, ...]]) -> Tuple[str, object, 
     return ("probe", identity[0], identity[1])
 
 
-def make_caches(
-    result_entries: int, probe_entries: int
-) -> Tuple["EpochLRUCache", "EpochLRUCache"]:
+def make_caches(result_entries: int, probe_entries: int) -> Tuple["EpochLRUCache", "EpochLRUCache"]:
     """The service's two caches: whole-query results and corner probes."""
     return EpochLRUCache(result_entries), EpochLRUCache(probe_entries)
 

@@ -142,9 +142,7 @@ class BatchPlanner:
             if store is not None:
                 store(identity, value)
 
-        results = [
-            index.box_sum_from_probes(query_plan, values) for query_plan in plan.plans
-        ]
+        results = [index.box_sum_from_probes(query_plan, values) for query_plan in plan.plans]
         return BatchExecution(
             results=results,
             probes_total=plan.probes_total,

@@ -186,9 +186,7 @@ class QueryService:
         self._m_rejected = registry.counter(
             "repro_service_rejected", "requests shed by admission control"
         )
-        self._m_queries = registry.counter(
-            "repro_service_queries", "box-sum queries answered"
-        )
+        self._m_queries = registry.counter("repro_service_queries", "box-sum queries answered")
         self._m_probes = registry.counter(
             "repro_service_probes", "dominance probes, by stage (planned/executed)"
         )
@@ -249,9 +247,7 @@ class QueryService:
                 if tracer is None:
                     result = self._execute(queries, wait_s)
                 else:
-                    with tracer.span(
-                        "service.batch", label=self.label, queries=len(queries)
-                    ):
+                    with tracer.span("service.batch", label=self.label, queries=len(queries)):
                         result = self._execute(queries, wait_s)
                         tracer.event(
                             "service_plan",
@@ -279,9 +275,7 @@ class QueryService:
             if result.probes_planned:
                 self._m_probes.inc(result.probes_planned, stage="planned", label=self.label)
             if result.probes_executed:
-                self._m_probes.inc(
-                    result.probes_executed, stage="executed", label=self.label
-                )
+                self._m_probes.inc(result.probes_executed, stage="executed", label=self.label)
             saved = result.probes_planned - result.probes_unique
             if saved:
                 self._m_saved.inc(saved, label=self.label)
@@ -480,9 +474,7 @@ class QueryService:
         base_epoch + lsn`` invariant into the checkpoint file.
         """
         if self.oplog is None:
-            raise NotSupportedError(
-                f"service {self.label!r} has no replication log attached"
-            )
+            raise NotSupportedError(f"service {self.label!r} has no replication log attached")
         with self._rwlock.write():
             return self.oplog.checkpoint(self._epoch)
 

@@ -176,9 +176,7 @@ class ShardedService:
         # Replication, an explicit failover policy or a member wrapper all
         # switch the shards to replica groups; otherwise the plain
         # single-service path is untouched (no extra layers, no threads).
-        self._resilient = bool(
-            replicas or resilience is not None or service_wrapper is not None
-        )
+        self._resilient = bool(replicas or resilience is not None or service_wrapper is not None)
         self.resilience = (
             (resilience if resilience is not None else ResilienceConfig())
             if self._resilient
@@ -367,6 +365,11 @@ class ShardedService:
         return tuple(self._groups)
 
     @property
+    def admission(self) -> AdmissionGate:
+        """The cluster admission gate (read its limits; don't drive it)."""
+        return self._gate
+
+    @property
     def replicas(self) -> int:
         """Synchronous replicas per shard beyond the primary."""
         return self._map.replicas
@@ -412,9 +415,7 @@ class ShardedService:
             return outcome
         return outcome.results
 
-    def batch(
-        self, queries: Sequence[Box]
-    ) -> Union[ClusterBatchResult, PartialResult]:
+    def batch(self, queries: Sequence[Box]) -> Union[ClusterBatchResult, PartialResult]:
         """Scatter a batch across the shards and gather the exact merge.
 
         Returns a :class:`ClusterBatchResult` when every shard answered.
@@ -513,9 +514,7 @@ class ShardedService:
         self._note_mutation("delete", sid)
         return sid
 
-    def bulk_load(
-        self, objects: Iterable[Tuple[Box, float]], *, fit: bool = True
-    ) -> List[int]:
+    def bulk_load(self, objects: Iterable[Tuple[Box, float]], *, fit: bool = True) -> List[int]:
         """Partition and load a fresh object set; returns per-shard counts.
 
         ``fit=True`` first adapts the partitioner to the data (the kd
@@ -529,18 +528,14 @@ class ShardedService:
             with self._meta:
                 if fit:
                     self._map.fit([box for box, _ in pairs])
-                per_shard: List[List[Tuple[Box, float]]] = [
-                    [] for _ in self._shards
-                ]
+                per_shard: List[List[Tuple[Box, float]]] = [[] for _ in self._shards]
                 self._ledger.clear()
                 self._extents = [None] * self.num_shards
                 for box, value in pairs:
                     sid = self._map.assign(box)
                     per_shard[sid].append((box, value))
                     self._grow_extent(sid, box)
-                    owners = self._ledger.setdefault(
-                        self._ledger_key(box, value), {}
-                    )
+                    owners = self._ledger.setdefault(self._ledger_key(box, value), {})
                     owners[sid] = owners.get(sid, 0) + 1
                 self._object_counts = [len(chunk) for chunk in per_shard]
             for sid, service in enumerate(self._shards):
@@ -567,9 +562,7 @@ class ShardedService:
             hot = max(range(len(counts)), key=counts.__getitem__)
             cold = min(range(len(counts)), key=counts.__getitem__)
             if hot == cold or counts[hot] - counts[cold] <= 1:
-                report = RebalanceReport(
-                    hot, cold, 0, "noop", tuple(self._object_counts)
-                )
+                report = RebalanceReport(hot, cold, 0, "noop", tuple(self._object_counts))
             else:
                 hot_entries = [
                     (key, owners[hot])
@@ -600,9 +593,7 @@ class ShardedService:
                         taken += take
                     strategy = "ledger"
                 moved = self._migrate(hot, cold, to_move)
-                report = RebalanceReport(
-                    hot, cold, moved, strategy, tuple(self._object_counts)
-                )
+                report = RebalanceReport(hot, cold, moved, strategy, tuple(self._object_counts))
         with self._stats_lock:
             self._counts["rebalances"] += 1
             self._counts["migrated"] += report.moved
@@ -621,9 +612,7 @@ class ShardedService:
             )
         return report
 
-    def _migrate(
-        self, source: int, target: int, entries: List[Tuple[_LedgerKey, int]]
-    ) -> int:
+    def _migrate(self, source: int, target: int, entries: List[Tuple[_LedgerKey, int]]) -> int:
         """Move ``count`` instances of each keyed object between shards.
 
         Caller holds the cluster write lock, so the ledger, extents and both

@@ -164,9 +164,7 @@ class ShardRouter:
         reference = self.shards[0].index
         self._supports_probes = bool(getattr(reference, "supports_probes", False))
         registry = registry if registry is not None else get_registry()
-        self._m_batches = registry.counter(
-            "repro_shard_batches", "scatter-gather batches routed"
-        )
+        self._m_batches = registry.counter("repro_shard_batches", "scatter-gather batches routed")
         self._m_probes = registry.counter(
             "repro_shard_probes",
             "per-shard probe dispositions (needed/pruned/covered)",
@@ -211,9 +209,7 @@ class ShardRouter:
             )
         return result
 
-    def _scatter(
-        self, queries: List[Box], extents: Sequence[Optional[Box]]
-    ) -> ClusterBatchResult:
+    def _scatter(self, queries: List[Box], extents: Sequence[Optional[Box]]) -> ClusterBatchResult:
         if not self._supports_probes:
             return self._scatter_monolithic(queries, extents)
 
@@ -288,13 +284,9 @@ class ShardRouter:
         # *merged* cluster base (the sum of every shard's grand total), not
         # the reference shard's.
         if corner:
-            results = [
-                reference.box_sum_from_probes(plan, merged) for plan in batch.plans
-            ]
+            results = [reference.box_sum_from_probes(plan, merged) for plan in batch.plans]
         else:
-            results = [
-                self._combine(plan, merged, base, zero) for plan in batch.plans
-            ]
+            results = [self._combine(plan, merged, base, zero) for plan in batch.plans]
         self._m_merge.observe(time.perf_counter() - merge_start, label=self.label)
 
         self._m_batches.inc(label=self.label)
@@ -321,9 +313,7 @@ class ShardRouter:
         )
 
     @staticmethod
-    def _combine(
-        plan, merged: Dict[ProbeIdentity, Value], base: Value, zero: Value
-    ) -> float:
+    def _combine(plan, merged: Dict[ProbeIdentity, Value], base: Value, zero: Value) -> float:
         result = combine_probe_values(plan, merged, base, zero)
         if isinstance(result, SumCount):
             return result.total

@@ -47,9 +47,7 @@ def seal_page(body: bytes, page_size: int) -> bytes:
     """
     capacity = page_size - PAGE_CHECKSUM_BYTES
     if len(body) > capacity:
-        raise PageOverflowError(
-            f"page body needs {len(body)} bytes > slot capacity {capacity}"
-        )
+        raise PageOverflowError(f"page body needs {len(body)} bytes > slot capacity {capacity}")
     padded = body + b"\x00" * (capacity - len(body))
     return padded + _U32.pack(zlib.crc32(padded))
 
@@ -122,9 +120,7 @@ class PolynomialValueCodec(ValueCodec):
         if not isinstance(value, Polynomial):
             raise StorageError(f"expected Polynomial, got {type(value).__name__}")
         if value.dims != self.dims:
-            raise StorageError(
-                f"polynomial arity {value.dims} != codec arity {self.dims}"
-            )
+            raise StorageError(f"polynomial arity {value.dims} != codec arity {self.dims}")
         terms = value.terms
         out = [struct.pack("<H", len(terms))]
         for exps, coeff in sorted(terms.items()):

@@ -105,11 +105,7 @@ class Pager:
         """Persist the full page table as a pickle image."""
         with open(path, "wb") as f:
             pickle.dump(
-                {
-                    "page_size": self.page_size,
-                    "pages": self._pages,
-                    "next_pid": self._next_pid,
-                },
+                {"page_size": self.page_size, "pages": self._pages, "next_pid": self._next_pid},
                 f,
             )
 

@@ -70,9 +70,7 @@ class SlabAllocator:
         if nbytes <= 0:
             raise SlabError(f"allocation size must be positive, got {nbytes}")
         if nbytes > self.page_size:
-            raise SlabError(
-                f"allocation of {nbytes} bytes exceeds the {self.page_size}-byte page"
-            )
+            raise SlabError(f"allocation of {nbytes} bytes exceeds the {self.page_size}-byte page")
         pid = self._find_page(nbytes)
         page: _SlabPage = self._pager.get(pid)
         handle = SlabHandle(pid, page.next_slot, nbytes)
@@ -101,10 +99,7 @@ class SlabAllocator:
         self._check_live(handle)
         page: _SlabPage = self._pager.get(handle.pid)
         delta = nbytes - handle.nbytes
-        fits_in_place = (
-            nbytes <= self.page_size
-            and page.used_bytes + delta <= self.page_size
-        )
+        fits_in_place = (nbytes <= self.page_size and page.used_bytes + delta <= self.page_size)
         if fits_in_place:
             del self._live[handle]
             page.used_bytes += delta

@@ -91,9 +91,7 @@ class WriteAheadLog:
         self._m_commits = registry.counter(
             "repro_wal_commits", "WAL batches committed (made durable)"
         )
-        self._m_pages = registry.counter(
-            "repro_wal_pages", "slot images appended to the WAL"
-        )
+        self._m_pages = registry.counter("repro_wal_pages", "slot images appended to the WAL")
         self._m_recovered = registry.counter(
             "repro_wal_recovered_slots", "slot images replayed during recovery"
         )
@@ -118,9 +116,7 @@ class WriteAheadLog:
                 if magic != _WAL_MAGIC:
                     raise WalError(f"{path} is not a WAL file (bad magic)")
                 if stored_size != page_size:
-                    raise WalError(
-                        f"{path} logs page size {stored_size}, expected {page_size}"
-                    )
+                    raise WalError(f"{path} logs page size {stored_size}, expected {page_size}")
                 self._pending = bool(self._scan())
         else:
             self._initialize()
@@ -143,9 +139,7 @@ class WriteAheadLog:
         the records about to be written are exactly where :meth:`_scan`
         will look for them.
         """
-        self._file.seek(
-            self._committed_end if self._pending else _FILE_HEADER.size
-        )
+        self._file.seek(self._committed_end if self._pending else _FILE_HEADER.size)
         self._file.truncate()
 
     def append_page(self, pid: int, slot_image: bytes) -> None:

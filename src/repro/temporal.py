@@ -59,9 +59,7 @@ class TemporalAggregateIndex:
 
     def bulk_load(self, records) -> None:
         """Build from ``(start, end, value)`` triples."""
-        self._index.bulk_load(
-            [(self._interval(s, e), v) for s, e, v in records]
-        )
+        self._index.bulk_load([(self._interval(s, e), v) for s, e, v in records])
 
     # -- queries ---------------------------------------------------------------------
 

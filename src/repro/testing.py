@@ -100,9 +100,7 @@ def check_dominance_index(
         for point, value in points:
             candidate.insert(point, value)  # type: ignore[attr-defined]
             oracle.insert(point, value)
-    queries = [
-        tuple(rng.uniform(-5, span + 5) for _ in range(dims)) for _ in range(n_queries)
-    ]
+    queries = [tuple(rng.uniform(-5, span + 5) for _ in range(dims)) for _ in range(n_queries)]
     # Probe strictness: query exactly at stored coordinates.
     queries += [points[rng.randrange(len(points))][0] for _ in range(10)]
     for q in queries:
@@ -112,8 +110,9 @@ def check_dominance_index(
         if not values_equal(got, expected, tol=tol):
             report.fail(f"dominance_sum({q}): got {got}, expected {expected}")
     report.checks += 1
-    if not values_equal(candidate.total(), oracle.total(), tol=tol):  # type: ignore[attr-defined]
-        report.fail(f"total(): got {candidate.total()}, expected {oracle.total()}")  # type: ignore[attr-defined]
+    got_total = candidate.total()  # type: ignore[attr-defined]
+    if not values_equal(got_total, oracle.total(), tol=tol):
+        report.fail(f"total(): got {got_total}, expected {oracle.total()}")
     return report
 
 
@@ -276,9 +275,7 @@ def check_crash_recovery(
                 continue  # ops after the workload's last mutation
             label = f"{mode}@{at_op}"
             try:
-                with DurableAggIndex.open(
-                    path, page_size=page_size, create=False
-                ) as survivor:
+                with DurableAggIndex.open(path, page_size=page_size, create=False) as survivor:
                     recovered = len(survivor)
                     got_total = survivor.total()
                     if not (completed <= recovered <= min(completed + 1, n_inserts)):
@@ -633,9 +630,7 @@ def check_log_shipping(
     registry = MetricsRegistry()
 
     def make_member() -> QueryService:
-        return QueryService(
-            BoxSumIndex(dims, backend=backend), registry=MetricsRegistry()
-        )
+        return QueryService(BoxSumIndex(dims, backend=backend), registry=MetricsRegistry())
 
     reference = NaiveBoxSum(dims)
     replog = ReplicationLog(directory, registry=registry)

@@ -86,9 +86,7 @@ def zipf_weighted_boxes(
     seed: int = 0,
 ) -> List[_Object]:
     """Uniform boxes with heavy-tailed (Zipf-ranked) weights."""
-    objects = uniform_boxes(
-        n, dims, avg_side_fraction, span, value_range=(1.0, 1.0), seed=seed
-    )
+    objects = uniform_boxes(n, dims, avg_side_fraction, span, value_range=(1.0, 1.0), seed=seed)
     rng = random.Random(seed + 1)
     weighted: List[_Object] = []
     for box, _one in objects:

@@ -93,16 +93,12 @@ def hotspot_boxes(
     region_low = [rng.uniform(0.0, span - hotspot * span) for _ in range(dims)]
     queries: List[Box] = []
     for _ in range(n):
-        low = [
-            origin + rng.uniform(0.0, hotspot * span - side) for origin in region_low
-        ]
+        low = [origin + rng.uniform(0.0, hotspot * span - side) for origin in region_low]
         queries.append(Box(low, [lo + side for lo in low]))
     return queries
 
 
-def query_points(
-    n: int, dims: int = 2, span: float = 1.0, seed: int = 0
-) -> List[Coords]:
+def query_points(n: int, dims: int = 2, span: float = 1.0, seed: int = 0) -> List[Coords]:
     """``n`` uniform dominance-query points in the space."""
     rng = random.Random(seed)
     return [tuple(rng.uniform(0.0, span) for _ in range(dims)) for _ in range(n)]

@@ -82,9 +82,7 @@ class TestOracleAgreement:
         tree.check_invariants()
         for _ in range(120):
             q = tuple(rng.uniform(-5, 105) for _ in range(dims))
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum(q), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q), abs=1e-6)
 
     def test_bulk_path(self, dims):
         rng = random.Random(67 + dims)
@@ -96,9 +94,7 @@ class TestOracleAgreement:
         oracle.bulk_load(points)
         for _ in range(120):
             q = tuple(rng.uniform(-5, 105) for _ in range(dims))
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum(q), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q), abs=1e-6)
 
     def test_bulk_then_insert(self, dims):
         rng = random.Random(71 + dims)
@@ -114,9 +110,7 @@ class TestOracleAgreement:
         tree.check_invariants()
         for _ in range(100):
             q = tuple(rng.uniform(-5, 105) for _ in range(dims))
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum(q), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q), abs=1e-6)
 
 
 class TestSplitStress:
@@ -165,17 +159,19 @@ class TestSplitStress:
             oracle.insert(p, 1.0)
         for x in (-1.0, 0.5, 1.0, 3.0):
             for y in (0.0, 50.0, 101.0):
-                assert tree.dominance_sum((x, y)) == pytest.approx(
-                    oracle.dominance_sum((x, y))
-                )
+                assert tree.dominance_sum((x, y)) == pytest.approx(oracle.dominance_sum((x, y)))
 
 
 class TestValuesAndLifecycle:
     def test_polynomial_values(self):
         ctx = StorageContext(buffer_pages=None)
         tree = BATree(
-            ctx, 2, zero=Polynomial(2), value_bytes=64,
-            leaf_capacity=4, index_capacity=4,
+            ctx,
+            2,
+            zero=Polynomial(2),
+            value_bytes=64,
+            leaf_capacity=4,
+            index_capacity=4,
         )
         x = Polynomial.variable(2, 0)
         for i in range(60):
@@ -222,9 +218,7 @@ class TestQueryCost:
         rng = random.Random(97)
         ctx = StorageContext(page_size=2048, buffer_pages=None)
         tree = BATree(ctx, 2)
-        tree.bulk_load(
-            [((rng.uniform(0, 1), rng.uniform(0, 1)), 1.0) for _ in range(20000)]
-        )
+        tree.bulk_load([((rng.uniform(0, 1), rng.uniform(0, 1)), 1.0) for _ in range(20000)])
         ctx.cold_cache()
         ctx.reset_stats()
         n_queries = 50
@@ -254,7 +248,5 @@ class TestPropertyBased:
         for p, v in points:
             tree.insert(p, v)
             oracle.insert(p, v)
-        assert tree.dominance_sum(query) == pytest.approx(
-            oracle.dominance_sum(query), abs=1e-6
-        )
+        assert tree.dominance_sum(query) == pytest.approx(oracle.dominance_sum(query), abs=1e-6)
         tree.check_invariants()

@@ -29,16 +29,10 @@ def _points(rng, n, dims):
 def test_vectorized_equals_scalar_build(dims, monkeypatch):
     rng = random.Random(dims * 31)
     points = _points(rng, 600, dims)
-    fast = BATree(
-        StorageContext(buffer_pages=None), dims, leaf_capacity=4, index_capacity=4
-    )
+    fast = BATree(StorageContext(buffer_pages=None), dims, leaf_capacity=4, index_capacity=4)
     fast.bulk_load(points)
-    monkeypatch.setattr(
-        batree_module, "_classify_page_vectorized", lambda *_a, **_k: None
-    )
-    slow = BATree(
-        StorageContext(buffer_pages=None), dims, leaf_capacity=4, index_capacity=4
-    )
+    monkeypatch.setattr(batree_module, "_classify_page_vectorized", lambda *_a, **_k: None)
+    slow = BATree(StorageContext(buffer_pages=None), dims, leaf_capacity=4, index_capacity=4)
     slow.bulk_load(points)
     oracle = NaiveDominanceSum(dims)
     oracle.bulk_load(points)
@@ -53,8 +47,7 @@ def test_vectorized_equals_scalar_build(dims, monkeypatch):
 def test_polynomial_values_use_scalar_fallback():
     """Non-numeric values bypass the vectorized path but still build correctly."""
     ctx = StorageContext(buffer_pages=None)
-    tree = BATree(ctx, 2, zero=Polynomial(2), value_bytes=64,
-                  leaf_capacity=4, index_capacity=4)
+    tree = BATree(ctx, 2, zero=Polynomial(2), value_bytes=64, leaf_capacity=4, index_capacity=4)
     x = Polynomial.variable(2, 0)
     tree.bulk_load([((float(i), float(i % 7)), x) for i in range(100)])
     agg = tree.dominance_sum((50.0, 99.0))

@@ -26,6 +26,7 @@ class TestCli:
             "shard",
             "resilience",
             "replog",
+            "traffic",
         }
 
     def test_run_reduction_experiment(self, capsys):
@@ -37,9 +38,7 @@ class TestCli:
 
     def test_json_dump(self, tmp_path, capsys):
         path = str(tmp_path / "out.json")
-        code = main(
-            ["reduction", "--n", "300", "--queries", "5", "--json", path]
-        )
+        code = main(["reduction", "--n", "300", "--queries", "5", "--json", path])
         assert code == 0
         with open(path, encoding="utf-8") as f:
             payload = json.load(f)
@@ -57,3 +56,19 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_traffic_writes_payload_and_report(self, tmp_path, capsys):
+        json_path = str(tmp_path / "traffic.json")
+        text_path = str(tmp_path / "slo.txt")
+        code = main(["traffic", "--n", "400", "--json", json_path, "--report", text_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traffic SLO report" in out
+        with open(json_path, encoding="utf-8") as f:
+            payload = json.load(f)
+        assert payload["kind"] == "bench-traffic"
+        assert payload["report"]["clock"] == "virtual"
+        assert payload["report"]["checks"]["failed"] == 0.0
+        with open(text_path, encoding="utf-8") as f:
+            text = f.read()
+        assert "burst" in text and "shed rate" in text

@@ -14,9 +14,7 @@ class TestAsciiChart:
         assert "legend: o=a" in chart
 
     def test_multiple_series_get_distinct_markers(self):
-        chart = ascii_chart(
-            {"first": [(0.0, 1.0)], "second": [(1.0, 2.0)], "third": [(2.0, 3.0)]}
-        )
+        chart = ascii_chart({"first": [(0.0, 1.0)], "second": [(1.0, 2.0)], "third": [(2.0, 3.0)]})
         assert "o=first" in chart
         assert "x=second" in chart
         assert "*=third" in chart
@@ -37,9 +35,7 @@ class TestAsciiChart:
         assert ascii_chart({}) == "(no data)"
 
     def test_title_and_label(self):
-        chart = ascii_chart(
-            {"a": [(0.0, 1.0), (1.0, 2.0)]}, title="my title", y_label="I/Os"
-        )
+        chart = ascii_chart({"a": [(0.0, 1.0), (1.0, 2.0)]}, title="my title", y_label="I/Os")
         assert "my title" in chart
         assert "y: I/Os" in chart
 

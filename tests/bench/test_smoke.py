@@ -54,6 +54,28 @@ class TestBaselineFormat:
         assert base["metrics"]
         assert all(isinstance(v, (int, float)) for v in base["metrics"].values())
 
+    def test_committed_baseline_gates_the_traffic_slice(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        base = load_json(str(repo_root / "benchmarks" / "baseline_smoke.json"))
+        names = set(base["metrics"])
+        for required in (
+            "traffic.scheduled.point",
+            "traffic.sheds",
+            "traffic.check_failures",
+            "traffic.steady.point.p99_ms",
+            "traffic.ms_per_op",
+        ):
+            assert required in names
+        # A smoke run that produced wrong answers must never become the
+        # committed normal: the baseline pins these at hard zero.
+        assert base["metrics"]["traffic.check_failures"] == 0.0
+        assert base["metrics"]["traffic.errors"] == 0.0
+        # The burst phase is sized to overload the smoke cluster: a
+        # baseline without sheds means the overload path went untested.
+        assert base["metrics"]["traffic.sheds"] > 0
+
     def test_smoke_config_is_reduced_scale(self):
         cfg = smoke_config()
         assert cfg.n == 2500

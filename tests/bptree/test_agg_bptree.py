@@ -77,9 +77,7 @@ class TestSplitsAndStructure:
         assert tree.height > 2
         for _ in range(50):
             q = rng.uniform(-10, 1010)
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum((q,)), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum((q,)), abs=1e-6)
 
     def test_ascending_insert_order(self):
         tree = make_tree(leaf_capacity=4, internal_capacity=4)
@@ -182,9 +180,7 @@ class TestCollectAndDestroy:
 class TestPolynomialValues:
     def test_aggregates_polynomials(self):
         ctx = StorageContext(buffer_pages=None)
-        tree = AggBPlusTree(
-            ctx, zero=Polynomial(1), leaf_capacity=4, internal_capacity=4
-        )
+        tree = AggBPlusTree(ctx, zero=Polynomial(1), leaf_capacity=4, internal_capacity=4)
         x = Polynomial.variable(1, 0)
         for k in range(50):
             tree.insert(float(k), x.scale(1.0))
@@ -213,7 +209,5 @@ class TestPropertyBased:
         for k, v in items:
             tree.insert(k, v)
             oracle.insert((k,), v)
-        assert tree.dominance_sum(query) == pytest.approx(
-            oracle.dominance_sum((query,)), abs=1e-6
-        )
+        assert tree.dominance_sum(query) == pytest.approx(oracle.dominance_sum((query,)), abs=1e-6)
         tree.check_invariants()

@@ -26,10 +26,7 @@ def random_objects(
     rng: random.Random, n: int, dims: int, span: float = 100.0, max_side: float = 20.0
 ) -> List[Tuple[Box, float]]:
     """``n`` random weighted boxes with weights in [-5, 10]."""
-    return [
-        (random_box(rng, dims, span, max_side), rng.uniform(-5.0, 10.0))
-        for _ in range(n)
-    ]
+    return [(random_box(rng, dims, span, max_side), rng.uniform(-5.0, 10.0)) for _ in range(n)]
 
 
 @pytest.fixture

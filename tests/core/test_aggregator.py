@@ -233,18 +233,14 @@ class TestFunctionalFacade:
     def test_constant_functions(self, rng):
         index = FunctionalBoxSumIndex(2, backend="ba", buffer_pages=None)
         index.insert(Box((0.0, 0.0), (2.0, 3.0)), 4.0)
-        assert index.functional_box_sum(Box((-1.0, -1.0), (5.0, 5.0))) == (
-            pytest.approx(24.0)
-        )
+        assert index.functional_box_sum(Box((-1.0, -1.0), (5.0, 5.0))) == (pytest.approx(24.0))
 
     def test_delete(self, rng):
         index = FunctionalBoxSumIndex(2, backend="ba", buffer_pages=None)
         box = Box((0.0, 0.0), (4.0, 4.0))
         index.insert(box, 3.0)
         index.delete(box, 3.0)
-        assert index.functional_box_sum(Box((0.0, 0.0), (9.0, 9.0))) == (
-            pytest.approx(0.0)
-        )
+        assert index.functional_box_sum(Box((0.0, 0.0), (9.0, 9.0))) == (pytest.approx(0.0))
         assert index.num_objects == 0
 
     def test_oifbs_direct(self):
@@ -265,12 +261,8 @@ class TestFunctionalFacade:
 
     def test_degree_two_index_is_larger_than_degree_zero(self, rng):
         objects0 = [(box, 1.0) for box, _f in self._objects(rng, n=400)]
-        i0 = FunctionalBoxSumIndex(
-            2, backend="ba", max_degree=0, buffer_pages=None, page_size=2048
-        )
+        i0 = FunctionalBoxSumIndex(2, backend="ba", max_degree=0, buffer_pages=None, page_size=2048)
         i0.bulk_load(objects0)
-        i2 = FunctionalBoxSumIndex(
-            2, backend="ba", max_degree=2, buffer_pages=None, page_size=2048
-        )
+        i2 = FunctionalBoxSumIndex(2, backend="ba", max_degree=2, buffer_pages=None, page_size=2048)
         i2.bulk_load(objects0)
         assert i2.size_bytes > i0.size_bytes

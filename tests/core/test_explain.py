@@ -40,9 +40,7 @@ class TestExplainBoxSum:
         assert report.reads > 0  # cold cache: something had to be fetched
 
     def test_eo82_reduction_labels(self, rng):
-        index = BoxSumIndex(
-            2, backend="ba", reduction="eo82", buffer_pages=None, page_size=2048
-        )
+        index = BoxSumIndex(2, backend="ba", reduction="eo82", buffer_pages=None, page_size=2048)
         index.bulk_load(random_objects(rng, 150, 2))
         q = random_box(rng, 2, max_side=50.0)
         report = explain_box_sum(index, q)
@@ -76,7 +74,10 @@ class TestExplainBoxSum:
     def test_by_label(self, loaded_index, rng):
         report = explain_box_sum(loaded_index, random_box(rng, 2))
         assert set(report.by_label()) == {
-            "corner00", "corner01", "corner10", "corner11",
+            "corner00",
+            "corner01",
+            "corner10",
+            "corner11",
         }
 
 

@@ -16,9 +16,7 @@ from repro.core.geometry import (
     universe_box,
 )
 
-coords_2d = st.tuples(
-    st.floats(-1e6, 1e6, allow_nan=False), st.floats(-1e6, 1e6, allow_nan=False)
-)
+coords_2d = st.tuples(st.floats(-1e6, 1e6, allow_nan=False), st.floats(-1e6, 1e6, allow_nan=False))
 
 
 def boxes(dims: int = 2):

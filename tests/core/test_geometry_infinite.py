@@ -67,9 +67,7 @@ class TestInfiniteUniverse:
         from repro.bptree import AggBPlusTree
         from repro.storage import StorageContext
 
-        tree = AggBPlusTree(
-            StorageContext(buffer_pages=None), leaf_capacity=2, internal_capacity=3
-        )
+        tree = AggBPlusTree(StorageContext(buffer_pages=None), leaf_capacity=2, internal_capacity=3)
         tree.insert(-INF, 1.0)
         tree.insert(0.0, 2.0)
         tree.insert(5.0, 4.0)

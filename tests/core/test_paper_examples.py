@@ -70,13 +70,9 @@ class TestFigure3b:
         oracle = NaiveFunctionalBoxSum(2)
         oracle.insert(field, f)
         # Query hugging the right border: (11-7) * ∫_15^20 (x-2) dx = 310.
-        assert oracle.functional_box_sum(Box((15.0, 7.0), (25.0, 11.0))) == (
-            pytest.approx(310.0)
-        )
+        assert oracle.functional_box_sum(Box((15.0, 7.0), (25.0, 11.0))) == (pytest.approx(310.0))
         # Same-size intersection at the left border: (11-7) * ∫_5^10 (x-2) dx = 110.
-        assert oracle.functional_box_sum(Box((0.0, 7.0), (10.0, 11.0))) == (
-            pytest.approx(110.0)
-        )
+        assert oracle.functional_box_sum(Box((0.0, 7.0), (10.0, 11.0))) == (pytest.approx(110.0))
 
 
 class TestFigure5b:

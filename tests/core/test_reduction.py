@@ -30,9 +30,7 @@ from ..conftest import random_box, random_objects
 
 def _corner_setup(dims, objects):
     reduction = CornerReduction(dims)
-    indices = {
-        key: NaiveDominanceSum(dims) for key in reduction.index_keys()
-    }
+    indices = {key: NaiveDominanceSum(dims) for key in reduction.index_keys()}
     for box, value in objects:
         for key, point, v in reduction.insertions(box, value):
             indices[key].insert(point, v)
@@ -41,9 +39,7 @@ def _corner_setup(dims, objects):
 
 def _eo82_setup(dims, objects):
     reduction = EO82Reduction(dims)
-    indices = {
-        key: NaiveDominanceSum(len(key[0])) for key in reduction.index_keys()
-    }
+    indices = {key: NaiveDominanceSum(len(key[0])) for key in reduction.index_keys()}
     total = 0.0
     for box, value in objects:
         total += value
@@ -112,9 +108,7 @@ class TestCornerReductionCorrectness:
         assert plan[(1, 1)] == ((5.0, 6.0), 1)    # + at q's lower-left
 
     def test_touching_objects_follow_paper_semantics(self):
-        reduction, indices = _corner_setup(
-            2, [(Box((0.0, 0.0), (5.0, 5.0)), 1.0)]
-        )
+        reduction, indices = _corner_setup(2, [(Box((0.0, 0.0), (5.0, 5.0)), 1.0)])
         # Query starting exactly at the object's high corner: intersects.
         assert reduction.box_sum(indices, Box((5.0, 5.0), (9.0, 9.0))) == pytest.approx(1.0)
         # Query ending exactly at the object's low corner: does NOT intersect.
@@ -130,9 +124,7 @@ class TestCornerReductionCorrectness:
             oracle.insert(box, value)
         reduction, indices = _corner_setup(2, objects)
         query = random_box(rng, 2, max_side=60.0)
-        assert reduction.box_sum(indices, query) == pytest.approx(
-            oracle.box_sum(query), abs=1e-6
-        )
+        assert reduction.box_sum(indices, query) == pytest.approx(oracle.box_sum(query), abs=1e-6)
 
 
 class TestCombineProbeValues:
@@ -155,17 +147,12 @@ class TestCombineProbeValues:
         reduction, indices = _corner_setup(2, objects)
         for _ in range(20):
             query = random_box(rng, 2, max_side=40.0)
-            plan = [
-                Probe(key, point, parity)
-                for key, point, parity in reduction.query_plan(query)
-            ]
+            plan = [Probe(key, point, parity) for key, point, parity in reduction.query_plan(query)]
             values = {
                 probe.identity: indices[probe.key].dominance_sum(probe.point)
                 for probe in plan
             }
-            assert combine_probe_values(plan, values, 0.0, 0.0) == reduction.box_sum(
-                indices, query
-            )
+            assert combine_probe_values(plan, values, 0.0, 0.0) == reduction.box_sum(indices, query)
 
 
 class TestEO82ReductionCorrectness:

@@ -17,9 +17,7 @@ class TestPrefixSumCube:
         array = np.arange(12, dtype=float).reshape(3, 4)
         cube = PrefixSumCube.from_array(array)
         assert cube.range_sum((0, 0), (2, 3)) == pytest.approx(array.sum())
-        assert cube.range_sum((1, 1), (2, 2)) == pytest.approx(
-            array[1:3, 1:3].sum()
-        )
+        assert cube.range_sum((1, 1), (2, 2)) == pytest.approx(array[1:3, 1:3].sum())
 
     def test_single_cell_range(self):
         array = np.arange(6, dtype=float).reshape(2, 3)
@@ -54,9 +52,7 @@ class TestPrefixSumCube:
     def test_random_ranges_match_numpy(self, dims):
         rng = random.Random(dims)
         shape = (7,) * dims
-        array = np.array(
-            [rng.uniform(-2, 5) for _ in range(7**dims)], dtype=float
-        ).reshape(shape)
+        array = np.array([rng.uniform(-2, 5) for _ in range(7**dims)], dtype=float).reshape(shape)
         cube = PrefixSumCube.from_array(array)
         for _ in range(40):
             low = tuple(rng.randint(0, 6) for _ in range(dims))
@@ -107,9 +103,7 @@ class TestDynamicCube:
         for _ in range(25):
             low = tuple(rng.randint(0, 4) for _ in range(3))
             high = tuple(rng.randint(l, 4) for l in low)
-            assert sparse.range_sum(low, high) == pytest.approx(
-                dense.range_sum(low, high)
-            )
+            assert sparse.range_sum(low, high) == pytest.approx(dense.range_sum(low, high))
 
     def test_space_tracks_nonzero_cells(self):
         ctx = StorageContext(buffer_pages=None)

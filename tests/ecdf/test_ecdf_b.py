@@ -79,9 +79,7 @@ class TestCorrectness:
         tree.check_invariants()
         for _ in range(80):
             q = tuple(rng.uniform(-5, 105) for _ in range(dims))
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum(q), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q), abs=1e-6)
 
     @pytest.mark.parametrize("dims", [2, 3])
     def test_bulk_load_matches_oracle(self, variant, dims):
@@ -94,9 +92,7 @@ class TestCorrectness:
         oracle.bulk_load(points)
         for _ in range(80):
             q = tuple(rng.uniform(-5, 105) for _ in range(dims))
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum(q), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q), abs=1e-6)
 
     def test_bulk_load_then_inserts(self, variant):
         rng = random.Random(29)
@@ -112,9 +108,7 @@ class TestCorrectness:
         tree.check_invariants()
         for _ in range(60):
             q = (rng.uniform(-5, 105), rng.uniform(-5, 105))
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum(q), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q), abs=1e-6)
 
     def test_duplicate_points_merge(self, variant):
         tree, _ctx = make_tree(2, variant)
@@ -126,9 +120,7 @@ class TestCorrectness:
     def test_duplicate_first_coordinates(self, variant):
         """Many points sharing x exercise the unsplittable-leaf handling."""
         rng = random.Random(31)
-        points = [
-            ((float(rng.randint(0, 3)), rng.uniform(0, 100)), 1.0) for _ in range(120)
-        ]
+        points = [((float(rng.randint(0, 3)), rng.uniform(0, 100)), 1.0) for _ in range(120)]
         tree, _ctx = make_tree(2, variant)
         oracle = NaiveDominanceSum(2)
         for p, v in points:
@@ -136,9 +128,7 @@ class TestCorrectness:
             oracle.insert(p, v)
         for x in (-1.0, 0.0, 1.5, 2.0, 4.0):
             for y in (0.0, 50.0, 101.0):
-                assert tree.dominance_sum((x, y)) == pytest.approx(
-                    oracle.dominance_sum((x, y))
-                )
+                assert tree.dominance_sum((x, y)) == pytest.approx(oracle.dominance_sum((x, y)))
 
     def test_negative_values_cancel(self, variant):
         tree, _ctx = make_tree(2, variant)
@@ -149,8 +139,13 @@ class TestCorrectness:
     def test_polynomial_values(self, variant):
         ctx = StorageContext(buffer_pages=None)
         tree = EcdfBTree(
-            ctx, 2, variant=variant, zero=Polynomial(2), value_bytes=64,
-            leaf_capacity=4, internal_capacity=4,
+            ctx,
+            2,
+            variant=variant,
+            zero=Polynomial(2),
+            value_bytes=64,
+            leaf_capacity=4,
+            internal_capacity=4,
         )
         x = Polynomial.variable(2, 0)
         for i in range(40):
@@ -175,9 +170,7 @@ class TestCorrectness:
         tree.bulk_load(points)
         collected = list(tree.collect())
         assert len(collected) == len({p for p, _v in points})
-        assert sum(v for _p, v in collected) == pytest.approx(
-            sum(v for _p, v in points)
-        )
+        assert sum(v for _p, v in collected) == pytest.approx(sum(v for _p, v in points))
 
 
 class TestVariantAsymmetry:
@@ -187,7 +180,11 @@ class TestVariantAsymmetry:
     def _loaded(variant, buffer_pages=None):
         ctx = StorageContext(page_size=8192, buffer_pages=buffer_pages)
         tree = EcdfBTree(
-            ctx, 2, variant=variant, leaf_capacity=16, internal_capacity=16,
+            ctx,
+            2,
+            variant=variant,
+            leaf_capacity=16,
+            internal_capacity=16,
             spill_bytes=128,
         )
         rng = random.Random(43)
@@ -216,9 +213,7 @@ class TestVariantAsymmetry:
         tree_u, ctx_u = self._loaded("u")
         tree_q, ctx_q = self._loaded("q")
         rng = random.Random(53)
-        inserts = [
-            ((rng.uniform(0, 100), rng.uniform(0, 100)), 1.0) for _ in range(50)
-        ]
+        inserts = [((rng.uniform(0, 100), rng.uniform(0, 100)), 1.0) for _ in range(50)]
         for ctx in (ctx_u, ctx_q):
             ctx.cold_cache()
             ctx.reset_stats()

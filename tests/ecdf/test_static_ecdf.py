@@ -56,16 +56,12 @@ class TestStaticEcdf:
         oracle.bulk_load(points)
         for _ in range(100):
             q = tuple(rng.uniform(-5, 105) for _ in range(dims))
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum(q), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q), abs=1e-6)
 
     def test_duplicate_coordinates(self):
         """Heavy duplication along dim 0 must not lose or double-count points."""
         rng = random.Random(5)
-        points = [
-            ((float(rng.randint(0, 4)), rng.uniform(0, 10)), 1.0) for _ in range(200)
-        ]
+        points = [((float(rng.randint(0, 4)), rng.uniform(0, 10)), 1.0) for _ in range(200)]
         tree = StaticEcdfTree(2)
         tree.bulk_load(points)
         oracle = NaiveDominanceSum(2)
@@ -105,9 +101,7 @@ class TestStaticEcdf:
         tree.bulk_load(points)
         oracle = NaiveDominanceSum(2)
         oracle.bulk_load(points)
-        assert tree.dominance_sum(query) == pytest.approx(
-            oracle.dominance_sum(query), abs=1e-6
-        )
+        assert tree.dominance_sum(query) == pytest.approx(oracle.dominance_sum(query), abs=1e-6)
 
 
 class TestLogarithmicEcdf:
@@ -120,9 +114,7 @@ class TestLogarithmicEcdf:
             oracle.insert(p, v)
         for _ in range(50):
             q = (rng.uniform(-5, 105), rng.uniform(-5, 105))
-            assert tree.dominance_sum(q) == pytest.approx(
-                oracle.dominance_sum(q), abs=1e-6
-            )
+            assert tree.dominance_sum(q) == pytest.approx(oracle.dominance_sum(q), abs=1e-6)
 
     def test_block_count_is_logarithmic(self):
         tree = LogarithmicEcdfTree(1, block_size=1)

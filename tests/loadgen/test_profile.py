@@ -1,0 +1,99 @@
+"""Tests for traffic profiles: validation, phase ramps, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.loadgen import OpMix, Phase, TrafficProfile, smoke_profile
+
+
+class TestPhase:
+    def test_flat_phase_rate_is_constant(self):
+        phase = Phase("steady", duration_s=2.0, rate=100.0)
+        assert phase.rate_at(0.0) == 100.0
+        assert phase.rate_at(1.7) == 100.0
+        assert phase.peak_rate == 100.0
+
+    def test_ramp_interpolates_linearly_and_clamps(self):
+        phase = Phase("ramp", duration_s=2.0, rate=100.0, rate_end=300.0)
+        assert phase.rate_at(0.0) == 100.0
+        assert phase.rate_at(1.0) == 200.0
+        assert phase.rate_at(2.0) == 300.0
+        assert phase.rate_at(99.0) == 300.0
+        assert phase.peak_rate == 300.0
+
+    def test_downward_ramp_peaks_at_start(self):
+        phase = Phase("cooldown", duration_s=1.0, rate=300.0, rate_end=50.0)
+        assert phase.peak_rate == 300.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_nonpositive_duration_and_rate(self, bad):
+        with pytest.raises(InvalidQueryError):
+            Phase("p", duration_s=bad, rate=10.0)
+        with pytest.raises(InvalidQueryError):
+            Phase("p", duration_s=1.0, rate=bad)
+
+
+class TestOpMix:
+    def test_rejects_negative_and_all_zero_weights(self):
+        with pytest.raises(InvalidQueryError):
+            OpMix(point=-0.1)
+        with pytest.raises(InvalidQueryError):
+            OpMix(point=0.0, batch=0.0, insert=0.0, delete=0.0)
+
+    def test_round_trip(self):
+        mix = OpMix(point=0.5, batch=0.2, insert=0.2, delete=0.1)
+        assert OpMix.from_dict(mix.to_dict()) == mix
+
+
+class TestTrafficProfile:
+    def test_rejects_duplicate_phase_names(self):
+        with pytest.raises(InvalidQueryError):
+            TrafficProfile(phases=(Phase("a", 1.0, 10.0), Phase("a", 1.0, 20.0)))
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(InvalidQueryError):
+            TrafficProfile(phases=())
+
+    def test_total_duration_sums_phases(self):
+        profile = smoke_profile()
+        assert profile.total_duration_s == pytest.approx(sum(p.duration_s for p in profile.phases))
+
+    def test_phase_mix_overrides_profile_mix(self):
+        read_only = OpMix(point=1.0, batch=0.0, insert=0.0, delete=0.0)
+        profile = TrafficProfile(
+            phases=(
+                Phase("mixed", 1.0, 10.0),
+                Phase("reads", 1.0, 10.0, mix=read_only),
+            )
+        )
+        assert profile.mix_for(profile.phases[0]) == profile.mix
+        assert profile.mix_for(profile.phases[1]) == read_only
+
+    def test_to_dict_from_dict_round_trip(self):
+        profile = smoke_profile(seed=31).scaled(
+            tenants=5,
+            mix=OpMix(point=0.6, batch=0.2, insert=0.1, delete=0.1),
+        )
+        assert TrafficProfile.from_dict(profile.to_dict()) == profile
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        profile = smoke_profile()
+        doc = json.loads(json.dumps(profile.to_dict()))
+        assert TrafficProfile.from_dict(doc) == profile
+
+    def test_from_dict_rejects_unknown_schema(self):
+        doc = smoke_profile().to_dict()
+        doc["schema_version"] = 999
+        with pytest.raises(InvalidQueryError):
+            TrafficProfile.from_dict(doc)
+
+    def test_scaled_replaces_without_mutating(self):
+        base = smoke_profile()
+        scaled = base.scaled(tenants=3)
+        assert scaled.tenants == 3
+        assert base.tenants != 3
+        assert scaled.phases == base.phases

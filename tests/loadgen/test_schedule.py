@@ -1,0 +1,146 @@
+"""Tests for schedule building: determinism, open-loop shape, pool safety."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.loadgen import (
+    OpMix,
+    Phase,
+    TrafficProfile,
+    ZipfSampler,
+    build_schedule,
+    op_counts,
+    smoke_profile,
+)
+from repro.workloads import uniform_boxes
+
+
+def _objects(n=60, seed=3):
+    return uniform_boxes(n, dims=2, seed=seed)
+
+
+class TestZipfSampler:
+    def test_draws_are_deterministic_under_fixed_seed(self):
+        sampler = ZipfSampler(50, 1.1)
+        a = [sampler.sample(random.Random(9)) for _ in range(1)]
+        first = [ZipfSampler(50, 1.1).sample(random.Random(9)) for _ in range(3)]
+        assert first[0] == first[1] == first[2] == a[0]
+        rng1, rng2 = random.Random(9), random.Random(9)
+        seq1 = [sampler.sample(rng1) for _ in range(200)]
+        seq2 = [sampler.sample(rng2) for _ in range(200)]
+        assert seq1 == seq2
+
+    def test_rank_zero_dominates_with_skew(self):
+        sampler = ZipfSampler(20, 1.2)
+        rng = random.Random(4)
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        counts = [draws.count(rank) for rank in range(3)]
+        assert counts[0] > counts[1] > draws.count(10)
+        assert all(0 <= d < 20 for d in draws)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.1)
+
+
+class TestScheduleDeterminism:
+    def test_two_builds_produce_identical_op_streams(self):
+        profile = smoke_profile(seed=17)
+        objects = _objects()
+        first = build_schedule(profile, objects)
+        second = build_schedule(profile, objects)
+        # Boxes are frozen dataclasses, so whole ScheduledOps compare exactly.
+        assert first == second
+
+    def test_different_seeds_produce_different_streams(self):
+        objects = _objects()
+        a = build_schedule(smoke_profile(seed=1), objects)
+        b = build_schedule(smoke_profile(seed=2), objects)
+        assert a != b
+
+
+class TestScheduleShape:
+    def test_arrivals_are_sorted_and_inside_the_run(self):
+        profile = smoke_profile()
+        ops = build_schedule(profile, _objects())
+        times = [op.t for op in ops]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+        assert times[-1] < profile.total_duration_s
+
+    def test_every_phase_contributes_and_is_labelled(self):
+        profile = smoke_profile()
+        ops = build_schedule(profile, _objects())
+        phase_names = {op.phase for op in ops}
+        assert phase_names == {p.name for p in profile.phases}
+
+    def test_op_counts_track_the_mix(self):
+        profile = smoke_profile()
+        counts = op_counts(build_schedule(profile, _objects(200)))
+        total = sum(counts.values())
+        # Point queries carry 70% of the default mix; a schedule where they
+        # don't dominate means the class draw ignored the weights.
+        assert counts["point"] > 0.5 * total
+        assert all(counts[name] > 0 for name in ("batch", "insert", "delete"))
+
+    def test_query_payloads_match_op_class(self):
+        profile = smoke_profile()
+        for op in build_schedule(profile, _objects()):
+            if op.op == "point":
+                assert len(op.queries) == 1 and op.obj is None
+            elif op.op == "batch":
+                assert len(op.queries) == profile.batch_size and op.obj is None
+            else:
+                assert op.queries == () and op.obj is not None
+                assert not op.check
+
+    def test_ramp_phase_back_loads_arrivals(self):
+        profile = TrafficProfile(
+            seed=5,
+            phases=(Phase("ramp", duration_s=2.0, rate=20.0, rate_end=400.0),),
+        )
+        times = [op.t for op in build_schedule(profile, _objects())]
+        early = sum(1 for t in times if t < 1.0)
+        late = len(times) - early
+        # Intensity triples over the phase, so the second half must hold
+        # clearly more arrivals than the first.
+        assert late > 1.5 * early
+
+    def test_deletes_never_reference_unknown_objects(self):
+        profile = smoke_profile().scaled(mix=OpMix(point=0.2, batch=0.05, insert=0.3, delete=0.45))
+        initial = _objects(10)
+        live = {tuple(map(tuple, (b.low, b.high))) + (v,) for b, v in initial}
+        for op in build_schedule(profile, initial):
+            if op.obj is None:
+                continue
+            key = tuple(map(tuple, (op.obj[0].low, op.obj[0].high))) + (op.obj[1],)
+            if op.op == "insert":
+                live.add(key)
+            else:
+                assert key in live, "delete of an object the stream never owned"
+                live.remove(key)
+
+    def test_empty_pool_turns_deletes_into_inserts(self):
+        profile = smoke_profile().scaled(mix=OpMix(point=0.1, batch=0.0, insert=0.1, delete=0.8))
+        ops = build_schedule(profile, [])  # no initial objects at all
+        counts = op_counts(ops)
+        inserts_seen = 0
+        for op in ops:
+            if op.op == "insert":
+                inserts_seen += 1
+            elif op.op == "delete":
+                assert inserts_seen > 0, "delete scheduled before any insert"
+        assert counts["delete"] <= counts["insert"]
+
+
+class TestCheckSampling:
+    def test_check_fraction_zero_and_one(self):
+        objects = _objects()
+        none = build_schedule(smoke_profile().scaled(check_fraction=0.0), objects)
+        assert not any(op.check for op in none)
+        every = build_schedule(smoke_profile().scaled(check_fraction=1.0), objects)
+        queries = [op for op in every if op.op in ("point", "batch")]
+        assert queries and all(op.check for op in queries)

@@ -91,7 +91,11 @@ class TestSpanStructure:
         assert root["name"] == "box_sum"
         corners = [c for c in root["children"] if c["name"] == "dominance_sum"]
         assert len(corners) == 4  # 2^d corner dominance-sums
-        assert all(c["name"].endswith("ba.dominance_sum") for corner in corners for c in corner["children"])
+        assert all(
+            c["name"].endswith("ba.dominance_sum")
+            for corner in corners
+            for c in corner["children"]
+        )
 
     def test_node_visits_are_recorded_as_events(self):
         index = build_index("ecdf-bu", 2)

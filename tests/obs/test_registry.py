@@ -205,3 +205,62 @@ class TestCollectors:
         for collector in collectors:
             reg.unregister_collector(collector)
         assert reg.collect() == []
+
+
+class TestPercentileEstimation:
+    def test_p99_tracks_exact_percentile_within_bucket_width(self):
+        import random
+
+        from repro.obs import estimate_percentile
+
+        rng = random.Random(41)
+        samples = [rng.uniform(0.0, 100.0) for _ in range(5000)]
+        width = 2.0
+        bounds = [width * i for i in range(1, 51)]  # 2, 4, ..., 100
+        counts = [0] * (len(bounds) + 1)
+        for s in samples:
+            for i, bound in enumerate(bounds):
+                if s <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+
+        ordered = sorted(samples)
+        for q in (0.50, 0.95, 0.99, 0.999):
+            # Exact percentile by rank over the sorted sample — the oracle
+            # the bucketed estimate is pinned against.
+            rank = q * len(ordered)
+            exact = ordered[min(len(ordered) - 1, max(0, int(rank) - 1))]
+            estimate = estimate_percentile(bounds, counts, q)
+            assert abs(estimate - exact) <= width, (q, exact, estimate)
+
+    def test_degenerate_inputs(self):
+        import pytest
+
+        from repro.obs import estimate_percentile
+
+        assert estimate_percentile([1.0, 2.0], [0, 0, 0], 0.99) == 0.0
+        with pytest.raises(ValueError):
+            estimate_percentile([1.0, 2.0], [1, 1, 1], 1.5)
+        with pytest.raises(ValueError):
+            estimate_percentile([1.0, 2.0], [1, 1], 0.5)  # counts/bounds mismatch
+
+    def test_overflow_bucket_clamps_to_top_bound(self):
+        from repro.obs import estimate_percentile
+
+        # Every observation beyond the last bound: the estimate cannot
+        # invent mass above the histogram's ceiling.
+        assert estimate_percentile([1.0, 2.0], [0, 0, 10], 0.99) == 2.0
+
+    def test_histogram_percentile_uses_label_series(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 1.5, 3.0):
+            h.observe(v, op="read")
+        h.observe(100.0, op="write")
+        assert 0.0 < h.percentile(0.5, op="read") <= 2.0
+        assert h.percentile(0.5, op="write") == 4.0  # overflow clamps
+        assert h.percentile(0.5, op="nope") == 0.0

@@ -36,9 +36,7 @@ def _dims(backend: str) -> int:
 @pytest.mark.parametrize("backend", FAMILIES)
 def test_log_shipping_round_trip_every_family(backend, tmp_path):
     """Kill a member mid-stream, catch up, bootstrap, recover — bit-exact."""
-    report = check_log_shipping(
-        str(tmp_path / "replog"), dims=_dims(backend), backend=backend
-    )
+    report = check_log_shipping(str(tmp_path / "replog"), dims=_dims(backend), backend=backend)
     assert report.ok, str(report)
 
 
@@ -158,9 +156,7 @@ class TestClusterRecovery:
         with self._cluster(
             tmp_path, service_wrapper=chaos_member_wrapper(plan, member=1)
         ) as cluster:
-            objects = [
-                (random_box(rng, 2), float(rng.randint(1, 9))) for _ in range(60)
-            ]
+            objects = [(random_box(rng, 2), float(rng.randint(1, 9))) for _ in range(60)]
             cluster.bulk_load(objects)  # poisons member 1 of every group
             reference.bulk_load(objects)
             for group in cluster.groups:
@@ -174,9 +170,7 @@ class TestClusterRecovery:
             revived = cluster.catch_up_all()
             assert revived == {0: [1], 1: [1], 2: [1]}
             queries = [random_box(rng, 2, max_side=70.0) for _ in range(20)]
-            assert cluster.box_sum_batch(queries) == [
-                reference.box_sum(q) for q in queries
-            ]
+            assert cluster.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]
             # Every member of every group answers identically now.
             for group in cluster.groups:
                 per_member = [m.box_sum_batch(queries) for m in group.members]
@@ -185,9 +179,7 @@ class TestClusterRecovery:
     def test_add_replica_and_pitr_on_a_live_cluster(self, tmp_path):
         rng = random.Random(0xADD)
         with self._cluster(tmp_path) as cluster:
-            objects = [
-                (random_box(rng, 2), float(rng.randint(1, 9))) for _ in range(50)
-            ]
+            objects = [(random_box(rng, 2), float(rng.randint(1, 9))) for _ in range(50)]
             cluster.bulk_load(objects)
             cluster.checkpoint()
             queries = [random_box(rng, 2, max_side=70.0) for _ in range(12)]

@@ -84,9 +84,7 @@ class TestWriteAndFold:
 
 class TestCheckpointRetention:
     def test_checkpoint_prunes_log_history(self, tmp_path):
-        with make_replog(
-            tmp_path, segment_bytes=256, checkpoint_retain=1
-        ) as rl:
+        with make_replog(tmp_path, segment_bytes=256, checkpoint_retain=1) as rl:
             for op in seeded_ops(15):
                 rl.record(op)
             rl.checkpoint()
@@ -131,9 +129,7 @@ class TestRestore:
             rl.checkpoint()
             # Restore onto a *different* backend: the logical multiset, not
             # the tree layout, is the contract.
-            replica = QueryService(
-                BoxSumIndex(2, backend=backend), registry=MetricsRegistry()
-            )
+            replica = QueryService(BoxSumIndex(2, backend=backend), registry=MetricsRegistry())
             report = rl.restore_into(replica)
             assert report.epoch == rl.epoch_at(rl.head_lsn)
             assert replica.epoch == live.epoch == report.epoch
@@ -193,13 +189,9 @@ class TestPointInTimeRecovery:
             service = rl.recover_to(18, index_factory=lambda: BoxSumIndex(2))
             assert service.epoch == rl.epoch_at(18)
             queries = [random_box(rng, 2, max_side=80.0) for _ in range(20)]
-            assert service.box_sum_batch(queries) == [
-                oracle.box_sum(q) for q in queries
-            ]
+            assert service.box_sum_batch(queries) == [oracle.box_sum(q) for q in queries]
             # The head moved on: at least one answer differs.
-            head_service = rl.recover_to(
-                rl.head_lsn, index_factory=lambda: BoxSumIndex(2)
-            )
+            head_service = rl.recover_to(rl.head_lsn, index_factory=lambda: BoxSumIndex(2))
             assert service.box_sum_batch(queries) != head_service.box_sum_batch(queries)
             service.close()
             head_service.close()
@@ -209,9 +201,7 @@ class TestServiceAttachedLog:
     def test_service_mutations_ship_and_checkpoint(self, tmp_path):
         rng = random.Random(0xA11)
         with make_replog(tmp_path) as rl:
-            service = QueryService(
-                BoxSumIndex(2), registry=MetricsRegistry(), oplog=rl
-            )
+            service = QueryService(BoxSumIndex(2), registry=MetricsRegistry(), oplog=rl)
             for _ in range(12):
                 service.insert(random_box(rng, 2), float(rng.randint(1, 9)))
             service.set_meta("k", b"v")

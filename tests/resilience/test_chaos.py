@@ -97,9 +97,7 @@ class TestInjection:
 
     def test_mutations_opt_in(self, rng):
         service = make_service(rng)
-        faulty = FaultyQueryService(
-            service, ChaosPlan(seed=0, raise_rate=1.0, mutations=True)
-        )
+        faulty = FaultyQueryService(service, ChaosPlan(seed=0, raise_rate=1.0, mutations=True))
         with pytest.raises(InjectedFaultError):
             faulty.insert(Box((1.0, 1.0), (2.0, 2.0)), 1.0)
 

@@ -156,9 +156,7 @@ class TestReplicatedClusterPlumbing:
                 reference.insert(box, value)
                 cluster.insert(box, value)
             queries = [random_box(rng, 2, max_side=60.0) for _ in range(15)]
-            assert cluster.box_sum_batch(queries) == [
-                reference.box_sum(q) for q in queries
-            ]
+            assert cluster.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]
 
     def test_failover_router_reads_policy_from_config(self):
         from repro.resilience import FailoverRouter

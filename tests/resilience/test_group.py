@@ -55,9 +55,7 @@ class TestFailoverExactness:
 
     def test_dead_primary_fails_over_exactly(self, rng):
         objects = exact_objects(rng)
-        primary = FaultyQueryService(
-            make_member(objects), ChaosPlan(seed=0, raise_rate=1.0)
-        )
+        primary = FaultyQueryService(make_member(objects), ChaosPlan(seed=0, raise_rate=1.0))
         replica = make_member(objects)
         with ReplicaGroup(
             0, [primary, replica], config=fast_config(), registry=MetricsRegistry()
@@ -71,9 +69,7 @@ class TestFailoverExactness:
     def test_mutations_fan_out_to_every_member(self, rng):
         objects = exact_objects(rng)
         members = [make_member(objects) for _ in range(2)]
-        with ReplicaGroup(
-            0, members, config=fast_config(), registry=MetricsRegistry()
-        ) as group:
+        with ReplicaGroup(0, members, config=fast_config(), registry=MetricsRegistry()) as group:
             group.insert(Box((20.0, 20.0), (30.0, 30.0)), 5.0)
             group.delete(*objects[0])
             assert members[0].box_sum(QUERY) == members[1].box_sum(QUERY)
@@ -117,12 +113,8 @@ class TestPoisoning:
 
     def test_all_members_failing_a_mutation_raises(self, rng):
         objects = exact_objects(rng)
-        members = [
-            self.ExplodingOnInsert(make_member(objects), explode_at=0) for _ in range(2)
-        ]
-        with ReplicaGroup(
-            0, members, config=fast_config(), registry=MetricsRegistry()
-        ) as group:
+        members = [self.ExplodingOnInsert(make_member(objects), explode_at=0) for _ in range(2)]
+        with ReplicaGroup(0, members, config=fast_config(), registry=MetricsRegistry()) as group:
             with pytest.raises(ShardUnavailableError):
                 group.insert(Box((1.0, 1.0), (2.0, 2.0)), 1.0)
             with pytest.raises(ShardUnavailableError):
@@ -266,7 +258,9 @@ class TestLifecycle:
         flaky = FaultyQueryService(make_member(objects), ChaosPlan(seed=0, raise_rate=0.3))
         healthy = make_member(objects)
         with ReplicaGroup(
-            0, [flaky, healthy], config=fast_config(max_attempts=4),
+            0,
+            [flaky, healthy],
+            config=fast_config(max_attempts=4),
             registry=MetricsRegistry(),
         ) as group:
             expected = healthy.box_sum(QUERY)

@@ -66,9 +66,7 @@ class TestExactnessBound:
         assert partial.exact_indices() == []
 
     def test_unknown_queries_prove_nothing(self):
-        partial = PartialResult(
-            [5.0], answered=[0], missing=[1], missing_extents={1: box(0, 1)}
-        )
+        partial = PartialResult([5.0], answered=[0], missing=[1], missing_extents={1: box(0, 1)})
         assert not partial.is_exact(0)
         assert partial.exact_indices() == []
 

@@ -45,9 +45,7 @@ def make_group(members, tmp_path=None, **kwargs):
     replog = None
     if tmp_path is not None:
         replog = ReplicationLog(str(tmp_path / "replog"), registry=MetricsRegistry())
-    kwargs.setdefault(
-        "config", ResilienceConfig(max_attempts=3, backoff_base_s=0.0, seed=0)
-    )
+    kwargs.setdefault("config", ResilienceConfig(max_attempts=3, backoff_base_s=0.0, seed=0))
     group = ReplicaGroup(
         0,
         members,

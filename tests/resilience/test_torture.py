@@ -21,9 +21,7 @@ def test_check_failover_default_modes():
 
 
 def test_check_failover_with_hang_mode_and_deadlines():
-    report = check_failover(
-        modes=("raise", "hang"), n_objects=60, n_batches=12, seed=1
-    )
+    report = check_failover(modes=("raise", "hang"), n_objects=60, n_batches=12, seed=1)
     assert report.ok, report.failures
 
 

@@ -47,12 +47,8 @@ class TestAggregateQueries:
             assert ar_tree.box_sum(q) == pytest.approx(plain.box_sum(q), abs=1e-6)
 
     def test_containment_pruning_reduces_io(self, rng):
-        objects = [
-            (random_box(rng, 2, span=1.0, max_side=0.01), 1.0) for _ in range(8000)
-        ]
-        ar_tree, ctx_a = make_ar(
-            page_size=2048, leaf_capacity=None, internal_capacity=None
-        )
+        objects = [(random_box(rng, 2, span=1.0, max_side=0.01), 1.0) for _ in range(8000)]
+        ar_tree, ctx_a = make_ar(page_size=2048, leaf_capacity=None, internal_capacity=None)
         ar_tree.bulk_load(objects)
         ctx_p = StorageContext(page_size=2048, buffer_pages=None)
         plain = RStarTree(ctx_p, 2)
@@ -76,9 +72,7 @@ class TestAggregateQueries:
 class TestPathBuffer:
     def test_repeated_query_upper_levels_are_free(self, rng):
         tree, ctx = make_ar(page_size=2048, buffer_pages=4)
-        tree.bulk_load(
-            [(random_box(rng, 2, span=1.0, max_side=0.005), 1.0) for _ in range(5000)]
-        )
+        tree.bulk_load([(random_box(rng, 2, span=1.0, max_side=0.005), 1.0) for _ in range(5000)])
         q = Box((0.4, 0.4), (0.400001, 0.400001))
         tree.box_sum(q)
         before = ctx.counter.snapshot()
@@ -88,9 +82,7 @@ class TestPathBuffer:
 
     def test_disabled_path_buffer_pays_lru(self, rng):
         tree, ctx = make_ar(page_size=2048, buffer_pages=1, use_path_buffer=False)
-        tree.bulk_load(
-            [(random_box(rng, 2, span=1.0, max_side=0.005), 1.0) for _ in range(3000)]
-        )
+        tree.bulk_load([(random_box(rng, 2, span=1.0, max_side=0.005), 1.0) for _ in range(3000)])
         q = Box((0.4, 0.4), (0.400001, 0.400001))
         tree.box_sum(q)
         before = ctx.counter.snapshot()
@@ -128,9 +120,7 @@ class TestFunctionalARTree:
             )
 
     def test_bulk_load_path(self, rng):
-        objects = [
-            (random_box(rng, 2), self._random_poly(rng)) for _ in range(300)
-        ]
+        objects = [(random_box(rng, 2), self._random_poly(rng)) for _ in range(300)]
         ctx = StorageContext(buffer_pages=None)
         tree = FunctionalARTree(ctx, 2, leaf_capacity=8, internal_capacity=8)
         tree.bulk_load(objects)
@@ -148,9 +138,7 @@ class TestFunctionalARTree:
         tree = FunctionalARTree(ctx, 2, leaf_capacity=8, internal_capacity=8)
         tree.insert(Box((0.0, 0.0), (2.0, 3.0)), 4.0)
         # Full containment: 4 * area = 24.
-        assert tree.functional_box_sum(Box((-1.0, -1.0), (9.0, 9.0))) == (
-            pytest.approx(24.0)
-        )
+        assert tree.functional_box_sum(Box((-1.0, -1.0), (9.0, 9.0))) == (pytest.approx(24.0))
 
     def test_partial_overlap_integrates_exactly(self):
         ctx = StorageContext(buffer_pages=None)
@@ -158,9 +146,7 @@ class TestFunctionalARTree:
         f = Polynomial.variable(2, 0) - Polynomial.constant(2, 2.0)
         tree.insert(Box((5.0, 3.0), (20.0, 15.0)), f)
         # The paper's Figure 3b: (11-7) * ∫_15^20 (x-2) dx = 310.
-        assert tree.functional_box_sum(Box((15.0, 7.0), (30.0, 11.0))) == (
-            pytest.approx(310.0)
-        )
+        assert tree.functional_box_sum(Box((15.0, 7.0), (30.0, 11.0))) == (pytest.approx(310.0))
 
     def test_degree_two_reduces_leaf_fanout(self):
         ctx = StorageContext(buffer_pages=None)
@@ -174,6 +160,4 @@ class TestFunctionalARTree:
         box = Box((0.0, 0.0), (4.0, 4.0))
         tree.insert(box, 3.0)
         tree.delete(box, 3.0)
-        assert tree.functional_box_sum(Box((0.0, 0.0), (9.0, 9.0))) == (
-            pytest.approx(0.0)
-        )
+        assert tree.functional_box_sum(Box((0.0, 0.0), (9.0, 9.0))) == (pytest.approx(0.0))

@@ -118,9 +118,7 @@ class TestStructure:
         reported = list(tree.range_report(query))
         expected = [(b, v) for b, v in objects if b.intersects(query)]
         assert len(reported) == len(expected)
-        assert sum(v for _b, v in reported) == pytest.approx(
-            sum(v for _b, v in expected)
-        )
+        assert sum(v for _b, v in reported) == pytest.approx(sum(v for _b, v in expected))
 
     def test_str_bulk_load_is_compact(self, rng):
         objects = random_objects(rng, 2000, 2)

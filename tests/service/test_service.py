@@ -269,9 +269,7 @@ class TestProbeSnapshot:
 
     def test_snapshot_hits_probe_cache_on_repeat(self, rng):
         index, _oracle, dims = _family_setup(rng, "ba", n=30)
-        identities = [
-            probe.identity for probe in index.probe_plan(random_box(rng, dims))
-        ]
+        identities = [probe.identity for probe in index.probe_plan(random_box(rng, dims))]
         with _service(index) as service:
             first = service.resolve_probe_values(identities)
             second = service.resolve_probe_values(identities)
@@ -325,10 +323,7 @@ class TestObservability:
             for name, labels, value in registry.collect()
         }
         assert snapshot[("repro_service_queries", (("label", "t"),))] == 2.0
-        assert (
-            snapshot[("repro_service_probes", (("label", "t"), ("stage", "planned")))]
-            == 8.0
-        )
+        assert (snapshot[("repro_service_probes", (("label", "t"), ("stage", "planned")))]== 8.0)
         assert snapshot[("repro_service_mutations", (("label", "t"), ("op", "insert")))] == 1.0
 
     def test_stats_snapshot_keys(self, rng):

@@ -57,16 +57,12 @@ def test_bulk_loaded_batch_is_bit_identical(backend, partitioner):
         reference.bulk_load(objects)
         cluster.bulk_load(objects)
         queries = [random_box(rng, dims, max_side=60.0) for _ in range(25)]
-        assert cluster.box_sum_batch(queries) == [
-            reference.box_sum(q) for q in queries
-        ]
+        assert cluster.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]
 
 
 @pytest.mark.parametrize("partitioner", PARTITIONERS)
 @pytest.mark.parametrize("backend", FAMILIES)
-def test_interleaved_mutations_and_rebalance_stay_bit_identical(
-    backend, partitioner
-):
+def test_interleaved_mutations_and_rebalance_stay_bit_identical(backend, partitioner):
     """Satellite acceptance: inserts, deletes and rebalances interleaved
     with query batches, every answer equal to the unsharded index's."""
     rng = random.Random(f"{backend}-{partitioner}-mut")
@@ -74,9 +70,7 @@ def test_interleaved_mutations_and_rebalance_stay_bit_identical(
 
     def check(n_queries=8):
         queries = [random_box(rng, dims, max_side=60.0) for _ in range(n_queries)]
-        assert cluster.box_sum_batch(queries) == [
-            reference.box_sum(q) for q in queries
-        ]
+        assert cluster.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]
 
     with cluster:
         seed = _exact_objects(rng, 60, dims)
@@ -115,9 +109,7 @@ def test_eo82_reduction_is_bit_identical(partitioner):
             cluster.insert(box, value)
         cluster.rebalance()
         queries = [random_box(rng, dims, max_side=60.0) for _ in range(20)]
-        assert cluster.box_sum_batch(queries) == [
-            reference.box_sum(q) for q in queries
-        ]
+        assert cluster.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]
 
 
 def test_single_shard_degenerates_to_unsharded():
@@ -128,6 +120,4 @@ def test_single_shard_degenerates_to_unsharded():
         reference.bulk_load(objects)
         cluster.bulk_load(objects)
         queries = [random_box(rng, dims, max_side=60.0) for _ in range(15)]
-        assert cluster.box_sum_batch(queries) == [
-            reference.box_sum(q) for q in queries
-        ]
+        assert cluster.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]

@@ -106,9 +106,7 @@ def test_shard_admission_slot_is_released_on_gather_failure():
     """The *victim shard's* own gate must not leak either: the exception is
     raised before admission (here), or its finally releases the slot."""
     rng = random.Random(0xFA13)
-    with ShardedService(
-        2, 2, partitioner="kd", workers=0, registry=MetricsRegistry()
-    ) as cluster:
+    with ShardedService(2, 2, partitioner="kd", workers=0, registry=MetricsRegistry()) as cluster:
         cluster.bulk_load(_exact_objects(rng, 40))
         victim = cluster.services[0]
         original = victim.index.probe_value

@@ -107,9 +107,7 @@ class TestShardMap:
 
     def test_rejects_unknown_partitioner(self):
         with pytest.raises(ShardMapError):
-            ShardMap.from_dict(
-                {"version": 1, "partitioner": "nope", "num_shards": 2, "state": {}}
-            )
+            ShardMap.from_dict({"version": 1, "partitioner": "nope", "num_shards": 2, "state": {}})
 
     def test_rejects_kd_leaf_out_of_range(self):
         with pytest.raises(ShardMapError):

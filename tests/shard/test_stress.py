@@ -100,13 +100,9 @@ def test_concurrent_queries_mutations_and_rebalances():
     rng_final = random.Random(0xBEEF)
     queries = [random_box(rng_final, 2, max_side=80.0) for _ in range(20)]
     everything = Box((-10_000.0, -10_000.0), (10_000.0, 10_000.0))
-    assert cluster.box_sum(everything) == pytest.approx(
-        oracle.box_sum(everything), abs=1e-6
-    )
+    assert cluster.box_sum(everything) == pytest.approx(oracle.box_sum(everything), abs=1e-6)
     for query in queries:
-        assert cluster.box_sum(query) == pytest.approx(
-            oracle.box_sum(query), abs=1e-6
-        )
+        assert cluster.box_sum(query) == pytest.approx(oracle.box_sum(query), abs=1e-6)
     cluster.close()
 
 

@@ -42,9 +42,7 @@ class TestEveryWritePoint:
         items = [(float(i), float(i + 1)) for i in range(6)]
 
         def run(at_op):
-            injector = FaultInjector(
-                CrashPoint(at_op=at_op, mode="oserror") if at_op else None
-            )
+            injector = FaultInjector(CrashPoint(at_op=at_op, mode="oserror") if at_op else None)
             completed = 0
             index = make_index(path, create=False, opener=injector.opener)
             try:

@@ -269,9 +269,7 @@ class TestDurableAggIndex:
         with DurableAggIndex.open(path, value_kind="polynomial", poly_dims=2) as index:
             for i in range(100):
                 index.insert(float(i), x)
-        with DurableAggIndex.open(
-            path, value_kind="polynomial", poly_dims=2, create=False
-        ) as r:
+        with DurableAggIndex.open(path, value_kind="polynomial", poly_dims=2, create=False) as r:
             agg = r.dominance_sum(50.0)
             assert agg.evaluate((1.0, 0.0)) == pytest.approx(50.0)
 

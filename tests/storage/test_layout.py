@@ -34,9 +34,7 @@ class TestCapacities:
 
     def test_aggregated_entries_shrink_fanout(self):
         layout = Layout(page_size=8192)
-        assert layout.rtree_internal_capacity(2, True) < layout.rtree_internal_capacity(
-            2, False
-        )
+        assert layout.rtree_internal_capacity(2, True) < layout.rtree_internal_capacity(2, False)
 
     def test_too_small_page_raises(self):
         with pytest.raises(StorageError):

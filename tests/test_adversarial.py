@@ -40,11 +40,18 @@ def test_pathological_patterns_under_tiny_pages(dims, seed):
     gen = _point_generator(rng, dims, anchor=50.0 + seed)
     ba_tree = BATree(
         StorageContext(page_size=8192, buffer_pages=17),
-        dims, leaf_capacity=3, index_capacity=3, spill_bytes=48,
+        dims,
+        leaf_capacity=3,
+        index_capacity=3,
+        spill_bytes=48,
     )
     ecdf_tree = EcdfBTree(
         StorageContext(buffer_pages=11),
-        dims, variant="q", leaf_capacity=3, internal_capacity=3, spill_bytes=48,
+        dims,
+        variant="q",
+        leaf_capacity=3,
+        internal_capacity=3,
+        spill_bytes=48,
     )
     oracle = NaiveDominanceSum(dims)
     inserted = []

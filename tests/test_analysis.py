@@ -31,11 +31,7 @@ class TestTheorem4:
     def test_batree_sits_between(self):
         n = 1_000_000
         assert self.model.bq_query(n) == self.model.batree_query_avg(n)
-        assert (
-            self.model.bu_update(n)
-            < self.model.batree_update_avg(n)
-            < self.model.bq_update(n)
-        )
+        assert (self.model.bu_update(n) < self.model.batree_update_avg(n) < self.model.bq_update(n))
 
     def test_one_dimensional_collapses_to_btree(self):
         model = Theorem4(page_capacity=100, dims=1)
@@ -71,9 +67,7 @@ class TestFitPowerLaw:
 
     def test_noisy_fit(self):
         rng = random.Random(1)
-        points = [
-            (x, 2.0 * x**1.5 * rng.uniform(0.9, 1.1)) for x in (1, 2, 4, 8, 16, 32)
-        ]
+        points = [(x, 2.0 * x**1.5 * rng.uniform(0.9, 1.1)) for x in (1, 2, 4, 8, 16, 32)]
         exponent, _c = fit_power_law(points)
         assert exponent == pytest.approx(1.5, abs=0.15)
 
@@ -113,9 +107,7 @@ class TestAgainstMeasurements:
         from repro.storage import StorageContext
         from repro.workloads import uniform_boxes
 
-        points = [
-            (box.corner((0, 0)), v) for box, v in uniform_boxes(3000, seed=3)
-        ]
+        points = [(box.corner((0, 0)), v) for box, v in uniform_boxes(3000, seed=3)]
         sizes = {}
         for backend in ("ecdf-bu", "ecdf-bq"):
             ctx = StorageContext(page_size=2048, buffer_pages=None)
@@ -134,9 +126,7 @@ class TestAgainstMeasurements:
 
         series = []
         for n in (1000, 2000, 4000, 8000):
-            points = [
-                (box.corner((0, 0)), v) for box, v in uniform_boxes(n, seed=4)
-            ]
+            points = [(box.corner((0, 0)), v) for box, v in uniform_boxes(n, seed=4)]
             ctx = StorageContext(page_size=2048, buffer_pages=None)
             tree = make_dominance_index("ecdf-bu", 2, storage=ctx)
             tree.bulk_load(points)

@@ -21,8 +21,9 @@ def make_border(dims=1, spill_bytes=64, ctx=None):
             return AggBPlusTree(ctx, leaf_capacity=4, internal_capacity=4)
         raise AssertionError("tests only exercise 1-d spill trees")
 
-    return Border(ctx, dims, 0.0, entry_bytes=16, tree_factory=factory,
-                  spill_bytes=spill_bytes), ctx
+    return Border(
+        ctx, dims, 0.0, entry_bytes=16, tree_factory=factory, spill_bytes=spill_bytes
+    ), ctx
 
 
 class TestArrayMode:
@@ -88,9 +89,7 @@ class TestSpill:
             oracle.insert((k,), 1.0)
         assert border.is_spilled
         for q in (0.0, 10.0, 25.0, 60.0):
-            assert border.dominance_sum((q,)) == pytest.approx(
-                oracle.dominance_sum((q,))
-            )
+            assert border.dominance_sum((q,)) == pytest.approx(oracle.dominance_sum((q,)))
 
     def test_bulk_load_large_goes_straight_to_tree(self):
         border, _ctx = make_border(spill_bytes=64)

@@ -84,16 +84,16 @@ class TestSkewedData:
         for box, value in objects:
             oracle.insert(box, value)
         for query in query_boxes(30, 0.01, seed=32):
-            assert index.box_sum(query) == pytest.approx(
-                oracle.box_sum(query), abs=1e-6
-            )
+            assert index.box_sum(query) == pytest.approx(oracle.box_sum(query), abs=1e-6)
 
     def test_all_objects_at_one_point(self):
         """Fully degenerate data: every structure must survive it."""
         box = Box((0.5, 0.5), (0.5, 0.5))
         for backend in ("ba", "ecdf-bu", "ecdf-bq", "ar"):
             index = BoxSumIndex(
-                2, backend=backend, buffer_pages=None,
+                2,
+                backend=backend,
+                buffer_pages=None,
             )
             for _ in range(100):
                 index.insert(box, 1.0)

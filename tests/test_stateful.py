@@ -147,9 +147,7 @@ class _DominanceMachine(RuleBasedStateMachine):
 
     @rule(point=coords)
     def query(self, point):
-        expected = sum(
-            v for p, v in self.model.items() if p[0] < point[0] and p[1] < point[1]
-        )
+        expected = sum(v for p, v in self.model.items() if p[0] < point[0] and p[1] < point[1])
         assert abs(self.tree.dominance_sum(point) - expected) < 1e-6
 
     @rule()
@@ -177,7 +175,11 @@ class EcdfBuMachine(_DominanceMachine):
         from repro.ecdf import EcdfBTree
 
         return EcdfBTree(
-            self.ctx, 2, variant="u", leaf_capacity=4, internal_capacity=4,
+            self.ctx,
+            2,
+            variant="u",
+            leaf_capacity=4,
+            internal_capacity=4,
             spill_bytes=64,
         )
 
@@ -187,7 +189,11 @@ class EcdfBqMachine(_DominanceMachine):
         from repro.ecdf import EcdfBTree
 
         return EcdfBTree(
-            self.ctx, 2, variant="q", leaf_capacity=4, internal_capacity=4,
+            self.ctx,
+            2,
+            variant="q",
+            leaf_capacity=4,
+            internal_capacity=4,
             spill_bytes=64,
         )
 
@@ -196,21 +202,13 @@ TestSlabMachine = SlabMachine.TestCase
 TestSlabMachine.settings = settings(max_examples=30, stateful_step_count=40, deadline=None)
 
 TestAggBPlusTreeMachine = AggBPlusTreeMachine.TestCase
-TestAggBPlusTreeMachine.settings = settings(
-    max_examples=25, stateful_step_count=30, deadline=None
-)
+TestAggBPlusTreeMachine.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)
 
 TestBATreeMachine = BATreeMachine.TestCase
-TestBATreeMachine.settings = settings(
-    max_examples=15, stateful_step_count=25, deadline=None
-)
+TestBATreeMachine.settings = settings(max_examples=15, stateful_step_count=25, deadline=None)
 
 TestEcdfBuMachine = EcdfBuMachine.TestCase
-TestEcdfBuMachine.settings = settings(
-    max_examples=12, stateful_step_count=25, deadline=None
-)
+TestEcdfBuMachine.settings = settings(max_examples=12, stateful_step_count=25, deadline=None)
 
 TestEcdfBqMachine = EcdfBqMachine.TestCase
-TestEcdfBqMachine.settings = settings(
-    max_examples=12, stateful_step_count=25, deadline=None
-)
+TestEcdfBqMachine.settings = settings(max_examples=12, stateful_step_count=25, deadline=None)

@@ -39,9 +39,7 @@ class TestCumulative:
             qs = rng.uniform(0, 100)
             qe = qs + rng.uniform(0, 30)
             expected = brute_cumulative(records, qs, qe)
-            assert index.cumulative_sum(qs, qe) == pytest.approx(
-                sum(expected), abs=1e-6
-            )
+            assert index.cumulative_sum(qs, qe) == pytest.approx(sum(expected), abs=1e-6)
             assert index.cumulative_count(qs, qe) == len(expected)
 
     def test_bulk_load(self):

@@ -16,18 +16,14 @@ class TestDominanceChecks:
     @pytest.mark.parametrize("dims", [1, 2])
     def test_shipped_backends_pass(self, backend, dims):
         def factory():
-            return make_dominance_index(
-                backend, dims, storage=StorageContext(buffer_pages=None)
-            )
+            return make_dominance_index(backend, dims, storage=StorageContext(buffer_pages=None))
 
         report = check_dominance_index(factory, dims=dims, n_points=200, n_queries=60)
         assert report.ok, report.failures[:3]
 
     def test_bulk_load_mode(self):
         def factory():
-            return make_dominance_index(
-                "ba", 2, storage=StorageContext(buffer_pages=None)
-            )
+            return make_dominance_index("ba", 2, storage=StorageContext(buffer_pages=None))
 
         report = check_dominance_index(factory, dims=2, use_bulk_load=True)
         assert report.ok, report.failures[:3]
