@@ -40,6 +40,7 @@ from .smoke import (
     run_smoke,
 )
 from .traffic import run_traffic, traffic_experiment
+from .workers import workers_experiment
 
 EXPERIMENTS = {
     "fig9a": fig9a_index_sizes,
@@ -57,6 +58,7 @@ EXPERIMENTS = {
     "resilience": resilience_experiment,
     "replog": replog_experiment,
     "traffic": traffic_experiment,
+    "workers": workers_experiment,
 }
 
 RESULTS_SCHEMA_VERSION = 1

@@ -55,6 +55,7 @@ from .runmeta import run_metadata
 from .service import service_smoke_metrics
 from .shard import shard_smoke_metrics
 from .traffic import traffic_smoke_metrics
+from .workers import workers_smoke_metrics
 
 #: Version of the BENCH_smoke.json payload format.
 SMOKE_SCHEMA_VERSION = 1
@@ -125,6 +126,7 @@ def _metrics_from_experiments(cfg: BenchConfig, verbose: bool) -> Dict[str, floa
     metrics.update(resilience_smoke_metrics(cfg, verbose=verbose))
     metrics.update(replog_smoke_metrics(cfg, verbose=verbose))
     metrics.update(traffic_smoke_metrics(cfg, verbose=verbose))
+    metrics.update(workers_smoke_metrics(cfg, verbose=verbose))
 
     return metrics
 

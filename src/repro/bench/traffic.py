@@ -52,6 +52,18 @@ TRAFFIC_SHARDS = 4
 #: virtual mode where execution is sequential).
 TRAFFIC_CHAOS_RAISE_RATE = 0.2
 
+#: Seeded latency injection for ``chaos=True`` runs: this fraction of
+#: member calls sleeps for a duration drawn uniformly from
+#: ``TRAFFIC_CHAOS_DELAY_MS`` (milliseconds) — real wall-clock jitter that
+#: exercises the hedged-read machinery under traffic.
+TRAFFIC_CHAOS_DELAY_RATE = 0.15
+TRAFFIC_CHAOS_DELAY_MS = (0.5, 3.0)
+
+#: Hedge trigger for ``chaos=True`` runs: a read still unanswered after
+#: this many seconds races a second member.  Sits inside the injected
+#: delay range so the slow draws actually hedge.
+TRAFFIC_HEDGE_DELAY_S = 0.001
+
 
 def _make_cluster(cfg: BenchConfig, registry: MetricsRegistry, chaos: bool) -> ShardedService:
     kwargs: Dict[str, Any] = {}
@@ -59,10 +71,18 @@ def _make_cluster(cfg: BenchConfig, registry: MetricsRegistry, chaos: bool) -> S
         kwargs.update(
             replicas=1,
             service_wrapper=chaos_member_wrapper(
-                ChaosPlan(seed=cfg.seed, raise_rate=TRAFFIC_CHAOS_RAISE_RATE)
+                ChaosPlan(
+                    seed=cfg.seed,
+                    raise_rate=TRAFFIC_CHAOS_RAISE_RATE,
+                    delay_rate=TRAFFIC_CHAOS_DELAY_RATE,
+                    delay_ms=TRAFFIC_CHAOS_DELAY_MS,
+                )
             ),
             resilience=ResilienceConfig(
-                max_attempts=4, backoff_base_s=0.0, seed=cfg.seed
+                max_attempts=4,
+                backoff_base_s=0.0,
+                hedge_delay_s=TRAFFIC_HEDGE_DELAY_S,
+                seed=cfg.seed,
             ),
         )
     return ShardedService(

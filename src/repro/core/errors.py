@@ -110,6 +110,12 @@ class ServiceOverloadedError(ServiceError):
     plus the optional :attr:`shard` id when a sharded cluster is reporting
     which of its members shed the load — so cluster-level backpressure can
     be attributed without parsing the message.
+
+    The snapshot survives pickling and the RPC wire (see
+    :mod:`repro.rpc.codec`): retryable-overload classification in the
+    replica-group mutation path depends on these attributes, so losing
+    them across a process boundary would silently turn retries into
+    poisonings.
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class ServiceOverloadedError(ServiceError):
         queue_depth: "int | None" = None,
         shard: "int | None" = None,
     ) -> None:
+        self.raw_message = message
         details = []
         if inflight is not None:
             details.append(f"inflight={inflight}")
@@ -133,6 +140,21 @@ class ServiceOverloadedError(ServiceError):
         self.inflight = inflight
         self.queue_depth = queue_depth
         self.shard = shard
+
+    def __reduce__(self):
+        # The default Exception reduction re-inits from the *formatted*
+        # message only, dropping the keyword attributes (and doubling the
+        # detail suffix); rebuild from the raw message + kwargs instead.
+        return (
+            _rebuild_overloaded,
+            (self.raw_message, self.inflight, self.queue_depth, self.shard),
+        )
+
+
+def _rebuild_overloaded(message, inflight, queue_depth, shard) -> "ServiceOverloadedError":
+    return ServiceOverloadedError(
+        message, inflight=inflight, queue_depth=queue_depth, shard=shard
+    )
 
 
 class ServiceClosedError(ServiceError):
@@ -169,6 +191,7 @@ class ShardUnavailableError(ShardError):
         attempts: "int | None" = None,
         members_tried: "tuple[int, ...] | None" = None,
     ) -> None:
+        self.raw_message = message
         details = []
         if shard is not None:
             details.append(f"shard={shard}")
@@ -182,3 +205,41 @@ class ShardUnavailableError(ShardError):
         self.shard = shard
         self.attempts = attempts
         self.members_tried = members_tried
+
+    def __reduce__(self):
+        # Same rationale as ServiceOverloadedError: preserve the outage
+        # attribution attributes across pickling / the RPC wire.
+        return (
+            _rebuild_unavailable,
+            (self.raw_message, self.shard, self.attempts, self.members_tried),
+        )
+
+
+def _rebuild_unavailable(message, shard, attempts, members_tried) -> "ShardUnavailableError":
+    return ShardUnavailableError(
+        message, shard=shard, attempts=attempts, members_tried=members_tried
+    )
+
+
+class RpcError(ReproError):
+    """Base class for failures in the multiprocess RPC transport."""
+
+
+class WireProtocolError(RpcError):
+    """A wire frame was malformed (bad CRC, oversized, truncated header).
+
+    Corruption on an in-memory socketpair means a framing bug, not cosmic
+    rays, so the client treats it like a crashed worker: fail the call,
+    mark the worker dead, let failover take over.
+    """
+
+
+class WorkerCrashedError(RpcError):
+    """The worker process died (EOF / reset) before answering a request.
+
+    The replica-group mutation path poisons a member that raises this —
+    correctly so: the worker may have applied the mutation before dying,
+    and there is no ack to prove it either way.  Recovery is
+    ``WorkerClient.restart()`` (a fresh, empty process) followed by a
+    log-driven ``catch_up``.
+    """

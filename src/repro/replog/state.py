@@ -152,7 +152,16 @@ class LogicalState:
         expanded positives, one ``delete`` per negative instance, and a
         ``set_meta`` per blob when the index exposes the hook.  Epoch
         alignment is the caller's job (:meth:`QueryService.sync_epoch`).
+
+        A service that exposes ``restore_state`` (the RPC
+        :class:`~repro.rpc.WorkerClient` does) takes over wholesale: the
+        in-process path below would mutate the client's *local planning
+        twin* instead of the remote worker, so the whole state ships
+        across the wire in one un-logged frame instead.
         """
+        restore_state = getattr(service, "restore_state", None)
+        if restore_state is not None:
+            return restore_state(self)
         index = service.index
         epoch = service.mutate(lambda: index.bulk_load(self.expanded()), op="restore", record=None)
         for box, value, count in self.negatives():

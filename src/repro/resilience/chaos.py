@@ -36,7 +36,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..core.errors import PageCorruptionError
 from ..core.geometry import Box
@@ -67,6 +67,12 @@ class ChaosPlan:
     raise_rate: float = 0.0
     delay_rate: float = 0.0
     delay_s: float = 0.002
+    #: ``(low_ms, high_ms)``: when set, each injected delay draws its
+    #: duration uniformly from this range (in milliseconds) with the same
+    #: seeded RNG that schedules the faults — variable latency instead of
+    #: the fixed ``delay_s``, which is what makes hedged reads fire on the
+    #: slow draws and win with the fast member's answer.
+    delay_ms: Optional[tuple] = None
     hang_rate: float = 0.0
     hang_s: float = 0.25
     corrupt_rate: float = 0.0
@@ -79,6 +85,12 @@ class ChaosPlan:
         for name in ("raise_rate", "delay_rate", "hang_rate", "corrupt_rate"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        if self.delay_ms is not None:
+            if len(self.delay_ms) != 2:
+                raise ValueError(f"delay_ms must be a (low, high) pair, got {self.delay_ms!r}")
+            low, high = self.delay_ms
+            if not 0 <= low <= high:
+                raise ValueError(f"delay_ms needs 0 <= low <= high, got {self.delay_ms!r}")
 
     def with_seed(self, seed: int) -> "ChaosPlan":
         return replace(self, seed=seed)
@@ -105,8 +117,14 @@ class FaultyQueryService:
 
     # -- injection core ------------------------------------------------------------
 
-    def _draw(self) -> Optional[str]:
-        """One seeded draw per call → the fault kind to apply, if any."""
+    def _draw(self) -> Optional[Tuple[str, float]]:
+        """One seeded draw per call → ``(fault kind, sleep seconds)``, if any.
+
+        The sleep duration for a variable delay (``plan.delay_ms``) is
+        drawn here too, under the same lock and from the same RNG, so the
+        whole fault schedule — kinds *and* durations — replays exactly
+        from the seed.
+        """
         with self._lock:
             self.calls += 1
             if not self.enabled:
@@ -125,20 +143,28 @@ class FaultyQueryService:
             else:
                 return None
             self.faults[kind] += 1
-            return kind
+            sleep_s = 0.0
+            if kind == "delay":
+                if plan.delay_ms is not None:
+                    low, high = plan.delay_ms
+                    sleep_s = self._rng.uniform(low, high) / 1000.0
+                else:
+                    sleep_s = plan.delay_s
+            elif kind == "hang":
+                sleep_s = plan.hang_s
+            return kind, sleep_s
 
     def _misbehave(self) -> None:
-        kind = self._draw()
-        if kind is None:
+        drawn = self._draw()
+        if drawn is None:
             return
+        kind, sleep_s = drawn
         if kind == "raise":
             raise InjectedFaultError(
                 f"chaos: injected failure on {getattr(self.inner, 'label', 'member')!r}"
             )
-        if kind == "delay":
-            time.sleep(self.plan.delay_s)
-        elif kind == "hang":
-            time.sleep(self.plan.hang_s)
+        if kind in ("delay", "hang"):
+            time.sleep(sleep_s)
         elif kind == "corrupt":
             raise PageCorruptionError("chaos: simulated checksum failure (corrupted storage)")
 

@@ -403,6 +403,14 @@ class ReplicaGroup:
                 return None
             lag_before = self.replication_log.head_lsn - self._applied_lsn[mid]
             try:
+                # A crashed process worker (RPC transport) must be respawned
+                # before the log can restore into it: restart() yields a
+                # fresh empty child, restore_into repopulates it, and the
+                # audit below proves the revival bit-exact.
+                member = self.members[mid]
+                restart = getattr(member, "restart", None)
+                if restart is not None and getattr(member, "crashed", False):
+                    restart()
                 report = self.replication_log.restore_into(self.members[mid])
                 self._applied_lsn[mid] = report.upto_lsn
                 reference = next(

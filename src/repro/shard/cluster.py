@@ -105,7 +105,15 @@ class ShardedService:
         individual shards via ``shard_kwargs``.
     workers:
         Scatter fan-out pool size; None sizes it to ``min(num_shards, 8)``,
-        0 keeps the fan-out sequential (deterministic, still exact).
+        0 keeps the fan-out sequential (deterministic, still exact).  The
+        string ``"process"`` switches every shard member to a
+        :class:`~repro.rpc.WorkerClient` — a ``multiprocessing`` child
+        hosting the shard service behind the wire protocol of
+        :mod:`repro.rpc` — with the fan-out pool at its default size so
+        round-trips to different workers overlap.  Answers stay
+        bit-identical; ``index_factory`` is rejected (a factory closure
+        cannot cross the process boundary — use the declarative
+        backend/kwargs form).
     replicas:
         Synchronous replicas per shard beyond the primary.  Any non-zero
         value (or a ``resilience`` config, or a ``service_wrapper``) turns
@@ -166,6 +174,16 @@ class ShardedService:
     ) -> None:
         self.dims = dims
         self.label = label
+        process_workers = workers == "process"
+        if process_workers:
+            workers = None  # fan-out pool reverts to its default sizing
+            if index_factory is not None:
+                raise NotSupportedError(
+                    "workers='process' cannot ship an index_factory closure "
+                    "across the process boundary; use the declarative "
+                    "backend/reduction/measure/index_kwargs form"
+                )
+        self._process_workers = process_workers
         self._map = make_shard_map(partitioner, num_shards, replicas=replicas)
         replicas = self._map.replicas
         registry = registry if registry is not None else get_registry()
@@ -218,6 +236,35 @@ class ShardedService:
                 **replog_options,
             )
 
+        if process_workers:
+            # Imported lazily: the cluster only depends on the RPC layer
+            # when process workers are actually requested.
+            from ..rpc.client import WorkerClient
+            from ..rpc.worker import make_spec
+
+            def build_member(sid: int, member: int, suffix: str, oplog):
+                spec = make_spec(
+                    dims,
+                    backend=backend,
+                    reduction=reduction,
+                    measure=measure,
+                    index_kwargs=index_kwargs,
+                    service_kwargs=shard_kwargs,
+                    label=f"{label}/{suffix}",
+                )
+                return WorkerClient(spec, registry=registry, oplog=oplog)
+
+        else:
+
+            def build_member(sid: int, member: int, suffix: str, oplog):
+                return QueryService(
+                    build_index(sid, member),
+                    registry=registry,
+                    label=f"{label}/{suffix}",
+                    oplog=oplog,
+                    **shard_kwargs,
+                )
+
         self._groups: List[ReplicaGroup] = []
         self._shards: List[Union[QueryService, ReplicaGroup]] = []
         self._build_index = build_index
@@ -230,14 +277,10 @@ class ShardedService:
             members: List[QueryService] = []
             for member in range(1 + replicas):
                 suffix = f"s{sid}" if member == 0 else f"s{sid}r{member}"
-                service = QueryService(
-                    build_index(sid, member),
-                    registry=registry,
-                    label=f"{label}/{suffix}",
-                    # Replicated shards log at the group level; attaching
-                    # the log to members too would double-ship every record.
-                    oplog=replog if not self._resilient else None,
-                    **shard_kwargs,
+                # Replicated shards log at the group level; attaching the
+                # log to members too would double-ship every record.
+                service = build_member(
+                    sid, member, suffix, replog if not self._resilient else None
                 )
                 if service_wrapper is not None:
                     service = service_wrapper(service, sid, member)
@@ -246,12 +289,7 @@ class ShardedService:
 
                 def make_member(sid=sid) -> QueryService:
                     member = next(self._member_ids)
-                    return QueryService(
-                        build_index(sid, member),
-                        registry=registry,
-                        label=f"{label}/s{sid}m{member}",
-                        **shard_kwargs,
-                    )
+                    return build_member(sid, member, f"s{sid}m{member}", None)
 
                 group = ReplicaGroup(
                     sid,

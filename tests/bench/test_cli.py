@@ -27,6 +27,7 @@ class TestCli:
             "resilience",
             "replog",
             "traffic",
+            "workers",
         }
 
     def test_run_reduction_experiment(self, capsys):

@@ -1,0 +1,35 @@
+"""Chaos traffic: seeded latency injection must exercise the hedged reads.
+
+The satellite contract: ``ChaosPlan.delay_ms`` jitter is wired into the
+loadgen chaos run with a hedge trigger (``TRAFFIC_HEDGE_DELAY_S``) inside
+the injected range, so slow draws actually race a second member under
+traffic — and every answer stays exact regardless of who wins.
+"""
+
+from __future__ import annotations
+
+from repro.bench import traffic as traffic_mod
+from repro.bench.smoke import smoke_config
+from repro.loadgen import smoke_profile
+from repro.obs import MetricsRegistry
+
+
+def _hedge_total(registry: MetricsRegistry) -> float:
+    counter = registry.counter("repro_resilience_hedges")
+    return sum(value for _name, _labels, value in counter.samples())
+
+
+def test_chaos_run_hedges_under_traffic_with_exact_answers():
+    cfg = smoke_config()
+    registry = MetricsRegistry()
+    report, _probe_work = traffic_mod._execute(
+        cfg, smoke_profile(seed=cfg.seed), registry, mode="virtual", chaos=True
+    )
+    assert report.to_dict()["checks"]["failed"] == 0
+    assert _hedge_total(registry) > 0
+
+
+def test_chaos_constants_keep_the_hedge_inside_the_delay_range():
+    low_ms, high_ms = traffic_mod.TRAFFIC_CHAOS_DELAY_MS
+    hedge_ms = traffic_mod.TRAFFIC_HEDGE_DELAY_S * 1000.0
+    assert low_ms <= hedge_ms <= high_ms

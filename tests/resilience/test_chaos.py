@@ -125,6 +125,39 @@ class TestInjection:
             ChaosPlan(raise_rate=-0.1)
 
 
+class TestVariableDelay:
+    def test_delay_ms_must_be_an_ordered_pair(self):
+        with pytest.raises(ValueError, match="pair"):
+            ChaosPlan(delay_rate=0.1, delay_ms=(1.0,))
+        with pytest.raises(ValueError, match="low <= high"):
+            ChaosPlan(delay_rate=0.1, delay_ms=(3.0, 1.0))
+        with pytest.raises(ValueError, match="low <= high"):
+            ChaosPlan(delay_rate=0.1, delay_ms=(-1.0, 2.0))
+
+    def test_delay_durations_are_drawn_from_the_range(self, rng):
+        service = make_service(rng)
+        plan = ChaosPlan(seed=13, delay_rate=1.0, delay_ms=(0.5, 3.0))
+        faulty = FaultyQueryService(service, plan)
+        draws = [faulty._draw() for _ in range(25)]
+        assert all(kind == "delay" for kind, _sleep in draws)
+        sleeps = [sleep for _kind, sleep in draws]
+        assert all(0.0005 <= s <= 0.003 for s in sleeps)
+        assert len(set(sleeps)) > 1  # variable, not the fixed delay_s
+
+    def test_delay_schedule_replays_from_the_seed(self, rng):
+        """Kinds *and* durations replay: the duration draw shares the RNG."""
+        service = make_service(rng)
+        plan = ChaosPlan(seed=21, raise_rate=0.2, delay_rate=0.5, delay_ms=(0.1, 2.0))
+        a = FaultyQueryService(service, plan)
+        b = FaultyQueryService(service, plan)
+        assert [a._draw() for _ in range(40)] == [b._draw() for _ in range(40)]
+
+    def test_without_delay_ms_the_fixed_duration_is_used(self, rng):
+        service = make_service(rng)
+        faulty = FaultyQueryService(service, ChaosPlan(seed=2, delay_rate=1.0, delay_s=0.007))
+        assert all(faulty._draw() == ("delay", 0.007) for _ in range(10))
+
+
 class TestClusterSeam:
     def test_wrapper_targets_one_member_with_decorrelated_seeds(self, rng):
         wrapper = chaos_member_wrapper(ChaosPlan(seed=5, raise_rate=0.5), member=1)

@@ -1,0 +1,136 @@
+"""WorkerClient lifecycle and verb coverage against a live child process."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.aggregator import BoxSumIndex
+from repro.core.errors import (
+    DimensionMismatchError,
+    NotSupportedError,
+    ServiceClosedError,
+)
+from repro.core.geometry import Box
+from repro.obs import MetricsRegistry
+from repro.replog.records import DeleteOp, InsertOp, SetMetaOp
+from repro.replog.state import LogicalState
+from repro.rpc import WorkerClient, make_spec
+
+from ..conftest import random_box
+
+
+@pytest.fixture
+def client():
+    spec = make_spec(2, label="test-worker")
+    with WorkerClient(spec, registry=MetricsRegistry()) as c:
+        yield c
+
+
+def exact_objects(rng, n, dims=2):
+    return [(random_box(rng, dims), float(rng.randint(1, 9))) for _ in range(n)]
+
+
+class TestLifecycle:
+    def test_hello_establishes_pid_and_epoch(self, client):
+        assert client.pid is not None and client.pid > 0
+        assert client.epoch == 0
+        assert client.crashed is False
+
+    def test_ping_round_trips_payload(self, client):
+        assert client.ping(b"\x00\xffhello") == b"\x00\xffhello"
+
+    def test_close_is_idempotent_and_final(self, client):
+        client.close()
+        client.close()
+        assert client.closed
+        with pytest.raises(ServiceClosedError):
+            client.ping()
+
+    def test_epoch_after_close_returns_last_known(self, client):
+        client.insert(Box((0.0, 0.0), (1.0, 1.0)), 2.0)
+        assert client.epoch == 1
+        client.close()
+        assert client.epoch == 1
+
+    def test_context_manager_reaps_the_child(self):
+        spec = make_spec(2)
+        with WorkerClient(spec, registry=MetricsRegistry()) as c:
+            proc = c._proc
+            assert proc.is_alive()
+        assert not proc.is_alive()
+
+
+class TestVerbs:
+    def test_mutations_advance_the_epoch(self, client):
+        assert client.insert(Box((0.0, 0.0), (1.0, 1.0)), 2.0) == 1
+        assert client.delete(Box((0.0, 0.0), (1.0, 1.0)), 2.0) == 2
+        assert client.bulk_load([(Box((0.0, 0.0), (2.0, 2.0)), 1.0)]) == 3
+        assert client.set_meta("k", b"blob") == 4
+
+    def test_answers_match_a_local_index_bit_for_bit(self, client):
+        rng = random.Random(0xC11E)
+        objects = exact_objects(rng, 60)
+        reference = BoxSumIndex(2)
+        reference.bulk_load(objects)
+        client.bulk_load(objects)
+        queries = [random_box(rng, 2, max_side=60.0) for _ in range(20)]
+        assert client.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]
+        assert client.box_sum(queries[0]) == reference.box_sum(queries[0])
+
+    def test_resolve_probe_values_matches_local_planning(self, client):
+        rng = random.Random(0xB0B)
+        objects = exact_objects(rng, 40)
+        reference = BoxSumIndex(2)
+        reference.bulk_load(objects)
+        client.bulk_load(objects)
+        query = random_box(rng, 2, max_side=50.0)
+        identities = [probe.identity for probe in client.index.probe_plan(query)]
+        snapshot = client.resolve_probe_values(identities)
+        assert snapshot.values == [reference.probe_value(k, p) for k, p in identities]
+        assert snapshot.epoch == 1
+
+    def test_remote_errors_arrive_as_their_class(self, client):
+        with pytest.raises(DimensionMismatchError):
+            client.insert(Box((0.0,), (1.0,)), 1.0)  # 1-d object into a 2-d worker
+
+    def test_mutate_closures_are_refused(self, client):
+        with pytest.raises(NotSupportedError, match="closures"):
+            client.mutate(lambda: None)
+
+    def test_stats_merge_worker_and_client_sides(self, client):
+        client.insert(Box((0.0, 0.0), (1.0, 1.0)), 1.0)
+        stats = client.stats()
+        assert stats["epoch"] == 1  # worker-side
+        assert stats["rpc.requests"] >= 2  # client-side
+        assert stats["rpc.pid"] == client.pid
+        assert stats["rpc.crashed"] is False
+
+    def test_sync_epoch_aligns_the_worker(self, client):
+        client.sync_epoch(41)
+        assert client.epoch == 41
+
+
+class TestRestore:
+    def test_restore_state_materializes_remotely(self, client):
+        rng = random.Random(0x9E57)
+        objects = exact_objects(rng, 30)
+        state = LogicalState(dims=2)
+        for box, value in objects:
+            state.apply(InsertOp(box, value))
+        removed = objects.pop(5)
+        state.apply(DeleteOp(removed[0], removed[1]))
+        state.apply(SetMetaOp("k", b"blob"))
+
+        client.restore_state(state)
+        reference = BoxSumIndex(2)
+        reference.bulk_load(objects)
+        queries = [random_box(rng, 2, max_side=60.0) for _ in range(10)]
+        assert client.box_sum_batch(queries) == [reference.box_sum(q) for q in queries]
+
+    def test_planning_twin_stays_empty(self, client):
+        client.bulk_load([(Box((0.0, 0.0), (1.0, 1.0)), 3.0)])
+        # The parent-side twin is for data-independent planning only.
+        assert client.index.num_objects == 0
+        assert client.box_sum(Box((-1.0, -1.0), (2.0, 2.0))) == 3.0

@@ -1,0 +1,89 @@
+"""Orphan-process hygiene: no worker child outlives its cluster.
+
+The satellite contract: ``ShardedService.close()`` / ``__exit__`` reap
+every worker child through the graceful-drain → terminate → kill
+escalation, including when the ``with`` block exits abnormally or a
+worker was already dead.  ``multiprocessing.active_children()`` is the
+oracle — it reaps and lists this process's live children.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.geometry import Box
+from repro.obs import MetricsRegistry
+from repro.rpc import WorkerClient, make_spec
+from repro.shard import ShardedService
+
+
+def _rpc_children():
+    return [p for p in multiprocessing.active_children() if "repro-rpc" in (p.name or "")]
+
+
+@pytest.fixture(autouse=True)
+def no_preexisting_workers():
+    assert _rpc_children() == []
+    yield
+    assert _rpc_children() == []
+
+
+def _make_cluster():
+    return ShardedService(
+        2, 3, partitioner="kd", workers="process", registry=MetricsRegistry()
+    )
+
+
+class TestClusterReapsWorkers:
+    def test_close_reaps_all_children(self):
+        cluster = _make_cluster()
+        assert len(_rpc_children()) == 3
+        cluster.close()
+        assert _rpc_children() == []
+
+    def test_close_is_idempotent(self):
+        cluster = _make_cluster()
+        cluster.close()
+        cluster.close()
+        assert _rpc_children() == []
+
+    def test_abnormal_with_exit_still_reaps(self):
+        with pytest.raises(RuntimeError, match="mid-task"):
+            with _make_cluster() as cluster:
+                cluster.bulk_load([(Box((0.0, 0.0), (1.0, 1.0)), 2.0)])
+                assert len(_rpc_children()) == 3
+                raise RuntimeError("caller died mid-task")
+        assert _rpc_children() == []
+
+    def test_close_reaps_an_already_dead_worker(self):
+        with _make_cluster() as cluster:
+            victim = cluster.services[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(victim.pid, 0)
+                except ProcessLookupError:
+                    break
+                time.sleep(0.01)
+        assert _rpc_children() == []
+
+
+class TestClientReapsItsChild:
+    def test_spawn_failure_leaves_no_child(self):
+        # An invalid spec makes the child die before HELLO; the client must
+        # reap it and raise instead of leaking a zombie.
+        with pytest.raises(Exception):
+            WorkerClient(make_spec(2, backend="no-such-backend"), registry=MetricsRegistry())
+        assert _rpc_children() == []
+
+    def test_close_after_crash_reaps(self):
+        client = WorkerClient(make_spec(2), registry=MetricsRegistry())
+        os.kill(client.pid, signal.SIGKILL)
+        client.close()
+        assert _rpc_children() == []

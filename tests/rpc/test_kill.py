@@ -1,0 +1,165 @@
+"""Worker-SIGKILL torture: crash detection, failover, log-shipped revival.
+
+``rpc_stress``-marked: CI repeats this module in the torture loop.  The
+chain under test is the tentpole's fault story end to end — a killed
+worker process surfaces as :class:`WorkerCrashedError` from an ordinary
+method call, the replica group fails reads over to the surviving member,
+a mutation on the dead member poisons it, and ``catch_up`` restarts the
+process and replays the replication log into it, after which the group
+audits and revives it.  Exactness is asserted with ``==`` throughout.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.core.aggregator import BoxSumIndex
+from repro.core.errors import WorkerCrashedError
+from repro.core.geometry import Box
+from repro.obs import MetricsRegistry
+from repro.resilience import ResilienceConfig
+from repro.rpc import WorkerClient, make_spec
+from repro.shard import ShardedService
+
+from ..conftest import random_box
+
+pytestmark = pytest.mark.rpc_stress
+
+
+def _exact_objects(rng, n, dims=2):
+    return [(random_box(rng, dims), float(rng.randint(1, 9))) for _ in range(n)]
+
+
+def _sigkill(pid: int) -> None:
+    os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return
+        time.sleep(0.01)
+
+
+class TestClientCrash:
+    def test_sigkill_surfaces_as_worker_crashed(self):
+        with WorkerClient(make_spec(2), registry=MetricsRegistry()) as client:
+            client.insert(Box((0.0, 0.0), (1.0, 1.0)), 2.0)
+            _sigkill(client.pid)
+            with pytest.raises(WorkerCrashedError):
+                client.ping()
+            assert client.crashed
+            # Every later call fails fast without touching the dead socket.
+            with pytest.raises(WorkerCrashedError):
+                client.box_sum(Box((0.0, 0.0), (1.0, 1.0)))
+            assert client.epoch == 1  # last known value, not a round-trip
+
+    def test_restart_yields_a_fresh_empty_worker(self):
+        with WorkerClient(make_spec(2), registry=MetricsRegistry()) as client:
+            client.bulk_load([(Box((0.0, 0.0), (1.0, 1.0)), 5.0)])
+            old_pid = client.pid
+            _sigkill(old_pid)
+            with pytest.raises(WorkerCrashedError):
+                client.ping()
+            new_pid = client.restart()
+            assert new_pid != old_pid
+            assert not client.crashed
+            # Empty until the caller restores it — that is the contract.
+            assert client.epoch == 0
+            assert client.box_sum(Box((-1.0, -1.0), (2.0, 2.0))) == 0.0
+            client.bulk_load([(Box((0.0, 0.0), (1.0, 1.0)), 5.0)])
+            assert client.box_sum(Box((-1.0, -1.0), (2.0, 2.0))) == 5.0
+
+
+class TestReplicatedFailoverAndRevival:
+    def test_kill_failover_catch_up_revive_exactly(self, tmp_path):
+        rng = random.Random(0xA51)
+        reference = BoxSumIndex(2)
+        cluster = ShardedService(
+            2,
+            2,
+            partitioner="kd",
+            workers="process",
+            replicas=1,
+            resilience=ResilienceConfig(max_attempts=3, backoff_base_s=0.0),
+            replog_dir=str(tmp_path),
+            registry=MetricsRegistry(),
+            label="kill-test",
+        )
+        with cluster:
+            objects = _exact_objects(rng, 60)
+            reference.bulk_load(objects)
+            cluster.bulk_load(objects)
+            queries = [random_box(rng, 2, max_side=60.0) for _ in range(12)]
+            want = [reference.box_sum(q) for q in queries]
+            assert cluster.box_sum_batch(queries) == want
+
+            group = cluster.groups[0]
+            victim = group.members[0]
+            _sigkill(victim.pid)
+
+            # Reads fail over to the surviving replica, answers still exact.
+            assert cluster.box_sum_batch(queries) == want
+
+            # A mutation routed to shard 0 hits every member of its group;
+            # the dead one poisons.  kd-routing may send any one box to the
+            # other shard, so insert until shard 0 receives one.
+            for _ in range(20):
+                box, value = random_box(rng, 2), float(rng.randint(1, 9))
+                reference.insert(box, value)
+                cluster.insert(box, value)
+                if group._poisoned[0]:
+                    break
+            assert group._poisoned[0]
+            want = [reference.box_sum(q) for q in queries]
+            assert cluster.box_sum_batch(queries) == want
+
+            # Catch-up restarts the dead process, replays the log into it,
+            # audits against a healthy member and revives it.
+            revived = cluster.catch_up_all()
+            assert revived.get(0) == [0]
+            assert not any(group._poisoned)
+            assert not victim.crashed
+
+            # The revived worker answers for its shard bit-identically to
+            # the member that never died.
+            survivor = group.members[1]
+            assert victim.box_sum_batch(queries) == survivor.box_sum_batch(queries)
+            assert victim.epoch == survivor.epoch
+            assert cluster.box_sum_batch(queries) == want
+
+    def test_repeated_kill_revive_rounds_stay_exact(self, tmp_path):
+        rng = random.Random(0x5E0)
+        reference = BoxSumIndex(2)
+        cluster = ShardedService(
+            2,
+            1,
+            partitioner="roundrobin",
+            workers="process",
+            replicas=1,
+            resilience=ResilienceConfig(max_attempts=3, backoff_base_s=0.0),
+            replog_dir=str(tmp_path),
+            registry=MetricsRegistry(),
+            label="kill-rounds",
+        )
+        with cluster:
+            objects = _exact_objects(rng, 40)
+            reference.bulk_load(objects)
+            cluster.bulk_load(objects)
+            group = cluster.groups[0]
+            for round_no in range(3):
+                victim = group.members[round_no % 2]
+                _sigkill(victim.pid)
+                box, value = random_box(rng, 2), float(rng.randint(1, 9))
+                reference.insert(box, value)
+                cluster.insert(box, value)
+                assert cluster.catch_up_all().get(0) == [round_no % 2]
+                queries = [random_box(rng, 2, max_side=60.0) for _ in range(8)]
+                assert cluster.box_sum_batch(queries) == [
+                    reference.box_sum(q) for q in queries
+                ]

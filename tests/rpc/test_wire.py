@@ -1,0 +1,125 @@
+"""Framing layer: length-prefix + CRC discipline and the HELLO handshake."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.core.errors import WireProtocolError
+from repro.rpc import wire
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFrames:
+    def test_round_trip_preserves_header_and_payload(self, pair):
+        a, b = pair
+        wire.send_frame(a, wire.REQ_BATCH, wire.FLAG_TRACE, 42, b"payload bytes")
+        kind, flags, rid, payload = wire.recv_frame(b)
+        assert (kind, flags, rid, payload) == (wire.REQ_BATCH, wire.FLAG_TRACE, 42, b"payload bytes")
+
+    def test_empty_payload_round_trips(self, pair):
+        a, b = pair
+        wire.send_frame(a, wire.REQ_PING, 0, 1, b"")
+        assert wire.recv_frame(b) == (wire.REQ_PING, 0, 1, b"")
+
+    def test_back_to_back_frames_stay_separate(self, pair):
+        a, b = pair
+        wire.send_frame(a, wire.REQ_PING, 0, 1, b"one")
+        wire.send_frame(a, wire.REQ_PING, 0, 2, b"two")
+        assert wire.recv_frame(b)[3] == b"one"
+        assert wire.recv_frame(b)[3] == b"two"
+
+    def test_sendall_returns_wire_bytes(self, pair):
+        a, b = pair
+        sent = wire.send_frame(a, wire.REQ_PING, 0, 1, b"xyz")
+        # prefix (8) + header (6) + payload
+        assert sent == 8 + 6 + 3
+
+    def test_crc_corruption_is_rejected(self, pair):
+        a, b = pair
+        body = struct.Struct("<BBI").pack(wire.REQ_PING, 0, 1) + b"hello"
+        frame = bytearray(struct.pack("<II", len(body), zlib.crc32(body)) + body)
+        frame[-1] ^= 0xFF  # flip a payload bit after the CRC was computed
+        a.sendall(bytes(frame))
+        with pytest.raises(WireProtocolError, match="CRC"):
+            wire.recv_frame(b)
+
+    def test_absurd_length_is_rejected_before_reading(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("<II", wire.MAX_FRAME + 1, 0))
+        with pytest.raises(WireProtocolError, match="length"):
+            wire.recv_frame(b)
+
+    def test_undersized_length_is_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("<II", 3, 0))  # shorter than the 6-byte header
+        with pytest.raises(WireProtocolError, match="length"):
+            wire.recv_frame(b)
+
+    def test_peer_close_reads_as_eof(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(EOFError):
+            wire.recv_frame(b)
+
+    def test_mid_frame_close_reads_as_eof(self, pair):
+        a, b = pair
+        body = struct.Struct("<BBI").pack(wire.REQ_PING, 0, 1) + b"truncated"
+        frame = struct.pack("<II", len(body), zlib.crc32(body)) + body
+        a.sendall(frame[: len(frame) - 4])
+        a.close()
+        with pytest.raises(EOFError):
+            wire.recv_frame(b)
+
+    def test_oversize_send_is_refused(self, pair):
+        a, _b = pair
+
+        class FakeSock:
+            def sendall(self, data):  # pragma: no cover - must not be reached
+                raise AssertionError("oversize frame reached the socket")
+
+        with pytest.raises(WireProtocolError, match="MAX_FRAME"):
+            wire.send_frame(FakeSock(), wire.REQ_BULK, 0, 1, b"x" * (wire.MAX_FRAME + 1))
+
+
+class TestHello:
+    def test_round_trip(self):
+        payload = wire.encode_hello(4242, True, 17, "cluster/s3")
+        hello = wire.decode_hello(payload)
+        assert hello == wire.Hello(wire.PROTOCOL_VERSION, 4242, True, 17, "cluster/s3")
+
+    def test_probeless_and_empty_label(self):
+        hello = wire.decode_hello(wire.encode_hello(1, False, 0, ""))
+        assert hello.supports_probes is False
+        assert hello.label == ""
+
+    def test_bad_magic_is_rejected(self):
+        payload = bytearray(wire.encode_hello(1, True, 0, "w"))
+        payload[0] ^= 0xFF
+        with pytest.raises(WireProtocolError, match="magic"):
+            wire.decode_hello(bytes(payload))
+
+    def test_version_mismatch_fails_fast(self):
+        payload = bytearray(wire.encode_hello(1, True, 0, "w"))
+        struct.pack_into("<H", payload, 8, wire.PROTOCOL_VERSION + 1)
+        with pytest.raises(WireProtocolError, match="protocol"):
+            wire.decode_hello(bytes(payload))
+
+    def test_truncated_hello_is_rejected(self):
+        with pytest.raises(WireProtocolError, match="truncated"):
+            wire.decode_hello(b"\x00\x01")
+
+    def test_label_length_mismatch_is_rejected(self):
+        payload = wire.encode_hello(1, True, 0, "worker")
+        with pytest.raises(WireProtocolError, match="label"):
+            wire.decode_hello(payload + b"extra")
