@@ -27,7 +27,15 @@ See :mod:`repro.core.aggregator` for the full facade API and DESIGN.md for
 the architecture and experiment map.
 """
 
+from .approx import (
+    ApproxPolicy,
+    ApproxResult,
+    ApproxSynopsis,
+    ApproxTier,
+    build_synopsis,
+)
 from .core import (
+    BoundedValue,
     Box,
     NaiveBoxSum,
     NaiveDominanceSum,
@@ -119,5 +127,11 @@ __all__ = [
     "CatchUpDaemon",
     "ReplicationLogError",
     "ReplicaDivergedError",
+    "BoundedValue",
+    "ApproxPolicy",
+    "ApproxResult",
+    "ApproxSynopsis",
+    "ApproxTier",
+    "build_synopsis",
     "__version__",
 ]

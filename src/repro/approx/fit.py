@@ -1,0 +1,259 @@
+"""Piecewise low-degree polynomial fits over a cumulative dominance aggregate.
+
+PolyFit (PAPERS.md) answers range aggregates in O(1) with a guaranteed
+error band by fitting low-degree polynomials to the *cumulative* form of
+the data.  This module is that idea specialised to the paper's dominance
+sums: one :class:`GridFit` approximates a single corner structure's
+``DS(x) = sum of weights of points strictly dominated by x``.
+
+Construction is deterministic given the input order:
+
+1. Per dimension, pick cell edges at quantiles of the *distinct* point
+   coordinates.  The first edge is the minimum coordinate and the last is
+   the maximum plus a pad, so clamping a probe into the domain is exact:
+   ``DS`` at the low edge is 0 in that dimension and ``DS`` beyond the
+   high edge equals ``DS`` at it (strict dominance saturates).
+2. Bucket every weighted point into its grid cell and run d-dimensional
+   prefix sums, yielding the exact ``DS`` value at every grid *node*.
+   Three grids are kept — total, positive-part and negative-part
+   weights — because deletes make weights signed.
+3. Per cell, certify an envelope ``[mn, mx]`` that contains ``DS(x)`` for
+   every ``x`` in the cell: dominance is monotone, so moving ``x`` from
+   the cell's low node to its high node can only add the points between
+   the two node frontiers, and the positive/negative part grids bound
+   how much that subset can add or subtract.  A small float guard widens
+   the envelope to absorb IEEE-754 summation-order differences against
+   the exact index.
+4. Fit a polynomial per cell: degree 0 stores the envelope midpoint;
+   degree 1 stores the multilinear interpolant through the ``2^d`` node
+   values (built with :class:`~repro.core.polynomial.Polynomial`
+   arithmetic).  The per-piece max-residual bound ``eps`` certifies
+   ``|fit(x) - DS(x)| <= eps`` over the cell; the *served* band is the
+   sharper node envelope, with the fit clamped into it as the estimate.
+
+A probe is two bisections per dimension plus one polynomial evaluation —
+independent of the number of objects, the O(1) path the degradation tier
+leans on when the exact tree path is unavailable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from itertools import product
+from typing import Iterable, List, NamedTuple, Sequence, Tuple
+
+from ..core.polynomial import Polynomial
+
+Point = Tuple[float, ...]
+
+#: Slack added to every certified envelope: ``REL_GUARD`` scales with the
+#: total absolute weight (covering accumulated rounding over up to ~1e6
+#: additions in either summation order), ``ABS_GUARD`` covers the
+#: all-zero case.
+REL_GUARD = 1e-9
+ABS_GUARD = 1e-12
+
+
+class CellFit(NamedTuple):
+    """One grid cell: a fitted polynomial plus its certified bounds."""
+
+    poly: Polynomial
+    eps: float  # certified max |poly(x) - DS(x)| over the cell
+    lo: float  # certified min of DS over the cell (guard included)
+    hi: float  # certified max of DS over the cell (guard included)
+
+
+def _multilinear(
+    dims: int, lows: Sequence[float], highs: Sequence[float], corners: dict
+) -> Polynomial:
+    """The multilinear interpolant through the cell's 2^d corner values."""
+    poly = Polynomial(dims)
+    for signs, value in corners.items():
+        if value == 0.0:
+            continue
+        term = Polynomial.constant(dims, value)
+        for i in range(dims):
+            width = highs[i] - lows[i]
+            x = Polynomial.variable(dims, i)
+            if signs[i]:
+                basis = (x + Polynomial.constant(dims, -lows[i])).scale(1.0 / width)
+            else:
+                basis = (Polynomial.constant(dims, highs[i]) - x).scale(1.0 / width)
+            term = term * basis
+        poly = poly + term
+    return poly
+
+
+class GridFit:
+    """A piecewise polynomial fit of one corner structure's dominance sum.
+
+    Instances are immutable snapshots; build one with :func:`build_grid_fit`.
+    """
+
+    __slots__ = ("dims", "edges", "shape", "strides", "cells", "points", "weight_scale")
+
+    def __init__(
+        self,
+        dims: int,
+        edges: List[List[float]],
+        shape: List[int],
+        strides: List[int],
+        cells: List[CellFit],
+        points: int,
+        weight_scale: float,
+    ) -> None:
+        self.dims = dims
+        self.edges = edges
+        self.shape = shape
+        self.strides = strides
+        self.cells = cells
+        self.points = points
+        self.weight_scale = weight_scale
+
+    def probe(self, point: Sequence[float]) -> Tuple[float, float, float]:
+        """``(estimate, lo, hi)`` with ``lo <= DS(point) <= hi`` certified.
+
+        Cost: one ``bisect`` per dimension plus one polynomial evaluation,
+        independent of how many points were fitted.
+        """
+        if self.points == 0:
+            return (0.0, 0.0, 0.0)
+        idx = 0
+        clamped: List[float] = []
+        for i in range(self.dims):
+            e = self.edges[i]
+            x = min(max(float(point[i]), e[0]), e[-1])
+            cell = bisect_right(e, x) - 1
+            if cell >= self.shape[i]:
+                cell = self.shape[i] - 1
+            idx += self.strides[i] * cell
+            clamped.append(x)
+        fit = self.cells[idx]
+        est = fit.poly.evaluate(tuple(clamped))
+        return (min(max(est, fit.lo), fit.hi), fit.lo, fit.hi)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    def max_eps(self) -> float:
+        """Largest per-piece residual bound across cells (0.0 when empty)."""
+        return max((c.eps for c in self.cells), default=0.0)
+
+    def max_band(self) -> float:
+        """Widest certified envelope across cells (0.0 when empty)."""
+        return max((c.hi - c.lo for c in self.cells), default=0.0)
+
+    def nbytes(self) -> int:
+        """Byte footprint under the storage cost model (edges + cells)."""
+        total = 8 * sum(len(e) for e in self.edges)
+        for c in self.cells:
+            total += c.poly.nbytes() + 24
+        return total
+
+
+def build_grid_fit(
+    points: Iterable[Tuple[Sequence[float], float]],
+    dims: int,
+    *,
+    pieces: int = 8,
+    degree: int = 1,
+) -> GridFit:
+    """Fit a :class:`GridFit` over weighted points (weights may be signed).
+
+    ``pieces`` caps the number of grid cells per dimension (fewer when the
+    data has fewer distinct coordinates); ``degree`` selects the per-cell
+    fit (0 = constant, 1 = multilinear).  Deterministic in the input order.
+    """
+    if pieces < 1:
+        raise ValueError(f"pieces must be >= 1, got {pieces}")
+    if degree not in (0, 1):
+        raise ValueError(f"degree must be 0 or 1, got {degree}")
+    pts = [(tuple(float(c) for c in p), float(w)) for p, w in points]
+    if not pts:
+        return GridFit(dims, [], [], [], [], 0, 0.0)
+
+    edges: List[List[float]] = []
+    for i in range(dims):
+        coords = sorted({p[i] for p, _ in pts})
+        m = len(coords)
+        g = min(pieces, m)
+        cuts = [coords[(k * m) // g] for k in range(g)]
+        span = coords[-1] - coords[0]
+        cuts.append(coords[-1] + max(span / (2.0 * g), 1e-6))
+        edges.append(cuts)
+
+    shape = [len(e) - 1 for e in edges]
+    strides = [0] * dims
+    acc = 1
+    for i in range(dims - 1, -1, -1):
+        strides[i] = acc
+        acc *= shape[i]
+    nbuckets = acc
+
+    tot = [0.0] * nbuckets
+    pos = [0.0] * nbuckets
+    neg = [0.0] * nbuckets
+    weight_scale = 0.0
+    for p, w in pts:
+        idx = 0
+        for i in range(dims):
+            idx += strides[i] * (bisect_right(edges[i], p[i]) - 1)
+        tot[idx] += w
+        if w >= 0.0:
+            pos[idx] += w
+        else:
+            neg[idx] += w
+        weight_scale += abs(w)
+    guard = REL_GUARD * weight_scale + ABS_GUARD
+
+    # In-place d-dimensional prefix sums: after this, grid[flat(v)] is the
+    # sum over every bucket whose index is <= v component-wise.
+    for grid in (tot, pos, neg):
+        for i in range(dims):
+            stride, size = strides[i], shape[i]
+            for idx in range(nbuckets):
+                if (idx // stride) % size > 0:
+                    grid[idx] += grid[idx - stride]
+
+    def node(grid: List[float], v: Tuple[int, ...]) -> float:
+        # DS at grid node v under strict dominance: the cumulative sum of
+        # buckets strictly below it, i.e. the prefix value at v - 1.
+        idx = 0
+        for i in range(dims):
+            if v[i] == 0:
+                return 0.0
+            idx += strides[i] * (v[i] - 1)
+        return grid[idx]
+
+    corner_signs = list(product((0, 1), repeat=dims))
+    cells: List[CellFit] = []
+    for idx in range(nbuckets):
+        c = tuple((idx // strides[i]) % shape[i] for i in range(dims))
+        nlo = c
+        nhi = tuple(ci + 1 for ci in c)
+        ds_lo = node(tot, nlo)
+        # Moving x from the cell's low node to its high node can only pick
+        # up points between the two frontiers; those contribute at least
+        # the negative part and at most the positive part of that slab.
+        mn = ds_lo + (node(neg, nhi) - node(neg, nlo)) - guard
+        mx = ds_lo + (node(pos, nhi) - node(pos, nlo)) + guard
+        corners = {
+            s: node(tot, tuple(c[i] + s[i] for i in range(dims))) for s in corner_signs
+        }
+        if degree == 0:
+            poly = Polynomial.constant(dims, 0.5 * (mn + mx))
+            eps = 0.5 * (mx - mn)
+        else:
+            lows = [edges[i][c[i]] for i in range(dims)]
+            highs = [edges[i][c[i] + 1] for i in range(dims)]
+            poly = _multilinear(dims, lows, highs, corners)
+            pmin = min(corners.values())
+            pmax = max(corners.values())
+            eps = max(pmax - mn, mx - pmin, 0.0)
+        cells.append(CellFit(poly, eps, mn, mx))
+
+    return GridFit(dims, edges, shape, strides, cells, len(pts), weight_scale)
+
+
+__all__ = ["ABS_GUARD", "REL_GUARD", "CellFit", "GridFit", "build_grid_fit"]

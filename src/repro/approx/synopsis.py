@@ -1,0 +1,173 @@
+"""A certified-bounds synopsis answering ``box_sum`` over a snapshot.
+
+An :class:`ApproxSynopsis` carries one :class:`~repro.approx.fit.GridFit`
+per corner structure and answers a box query through the *same* 2^d
+corner-probe reduction the exact indexes use
+(:class:`~repro.core.reduction.CornerReduction`): the exact answer is the
+parity-signed sum of 2^d dominance sums, so summing the per-probe
+certified intervals with interval arithmetic (negation swaps endpoints)
+yields an interval certified to contain the exact answer.
+
+The synopsis is an immutable snapshot, stamped with the epoch/version it
+was built at; the staleness machinery lives one level up in
+:class:`~repro.approx.builder.ApproxTier`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.errors import DimensionMismatchError, NotSupportedError
+from ..core.geometry import Box
+from ..core.reduction import all_signs, CornerReduction
+from ..core.values import BoundedValue
+from .fit import GridFit, build_grid_fit
+
+Signs = Tuple[int, ...]
+
+#: Measures the approximate tier can certify.  AVG and functional measures
+#: would need interval division / coefficient-wise bands; they stay exact-only.
+SUPPORTED_MEASURES = ("sum", "count")
+
+
+def measured_weight(value: float, measure: str) -> float:
+    """The scalar weight one object instance contributes under ``measure``."""
+    return 1.0 if measure == "count" else float(value)
+
+
+class ApproxSynopsis:
+    """Piecewise-polynomial synopsis of a snapshot with certified bounds."""
+
+    __slots__ = ("dims", "measure", "pieces", "degree", "epoch", "version", "_reduction", "_grids")
+
+    def __init__(
+        self,
+        dims: int,
+        grids: Dict[Signs, GridFit],
+        *,
+        measure: str = "sum",
+        pieces: int = 8,
+        degree: int = 1,
+        epoch: int = 0,
+        version: int = 0,
+    ) -> None:
+        self.dims = dims
+        self.measure = measure
+        self.pieces = pieces
+        self.degree = degree
+        self.epoch = epoch
+        self.version = version
+        self._reduction = CornerReduction(dims)
+        self._grids = grids
+
+    @property
+    def probes_per_query(self) -> int:
+        """Corner probes per box query (2^d, each an O(1) grid lookup)."""
+        return self._reduction.num_queries
+
+    def box_sum(self, query: Box) -> BoundedValue:
+        """A certified interval containing the exact box-sum over the snapshot."""
+        if query.dims != self.dims:
+            raise DimensionMismatchError(
+                f"query has {query.dims} dims, synopsis has {self.dims}"
+            )
+        lo = hi = est = 0.0
+        for signs, point, parity in self._reduction.query_plan(query):
+            e, pl, ph = self._grids[signs].probe(point)
+            if parity > 0:
+                lo += pl
+                hi += ph
+                est += e
+            else:
+                lo -= ph
+                hi -= pl
+                est -= e
+        return BoundedValue(lo, hi, est)
+
+    def box_sum_batch(self, queries: Iterable[Box]) -> List[BoundedValue]:
+        """Certified intervals for a batch of queries."""
+        return [self.box_sum(q) for q in queries]
+
+    def num_cells(self) -> int:
+        """Total fitted cells across all corner grids."""
+        return sum(g.num_cells for g in self._grids.values())
+
+    def num_points(self) -> int:
+        """Weighted corner points fitted per grid (one grid's worth)."""
+        return max((g.points for g in self._grids.values()), default=0)
+
+    def max_eps(self) -> float:
+        """Largest per-piece residual bound across every grid."""
+        return max((g.max_eps() for g in self._grids.values()), default=0.0)
+
+    def nbytes(self) -> int:
+        """Byte footprint of the synopsis under the storage cost model."""
+        return sum(g.nbytes() for g in self._grids.values())
+
+    def stats(self) -> Dict[str, float]:
+        """Deterministic introspection counters (cells, bytes, residuals)."""
+        return {
+            "dims": float(self.dims),
+            "grids": float(len(self._grids)),
+            "cells": float(self.num_cells()),
+            "points": float(self.num_points()),
+            "nbytes": float(self.nbytes()),
+            "max_eps": self.max_eps(),
+            "probes_per_query": float(self.probes_per_query),
+            "epoch": float(self.epoch),
+            "version": float(self.version),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ApproxSynopsis(dims={self.dims}, measure={self.measure!r}, "
+            f"cells={self.num_cells()}, points={self.num_points()}, version={self.version})"
+        )
+
+
+def build_synopsis(
+    items: Iterable[Tuple[Box, float, int]],
+    dims: int,
+    *,
+    measure: str = "sum",
+    pieces: int = 8,
+    degree: int = 1,
+    epoch: int = 0,
+    version: int = 0,
+) -> ApproxSynopsis:
+    """Deterministically build a synopsis from ``(box, value, count)`` items.
+
+    ``items`` is the shape :meth:`repro.replog.state.LogicalState.items`
+    yields — counts may be negative (deletes of never-inserted identities),
+    which the signed-weight grids handle natively.
+    """
+    if measure not in SUPPORTED_MEASURES:
+        raise NotSupportedError(
+            f"approximate tier supports measures {SUPPORTED_MEASURES}, not {measure!r}"
+        )
+    weighted: List[Tuple[Box, float]] = []
+    for box, value, count in items:
+        w = measured_weight(value, measure) * count
+        if w != 0.0:
+            weighted.append((box, w))
+    grids: Dict[Signs, GridFit] = {}
+    for signs in all_signs(dims):
+        pts = [(box.corner(signs), w) for box, w in weighted]
+        grids[signs] = build_grid_fit(pts, dims, pieces=pieces, degree=degree)
+    return ApproxSynopsis(
+        dims,
+        grids,
+        measure=measure,
+        pieces=pieces,
+        degree=degree,
+        epoch=epoch,
+        version=version,
+    )
+
+
+__all__ = [
+    "SUPPORTED_MEASURES",
+    "ApproxSynopsis",
+    "build_synopsis",
+    "measured_weight",
+]

@@ -14,6 +14,7 @@ import json
 import sys
 import time
 
+from .approx import approx_experiment
 from .config import BenchConfig
 from .figures import (
     ablation_border_touch,
@@ -59,6 +60,7 @@ EXPERIMENTS = {
     "replog": replog_experiment,
     "traffic": traffic_experiment,
     "workers": workers_experiment,
+    "approx": approx_experiment,
 }
 
 RESULTS_SCHEMA_VERSION = 1
@@ -94,7 +96,9 @@ def _run_smoke_command(args: argparse.Namespace) -> int:
 
 
 def _run_traffic_command(args: argparse.Namespace, cfg: BenchConfig) -> int:
-    payload = run_traffic(cfg, mode=args.mode, chaos=args.chaos, verbose=True)
+    payload = run_traffic(
+        cfg, mode=args.mode, chaos=args.chaos, degrade=args.degrade, verbose=True
+    )
     report = payload["report"]
     if args.json:
         dump_json(payload, args.json)
@@ -157,6 +161,13 @@ def main(argv=None) -> int:
         "--chaos",
         action="store_true",
         help="(traffic only) replicate the cluster and inject seeded read chaos",
+    )
+    parser.add_argument(
+        "--degrade",
+        choices=["off", "bounded"],
+        default=None,
+        help="(traffic only) degradation mode: 'bounded' answers sheds/outages "
+        "from the certified approximate tier instead of rejecting",
     )
     parser.add_argument(
         "--report",

@@ -1,0 +1,146 @@
+"""Approximate-tier experiment: what the bounded synopsis costs and buys.
+
+``python -m repro.bench approx`` builds the :mod:`repro.approx` synopsis
+over a seeded workload and measures it against the exact answers:
+
+* **cells / build pages** — the synopsis footprint: grid cells across the
+  2^d corner transforms and the page-count equivalent of its byte size
+  (this is the whole point — a constant-size sketch of an n-object index);
+* **probes per query** — always 2^d: one envelope probe per corner
+  transform, independent of n;
+* **bound width** — mean/max certified band width as a percentage of the
+  workload's gross weight: how much certainty degraded answers give up;
+* **actual error** — mean distance of the estimate from the exact answer,
+  same scale: how good the polynomial fit is inside its band;
+* **unsound** — queries whose exact answer escapes the certified band.
+  This is pinned at zero in the smoke gate; any other value is a bug in
+  the envelope derivation, not a tuning problem.
+
+Everything here is deterministic under a fixed seed (pure arithmetic, no
+clocks), so every row gates in the smoke baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..approx import build_synopsis
+from ..core.naive import NaiveBoxSum
+from ..workloads import uniform_boxes
+from .config import BenchConfig
+from .report import banner, format_table
+
+#: (metric, value, unit, note)
+Row = Tuple[str, float, str, str]
+
+#: Queries measured per run (side fraction spreads selectivities).
+APPROX_QUERY_SIDE_FRACTION = 0.05
+
+
+def run_approx(cfg: BenchConfig) -> List[Row]:
+    """Build one synopsis, probe it, and compare against the exact oracle."""
+    objects = uniform_boxes(
+        cfg.n, dims=cfg.dims, avg_side_fraction=cfg.avg_side_fraction, seed=cfg.seed
+    )
+    oracle = NaiveBoxSum(cfg.dims)
+    for box, value in objects:
+        oracle.insert(box, value)
+    synopsis = build_synopsis(
+        [(box, value, 1) for box, value in objects], cfg.dims, epoch=0, version=len(objects)
+    )
+
+    queries = [
+        box
+        for box, _value in uniform_boxes(
+            max(cfg.queries, 8),
+            dims=cfg.dims,
+            avg_side_fraction=APPROX_QUERY_SIDE_FRACTION,
+            seed=cfg.seed + 1,
+        )
+    ]
+    scale = sum(abs(value) for _box, value in objects) or 1.0
+    widths: List[float] = []
+    errors: List[float] = []
+    unsound = 0
+    for query in queries:
+        bounded = synopsis.box_sum(query)
+        exact = oracle.box_sum(query)
+        widths.append(100.0 * bounded.width / scale)
+        errors.append(100.0 * abs(bounded.estimate - exact) / scale)
+        if not bounded.contains(exact):
+            unsound += 1
+
+    build_pages = math.ceil(synopsis.nbytes() / cfg.page_size)
+    return [
+        (
+            "cells",
+            float(synopsis.num_cells()),
+            "cells",
+            f"grid cells across {2**cfg.dims} corner transforms",
+        ),
+        (
+            "build_pages",
+            float(build_pages),
+            "pages",
+            f"synopsis bytes / page size ({synopsis.nbytes()} B @ {cfg.page_size} B pages)",
+        ),
+        (
+            "probes_per_query",
+            float(synopsis.probes_per_query),
+            "probes",
+            "one envelope probe per corner transform, independent of n",
+        ),
+        (
+            "mean_width_pct",
+            round(sum(widths) / len(widths), 4),
+            "%",
+            f"mean certified band width over {len(queries)} queries, vs gross weight",
+        ),
+        (
+            "max_width_pct",
+            round(max(widths), 4),
+            "%",
+            "widest certified band of the run",
+        ),
+        (
+            "mean_err_pct",
+            round(sum(errors) / len(errors), 4),
+            "%",
+            "mean |estimate - exact|, same scale (fit quality inside the band)",
+        ),
+        (
+            "unsound",
+            float(unsound),
+            "queries",
+            "exact answers outside the certified band (must be 0)",
+        ),
+    ]
+
+
+def approx_experiment(cfg: BenchConfig, verbose: bool = True) -> List[Row]:
+    """Measure the synopsis footprint, band width and soundness."""
+    rows = run_approx(cfg)
+    if verbose:
+        print(banner(f"approx: bounded synopsis vs exact (n={cfg.n}, d={cfg.dims})"))
+        print(
+            format_table(
+                ["metric", "value", "unit", "note"],
+                [(name, value, unit, note) for name, value, unit, note in rows],
+            )
+        )
+    return rows
+
+
+def approx_smoke_metrics(cfg: BenchConfig, verbose: bool = False) -> Dict[str, float]:
+    """Lower-is-better gate metrics: footprint, band width, soundness."""
+    rows = approx_experiment(cfg, verbose=verbose)
+    return {f"approx.{name}": float(value) for name, value, _unit, _note in rows}
+
+
+__all__ = [
+    "APPROX_QUERY_SIDE_FRACTION",
+    "approx_experiment",
+    "approx_smoke_metrics",
+    "run_approx",
+]

@@ -36,6 +36,7 @@ import json
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from .approx import approx_smoke_metrics
 from .config import BenchConfig
 from .figures import (
     ablation_border_touch,
@@ -127,6 +128,7 @@ def _metrics_from_experiments(cfg: BenchConfig, verbose: bool) -> Dict[str, floa
     metrics.update(replog_smoke_metrics(cfg, verbose=verbose))
     metrics.update(traffic_smoke_metrics(cfg, verbose=verbose))
     metrics.update(workers_smoke_metrics(cfg, verbose=verbose))
+    metrics.update(approx_smoke_metrics(cfg, verbose=verbose))
 
     return metrics
 

@@ -65,8 +65,15 @@ TRAFFIC_CHAOS_DELAY_MS = (0.5, 3.0)
 TRAFFIC_HEDGE_DELAY_S = 0.001
 
 
-def _make_cluster(cfg: BenchConfig, registry: MetricsRegistry, chaos: bool) -> ShardedService:
+def _make_cluster(
+    cfg: BenchConfig,
+    registry: MetricsRegistry,
+    chaos: bool,
+    degrade: Optional[str] = None,
+) -> ShardedService:
     kwargs: Dict[str, Any] = {}
+    if degrade is not None:
+        kwargs["degrade"] = degrade
     if chaos:
         kwargs.update(
             replicas=1,
@@ -119,6 +126,7 @@ def run_traffic(
     profile: Optional[TrafficProfile] = None,
     mode: str = "virtual",
     chaos: bool = False,
+    degrade: Optional[str] = None,
     verbose: bool = False,
 ) -> Dict[str, Any]:
     """One traffic run; returns the schema-versioned payload (report inside)."""
@@ -126,15 +134,24 @@ def run_traffic(
     profile = profile if profile is not None else smoke_profile(seed=cfg.seed)
     registry = MetricsRegistry()
     start = time.time()
-    report, probe_work = _execute(cfg, profile, registry, mode=mode, chaos=chaos)
+    report, probe_work = _execute(cfg, profile, registry, mode=mode, chaos=chaos, degrade=degrade)
     wall = time.time() - start
     if verbose:
-        print(banner(f"traffic: {mode} clock, chaos={'on' if chaos else 'off'}"))
+        print(
+            banner(
+                f"traffic: {mode} clock, chaos={'on' if chaos else 'off'}"
+                + (f", degrade={degrade}" if degrade else "")
+            )
+        )
         print(report.render())
     return {
         "schema_version": TRAFFIC_SCHEMA_VERSION,
         "kind": "bench-traffic",
-        "metadata": run_metadata(cfg, wall_time_s=wall, extra={"mode": mode, "chaos": chaos}),
+        "metadata": run_metadata(
+            cfg,
+            wall_time_s=wall,
+            extra={"mode": mode, "chaos": chaos, "degrade": degrade or "off"},
+        ),
         "probe_work_pct": round(probe_work, 2),
         "report": report.to_dict(),
     }
@@ -146,11 +163,12 @@ def _execute(
     registry: MetricsRegistry,
     mode: str,
     chaos: bool,
+    degrade: Optional[str] = None,
 ) -> Tuple[SLOReport, float]:
     objects = uniform_boxes(
         cfg.n, dims=profile.dims, avg_side_fraction=cfg.avg_side_fraction, seed=cfg.seed
     )
-    with _make_cluster(cfg, registry, chaos) as cluster:
+    with _make_cluster(cfg, registry, chaos, degrade) as cluster:
         cluster.bulk_load(objects)
         generator = LoadGenerator(cluster, profile, initial_objects=objects, registry=registry)
         report = generator.run(mode=mode)

@@ -44,7 +44,15 @@ from .geometry import (
 from .explain import QueryReport, SubQueryCost, explain_box_sum, explain_functional
 from .naive import NaiveBoxSum, NaiveDominanceSum, NaiveFunctionalBoxSum
 from .polynomial import Polynomial, dense_coefficients, poly_sum
-from .values import SumCount, Value, is_zero_value, value_nbytes, values_equal, zero_like
+from .values import (
+    BoundedValue,
+    SumCount,
+    Value,
+    is_zero_value,
+    value_nbytes,
+    values_equal,
+    zero_like,
+)
 
 __all__ = [
     "ReproError",
@@ -68,6 +76,7 @@ __all__ = [
     "Polynomial",
     "dense_coefficients",
     "poly_sum",
+    "BoundedValue",
     "SumCount",
     "Value",
     "value_nbytes",

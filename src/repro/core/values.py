@@ -55,6 +55,89 @@ class SumCount:
         return self.total / self.count
 
 
+@dataclass(frozen=True)
+class BoundedValue:
+    """A certified interval answer: ``lo <= exact <= hi`` plus a point estimate.
+
+    This is the currency of the approximate tier (:mod:`repro.approx`): a
+    synopsis probe returns one, and the ``2^d`` corner probes of a box-sum
+    are combined by *interval arithmetic* — addition adds endpoints,
+    negation swaps them — so the certified band survives every reduction
+    and every cross-shard merge.  IEEE-754 addition is monotone, so
+    accumulating the ``lo``/``estimate``/``hi`` streams in the same order
+    preserves ``lo <= estimate <= hi`` bit-for-bit; the constructor clamps
+    the estimate into the band as a belt-and-suspenders measure.
+
+    A :class:`BoundedValue` is deliberately *not* a ``float`` subclass: a
+    degraded answer must never be confusable with an exact one.
+    """
+
+    lo: float
+    hi: float
+    estimate: float
+
+    def __post_init__(self) -> None:
+        lo, hi = float(self.lo), float(self.hi)
+        if not lo <= hi:
+            raise ValueError(f"invalid interval: lo {lo} > hi {hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "estimate", min(max(float(self.estimate), lo), hi))
+
+    @classmethod
+    def exact(cls, value: float) -> "BoundedValue":
+        """The degenerate interval ``[value, value]`` (an exact contribution)."""
+        v = float(value)
+        return cls(v, v, v)
+
+    @property
+    def width(self) -> float:
+        """Size of the certified band (0.0 when the value is exact)."""
+        return self.hi - self.lo
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the band has collapsed to a single point."""
+        return self.lo == self.hi
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the certified band."""
+        return self.lo <= float(value) <= self.hi
+
+    def widen(self, lo_delta: float, hi_delta: float) -> "BoundedValue":
+        """Grow the band by ``[lo_delta, hi_delta]`` (``lo_delta <= 0 <= hi_delta``).
+
+        Used for bounded staleness: mutations applied after a synopsis was
+        built shift the exact answer by at most their signed-weight
+        envelope, so widening by that envelope keeps the band sound.
+        """
+        if lo_delta > 0 or hi_delta < 0:
+            raise ValueError(f"widen deltas must satisfy lo <= 0 <= hi, got ({lo_delta}, {hi_delta})")
+        return BoundedValue(self.lo + lo_delta, self.hi + hi_delta, self.estimate)
+
+    def __add__(self, other: "BoundedValue | float | int") -> "BoundedValue":
+        if isinstance(other, BoundedValue):
+            return BoundedValue(
+                self.lo + other.lo, self.hi + other.hi, self.estimate + other.estimate
+            )
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            shift = float(other)
+            return BoundedValue(self.lo + shift, self.hi + shift, self.estimate + shift)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "BoundedValue":
+        return BoundedValue(-self.hi, -self.lo, -self.estimate)
+
+    def __sub__(self, other: "BoundedValue | float | int") -> "BoundedValue":
+        if isinstance(other, BoundedValue):
+            return self + (-other)
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            return self + (-float(other))
+        return NotImplemented
+
+
 #: Canonical zero elements, keyed by how the caller wants to aggregate.
 SCALAR_ZERO = 0.0
 SUMCOUNT_ZERO = SumCount(0.0, 0.0)

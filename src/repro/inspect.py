@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List
 
+from .approx.builder import ApproxTier
 from .batree import BATree
 from .bptree import AggBPlusTree
 from .core.errors import NotSupportedError
@@ -60,6 +61,8 @@ def dump(structure: object, max_depth: int = 12) -> str:
         return dump_cluster(structure)
     if isinstance(structure, ReplicaGroup):
         return dump_resilience(structure)
+    if isinstance(structure, ApproxTier):
+        return dump_approx(structure)
     if isinstance(structure, ReplicationLog):
         return dump_replog(structure)
     if isinstance(structure, Tracer):
@@ -241,6 +244,9 @@ def dump_cluster(cluster: ShardedService) -> str:
         f"{_INDENT}rebalancing rounds={int(stats['rebalances'])} "
         f"migrated={int(stats['migrated'])}",
     ]
+    if cluster.approx_tier is not None:
+        for line in dump_approx(cluster.approx_tier).splitlines():
+            lines.append(f"{_INDENT}{line}")
     if cluster.groups:
         for group in cluster.groups:
             for line in dump_resilience(group).splitlines():
@@ -282,6 +288,30 @@ def dump_resilience(target) -> str:
     for mid, (state, trip_count) in enumerate(zip(member_states, trips)):
         role = "primary" if mid == 0 else f"replica{mid}"
         lines.append(f"{_INDENT}member {mid} ({role}) breaker={state} trips={int(trip_count)}")
+    lines.append(f"{_INDENT}available={'yes' if group.available else 'no'}")
+    return "\n".join(lines)
+
+
+# -- approximate tier ---------------------------------------------------------------------
+
+def dump_approx(tier: ApproxTier) -> str:
+    """Approximate-tier outline: policy, mirrors, per-slot synopses."""
+    stats = tier.stats()
+    lines = [
+        f"ApproxTier(label={tier.label}, slots={stats['slots']}, "
+        f"measure={stats['measure']}, desynced={stats['desynced']})",
+        f"{_INDENT}policy pieces={stats['pieces']} degree={stats['degree']} "
+        f"max_staleness={stats['max_staleness']} auto_refresh={stats['auto_refresh']}",
+        f"{_INDENT}version={stats['version']}",
+    ]
+    for slot, snap in enumerate(stats["per_slot"]):
+        built = (
+            f"built@{snap['built_version']}" if snap["built_version"] >= 0 else "unbuilt"
+        )
+        lines.append(
+            f"{_INDENT}slot {slot} {built} pending={snap['pending']} "
+            f"cells={snap['cells']} nbytes={snap['nbytes']} objects={snap['objects']}"
+        )
     return "\n".join(lines)
 
 

@@ -60,7 +60,7 @@ PERCENTILES: Tuple[Tuple[str, float], ...] = (
 class _Series:
     """One (phase, op) cell: fixed buckets plus count/sum/max and outcomes."""
 
-    __slots__ = ("buckets", "count", "sheds", "errors", "partials", "sum_ms", "max_ms")
+    __slots__ = ("buckets", "count", "sheds", "errors", "partials", "bounded", "sum_ms", "max_ms")
 
     def __init__(self) -> None:
         self.buckets = [0] * (len(LATENCY_BUCKETS_MS) + 1)
@@ -68,6 +68,7 @@ class _Series:
         self.sheds = 0
         self.errors = 0
         self.partials = 0
+        self.bounded = 0
         self.sum_ms = 0.0
         self.max_ms = 0.0
 
@@ -92,6 +93,8 @@ class _Series:
         }
         if self.partials:
             out["partials"] = float(self.partials)
+        if self.bounded:
+            out["bounded"] = float(self.bounded)
         if self.count:
             for label, q in PERCENTILES:
                 out[f"{label}_ms"] = round(self.percentile(q), 4)
@@ -188,7 +191,8 @@ class SLOReport:
         lines.append(
             f"resilience: {self.resilience['failover_blips']:g} failover blip(s), "
             f"{self.resilience['unavailable']:g} unavailable, "
-            f"{self.resilience['partial_answers']:g} partial answer(s)"
+            f"{self.resilience['partial_answers']:g} partial answer(s), "
+            f"{self.resilience.get('bounded_answers', 0.0):g} bounded answer(s)"
         )
         return "\n".join(lines)
 
@@ -227,11 +231,20 @@ class TrafficCollector:
 
     # -- recording -----------------------------------------------------------------
 
-    def record_ok(self, phase: str, op: str, latency_ms: float, partial: bool = False) -> None:
+    def record_ok(
+        self,
+        phase: str,
+        op: str,
+        latency_ms: float,
+        partial: bool = False,
+        bounded: bool = False,
+    ) -> None:
         cell = self._cell(phase, op)
         cell.observe(latency_ms)
         if partial:
             cell.partials += 1
+        if bounded:
+            cell.bounded += 1
         self._m_latency.observe(latency_ms / 1000.0, phase=phase, op=op, label=self.label)
         self._m_ops.inc(phase=phase, op=op, outcome="ok", label=self.label)
 
@@ -261,6 +274,7 @@ class TrafficCollector:
         phases: Dict[str, Dict[str, Any]] = {}
         totals = {"offered": 0.0, "completed": 0.0, "sheds": 0.0, "errors": 0.0}
         partials = 0.0
+        bounded = 0.0
         for phase in self.profile.phases:
             ops: Dict[str, Dict[str, float]] = {}
             offered = completed = sheds = errors = 0.0
@@ -274,6 +288,7 @@ class TrafficCollector:
                 sheds += series.sheds
                 errors += series.errors
                 partials += series.partials
+                bounded += series.bounded
             phases[phase.name] = {
                 "duration_s": phase.duration_s,
                 "ops": ops,
@@ -303,6 +318,7 @@ class TrafficCollector:
                 "failover_blips": float(failover_blips),
                 "unavailable": float(unavailable),
                 "partial_answers": float(partials),
+                "bounded_answers": float(bounded),
             },
             extra=dict(extra or {}),
         )

@@ -42,6 +42,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..approx.bounds import ApproxResult
 from ..core.errors import ServiceOverloadedError
 from ..core.geometry import Box
 from ..core.naive import NaiveBoxSum
@@ -152,11 +153,12 @@ class LoadGenerator:
     ) -> None:
         arrival = start + op.t
         try:
-            partial = False
+            partial = bounded = False
             if op.op in ("point", "batch"):
                 outcome = self.cluster.batch(list(op.queries))
                 partial = isinstance(outcome, PartialResult)
-                if not partial:
+                bounded = isinstance(outcome, ApproxResult)
+                if not partial and not bounded:
                     with lock:
                         _note_probes(probes, outcome)
             elif op.op == "insert":
@@ -170,7 +172,7 @@ class LoadGenerator:
                 with lock:
                     applied.append((box, -value))
             latency_ms = 1000.0 * (time.perf_counter() - arrival)
-            collector.record_ok(op.phase, op.op, latency_ms, partial=partial)
+            collector.record_ok(op.phase, op.op, latency_ms, partial=partial, bounded=bounded)
         except ServiceOverloadedError:
             collector.record_shed(op.phase, op.op)
         except Exception:  # noqa: BLE001 — a driver never dies with its target
@@ -194,6 +196,11 @@ class LoadGenerator:
             outcome = self.cluster.box_sum(box)
             if isinstance(outcome, PartialResult):
                 continue  # degraded answers are typed, not wrong — skip, don't fail
+            if isinstance(outcome, ApproxResult):
+                # A bounded answer must *contain* the exact value — that is
+                # the certificate, so failing it is a real soundness bug.
+                collector.record_check(outcome.results[0].contains(oracle.box_sum(box)))
+                continue
             collector.record_check(self._close(outcome, oracle.box_sum(box)))
 
     # -- deterministic virtual-time loop ---------------------------------------------
@@ -236,9 +243,18 @@ class LoadGenerator:
                 and len(waiting) >= max_queue
             )
             if queue_full and op.op in ("point", "batch"):
+                if getattr(self.cluster, "approx_tier", None) is not None:
+                    # Bounded degradation: answer from the synopsis instead of
+                    # shedding.  The synopsis probe bypasses the gate (it does
+                    # no shard work), so the op neither queues nor occupies a
+                    # virtual server — it is priced per probe like a cache hit.
+                    bounded_ms = self._degrade_virtual(op, oracle, collector, hit_cost_ms)
+                    if bounded_ms is not None:
+                        collector.record_ok(op.phase, op.op, bounded_ms, bounded=True)
+                        continue
                 collector.record_shed(op.phase, op.op)
                 continue
-            ok, cost_ms, partial = self._execute_virtual(
+            ok, cost_ms, partial, bounded = self._execute_virtual(
                 op,
                 oracle,
                 collector,
@@ -263,7 +279,9 @@ class LoadGenerator:
             if len(busy) > max_inflight:
                 heapq.heappop(busy)
             makespan = max(makespan, finish)
-            collector.record_ok(op.phase, op.op, 1000.0 * (finish - t), partial=partial)
+            collector.record_ok(
+                op.phase, op.op, 1000.0 * (finish - t), partial=partial, bounded=bounded
+            )
         blips, unavailable = self._resilience_snapshot()
         return collector.report(
             makespan,
@@ -282,10 +300,10 @@ class LoadGenerator:
         probe_cost_ms: float,
         hit_cost_ms: float,
         page_cost_ms: float,
-    ) -> Tuple[bool, float, bool]:
-        """Run one op now; returns (ok, virtual service ms, partial?)."""
+    ) -> Tuple[bool, float, bool, bool]:
+        """Run one op now; returns (ok, virtual service ms, partial?, bounded?)."""
         cost_ms = op_cost_ms
-        partial = False
+        partial = bounded = False
         try:
             if op.op in ("point", "batch"):
                 pages0 = self._pages()
@@ -293,6 +311,14 @@ class LoadGenerator:
                 cost_ms += page_cost_ms * (self._pages() - pages0)
                 if isinstance(outcome, PartialResult):
                     partial = True
+                elif isinstance(outcome, ApproxResult):
+                    # Outage blip converted to a bounded answer: price the
+                    # synopsis probes and check containment, not closeness.
+                    bounded = True
+                    cost_ms += hit_cost_ms * outcome.probes
+                    if op.check:
+                        for box, got in zip(op.queries, outcome.results):
+                            collector.record_check(got.contains(oracle.box_sum(box)))
                 else:
                     _note_probes(probes, outcome)
                     cost_ms += (
@@ -317,10 +343,27 @@ class LoadGenerator:
         except ServiceOverloadedError:
             # Sequential execution cannot saturate the real gate; treat a
             # surprise rejection as what it is at run scale: an error.
-            return False, cost_ms, False
+            return False, cost_ms, False, False
         except Exception:  # noqa: BLE001 — chaos leaks surface as errors, not crashes
-            return False, cost_ms, False
-        return True, cost_ms, partial
+            return False, cost_ms, False, False
+        return True, cost_ms, partial, bounded
+
+    def _degrade_virtual(
+        self,
+        op: ScheduledOp,
+        oracle: NaiveBoxSum,
+        collector: TrafficCollector,
+        hit_cost_ms: float,
+    ) -> Optional[float]:
+        """Answer a would-be-shed query from the synopsis; returns cost or None."""
+        try:
+            outcome = self.cluster.degraded_batch(list(op.queries), reason="overload")
+        except Exception:  # noqa: BLE001 — tier refusal falls back to the shed path
+            return None
+        if op.check:
+            for box, got in zip(op.queries, outcome.results):
+                collector.record_check(got.contains(oracle.box_sum(box)))
+        return VIRTUAL_OP_COST_MS + hit_cost_ms * outcome.probes
 
     # -- shared internals ------------------------------------------------------------
 

@@ -71,7 +71,7 @@ from ..core.errors import (
 from ..core.geometry import Box
 from ..obs import trace as _trace
 from ..obs.registry import MetricsRegistry, get_registry
-from .breaker import FORCED_OPEN, CircuitBreaker
+from .breaker import FORCED_OPEN, OPEN, CircuitBreaker
 from .config import ResilienceConfig
 
 
@@ -234,6 +234,20 @@ class ReplicaGroup:
     def live_members(self) -> Tuple[int, ...]:
         """Member ids not poisoned (breakers may still gate them)."""
         return tuple(mid for mid in range(len(self.members)) if not self._poisoned[mid])
+
+    @property
+    def available(self) -> bool:
+        """True when some member could serve a call *right now*.
+
+        A member counts when it is not poisoned and its breaker is not
+        open — the cheap signal serving uses to decide whether a batch
+        heading at this group is doomed (and worth degrading pre-emptively)
+        without issuing a probe.
+        """
+        return any(
+            not self._poisoned[mid] and self.breakers[mid].state not in (OPEN, FORCED_OPEN)
+            for mid in range(len(self.members))
+        )
 
     # -- mutations (synchronous fan-out) ---------------------------------------------
 

@@ -55,8 +55,9 @@ from ..core.errors import (
     ShardUnavailableError,
     WireProtocolError,
 )
+from ..approx.bounds import ApproxResult
 from ..core.geometry import Box
-from ..core.values import SumCount
+from ..core.values import BoundedValue, SumCount
 from ..resilience.partial import PartialResult
 from ..service.service import BatchResult, ProbeSnapshot
 
@@ -73,6 +74,7 @@ _F64 = struct.Struct("<d")
 VALUE_FLOAT = 0
 VALUE_SUMCOUNT = 1
 VALUE_PICKLE = 2
+VALUE_BOUNDED = 3
 
 
 def _pack_value(parts: List[bytes], value: object) -> None:
@@ -82,6 +84,9 @@ def _pack_value(parts: List[bytes], value: object) -> None:
     elif isinstance(value, SumCount):
         parts.append(_U8.pack(VALUE_SUMCOUNT))
         parts.append(struct.pack("<dd", value.total, value.count))
+    elif isinstance(value, BoundedValue):
+        parts.append(_U8.pack(VALUE_BOUNDED))
+        parts.append(struct.pack("<ddd", value.lo, value.hi, value.estimate))
     else:
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         parts.append(_U8.pack(VALUE_PICKLE))
@@ -98,6 +103,9 @@ def _unpack_value(payload: bytes, offset: int) -> Tuple[object, int]:
     if tag == VALUE_SUMCOUNT:
         total, count = struct.unpack_from("<dd", payload, offset)
         return SumCount(total, count), offset + 16
+    if tag == VALUE_BOUNDED:
+        lo, hi, estimate = struct.unpack_from("<ddd", payload, offset)
+        return BoundedValue(lo, hi, estimate), offset + 24
     if tag == VALUE_PICKLE:
         (length,) = _U32.unpack_from(payload, offset)
         offset += _U32.size
@@ -673,6 +681,80 @@ def decode_partial_result(payload: bytes) -> PartialResult:
     )
 
 
+# -- ApproxResult codec ----------------------------------------------------------
+
+
+def encode_approx_result(result: ApproxResult) -> bytes:
+    """Round-trip codec for certified bounded answers (wire kind for degradation)."""
+    parts: List[bytes] = [_U32.pack(len(result.results))]
+    for bv in result.results:
+        parts.append(struct.pack("<ddd", bv.lo, bv.hi, bv.estimate))
+    _pack_str(parts, result.reason)
+    parts.append(_U64.pack(result.version))
+    parts.append(_U64.pack(result.staleness))
+    parts.append(_U64.pack(result.probes))
+    parts.append(_U16.pack(len(result.answered)))
+    for sid in result.answered:
+        parts.append(_I32.pack(sid))
+    parts.append(_U16.pack(len(result.approximated)))
+    for sid in result.approximated:
+        parts.append(_I32.pack(sid))
+    queries = result.queries
+    if queries is None:
+        parts.append(_U8.pack(0))
+    else:
+        parts.append(_U8.pack(1))
+        _pack_boxes(parts, queries)
+    return b"".join(parts)
+
+
+def decode_approx_result(payload: bytes) -> ApproxResult:
+    (n_results,) = _U32.unpack_from(payload, 0)
+    offset = _U32.size
+    results: List[BoundedValue] = []
+    for _ in range(n_results):
+        lo, hi, estimate = struct.unpack_from("<ddd", payload, offset)
+        offset += 24
+        results.append(BoundedValue(lo, hi, estimate))
+    reason, offset = _unpack_str(payload, offset)
+    (version,) = _U64.unpack_from(payload, offset)
+    offset += _U64.size
+    (staleness,) = _U64.unpack_from(payload, offset)
+    offset += _U64.size
+    (probes,) = _U64.unpack_from(payload, offset)
+    offset += _U64.size
+    (n_answered,) = _U16.unpack_from(payload, offset)
+    offset += _U16.size
+    answered = []
+    for _ in range(n_answered):
+        (sid,) = _I32.unpack_from(payload, offset)
+        offset += _I32.size
+        answered.append(sid)
+    (n_approximated,) = _U16.unpack_from(payload, offset)
+    offset += _U16.size
+    approximated = []
+    for _ in range(n_approximated):
+        (sid,) = _I32.unpack_from(payload, offset)
+        offset += _I32.size
+        approximated.append(sid)
+    (has_queries,) = _U8.unpack_from(payload, offset)
+    offset += _U8.size
+    queries: Optional[List[Box]] = None
+    if has_queries:
+        queries, offset = _unpack_boxes(payload, offset)
+    _check_consumed(payload, offset, "approx result")
+    return ApproxResult(
+        results,
+        reason=reason,
+        approximated=approximated,
+        answered=answered,
+        version=version,
+        staleness=staleness,
+        probes=probes,
+        queries=queries,
+    )
+
+
 __all__ = [
     "ERR_UNKNOWN",
     "ERR_OVERLOADED",
@@ -707,4 +789,6 @@ __all__ = [
     "decode_error",
     "encode_partial_result",
     "decode_partial_result",
+    "encode_approx_result",
+    "decode_approx_result",
 ]

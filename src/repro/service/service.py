@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
+from ..approx.builder import ApproxTier
 from ..core.errors import NotSupportedError, ServiceClosedError, ServiceOverloadedError
 from ..core.geometry import Box
 from ..obs import trace as _trace
@@ -115,6 +116,15 @@ class QueryService:
         write lock — immediately after the epoch bump — so the log's LSN
         sequence is exactly the epoch sequence, which is the invariant
         checkpoint/restore relies on (epoch = ``base_epoch + lsn``).
+    approx:
+        Opt-in bounded degradation.  Pass an
+        :class:`~repro.approx.ApproxPolicy` (a single-slot
+        :class:`~repro.approx.ApproxTier` is built over this index's
+        mutation stream) or a pre-built tier.  When the admission gate
+        would shed a query, the service answers from the synopsis as a
+        typed :class:`~repro.approx.ApproxResult` with certified bounds
+        instead of raising; exact answers are unchanged.  Default ``None``
+        — overload sheds exactly as before.
     """
 
     def __init__(
@@ -130,6 +140,7 @@ class QueryService:
         registry: Optional[MetricsRegistry] = None,
         label: Optional[str] = None,
         oplog=None,
+        approx=None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -168,6 +179,7 @@ class QueryService:
             "result_cache_hits": 0.0,
             "result_cache_misses": 0.0,
             "backend_queries": 0.0,
+            "degraded": 0.0,
         }
         storage = getattr(index, "storage", None)
         if storage is not None:
@@ -180,6 +192,17 @@ class QueryService:
                 max_workers=workers, thread_name_prefix="repro-service"
             )
         registry = registry if registry is not None else get_registry()
+        if approx is not None and not isinstance(approx, ApproxTier):
+            # Accept a bare policy as shorthand for a fresh single-slot tier.
+            approx = ApproxTier(
+                index.dims,
+                1,
+                policy=approx,
+                measure=getattr(index, "measure", "sum"),
+                registry=registry,
+                label=f"{self.label}-approx",
+            )
+        self.approx = approx
         self._m_requests = registry.counter(
             "repro_service_requests", "requests admitted, by kind (single/batch)"
         )
@@ -226,17 +249,62 @@ class QueryService:
 
     # -- queries ---------------------------------------------------------------
 
-    def box_sum(self, query: Box) -> float:
-        """One cached, admission-controlled box-sum."""
-        return self._serve([query], kind="single").results[0]
+    def box_sum(self, query: Box):
+        """One cached, admission-controlled box-sum.
 
-    def box_sum_batch(self, queries: Sequence[Box]) -> List[float]:
+        With an approximate tier attached, overload degrades to a typed
+        :class:`~repro.approx.ApproxResult` instead of shedding.
+        """
+        try:
+            return self._serve([query], kind="single").results[0]
+        except ServiceOverloadedError:
+            degraded = self._degraded([query])
+            if degraded is None:
+                raise
+            return degraded
+
+    def box_sum_batch(self, queries: Sequence[Box]):
         """Answers for a batch, in request order (see :meth:`batch`)."""
-        return self._serve(queries, kind="batch").results
+        try:
+            return self._serve(queries, kind="batch").results
+        except ServiceOverloadedError:
+            degraded = self._degraded(list(queries))
+            if degraded is None:
+                raise
+            return degraded
 
-    def batch(self, queries: Sequence[Box]) -> BatchResult:
+    def batch(self, queries: Sequence[Box]):
         """A batch with its full accounting (epoch, dedup, cache hits)."""
-        return self._serve(queries, kind="batch")
+        try:
+            return self._serve(queries, kind="batch")
+        except ServiceOverloadedError:
+            degraded = self._degraded(list(queries))
+            if degraded is None:
+                raise
+            return degraded
+
+    def degraded_batch(self, queries: Sequence[Box], *, reason: str = "direct"):
+        """Answer straight from the approximate tier (bypasses admission).
+
+        Raises :class:`~repro.core.errors.NotSupportedError` when no tier
+        is attached or the tier refuses (desynced mirrors).
+        """
+        if self.approx is None:
+            raise NotSupportedError(f"service {self.label!r} has no approximate tier")
+        result = self.approx.answer(list(queries), reason=reason)
+        with self._stats_lock:
+            self._counts["degraded"] += 1
+        return result
+
+    def _degraded(self, queries: List[Box]):
+        """Overload fallback: a certified bounded answer, or None to re-raise."""
+        if self.approx is None:
+            return None
+        result = self.approx.try_answer(queries, reason="overload")
+        if result is not None:
+            with self._stats_lock:
+                self._counts["degraded"] += 1
+        return result
 
     def _serve(self, queries: Sequence[Box], kind: str) -> BatchResult:
         queries = list(queries)
@@ -459,6 +527,10 @@ class QueryService:
             epoch = self._epoch
             if self.oplog is not None and record is not None:
                 self.oplog.record(record)
+            if self.approx is not None:
+                # Unrecorded mutations (record=None, e.g. restores) desync
+                # the tier's mirror; it refuses to answer until reseeded.
+                self.approx.note_record(0, record)
         with self._stats_lock:
             self._counts["mutations"] += 1
             self._m_mutations.inc(op=op, label=self.label)
@@ -489,6 +561,8 @@ class QueryService:
             self._epoch = epoch
             self._results.clear()
             self._probes.clear()
+            if self.approx is not None:
+                self.approx.desync()
         with self._stats_lock:
             self._m_epoch.set(epoch, label=self.label)
 

@@ -33,11 +33,14 @@ import threading
 from inspect import signature
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
+from ..approx.bounds import ApproxResult
+from ..approx.builder import ApproxPolicy, ApproxTier
 from ..core.aggregator import BoxSumIndex
 from ..core.errors import (
     NotSupportedError,
     ServiceClosedError,
     ServiceOverloadedError,
+    ShardUnavailableError,
 )
 from ..core.geometry import Box
 from ..obs import trace as _trace
@@ -146,6 +149,19 @@ class ShardedService:
         Extra keyword arguments for each shard's
         :class:`~repro.replog.ReplicationLog` (``segment_bytes``,
         ``fsync``, ``checkpoint_retain``, ...).
+    degrade:
+        ``"off"`` (default) or ``"bounded"``.  With ``"bounded"`` the
+        cluster keeps a per-shard :class:`~repro.approx.ApproxTier` fed
+        from the admitted mutation stream; queries that admission would
+        shed, or whose shards are entirely unavailable, answer from the
+        synopsis as a typed :class:`~repro.approx.ApproxResult` carrying
+        certified ``[lo, hi]`` bounds instead of failing.  Exact-path
+        answers are bit-identical either way — the tier only ever serves
+        requests that would otherwise shed, degrade or raise.
+    approx_policy:
+        The tier's :class:`~repro.approx.ApproxPolicy` (fit granularity
+        and degree, bounded-staleness budget, auto-refresh) when
+        ``degrade="bounded"``; ignored otherwise.
     """
 
     def __init__(
@@ -171,6 +187,8 @@ class ShardedService:
         service_wrapper=None,
         replog_dir: Optional[str] = None,
         replog_options: Optional[Dict[str, object]] = None,
+        degrade: str = "off",
+        approx_policy: Optional[ApproxPolicy] = None,
     ) -> None:
         self.dims = dims
         self.label = label
@@ -198,6 +216,23 @@ class ShardedService:
         self.resilience = (
             (resilience if resilience is not None else ResilienceConfig())
             if self._resilient
+            else None
+        )
+        if degrade not in ("off", "bounded"):
+            raise ValueError(f'degrade must be "off" or "bounded", got {degrade!r}')
+        self.degrade = degrade
+        # The approximate tier mirrors the declared measure; clusters built
+        # through an index_factory must declare the matching measure= too.
+        self._approx = (
+            ApproxTier(
+                dims,
+                num_shards,
+                policy=approx_policy,
+                measure=measure,
+                registry=registry,
+                label=f"{label}-approx",
+            )
+            if degrade == "bounded"
             else None
         )
         factory_arity = 1
@@ -318,7 +353,8 @@ class ShardedService:
             executor=self._executor,
             registry=registry,
             label=label,
-            allow_partial=bool(self.resilience and self.resilience.partial_results),
+            allow_partial=bool(self.resilience and self.resilience.partial_results)
+            or self._approx is not None,
         )
         self._gate = AdmissionGate(
             max_inflight, max_queue, queue_timeout, scope=f"cluster[{label}]"
@@ -337,6 +373,7 @@ class ShardedService:
             "rebalances": 0.0,
             "migrated": 0.0,
             "partial_batches": 0.0,
+            "degraded_batches": 0.0,
         }
         self._m_objects = registry.gauge(
             "repro_shard_objects", "objects currently owned, per shard"
@@ -367,6 +404,10 @@ class ShardedService:
         self._m_partial = registry.counter(
             "repro_resilience_partial_batches",
             "batches degraded to PartialResult by whole-group outages",
+        )
+        self._m_degraded = registry.counter(
+            "repro_approx_degraded_batches",
+            "batches answered with certified bounds instead of failing, by reason",
         )
         self._publish_balance()
 
@@ -434,26 +475,32 @@ class ShardedService:
 
     # -- queries -------------------------------------------------------------------
 
-    def box_sum(self, query: Box) -> Union[float, PartialResult]:
+    def box_sum(self, query: Box) -> Union[float, PartialResult, ApproxResult]:
         """One exact cluster-wide box-sum.
 
         With ``partial_results`` opted in and a whole replica group down,
         returns a single-query :class:`PartialResult` instead of a bare
-        float — a degraded answer is never a silently wrong number.
+        float; with ``degrade="bounded"`` an outage (or an overload shed)
+        returns an :class:`~repro.approx.ApproxResult` with certified
+        bounds — a degraded answer is never a silently wrong number.
         """
         outcome = self.batch([query])
-        if isinstance(outcome, PartialResult):
+        if isinstance(outcome, (PartialResult, ApproxResult)):
             return outcome
         return outcome.results[0]
 
-    def box_sum_batch(self, queries: Sequence[Box]) -> Union[List[float], PartialResult]:
-        """Exact answers for a batch, in request order (or a PartialResult)."""
+    def box_sum_batch(
+        self, queries: Sequence[Box]
+    ) -> Union[List[float], PartialResult, ApproxResult]:
+        """Exact answers for a batch, in request order (or a typed degradation)."""
         outcome = self.batch(queries)
-        if isinstance(outcome, PartialResult):
+        if isinstance(outcome, (PartialResult, ApproxResult)):
             return outcome
         return outcome.results
 
-    def batch(self, queries: Sequence[Box]) -> Union[ClusterBatchResult, PartialResult]:
+    def batch(
+        self, queries: Sequence[Box]
+    ) -> Union[ClusterBatchResult, PartialResult, ApproxResult]:
         """Scatter a batch across the shards and gather the exact merge.
 
         Returns a :class:`ClusterBatchResult` when every shard answered.
@@ -462,9 +509,21 @@ class ShardedService:
         with :class:`~repro.resilience.config.ResilienceConfig`
         ``partial_results=True`` it degrades to a :class:`PartialResult`
         carrying the answered-shard sums and the missing shards' extents.
+        With ``degrade="bounded"`` both failure modes — an admission shed
+        and a whole-group outage — degrade to an
+        :class:`~repro.approx.ApproxResult` instead: the answered shards'
+        exact sums plus certified synopsis intervals for what's missing,
+        merged by interval arithmetic (bounded beats partial when both
+        are enabled; a refused tier falls back to partial, then raises).
         """
         queries = list(queries)
-        wait_s = self._admit()
+        try:
+            wait_s = self._admit()
+        except ServiceOverloadedError:
+            degraded = self._degraded(queries, reason="overload")
+            if degraded is not None:
+                return degraded
+            raise
         try:
             with self._cluster_lock.read():
                 extents = self.extents()
@@ -477,21 +536,82 @@ class ShardedService:
             self._m_queries.inc(len(queries), label=self.label)
             self._m_queue_wait.observe(wait_s, label=self.label)
         if result.shards_failed:
-            with self._stats_lock:
-                self._counts["partial_batches"] += 1
-                self._m_partial.inc(label=self.label)
-            return PartialResult(
-                result.results,
-                answered=[
-                    sid
-                    for sid in range(self.num_shards)
-                    if sid not in result.shards_failed
-                ],
-                missing=result.shards_failed,
-                missing_extents={sid: extents[sid] for sid in result.shards_failed},
-                queries=queries,
+            answered = [
+                sid for sid in range(self.num_shards) if sid not in result.shards_failed
+            ]
+            degraded = self._degraded(
+                queries,
+                reason="outage",
+                slots=result.shards_failed,
+                base=result.results,
+                answered=answered,
+            )
+            if degraded is not None:
+                return degraded
+            if self.resilience and self.resilience.partial_results:
+                with self._stats_lock:
+                    self._counts["partial_batches"] += 1
+                    self._m_partial.inc(label=self.label)
+                return PartialResult(
+                    result.results,
+                    answered=answered,
+                    missing=result.shards_failed,
+                    missing_extents={sid: extents[sid] for sid in result.shards_failed},
+                    queries=queries,
+                )
+            raise ShardUnavailableError(
+                f"shards {sorted(result.shards_failed)} unavailable and no degraded "
+                "answer was possible",
+                shard=sorted(result.shards_failed)[0],
             )
         return result
+
+    def degraded_batch(self, queries: Sequence[Box], *, reason: str = "direct") -> ApproxResult:
+        """Answer straight from the approximate tier (bypasses admission).
+
+        This is the explicit entry point for callers that already know the
+        exact path is saturated (e.g. a load generator's queue model) and
+        for tests; serving's own overload/outage fallbacks use the same
+        tier.  Raises :class:`~repro.core.errors.NotSupportedError` when
+        the cluster was built without ``degrade="bounded"`` or the tier
+        refuses (desynced mirrors).
+        """
+        if self._approx is None:
+            raise NotSupportedError(
+                f'cluster {self.label!r} was built without degrade="bounded"'
+            )
+        result = self._approx.answer(list(queries), reason=reason)
+        self._note_degraded(reason)
+        return result
+
+    def _degraded(
+        self,
+        queries: List[Box],
+        *,
+        reason: str,
+        slots=None,
+        base=None,
+        answered: Sequence[int] = (),
+    ) -> Optional[ApproxResult]:
+        """A certified bounded answer, or None to let the caller fail loudly."""
+        if self._approx is None:
+            return None
+        result = self._approx.try_answer(
+            queries, reason=reason, slots=slots, base=base, answered=answered
+        )
+        if result is not None:
+            self._note_degraded(reason)
+        return result
+
+    def _note_degraded(self, reason: str) -> None:
+        with self._stats_lock:
+            self._counts["degraded_batches"] += 1
+            self._m_degraded.inc(reason=reason, label=self.label)
+
+    @property
+    def approx_tier(self) -> Optional[ApproxTier]:
+        """The approximate tier, when ``degrade="bounded"`` (else None)."""
+        return self._approx
 
     def _admit(self) -> float:
         try:
@@ -519,6 +639,8 @@ class ShardedService:
                 owners[sid] = owners.get(sid, 0) + 1
                 self._object_counts[sid] += 1
             self._shards[sid].insert(box, value)
+            if self._approx is not None:
+                self._approx.note_insert(sid, box, value)
         self._note_mutation("insert", sid)
         return sid
 
@@ -549,6 +671,8 @@ class ShardedService:
                 self._grow_extent(sid, box)
                 self._object_counts[sid] -= 1
             self._shards[sid].delete(box, value)
+            if self._approx is not None:
+                self._approx.note_delete(sid, box, value)
         self._note_mutation("delete", sid)
         return sid
 
@@ -578,6 +702,8 @@ class ShardedService:
                 self._object_counts = [len(chunk) for chunk in per_shard]
             for sid, service in enumerate(self._shards):
                 service.bulk_load(per_shard[sid])
+            if self._approx is not None:
+                self._approx.note_bulk_load(per_shard)
         self._note_mutation("bulk_load", None)
         return [len(chunk) for chunk in per_shard]
 
@@ -665,6 +791,8 @@ class ShardedService:
                 self._grow_extent(target, box)
                 self._shards[source].delete(box, value)
                 self._shards[target].insert(box, value)
+                if self._approx is not None:
+                    self._approx.note_migrate(source, target, box, value)
             owners = self._ledger[key]
             owners[source] -= count
             if owners[source] == 0:
@@ -807,6 +935,9 @@ class ShardedService:
         out["partitioner"] = self._map.name
         out["epochs"] = self.epochs()
         out["inflight"] = self._gate.inflight
+        out["degrade"] = self.degrade
+        if self._approx is not None:
+            out["approx"] = self._approx.stats()
         if any(replog is not None for replog in self._replogs):
             out["head_lsns"] = [
                 replog.head_lsn if replog is not None else None

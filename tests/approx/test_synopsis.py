@@ -1,0 +1,141 @@
+"""Soundness and determinism of the synopsis index against a naive oracle."""
+
+import random
+
+import pytest
+
+from repro import Box
+from repro.approx.fit import build_grid_fit
+from repro.approx.synopsis import build_synopsis, measured_weight
+from repro.core.errors import DimensionMismatchError, NotSupportedError
+from repro.core.naive import NaiveBoxSum
+
+from ..conftest import random_box
+
+
+def _random_items(rng, n, dims):
+    """Signed-weight (box, value, count) triples, deletes included."""
+    items = []
+    for _ in range(n):
+        box = random_box(rng, dims)
+        value = rng.uniform(-5.0, 10.0)
+        items.append((box, value, 1))
+    return items
+
+
+def _oracle(items, dims):
+    oracle = NaiveBoxSum(dims)
+    for box, value, count in items:
+        for _ in range(count):
+            oracle.insert(box, value)
+    return oracle
+
+
+class TestGridFit:
+    def test_empty_fit_returns_zero(self):
+        fit = build_grid_fit([], 2)
+        assert fit.probe((5.0, 5.0)) == (0.0, 0.0, 0.0)
+        assert fit.num_cells == 0
+
+    def test_probe_band_contains_cumulative_sum(self):
+        rng = random.Random(11)
+        points = [((rng.uniform(0, 100), rng.uniform(0, 100)), rng.uniform(-3, 5)) for _ in range(400)]
+        fit = build_grid_fit(points, 2, pieces=6)
+        for _ in range(200):
+            x = (rng.uniform(-10, 110), rng.uniform(-10, 110))
+            exact = sum(w for p, w in points if p[0] < x[0] and p[1] < x[1])
+            est, lo, hi = fit.probe(x)
+            assert lo <= exact <= hi
+            assert lo <= est <= hi
+
+    def test_single_piece_grid(self):
+        points = [((1.0,), 2.0), ((2.0,), 3.0)]
+        fit = build_grid_fit(points, 1, pieces=1)
+        assert fit.num_cells == 1
+        est, lo, hi = fit.probe((10.0,))
+        assert lo <= 5.0 <= hi
+
+
+class TestSynopsisSoundness:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    @pytest.mark.parametrize("measure", ["sum", "count"])
+    def test_band_contains_exact(self, dims, measure):
+        rng = random.Random(100 + dims)
+        items = _random_items(rng, 300, dims)
+        synopsis = build_synopsis(items, dims, measure=measure)
+        oracle = NaiveBoxSum(dims)
+        for box, value, count in items:
+            oracle.insert(box, measured_weight(value, measure) * count)
+        for _ in range(150):
+            query = random_box(rng, dims)
+            exact = oracle.box_sum(query)
+            bounded = synopsis.box_sum(query)
+            assert bounded.contains(exact), (query, bounded, exact)
+
+    @pytest.mark.parametrize("degree", [0, 1])
+    def test_degrees_sound(self, degree):
+        rng = random.Random(7)
+        items = _random_items(rng, 250, 2)
+        synopsis = build_synopsis(items, 2, degree=degree)
+        oracle = _oracle(items, 2)
+        for _ in range(100):
+            query = random_box(rng, 2)
+            assert synopsis.box_sum(query).contains(oracle.box_sum(query))
+
+    def test_coarse_grid_sound(self):
+        rng = random.Random(8)
+        items = _random_items(rng, 200, 2)
+        synopsis = build_synopsis(items, 2, pieces=1)
+        oracle = _oracle(items, 2)
+        for _ in range(80):
+            query = random_box(rng, 2)
+            assert synopsis.box_sum(query).contains(oracle.box_sum(query))
+
+    def test_empty_synopsis(self):
+        synopsis = build_synopsis([], 2)
+        bounded = synopsis.box_sum(Box((0.0, 0.0), (10.0, 10.0)))
+        assert bounded.is_exact and bounded.estimate == 0.0
+
+    def test_total_query_is_tight_side(self):
+        # A query covering everything probes the far corner of every grid.
+        items = [(Box((1.0, 1.0), (2.0, 2.0)), 3.0, 2), (Box((5.0, 5.0), (6.0, 6.0)), -1.0, 1)]
+        synopsis = build_synopsis(items, 2)
+        bounded = synopsis.box_sum(Box((0.0, 0.0), (100.0, 100.0)))
+        assert bounded.contains(5.0)
+
+
+class TestSynopsisApi:
+    def test_deterministic_rebuild(self):
+        rng = random.Random(3)
+        items = _random_items(rng, 150, 2)
+        a = build_synopsis(items, 2)
+        b = build_synopsis(items, 2)
+        rng2 = random.Random(4)
+        queries = [random_box(rng2, 2) for _ in range(40)]
+        assert a.box_sum_batch(queries) == b.box_sum_batch(queries)
+
+    def test_batch_matches_single(self):
+        rng = random.Random(5)
+        items = _random_items(rng, 100, 2)
+        synopsis = build_synopsis(items, 2)
+        queries = [random_box(rng, 2) for _ in range(10)]
+        assert synopsis.box_sum_batch(queries) == [synopsis.box_sum(q) for q in queries]
+
+    def test_dims_mismatch(self):
+        synopsis = build_synopsis([], 2)
+        with pytest.raises(DimensionMismatchError):
+            synopsis.box_sum(Box((0.0,), (1.0,)))
+
+    def test_unsupported_measure(self):
+        with pytest.raises(NotSupportedError):
+            build_synopsis([], 2, measure="max")
+
+    def test_probes_and_stats(self):
+        rng = random.Random(6)
+        items = _random_items(rng, 50, 2)
+        synopsis = build_synopsis(items, 2, pieces=4, epoch=9, version=50)
+        assert synopsis.probes_per_query == 4
+        stats = synopsis.stats()
+        assert stats["epoch"] == 9 and stats["version"] == 50
+        assert stats["cells"] == synopsis.num_cells() > 0
+        assert synopsis.nbytes() > 0

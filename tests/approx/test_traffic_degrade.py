@@ -1,0 +1,60 @@
+"""Satellite acceptance: chaos traffic with bounded degradation.
+
+``repro.bench traffic --chaos --degrade bounded`` must convert overload
+sheds and outage blips into typed bounded answers — with zero
+silently-inexact results: every sampled answer is either exactly equal to
+the oracle or a certified interval containing it (a failed check is a
+soundness bug, and the run exits non-zero).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.config import BenchConfig
+from repro.bench.traffic import run_traffic
+
+pytestmark = pytest.mark.approx
+
+CFG = BenchConfig().scaled(n=600, queries=10)
+
+
+def test_sheds_convert_to_bounded_answers():
+    payload = run_traffic(CFG, degrade="bounded")
+    report = payload["report"]
+    assert report["totals"]["sheds"] == 0.0
+    assert report["resilience"]["bounded_answers"] > 0.0
+    assert report["checks"]["sampled"] > 0.0
+    assert report["checks"]["failed"] == 0.0
+    assert payload["metadata"]["degrade"] == "bounded"
+
+
+def test_chaos_outages_convert_to_bounded_answers():
+    payload = run_traffic(CFG, chaos=True, degrade="bounded")
+    report = payload["report"]
+    # Chaos-injected outages and gate overruns both land as bounded
+    # answers; zero checks may fail — bounded answers are verified by
+    # *containment*, so an inexact-but-uncertified answer cannot hide.
+    assert report["resilience"]["bounded_answers"] > 0.0
+    assert report["totals"]["errors"] == 0.0
+    assert report["checks"]["sampled"] > 0.0
+    assert report["checks"]["failed"] == 0.0
+
+
+def test_degrade_off_still_sheds():
+    payload = run_traffic(CFG)
+    report = payload["report"]
+    assert report["resilience"]["bounded_answers"] == 0.0
+    assert report["totals"]["sheds"] > 0.0
+    assert report["checks"]["failed"] == 0.0
+
+
+def test_cli_chaos_degrade_exits_clean(capsys):
+    rc = main(
+        ["traffic", "--chaos", "--degrade", "bounded", "--n", "600", "--queries", "10"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "degrade=bounded" in out
+    assert "bounded answer(s)" in out

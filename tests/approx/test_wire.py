@@ -1,0 +1,101 @@
+"""Wire-safety: ApproxResult and BoundedValue survive codec and pickling.
+
+A bounded answer produced on a worker (or cached, or shipped to a log)
+must come back as the same *typed* interval — a transport that flattened
+it to a float would silently launder an approximate answer into an exact
+one, which is exactly what the type exists to prevent.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.approx.bounds import ApproxResult
+from repro.core.errors import WireProtocolError
+from repro.core.geometry import Box
+from repro.core.values import BoundedValue
+from repro.rpc import codec
+
+BOX = Box((1.0, 2.0), (11.0, 12.0))
+
+
+def _pack_value(value) -> bytes:
+    parts: list = []
+    codec._pack_value(parts, value)
+    return b"".join(parts)
+
+
+def _result(with_queries: bool) -> ApproxResult:
+    return ApproxResult(
+        [BoundedValue(0.5, 2.5, 1.0), BoundedValue.exact(-3.0)],
+        reason="outage",
+        approximated=[1],
+        answered=[0, 2],
+        version=41,
+        staleness=7,
+        probes=16,
+        queries=[BOX, Box((0.0, 0.0), (9.0, 9.0))] if with_queries else None,
+    )
+
+
+class TestBoundedValueWire:
+    def test_value_codec_round_trip(self):
+        bv = BoundedValue(-1.25, 4.75, 3.0)
+        payload = _pack_value(bv)
+        got, offset = codec._unpack_value(payload, 0)
+        assert isinstance(got, BoundedValue)
+        assert (got.lo, got.hi, got.estimate) == (bv.lo, bv.hi, bv.estimate)
+        assert offset == len(payload)
+
+    def test_value_codec_preserves_exactness(self):
+        bv = BoundedValue.exact(7.0)
+        got, _ = codec._unpack_value(_pack_value(bv), 0)
+        assert got.is_exact and got.estimate == 7.0
+
+    def test_pickle_round_trip(self):
+        bv = BoundedValue(1.0, 3.0, 2.0)
+        got = pickle.loads(pickle.dumps(bv))
+        assert isinstance(got, BoundedValue)
+        assert got == bv
+
+    def test_never_decodes_to_float(self):
+        got, _ = codec._unpack_value(_pack_value(BoundedValue(0.0, 1.0, 0.5)), 0)
+        assert not isinstance(got, float)
+
+
+class TestApproxResultWire:
+    @pytest.mark.parametrize("with_queries", [True, False])
+    def test_codec_round_trip(self, with_queries):
+        result = _result(with_queries)
+        got = codec.decode_approx_result(codec.encode_approx_result(result))
+        assert isinstance(got, ApproxResult)
+        assert all(isinstance(bv, BoundedValue) for bv in got.results)
+        assert got.results == result.results
+        assert got.reason == result.reason
+        assert got.approximated == result.approximated
+        assert got.answered == result.answered
+        assert (got.version, got.staleness, got.probes) == (41, 7, 16)
+        if with_queries:
+            assert [q.low for q in got.queries] == [q.low for q in result.queries]
+        else:
+            assert got.queries is None
+
+    def test_codec_rejects_trailing_bytes(self):
+        payload = codec.encode_approx_result(_result(False)) + b"\x00"
+        with pytest.raises(WireProtocolError):
+            codec.decode_approx_result(payload)
+
+    def test_pickle_round_trip(self):
+        got = pickle.loads(pickle.dumps(_result(True)))
+        assert isinstance(got, ApproxResult)
+        assert got.reason == "outage"
+        assert got.approximated == (1,)
+        assert got.results == _result(True).results
+        assert got.queries is not None
+
+    def test_empty_batch_round_trips(self):
+        result = ApproxResult([], reason="direct", approximated=[0])
+        got = codec.decode_approx_result(codec.encode_approx_result(result))
+        assert len(got) == 0 and got.reason == "direct"

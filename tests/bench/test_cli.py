@@ -28,6 +28,7 @@ class TestCli:
             "replog",
             "traffic",
             "workers",
+            "approx",
         }
 
     def test_run_reduction_experiment(self, capsys):
