@@ -55,6 +55,12 @@ from .core.errors import (
     ShardUnavailableError,
 )
 from .core.explain import QueryProfile, profile
+from .heal import (
+    ComponentHealth,
+    HealPolicy,
+    HealReport,
+    HealSupervisor,
+)
 from .obs import MetricsRegistry, Tracer, get_registry, tracing
 from .replog import (
     CatchUpDaemon,
@@ -127,6 +133,10 @@ __all__ = [
     "CatchUpDaemon",
     "ReplicationLogError",
     "ReplicaDivergedError",
+    "HealPolicy",
+    "HealSupervisor",
+    "HealReport",
+    "ComponentHealth",
     "BoundedValue",
     "ApproxPolicy",
     "ApproxResult",

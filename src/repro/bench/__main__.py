@@ -16,6 +16,7 @@ import time
 
 from .approx import approx_experiment
 from .config import BenchConfig
+from .heal import heal_experiment
 from .figures import (
     ablation_border_touch,
     fig9a_index_sizes,
@@ -31,6 +32,7 @@ from .figures import (
 from .replog import replog_experiment
 from .resilience import resilience_experiment
 from .runmeta import run_metadata
+from .scrub import scrub_experiment, scrub_paths
 from .service import service_batch_experiment
 from .shard import shard_scaling_experiment
 from .smoke import (
@@ -61,6 +63,8 @@ EXPERIMENTS = {
     "traffic": traffic_experiment,
     "workers": workers_experiment,
     "approx": approx_experiment,
+    "heal": heal_experiment,
+    "scrub": scrub_experiment,
 }
 
 RESULTS_SCHEMA_VERSION = 1
@@ -175,6 +179,15 @@ def main(argv=None) -> int:
         default=None,
         help="(traffic only) also write the SLO report's text render",
     )
+    parser.add_argument(
+        "--path",
+        metavar="FILE",
+        action="append",
+        default=None,
+        help="(scrub only) pager file to offline-scrub; repeatable; exit 1 "
+        "if any slot is corrupt.  Without --path, runs the self-contained "
+        "corruption demo instead",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "smoke":
@@ -192,6 +205,10 @@ def main(argv=None) -> int:
 
     if args.experiment == "traffic":
         return _run_traffic_command(args, cfg)
+
+    if args.experiment == "scrub" and args.path:
+        reports = scrub_paths(args.path)
+        return 1 if any(not r.clean for r in reports) else 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     results = {}

@@ -1,0 +1,140 @@
+"""Operational scrubbing: walk durable shard files, report every bad slot.
+
+Two entry points behind ``python -m repro.bench scrub``:
+
+* :func:`scrub_paths` — the operator tool: offline-checksum the given
+  pager files (every slot, header included) and print one
+  :class:`~repro.storage.filepager.ScrubReport` per file.  Offline means
+  the file is never *opened* as a pager — a corrupt header cannot stop
+  the walk, and a live owner's cache is never touched.
+* :func:`scrub_experiment` — the self-contained proof: build a small
+  durable shard set, flip one bit on disk in one shard, scrub everything
+  and show exactly one corrupt slot found (and zero on the clean
+  shards).  Deterministic, so it doubles as the CI-facing demo.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import List, Sequence, Tuple
+
+from ..core.errors import PageCorruptionError
+from ..durable import DurableAggIndex
+from ..storage.codec import unseal_page
+from ..storage.filepager import _MAGIC, ScrubReport
+from .config import BenchConfig
+from .report import banner, format_table
+
+#: (metric, value, unit, note)
+Row = Tuple[str, float, str, str]
+
+
+def scrub_file(path: str) -> ScrubReport:
+    """Offline scrub: checksum every slot of a pager file, never raise.
+
+    Reads the page size from the file header and walks the file slot by
+    slot — every materialized slot (the pager keeps the file dense) was
+    written through :func:`~repro.storage.codec.seal_page`, so each must
+    unseal cleanly.  The file is only read; a live pager owning it is
+    unaffected (scrub its object instead for read-your-writes:
+    :meth:`~repro.storage.filepager.FilePager.scrub`).
+    """
+    errors: List[Tuple[object, str]] = []
+    with open(path, "rb") as f:
+        head = f.read(12)
+        if len(head) < 12 or head[:8] != _MAGIC:
+            return ScrubReport(
+                path, 1, 1, (("header", "not a pager file (bad magic)"),)
+            )
+        page_size = int.from_bytes(head[8:12], "little")
+        f.seek(0)
+        scanned = 0
+        slot = 0
+        while True:
+            data = f.read(page_size)
+            if not data:
+                break
+            scanned += 1
+            label: object = "header" if slot == 0 else slot - 1
+            if len(data) < page_size:
+                errors.append((label, f"slot {label} truncated on disk"))
+            else:
+                try:
+                    unseal_page(data, label)
+                except PageCorruptionError as exc:
+                    errors.append((label, str(exc)))
+            slot += 1
+    return ScrubReport(path, scanned, len(errors), tuple(errors))
+
+
+def scrub_paths(paths: Sequence[str], verbose: bool = True) -> List[ScrubReport]:
+    """Scrub each pager file; print its report; return them all."""
+    from ..inspect import dump_scrub
+
+    reports = []
+    for path in paths:
+        report = scrub_file(path)
+        reports.append(report)
+        if verbose:
+            print(dump_scrub(report))
+    return reports
+
+
+def _flip_bit(path: str, offset: int) -> None:
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        byte = f.read(1)
+        f.seek(offset)
+        f.write(bytes([byte[0] ^ 0x01]))
+
+
+def scrub_experiment(cfg: BenchConfig, verbose: bool = True) -> List[Row]:
+    """Build durable shards, corrupt one bit, prove the scrub finds it."""
+    shards = 3
+    keys_per_shard = max(64, cfg.n // 64)
+    tmp = tempfile.mkdtemp(prefix="repro-scrub-")
+    try:
+        paths = []
+        for sid in range(shards):
+            path = os.path.join(tmp, f"shard-{sid:04d}.pages")
+            with DurableAggIndex.open(path, page_size=512, buffer_pages=None) as index:
+                for i in range(keys_per_shard):
+                    # Seeded only by structure: the same keys land in the
+                    # same slots every run, so the flipped bit below hits
+                    # a deterministic page.
+                    index.insert(float((i * 37 + sid) % keys_per_shard), 1.0)
+                index.checkpoint()
+            paths.append(path)
+        clean = scrub_paths(paths, verbose=False)
+        clean_slots = sum(r.scanned for r in clean)
+        clean_corrupt = sum(r.corrupt for r in clean)
+        # One bit, mid-file: offset 3 pages in + 100 bytes lands inside a
+        # data slot's body on every shard this size.
+        _flip_bit(paths[1], 3 * 512 + 100)
+        damaged = scrub_paths(paths, verbose=False)
+        corrupt_total = sum(r.corrupt for r in damaged)
+        corrupt_files = sum(1 for r in damaged if not r.clean)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    rows: List[Row] = [
+        ("shards_scrubbed", float(shards), "files", "durable 1-d shard files"),
+        ("slots_scanned", float(clean_slots), "slots", "header + live pages, per pass"),
+        ("corrupt_before", float(clean_corrupt), "slots", "fresh checkpointed shards"),
+        ("corrupt_found", float(corrupt_total), "slots", "after flipping 1 bit in shard 1"),
+        ("files_flagged", float(corrupt_files), "files", "shards the scrub flagged"),
+    ]
+    if verbose:
+        print(banner(f"scrub: offline slot checksums over {shards} durable shards"))
+        print(
+            format_table(
+                ["metric", "value", "unit", "note"],
+                [(name, value, unit, note) for name, value, unit, note in rows],
+            )
+        )
+    return rows
+
+
+__all__ = ["scrub_file", "scrub_paths", "scrub_experiment"]

@@ -170,6 +170,15 @@ class DurableAggIndex:
         """
         return self._pager.verify()
 
+    def scrub(self):
+        """Checkpoint, then checksum every slot and report *all* damage.
+
+        The operational counterpart of :meth:`verify`: returns a
+        :class:`~repro.storage.filepager.ScrubReport` listing every
+        corrupt slot instead of raising at the first one.
+        """
+        return self._pager.scrub()
+
     def close(self) -> None:
         """Checkpoint and release the file; idempotent."""
         if self._closed:

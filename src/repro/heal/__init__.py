@@ -1,0 +1,39 @@
+"""Self-healing: automatic detection, repair, and convergence under chaos.
+
+:class:`~repro.heal.supervisor.HealSupervisor` closes the loop the
+resilience and replication layers left open — it *notices* failures
+(poisoned members, dead worker processes, tripped breakers, silently
+diverged replicas caught by the stream-digest audit), *repairs* them
+through the existing verbs (probe, ``restart`` + catch-up, checkpoint
+restore, member replacement) with seeded jittered backoff, and *verifies*
+every repair through the group's bit-exactness audit before the member
+serves again.  Members whose repairs keep failing are quarantined, never
+thrashed.  :class:`~repro.heal.policy.HealPolicy` holds the knobs;
+:mod:`~repro.heal.model` defines the derived health states.
+"""
+
+from .model import (
+    HEALTHY,
+    QUARANTINED,
+    REPAIRING,
+    STATES,
+    SUSPECT,
+    ComponentHealth,
+    HealEvent,
+    HealReport,
+)
+from .policy import HealPolicy
+from .supervisor import HealSupervisor
+
+__all__ = [
+    "HEALTHY",
+    "SUSPECT",
+    "REPAIRING",
+    "QUARANTINED",
+    "STATES",
+    "ComponentHealth",
+    "HealEvent",
+    "HealReport",
+    "HealPolicy",
+    "HealSupervisor",
+]

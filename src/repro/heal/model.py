@@ -1,0 +1,98 @@
+"""Health model: per-component states, events and reports.
+
+Every cluster member (a shard service, or one member of a
+:class:`~repro.resilience.group.ReplicaGroup`) is in exactly one of four
+states, derived — never stored — from the signals the serving layers
+already maintain:
+
+``HEALTHY``
+    In the serve rotation: not poisoned, process alive, breaker admitting.
+``SUSPECT``
+    Excluded or gated (poisoned, crashed, or breaker open) but the
+    supervisor has not begun repairing it yet.
+``REPAIRING``
+    The supervisor has attempted at least one repair and the member is
+    still excluded — between backoff retries.
+``QUARANTINED``
+    Repairs exhausted (K failures inside the crash-loop window) or
+    impossible (no replication log to restore from).  Terminal for the
+    supervisor: only an operator verb (``revive``/``catch_up``) returns
+    a quarantined member, so the healer can never thrash on it.
+
+Deriving the state keeps the model honest: there is no cached health bit
+to go stale, and two observers always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+REPAIRING = "repairing"
+QUARANTINED = "quarantined"
+
+#: All states, in escalation order (useful for table headers and tests).
+STATES = (HEALTHY, SUSPECT, REPAIRING, QUARANTINED)
+
+
+@dataclass(frozen=True)
+class ComponentHealth:
+    """One member's derived health at observation time."""
+
+    shard: int
+    member: int
+    state: str
+    #: Human-readable cause (empty when healthy).
+    reason: str = ""
+    #: Repair attempts the supervisor has made on this member so far.
+    attempts: int = 0
+    #: Log records the member has not applied (0 without a log).
+    lag: int = 0
+
+
+@dataclass(frozen=True)
+class HealEvent:
+    """One supervisor action or observation, in tick order.
+
+    ``kind`` is one of ``diverged``, ``repair_failed``, ``repaired``,
+    ``quarantined``, ``member_added``, ``probe_ok``, ``probe_failed``.
+    """
+
+    kind: str
+    shard: int
+    member: int
+    detail: str
+    tick: int
+
+
+@dataclass(frozen=True)
+class HealReport:
+    """Outcome of one :meth:`HealSupervisor.run_until_converged` run."""
+
+    #: No member left in SUSPECT/REPAIRING (QUARANTINED is tolerated —
+    #: it is a stable, operator-visible endpoint, not churn).
+    converged: bool
+    #: Every member HEALTHY (strictly stronger than ``converged``).
+    fully_healthy: bool
+    ticks: int
+    elapsed_s: float
+    repairs: int
+    quarantines: int
+    #: Final member count per state.
+    states: Dict[str, int]
+    #: ``(shard, member)`` pairs quarantined at the end of the run.
+    quarantined: Tuple[Tuple[int, int], ...]
+
+
+__all__ = [
+    "HEALTHY",
+    "SUSPECT",
+    "REPAIRING",
+    "QUARANTINED",
+    "STATES",
+    "ComponentHealth",
+    "HealEvent",
+    "HealReport",
+]

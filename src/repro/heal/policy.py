@@ -1,0 +1,88 @@
+"""The supervisor's knobs, as one validated frozen dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HealPolicy:
+    """How aggressively the supervisor detects, repairs, and gives up.
+
+    Parameters
+    ----------
+    tick_interval_s:
+        Seconds between supervisor ticks (wall-clock thread) and between
+        convergence-loop iterations.
+    audit_every_ticks:
+        Run the cross-member divergence audit every Nth tick (0 disables
+        it).  The audit is O(members) digest compares under each group's
+        mutation mutex, so it is cheap enough to run often.
+    audit_probes:
+        Seeded bit-exactness probes a restored member must answer
+        identically to a live one before re-entering the rotation.
+    backoff_base_s / backoff_multiplier / backoff_jitter / backoff_max_s:
+        Jittered exponential backoff between repair attempts on the same
+        member: ``base * multiplier**(attempt-1)``, capped at ``max``,
+        scaled by ``1 ± jitter`` from the seeded RNG.
+    max_repair_attempts / failure_window_s:
+        Crash-loop detection: ``max_repair_attempts`` failed repairs
+        inside ``failure_window_s`` quarantines the member instead of
+        retrying forever.
+    replace_quarantined:
+        After quarantining a group member, bootstrap a replacement via
+        ``add_member()`` (silently skipped when the group cannot mint
+        members).
+    probe_suspects:
+        Send a seeded health probe to breaker-open members whose breaker
+        admits one — breakers only close through real traffic, so an
+        idle cluster needs the supervisor to generate it.
+    repair_budget_s:
+        Default convergence budget for :meth:`run_until_converged`.
+    seed:
+        Seeds the backoff jitter (and nothing else — detection and
+        repair are deterministic given the cluster's state).
+    auto_start:
+        When handed to ``ShardedService(heal=...)``, start the wall-clock
+        supervisor thread as part of construction.
+    """
+
+    tick_interval_s: float = 0.5
+    audit_every_ticks: int = 4
+    audit_probes: int = 8
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.1
+    backoff_max_s: float = 5.0
+    max_repair_attempts: int = 5
+    failure_window_s: float = 60.0
+    replace_quarantined: bool = False
+    probe_suspects: bool = True
+    repair_budget_s: float = 30.0
+    seed: int = 0
+    auto_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+        if self.audit_every_ticks < 0:
+            raise ValueError("audit_every_ticks must be >= 0 (0 disables the audit)")
+        if self.audit_probes < 0:
+            raise ValueError("audit_probes must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError("backoff_max_s must be >= backoff_base_s")
+        if self.max_repair_attempts < 1:
+            raise ValueError("max_repair_attempts must be >= 1")
+        if self.failure_window_s <= 0:
+            raise ValueError("failure_window_s must be positive")
+        if self.repair_budget_s <= 0:
+            raise ValueError("repair_budget_s must be positive")
+
+
+__all__ = ["HealPolicy"]

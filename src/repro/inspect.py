@@ -24,6 +24,7 @@ from .bptree import AggBPlusTree
 from .core.errors import NotSupportedError
 from .core.explain import QueryProfile
 from .ecdf.ecdf_b import EcdfBTree
+from .heal import HealSupervisor
 from .kdb.kdbtree import KdbTree
 from .obs import Tracer, render_dict
 from .replog import ReplicationLog
@@ -31,6 +32,7 @@ from .resilience.group import ReplicaGroup
 from .rtree.rstar import RStarTree
 from .service import QueryService
 from .shard import ShardedService
+from .storage.filepager import ScrubReport
 
 _INDENT = "  "
 
@@ -65,6 +67,10 @@ def dump(structure: object, max_depth: int = 12) -> str:
         return dump_approx(structure)
     if isinstance(structure, ReplicationLog):
         return dump_replog(structure)
+    if isinstance(structure, HealSupervisor):
+        return dump_heal(structure)
+    if isinstance(structure, ScrubReport):
+        return dump_scrub(structure)
     if isinstance(structure, Tracer):
         return structure.render(max_depth=max_depth)
     if isinstance(structure, dict) and "spans" in structure:
@@ -338,6 +344,64 @@ def dump_replog(replog: ReplicationLog) -> str:
             f"{_INDENT}{_INDENT}checkpoint lsn={lsn} epoch={replog.epoch_at(lsn)} "
             f"bytes={sizes[lsn]} tail={head - lsn}"
         )
+    return "\n".join(lines)
+
+
+# -- self-healing supervisor ---------------------------------------------------------------
+
+def dump_heal(supervisor: HealSupervisor, events: int = 8) -> str:
+    """Supervisor outline: convergence, per-member health, recent events."""
+    stats = supervisor.stats()
+    states = stats["states"]
+    lines = [
+        f"HealSupervisor(label={supervisor.label}, "
+        f"{'running' if stats['running'] else 'stopped'}, "
+        f"ticks={int(stats['ticks'])}, "
+        f"converged={'yes' if stats['converged'] else 'no'}, "
+        f"fully_healthy={'yes' if stats['fully_healthy'] else 'no'})",
+        f"{_INDENT}states "
+        + " ".join(f"{state}={states[state]}" for state in sorted(states)),
+        f"{_INDENT}audits runs={int(stats['audits'])} "
+        f"diverged={int(stats['diverged'])}",
+        f"{_INDENT}repairs ok={int(stats['repairs_ok'])} "
+        f"failed={int(stats['repairs_failed'])} "
+        f"quarantines={int(stats['quarantines'])} "
+        f"members_added={int(stats['members_added'])}",
+        f"{_INDENT}probes ok={int(stats['probes_ok'])} "
+        f"failed={int(stats['probes_failed'])}",
+    ]
+    for component in supervisor.health():
+        if component.state == "healthy":
+            continue
+        reason = f" ({component.reason})" if component.reason else ""
+        lines.append(
+            f"{_INDENT}member s{component.shard}/m{component.member} "
+            f"{component.state}{reason} attempts={component.attempts} "
+            f"lag={component.lag}"
+        )
+    recent = supervisor.events()[-events:]
+    if recent:
+        lines.append(f"{_INDENT}recent events")
+        for event in recent:
+            detail = f": {event.detail}" if event.detail else ""
+            lines.append(
+                f"{_INDENT}{_INDENT}tick {event.tick} {event.kind} "
+                f"s{event.shard}/m{event.member}{detail}"
+            )
+    return "\n".join(lines)
+
+
+# -- storage scrub ------------------------------------------------------------------------
+
+def dump_scrub(report: ScrubReport) -> str:
+    """Scrub outline: slots scanned, corrupt count, per-slot damage."""
+    verdict = "clean" if report.clean else "CORRUPT"
+    lines = [
+        f"ScrubReport(path={report.path}, {verdict}, "
+        f"scanned={report.scanned}, corrupt={report.corrupt})"
+    ]
+    for pid, error in report.errors:
+        lines.append(f"{_INDENT}slot {pid}: {error}")
     return "\n".join(lines)
 
 

@@ -22,6 +22,7 @@ from .records import (
     decode_op,
     encode_op,
 )
+from .digest import StateDigest, identity_token, meta_token
 from .shipper import CatchUpDaemon, ReplicationLog, RestoreReport
 from .state import LogicalState
 
@@ -45,4 +46,7 @@ __all__ = [
     "RestoreReport",
     "CatchUpDaemon",
     "LogicalState",
+    "StateDigest",
+    "identity_token",
+    "meta_token",
 ]

@@ -1,0 +1,134 @@
+"""Order-insensitive 64-bit digests over logical state.
+
+The divergence audit (:meth:`repro.resilience.group.ReplicaGroup.audit_digests`,
+driven by :class:`repro.heal.HealSupervisor`) needs to compare the *content*
+of every group member against the replication log's folded state on every
+tick, which rules out anything proportional to the state size.  A
+:class:`StateDigest` is an incrementally-maintained commutative checksum:
+
+* each object identity ``(box, value)`` hashes to a stable 64-bit token
+  (BLAKE2b over the packed corner/value doubles — independent of
+  ``PYTHONHASHSEED``, process, or platform);
+* the object component is the count-weighted sum of tokens mod ``2**64``,
+  so an insert adds a token, a delete subtracts one, and two states with
+  the same signed multiset agree *regardless of mutation order*;
+* metadata blobs contribute one token per key (replacement subtracts the
+  old token, so ``set_meta`` stays O(1)).
+
+Equality of digests therefore tracks equality of folds: two members fed
+the same admitted mutation multiset agree bit-for-bit, and a member that
+lost or misapplied a write disagrees with the log with probability
+``1 - 2**-64``.  The invariant the audit enforces is
+
+    ``digest(log) == digest(folded state) == digest(every live member)``
+
+maintained at append time on all three (``ReplicationLog.record`` folds
+into its in-memory :class:`~repro.replog.state.LogicalState`;
+``QueryService.mutate`` and ``WorkerClient``'s typed verbs fold the same
+record stream member-side), so the comparison itself is O(members).
+"""
+
+from __future__ import annotations
+
+import struct
+from hashlib import blake2b
+from typing import Dict, Iterable, Tuple
+
+_MASK = (1 << 64) - 1
+
+
+def identity_token(box, value: float) -> int:
+    """A stable 64-bit token for one ``(box, value)`` object identity."""
+    dims = box.dims
+    payload = struct.pack(f"<I{2 * dims + 1}d", dims, *box.low, *box.high, float(value))
+    return int.from_bytes(blake2b(payload, digest_size=8).digest(), "little")
+
+
+def meta_token(key: str, blob: bytes) -> int:
+    """A stable 64-bit token for one metadata ``key -> blob`` binding."""
+    raw = key.encode("utf-8")
+    payload = b"meta\x00" + struct.pack("<I", len(raw)) + raw + bytes(blob)
+    return int.from_bytes(blake2b(payload, digest_size=8).digest(), "little")
+
+
+class StateDigest:
+    """Incremental commutative digest of a signed object multiset + metadata.
+
+    Maintained in O(1) per mutation from the logical record stream alone
+    (:meth:`note`), or piecewise via :meth:`bump` / :meth:`set_meta` /
+    :meth:`clear_objects` when the caller already dispatches on op kinds
+    (:class:`~repro.replog.state.LogicalState` does).  ``value`` is the
+    64-bit integer two digests are compared by.
+    """
+
+    __slots__ = ("_objects", "_meta")
+
+    def __init__(self) -> None:
+        self._objects = 0
+        #: key -> token, kept so a replacement can subtract the old binding
+        self._meta: Dict[str, int] = {}
+
+    @property
+    def value(self) -> int:
+        """The combined 64-bit digest (objects + metadata bindings)."""
+        return (self._objects + sum(self._meta.values())) & _MASK
+
+    # -- incremental updates -------------------------------------------------------
+
+    def bump(self, box, value: float, delta: int = 1) -> None:
+        """Fold ``delta`` instances of one identity in (negative = remove)."""
+        self._objects = (self._objects + delta * identity_token(box, value)) & _MASK
+
+    def clear_objects(self) -> None:
+        """Drop the object component (a bulk load replaces the population)."""
+        self._objects = 0
+
+    def set_meta(self, key: str, blob: bytes) -> None:
+        """Bind ``key`` to ``blob``, replacing any previous binding."""
+        self._meta[key] = meta_token(key, blob)
+
+    def reset_objects(self, objects: Iterable[Tuple[object, float]]) -> None:
+        """Replace the object component with a fresh population."""
+        total = 0
+        for box, value in objects:
+            total += identity_token(box, value)
+        self._objects = total & _MASK
+
+    def note(self, op) -> None:
+        """Fold one logical operation record (the one-seam entry point)."""
+        from .records import BulkLoadOp, DeleteOp, InsertOp, SetMetaOp
+
+        if isinstance(op, InsertOp):
+            self.bump(op.box, op.value, 1)
+        elif isinstance(op, DeleteOp):
+            self.bump(op.box, op.value, -1)
+        elif isinstance(op, BulkLoadOp):
+            self.reset_objects(op.objects)
+        elif isinstance(op, SetMetaOp):
+            self.set_meta(op.key, bytes(op.blob))
+        else:
+            raise TypeError(f"cannot digest {type(op).__name__}")
+
+    # -- plumbing --------------------------------------------------------------------
+
+    def copy(self) -> "StateDigest":
+        clone = StateDigest.__new__(StateDigest)
+        clone._objects = self._objects
+        clone._meta = dict(self._meta)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StateDigest):
+            return self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"StateDigest(0x{self.value:016x})"
+
+
+__all__ = ["StateDigest", "identity_token", "meta_token"]

@@ -149,6 +149,20 @@ class ReplicationLog:
         with self._lock:
             return self._state.extent()
 
+    @property
+    def digest(self) -> int:
+        """Order-insensitive 64-bit digest of the folded state.
+
+        Maintained at append time (``record`` folds each op into the
+        in-memory state, whose digest updates in O(1)) — this is the
+        authority the divergence audit compares every group member
+        against: ``digest(log) == digest(folded state)`` by construction,
+        and a live member whose own stream digest disagrees has lost or
+        misapplied a write.
+        """
+        with self._lock:
+            return self._state.digest
+
     # -- checkpointing -----------------------------------------------------------
 
     def checkpoint(self, epoch: Optional[int] = None) -> Checkpoint:
@@ -240,6 +254,13 @@ class ReplicationLog:
             with tracer.span("replog.restore", label=self.label, lsn=target, tail=tail):
                 state.materialize(service)
         service.sync_epoch(epoch)
+        # Re-seed the member's stream digest from the restored state so the
+        # divergence audit's invariant holds from the first post-restore
+        # mutation (materialize applies un-logged record=None mutations,
+        # which by design do not touch the member's digest).
+        sync_digest = getattr(service, "sync_digest", None)
+        if sync_digest is not None:
+            sync_digest(state.digest_state())
         self._m_restores.inc(label=self.label)
         return RestoreReport(
             upto_lsn=target,
@@ -284,6 +305,7 @@ class ReplicationLog:
                 "newest_checkpoint_lsn": float(max(ckpt_sizes) if ckpt_sizes else 0),
                 "state_identities": float(len(self._state)),
                 "state_instances": float(self._state.net_instances),
+                "state_digest": self._state.digest,
             }
 
     # -- lifecycle ---------------------------------------------------------------
@@ -306,6 +328,13 @@ class CatchUpDaemon:
     it every ``interval`` seconds until stopped.  Exceptions are counted,
     never raised into the thread (a failed catch-up attempt leaves the
     member poisoned; the next tick retries).
+
+    .. deprecated::
+        Superseded by :class:`repro.heal.HealSupervisor`, which drives the
+        same catch-up verbs from an actual health model (breaker state,
+        process liveness, digest audits) with backoff and crash-loop
+        quarantine instead of blind periodic retries.  The daemon remains
+        for callers that want exactly a dumb retry loop.
     """
 
     def __init__(
@@ -323,7 +352,8 @@ class CatchUpDaemon:
         self.label = label
         registry = registry if registry is not None else get_registry()
         self._m_ticks = registry.counter(
-            "repro_replog_catchup_ticks", "catch-up daemon invocations, by outcome"
+            "repro_replog_catchup_ticks",
+            "catch-up daemon invocations, by outcome (ok/noop/error)",
         )
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -331,8 +361,9 @@ class CatchUpDaemon:
         self.ticks = 0
 
     def start(self) -> "CatchUpDaemon":
-        if self._thread is not None:
+        if self._thread is not None and self._thread.is_alive():
             raise RuntimeError("daemon already started")
+        self._stop.clear()
         self._thread = threading.Thread(
             target=self._run, name=f"repro-catchup[{self.label}]", daemon=True
         )
@@ -343,17 +374,34 @@ class CatchUpDaemon:
         while not self._stop.wait(self.interval):
             self.ticks += 1
             try:
-                self._fn()
-                self._m_ticks.inc(outcome="ok", label=self.label)
+                result = self._fn()
             except Exception:
                 self.errors += 1
                 self._m_ticks.inc(outcome="error", label=self.label)
+            else:
+                # A falsy result (catch_up_all returns {} when nothing was
+                # poisoned) is a no-op tick — split out so dashboards can
+                # tell "healthy and idle" from "actively reviving".
+                outcome = "ok" if result else "noop"
+                self._m_ticks.inc(outcome=outcome, label=self.label)
 
-    def stop(self) -> None:
+    def stop(self, timeout: Optional[float] = 5.0) -> bool:
+        """Stop the loop; idempotent, safe before :meth:`start`.
+
+        Joins the thread with ``timeout`` (None = wait forever).  Returns
+        True when the thread is down (or never ran), False when the join
+        timed out — the thread keeps draining its current tick and the
+        caller may stop() again.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        if thread.is_alive():
+            return False
+        self._thread = None
+        return True
 
     def __enter__(self) -> "CatchUpDaemon":
         return self.start()

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..core.errors import DimensionMismatchError
 from ..core.geometry import Box
 from .checkpoint import Checkpoint
+from .digest import StateDigest
 from .records import (
     BulkLoadOp,
     DeleteOp,
@@ -46,6 +47,7 @@ class LogicalState:
         self.dims = dims
         self._counts: Dict[Identity, int] = {}
         self.meta: Dict[str, bytes] = {}
+        self._digest = StateDigest()
 
     # -- building ----------------------------------------------------------------
 
@@ -63,6 +65,7 @@ class LogicalState:
             self._counts[key] = count
         else:
             self._counts.pop(key, None)
+        self._digest.bump(box, float(value), delta)
 
     def apply(self, op: Operation) -> None:
         """Fold one logical operation into the state."""
@@ -72,10 +75,12 @@ class LogicalState:
             self._bump(op.box, op.value, -1)
         elif isinstance(op, SetMetaOp):
             self.meta[op.key] = bytes(op.blob)
+            self._digest.set_meta(op.key, bytes(op.blob))
         elif isinstance(op, BulkLoadOp):
             # A bulk load *replaces* the object population (the index verb
             # rebuilds from scratch); metadata survives it.
             self._counts.clear()
+            self._digest.clear_objects()
             for box, value in op.objects:
                 self._bump(box, value, 1)
         else:
@@ -91,6 +96,16 @@ class LogicalState:
     def net_instances(self) -> int:
         """Signed instance total (negative counts subtract)."""
         return sum(self._counts.values())
+
+    @property
+    def digest(self) -> int:
+        """Order-insensitive 64-bit content digest (see :mod:`.digest`)."""
+        return self._digest.value
+
+    def digest_state(self) -> StateDigest:
+        """A copy of the incremental digest, for seeding a member's own
+        stream digest after a restore (:meth:`QueryService.sync_digest`)."""
+        return self._digest.copy()
 
     def items(self) -> Iterable[Tuple[Box, float, int]]:
         """``(box, value, count)`` per identity, in deterministic order."""
@@ -139,7 +154,9 @@ class LogicalState:
         state = cls(checkpoint.dims if checkpoint.dims else None)
         for box, value, count in checkpoint.objects:
             state._bump(box, value, count)
-        state.meta = {key: bytes(blob) for key, blob in checkpoint.meta}
+        for key, blob in checkpoint.meta:
+            state.meta[key] = bytes(blob)
+            state._digest.set_meta(key, bytes(blob))
         return state
 
     # -- materialization ---------------------------------------------------------
@@ -179,6 +196,7 @@ class LogicalState:
         clone = LogicalState(self.dims)
         clone._counts = dict(self._counts)
         clone.meta = dict(self.meta)
+        clone._digest = self._digest.copy()
         return clone
 
 

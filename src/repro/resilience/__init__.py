@@ -25,8 +25,10 @@ package layers:
 from .breaker import CLOSED, FORCED_OPEN, HALF_OPEN, OPEN, CircuitBreaker
 from .chaos import (
     ChaosPlan,
+    CrashableService,
     FaultyQueryService,
     InjectedFaultError,
+    LostWriteService,
     bitflip_injector,
     chaos_member_wrapper,
 )
@@ -40,11 +42,13 @@ __all__ = [
     "CircuitBreaker",
     "ChaosPlan",
     "CLOSED",
+    "CrashableService",
     "FailoverRouter",
     "FaultyQueryService",
     "FORCED_OPEN",
     "HALF_OPEN",
     "InjectedFaultError",
+    "LostWriteService",
     "OPEN",
     "PartialResult",
     "ReplicaGroup",

@@ -215,6 +215,113 @@ class FaultyQueryService:
         self.inner.close()
 
 
+class CrashableService:
+    """An in-process stand-in for a killable worker process.
+
+    Quacks like :class:`~repro.rpc.WorkerClient` for the liveness surface
+    the repair path uses — :attr:`crashed`, :meth:`restart`, :meth:`ping`
+    — without spawning a process, so supervisor tests can SIGKILL-and-
+    respawn members deterministically and fast.  :meth:`kill` marks the
+    member dead: every delegated call then raises
+    :class:`~repro.core.errors.WorkerCrashedError`, exactly as a dead
+    child's socket would.  :meth:`restart` builds a *fresh, empty* inner
+    service through the factory — like a respawned worker, it holds
+    nothing until a restore repopulates it.
+    """
+
+    def __init__(self, factory: Callable[[], object], initial=None) -> None:
+        self._factory = factory
+        self.inner = initial if initial is not None else factory()
+        self._crashed = False
+        self.restarts = 0
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def kill(self) -> None:
+        """Simulate the worker process dying between calls."""
+        self._crashed = True
+
+    def restart(self) -> int:
+        self.inner = self._factory()
+        self._crashed = False
+        self.restarts += 1
+        return self.restarts
+
+    def _check(self) -> None:
+        if self._crashed:
+            from ..core.errors import WorkerCrashedError
+
+            raise WorkerCrashedError(
+                f"worker {getattr(self.inner, 'label', 'member')!r} is dead; "
+                "restart() + catch_up to revive"
+            )
+
+    def ping(self, payload: bytes = b"") -> bytes:
+        self._check()
+        return payload
+
+    #: Attributes a real :class:`~repro.rpc.WorkerClient` answers from the
+    #: parent side even when the child is dead (last-known epoch, the
+    #: parent-maintained stream digest, identity, teardown).
+    _SAFE = frozenset({"epoch", "state_digest", "label", "closed", "close"})
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        # Liveness first: a dead process answers nothing else, not even stats.
+        if name not in self._SAFE:
+            self._check()
+        return getattr(self.inner, name)
+
+
+class LostWriteService:
+    """A member that silently *drops* some mutations — and lies about it.
+
+    The failure mode poisoning cannot see: the call returns success (the
+    inner service's current epoch) but nothing was applied, so the member
+    diverges without any exception for the group to witness.  Only the
+    stream-digest audit catches it — the member's digest freezes while
+    the authority's advances.  Drops are drawn from a seeded RNG, so the
+    divergence point replays exactly.
+
+    Wrap *replicas*, never the primary: the group reports the first live
+    member's epoch, and a primary whose epoch stops advancing would skew
+    what callers observe before the audit ever runs.
+    """
+
+    def __init__(self, service, *, drop_rate: float = 1.0, seed: int = 0) -> None:
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
+        self.inner = service
+        self.drop_rate = drop_rate
+        self.enabled = True
+        self.dropped = 0
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def _drop(self) -> bool:
+        with self._lock:
+            if not self.enabled or self._rng.random() >= self.drop_rate:
+                return False
+            self.dropped += 1
+            return True
+
+    def insert(self, box: Box, value: float = 1.0) -> int:
+        if self._drop():
+            return self.inner.epoch
+        return self.inner.insert(box, value)
+
+    def delete(self, box: Box, value: float = 1.0) -> int:
+        if self._drop():
+            return self.inner.epoch
+        return self.inner.delete(box, value)
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+
 def chaos_member_wrapper(plan: ChaosPlan, member: int = 0) -> Callable[[object, int, int], object]:
     """A ``service_wrapper`` for :class:`~repro.shard.ShardedService`.
 
@@ -249,8 +356,10 @@ def bitflip_injector(at_op: int = 1, seed: Optional[int] = None) -> FaultInjecto
 
 __all__ = [
     "ChaosPlan",
+    "CrashableService",
     "FaultyQueryService",
     "InjectedFaultError",
+    "LostWriteService",
     "bitflip_injector",
     "chaos_member_wrapper",
 ]

@@ -67,6 +67,7 @@ from ..core.errors import (
     ReplicaDivergedError,
     ServiceOverloadedError,
     ShardUnavailableError,
+    WorkerCrashedError,
 )
 from ..core.geometry import Box
 from ..obs import trace as _trace
@@ -154,6 +155,8 @@ class ReplicaGroup:
             "retries": 0.0,
             "revivals": 0.0,
             "catchups": 0.0,
+            "digest_audits": 0.0,
+            "digest_mismatches": 0.0,
         }
         registry = registry if registry is not None else get_registry()
         self._registry = registry
@@ -190,6 +193,10 @@ class ReplicaGroup:
         self._m_lag = registry.gauge(
             "repro_resilience_replica_lag",
             "log records the member has not applied (head LSN - applied LSN)",
+        )
+        self._m_digest_mismatches = registry.counter(
+            "repro_resilience_digest_mismatches",
+            "live members poisoned because their stream digest diverged from the log",
         )
         self.breakers: List[CircuitBreaker] = [
             CircuitBreaker(
@@ -234,6 +241,16 @@ class ReplicaGroup:
     def live_members(self) -> Tuple[int, ...]:
         """Member ids not poisoned (breakers may still gate them)."""
         return tuple(mid for mid in range(len(self.members)) if not self._poisoned[mid])
+
+    def is_poisoned(self, mid: int) -> bool:
+        """True when member ``mid`` is excluded from the rotation."""
+        return self._poisoned[mid]
+
+    def replica_lag(self, mid: int) -> int:
+        """Log records member ``mid`` has not applied (0 without a log)."""
+        if self.replication_log is None:
+            return 0
+        return self.replication_log.head_lsn - self._applied_lsn[mid]
 
     @property
     def available(self) -> bool:
@@ -506,6 +523,94 @@ class ReplicaGroup:
                 if self.catch_up(mid, audit_probes=audit_probes) is not None:
                     revived.append(mid)
         return revived
+
+    def repair(self, mid: int, *, audit_probes: int = 16):
+        """One-verb remedy for a dead *or* poisoned member.
+
+        A crashed process worker whose death no mutation has witnessed yet
+        (SIGKILL between calls) is first poisoned — excluding it from the
+        rotation exactly as a failed mutation would — and then restored
+        through :meth:`catch_up`, whose restart path respawns it.  Members
+        that are neither crashed nor poisoned are left alone (returns
+        None).  Returns the :class:`~repro.replog.RestoreReport`.
+        """
+        member = self.members[mid]
+        if not self._poisoned[mid] and getattr(member, "crashed", False):
+            with self._mutation_lock:
+                # Re-check under the mutex: a concurrent mutation may have
+                # poisoned it (or a concurrent repair revived it) already.
+                if not self._poisoned[mid] and getattr(member, "crashed", False):
+                    self._poison(
+                        mid,
+                        "repair",
+                        WorkerCrashedError(
+                            f"shard {self.shard_id} member {mid}: worker process found dead"
+                        ),
+                    )
+        if not self._poisoned[mid]:
+            return None
+        return self.catch_up(mid, audit_probes=audit_probes)
+
+    # -- divergence audit ---------------------------------------------------------------
+
+    def member_digests(self) -> List[Optional[int]]:
+        """Each member's stream digest (None where the surface is missing)."""
+        return [getattr(member, "state_digest", None) for member in self.members]
+
+    def audit_digests(self) -> List[int]:
+        """Compare every live member's stream digest against the authority.
+
+        With a replication log the authority is the log's folded-state
+        digest (``digest(log) == digest(folded state)`` by construction);
+        without one it is the strict-majority digest among live members
+        (no strict majority ⇒ the audit abstains — two disagreeing members
+        cannot arbitrate themselves).  A live member that disagrees has
+        lost or misapplied a write: it is poisoned on the spot, *before*
+        any query can fail over onto it, and returned for the supervisor
+        to repair.  Runs under the mutation mutex so no mutation can
+        interleave the reads.
+        """
+        with self._mutation_lock:
+            with self._stats_lock:
+                self._counts["digest_audits"] += 1
+            if self.replication_log is not None:
+                authority: Optional[int] = self.replication_log.digest
+            else:
+                votes: Dict[int, int] = {}
+                for mid in range(len(self.members)):
+                    if self._poisoned[mid]:
+                        continue
+                    digest = getattr(self.members[mid], "state_digest", None)
+                    if digest is not None:
+                        votes[digest] = votes.get(digest, 0) + 1
+                authority = None
+                if votes:
+                    best = max(votes, key=lambda d: votes[d])
+                    if votes[best] * 2 > sum(votes.values()):
+                        authority = best
+            if authority is None:
+                return []
+            diverged: List[int] = []
+            for mid in range(len(self.members)):
+                if self._poisoned[mid]:
+                    continue
+                digest = getattr(self.members[mid], "state_digest", None)
+                if digest is None or digest == authority:
+                    continue
+                self._poison(
+                    mid,
+                    "digest_audit",
+                    ReplicaDivergedError(
+                        f"shard {self.shard_id} member {mid}: stream digest "
+                        f"0x{digest:016x} != authority 0x{authority:016x}"
+                    ),
+                )
+                diverged.append(mid)
+            if diverged:
+                with self._stats_lock:
+                    self._counts["digest_mismatches"] += len(diverged)
+                self._m_digest_mismatches.inc(len(diverged), label=self.label)
+            return diverged
 
     def add_member(self, member: Optional[object] = None) -> int:
         """Bootstrap a new member to the head LSN and add it to the rotation.
@@ -821,6 +926,8 @@ class ReplicaGroup:
             out["head_lsn"] = head
             out["applied_lsn"] = list(self._applied_lsn)
             out["replica_lag"] = [head - lsn for lsn in self._applied_lsn]
+            out["log_digest"] = self.replication_log.digest
+        out["member_digests"] = self.member_digests()
         return out
 
     def member_stats(self) -> List[Dict[str, float]]:

@@ -52,6 +52,7 @@ from ..core.errors import (
 from ..core.geometry import Box
 from ..obs import trace as _trace
 from ..obs.registry import MetricsRegistry, get_registry
+from ..replog.digest import StateDigest
 from ..replog.records import BulkLoadOp, DeleteOp, InsertOp, SetMetaOp
 from ..service.service import BatchResult, ProbeSnapshot
 from . import codec, wire
@@ -113,6 +114,10 @@ class WorkerClient:
         self._closed = False
         self._crashed = False
         self._last_epoch = 0
+        #: Parent-side stream digest of the worker's applied mutations —
+        #: maintained on ack, so the divergence audit never needs a
+        #: round-trip to a possibly-dead child.
+        self._digest = StateDigest()
         self._sock: Optional[socket.socket] = None
         self._proc = None
         self._stats_lock = threading.Lock()
@@ -198,6 +203,9 @@ class WorkerClient:
             self._reap_locked()
             self._spawn_locked()
             self._crashed = False
+            # The fresh child holds no objects; the stream digest must say
+            # so until a restore re-seeds both sides together.
+            self._digest = StateDigest()
         with self._stats_lock:
             self._counts["restarts"] += 1
         self._m_restarts.inc(label=self.label)
@@ -324,14 +332,18 @@ class WorkerClient:
             if tracer is None:
                 with self._lock:
                     result = self._exchange_locked(kind, payload, flags)
-                    if record is not None and self.oplog is not None:
-                        self.oplog.record(record)
+                    if record is not None:
+                        self._digest.note(record)
+                        if self.oplog is not None:
+                            self.oplog.record(record)
             else:
                 with tracer.span("rpc.call", verb=verb, worker=self.label, pid=self.pid):
                     with self._lock:
                         result = self._exchange_locked(kind, payload, flags)
-                        if record is not None and self.oplog is not None:
-                            self.oplog.record(record)
+                        if record is not None:
+                            self._digest.note(record)
+                            if self.oplog is not None:
+                                self.oplog.record(record)
             return result
         except WorkerCrashedError:
             outcome = "crash"
@@ -436,11 +448,23 @@ class WorkerClient:
         )
         epoch = codec.decode_epoch(self._call(wire.REQ_RESTORE, payload, verb="restore"))
         self._last_epoch = epoch
+        with self._lock:
+            self._digest = state.digest_state()
         return epoch
 
     def sync_epoch(self, epoch: int) -> None:
         self._call(wire.REQ_SYNC_EPOCH, codec.encode_epoch(epoch), verb="sync_epoch")
         self._last_epoch = epoch
+
+    def sync_digest(self, digest: StateDigest) -> None:
+        """Re-seed the parent-side stream digest after a log-driven restore."""
+        with self._lock:
+            self._digest = digest.copy()
+
+    @property
+    def state_digest(self) -> int:
+        """The 64-bit stream digest of acknowledged worker mutations."""
+        return self._digest.value
 
     def checkpoint(self):
         """Checkpoint the client-side oplog at the worker's epoch.

@@ -35,6 +35,7 @@ from ..core.errors import NotSupportedError, ServiceClosedError, ServiceOverload
 from ..core.geometry import Box
 from ..obs import trace as _trace
 from ..obs.registry import MetricsRegistry, get_registry
+from ..replog.digest import StateDigest
 from ..replog.records import BulkLoadOp, DeleteOp, InsertOp, SetMetaOp
 from .cache import EpochLRUCache, box_key, probe_key
 from .locks import AdmissionGate, RWLock
@@ -164,6 +165,10 @@ class QueryService:
             max_inflight, max_queue, queue_timeout, scope=f"service[{self.label}]"
         )
         self._epoch = 0
+        #: Stream digest of every *recorded* mutation this member applied —
+        #: the member-side half of the divergence-audit invariant
+        #: ``digest(log) == digest(member)`` (see :mod:`repro.replog.digest`).
+        self._digest = StateDigest()
         self._stats_lock = threading.Lock()
         self._counts: Dict[str, float] = {
             "batches": 0.0,
@@ -525,6 +530,14 @@ class QueryService:
             fn()
             self._epoch += 1
             epoch = self._epoch
+            if record is not None:
+                # Digest the admitted record whether or not this member
+                # carries the log itself: replicated members log at the
+                # group level, yet each must track its own applied stream
+                # for the divergence audit.  Un-recorded mutations
+                # (restores, out-of-band tampering) deliberately do not
+                # touch it — a restore re-seeds via sync_digest.
+                self._digest.note(record)
             if self.oplog is not None and record is not None:
                 self.oplog.record(record)
             if self.approx is not None:
@@ -565,6 +578,22 @@ class QueryService:
                 self.approx.desync()
         with self._stats_lock:
             self._m_epoch.set(epoch, label=self.label)
+
+    def sync_digest(self, digest: StateDigest) -> None:
+        """Re-seed the stream digest after a log-driven restore.
+
+        Called by :meth:`~repro.replog.ReplicationLog.restore_into` with
+        the restored state's digest, so the audit invariant
+        ``digest(log) == digest(member)`` holds again from the first
+        post-restore mutation.
+        """
+        with self._rwlock.write():
+            self._digest = digest.copy()
+
+    @property
+    def state_digest(self) -> int:
+        """The 64-bit stream digest of this member's applied mutations."""
+        return self._digest.value
 
     @property
     def epoch(self) -> int:

@@ -58,6 +58,16 @@ from .router import ClusterBatchResult, ShardRouter
 _LedgerKey = Tuple[Tuple[float, ...], Tuple[float, ...], float]
 
 
+class WorkerRestartReport(NamedTuple):
+    """Outcome of one :meth:`ShardedService.restart_worker` invocation."""
+
+    shard: int
+    #: Member ids repaired (empty when no member was found dead).
+    members: Tuple[int, ...]
+    #: Pid of the last worker respawned (None for in-process members).
+    pid: Optional[int]
+
+
 class RebalanceReport(NamedTuple):
     """Outcome of one :meth:`ShardedService.rebalance` invocation."""
 
@@ -162,6 +172,13 @@ class ShardedService:
         The tier's :class:`~repro.approx.ApproxPolicy` (fit granularity
         and degree, bounded-staleness budget, auto-refresh) when
         ``degrade="bounded"``; ignored otherwise.
+    heal:
+        A :class:`~repro.heal.HealPolicy` (or ``True`` for the defaults)
+        attaches a :class:`~repro.heal.HealSupervisor` to the cluster:
+        automatic detection and repair of poisoned members, dead worker
+        processes, tripped breakers and digest-diverged replicas.  With
+        ``policy.auto_start`` (the default) the wall-clock supervisor
+        thread starts here and is stopped by :meth:`close`.
     """
 
     def __init__(
@@ -189,6 +206,7 @@ class ShardedService:
         replog_options: Optional[Dict[str, object]] = None,
         degrade: str = "off",
         approx_policy: Optional[ApproxPolicy] = None,
+        heal=None,
     ) -> None:
         self.dims = dims
         self.label = label
@@ -410,6 +428,18 @@ class ShardedService:
             "batches answered with certified bounds instead of failing, by reason",
         )
         self._publish_balance()
+        self._heal = None
+        if heal:
+            # Imported lazily: the cluster only depends on the heal layer
+            # when a supervisor is actually requested.
+            from ..heal import HealPolicy, HealSupervisor
+
+            policy = heal if isinstance(heal, HealPolicy) else HealPolicy()
+            self._heal = HealSupervisor(
+                self, policy, registry=registry, label=f"{label}-heal"
+            )
+            if policy.auto_start:
+                self._heal.start()
 
     # -- introspection accessors ---------------------------------------------------
 
@@ -452,6 +482,11 @@ class ShardedService:
     def replicas(self) -> int:
         """Synchronous replicas per shard beyond the primary."""
         return self._map.replicas
+
+    @property
+    def heal_supervisor(self):
+        """The self-healing supervisor (None when built without ``heal=``)."""
+        return self._heal
 
     @property
     def imbalance(self) -> float:
@@ -878,6 +913,52 @@ class ShardedService:
                     revived[sid] = members
         return revived
 
+    def restart_worker(self, sid: int) -> WorkerRestartReport:
+        """Respawn and restore shard ``sid``'s dead worker process(es).
+
+        The public remedy for
+        :class:`~repro.core.errors.WorkerCrashedError` ("restart() +
+        catch_up to revive").  In a replicated cluster every crashed
+        member routes through
+        :meth:`~repro.resilience.group.ReplicaGroup.repair`: the dead
+        member is poisoned (if a mutation has not already witnessed the
+        death), respawned, restored from checkpoint + log tail and
+        bit-exactness-audited before re-entering the rotation.  An
+        unreplicated shard restarts its worker and restores it from the
+        shard's log directly.  Either way a replication log is required —
+        a respawned worker is empty, and without the log there is nothing
+        to restore it *from* — so clusters built without ``replog_dir``
+        raise :class:`~repro.core.errors.NotSupportedError` before any
+        worker is touched.  Returns the member ids actually repaired
+        (empty when nothing was dead — an idempotent no-op).
+        """
+        replog = self._require_replog(sid)
+        with self._cluster_lock.read():
+            if self._groups:
+                group = self._groups[sid]
+                repaired: List[int] = []
+                pid: Optional[int] = None
+                for mid in range(len(group.members)):
+                    member = group.members[mid]
+                    if not getattr(member, "crashed", False):
+                        continue
+                    group.repair(mid, audit_probes=16)
+                    repaired.append(mid)
+                    pid = getattr(member, "pid", pid)
+                return WorkerRestartReport(sid, tuple(repaired), pid)
+            shard = self._shards[sid]
+            restart = getattr(shard, "restart", None)
+            if restart is None:
+                raise NotSupportedError(
+                    f"shard {sid} is served in-process; there is no worker "
+                    "to restart (build the cluster with workers='process')"
+                )
+            if not getattr(shard, "crashed", False):
+                return WorkerRestartReport(sid, (), getattr(shard, "pid", None))
+            restart()
+            replog.restore_into(shard)
+            return WorkerRestartReport(sid, (0,), getattr(shard, "pid", None))
+
     def recover_shard_to(self, sid: int, lsn: int) -> QueryService:
         """Point-in-time recovery: shard ``sid`` as of record ``lsn``.
 
@@ -943,6 +1024,8 @@ class ShardedService:
                 replog.head_lsn if replog is not None else None
                 for replog in self._replogs
             ]
+        if self._heal is not None:
+            out["heal"] = self._heal.stats()
         return out
 
     def shard_stats(self) -> List[Dict[str, float]]:
@@ -961,6 +1044,10 @@ class ShardedService:
         admitted batches drain, then the fan-out pool and every shard
         service (each draining its own accepted work) shut down.
         """
+        if self._heal is not None:
+            # The supervisor must stop *first*: a repair racing the close
+            # would restore into shards that are already shutting down.
+            self._heal.stop()
         if not self._gate.close():
             return
         self._gate.drain()
@@ -983,4 +1070,4 @@ class ShardedService:
         self.close()
 
 
-__all__ = ["ShardedService", "RebalanceReport"]
+__all__ = ["ShardedService", "RebalanceReport", "WorkerRestartReport"]

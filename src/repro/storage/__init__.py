@@ -25,6 +25,8 @@ __all__ = [
     "CrashPoint",
     "FaultInjector",
     "FaultyFile",
+    "FilePager",
+    "ScrubReport",
     "SimulatedCrashError",
     "Layout",
     "PAGE_CHECKSUM_BYTES",
@@ -39,6 +41,17 @@ __all__ = [
     "StorageContext",
     "WriteAheadLog",
 ]
+
+
+def __getattr__(name: str):
+    # FilePager's codec decodes B+-tree nodes, and the bptree package
+    # imports StorageContext from here — so the durable pager must load
+    # lazily to keep this package's import acyclic.
+    if name in ("FilePager", "ScrubReport"):
+        from . import filepager
+
+        return getattr(filepager, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class StorageContext:

@@ -42,7 +42,7 @@ import os
 import struct
 import threading
 import zlib
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Set, Tuple
 
 from ..core.errors import PageCorruptionError, PageNotFoundError, StorageError
 from ..obs import trace as _trace
@@ -57,6 +57,23 @@ _HEADER = struct.Struct("<8sII")  # magic, page_size, next_pid
 
 def _default_opener(path: str, mode: str):
     return open(path, mode)
+
+
+class ScrubReport(NamedTuple):
+    """Outcome of one :meth:`FilePager.scrub` walk."""
+
+    path: str
+    #: Slots read and checksummed (header included).
+    scanned: int
+    #: Slots whose checksum or framing failed.
+    corrupt: int
+    #: The failing page ids (``"header"`` for the header slot), with the
+    #: first error string for each — the operator's work list.
+    errors: Tuple[Tuple[object, str], ...]
+
+    @property
+    def clean(self) -> bool:
+        return self.corrupt == 0
 
 
 class FilePager:
@@ -379,6 +396,45 @@ class FilePager:
                 unseal_page(data, pid)
                 verified += 1
             return verified
+
+    def scrub(self) -> ScrubReport:
+        """Operational scrub: walk every slot, report damage, never raise.
+
+        Where :meth:`verify` stops at the first bad slot (the fail-fast
+        contract serving wants), a scrub is an *inventory*: it reads and
+        checksums every slot — header included — and returns a
+        :class:`ScrubReport` listing all the corrupt ones, so an operator
+        sees the full extent of the damage in one pass before deciding on
+        a checkpoint restore.  The walk itself cannot make anything
+        worse: it checkpoints pending changes first (same as ``verify``)
+        and then only reads.
+        """
+        with self._lock:
+            self.sync()
+            errors: List[Tuple[object, str]] = []
+            scanned = 0
+            self._file.seek(0)
+            data = self._file.read(self.page_size)
+            scanned += 1
+            if len(data) < self.page_size:
+                errors.append(("header", "header slot truncated on disk"))
+            else:
+                try:
+                    unseal_page(data, "header")
+                except PageCorruptionError as exc:
+                    errors.append(("header", str(exc)))
+            for pid in self.page_ids():
+                self._file.seek(self._offset(pid))
+                data = self._file.read(self.page_size)
+                scanned += 1
+                if len(data) < self.page_size:
+                    errors.append((pid, f"page {pid} truncated on disk"))
+                    continue
+                try:
+                    unseal_page(data, pid)
+                except PageCorruptionError as exc:
+                    errors.append((pid, str(exc)))
+            return ScrubReport(self.path, scanned, len(errors), tuple(errors))
 
     # -- lifecycle -----------------------------------------------------------------------------
 

@@ -29,6 +29,8 @@ class TestCli:
             "traffic",
             "workers",
             "approx",
+            "heal",
+            "scrub",
         }
 
     def test_run_reduction_experiment(self, capsys):

@@ -1,0 +1,38 @@
+"""Seeded chaos soaks: the acceptance gate for the self-healing loop.
+
+Kills, silent write drops and read faults all land on a replicated
+cluster while the supervisor runs in virtual time; the run must stay
+bit-exact against an unsharded oracle and end fully healthy with zero
+operator intervention.  Marked ``heal`` so CI's torture matrix repeats
+the soak across many seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.heal import run_heal_soak
+
+pytestmark = pytest.mark.heal
+
+
+@pytest.mark.parametrize("seed", [0, 3, 7])
+def test_soak_converges_exact_and_fully_healthy(seed):
+    out = run_heal_soak(seed=seed)
+    assert out["inexact"] == 0
+    assert out["converged"] == 1.0
+    assert out["fully_healthy"] == 1.0
+    # The soak must actually have injected chaos for the pass to mean
+    # anything.
+    assert out["kills"] > 0
+    assert out["drops"] > 0
+    assert out["read_faults"] > 0
+
+
+def test_soak_heals_through_the_supervisor():
+    out = run_heal_soak(seed=1)
+    # Every kill needs a repair, and the silent drops must be caught by
+    # the digest audit (they are invisible to every other signal).
+    assert out["repairs"] >= out["kills"]
+    assert out["diverged_caught"] > 0
+    assert out["quarantines"] == 0
